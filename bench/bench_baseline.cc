@@ -1,0 +1,96 @@
+// Baseline comparison: process-graph mining vs sequential-pattern mining.
+//
+// Section 9: "In modeling the process as a graph, we generalize the problem
+// of mining sequential patterns [AS95] [MTV95]. The algorithm is still
+// practical, however, because it computes a single graph that conforms with
+// all process executions." This harness quantifies that claim on the same
+// logs: model size (edges vs. #frequent patterns), runtime, and whether
+// the artifacts summarize the log (graph conformal; patterns only describe
+// frequent fragments).
+
+#include <algorithm>
+#include <cstdio>
+
+#include "bench_common.h"
+#include "mine/conformance.h"
+#include "mine/fsm_baseline.h"
+#include "mine/general_dag_miner.h"
+#include "mine/sequential_patterns.h"
+#include "util/timer.h"
+
+using namespace procmine;
+using namespace procmine::bench;
+
+int main() {
+  std::printf(
+      "Process graph vs sequential patterns (support 10%%, max length 6)\n");
+  std::printf(
+      "vertices | execs | graph edges | graph s | patterns | maximal | "
+      "pattern s | conformal\n");
+  for (int32_t vertices : {8, 10, 12, 15}) {
+    const size_t m = QuickMode() ? 100 : 300;
+    SyntheticWorkload w =
+        MakeSyntheticWorkload(vertices, m, /*seed=*/500 + vertices);
+
+    StopWatch graph_watch;
+    auto mined = GeneralDagMiner().Mine(w.log);
+    double graph_seconds = graph_watch.ElapsedSeconds();
+    PROCMINE_CHECK_OK(mined.status());
+    ConformanceChecker checker(&*mined);
+    bool conformal = checker.CheckLog(w.log).execution_complete;
+
+    SequentialPatternOptions options;
+    options.min_support = static_cast<int64_t>(m / 10);
+    options.max_length = 6;
+    options.max_patterns = 100000;
+    StopWatch pattern_watch;
+    auto patterns = MineSequentialPatterns(w.log, options);
+    double pattern_seconds = pattern_watch.ElapsedSeconds();
+    auto maximal = MaximalPatterns(patterns);
+
+    std::printf("%8d | %5zu | %11lld | %7.3f | %8zu | %7zu | %9.3f | %s\n",
+                vertices, m,
+                static_cast<long long>(mined->graph().num_edges()),
+                graph_seconds, patterns.size(), maximal.size(),
+                pattern_seconds, conformal ? "yes" : "no");
+    std::fflush(stdout);
+  }
+  std::printf(
+      "\nReading: the conformal graph stays linear in the process size "
+      "while the\npattern count grows combinatorially — the paper's "
+      "practicality argument.\n");
+
+  // Second baseline: the finite-state-machine representation of [CW95]
+  // (k-tails inference). The paper's Section 1 point — parallelism forces
+  // an automaton to repeat activities on many transitions, while the
+  // process graph has one vertex per activity.
+  std::printf(
+      "\nProcess graph vs k-tail automaton (k=2) on the same logs\n");
+  std::printf(
+      "vertices | graph: v / e | automaton: states / transitions / "
+      "max label reuse\n");
+  for (int32_t vertices : {8, 10, 12, 15}) {
+    const size_t m = QuickMode() ? 100 : 300;
+    SyntheticWorkload w =
+        MakeSyntheticWorkload(vertices, m, /*seed=*/500 + vertices);
+    auto mined = GeneralDagMiner().Mine(w.log);
+    PROCMINE_CHECK_OK(mined.status());
+    Automaton fsm = LearnKTailAutomaton(w.log, 2);
+    int64_t max_reuse = 0;
+    for (ActivityId a = 0; a < w.log.num_activities(); ++a) {
+      max_reuse = std::max(max_reuse, fsm.TransitionsLabeled(a));
+    }
+    std::printf("%8d | %5d / %4lld | %17d / %11lld / %15lld\n", vertices,
+                mined->num_activities(),
+                static_cast<long long>(mined->graph().num_edges()),
+                fsm.num_states(),
+                static_cast<long long>(fsm.num_transitions()),
+                static_cast<long long>(max_reuse));
+    std::fflush(stdout);
+  }
+  std::printf(
+      "\nReading: every activity is one vertex in the process graph but "
+      "labels many\nautomaton transitions once activities run in parallel "
+      "(Section 1's argument\nagainst the FSM representation).\n");
+  return 0;
+}

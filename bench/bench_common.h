@@ -1,0 +1,51 @@
+// Shared helpers for the table-regeneration harnesses.
+
+#ifndef PROCMINE_BENCH_BENCH_COMMON_H_
+#define PROCMINE_BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "log/event_log.h"
+#include "synth/log_generator.h"
+#include "synth/random_dag.h"
+#include "util/logging.h"
+#include "util/status.h"
+
+namespace procmine::bench {
+
+/// The Section 8.1 synthetic workload for one (vertices, executions) cell:
+/// a random DAG at the paper-calibrated density plus a walker log.
+struct SyntheticWorkload {
+  ProcessGraph truth;
+  EventLog log;
+};
+
+inline SyntheticWorkload MakeSyntheticWorkload(int32_t vertices,
+                                               size_t executions,
+                                               uint64_t seed) {
+  RandomDagOptions dag_options;
+  dag_options.num_activities = vertices;
+  dag_options.edge_density = PaperEdgeDensity(vertices);
+  dag_options.seed = seed;
+  SyntheticWorkload w{GenerateRandomDag(dag_options), EventLog()};
+  WalkLogOptions log_options;
+  log_options.num_executions = executions;
+  log_options.seed = seed * 7919 + 13;
+  auto log = GenerateWalkLog(w.truth, log_options);
+  PROCMINE_CHECK_OK(log.status());
+  w.log = std::move(log).ValueOrDie();
+  return w;
+}
+
+/// Whether to run the abbreviated sweep (PROCMINE_BENCH_QUICK=1): used to
+/// keep CI fast; the full sweep reproduces the paper's axes.
+inline bool QuickMode() {
+  const char* env = std::getenv("PROCMINE_BENCH_QUICK");
+  return env != nullptr && std::string(env) == "1";
+}
+
+}  // namespace procmine::bench
+
+#endif  // PROCMINE_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,84 @@
+// Regenerates the Section 6 noise analysis as an experiment (the paper
+// gives the probabilistic bounds analytically; this harness measures them).
+//
+// For a chain process (Example 9's setting), sweep the out-of-order error
+// rate epsilon and the threshold T, measure the fraction of trials in which
+// the dependency structure is recovered exactly, and print it next to the
+// analytic error bound max(C(m,T) eps^T, C(m,m-T) 2^-(m-T)).
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.h"
+#include "mine/metrics.h"
+#include "mine/miner.h"
+#include "mine/noise.h"
+#include "synth/noise_injector.h"
+
+using namespace procmine;
+using namespace procmine::bench;
+
+namespace {
+
+ProcessGraph Chain() {
+  return ProcessGraph::FromNamedEdges(
+      {{"A", "B"}, {"B", "C"}, {"C", "D"}, {"D", "E"}});
+}
+
+/// Fraction of `trials` where the chain is recovered exactly at threshold T.
+double MeasureRecovery(const EventLog& clean, double epsilon, int64_t T,
+                       int trials) {
+  ProcessGraph truth = Chain();
+  int recovered = 0;
+  for (int trial = 0; trial < trials; ++trial) {
+    NoiseOptions noise;
+    noise.swap_rate = epsilon;
+    noise.seed = static_cast<uint64_t>(trial) * 31 + 7;
+    EventLog noisy = InjectNoise(clean, noise);
+    MinerOptions options;
+    options.algorithm = MinerAlgorithm::kSpecialDag;
+    options.noise_threshold = T;
+    auto mined = ProcessMiner(options).Mine(noisy);
+    if (mined.ok() && CompareByName(truth, *mined).ExactMatch()) {
+      ++recovered;
+    }
+  }
+  return static_cast<double>(recovered) / trials;
+}
+
+}  // namespace
+
+int main() {
+  const int64_t m = 200;
+  const int trials = QuickMode() ? 10 : 40;
+  ProcessGraph truth = Chain();
+  auto clean = GenerateLinearExtensionLog(truth, static_cast<size_t>(m), 3);
+  PROCMINE_CHECK_OK(clean.status());
+
+  std::printf(
+      "Section 6 noise sweep: chain of 5 activities, m=%lld executions, "
+      "%d trials per cell\n",
+      static_cast<long long>(m), trials);
+  std::printf(
+      "  eps  |  T   | recovered | analytic error bound (per pair)\n");
+  std::printf("-------+------+-----------+---------------------------\n");
+
+  for (double epsilon : {0.01, 0.02, 0.05, 0.10, 0.20}) {
+    int64_t optimal = OptimalNoiseThreshold(m, epsilon);
+    std::vector<int64_t> thresholds = {1, optimal / 2 > 0 ? optimal / 2 : 1,
+                                       optimal, optimal * 2};
+    for (int64_t T : thresholds) {
+      double recovered = MeasureRecovery(*clean, epsilon, T, trials);
+      double bound = ThresholdErrorBound(m, T, epsilon);
+      std::printf(" %.2f  | %4lld | %9.2f | %.3g%s\n", epsilon,
+                  static_cast<long long>(T), recovered, bound,
+                  T == optimal ? "   <- T* (optimal)" : "");
+      std::fflush(stdout);
+    }
+    std::printf("-------+------+-----------+---------------------------\n");
+  }
+  std::printf(
+      "\nReading: T=1 (no thresholding) collapses under noise; the "
+      "analytic T* recovers the chain.\n");
+  return 0;
+}

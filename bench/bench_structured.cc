@@ -1,0 +1,60 @@
+// Structured vs unstructured recovery: the miner on realistic
+// block-structured processes (sequence/XOR/AND/skip blocks, like the
+// Flowmark five) versus the dense random DAGs of Tables 1-2. The contrast
+// explains the paper's two findings — exact recovery on every real process
+// (Section 8.2) but only approximate recovery on large random graphs
+// (Table 2): block structure keeps every skip covered by a choice join.
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "mine/metrics.h"
+#include "mine/miner.h"
+#include "synth/structured_process.h"
+#include "workflow/engine.h"
+
+using namespace procmine;
+using namespace procmine::bench;
+
+int main() {
+  const size_t executions = QuickMode() ? 150 : 500;
+  const int trials = QuickMode() ? 5 : 15;
+
+  std::printf(
+      "Structured-process recovery (%zu executions per trial, %d trials "
+      "per size)\n",
+      executions, trials);
+  std::printf(
+      "target size | mean activities | exact recovery | mean missing | "
+      "mean spurious\n");
+  for (int32_t target : {8, 12, 20, 30, 45}) {
+    int exact = 0;
+    double activity_sum = 0, missing_sum = 0, spurious_sum = 0;
+    for (int trial = 0; trial < trials; ++trial) {
+      StructuredProcessOptions options;
+      options.target_activities = target;
+      options.seed = static_cast<uint64_t>(target * 100 + trial);
+      ProcessDefinition def = GenerateStructuredProcess(options);
+      activity_sum += def.num_activities();
+
+      Engine engine(&def);
+      auto log = engine.GenerateLog(executions, options.seed * 7 + 1);
+      PROCMINE_CHECK_OK(log.status());
+      auto mined = ProcessMiner().Mine(*log);
+      PROCMINE_CHECK_OK(mined.status());
+      GraphComparison cmp = CompareByName(def.process_graph(), *mined);
+      exact += cmp.ExactMatch() ? 1 : 0;
+      missing_sum += static_cast<double>(cmp.missing_edges);
+      spurious_sum += static_cast<double>(cmp.spurious_edges);
+    }
+    std::printf("%11d | %15.1f | %8d / %2d | %12.2f | %13.2f\n", target,
+                activity_sum / trials, exact, trials, missing_sum / trials,
+                spurious_sum / trials);
+    std::fflush(stdout);
+  }
+  std::printf(
+      "\nReading: block-structured processes are recovered (near-)exactly "
+      "at every size,\nwhile Table 2's unstructured random DAGs of similar "
+      "size drift to supergraphs.\n");
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Regenerates Table 2: number of edges in the synthesized vs. original
+// graphs for the same sweep as Table 1. The paper's shape: small graphs are
+// recovered exactly even from 100 executions; the 50-vertex graph converges
+// to a slight supergraph; the 100-vertex graph is still under-recovered at
+// 10000 executions.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.h"
+#include "mine/general_dag_miner.h"
+#include "mine/metrics.h"
+
+using namespace procmine;
+using namespace procmine::bench;
+
+int main() {
+  std::vector<int32_t> vertex_axis = {10, 25, 50, 100};
+  std::vector<size_t> execution_axis = {100, 1000, 10000};
+  if (QuickMode()) execution_axis = {100, 1000};
+
+  std::printf(
+      "Table 2: number of edges in synthesized and original graphs\n");
+  std::printf("%-22s", "");
+  for (int32_t v : vertex_axis) std::printf(" | %6d v", v);
+  std::printf("\n%-22s", "Edges present");
+  for (size_t col = 0; col < vertex_axis.size(); ++col) {
+    SyntheticWorkload w = MakeSyntheticWorkload(vertex_axis[col], 1,
+                                                /*seed=*/1000 + vertex_axis[col]);
+    std::printf(" | %8lld",
+                static_cast<long long>(w.truth.graph().num_edges()));
+  }
+  std::printf("\n");
+
+  for (size_t m : execution_axis) {
+    std::printf("Edges found %-10zu", m);
+    for (int32_t n : vertex_axis) {
+      SyntheticWorkload w = MakeSyntheticWorkload(n, m, /*seed=*/1000 + n);
+      auto mined = GeneralDagMiner().Mine(w.log);
+      PROCMINE_CHECK_OK(mined.status());
+      std::printf(" | %8lld",
+                  static_cast<long long>(mined->graph().num_edges()));
+      std::fflush(stdout);
+    }
+    std::printf("\n");
+  }
+
+  // Recovery detail at the largest log size (the paper's narrative:
+  // "the graphs our algorithm derived were good approximations").
+  std::printf("\nRecovery detail at %zu executions:\n",
+              execution_axis.back());
+  std::printf(
+      "vertices | common | missing | spurious | precision | recall | "
+      "closure-P | closure-R\n");
+  for (int32_t n : vertex_axis) {
+    SyntheticWorkload w =
+        MakeSyntheticWorkload(n, execution_axis.back(), /*seed=*/1000 + n);
+    auto mined = GeneralDagMiner().Mine(w.log);
+    PROCMINE_CHECK_OK(mined.status());
+    GraphComparison cmp = CompareByName(w.truth, *mined);
+    // Dependency-level agreement: extra shortcut edges inside the true
+    // closure are invisible here (Lemma 2: same closure = same behaviour).
+    GraphComparison closure = CompareClosuresByName(w.truth, *mined);
+    std::printf("%8d | %6lld | %7lld | %8lld | %9.3f | %6.3f | %9.3f | %9.3f\n",
+                n, static_cast<long long>(cmp.common_edges),
+                static_cast<long long>(cmp.missing_edges),
+                static_cast<long long>(cmp.spurious_edges), cmp.Precision(),
+                cmp.Recall(), closure.Precision(), closure.Recall());
+    std::fflush(stdout);
+  }
+  std::printf(
+      "\n(paper: present 24/224/1058/4569; found at 10000 execs "
+      "24/224/1076/4301)\n");
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Regenerates Table 3 and Figures 8-12: the Flowmark evaluation.
+//
+// The paper's logs came from a real IBM Flowmark installation; here the five
+// processes are simulated definitions with Table 3's exact vertex/edge
+// counts (see DESIGN.md, substitutions). For each process the harness
+// generates the paper's number of executions, mines the model, reports
+// vertices/edges/log size/mining time, verifies exact recovery of the
+// underlying process, and writes the mined graph as DOT (the paper's
+// Figures 8-12).
+
+#include <cstdio>
+
+#include "flowmark/processes.h"
+#include "graph/dot.h"
+#include "log/writer.h"
+#include "mine/metrics.h"
+#include "mine/miner.h"
+#include "util/timer.h"
+#include "workflow/engine.h"
+
+using namespace procmine;
+
+int main() {
+  std::printf("Table 3: experiments with (simulated) Flowmark datasets\n");
+  std::printf(
+      "%-18s | vertices | edges | executions | log KB | mine s | recovered\n",
+      "Process");
+
+  bool all_recovered = true;
+  int figure_number = 8;
+  for (const FlowmarkProcess& process : AllFlowmarkProcesses()) {
+    Engine engine(&process.definition);
+    auto log = engine.GenerateLog(
+        static_cast<size_t>(process.paper_executions), /*seed=*/4242);
+    PROCMINE_CHECK_OK(log.status());
+    long long log_kb =
+        static_cast<long long>(LogWriter::SerializedBytes(*log) / 1024);
+
+    StopWatch watch;
+    auto mined = ProcessMiner().Mine(*log);
+    double seconds = watch.ElapsedSeconds();
+    PROCMINE_CHECK_OK(mined.status());
+
+    GraphComparison cmp =
+        CompareByName(process.definition.process_graph(), *mined);
+    all_recovered &= cmp.ExactMatch();
+    std::printf("%-18s | %8lld | %5lld | %10lld | %6lld | %6.3f | %s\n",
+                process.name.c_str(),
+                static_cast<long long>(process.paper_vertices),
+                static_cast<long long>(mined->graph().num_edges()),
+                static_cast<long long>(process.paper_executions), log_kb,
+                seconds, cmp.ExactMatch() ? "yes" : "NO");
+
+    // Figures 8-12: the mined process model graphs.
+    std::string path = "figure" + std::to_string(figure_number++) + "_" +
+                       process.name + ".dot";
+    PROCMINE_CHECK_OK(WriteDotFile(mined->graph(), mined->names(), path,
+                                   {.graph_name = process.name,
+                                    .rankdir_lr = true,
+                                    .edge_labels = {}}));
+    std::printf("  -> wrote %s\n", path.c_str());
+  }
+
+  std::printf(
+      "\n(paper: 7v/7e 134x 792KB 11.5s; 14v/23e 160x 3685KB 111.7s; "
+      "6v/7e 121x 505KB 6.3s;\n 12v/11e 24x 463KB 5.7s; 7v/7e 134x 779KB "
+      "11.8s; recovery verified with the user)\n");
+  std::printf("all processes recovered: %s\n", all_recovered ? "yes" : "NO");
+  return all_recovered ? 0 : 1;
+}

@@ -1,0 +1,73 @@
+// Noise robustness: Section 6 hands-on.
+//
+// Corrupts a clean log with out-of-order reporting at rate epsilon, then
+// shows how the mined graph degrades without a threshold and recovers with
+// the analytically optimal threshold T* = m / (1 + log2(1/epsilon)).
+//
+//   $ ./noise_robustness
+
+#include <iostream>
+
+#include "mine/metrics.h"
+#include "mine/miner.h"
+#include "mine/noise.h"
+#include "synth/log_generator.h"
+#include "synth/noise_injector.h"
+#include "synth/random_dag.h"
+
+using namespace procmine;
+
+int main() {
+  // Ground truth: a 12-activity random process.
+  RandomDagOptions dag_options;
+  dag_options.num_activities = 12;
+  dag_options.edge_density = 0.25;
+  dag_options.seed = 99;
+  ProcessGraph truth = GenerateRandomDag(dag_options);
+  std::cout << "truth: " << truth.num_activities() << " activities, "
+            << truth.graph().num_edges() << " edges\n";
+
+  const size_t m = 400;
+  Result<EventLog> clean = GenerateLinearExtensionLog(truth, m, 5);
+  PROCMINE_CHECK_OK(clean.status());
+
+  std::cout << "\n eps   | T used | edges | missing | spurious | exact\n";
+  std::cout << " ------+--------+-------+---------+----------+------\n";
+  for (double epsilon : {0.0, 0.01, 0.05, 0.10}) {
+    EventLog log = *clean;
+    if (epsilon > 0) {
+      NoiseOptions noise;
+      noise.swap_rate = epsilon;
+      noise.seed = 1234;
+      log = InjectNoise(*clean, noise);
+    }
+    for (bool use_threshold : {false, true}) {
+      int64_t threshold = 1;
+      if (use_threshold && epsilon > 0) {
+        threshold = OptimalNoiseThreshold(static_cast<int64_t>(m), epsilon);
+      } else if (use_threshold) {
+        continue;  // nothing to tune on a clean log
+      }
+      MinerOptions options;
+      options.algorithm = MinerAlgorithm::kSpecialDag;
+      options.noise_threshold = threshold;
+      Result<ProcessGraph> mined = ProcessMiner(options).Mine(log);
+      if (!mined.ok()) {
+        std::cout << "  " << epsilon << "  | mining failed: "
+                  << mined.status().ToString() << "\n";
+        continue;
+      }
+      GraphComparison cmp = CompareClosuresByName(truth, *mined);
+      std::printf(" %.2f  | %6lld | %5lld | %7lld | %8lld | %s\n", epsilon,
+                  static_cast<long long>(threshold),
+                  static_cast<long long>(mined->graph().num_edges()),
+                  static_cast<long long>(cmp.missing_edges),
+                  static_cast<long long>(cmp.spurious_edges),
+                  cmp.ExactMatch() ? "yes" : "no");
+    }
+  }
+
+  std::cout << "\nThe unthresholded miner dissolves dependencies that the "
+               "noise reversed;\nthe Section 6 threshold restores them.\n";
+  return 0;
+}

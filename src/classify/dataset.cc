@@ -1,0 +1,31 @@
+#include "classify/dataset.h"
+
+#include "util/logging.h"
+
+namespace procmine {
+
+void Dataset::Add(std::vector<int64_t> features, bool label) {
+  PROCMINE_CHECK_EQ(static_cast<int>(features.size()), num_features_);
+  features_.push_back(std::move(features));
+  labels_.push_back(label ? 1 : 0);
+}
+
+int64_t Dataset::num_positive() const {
+  int64_t n = 0;
+  for (int8_t l : labels_) n += l;
+  return n;
+}
+
+std::pair<Dataset, Dataset> Dataset::Split(double test_fraction,
+                                           uint64_t seed) const {
+  Dataset train(num_features_);
+  Dataset test(num_features_);
+  Rng rng(seed);
+  for (size_t i = 0; i < size(); ++i) {
+    Dataset& target = rng.Bernoulli(test_fraction) ? test : train;
+    target.Add(features_[i], labels_[i] != 0);
+  }
+  return {std::move(train), std::move(test)};
+}
+
+}  // namespace procmine

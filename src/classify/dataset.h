@@ -1,0 +1,54 @@
+// Dataset: labeled integer feature vectors for the condition learner.
+//
+// Section 7 of the paper: "the training set for f_(u,v) is defined as
+// follows. For each execution of the process that u and v appear, the point
+// (o(u), 1) is inserted. For each execution of the process that u but not v
+// appears, the point (o(u), 0) is inserted." Features are the int64 output
+// parameters of activity u.
+
+#ifndef PROCMINE_CLASSIFY_DATASET_H_
+#define PROCMINE_CLASSIFY_DATASET_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/random.h"
+
+namespace procmine {
+
+/// Binary-labeled dataset over fixed-width int64 feature vectors.
+class Dataset {
+ public:
+  Dataset() = default;
+  explicit Dataset(int num_features) : num_features_(num_features) {}
+
+  int num_features() const { return num_features_; }
+  size_t size() const { return labels_.size(); }
+  bool empty() const { return labels_.empty(); }
+
+  /// Appends an example. features.size() must equal num_features().
+  void Add(std::vector<int64_t> features, bool label);
+
+  const std::vector<int64_t>& features(size_t i) const {
+    return features_[i];
+  }
+  bool label(size_t i) const { return labels_[i] != 0; }
+
+  int64_t num_positive() const;
+  int64_t num_negative() const {
+    return static_cast<int64_t>(size()) - num_positive();
+  }
+
+  /// Randomly partitions into train (first) and test (second) sets; the test
+  /// set receives ~test_fraction of the rows.
+  std::pair<Dataset, Dataset> Split(double test_fraction, uint64_t seed) const;
+
+ private:
+  int num_features_ = 0;
+  std::vector<std::vector<int64_t>> features_;
+  std::vector<int8_t> labels_;
+};
+
+}  // namespace procmine
+
+#endif  // PROCMINE_CLASSIFY_DATASET_H_

@@ -1,0 +1,241 @@
+#include "classify/decision_tree.h"
+
+#include <algorithm>
+#include <functional>
+#include <sstream>
+
+#include "util/logging.h"
+
+namespace procmine {
+
+namespace {
+
+double Gini(int64_t positive, int64_t total) {
+  if (total == 0) return 0.0;
+  double p = static_cast<double>(positive) / static_cast<double>(total);
+  return 2.0 * p * (1.0 - p);
+}
+
+struct BestSplit {
+  bool found = false;
+  int feature = -1;
+  int64_t threshold = 0;
+  double gain = 0.0;
+};
+
+/// Finds the impurity-minimizing (feature, threshold) over the rows in
+/// `rows`. O(F * R log R).
+BestSplit FindBestSplit(const Dataset& data, const std::vector<size_t>& rows,
+                        double min_gain) {
+  int64_t total = static_cast<int64_t>(rows.size());
+  int64_t total_pos = 0;
+  for (size_t r : rows) total_pos += data.label(r) ? 1 : 0;
+  double parent_impurity = Gini(total_pos, total);
+
+  BestSplit best;
+  std::vector<std::pair<int64_t, bool>> column(rows.size());
+  for (int f = 0; f < data.num_features(); ++f) {
+    for (size_t i = 0; i < rows.size(); ++i) {
+      column[i] = {data.features(rows[i])[static_cast<size_t>(f)],
+                   data.label(rows[i])};
+    }
+    std::sort(column.begin(), column.end());
+    // Sweep: candidate thresholds between distinct consecutive values.
+    int64_t left_n = 0, left_pos = 0;
+    for (size_t i = 0; i + 1 < column.size(); ++i) {
+      ++left_n;
+      left_pos += column[i].second ? 1 : 0;
+      if (column[i].first == column[i + 1].first) continue;
+      int64_t right_n = total - left_n;
+      int64_t right_pos = total_pos - left_pos;
+      double weighted =
+          (static_cast<double>(left_n) * Gini(left_pos, left_n) +
+           static_cast<double>(right_n) * Gini(right_pos, right_n)) /
+          static_cast<double>(total);
+      double gain = parent_impurity - weighted;
+      if (gain > best.gain + 1e-15 && gain >= min_gain) {
+        best.found = true;
+        best.feature = f;
+        best.threshold = column[i].first;  // goes left if value <= threshold
+        best.gain = gain;
+      }
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+DecisionTree DecisionTree::Train(const Dataset& data,
+                                 const DecisionTreeOptions& options) {
+  DecisionTree tree;
+
+  // Recursive builder over row-index subsets; returns node index.
+  std::function<int32_t(const std::vector<size_t>&, int)> build =
+      [&](const std::vector<size_t>& rows, int depth) -> int32_t {
+    Node node;
+    node.num_samples = static_cast<int64_t>(rows.size());
+    for (size_t r : rows) node.num_positive += data.label(r) ? 1 : 0;
+    node.prediction = node.num_positive * 2 >= node.num_samples &&
+                      node.num_samples > 0;
+
+    bool pure = node.num_positive == 0 || node.num_positive == node.num_samples;
+    if (!pure && depth < options.max_depth &&
+        node.num_samples >= options.min_samples_split) {
+      BestSplit split = FindBestSplit(data, rows, options.min_gain);
+      if (split.found) {
+        std::vector<size_t> left_rows, right_rows;
+        for (size_t r : rows) {
+          if (data.features(r)[static_cast<size_t>(split.feature)] <=
+              split.threshold) {
+            left_rows.push_back(r);
+          } else {
+            right_rows.push_back(r);
+          }
+        }
+        PROCMINE_CHECK(!left_rows.empty() && !right_rows.empty());
+        if (static_cast<int64_t>(left_rows.size()) <
+                options.min_samples_leaf ||
+            static_cast<int64_t>(right_rows.size()) <
+                options.min_samples_leaf) {
+          node.is_leaf = true;
+          tree.nodes_.push_back(node);
+          return static_cast<int32_t>(tree.nodes_.size() - 1);
+        }
+        node.is_leaf = false;
+        node.feature = split.feature;
+        node.threshold = split.threshold;
+        int32_t self = static_cast<int32_t>(tree.nodes_.size());
+        tree.nodes_.push_back(node);
+        int32_t left = build(left_rows, depth + 1);
+        int32_t right = build(right_rows, depth + 1);
+        tree.nodes_[static_cast<size_t>(self)].left = left;
+        tree.nodes_[static_cast<size_t>(self)].right = right;
+        return self;
+      }
+    }
+    node.is_leaf = true;
+    tree.nodes_.push_back(node);
+    return static_cast<int32_t>(tree.nodes_.size() - 1);
+  };
+
+  std::vector<size_t> all(data.size());
+  for (size_t i = 0; i < data.size(); ++i) all[i] = i;
+  build(all, 0);
+  return tree;
+}
+
+bool DecisionTree::Predict(const std::vector<int64_t>& features) const {
+  int32_t idx = 0;
+  for (;;) {
+    const Node& node = nodes_[static_cast<size_t>(idx)];
+    if (node.is_leaf) return node.prediction;
+    int64_t value = static_cast<size_t>(node.feature) < features.size()
+                        ? features[static_cast<size_t>(node.feature)]
+                        : 0;
+    idx = value <= node.threshold ? node.left : node.right;
+  }
+}
+
+std::string DecisionTree::ToString() const {
+  std::ostringstream out;
+  std::function<void(int32_t, int)> print = [&](int32_t idx, int indent) {
+    const Node& node = nodes_[static_cast<size_t>(idx)];
+    std::string pad(static_cast<size_t>(indent) * 2, ' ');
+    if (node.is_leaf) {
+      out << pad << "predict " << (node.prediction ? "true" : "false")
+          << "  [" << node.num_positive << "/" << node.num_samples << "]\n";
+      return;
+    }
+    out << pad << "if o[" << node.feature << "] <= " << node.threshold
+        << ":\n";
+    print(node.left, indent + 1);
+    out << pad << "else:\n";
+    print(node.right, indent + 1);
+  };
+  if (!nodes_.empty()) print(0, 0);
+  return out.str();
+}
+
+int DecisionTree::depth() const {
+  std::function<int(int32_t)> walk = [&](int32_t idx) -> int {
+    const Node& node = nodes_[static_cast<size_t>(idx)];
+    if (node.is_leaf) return 1;
+    return 1 + std::max(walk(node.left), walk(node.right));
+  };
+  return nodes_.empty() ? 0 : walk(0);
+}
+
+int64_t DecisionTree::num_leaves() const {
+  int64_t n = 0;
+  for (const Node& node : nodes_) n += node.is_leaf ? 1 : 0;
+  return n;
+}
+
+DecisionTree PruneReducedError(const DecisionTree& tree,
+                               const Dataset& validation) {
+  if (tree.nodes_.empty()) return tree;
+
+  // Route every validation row and tally per-node (reached, positive).
+  const size_t n = tree.nodes_.size();
+  std::vector<int64_t> reached(n, 0), positive(n, 0);
+  for (size_t r = 0; r < validation.size(); ++r) {
+    const std::vector<int64_t>& features = validation.features(r);
+    bool label = validation.label(r);
+    int32_t idx = tree.root();
+    for (;;) {
+      ++reached[static_cast<size_t>(idx)];
+      positive[static_cast<size_t>(idx)] += label ? 1 : 0;
+      const DecisionTree::Node& node = tree.nodes_[static_cast<size_t>(idx)];
+      if (node.is_leaf) break;
+      int64_t value = static_cast<size_t>(node.feature) < features.size()
+                          ? features[static_cast<size_t>(node.feature)]
+                          : 0;
+      idx = value <= node.threshold ? node.left : node.right;
+    }
+  }
+
+  // Bottom-up: decide for each node whether its subtree survives; returns
+  // the subtree's validation error count (after pruning decisions below).
+  std::vector<bool> collapse(n, false);
+  std::function<int64_t(int32_t)> resolve = [&](int32_t idx) -> int64_t {
+    const DecisionTree::Node& node = tree.nodes_[static_cast<size_t>(idx)];
+    int64_t here_reached = reached[static_cast<size_t>(idx)];
+    int64_t here_positive = positive[static_cast<size_t>(idx)];
+    // Error if this node were a leaf predicting its TRAINING majority.
+    int64_t leaf_error =
+        node.prediction ? here_reached - here_positive : here_positive;
+    if (node.is_leaf) return leaf_error;
+    int64_t subtree_error = resolve(node.left) + resolve(node.right);
+    if (leaf_error <= subtree_error) {
+      collapse[static_cast<size_t>(idx)] = true;
+      return leaf_error;
+    }
+    return subtree_error;
+  };
+  resolve(tree.root());
+
+  // Re-pack surviving nodes.
+  DecisionTree pruned;
+  std::function<int32_t(int32_t)> copy = [&](int32_t idx) -> int32_t {
+    DecisionTree::Node node = tree.nodes_[static_cast<size_t>(idx)];
+    if (collapse[static_cast<size_t>(idx)]) {
+      node.is_leaf = true;
+      node.left = node.right = -1;
+      node.feature = -1;
+    }
+    int32_t self = static_cast<int32_t>(pruned.nodes_.size());
+    pruned.nodes_.push_back(node);
+    if (!node.is_leaf) {
+      int32_t left = copy(tree.nodes_[static_cast<size_t>(idx)].left);
+      int32_t right = copy(tree.nodes_[static_cast<size_t>(idx)].right);
+      pruned.nodes_[static_cast<size_t>(self)].left = left;
+      pruned.nodes_[static_cast<size_t>(self)].right = right;
+    }
+    return self;
+  };
+  copy(tree.root());
+  return pruned;
+}
+
+}  // namespace procmine

@@ -1,0 +1,70 @@
+// DecisionTree: a from-scratch CART-style binary decision tree over int64
+// features — the [WK91] classifier substrate of Section 7. Splits are
+// axis-aligned thresholds (feature <= t), chosen to minimize weighted Gini
+// impurity; leaves predict the majority class.
+
+#ifndef PROCMINE_CLASSIFY_DECISION_TREE_H_
+#define PROCMINE_CLASSIFY_DECISION_TREE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "classify/dataset.h"
+
+namespace procmine {
+
+struct DecisionTreeOptions {
+  int max_depth = 8;
+  int64_t min_samples_split = 2;
+  /// Both children of a split must keep at least this many samples.
+  int64_t min_samples_leaf = 1;
+  /// A split must reduce impurity by at least this much.
+  double min_gain = 1e-9;
+};
+
+/// Trained binary decision tree.
+class DecisionTree {
+ public:
+  /// One tree node; children indexed into the flat node array.
+  struct Node {
+    bool is_leaf = true;
+    bool prediction = false;       ///< leaves
+    int feature = -1;              ///< internal: split feature
+    int64_t threshold = 0;         ///< internal: goes left if f <= threshold
+    int32_t left = -1;
+    int32_t right = -1;
+    int64_t num_samples = 0;
+    int64_t num_positive = 0;
+  };
+
+  /// Learns a tree from `data`. An empty dataset yields a single
+  /// false-predicting leaf.
+  static DecisionTree Train(const Dataset& data,
+                            const DecisionTreeOptions& options = {});
+
+  bool Predict(const std::vector<int64_t>& features) const;
+
+  /// Indented if/else rendering for inspection.
+  std::string ToString() const;
+
+  const std::vector<Node>& nodes() const { return nodes_; }
+  int32_t root() const { return 0; }
+  int depth() const;
+  int64_t num_leaves() const;
+
+ private:
+  friend DecisionTree PruneReducedError(const DecisionTree&, const Dataset&);
+  std::vector<Node> nodes_;
+};
+
+/// Reduced-error pruning: bottom-up, every internal node whose subtree does
+/// not beat a majority leaf on `validation` is collapsed. Returns the
+/// pruned tree (node indices are re-packed); never increases validation
+/// error, and typically simplifies the extracted rules substantially.
+DecisionTree PruneReducedError(const DecisionTree& tree,
+                               const Dataset& validation);
+
+}  // namespace procmine
+
+#endif  // PROCMINE_CLASSIFY_DECISION_TREE_H_

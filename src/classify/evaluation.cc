@@ -1,0 +1,51 @@
+#include "classify/evaluation.h"
+
+#include <vector>
+
+#include "util/logging.h"
+
+namespace procmine {
+
+Confusion Evaluate(const DecisionTree& tree, const Dataset& data) {
+  Confusion c;
+  for (size_t i = 0; i < data.size(); ++i) {
+    bool predicted = tree.Predict(data.features(i));
+    bool actual = data.label(i);
+    if (predicted && actual) ++c.true_positive;
+    if (predicted && !actual) ++c.false_positive;
+    if (!predicted && actual) ++c.false_negative;
+    if (!predicted && !actual) ++c.true_negative;
+  }
+  return c;
+}
+
+double CrossValidateAccuracy(const Dataset& data,
+                             const DecisionTreeOptions& options, int folds,
+                             uint64_t seed) {
+  PROCMINE_CHECK_GE(folds, 2);
+  if (data.empty()) return 1.0;
+
+  // Random fold assignment.
+  Rng rng(seed);
+  std::vector<int> fold_of(data.size());
+  for (size_t i = 0; i < data.size(); ++i) {
+    fold_of[i] = static_cast<int>(rng.Uniform(static_cast<uint64_t>(folds)));
+  }
+
+  int64_t correct = 0;
+  for (int fold = 0; fold < folds; ++fold) {
+    Dataset train(data.num_features());
+    Dataset test(data.num_features());
+    for (size_t i = 0; i < data.size(); ++i) {
+      (fold_of[i] == fold ? test : train).Add(data.features(i),
+                                              data.label(i));
+    }
+    if (test.empty()) continue;
+    DecisionTree tree = DecisionTree::Train(train, options);
+    Confusion c = Evaluate(tree, test);
+    correct += c.true_positive + c.true_negative;
+  }
+  return static_cast<double>(correct) / static_cast<double>(data.size());
+}
+
+}  // namespace procmine

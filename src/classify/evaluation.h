@@ -1,0 +1,53 @@
+// Classifier evaluation: accuracy, confusion counts, and k-fold cross
+// validation over a Dataset.
+
+#ifndef PROCMINE_CLASSIFY_EVALUATION_H_
+#define PROCMINE_CLASSIFY_EVALUATION_H_
+
+#include <cstdint>
+
+#include "classify/dataset.h"
+#include "classify/decision_tree.h"
+
+namespace procmine {
+
+struct Confusion {
+  int64_t true_positive = 0;
+  int64_t true_negative = 0;
+  int64_t false_positive = 0;
+  int64_t false_negative = 0;
+
+  int64_t total() const {
+    return true_positive + true_negative + false_positive + false_negative;
+  }
+  double Accuracy() const {
+    return total() == 0
+               ? 1.0
+               : static_cast<double>(true_positive + true_negative) /
+                     static_cast<double>(total());
+  }
+  double Precision() const {
+    int64_t p = true_positive + false_positive;
+    return p == 0 ? 1.0
+                  : static_cast<double>(true_positive) /
+                        static_cast<double>(p);
+  }
+  double Recall() const {
+    int64_t p = true_positive + false_negative;
+    return p == 0 ? 1.0
+                  : static_cast<double>(true_positive) /
+                        static_cast<double>(p);
+  }
+};
+
+/// Evaluates `tree` on every row of `data`.
+Confusion Evaluate(const DecisionTree& tree, const Dataset& data);
+
+/// Mean k-fold cross-validated accuracy of trees trained with `options`.
+double CrossValidateAccuracy(const Dataset& data,
+                             const DecisionTreeOptions& options, int folds,
+                             uint64_t seed);
+
+}  // namespace procmine
+
+#endif  // PROCMINE_CLASSIFY_EVALUATION_H_

@@ -1,0 +1,97 @@
+#include "classify/rules.h"
+
+#include <algorithm>
+#include <functional>
+#include <limits>
+#include <map>
+#include <sstream>
+
+#include "util/strings.h"
+
+namespace procmine {
+
+std::string ConjunctiveRule::ToString() const {
+  if (literals.empty()) return "true";
+  std::ostringstream out;
+  for (size_t i = 0; i < literals.size(); ++i) {
+    if (i > 0) out << " and ";
+    const RuleLiteral& lit = literals[i];
+    out << "o[" << lit.feature << "] " << (lit.is_le ? "<=" : ">") << " "
+        << lit.threshold;
+  }
+  return out.str();
+}
+
+namespace {
+
+/// Collapses repeated bounds on one feature to the tightest upper (<=) and
+/// lower (>) bound.
+std::vector<RuleLiteral> Simplify(const std::vector<RuleLiteral>& path) {
+  std::map<int, int64_t> upper;  // feature -> min of <= thresholds
+  std::map<int, int64_t> lower;  // feature -> max of > thresholds
+  for (const RuleLiteral& lit : path) {
+    if (lit.is_le) {
+      auto [it, inserted] = upper.emplace(lit.feature, lit.threshold);
+      if (!inserted) it->second = std::min(it->second, lit.threshold);
+    } else {
+      auto [it, inserted] = lower.emplace(lit.feature, lit.threshold);
+      if (!inserted) it->second = std::max(it->second, lit.threshold);
+    }
+  }
+  std::vector<RuleLiteral> out;
+  for (const auto& [feature, t] : lower) {
+    out.push_back(RuleLiteral{feature, false, t});
+  }
+  for (const auto& [feature, t] : upper) {
+    out.push_back(RuleLiteral{feature, true, t});
+  }
+  std::sort(out.begin(), out.end(), [](const RuleLiteral& a,
+                                       const RuleLiteral& b) {
+    if (a.feature != b.feature) return a.feature < b.feature;
+    return a.is_le < b.is_le;
+  });
+  return out;
+}
+
+}  // namespace
+
+std::vector<ConjunctiveRule> ExtractPositiveRules(const DecisionTree& tree) {
+  std::vector<ConjunctiveRule> rules;
+  std::vector<RuleLiteral> path;
+  std::function<void(int32_t)> walk = [&](int32_t idx) {
+    const DecisionTree::Node& node = tree.nodes()[static_cast<size_t>(idx)];
+    if (node.is_leaf) {
+      if (node.prediction) {
+        ConjunctiveRule rule;
+        rule.literals = Simplify(path);
+        rule.support = node.num_samples;
+        rule.positives = node.num_positive;
+        rules.push_back(std::move(rule));
+      }
+      return;
+    }
+    path.push_back(RuleLiteral{node.feature, true, node.threshold});
+    walk(node.left);
+    path.back().is_le = false;
+    walk(node.right);
+    path.pop_back();
+  };
+  if (!tree.nodes().empty()) walk(tree.root());
+  return rules;
+}
+
+std::string RuleSetToString(const std::vector<ConjunctiveRule>& rules) {
+  if (rules.empty()) return "false";
+  std::ostringstream out;
+  for (size_t i = 0; i < rules.size(); ++i) {
+    if (i > 0) out << " or ";
+    if (rules.size() > 1 && !rules[i].literals.empty()) {
+      out << "(" << rules[i].ToString() << ")";
+    } else {
+      out << rules[i].ToString();
+    }
+  }
+  return out.str();
+}
+
+}  // namespace procmine

@@ -1,0 +1,44 @@
+// Rule extraction: flattens a decision tree into disjunctive-normal-form
+// rules — Section 7: "the use of a decision tree classifier will give a set
+// of simple rules that classify when a given activity is taken or not."
+// Each root-to-positive-leaf path becomes one conjunctive rule.
+
+#ifndef PROCMINE_CLASSIFY_RULES_H_
+#define PROCMINE_CLASSIFY_RULES_H_
+
+#include <string>
+#include <vector>
+
+#include "classify/decision_tree.h"
+
+namespace procmine {
+
+/// One literal of a conjunctive rule: o[feature] <= threshold or
+/// o[feature] > threshold.
+struct RuleLiteral {
+  int feature;
+  bool is_le;  ///< true: <=, false: >
+  int64_t threshold;
+};
+
+/// A conjunction of literals implying a positive prediction.
+struct ConjunctiveRule {
+  std::vector<RuleLiteral> literals;
+  int64_t support = 0;       ///< training rows reaching the leaf
+  int64_t positives = 0;     ///< positive training rows at the leaf
+
+  std::string ToString() const;
+};
+
+/// Extracts the positive-leaf rules of `tree`, redundant literals merged
+/// (multiple bounds on the same feature collapse to the tightest ones).
+std::vector<ConjunctiveRule> ExtractPositiveRules(const DecisionTree& tree);
+
+/// Renders the whole rule set as a DNF string, e.g.
+/// "(o[0] > 5 and o[1] <= 2) or (o[0] <= 3)". An empty rule set renders as
+/// "false"; a rule with no literals as "true".
+std::string RuleSetToString(const std::vector<ConjunctiveRule>& rules);
+
+}  // namespace procmine
+
+#endif  // PROCMINE_CLASSIFY_RULES_H_

@@ -1,0 +1,165 @@
+#include "flowmark/processes.h"
+
+#include "util/logging.h"
+
+namespace procmine {
+
+namespace {
+
+/// Builds a definition from a named edge list, gives every activity one
+/// uniform output parameter in [0, 100), and checks the vertex/edge counts
+/// against the Table 3 row being simulated.
+ProcessDefinition MakeDefinition(
+    const std::vector<std::pair<std::string, std::string>>& edges,
+    int64_t expect_vertices, int64_t expect_edges) {
+  ProcessGraph graph = ProcessGraph::FromNamedEdges(edges);
+  PROCMINE_CHECK_EQ(static_cast<int64_t>(graph.num_activities()),
+                    expect_vertices);
+  PROCMINE_CHECK_EQ(graph.graph().num_edges(), expect_edges);
+  ProcessDefinition def(std::move(graph));
+  for (NodeId v = 0; v < def.num_activities(); ++v) {
+    def.SetOutputSpec(v, OutputSpec::Uniform(1, 0, 99));
+  }
+  PROCMINE_CHECK(def.Validate().ok());
+  return def;
+}
+
+/// Shorthand for a one-parameter threshold condition o[0] op value.
+Condition C(CmpOp op, int64_t value) {
+  return Condition::Compare(0, op, value);
+}
+
+}  // namespace
+
+ProcessDefinition MakeUploadAndNotify() {
+  ProcessDefinition def = MakeDefinition(
+      {
+          {"Start", "Validate"},
+          {"Validate", "Upload"},
+          {"Upload", "Notify_Admin"},
+          {"Upload", "Notify_User"},
+          {"Notify_Admin", "Log_Result"},
+          {"Notify_User", "Log_Result"},
+          {"Log_Result", "End"},
+      },
+      /*expect_vertices=*/7, /*expect_edges=*/7);
+  // Large uploads page the admin, small ones mail the user; exactly one
+  // branch fires, so Log_Result always runs (OR join).
+  const ProcessGraph& g = def.process_graph();
+  NodeId upload = g.FindActivity("Upload").ValueOrDie();
+  def.SetCondition(upload, g.FindActivity("Notify_Admin").ValueOrDie(),
+                   C(CmpOp::kGe, 50));
+  def.SetCondition(upload, g.FindActivity("Notify_User").ValueOrDie(),
+                   C(CmpOp::kLt, 50));
+  return def;
+}
+
+ProcessDefinition MakeStressSleep() {
+  ProcessDefinition def = MakeDefinition(
+      {
+          {"Start", "Prep_CPU"},
+          {"Start", "Prep_IO"},
+          {"Start", "Prep_Mem"},
+          {"Prep_CPU", "Work_1"},
+          {"Prep_CPU", "Work_2"},
+          {"Prep_IO", "Work_2"},
+          {"Prep_IO", "Work_3"},
+          {"Prep_Mem", "Work_3"},
+          {"Prep_Mem", "Work_4"},
+          {"Work_1", "Check_1"},
+          {"Work_1", "Check_2"},
+          {"Work_2", "Check_1"},
+          {"Work_2", "Check_2"},
+          {"Work_3", "Check_2"},
+          {"Work_3", "Check_3"},
+          {"Work_4", "Check_2"},
+          {"Work_4", "Check_3"},
+          {"Check_1", "Report_1"},
+          {"Check_2", "Report_1"},
+          {"Check_2", "Report_2"},
+          {"Check_3", "Report_2"},
+          {"Report_1", "End"},
+          {"Report_2", "End"},
+      },
+      /*expect_vertices=*/14, /*expect_edges=*/23);
+  // All edges unconditional: every execution exercises all 14 activities in
+  // varying parallel orders — the stress shape.
+  return def;
+}
+
+ProcessDefinition MakePendBlock() {
+  ProcessDefinition def = MakeDefinition(
+      {
+          {"Start", "Check"},
+          {"Check", "Pend"},
+          {"Check", "Block"},
+          {"Check", "Resolve"},
+          {"Pend", "Resolve"},
+          {"Block", "Resolve"},
+          {"Resolve", "End"},
+      },
+      /*expect_vertices=*/6, /*expect_edges=*/7);
+  const ProcessGraph& g = def.process_graph();
+  NodeId check = g.FindActivity("Check").ValueOrDie();
+  // Low scores pend, high scores block, the middle band resolves directly.
+  def.SetCondition(check, g.FindActivity("Pend").ValueOrDie(),
+                   C(CmpOp::kLt, 33));
+  def.SetCondition(check, g.FindActivity("Block").ValueOrDie(),
+                   C(CmpOp::kGe, 66));
+  def.SetCondition(check, g.FindActivity("Resolve").ValueOrDie(),
+                   Condition::And(C(CmpOp::kGe, 33), C(CmpOp::kLt, 66)));
+  return def;
+}
+
+ProcessDefinition MakeLocalSwap() {
+  ProcessDefinition def = MakeDefinition(
+      {
+          {"Start", "Init"},
+          {"Init", "Lock"},
+          {"Lock", "Read_Src"},
+          {"Read_Src", "Read_Dst"},
+          {"Read_Dst", "Swap"},
+          {"Swap", "Verify"},
+          {"Verify", "Write_Src"},
+          {"Write_Src", "Write_Dst"},
+          {"Write_Dst", "Unlock"},
+          {"Unlock", "Log"},
+          {"Log", "End"},
+      },
+      /*expect_vertices=*/12, /*expect_edges=*/11);
+  return def;  // strictly sequential: all conditions true
+}
+
+ProcessDefinition MakeUwiPilot() {
+  ProcessDefinition def = MakeDefinition(
+      {
+          {"Start", "Register"},
+          {"Register", "Review"},
+          {"Review", "Approve"},
+          {"Review", "Reject"},
+          {"Approve", "Finalize"},
+          {"Reject", "Finalize"},
+          {"Finalize", "End"},
+      },
+      /*expect_vertices=*/7, /*expect_edges=*/7);
+  const ProcessGraph& g = def.process_graph();
+  NodeId review = g.FindActivity("Review").ValueOrDie();
+  def.SetCondition(review, g.FindActivity("Approve").ValueOrDie(),
+                   C(CmpOp::kGe, 40));
+  def.SetCondition(review, g.FindActivity("Reject").ValueOrDie(),
+                   C(CmpOp::kLt, 40));
+  return def;
+}
+
+std::vector<FlowmarkProcess> AllFlowmarkProcesses() {
+  std::vector<FlowmarkProcess> all;
+  all.push_back({"Upload_and_Notify", MakeUploadAndNotify(), 7, 7, 134, 792,
+                 11.5});
+  all.push_back({"StressSleep", MakeStressSleep(), 14, 23, 160, 3685, 111.7});
+  all.push_back({"Pend_Block", MakePendBlock(), 6, 7, 121, 505, 6.3});
+  all.push_back({"Local_Swap", MakeLocalSwap(), 12, 11, 24, 463, 5.7});
+  all.push_back({"UWI_Pilot", MakeUwiPilot(), 7, 7, 134, 779, 11.8});
+  return all;
+}
+
+}  // namespace procmine

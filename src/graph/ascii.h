@@ -1,0 +1,33 @@
+// ASCII rendering of process graphs for terminal output: vertices grouped
+// into longest-path layers (the order a left-to-right drawing would use),
+// followed by the adjacency. Cyclic graphs are rendered over their SCC
+// condensation, with cycle members layered together.
+
+#ifndef PROCMINE_GRAPH_ASCII_H_
+#define PROCMINE_GRAPH_ASCII_H_
+
+#include <string>
+#include <vector>
+
+#include "graph/digraph.h"
+
+namespace procmine {
+
+/// Longest-path layer index per vertex (sources at layer 0). Vertices in
+/// one strongly connected component share a layer.
+std::vector<int32_t> LayerAssignment(const DirectedGraph& g);
+
+/// Terminal rendering:
+///   layer 0: Start
+///   layer 1: Check
+///   layer 2: Pend | Block
+///   ...
+///   Start -> Check
+///   Check -> Pend | Block | Resolve
+/// Vertices with no incident edges are omitted.
+std::string RenderAscii(const DirectedGraph& g,
+                        const std::vector<std::string>& names);
+
+}  // namespace procmine
+
+#endif  // PROCMINE_GRAPH_ASCII_H_

@@ -1,0 +1,39 @@
+#include "graph/compare.h"
+
+#include "graph/algorithms.h"
+
+namespace procmine {
+
+GraphComparison CompareEdgeSets(const DirectedGraph& truth,
+                                const DirectedGraph& mined) {
+  GraphComparison cmp;
+  cmp.truth_edges = truth.num_edges();
+  cmp.mined_edges = mined.num_edges();
+  for (const Edge& e : truth.Edges()) {
+    if (e.from < mined.num_nodes() && e.to < mined.num_nodes() &&
+        mined.HasEdge(e.from, e.to)) {
+      ++cmp.common_edges;
+    }
+  }
+  cmp.missing_edges = cmp.truth_edges - cmp.common_edges;
+  cmp.spurious_edges = cmp.mined_edges - cmp.common_edges;
+  return cmp;
+}
+
+GraphComparison CompareClosures(const DirectedGraph& truth,
+                                const DirectedGraph& mined) {
+  return CompareEdgeSets(TransitiveClosure(truth), TransitiveClosure(mined));
+}
+
+std::vector<Edge> EdgeDifference(const DirectedGraph& a,
+                                 const DirectedGraph& b) {
+  std::vector<Edge> out;
+  for (const Edge& e : a.Edges()) {
+    bool in_b = e.from < b.num_nodes() && e.to < b.num_nodes() &&
+                b.HasEdge(e.from, e.to);
+    if (!in_b) out.push_back(e);
+  }
+  return out;
+}
+
+}  // namespace procmine

@@ -1,0 +1,63 @@
+// Edge-set comparison between a mined graph and the ground-truth graph.
+//
+// Section 8.1 of the paper validates mined graphs "by programmatically
+// comparing the edge-set of the two graphs"; Table 2 reports edge counts.
+// These helpers compute that comparison plus precision/recall metrics.
+
+#ifndef PROCMINE_GRAPH_COMPARE_H_
+#define PROCMINE_GRAPH_COMPARE_H_
+
+#include <vector>
+
+#include "graph/digraph.h"
+
+namespace procmine {
+
+/// Outcome of comparing a mined graph against the truth.
+struct GraphComparison {
+  int64_t truth_edges = 0;       ///< "Edges present" in Table 2
+  int64_t mined_edges = 0;       ///< "Edges found" in Table 2
+  int64_t common_edges = 0;      ///< edges in both
+  int64_t missing_edges = 0;     ///< in truth, not mined
+  int64_t spurious_edges = 0;    ///< mined, not in truth
+
+  bool ExactMatch() const {
+    return missing_edges == 0 && spurious_edges == 0;
+  }
+  /// True iff the mined graph contains every truth edge (may add extras);
+  /// the 50-vertex case of Table 2 converges to such a supergraph.
+  bool IsSupergraph() const { return missing_edges == 0; }
+
+  double Precision() const {
+    return mined_edges == 0 ? 1.0
+                            : static_cast<double>(common_edges) /
+                                  static_cast<double>(mined_edges);
+  }
+  double Recall() const {
+    return truth_edges == 0 ? 1.0
+                            : static_cast<double>(common_edges) /
+                                  static_cast<double>(truth_edges);
+  }
+  double F1() const {
+    double p = Precision(), r = Recall();
+    return (p + r) == 0 ? 0.0 : 2 * p * r / (p + r);
+  }
+};
+
+/// Compares edge sets directly. Vertex ids must refer to the same activities
+/// in both graphs.
+GraphComparison CompareEdgeSets(const DirectedGraph& truth,
+                                const DirectedGraph& mined);
+
+/// Compares the *dependency structure*: transitive closures instead of raw
+/// edges, so two graphs that encode the same partial order compare equal.
+GraphComparison CompareClosures(const DirectedGraph& truth,
+                                const DirectedGraph& mined);
+
+/// Edges present in `a` but not `b`, sorted.
+std::vector<Edge> EdgeDifference(const DirectedGraph& a,
+                                 const DirectedGraph& b);
+
+}  // namespace procmine
+
+#endif  // PROCMINE_GRAPH_COMPARE_H_

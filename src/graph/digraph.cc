@@ -1,0 +1,68 @@
+#include "graph/digraph.h"
+
+#include <algorithm>
+
+namespace procmine {
+
+DirectedGraph DirectedGraph::FromEdges(NodeId num_nodes,
+                                       const std::vector<Edge>& edges) {
+  NodeId max_id = num_nodes - 1;
+  for (const Edge& e : edges) {
+    max_id = std::max(max_id, std::max(e.from, e.to));
+  }
+  DirectedGraph g(max_id + 1);
+  for (const Edge& e : edges) g.AddEdge(e.from, e.to);
+  return g;
+}
+
+void DirectedGraph::Resize(NodeId num_nodes) {
+  PROCMINE_CHECK_GE(num_nodes, 0);
+  if (num_nodes > this->num_nodes()) {
+    out_.resize(static_cast<size_t>(num_nodes));
+    in_.resize(static_cast<size_t>(num_nodes));
+  }
+}
+
+NodeId DirectedGraph::AddNode() {
+  out_.emplace_back();
+  in_.emplace_back();
+  return static_cast<NodeId>(out_.size() - 1);
+}
+
+bool DirectedGraph::AddEdge(NodeId from, NodeId to) {
+  PROCMINE_DCHECK(from >= 0 && from < num_nodes());
+  PROCMINE_DCHECK(to >= 0 && to < num_nodes());
+  if (!edge_set_.insert(PackEdge(from, to)).second) return false;
+  out_[static_cast<size_t>(from)].push_back(to);
+  in_[static_cast<size_t>(to)].push_back(from);
+  return true;
+}
+
+bool DirectedGraph::RemoveEdge(NodeId from, NodeId to) {
+  if (edge_set_.erase(PackEdge(from, to)) == 0) return false;
+  auto& succ = out_[static_cast<size_t>(from)];
+  succ.erase(std::find(succ.begin(), succ.end(), to));
+  auto& pred = in_[static_cast<size_t>(to)];
+  pred.erase(std::find(pred.begin(), pred.end(), from));
+  return true;
+}
+
+std::vector<Edge> DirectedGraph::Edges() const {
+  std::vector<Edge> edges;
+  edges.reserve(edge_set_.size());
+  for (uint64_t key : edge_set_) edges.push_back(UnpackEdge(key));
+  std::sort(edges.begin(), edges.end());
+  return edges;
+}
+
+void DirectedGraph::ClearEdges() {
+  for (auto& v : out_) v.clear();
+  for (auto& v : in_) v.clear();
+  edge_set_.clear();
+}
+
+bool operator==(const DirectedGraph& a, const DirectedGraph& b) {
+  return a.num_nodes() == b.num_nodes() && a.edge_set_ == b.edge_set_;
+}
+
+}  // namespace procmine

@@ -1,0 +1,117 @@
+// DirectedGraph: the mutable directed-graph representation all mining
+// algorithms operate on.
+//
+// Vertices are dense int32 ids [0, num_nodes). The structure keeps both
+// adjacency lists (for traversal) and a hash set of packed edges (for O(1)
+// HasEdge / RemoveEdge), because the paper's algorithms interleave bulk
+// traversal with point deletions (steps 3-6 of Algorithms 1-3).
+
+#ifndef PROCMINE_GRAPH_DIGRAPH_H_
+#define PROCMINE_GRAPH_DIGRAPH_H_
+
+#include <cstdint>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace procmine {
+
+/// Dense vertex id.
+using NodeId = int32_t;
+
+/// A directed edge (from, to).
+struct Edge {
+  NodeId from;
+  NodeId to;
+
+  friend bool operator==(const Edge& a, const Edge& b) {
+    return a.from == b.from && a.to == b.to;
+  }
+  friend bool operator<(const Edge& a, const Edge& b) {
+    return a.from != b.from ? a.from < b.from : a.to < b.to;
+  }
+};
+
+/// Packs an edge into a single 64-bit key for hashing.
+inline uint64_t PackEdge(NodeId from, NodeId to) {
+  return (static_cast<uint64_t>(static_cast<uint32_t>(from)) << 32) |
+         static_cast<uint32_t>(to);
+}
+inline Edge UnpackEdge(uint64_t key) {
+  return Edge{static_cast<NodeId>(key >> 32),
+              static_cast<NodeId>(key & 0xffffffffULL)};
+}
+
+/// Mutable directed graph over dense vertex ids. Parallel edges are not
+/// representable; self loops are allowed (needed for the cyclic miner's
+/// merged graphs).
+class DirectedGraph {
+ public:
+  DirectedGraph() = default;
+
+  /// Creates a graph with `num_nodes` isolated vertices.
+  explicit DirectedGraph(NodeId num_nodes) { Resize(num_nodes); }
+
+  /// Creates a graph from an edge list; node count is max id + 1 unless a
+  /// larger `num_nodes` is given.
+  static DirectedGraph FromEdges(NodeId num_nodes,
+                                 const std::vector<Edge>& edges);
+
+  /// Grows the vertex set to `num_nodes` (never shrinks).
+  void Resize(NodeId num_nodes);
+
+  /// Adds a vertex and returns its id.
+  NodeId AddNode();
+
+  NodeId num_nodes() const { return static_cast<NodeId>(out_.size()); }
+  int64_t num_edges() const { return static_cast<int64_t>(edge_set_.size()); }
+
+  /// Adds edge (from, to). Returns false if it already existed.
+  bool AddEdge(NodeId from, NodeId to);
+
+  /// Removes edge (from, to). Returns false if it did not exist.
+  bool RemoveEdge(NodeId from, NodeId to);
+
+  bool HasEdge(NodeId from, NodeId to) const {
+    return edge_set_.count(PackEdge(from, to)) > 0;
+  }
+
+  /// Successors of `v` (order unspecified; stable between mutations).
+  const std::vector<NodeId>& OutNeighbors(NodeId v) const {
+    PROCMINE_DCHECK(v >= 0 && v < num_nodes());
+    return out_[static_cast<size_t>(v)];
+  }
+
+  /// Predecessors of `v`.
+  const std::vector<NodeId>& InNeighbors(NodeId v) const {
+    PROCMINE_DCHECK(v >= 0 && v < num_nodes());
+    return in_[static_cast<size_t>(v)];
+  }
+
+  int64_t OutDegree(NodeId v) const {
+    return static_cast<int64_t>(OutNeighbors(v).size());
+  }
+  int64_t InDegree(NodeId v) const {
+    return static_cast<int64_t>(InNeighbors(v).size());
+  }
+
+  /// All edges, sorted by (from, to). O(E log E).
+  std::vector<Edge> Edges() const;
+
+  /// Removes every edge, keeping the vertex set.
+  void ClearEdges();
+
+  /// Structural equality: same vertex count and same edge set.
+  friend bool operator==(const DirectedGraph& a, const DirectedGraph& b);
+
+ private:
+  std::vector<std::vector<NodeId>> out_;
+  std::vector<std::vector<NodeId>> in_;
+  std::unordered_set<uint64_t> edge_set_;
+};
+
+}  // namespace procmine
+
+#endif  // PROCMINE_GRAPH_DIGRAPH_H_

@@ -1,0 +1,64 @@
+#include "graph/dot.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace procmine {
+
+namespace {
+std::string Quote(const std::string& s) {
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+}  // namespace
+
+std::string ToDot(const DirectedGraph& g,
+                  const std::vector<std::string>& labels,
+                  const DotOptions& options, bool include_isolated) {
+  auto name_of = [&](NodeId v) -> std::string {
+    if (static_cast<size_t>(v) < labels.size()) {
+      return labels[static_cast<size_t>(v)];
+    }
+    return "n" + std::to_string(v);
+  };
+
+  std::ostringstream out;
+  out << "digraph " << Quote(options.graph_name) << " {\n";
+  if (options.rankdir_lr) out << "  rankdir=LR;\n";
+  out << "  node [shape=ellipse];\n";
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (!include_isolated && g.InDegree(v) == 0 && g.OutDegree(v) == 0) {
+      continue;
+    }
+    out << "  " << Quote(name_of(v)) << ";\n";
+  }
+  for (const Edge& e : g.Edges()) {
+    out << "  " << Quote(name_of(e.from)) << " -> " << Quote(name_of(e.to));
+    for (const auto& [edge, label] : options.edge_labels) {
+      if (edge == e) {
+        out << " [label=" << Quote(label) << "]";
+        break;
+      }
+    }
+    out << ";\n";
+  }
+  out << "}\n";
+  return out.str();
+}
+
+Status WriteDotFile(const DirectedGraph& g,
+                    const std::vector<std::string>& labels,
+                    const std::string& path, const DotOptions& options) {
+  std::ofstream file(path);
+  if (!file) return Status::IOError("cannot open for writing: " + path);
+  file << ToDot(g, labels, options);
+  if (!file) return Status::IOError("write failed: " + path);
+  return Status::OK();
+}
+
+}  // namespace procmine

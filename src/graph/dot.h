@@ -1,0 +1,38 @@
+// Graphviz DOT export for process graphs (used to regenerate the paper's
+// figures as renderable artifacts).
+
+#ifndef PROCMINE_GRAPH_DOT_H_
+#define PROCMINE_GRAPH_DOT_H_
+
+#include <string>
+#include <vector>
+
+#include "graph/digraph.h"
+#include "util/status.h"
+
+namespace procmine {
+
+/// Rendering options for ToDot.
+struct DotOptions {
+  std::string graph_name = "process";
+  bool rankdir_lr = true;  ///< left-to-right layout, like the paper's figures
+  /// Optional per-edge labels keyed by packed edge id (e.g. mined conditions).
+  std::vector<std::pair<Edge, std::string>> edge_labels;
+};
+
+/// Renders `g` as a DOT digraph. `labels[v]` is the display name of vertex v;
+/// if `labels` is empty, numeric ids are used. Vertices with no incident
+/// edges are omitted unless `include_isolated`.
+std::string ToDot(const DirectedGraph& g,
+                  const std::vector<std::string>& labels,
+                  const DotOptions& options = {},
+                  bool include_isolated = true);
+
+/// Writes ToDot output to `path`.
+Status WriteDotFile(const DirectedGraph& g,
+                    const std::vector<std::string>& labels,
+                    const std::string& path, const DotOptions& options = {});
+
+}  // namespace procmine
+
+#endif  // PROCMINE_GRAPH_DOT_H_

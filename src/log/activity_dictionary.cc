@@ -1,0 +1,29 @@
+#include "log/activity_dictionary.h"
+
+#include "util/logging.h"
+
+namespace procmine {
+
+ActivityId ActivityDictionary::Intern(std::string_view name) {
+  auto it = index_.find(std::string(name));
+  if (it != index_.end()) return it->second;
+  ActivityId id = static_cast<ActivityId>(names_.size());
+  names_.emplace_back(name);
+  index_.emplace(names_.back(), id);
+  return id;
+}
+
+Result<ActivityId> ActivityDictionary::Find(std::string_view name) const {
+  auto it = index_.find(std::string(name));
+  if (it == index_.end()) {
+    return Status::NotFound("unknown activity: '" + std::string(name) + "'");
+  }
+  return it->second;
+}
+
+const std::string& ActivityDictionary::Name(ActivityId id) const {
+  PROCMINE_CHECK(id >= 0 && id < size());
+  return names_[static_cast<size_t>(id)];
+}
+
+}  // namespace procmine

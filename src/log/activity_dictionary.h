@@ -1,0 +1,49 @@
+// ActivityDictionary: string-interning for activity names.
+//
+// The miners run on dense integer ActivityIds (the database idiom:
+// dictionary-encode once at the boundary, integers in the hot path).
+// An EventLog owns one dictionary; the mined ProcessGraph shares its ids.
+
+#ifndef PROCMINE_LOG_ACTIVITY_DICTIONARY_H_
+#define PROCMINE_LOG_ACTIVITY_DICTIONARY_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "util/result.h"
+
+namespace procmine {
+
+/// Dense id of an activity within one log/process. Also used as the vertex
+/// id of the corresponding node in mined graphs.
+using ActivityId = int32_t;
+
+/// Bidirectional activity-name <-> dense-id mapping.
+class ActivityDictionary {
+ public:
+  /// Returns the id for `name`, interning it if new.
+  ActivityId Intern(std::string_view name);
+
+  /// Returns the id for `name`, or NotFound if it was never interned.
+  Result<ActivityId> Find(std::string_view name) const;
+
+  /// Returns the name for `id`. `id` must be valid.
+  const std::string& Name(ActivityId id) const;
+
+  /// Number of distinct activities.
+  ActivityId size() const { return static_cast<ActivityId>(names_.size()); }
+
+  /// All names, indexed by id.
+  const std::vector<std::string>& names() const { return names_; }
+
+ private:
+  std::unordered_map<std::string, ActivityId> index_;
+  std::vector<std::string> names_;
+};
+
+}  // namespace procmine
+
+#endif  // PROCMINE_LOG_ACTIVITY_DICTIONARY_H_

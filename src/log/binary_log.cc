@@ -1,0 +1,145 @@
+#include "log/binary_log.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/coding.h"
+#include "util/crc32c.h"
+#include "util/strings.h"
+
+namespace procmine {
+
+namespace {
+constexpr char kMagic[] = "PMLG";
+constexpr uint64_t kVersion = 1;
+}  // namespace
+
+std::string EncodeBinaryLog(const EventLog& log) {
+  std::string body;
+  PutVarint64(&body, kVersion);
+
+  PutVarint64(&body, static_cast<uint64_t>(log.num_activities()));
+  for (const std::string& name : log.dictionary().names()) {
+    PutLengthPrefixed(&body, name);
+  }
+
+  PutVarint64(&body, log.num_executions());
+  for (const Execution& exec : log.executions()) {
+    PutLengthPrefixed(&body, exec.name());
+    PutVarint64(&body, exec.size());
+    int64_t previous_start = 0;
+    for (const ActivityInstance& inst : exec.instances()) {
+      PutVarint64(&body, static_cast<uint64_t>(inst.activity));
+      PutVarintSigned64(&body, inst.start - previous_start);
+      previous_start = inst.start;
+      PutVarint64(&body, static_cast<uint64_t>(inst.end - inst.start));
+      PutVarint64(&body, inst.output.size());
+      for (int64_t value : inst.output) PutVarintSigned64(&body, value);
+    }
+  }
+
+  std::string out(kMagic, 4);
+  out += body;
+  PutFixed32(&out, Crc32c(body));
+  return out;
+}
+
+Result<EventLog> DecodeBinaryLog(std::string_view data) {
+  if (data.size() < 8 || data.substr(0, 4) != std::string_view(kMagic, 4)) {
+    return Status::DataLoss("not a procmine binary log (bad magic)");
+  }
+  std::string_view body = data.substr(4, data.size() - 8);
+  std::string_view footer = data.substr(data.size() - 4);
+  PROCMINE_ASSIGN_OR_RETURN(uint32_t stored_crc, GetFixed32(&footer));
+  uint32_t actual_crc = Crc32c(body);
+  if (stored_crc != actual_crc) {
+    return Status::DataLoss(
+        StrFormat("checksum mismatch: stored %08x, computed %08x",
+                  stored_crc, actual_crc));
+  }
+
+  std::string_view cursor = body;
+  PROCMINE_ASSIGN_OR_RETURN(uint64_t version, GetVarint64(&cursor));
+  if (version != kVersion) {
+    return Status::InvalidArgument(
+        StrFormat("unsupported binary log version %llu",
+                  static_cast<unsigned long long>(version)));
+  }
+
+  EventLog log;
+  PROCMINE_ASSIGN_OR_RETURN(uint64_t activity_count, GetVarint64(&cursor));
+  for (uint64_t i = 0; i < activity_count; ++i) {
+    PROCMINE_ASSIGN_OR_RETURN(std::string_view name,
+                              GetLengthPrefixed(&cursor));
+    ActivityId id = log.dictionary().Intern(name);
+    if (static_cast<uint64_t>(id) != i) {
+      return Status::InvalidArgument("duplicate activity name in dictionary");
+    }
+  }
+
+  PROCMINE_ASSIGN_OR_RETURN(uint64_t execution_count, GetVarint64(&cursor));
+  for (uint64_t e = 0; e < execution_count; ++e) {
+    PROCMINE_ASSIGN_OR_RETURN(std::string_view name,
+                              GetLengthPrefixed(&cursor));
+    Execution exec{std::string(name)};
+    PROCMINE_ASSIGN_OR_RETURN(uint64_t instance_count, GetVarint64(&cursor));
+    int64_t previous_start = 0;
+    for (uint64_t i = 0; i < instance_count; ++i) {
+      PROCMINE_ASSIGN_OR_RETURN(uint64_t activity, GetVarint64(&cursor));
+      if (activity >= activity_count) {
+        return Status::InvalidArgument(StrFormat(
+            "activity id %llu out of dictionary range",
+            static_cast<unsigned long long>(activity)));
+      }
+      PROCMINE_ASSIGN_OR_RETURN(int64_t start_delta,
+                                GetVarintSigned64(&cursor));
+      PROCMINE_ASSIGN_OR_RETURN(uint64_t duration, GetVarint64(&cursor));
+      ActivityInstance inst;
+      inst.activity = static_cast<ActivityId>(activity);
+      inst.start = previous_start + start_delta;
+      previous_start = inst.start;
+      inst.end = inst.start + static_cast<int64_t>(duration);
+      if (inst.start > inst.end ||
+          (!exec.empty() &&
+           exec[exec.size() - 1].start > inst.start)) {
+        return Status::InvalidArgument("instances out of start order");
+      }
+      PROCMINE_ASSIGN_OR_RETURN(uint64_t output_count, GetVarint64(&cursor));
+      if (output_count > cursor.size()) {  // cheap sanity before allocating
+        return Status::DataLoss("output count exceeds remaining input");
+      }
+      inst.output.reserve(output_count);
+      for (uint64_t o = 0; o < output_count; ++o) {
+        PROCMINE_ASSIGN_OR_RETURN(int64_t value, GetVarintSigned64(&cursor));
+        inst.output.push_back(value);
+      }
+      exec.Append(std::move(inst));
+    }
+    log.AddExecution(std::move(exec));
+  }
+  if (!cursor.empty()) {
+    return Status::DataLoss(StrFormat(
+        "%zu trailing bytes after the last execution", cursor.size()));
+  }
+  return log;
+}
+
+Status WriteBinaryLogFile(const EventLog& log, const std::string& path) {
+  std::ofstream file(path, std::ios::binary);
+  if (!file) return Status::IOError("cannot open for writing: " + path);
+  std::string encoded = EncodeBinaryLog(log);
+  file.write(encoded.data(), static_cast<std::streamsize>(encoded.size()));
+  if (!file) return Status::IOError("write failed: " + path);
+  return Status::OK();
+}
+
+Result<EventLog> ReadBinaryLogFile(const std::string& path) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file) return Status::IOError("cannot open: " + path);
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  if (file.bad()) return Status::IOError("read failed: " + path);
+  return DecodeBinaryLog(buffer.str());
+}
+
+}  // namespace procmine

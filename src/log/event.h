@@ -1,0 +1,28 @@
+// Raw workflow event records, Definition 2 of the paper:
+//   (P, A, E, T, O) with P = process-execution name, A = activity name,
+//   E in {START, END}, T = timestamp, O = activity output (END events only).
+
+#ifndef PROCMINE_LOG_EVENT_H_
+#define PROCMINE_LOG_EVENT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace procmine {
+
+/// Type of a logged event.
+enum class EventType : int8_t { kStart = 0, kEnd = 1 };
+
+/// One raw log record, in string space (before dictionary encoding).
+struct Event {
+  std::string process_instance;  ///< P: which execution this belongs to
+  std::string activity;          ///< A: activity name
+  EventType type;                ///< E: START or END
+  int64_t timestamp;             ///< T: logical or wall-clock time
+  std::vector<int64_t> output;   ///< O: activity output, END events only
+};
+
+}  // namespace procmine
+
+#endif  // PROCMINE_LOG_EVENT_H_

@@ -1,0 +1,129 @@
+#include "log/event_log.h"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+#include <unordered_map>
+
+#include "util/strings.h"
+
+namespace procmine {
+
+EventLog EventLog::FromCompactStrings(const std::vector<std::string>& execs) {
+  std::vector<std::vector<std::string>> sequences;
+  sequences.reserve(execs.size());
+  for (const std::string& s : execs) {
+    std::vector<std::string> seq;
+    seq.reserve(s.size());
+    for (char c : s) seq.emplace_back(1, c);
+    sequences.push_back(std::move(seq));
+  }
+  return FromSequences(sequences);
+}
+
+EventLog EventLog::FromSequences(
+    const std::vector<std::vector<std::string>>& execs) {
+  EventLog log;
+  int64_t counter = 0;
+  for (const auto& seq : execs) {
+    std::vector<ActivityId> ids;
+    ids.reserve(seq.size());
+    for (const std::string& name : seq) ids.push_back(log.dict_.Intern(name));
+    log.AddExecution(Execution::FromSequence(
+        StrFormat("exec_%lld", static_cast<long long>(counter++)), ids));
+  }
+  return log;
+}
+
+Result<EventLog> EventLog::FromEvents(const std::vector<Event>& events) {
+  // Group events by process instance, preserving log order within a group.
+  // std::map keeps instance iteration deterministic.
+  std::map<std::string, std::vector<const Event*>> by_instance;
+  for (const Event& e : events) {
+    by_instance[e.process_instance].push_back(&e);
+  }
+
+  EventLog log;
+  for (auto& [instance_name, records] : by_instance) {
+    std::stable_sort(records.begin(), records.end(),
+                     [](const Event* a, const Event* b) {
+                       if (a->timestamp != b->timestamp) {
+                         return a->timestamp < b->timestamp;
+                       }
+                       // START before END at equal timestamps, so an
+                       // instantaneous activity pairs with itself.
+                       return a->type < b->type;
+                     });
+    // FIFO queues of open START events per activity name.
+    std::unordered_map<std::string, std::deque<const Event*>> open;
+    std::vector<ActivityInstance> instances;
+    for (const Event* e : records) {
+      if (e->type == EventType::kStart) {
+        open[e->activity].push_back(e);
+        continue;
+      }
+      auto it = open.find(e->activity);
+      if (it == open.end() || it->second.empty()) {
+        return Status::InvalidArgument(
+            StrFormat("execution '%s': END without START for activity '%s'",
+                      instance_name.c_str(), e->activity.c_str()));
+      }
+      const Event* start = it->second.front();
+      it->second.pop_front();
+      ActivityInstance inst;
+      inst.activity = log.dict_.Intern(e->activity);
+      inst.start = start->timestamp;
+      inst.end = e->timestamp;
+      inst.output = e->output;
+      instances.push_back(std::move(inst));
+    }
+    for (const auto& [name, queue] : open) {
+      if (!queue.empty()) {
+        return Status::InvalidArgument(
+            StrFormat("execution '%s': START without END for activity '%s'",
+                      instance_name.c_str(), name.c_str()));
+      }
+    }
+    std::stable_sort(instances.begin(), instances.end(),
+                     [](const ActivityInstance& a, const ActivityInstance& b) {
+                       return a.start < b.start;
+                     });
+    Execution exec(instance_name);
+    for (auto& inst : instances) exec.Append(std::move(inst));
+    log.AddExecution(std::move(exec));
+  }
+  return log;
+}
+
+int64_t EventLog::TotalInstances() const {
+  int64_t n = 0;
+  for (const Execution& e : executions_) n += static_cast<int64_t>(e.size());
+  return n;
+}
+
+std::vector<Event> EventLog::ToEvents() const {
+  std::vector<Event> events;
+  events.reserve(static_cast<size_t>(TotalInstances()) * 2);
+  for (const Execution& exec : executions_) {
+    // Emit START/END pairs; merge-order by timestamp within the execution.
+    std::vector<Event> local;
+    for (const ActivityInstance& inst : exec.instances()) {
+      const std::string& name = dict_.Name(inst.activity);
+      local.push_back(Event{exec.name(), name, EventType::kStart, inst.start,
+                            {}});
+      local.push_back(
+          Event{exec.name(), name, EventType::kEnd, inst.end, inst.output});
+    }
+    std::stable_sort(local.begin(), local.end(),
+                     [](const Event& a, const Event& b) {
+                       if (a.timestamp != b.timestamp) {
+                         return a.timestamp < b.timestamp;
+                       }
+                       return a.type < b.type;
+                     });
+    for (auto& e : local) events.push_back(std::move(e));
+  }
+  return events;
+}
+
+}  // namespace procmine

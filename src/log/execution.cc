@@ -1,0 +1,47 @@
+#include "log/execution.h"
+
+#include "util/logging.h"
+
+namespace procmine {
+
+Execution Execution::FromSequence(std::string name,
+                                  const std::vector<ActivityId>& sequence) {
+  Execution exec(std::move(name));
+  int64_t t = 0;
+  for (ActivityId a : sequence) {
+    exec.Append(ActivityInstance{a, t, t, {}});
+    ++t;
+  }
+  return exec;
+}
+
+void Execution::Append(ActivityInstance instance) {
+  PROCMINE_CHECK_GE(instance.activity, 0);
+  PROCMINE_CHECK_LE(instance.start, instance.end);
+  if (!instances_.empty()) {
+    PROCMINE_CHECK_LE(instances_.back().start, instance.start);
+  }
+  instances_.push_back(std::move(instance));
+}
+
+std::vector<ActivityId> Execution::Sequence() const {
+  std::vector<ActivityId> seq;
+  seq.reserve(instances_.size());
+  for (const auto& inst : instances_) seq.push_back(inst.activity);
+  return seq;
+}
+
+bool Execution::Contains(ActivityId activity) const {
+  for (const auto& inst : instances_) {
+    if (inst.activity == activity) return true;
+  }
+  return false;
+}
+
+int64_t Execution::CountOf(ActivityId activity) const {
+  int64_t n = 0;
+  for (const auto& inst : instances_) n += (inst.activity == activity);
+  return n;
+}
+
+}  // namespace procmine

@@ -1,0 +1,35 @@
+// LogReader: parses workflow logs from the procmine text format.
+//
+// Format (Flowmark-like; one event per line, whitespace separated):
+//   <process_instance> <activity> START|END <timestamp> [<out1> <out2> ...]
+// Blank lines and lines starting with '#' are ignored. Output parameters may
+// only appear on END events (Definition 2: O is the output of the activity
+// if E = END and a null vector otherwise).
+
+#ifndef PROCMINE_LOG_READER_H_
+#define PROCMINE_LOG_READER_H_
+
+#include <string>
+#include <vector>
+
+#include "log/event.h"
+#include "log/event_log.h"
+#include "util/result.h"
+
+namespace procmine {
+
+class LogReader {
+ public:
+  /// Parses raw event records from log text.
+  static Result<std::vector<Event>> ParseEvents(const std::string& text);
+
+  /// Parses log text and assembles it into an EventLog.
+  static Result<EventLog> ReadString(const std::string& text);
+
+  /// Reads and assembles a log file.
+  static Result<EventLog> ReadFile(const std::string& path);
+};
+
+}  // namespace procmine
+
+#endif  // PROCMINE_LOG_READER_H_

@@ -1,0 +1,59 @@
+#include "log/stats.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "log/writer.h"
+
+namespace procmine {
+
+LogStats ComputeLogStats(const EventLog& log) {
+  LogStats stats;
+  stats.num_executions = static_cast<int64_t>(log.num_executions());
+  stats.num_activities = log.num_activities();
+  stats.executions_containing.assign(
+      static_cast<size_t>(log.num_activities()), 0);
+
+  std::vector<bool> seen(static_cast<size_t>(log.num_activities()));
+  bool first = true;
+  for (const Execution& exec : log.executions()) {
+    int64_t len = static_cast<int64_t>(exec.size());
+    stats.total_instances += len;
+    if (first) {
+      stats.min_length = stats.max_length = len;
+      first = false;
+    } else {
+      stats.min_length = std::min(stats.min_length, len);
+      stats.max_length = std::max(stats.max_length, len);
+    }
+    std::fill(seen.begin(), seen.end(), false);
+    for (const ActivityInstance& inst : exec.instances()) {
+      size_t a = static_cast<size_t>(inst.activity);
+      if (!seen[a]) {
+        seen[a] = true;
+        ++stats.executions_containing[a];
+      }
+    }
+  }
+  if (stats.num_executions > 0) {
+    stats.mean_length = static_cast<double>(stats.total_instances) /
+                        static_cast<double>(stats.num_executions);
+  }
+  stats.serialized_bytes = LogWriter::SerializedBytes(log);
+  return stats;
+}
+
+std::string LogStats::ToString(const ActivityDictionary& dict) const {
+  std::ostringstream out;
+  out << "executions=" << num_executions << " activities=" << num_activities
+      << " instances=" << total_instances << " exec_len=[" << min_length
+      << "," << max_length << "] mean=" << mean_length
+      << " bytes=" << serialized_bytes << "\n";
+  for (size_t a = 0; a < executions_containing.size(); ++a) {
+    out << "  " << dict.Name(static_cast<ActivityId>(a)) << ": in "
+        << executions_containing[a] << " executions\n";
+  }
+  return out.str();
+}
+
+}  // namespace procmine

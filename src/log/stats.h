@@ -1,0 +1,35 @@
+// Descriptive statistics over an EventLog (execution counts, lengths,
+// activity frequencies) — used by the bench harnesses to report workload
+// characteristics alongside results.
+
+#ifndef PROCMINE_LOG_STATS_H_
+#define PROCMINE_LOG_STATS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "log/event_log.h"
+
+namespace procmine {
+
+struct LogStats {
+  int64_t num_executions = 0;
+  int64_t num_activities = 0;       ///< distinct activity names
+  int64_t total_instances = 0;      ///< activity occurrences (= events / 2)
+  int64_t min_length = 0;           ///< shortest execution (instances)
+  int64_t max_length = 0;           ///< longest execution
+  double mean_length = 0.0;
+  int64_t serialized_bytes = 0;     ///< text-format log size
+  /// occurrences[a] = number of executions containing activity id a.
+  std::vector<int64_t> executions_containing;
+
+  std::string ToString(const ActivityDictionary& dict) const;
+};
+
+/// Computes statistics in one pass over the log.
+LogStats ComputeLogStats(const EventLog& log);
+
+}  // namespace procmine
+
+#endif  // PROCMINE_LOG_STATS_H_

@@ -1,0 +1,147 @@
+#include "log/streaming_reader.h"
+
+#include <algorithm>
+#include <deque>
+#include <fstream>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "util/strings.h"
+
+namespace procmine {
+
+namespace {
+
+/// Accumulates the events of one process instance and assembles the
+/// Execution when the group ends.
+class InstanceAssembler {
+ public:
+  explicit InstanceAssembler(std::string name) : name_(std::move(name)) {}
+
+  Status Add(ActivityId activity, bool is_start, int64_t timestamp,
+             std::vector<int64_t> output, ActivityDictionary* dict) {
+    if (is_start) {
+      open_[activity].push_back(timestamp);
+      return Status::OK();
+    }
+    auto it = open_.find(activity);
+    if (it == open_.end() || it->second.empty()) {
+      return Status::InvalidArgument(
+          StrFormat("execution '%s': END without START for '%s'",
+                    name_.c_str(), dict->Name(activity).c_str()));
+    }
+    ActivityInstance inst;
+    inst.activity = activity;
+    inst.start = it->second.front();
+    it->second.pop_front();
+    inst.end = timestamp;
+    inst.output = std::move(output);
+    if (inst.end < inst.start) {
+      return Status::InvalidArgument(
+          StrFormat("execution '%s': negative duration for '%s'",
+                    name_.c_str(), dict->Name(activity).c_str()));
+    }
+    instances_.push_back(std::move(inst));
+    return Status::OK();
+  }
+
+  Result<Execution> Finish(const ActivityDictionary& dict) {
+    for (const auto& [activity, queue] : open_) {
+      if (!queue.empty()) {
+        return Status::InvalidArgument(
+            StrFormat("execution '%s': START without END for '%s'",
+                      name_.c_str(), dict.Name(activity).c_str()));
+      }
+    }
+    std::stable_sort(instances_.begin(), instances_.end(),
+                     [](const ActivityInstance& a, const ActivityInstance& b) {
+                       return a.start < b.start;
+                     });
+    Execution exec(name_);
+    for (ActivityInstance& inst : instances_) exec.Append(std::move(inst));
+    return exec;
+  }
+
+  const std::string& name() const { return name_; }
+
+ private:
+  std::string name_;
+  std::unordered_map<ActivityId, std::deque<int64_t>> open_;
+  std::vector<ActivityInstance> instances_;
+};
+
+}  // namespace
+
+Result<StreamingStats> StreamLog(std::istream* input,
+                                 const ExecutionCallback& callback) {
+  StreamingStats stats;
+  ActivityDictionary dict;
+  std::unordered_set<std::string> finished;
+  std::unique_ptr<InstanceAssembler> current;
+  std::string line;
+
+  auto finish_current = [&]() -> Status {
+    if (current == nullptr) return Status::OK();
+    PROCMINE_ASSIGN_OR_RETURN(Execution exec, current->Finish(dict));
+    finished.insert(current->name());
+    current.reset();
+    ++stats.executions;
+    return callback(exec, dict);
+  };
+
+  while (std::getline(*input, line)) {
+    ++stats.lines;
+    std::string_view trimmed = Trim(line);
+    if (trimmed.empty() || trimmed[0] == '#') continue;
+    std::vector<std::string> fields = SplitWhitespace(trimmed);
+    if (fields.size() < 4) {
+      return Status::InvalidArgument(
+          StrFormat("line %lld: expected at least 4 fields",
+                    static_cast<long long>(stats.lines)));
+    }
+    const std::string& instance = fields[0];
+    bool is_start = fields[2] == "START";
+    if (!is_start && fields[2] != "END") {
+      return Status::InvalidArgument(
+          StrFormat("line %lld: bad event type '%s'",
+                    static_cast<long long>(stats.lines), fields[2].c_str()));
+    }
+    auto timestamp = ParseInt64(fields[3]);
+    if (!timestamp.ok()) {
+      return Status::InvalidArgument(
+          StrFormat("line %lld: bad timestamp",
+                    static_cast<long long>(stats.lines)));
+    }
+    std::vector<int64_t> output;
+    for (size_t i = 4; i < fields.size(); ++i) {
+      PROCMINE_ASSIGN_OR_RETURN(int64_t value, ParseInt64(fields[i]));
+      output.push_back(value);
+    }
+
+    if (current == nullptr || current->name() != instance) {
+      if (finished.count(instance) > 0) {
+        return Status::InvalidArgument(StrFormat(
+            "line %lld: events of instance '%s' are not contiguous",
+            static_cast<long long>(stats.lines), instance.c_str()));
+      }
+      PROCMINE_RETURN_NOT_OK(finish_current());
+      current = std::make_unique<InstanceAssembler>(instance);
+    }
+    ++stats.events;
+    PROCMINE_RETURN_NOT_OK(current->Add(dict.Intern(fields[1]), is_start,
+                                        *timestamp, std::move(output),
+                                        &dict));
+  }
+  if (input->bad()) return Status::IOError("stream read failed");
+  PROCMINE_RETURN_NOT_OK(finish_current());
+  return stats;
+}
+
+Result<StreamingStats> StreamLogFile(const std::string& path,
+                                     const ExecutionCallback& callback) {
+  std::ifstream file(path);
+  if (!file) return Status::IOError("cannot open: " + path);
+  return StreamLog(&file, callback);
+}
+
+}  // namespace procmine

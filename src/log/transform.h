@@ -1,0 +1,57 @@
+// Log transformations: the preprocessing toolbox in front of the miner —
+// projecting onto activity subsets, filtering executions, sampling,
+// splitting and merging logs. All transforms preserve the activity
+// dictionary (and therefore ActivityIds) unless stated otherwise.
+
+#ifndef PROCMINE_LOG_TRANSFORM_H_
+#define PROCMINE_LOG_TRANSFORM_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "log/event_log.h"
+#include "util/result.h"
+
+namespace procmine {
+
+/// Keeps only the executions for which `predicate` returns true.
+EventLog FilterExecutions(
+    const EventLog& log,
+    const std::function<bool(const Execution&)>& predicate);
+
+/// Keeps only instances of the named activities (projection); executions
+/// that become empty are dropped. Unknown names fail with NotFound.
+Result<EventLog> ProjectActivities(const EventLog& log,
+                                   const std::vector<std::string>& keep);
+
+/// Removes all instances of the named activities; executions that become
+/// empty are dropped. Unknown names fail with NotFound.
+Result<EventLog> DropActivities(const EventLog& log,
+                                const std::vector<std::string>& drop);
+
+/// Uniform random sample (without replacement) of `count` executions; if
+/// `count` >= size, the whole log is returned. Deterministic per seed.
+EventLog SampleExecutions(const EventLog& log, size_t count, uint64_t seed);
+
+/// First `count` executions (head) — useful for convergence curves.
+EventLog TakeExecutions(const EventLog& log, size_t count);
+
+/// Splits into [0, pivot) and [pivot, size) execution ranges.
+std::pair<EventLog, EventLog> SplitLog(const EventLog& log, size_t pivot);
+
+/// Concatenates logs; dictionaries are unified by name. Execution names are
+/// kept as-is (duplicates allowed).
+EventLog MergeLogs(const std::vector<const EventLog*>& logs);
+
+/// Deduplicates executions with identical activity sequences (keeping the
+/// first of each), returning the deduplicated log and filling
+/// `multiplicity` (if non-null) with the count per kept execution. Useful
+/// because Algorithm 2's marking pass only depends on distinct sequences.
+EventLog DeduplicateSequences(const EventLog& log,
+                              std::vector<int64_t>* multiplicity = nullptr);
+
+}  // namespace procmine
+
+#endif  // PROCMINE_LOG_TRANSFORM_H_

@@ -1,0 +1,84 @@
+#include "log/validate.h"
+
+#include <map>
+#include <unordered_map>
+
+#include "util/strings.h"
+
+namespace procmine {
+
+std::string ToString(LogIssue::Kind kind) {
+  switch (kind) {
+    case LogIssue::Kind::kEndWithoutStart:
+      return "END without START";
+    case LogIssue::Kind::kStartWithoutEnd:
+      return "START without END";
+    case LogIssue::Kind::kNegativeDuration:
+      return "negative duration";
+    case LogIssue::Kind::kSimultaneousStart:
+      return "simultaneous starts";
+    case LogIssue::Kind::kEmptyExecution:
+      return "empty execution";
+  }
+  return "unknown";
+}
+
+std::vector<LogIssue> ValidateEvents(const std::vector<Event>& events) {
+  std::vector<LogIssue> issues;
+  // open[instance][activity] = number of unmatched STARTs.
+  std::map<std::string, std::unordered_map<std::string, int64_t>> open;
+  for (const Event& e : events) {
+    auto& counts = open[e.process_instance];
+    if (e.type == EventType::kStart) {
+      ++counts[e.activity];
+    } else {
+      if (counts[e.activity] == 0) {
+        issues.push_back({LogIssue::Kind::kEndWithoutStart,
+                          e.process_instance,
+                          "activity '" + e.activity + "'"});
+      } else {
+        --counts[e.activity];
+      }
+    }
+  }
+  for (const auto& [instance, counts] : open) {
+    for (const auto& [activity, n] : counts) {
+      if (n > 0) {
+        issues.push_back({LogIssue::Kind::kStartWithoutEnd, instance,
+                          StrFormat("activity '%s' (%lld unmatched)",
+                                    activity.c_str(),
+                                    static_cast<long long>(n))});
+      }
+    }
+  }
+  return issues;
+}
+
+std::vector<LogIssue> ValidateLog(const EventLog& log) {
+  std::vector<LogIssue> issues;
+  for (const Execution& exec : log.executions()) {
+    if (exec.empty()) {
+      issues.push_back({LogIssue::Kind::kEmptyExecution, exec.name(), ""});
+      continue;
+    }
+    for (size_t i = 0; i < exec.size(); ++i) {
+      const ActivityInstance& inst = exec[i];
+      if (inst.end < inst.start) {
+        issues.push_back(
+            {LogIssue::Kind::kNegativeDuration, exec.name(),
+             "activity '" + log.dictionary().Name(inst.activity) + "'"});
+      }
+      if (i > 0 && exec[i - 1].start == inst.start) {
+        issues.push_back(
+            {LogIssue::Kind::kSimultaneousStart, exec.name(),
+             StrFormat("'%s' and '%s' at t=%lld",
+                       log.dictionary().Name(exec[i - 1].activity).c_str(),
+                       log.dictionary().Name(inst.activity).c_str(),
+                       static_cast<long long>(inst.start))});
+      }
+    }
+  }
+  return issues;
+}
+
+}  // namespace procmine

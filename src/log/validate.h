@@ -1,0 +1,41 @@
+// Log validation: structural checks run before mining. Section 6 of the
+// paper discusses noisy logs; this module detects the *structurally* invalid
+// records (unmatched events, inverted intervals, simultaneous starts) that
+// should be rejected or repaired before the statistical noise handling runs.
+
+#ifndef PROCMINE_LOG_VALIDATE_H_
+#define PROCMINE_LOG_VALIDATE_H_
+
+#include <string>
+#include <vector>
+
+#include "log/event.h"
+#include "log/event_log.h"
+
+namespace procmine {
+
+/// One detected problem.
+struct LogIssue {
+  enum class Kind {
+    kEndWithoutStart,
+    kStartWithoutEnd,
+    kNegativeDuration,
+    kSimultaneousStart,   ///< two activities starting at the same instant
+    kEmptyExecution,
+  };
+  Kind kind;
+  std::string process_instance;
+  std::string detail;
+};
+
+std::string ToString(LogIssue::Kind kind);
+
+/// Checks raw events for pairing problems (before assembly).
+std::vector<LogIssue> ValidateEvents(const std::vector<Event>& events);
+
+/// Checks an assembled log for interval and ordering problems.
+std::vector<LogIssue> ValidateLog(const EventLog& log);
+
+}  // namespace procmine
+
+#endif  // PROCMINE_LOG_VALIDATE_H_

@@ -1,0 +1,63 @@
+#include "log/writer.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace procmine {
+
+namespace {
+void AppendEvent(const Event& e, std::ostringstream* out) {
+  (*out) << e.process_instance << ' ' << e.activity << ' '
+         << (e.type == EventType::kStart ? "START" : "END") << ' '
+         << e.timestamp;
+  for (int64_t o : e.output) (*out) << ' ' << o;
+  (*out) << '\n';
+}
+}  // namespace
+
+std::string LogWriter::ToString(const EventLog& log) {
+  std::ostringstream out;
+  for (const Event& e : log.ToEvents()) AppendEvent(e, &out);
+  return out.str();
+}
+
+std::string LogWriter::ToCsv(const EventLog& log) {
+  std::ostringstream out;
+  out << "process_instance,activity,type,timestamp,output\n";
+  for (const Event& e : log.ToEvents()) {
+    out << e.process_instance << ',' << e.activity << ','
+        << (e.type == EventType::kStart ? "START" : "END") << ','
+        << e.timestamp << ',';
+    out << '"';
+    for (size_t i = 0; i < e.output.size(); ++i) {
+      if (i > 0) out << ';';
+      out << e.output[i];
+    }
+    out << '"' << '\n';
+  }
+  return out.str();
+}
+
+namespace {
+Status WriteStringToFile(const std::string& content, const std::string& path) {
+  std::ofstream file(path);
+  if (!file) return Status::IOError("cannot open for writing: " + path);
+  file << content;
+  if (!file) return Status::IOError("write failed: " + path);
+  return Status::OK();
+}
+}  // namespace
+
+Status LogWriter::WriteFile(const EventLog& log, const std::string& path) {
+  return WriteStringToFile(ToString(log), path);
+}
+
+Status LogWriter::WriteCsvFile(const EventLog& log, const std::string& path) {
+  return WriteStringToFile(ToCsv(log), path);
+}
+
+int64_t LogWriter::SerializedBytes(const EventLog& log) {
+  return static_cast<int64_t>(ToString(log).size());
+}
+
+}  // namespace procmine

@@ -1,0 +1,33 @@
+// LogWriter: serializes an EventLog back to the procmine text format (the
+// inverse of LogReader), plus a CSV export for external tools.
+
+#ifndef PROCMINE_LOG_WRITER_H_
+#define PROCMINE_LOG_WRITER_H_
+
+#include <string>
+
+#include "log/event_log.h"
+#include "util/status.h"
+
+namespace procmine {
+
+class LogWriter {
+ public:
+  /// Serializes to the text format LogReader parses. Round-trips exactly.
+  static std::string ToString(const EventLog& log);
+
+  /// CSV: header + one row per event,
+  /// `process_instance,activity,type,timestamp,"o1;o2;..."`.
+  static std::string ToCsv(const EventLog& log);
+
+  static Status WriteFile(const EventLog& log, const std::string& path);
+  static Status WriteCsvFile(const EventLog& log, const std::string& path);
+
+  /// Size in bytes of the text serialization — the "size of the log" column
+  /// of Table 3.
+  static int64_t SerializedBytes(const EventLog& log);
+};
+
+}  // namespace procmine
+
+#endif  // PROCMINE_LOG_WRITER_H_

@@ -1,0 +1,33 @@
+// XES (eXtensible Event Stream, IEEE 1849) interchange.
+//
+// XES became the standard interchange format of the process-mining field
+// this paper founded; exporting it lets procmine logs flow into ProM/PM4Py
+// and importing lets their logs flow in. This implementation covers the
+// subset the miner needs: traces with events carrying concept:name,
+// lifecycle:transition (start/complete), time:timestamp (integer-encoded),
+// and integer output attributes out0..outN.
+
+#ifndef PROCMINE_LOG_XES_H_
+#define PROCMINE_LOG_XES_H_
+
+#include <string>
+
+#include "log/event_log.h"
+#include "util/result.h"
+
+namespace procmine {
+
+/// Serializes `log` as an XES XML document.
+std::string ToXes(const EventLog& log);
+
+/// Parses the XES subset written by ToXes (and the common output of other
+/// tools restricted to that subset). Events without a lifecycle transition
+/// are treated as instantaneous complete events.
+Result<EventLog> FromXes(const std::string& xml);
+
+Status WriteXesFile(const EventLog& log, const std::string& path);
+Result<EventLog> ReadXesFile(const std::string& path);
+
+}  // namespace procmine
+
+#endif  // PROCMINE_LOG_XES_H_

@@ -1,0 +1,77 @@
+// Conditions mining — Problem 2 / Section 7 of the paper.
+//
+// Given a conformal graph and a log that records activity outputs, learn the
+// Boolean edge function f_(u,v) of every edge: for each execution containing
+// u, the output vector o(u) is a training point labeled by whether v also
+// executed. A decision-tree classifier is trained per edge and flattened to
+// DNF rules.
+
+#ifndef PROCMINE_MINE_CONDITION_MINER_H_
+#define PROCMINE_MINE_CONDITION_MINER_H_
+
+#include <string>
+#include <vector>
+
+#include "classify/decision_tree.h"
+#include "classify/evaluation.h"
+#include "classify/rules.h"
+#include "log/event_log.h"
+#include "util/result.h"
+#include "workflow/process_graph.h"
+
+namespace procmine {
+
+struct ConditionMinerOptions {
+  DecisionTreeOptions tree;
+  /// Fraction of examples held out to measure generalization accuracy.
+  double holdout_fraction = 0.3;
+  uint64_t seed = 42;
+  /// Edges whose source has fewer than this many training examples are
+  /// reported as unconditioned (rule "true").
+  int64_t min_examples = 4;
+};
+
+/// The learned condition of one edge.
+struct MinedCondition {
+  Edge edge;                       ///< ids in the graph's vertex space
+  std::string rule;                ///< DNF string, "true" if trivial/unlearned
+  bool learned = false;            ///< false: no data / always taken
+  double train_accuracy = 1.0;
+  double test_accuracy = 1.0;
+  int64_t num_positive = 0;
+  int64_t num_negative = 0;
+  DecisionTree tree;               ///< meaningful iff learned
+};
+
+/// A process graph annotated with learned edge conditions.
+struct AnnotatedProcess {
+  ProcessGraph graph;
+  std::vector<MinedCondition> conditions;  ///< one per edge, sorted by edge
+
+  /// DOT rendering with rules as edge labels.
+  std::string ToDot(const std::string& graph_name = "process") const;
+};
+
+/// Learns edge conditions from output-carrying logs.
+class ConditionMiner {
+ public:
+  explicit ConditionMiner(ConditionMinerOptions options = {})
+      : options_(options) {}
+
+  /// `graph` vertex ids must be `log` ActivityIds (as produced by the
+  /// miners). Executions lacking recorded outputs contribute no examples.
+  Result<AnnotatedProcess> Mine(const ProcessGraph& graph,
+                                const EventLog& log) const;
+
+  /// Builds the Section 7 training set for a single edge (u, v): one point
+  /// (o(u), v-present) per execution containing u. Exposed for tests.
+  static Dataset BuildTrainingSet(const EventLog& log, ActivityId u,
+                                  ActivityId v);
+
+ private:
+  ConditionMinerOptions options_;
+};
+
+}  // namespace procmine
+
+#endif  // PROCMINE_MINE_CONDITION_MINER_H_

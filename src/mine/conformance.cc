@@ -1,0 +1,213 @@
+#include "mine/conformance.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "graph/algorithms.h"
+#include "util/strings.h"
+
+namespace procmine {
+
+ConformanceChecker::ConformanceChecker(const ProcessGraph* graph)
+    : graph_(graph), reach_(ReachabilityMatrix(graph->graph())) {
+  PROCMINE_CHECK(graph_ != nullptr);
+  // Locate the initiating and terminating activities, ignoring isolated
+  // vertices: a graph mined from a log whose dictionary lists activities
+  // that never occurred carries them as degree-0 vertices, and the paper's
+  // V contains only activities instantiated from the log.
+  const DirectedGraph& g = graph_->graph();
+  std::vector<NodeId> sources, sinks;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    bool isolated = g.InDegree(v) == 0 && g.OutDegree(v) == 0;
+    if (isolated) continue;
+    if (g.InDegree(v) == 0) sources.push_back(v);
+    if (g.OutDegree(v) == 0) sinks.push_back(v);
+  }
+  if (sources.size() == 1) {
+    source_ = sources[0];
+  } else {
+    endpoint_error_ = Status::FailedPrecondition(StrFormat(
+        "expected exactly one source, found %zu", sources.size()));
+  }
+  if (sinks.size() == 1) {
+    sink_ = sinks[0];
+  } else if (endpoint_error_.ok()) {
+    endpoint_error_ = Status::FailedPrecondition(
+        StrFormat("expected exactly one sink, found %zu", sinks.size()));
+  }
+}
+
+Status ConformanceChecker::CheckExecution(const Execution& exec) const {
+  if (exec.empty()) return Status::InvalidArgument("execution is empty");
+  const DirectedGraph& g = graph_->graph();
+  const NodeId n = g.num_nodes();
+
+  for (const ActivityInstance& inst : exec.instances()) {
+    if (inst.activity < 0 || inst.activity >= n) {
+      return Status::FailedPrecondition(StrFormat(
+          "activity id %d is not a vertex of the graph", inst.activity));
+    }
+  }
+
+  PROCMINE_RETURN_NOT_OK(endpoint_error_);
+  NodeId source = source_;
+  NodeId sink = sink_;
+  if (exec[0].activity != source) {
+    return Status::FailedPrecondition(StrFormat(
+        "first activity '%s' is not the initiating activity '%s'",
+        graph_->name(exec[0].activity).c_str(),
+        graph_->name(source).c_str()));
+  }
+  if (exec[exec.size() - 1].activity != sink) {
+    return Status::FailedPrecondition(StrFormat(
+        "last activity '%s' is not the terminating activity '%s'",
+        graph_->name(exec[exec.size() - 1].activity).c_str(),
+        graph_->name(sink).c_str()));
+  }
+
+  // Build the induced subgraph G' of Definition 6: vertices of R, edges of G
+  // that R's ordering realizes — some instance of `from` terminates before
+  // some instance of `to` starts, i.e. min_end(from) < max_start(to). The
+  // extents (first_start, last_end) additionally feed the
+  // dependency-violation test, where a dependency u -> v is only violated if
+  // v lies WHOLLY before u.
+  std::vector<bool> present(static_cast<size_t>(n), false);
+  std::vector<int64_t> first_start(static_cast<size_t>(n), 0);
+  std::vector<int64_t> last_end(static_cast<size_t>(n), 0);
+  std::vector<int64_t> min_end(static_cast<size_t>(n), 0);
+  std::vector<int64_t> max_start(static_cast<size_t>(n), 0);
+  std::vector<NodeId> vertices;
+  for (const ActivityInstance& inst : exec.instances()) {
+    size_t a = static_cast<size_t>(inst.activity);
+    if (!present[a]) {
+      present[a] = true;
+      first_start[a] = inst.start;
+      last_end[a] = inst.end;
+      min_end[a] = inst.end;
+      max_start[a] = inst.start;
+      vertices.push_back(inst.activity);
+    } else {
+      first_start[a] = std::min(first_start[a], inst.start);
+      last_end[a] = std::max(last_end[a], inst.end);
+      min_end[a] = std::min(min_end[a], inst.end);
+      max_start[a] = std::max(max_start[a], inst.start);
+    }
+  }
+  DirectedGraph induced(n);
+  for (NodeId u : vertices) {
+    for (NodeId v : g.OutNeighbors(u)) {
+      if (v != u && present[static_cast<size_t>(v)] &&
+          min_end[static_cast<size_t>(u)] <
+              max_start[static_cast<size_t>(v)]) {
+        induced.AddEdge(u, v);
+      }
+    }
+  }
+
+  // Connectivity and reachability within G' (checked over V' only).
+  std::vector<bool> reached(static_cast<size_t>(n), false);
+  std::vector<NodeId> stack = {source};
+  reached[static_cast<size_t>(source)] = true;
+  size_t reach_count = 1;
+  while (!stack.empty()) {
+    NodeId v = stack.back();
+    stack.pop_back();
+    for (NodeId u : induced.OutNeighbors(v)) {
+      if (!reached[static_cast<size_t>(u)]) {
+        reached[static_cast<size_t>(u)] = true;
+        ++reach_count;
+        stack.push_back(u);
+      }
+    }
+  }
+  if (reach_count != vertices.size()) {
+    for (NodeId v : vertices) {
+      if (!reached[static_cast<size_t>(v)]) {
+        return Status::FailedPrecondition(StrFormat(
+            "activity '%s' is not reachable from the initiating activity in "
+            "the induced subgraph",
+            graph_->name(v).c_str()));
+      }
+    }
+  }
+  // Forward reachability from the single source covering all of V' implies
+  // weak connectivity of G', so no separate connectivity test is needed.
+
+  // Dependency violations: a path u ->+ v with v wholly before u in R.
+  // Paths are taken within the subgraph induced by the PRESENT activities
+  // (all edges of G among V', not only realized ones): Definition 6 is
+  // stated to be equivalent to "R can be a successful execution of P for
+  // suitably chosen outputs and edge functions", and a dependency routed
+  // through an activity that never ran imposes no ordering on R.
+  DirectedGraph present_subgraph = InducedSubgraph(g, vertices);
+  std::vector<DynamicBitset> reach = ReachabilityMatrix(present_subgraph);
+  for (NodeId u : vertices) {
+    for (NodeId v : vertices) {
+      if (u == v) continue;
+      if (reach[static_cast<size_t>(u)].Test(static_cast<size_t>(v)) &&
+          last_end[static_cast<size_t>(v)] <
+              first_start[static_cast<size_t>(u)]) {
+        return Status::FailedPrecondition(StrFormat(
+            "ordering violates the dependency '%s' -> '%s'",
+            graph_->name(u).c_str(), graph_->name(v).c_str()));
+      }
+    }
+  }
+  return Status::OK();
+}
+
+ConformanceReport ConformanceChecker::CheckLog(const EventLog& log) const {
+  ConformanceReport report;
+  const NodeId n = std::min<NodeId>(log.num_activities(),
+                                    graph_->num_activities());
+
+  Relations relations = Relations::Compute(log);
+  for (ActivityId a = 0; a < n; ++a) {
+    for (ActivityId b = 0; b < n; ++b) {
+      if (a == b) continue;
+      bool path = reach_[static_cast<size_t>(a)].Test(static_cast<size_t>(b));
+      if (relations.DependsOn(b, a) && !path) {
+        report.dependency_complete = false;
+        report.missing_dependencies.push_back(Edge{a, b});
+      }
+      if (relations.Independent(a, b) && path) {
+        report.irredundant = false;
+        report.spurious_paths.push_back(Edge{a, b});
+      }
+    }
+  }
+
+  for (const Execution& exec : log.executions()) {
+    Status st = CheckExecution(exec);
+    if (!st.ok()) {
+      report.execution_complete = false;
+      report.inconsistent_executions.emplace_back(exec.name(),
+                                                  std::string(st.message()));
+    }
+  }
+  return report;
+}
+
+std::string ConformanceReport::Summary(const ActivityDictionary& dict) const {
+  std::ostringstream out;
+  out << "conformal: " << (conformal() ? "yes" : "no") << "\n";
+  out << "dependency completeness: "
+      << (dependency_complete ? "ok" : "VIOLATED") << "\n";
+  for (const Edge& e : missing_dependencies) {
+    out << "  missing path " << dict.Name(e.from) << " -> " << dict.Name(e.to)
+        << "\n";
+  }
+  out << "irredundancy: " << (irredundant ? "ok" : "VIOLATED") << "\n";
+  for (const Edge& e : spurious_paths) {
+    out << "  spurious path " << dict.Name(e.from) << " -> "
+        << dict.Name(e.to) << " between independent activities\n";
+  }
+  out << "execution completeness: "
+      << (execution_complete ? "ok" : "VIOLATED") << "\n";
+  for (const auto& [name, reason] : inconsistent_executions) {
+    out << "  " << name << ": " << reason << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace procmine

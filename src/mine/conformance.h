@@ -1,0 +1,76 @@
+// Conformance checking — Definitions 6 and 7 of the paper.
+//
+// Definition 6 (consistency of an execution R with graph G): R's activities
+// form a subset V' of G's; the subgraph G' induced by R (edges of G whose
+// endpoints R orders compatibly) is connected; R starts with the initiating
+// and ends with the terminating activity; every node of V' is reachable from
+// the initiating activity within G'; and no dependency of G is violated by
+// R's ordering.
+//
+// Definition 7 (conformal graph): dependency completeness (every dependency
+// of the log is a path), irredundancy (no path between independent
+// activities), execution completeness (every execution is consistent).
+
+#ifndef PROCMINE_MINE_CONFORMANCE_H_
+#define PROCMINE_MINE_CONFORMANCE_H_
+
+#include <string>
+#include <vector>
+
+#include "log/event_log.h"
+#include "mine/relations.h"
+#include "util/bitset.h"
+#include "util/status.h"
+#include "workflow/process_graph.h"
+
+namespace procmine {
+
+/// Definition 7 verdict with the violating evidence.
+struct ConformanceReport {
+  bool dependency_complete = true;
+  bool irredundant = true;
+  bool execution_complete = true;
+
+  /// Dependencies (a, b) of the log (b depends on a) with no path a->b.
+  std::vector<Edge> missing_dependencies;
+  /// Ordered pairs (a, b) independent in the log but with a path a->b.
+  std::vector<Edge> spurious_paths;
+  /// (execution name, failure reason) for inconsistent executions.
+  std::vector<std::pair<std::string, std::string>> inconsistent_executions;
+
+  bool conformal() const {
+    return dependency_complete && irredundant && execution_complete;
+  }
+
+  /// Multi-line human-readable account.
+  std::string Summary(const ActivityDictionary& dict) const;
+};
+
+/// Checks executions and logs against a fixed graph. Construction
+/// precomputes the graph's reachability matrix, so per-execution checks are
+/// O(len^2) pair tests plus one traversal.
+class ConformanceChecker {
+ public:
+  /// `graph` must outlive the checker; its vertex ids must be the log's
+  /// ActivityIds (true for mined graphs and engine-generated logs).
+  explicit ConformanceChecker(const ProcessGraph* graph);
+
+  /// Definition 6. OK iff `exec` is consistent with the graph.
+  Status CheckExecution(const Execution& exec) const;
+
+  /// Definition 7 over the whole log.
+  ConformanceReport CheckLog(const EventLog& log) const;
+
+ private:
+  const ProcessGraph* graph_;
+  std::vector<DynamicBitset> reach_;
+  // Initiating/terminating activities, isolated vertices ignored; if either
+  // is not unique, endpoint_error_ carries the failure.
+  NodeId source_ = -1;
+  NodeId sink_ = -1;
+  Status endpoint_error_;
+};
+
+}  // namespace procmine
+
+#endif  // PROCMINE_MINE_CONFORMANCE_H_

@@ -1,0 +1,62 @@
+#include "mine/cyclic_miner.h"
+
+#include "mine/general_dag_miner.h"
+#include "util/strings.h"
+
+namespace procmine {
+
+EventLog CyclicMiner::LabelOccurrences(const EventLog& log,
+                                       std::vector<ActivityId>* labeled_to_base) {
+  EventLog labeled;
+  std::vector<int64_t> occurrence(static_cast<size_t>(log.num_activities()));
+  for (const Execution& exec : log.executions()) {
+    std::fill(occurrence.begin(), occurrence.end(), 0);
+    Execution out(exec.name());
+    for (const ActivityInstance& inst : exec.instances()) {
+      int64_t k = ++occurrence[static_cast<size_t>(inst.activity)];
+      std::string name = StrFormat(
+          "%s#%lld", log.dictionary().Name(inst.activity).c_str(),
+          static_cast<long long>(k));
+      ActivityId labeled_id = labeled.dictionary().Intern(name);
+      if (labeled_to_base != nullptr) {
+        if (static_cast<size_t>(labeled_id) >= labeled_to_base->size()) {
+          labeled_to_base->resize(static_cast<size_t>(labeled_id) + 1, -1);
+        }
+        (*labeled_to_base)[static_cast<size_t>(labeled_id)] = inst.activity;
+      }
+      ActivityInstance copy = inst;
+      copy.activity = labeled_id;
+      out.Append(std::move(copy));
+    }
+    labeled.AddExecution(std::move(out));
+  }
+  return labeled;
+}
+
+Result<ProcessGraph> CyclicMiner::Mine(const EventLog& log) const {
+  if (log.num_activities() == 0 || log.num_executions() == 0) {
+    return Status::InvalidArgument("log is empty");
+  }
+
+  // Steps 2-3: uniquely label each occurrence.
+  std::vector<ActivityId> labeled_to_base;
+  EventLog labeled = LabelOccurrences(log, &labeled_to_base);
+
+  // Steps 3-7: the Algorithm 2 machinery on the labeled (repeat-free) log.
+  GeneralDagMinerOptions general_options;
+  general_options.noise_threshold = options_.noise_threshold;
+  GeneralDagMiner general(general_options);
+  PROCMINE_ASSIGN_OR_RETURN(ProcessGraph labeled_graph, general.Mine(labeled));
+
+  // Step 8: merge equivalent sets; keep edges between different activities.
+  DirectedGraph merged(log.num_activities());
+  for (const Edge& e : labeled_graph.graph().Edges()) {
+    ActivityId from = labeled_to_base[static_cast<size_t>(e.from)];
+    ActivityId to = labeled_to_base[static_cast<size_t>(e.to)];
+    PROCMINE_CHECK(from >= 0 && to >= 0);
+    if (from != to) merged.AddEdge(from, to);
+  }
+  return ProcessGraph(std::move(merged), log.dictionary().names());
+}
+
+}  // namespace procmine

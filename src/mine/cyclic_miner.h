@@ -1,0 +1,48 @@
+// Algorithm 3 (Cyclic Graphs), Section 5 of the paper.
+//
+// Cycles make repeated appearances of an activity legitimate, which breaks
+// Algorithms 1-2. The fix: label the k-th occurrence of activity A in an
+// execution as the distinct pseudo-activity A#k, run the Algorithm 2
+// machinery on the labeled log (which is repeat-free by construction), and
+// finally merge the equivalent sets {A#1, A#2, ...} back into A. An edge
+// (A, B) appears in the merged graph iff some edge connected an instance of
+// A to an instance of B with A != B (step 8: edges between instances of the
+// SAME activity are dropped by the merge).
+
+#ifndef PROCMINE_MINE_CYCLIC_MINER_H_
+#define PROCMINE_MINE_CYCLIC_MINER_H_
+
+#include <cstdint>
+
+#include "log/event_log.h"
+#include "util/result.h"
+#include "workflow/process_graph.h"
+
+namespace procmine {
+
+struct CyclicMinerOptions {
+  /// Noise threshold forwarded to the labeled Algorithm 2 run.
+  int64_t noise_threshold = 1;
+};
+
+/// Mines a (possibly cyclic) conformal graph via instance labeling.
+class CyclicMiner {
+ public:
+  explicit CyclicMiner(CyclicMinerOptions options = {}) : options_(options) {}
+
+  /// Returns a ProcessGraph whose vertex ids are the log's ActivityIds.
+  Result<ProcessGraph> Mine(const EventLog& log) const;
+
+  /// Exposed for tests and the worked paper example (Figure 6): the labeled
+  /// intermediate log, with occurrence labels "A#1", "A#2", ... and a
+  /// parallel map from labeled ActivityId to original ActivityId.
+  static EventLog LabelOccurrences(const EventLog& log,
+                                   std::vector<ActivityId>* labeled_to_base);
+
+ private:
+  CyclicMinerOptions options_;
+};
+
+}  // namespace procmine
+
+#endif  // PROCMINE_MINE_CYCLIC_MINER_H_

@@ -1,0 +1,72 @@
+#include "mine/edge_collector.h"
+
+#include <vector>
+
+#include "graph/algorithms.h"
+
+namespace procmine {
+
+EdgeCounts CollectPrecedenceEdges(const EventLog& log) {
+  EdgeCounts counts;
+  // Per-execution dedup set so an edge counts at most once per execution
+  // (what the Section 6 threshold semantics need).
+  std::unordered_map<uint64_t, size_t> last_seen_in;
+  size_t exec_index = 0;
+  for (const Execution& exec : log.executions()) {
+    ++exec_index;  // 1-based so the map's default 0 means "never"
+    const auto& instances = exec.instances();
+    for (size_t i = 0; i < instances.size(); ++i) {
+      for (size_t j = 0; j < instances.size(); ++j) {
+        if (i == j) continue;
+        if (instances[i].end < instances[j].start) {
+          uint64_t key =
+              PackEdge(instances[i].activity, instances[j].activity);
+          size_t& seen = last_seen_in[key];
+          if (seen != exec_index) {
+            seen = exec_index;
+            ++counts[key];
+          }
+        }
+      }
+    }
+  }
+  return counts;
+}
+
+DirectedGraph BuildPrecedenceGraph(const EdgeCounts& counts, NodeId num_nodes,
+                                   int64_t threshold) {
+  DirectedGraph g(num_nodes);
+  for (const auto& [key, count] : counts) {
+    if (count >= threshold) {
+      Edge e = UnpackEdge(key);
+      g.AddEdge(e.from, e.to);
+    }
+  }
+  return g;
+}
+
+void RemoveTwoCycles(DirectedGraph* g) {
+  std::vector<Edge> to_remove;
+  for (const Edge& e : g->Edges()) {
+    if (e.from < e.to && g->HasEdge(e.to, e.from)) {
+      to_remove.push_back(e);
+      to_remove.push_back(Edge{e.to, e.from});
+    }
+    if (e.from == e.to) to_remove.push_back(e);  // self loop: trivial cycle
+  }
+  for (const Edge& e : to_remove) g->RemoveEdge(e.from, e.to);
+}
+
+void RemoveIntraSccEdges(DirectedGraph* g) {
+  SccResult scc = StronglyConnectedComponents(*g);
+  std::vector<Edge> to_remove;
+  for (const Edge& e : g->Edges()) {
+    if (scc.component[static_cast<size_t>(e.from)] ==
+        scc.component[static_cast<size_t>(e.to)]) {
+      to_remove.push_back(e);
+    }
+  }
+  for (const Edge& e : to_remove) g->RemoveEdge(e.from, e.to);
+}
+
+}  // namespace procmine

@@ -1,0 +1,43 @@
+// Edge collection — step 2 of Algorithms 1-3: "For each process execution in
+// L, and for each pair of activities u, v such that u terminates before v
+// starts, add the edge (u, v) to E."
+//
+// For the noise handling of Section 6, each edge carries a counter of how
+// many *executions* exhibited it; edges below the threshold T are dropped
+// before the structural steps run.
+
+#ifndef PROCMINE_MINE_EDGE_COLLECTOR_H_
+#define PROCMINE_MINE_EDGE_COLLECTOR_H_
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "graph/digraph.h"
+#include "log/event_log.h"
+
+namespace procmine {
+
+/// Precedence-edge counters: counts[PackEdge(u,v)] = number of executions in
+/// which some instance of u terminates before some instance of v starts.
+using EdgeCounts = std::unordered_map<uint64_t, int64_t>;
+
+/// Scans the log once and counts precedence edges. O(sum of len^2).
+EdgeCounts CollectPrecedenceEdges(const EventLog& log);
+
+/// Materializes the step-2 graph over `num_nodes` vertices, keeping edges
+/// with count >= threshold (threshold 1 = no noise filtering).
+DirectedGraph BuildPrecedenceGraph(const EdgeCounts& counts, NodeId num_nodes,
+                                   int64_t threshold);
+
+/// Step 3 of Algorithms 1-3: "Remove from E the edges that appear in both
+/// directions." Removes both orientations of every 2-cycle, in place.
+void RemoveTwoCycles(DirectedGraph* g);
+
+/// Step 4 of Algorithms 2-3: removes every edge between two vertices of the
+/// same strongly connected component, in place. Vertices in one SCC follow
+/// each other both ways and are therefore independent (Definition 4).
+void RemoveIntraSccEdges(DirectedGraph* g);
+
+}  // namespace procmine
+
+#endif  // PROCMINE_MINE_EDGE_COLLECTOR_H_

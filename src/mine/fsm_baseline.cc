@@ -1,0 +1,168 @@
+#include "mine/fsm_baseline.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/logging.h"
+
+namespace procmine {
+
+int64_t Automaton::num_transitions() const {
+  int64_t n = 0;
+  for (const auto& [key, targets] : transitions_) {
+    n += static_cast<int64_t>(targets.size());
+  }
+  return n;
+}
+
+int64_t Automaton::TransitionsLabeled(ActivityId activity) const {
+  int64_t n = 0;
+  for (const auto& [key, targets] : transitions_) {
+    if (key.second == activity) n += static_cast<int64_t>(targets.size());
+  }
+  return n;
+}
+
+bool Automaton::Accepts(const std::vector<ActivityId>& sequence) const {
+  std::set<int32_t> current = {initial_};
+  for (ActivityId a : sequence) {
+    std::set<int32_t> next;
+    for (int32_t state : current) {
+      auto it = transitions_.find({state, a});
+      if (it != transitions_.end()) {
+        next.insert(it->second.begin(), it->second.end());
+      }
+    }
+    if (next.empty()) return false;
+    current = std::move(next);
+  }
+  for (int32_t state : current) {
+    if (IsAccepting(state)) return true;
+  }
+  return false;
+}
+
+std::string Automaton::ToDot(const ActivityDictionary& dict,
+                             const std::string& name) const {
+  std::ostringstream out;
+  out << "digraph \"" << name << "\" {\n  rankdir=LR;\n";
+  for (int32_t s = 0; s < num_states_; ++s) {
+    out << "  s" << s << " [shape="
+        << (IsAccepting(s) ? "doublecircle" : "circle") << "];\n";
+  }
+  for (const auto& [key, targets] : transitions_) {
+    for (int32_t target : targets) {
+      out << "  s" << key.first << " -> s" << target << " [label=\""
+          << dict.Name(key.second) << "\"];\n";
+    }
+  }
+  out << "}\n";
+  return out.str();
+}
+
+namespace {
+
+/// Prefix-tree automaton over the log's executions.
+struct PrefixTree {
+  // children[state][activity] = child state.
+  std::vector<std::map<ActivityId, int32_t>> children;
+  std::vector<bool> accepting;
+
+  int32_t NewState() {
+    children.emplace_back();
+    accepting.push_back(false);
+    return static_cast<int32_t>(children.size() - 1);
+  }
+};
+
+PrefixTree BuildPrefixTree(const EventLog& log) {
+  PrefixTree tree;
+  tree.NewState();  // root = 0
+  for (const Execution& exec : log.executions()) {
+    int32_t state = 0;
+    for (ActivityId a : exec.Sequence()) {
+      auto it = tree.children[static_cast<size_t>(state)].find(a);
+      if (it == tree.children[static_cast<size_t>(state)].end()) {
+        int32_t child = tree.NewState();
+        tree.children[static_cast<size_t>(state)][a] = child;
+        state = child;
+      } else {
+        state = it->second;
+      }
+    }
+    tree.accepting[static_cast<size_t>(state)] = true;
+  }
+  return tree;
+}
+
+/// The k-tail of a state: all observed suffixes of length <= k, each
+/// terminated by a marker recording whether the suffix may end there. -2 in
+/// the encoding marks "accepting here", -3 marks "continues beyond k".
+using Tail = std::set<std::vector<int32_t>>;
+
+void CollectTails(const PrefixTree& tree, int32_t state, int k,
+                  std::vector<int32_t>* prefix, Tail* tail) {
+  if (tree.accepting[static_cast<size_t>(state)]) {
+    std::vector<int32_t> ended = *prefix;
+    ended.push_back(-2);
+    tail->insert(std::move(ended));
+  }
+  if (k == 0) {
+    if (!tree.children[static_cast<size_t>(state)].empty()) {
+      std::vector<int32_t> continues = *prefix;
+      continues.push_back(-3);
+      tail->insert(std::move(continues));
+    }
+    return;
+  }
+  for (const auto& [activity, child] : tree.children[static_cast<size_t>(state)]) {
+    prefix->push_back(activity);
+    CollectTails(tree, child, k - 1, prefix, tail);
+    prefix->pop_back();
+  }
+}
+
+}  // namespace
+
+Automaton LearnKTailAutomaton(const EventLog& log, int k) {
+  PrefixTree tree = BuildPrefixTree(log);
+  const int32_t n = static_cast<int32_t>(tree.children.size());
+
+  // Equivalence classes: by k-tail (or identity when merging is disabled).
+  std::vector<int32_t> state_class(static_cast<size_t>(n));
+  int32_t num_classes = 0;
+  if (k < 0) {
+    for (int32_t s = 0; s < n; ++s) state_class[static_cast<size_t>(s)] = s;
+    num_classes = n;
+  } else {
+    std::map<Tail, int32_t> class_of_tail;
+    for (int32_t s = 0; s < n; ++s) {
+      Tail tail;
+      std::vector<int32_t> prefix;
+      CollectTails(tree, s, k, &prefix, &tail);
+      auto [it, inserted] = class_of_tail.emplace(std::move(tail),
+                                                  num_classes);
+      if (inserted) ++num_classes;
+      state_class[static_cast<size_t>(s)] = it->second;
+    }
+  }
+
+  Automaton automaton;
+  automaton.num_states_ = num_classes;
+  automaton.initial_ = state_class[0];
+  automaton.accepting_.assign(static_cast<size_t>(num_classes), false);
+  for (int32_t s = 0; s < n; ++s) {
+    if (tree.accepting[static_cast<size_t>(s)]) {
+      automaton.accepting_[static_cast<size_t>(
+          state_class[static_cast<size_t>(s)])] = true;
+    }
+    for (const auto& [activity, child] : tree.children[static_cast<size_t>(s)]) {
+      automaton
+          .transitions_[{state_class[static_cast<size_t>(s)], activity}]
+          .insert(state_class[static_cast<size_t>(child)]);
+    }
+  }
+  return automaton;
+}
+
+}  // namespace procmine

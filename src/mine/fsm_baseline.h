@@ -1,0 +1,68 @@
+// FSM process discovery baseline — the related work the paper contrasts
+// itself against: "In previous work in process discovery [CW95] [CW96], the
+// finite state machine model has been used to represent the process."
+// Cook & Wolf's RNet/Ktail methods derive an automaton from the event
+// stream; this module implements the classic k-tails inference (Biermann &
+// Feldman) they build on: a prefix-tree automaton over the executions,
+// quotiented by equality of k-bounded suffix behaviour.
+//
+// It exists to make the paper's Section 1 argument executable: for the
+// process {S->A, S->B, A->E, B->E} with executions SABE and SBAE, the
+// process graph has one vertex per activity, while the accepting automaton
+// needs the same activity on multiple transitions — see fsm_baseline_test
+// and bench_baseline.
+
+#ifndef PROCMINE_MINE_FSM_BASELINE_H_
+#define PROCMINE_MINE_FSM_BASELINE_H_
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "log/event_log.h"
+
+namespace procmine {
+
+/// A (possibly nondeterministic) finite automaton over ActivityIds.
+class Automaton {
+ public:
+  int32_t num_states() const { return num_states_; }
+  int32_t initial_state() const { return initial_; }
+  bool IsAccepting(int32_t state) const {
+    return accepting_[static_cast<size_t>(state)];
+  }
+
+  /// Total number of transitions.
+  int64_t num_transitions() const;
+
+  /// Number of transitions labeled with `activity` — the duplication the
+  /// paper's Section 1 argument is about (a process graph always has
+  /// exactly one vertex per activity).
+  int64_t TransitionsLabeled(ActivityId activity) const;
+
+  /// NFA acceptance of the whole sequence.
+  bool Accepts(const std::vector<ActivityId>& sequence) const;
+
+  /// Graphviz rendering with state circles and activity-labeled arrows.
+  std::string ToDot(const ActivityDictionary& dict,
+                    const std::string& name = "automaton") const;
+
+ private:
+  friend Automaton LearnKTailAutomaton(const EventLog&, int);
+  int32_t num_states_ = 0;
+  int32_t initial_ = 0;
+  std::vector<bool> accepting_;
+  /// (state, activity) -> successor states.
+  std::map<std::pair<int32_t, ActivityId>, std::set<int32_t>> transitions_;
+};
+
+/// Learns an automaton from the log's executions with k-tails state
+/// merging. k = -1 disables merging (returns the prefix-tree automaton);
+/// smaller k merges more aggressively and generalizes further.
+Automaton LearnKTailAutomaton(const EventLog& log, int k);
+
+}  // namespace procmine
+
+#endif  // PROCMINE_MINE_FSM_BASELINE_H_

@@ -1,0 +1,87 @@
+#include "mine/general_dag_miner.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "graph/algorithms.h"
+#include "graph/transitive_reduction.h"
+#include "mine/edge_collector.h"
+#include "util/strings.h"
+
+namespace procmine {
+
+Result<ProcessGraph> GeneralDagMiner::Mine(const EventLog& log) const {
+  const NodeId n = log.num_activities();
+  if (n == 0 || log.num_executions() == 0) {
+    return Status::InvalidArgument("log is empty");
+  }
+  for (const Execution& exec : log.executions()) {
+    std::vector<bool> seen(static_cast<size_t>(n), false);
+    for (const ActivityInstance& inst : exec.instances()) {
+      if (seen[static_cast<size_t>(inst.activity)]) {
+        return Status::InvalidArgument(StrFormat(
+            "execution '%s' repeats activity '%s'; Algorithm 2 assumes an "
+            "acyclic process (use CyclicMiner)",
+            exec.name().c_str(),
+            log.dictionary().Name(inst.activity).c_str()));
+      }
+      seen[static_cast<size_t>(inst.activity)] = true;
+    }
+  }
+
+  // Steps 1-2: precedence edges with counts; threshold applies here.
+  EdgeCounts counts = CollectPrecedenceEdges(log);
+  DirectedGraph g = BuildPrecedenceGraph(counts, n, options_.noise_threshold);
+
+  // Step 3: both-direction edges.
+  RemoveTwoCycles(&g);
+
+  // Step 4: strongly-connected-component edges. After this, g is a DAG.
+  RemoveIntraSccEdges(&g);
+  PROCMINE_DCHECK(!HasCycle(g));
+
+  // Steps 5-6: keep exactly the edges needed by at least one execution —
+  // those in the transitive reduction of the execution's induced subgraph.
+  std::unordered_set<uint64_t> marked;
+  // Memo key: the sorted activity set, serialized as raw id bytes.
+  std::unordered_map<std::string, std::vector<Edge>> memo;
+  for (const Execution& exec : log.executions()) {
+    std::vector<NodeId> present = exec.Sequence();
+    std::sort(present.begin(), present.end());
+
+    const std::vector<Edge>* reduction_edges = nullptr;
+    std::vector<Edge> computed;
+    std::string key;
+    if (options_.memoize_reductions) {
+      key.assign(reinterpret_cast<const char*>(present.data()),
+                 present.size() * sizeof(NodeId));
+      auto it = memo.find(key);
+      if (it != memo.end()) reduction_edges = &it->second;
+    }
+    if (reduction_edges == nullptr) {
+      DirectedGraph induced = InducedSubgraph(g, present);
+      PROCMINE_ASSIGN_OR_RETURN(DirectedGraph reduced,
+                                TransitiveReduction(induced));
+      computed = reduced.Edges();
+      if (options_.memoize_reductions) {
+        reduction_edges = &memo.emplace(std::move(key), std::move(computed))
+                               .first->second;
+      } else {
+        reduction_edges = &computed;
+      }
+    }
+    for (const Edge& e : *reduction_edges) {
+      marked.insert(PackEdge(e.from, e.to));
+    }
+  }
+
+  DirectedGraph result(n);
+  for (uint64_t key : marked) {
+    Edge e = UnpackEdge(key);
+    result.AddEdge(e.from, e.to);
+  }
+  return ProcessGraph(std::move(result), log.dictionary().names());
+}
+
+}  // namespace procmine

@@ -1,0 +1,51 @@
+// Algorithm 2 (General DAG), Section 4 of the paper.
+//
+// Setting: the process graph is acyclic but executions need not contain all
+// activities. Two passes over the log:
+//   1-2. collect precedence edges,
+//   3.   drop 2-cycles,
+//   4.   drop all edges inside strongly connected components (paths of
+//        followings both ways => independent),
+//   5.   for each execution, transitively reduce the induced subgraph and
+//        mark the surviving edges,
+//   6.   drop unmarked edges.
+// The result is a conformal graph (Theorem 5); minimality is heuristic.
+
+#ifndef PROCMINE_MINE_GENERAL_DAG_MINER_H_
+#define PROCMINE_MINE_GENERAL_DAG_MINER_H_
+
+#include <cstdint>
+
+#include "log/event_log.h"
+#include "util/result.h"
+#include "workflow/process_graph.h"
+
+namespace procmine {
+
+struct GeneralDagMinerOptions {
+  /// Minimum executions an edge must appear in to survive (Section 6
+  /// noise threshold T). 1 = keep everything.
+  int64_t noise_threshold = 1;
+  /// Memoize the per-execution transitive reductions keyed by the induced
+  /// activity set (executions repeat heavily in real logs; the reduction
+  /// only depends on the set, not the order). Ablated in bench_micro.
+  bool memoize_reductions = true;
+};
+
+/// Mines a conformal DAG from a general acyclic log.
+class GeneralDagMiner {
+ public:
+  explicit GeneralDagMiner(GeneralDagMinerOptions options = {})
+      : options_(options) {}
+
+  /// Returns a ProcessGraph whose vertex ids are the log's ActivityIds.
+  /// Executions with repeated activities are rejected (use CyclicMiner).
+  Result<ProcessGraph> Mine(const EventLog& log) const;
+
+ private:
+  GeneralDagMinerOptions options_;
+};
+
+}  // namespace procmine
+
+#endif  // PROCMINE_MINE_GENERAL_DAG_MINER_H_

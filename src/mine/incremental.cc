@@ -1,0 +1,110 @@
+#include "mine/incremental.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "graph/algorithms.h"
+#include "graph/transitive_reduction.h"
+#include "util/strings.h"
+
+namespace procmine {
+
+Status IncrementalMiner::AddSequence(
+    const std::vector<std::string>& sequence) {
+  std::vector<ActivityId> ids;
+  ids.reserve(sequence.size());
+  for (const std::string& name : sequence) ids.push_back(dict_.Intern(name));
+  return Absorb(Execution::FromSequence(
+      StrFormat("stream_%06zu", num_executions_), ids));
+}
+
+Status IncrementalMiner::AddExecution(const Execution& exec,
+                                      const ActivityDictionary& dict) {
+  Execution remapped(exec.name());
+  for (ActivityInstance inst : exec.instances()) {
+    inst.activity = dict_.Intern(dict.Name(inst.activity));
+    remapped.Append(std::move(inst));
+  }
+  return Absorb(remapped);
+}
+
+Status IncrementalMiner::AddLog(const EventLog& log) {
+  for (const Execution& exec : log.executions()) {
+    PROCMINE_RETURN_NOT_OK(AddExecution(exec, log.dictionary()));
+  }
+  return Status::OK();
+}
+
+Status IncrementalMiner::Absorb(const Execution& exec) {
+  if (exec.empty()) {
+    return Status::InvalidArgument("empty execution");
+  }
+  std::vector<ActivityId> present = exec.Sequence();
+  std::sort(present.begin(), present.end());
+  if (std::adjacent_find(present.begin(), present.end()) != present.end()) {
+    return Status::InvalidArgument(
+        "execution repeats an activity; the incremental miner covers the "
+        "acyclic setting (use CyclicMiner in batch mode)");
+  }
+
+  // Per-execution precedence pairs, counted once each.
+  std::unordered_set<uint64_t> seen_pairs;
+  const auto& instances = exec.instances();
+  for (size_t i = 0; i < instances.size(); ++i) {
+    for (size_t j = 0; j < instances.size(); ++j) {
+      if (i != j && instances[i].end < instances[j].start) {
+        uint64_t key =
+            PackEdge(instances[i].activity, instances[j].activity);
+        if (seen_pairs.insert(key).second) ++counts_[key];
+      }
+    }
+  }
+
+  ++set_counts_[std::move(present)];
+  ++num_executions_;
+  ++version_;
+  return Status::OK();
+}
+
+void IncrementalMiner::SetNoiseThreshold(int64_t threshold) {
+  options_.noise_threshold = threshold;
+  ++version_;
+}
+
+Result<ProcessGraph> IncrementalMiner::CurrentGraph() const {
+  if (cached_version_ == version_) return cached_graph_;
+  if (num_executions_ == 0) {
+    return Status::FailedPrecondition("no executions absorbed yet");
+  }
+
+  // Steps 2-4 of Algorithm 2 over the accumulated counters.
+  DirectedGraph g =
+      BuildPrecedenceGraph(counts_, dict_.size(), options_.noise_threshold);
+  RemoveTwoCycles(&g);
+  RemoveIntraSccEdges(&g);
+
+  // Steps 5-6 over the distinct activity sets.
+  std::unordered_set<uint64_t> marked;
+  for (const auto& [present, count] : set_counts_) {
+    DirectedGraph induced = InducedSubgraph(g, present);
+    Result<DirectedGraph> reduced = TransitiveReduction(induced);
+    if (!reduced.ok()) {
+      cached_version_ = version_;
+      cached_graph_ = reduced.status();
+      return cached_graph_;
+    }
+    for (const Edge& e : reduced->Edges()) {
+      marked.insert(PackEdge(e.from, e.to));
+    }
+  }
+  DirectedGraph result(dict_.size());
+  for (uint64_t key : marked) {
+    Edge e = UnpackEdge(key);
+    result.AddEdge(e.from, e.to);
+  }
+  cached_version_ = version_;
+  cached_graph_ = ProcessGraph(std::move(result), dict_.names());
+  return cached_graph_;
+}
+
+}  // namespace procmine

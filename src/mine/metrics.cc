@@ -1,0 +1,62 @@
+#include "mine/metrics.h"
+
+#include <algorithm>
+#include <set>
+
+#include "graph/algorithms.h"
+
+namespace procmine {
+
+namespace {
+
+using NamedEdge = std::pair<std::string, std::string>;
+
+std::set<NamedEdge> NamedEdges(const DirectedGraph& g,
+                               const std::vector<std::string>& names) {
+  std::set<NamedEdge> out;
+  for (const Edge& e : g.Edges()) {
+    out.insert({names[static_cast<size_t>(e.from)],
+                names[static_cast<size_t>(e.to)]});
+  }
+  return out;
+}
+
+GraphComparison CompareSets(const std::set<NamedEdge>& truth,
+                            const std::set<NamedEdge>& mined) {
+  GraphComparison cmp;
+  cmp.truth_edges = static_cast<int64_t>(truth.size());
+  cmp.mined_edges = static_cast<int64_t>(mined.size());
+  for (const NamedEdge& e : truth) {
+    if (mined.count(e) > 0) ++cmp.common_edges;
+  }
+  cmp.missing_edges = cmp.truth_edges - cmp.common_edges;
+  cmp.spurious_edges = cmp.mined_edges - cmp.common_edges;
+  return cmp;
+}
+
+}  // namespace
+
+GraphComparison CompareByName(const ProcessGraph& truth,
+                              const ProcessGraph& mined) {
+  return CompareSets(NamedEdges(truth.graph(), truth.names()),
+                     NamedEdges(mined.graph(), mined.names()));
+}
+
+GraphComparison CompareClosuresByName(const ProcessGraph& truth,
+                                      const ProcessGraph& mined) {
+  return CompareSets(
+      NamedEdges(TransitiveClosure(truth.graph()), truth.names()),
+      NamedEdges(TransitiveClosure(mined.graph()), mined.names()));
+}
+
+std::vector<std::pair<std::string, std::string>> NamedEdgeDifference(
+    const ProcessGraph& a, const ProcessGraph& b) {
+  std::set<NamedEdge> sa = NamedEdges(a.graph(), a.names());
+  std::set<NamedEdge> sb = NamedEdges(b.graph(), b.names());
+  std::vector<NamedEdge> out;
+  std::set_difference(sa.begin(), sa.end(), sb.begin(), sb.end(),
+                      std::back_inserter(out));
+  return out;
+}
+
+}  // namespace procmine

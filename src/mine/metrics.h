@@ -1,0 +1,36 @@
+// Mined-vs-truth comparison in activity-name space (Table 2's "edges
+// present" vs "edges found", and the Section 8.2 recovery check).
+//
+// Graphs mined from a log and ground-truth graphs generally assign different
+// vertex ids to the same activity; comparison therefore matches activities
+// by name.
+
+#ifndef PROCMINE_MINE_METRICS_H_
+#define PROCMINE_MINE_METRICS_H_
+
+#include <string>
+#include <vector>
+
+#include "graph/compare.h"
+#include "workflow/process_graph.h"
+
+namespace procmine {
+
+/// Edge-set comparison by activity name. Activities present in only one
+/// graph simply contribute their incident edges as missing/spurious.
+GraphComparison CompareByName(const ProcessGraph& truth,
+                              const ProcessGraph& mined);
+
+/// Same comparison on the transitive closures — equality means the two
+/// graphs encode the same dependency partial order even if their edge sets
+/// differ (two graphs with the same closure are interchangeable, Lemma 2).
+GraphComparison CompareClosuresByName(const ProcessGraph& truth,
+                                      const ProcessGraph& mined);
+
+/// Named edges in `a` and not `b` ("A" -> "B" pairs), sorted.
+std::vector<std::pair<std::string, std::string>> NamedEdgeDifference(
+    const ProcessGraph& a, const ProcessGraph& b);
+
+}  // namespace procmine
+
+#endif  // PROCMINE_MINE_METRICS_H_

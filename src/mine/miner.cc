@@ -1,0 +1,62 @@
+#include "mine/miner.h"
+
+#include "mine/cyclic_miner.h"
+#include "mine/general_dag_miner.h"
+#include "mine/special_dag_miner.h"
+
+namespace procmine {
+
+MinerAlgorithm ProcessMiner::SelectAlgorithm(const EventLog& log) {
+  const NodeId n = log.num_activities();
+  bool all_exactly_once = true;
+  std::vector<bool> seen(static_cast<size_t>(n));
+  for (const Execution& exec : log.executions()) {
+    std::fill(seen.begin(), seen.end(), false);
+    for (const ActivityInstance& inst : exec.instances()) {
+      if (seen[static_cast<size_t>(inst.activity)]) {
+        return MinerAlgorithm::kCyclic;  // repeats => cyclic process
+      }
+      seen[static_cast<size_t>(inst.activity)] = true;
+    }
+    if (exec.size() != static_cast<size_t>(n)) all_exactly_once = false;
+  }
+  return all_exactly_once ? MinerAlgorithm::kSpecialDag
+                          : MinerAlgorithm::kGeneralDag;
+}
+
+Result<ProcessGraph> ProcessMiner::Mine(const EventLog& log) const {
+  if (log.num_executions() == 0) {
+    return Status::InvalidArgument("log is empty");
+  }
+  MinerAlgorithm algorithm = options_.algorithm == MinerAlgorithm::kAuto
+                                 ? SelectAlgorithm(log)
+                                 : options_.algorithm;
+  switch (algorithm) {
+    case MinerAlgorithm::kSpecialDag: {
+      SpecialDagMinerOptions opts;
+      opts.noise_threshold = options_.noise_threshold;
+      return SpecialDagMiner(opts).Mine(log);
+    }
+    case MinerAlgorithm::kGeneralDag: {
+      GeneralDagMinerOptions opts;
+      opts.noise_threshold = options_.noise_threshold;
+      return GeneralDagMiner(opts).Mine(log);
+    }
+    case MinerAlgorithm::kCyclic: {
+      CyclicMinerOptions opts;
+      opts.noise_threshold = options_.noise_threshold;
+      return CyclicMiner(opts).Mine(log);
+    }
+    case MinerAlgorithm::kAuto:
+      break;
+  }
+  return Status::Internal("unreachable: unresolved miner algorithm");
+}
+
+Result<AnnotatedProcess> ProcessMiner::MineWithConditions(
+    const EventLog& log, ConditionMinerOptions condition_options) const {
+  PROCMINE_ASSIGN_OR_RETURN(ProcessGraph graph, Mine(log));
+  return ConditionMiner(condition_options).Mine(graph, log);
+}
+
+}  // namespace procmine

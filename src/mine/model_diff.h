@@ -1,0 +1,60 @@
+// Model diffing — the Section 1 use case: "In an enterprise with an
+// installed workflow system, it can help in the evaluation of the workflow
+// system by comparing the synthesized process graphs with purported
+// graphs", and "allow the evolution of the current process model ... by
+// incorporating feedback from successful process executions."
+//
+// Compares a purported (designed) model against a mined model in activity-
+// name space and classifies every discrepancy, at both the edge level and
+// the dependency (transitive-closure) level.
+
+#ifndef PROCMINE_MINE_MODEL_DIFF_H_
+#define PROCMINE_MINE_MODEL_DIFF_H_
+
+#include <string>
+#include <vector>
+
+#include "workflow/process_graph.h"
+
+namespace procmine {
+
+/// One classified discrepancy between the designed and mined models.
+struct ModelDiscrepancy {
+  enum class Kind {
+    /// Activity in the design never observed in the log/mined model.
+    kUnobservedActivity,
+    /// Activity mined from the log but absent from the design.
+    kUndocumentedActivity,
+    /// Designed edge the mined model lacks, with no replacement dependency
+    /// path either — the prescribed flow is not being followed.
+    kUnexercisedDependency,
+    /// Mined dependency absent from the design's closure — practice has
+    /// ordering the design does not prescribe.
+    kUndocumentedDependency,
+    /// Designed edge missing in the mined model but covered by a longer
+    /// mined path — behaviour matches, structure is refined.
+    kRefinedEdge,
+  };
+  Kind kind;
+  std::string from;  ///< activity name ("" for activity-level kinds)
+  std::string to;
+  std::string activity;  ///< activity-level kinds only
+
+  std::string ToString() const;
+};
+
+/// Full diff report.
+struct ModelDiff {
+  std::vector<ModelDiscrepancy> discrepancies;
+
+  bool structurally_equal() const { return discrepancies.empty(); }
+  int64_t CountKind(ModelDiscrepancy::Kind kind) const;
+  std::string Summary() const;
+};
+
+/// Diffs `designed` against `mined` by activity name.
+ModelDiff DiffModels(const ProcessGraph& designed, const ProcessGraph& mined);
+
+}  // namespace procmine
+
+#endif  // PROCMINE_MINE_MODEL_DIFF_H_

@@ -1,0 +1,59 @@
+// The Section 6 noise analysis: choosing the edge-count threshold T.
+//
+// With per-pair out-of-order error rate epsilon over m executions:
+//  * P[>= T errors]                <= C(m,T) * epsilon^T
+//    (a spurious dependency edge survives the threshold), and
+//  * P[independent pair same order in >= m-T executions]
+//                                  <= C(m,m-T) * (1/2)^(m-T)
+//    (a true independence is reported as a dependency).
+// Setting the two bounds equal gives epsilon^T = (1/2)^(m-T), i.e.
+//   T* = m * ln 2 / (ln 2 - ln epsilon) = m / (1 + log2(1/epsilon)).
+
+#ifndef PROCMINE_MINE_NOISE_H_
+#define PROCMINE_MINE_NOISE_H_
+
+#include <cstdint>
+
+#include "log/event_log.h"
+
+namespace procmine {
+
+/// ln C(n, k) via lgamma; 0 for degenerate inputs.
+double LogChoose(int64_t n, int64_t k);
+
+/// Upper bound on P[a spurious edge appears in >= T of m executions] when
+/// each execution errs independently with rate epsilon: C(m,T) epsilon^T,
+/// clamped to [0, 1].
+double SpuriousEdgeBound(int64_t m, int64_t T, double epsilon);
+
+/// Upper bound on P[an independent pair is observed in the same order in
+/// >= m - T of m executions]: C(m, m-T) (1/2)^(m-T), clamped to [0, 1].
+double FalseDependencyBound(int64_t m, int64_t T);
+
+/// max of the two bounds — the probability that the threshold T errs either
+/// way on one pair.
+double ThresholdErrorBound(int64_t m, int64_t T, double epsilon);
+
+/// The T minimizing the worst-case bound: T* = m / (1 + log2(1/epsilon)),
+/// rounded and clamped to [1, m]. Requires 0 < epsilon < 0.5 (the paper's
+/// assumption); smaller epsilon yields smaller T.
+int64_t OptimalNoiseThreshold(int64_t m, double epsilon);
+
+/// Estimated per-pair out-of-order error rate of a log — the epsilon the
+/// Section 6 analysis assumes "approximately known". For every ordered
+/// activity pair observed in both orders, the minority orientation's share
+/// of co-occurrences is attributed to noise when it is rare (strictly below
+/// `minority_cutoff`, default 0.2: truly parallel activities split their
+/// orders roughly evenly and are excluded). Returns the co-occurrence-
+/// weighted mean minority share over dependent-looking pairs; 0 for clean
+/// or empty logs.
+double EstimateNoiseRate(const EventLog& log, double minority_cutoff = 0.2);
+
+/// Convenience: EstimateNoiseRate clamped into OptimalNoiseThreshold's
+/// domain and converted to a threshold for this log's execution count.
+/// Clean logs (estimated epsilon 0) get threshold 1.
+int64_t SuggestNoiseThreshold(const EventLog& log);
+
+}  // namespace procmine
+
+#endif  // PROCMINE_MINE_NOISE_H_

@@ -1,0 +1,136 @@
+#include "mine/performance.h"
+
+#include <algorithm>
+#include <limits>
+#include <sstream>
+
+#include "graph/dot.h"
+#include "util/strings.h"
+
+namespace procmine {
+
+PerformanceReport AnalyzePerformance(const ProcessGraph& graph,
+                                     const EventLog& log) {
+  const NodeId n = graph.num_activities();
+  PerformanceReport report;
+  report.activities.resize(static_cast<size_t>(n));
+  for (NodeId v = 0; v < n; ++v) {
+    report.activities[static_cast<size_t>(v)].activity = v;
+    report.activities[static_cast<size_t>(v)].min_duration =
+        std::numeric_limits<int64_t>::max();
+  }
+  std::vector<Edge> edges = graph.graph().Edges();
+  report.edges.resize(edges.size());
+  std::vector<double> wait_sums(edges.size(), 0);
+  std::vector<int64_t> source_executions(static_cast<size_t>(n), 0);
+
+  // Per-execution extents.
+  std::vector<bool> present(static_cast<size_t>(n));
+  std::vector<int64_t> first_end(static_cast<size_t>(n));
+  std::vector<int64_t> last_start(static_cast<size_t>(n));
+  std::vector<double> duration_sums(static_cast<size_t>(n), 0);
+
+  for (const Execution& exec : log.executions()) {
+    std::fill(present.begin(), present.end(), false);
+    for (const ActivityInstance& inst : exec.instances()) {
+      if (inst.activity >= n) continue;
+      size_t a = static_cast<size_t>(inst.activity);
+      ActivityPerformance& perf = report.activities[a];
+      int64_t duration = inst.end - inst.start;
+      ++perf.instances;
+      duration_sums[a] += static_cast<double>(duration);
+      perf.min_duration = std::min(perf.min_duration, duration);
+      perf.max_duration = std::max(perf.max_duration, duration);
+      if (!present[a]) {
+        present[a] = true;
+        ++perf.executions;
+        first_end[a] = inst.end;
+        last_start[a] = inst.start;
+      } else {
+        first_end[a] = std::min(first_end[a], inst.end);
+        last_start[a] = std::max(last_start[a], inst.start);
+      }
+    }
+    for (NodeId v = 0; v < n; ++v) {
+      if (present[static_cast<size_t>(v)]) {
+        ++source_executions[static_cast<size_t>(v)];
+      }
+    }
+    for (size_t i = 0; i < edges.size(); ++i) {
+      size_t u = static_cast<size_t>(edges[i].from);
+      size_t v = static_cast<size_t>(edges[i].to);
+      if (present[u] && present[v] && first_end[u] < last_start[v]) {
+        ++report.edges[i].traversals;
+        wait_sums[i] +=
+            static_cast<double>(last_start[v] - first_end[u]);
+      }
+    }
+  }
+
+  for (NodeId v = 0; v < n; ++v) {
+    ActivityPerformance& perf = report.activities[static_cast<size_t>(v)];
+    if (perf.instances > 0) {
+      perf.mean_duration =
+          duration_sums[static_cast<size_t>(v)] /
+          static_cast<double>(perf.instances);
+    } else {
+      perf.min_duration = 0;
+    }
+  }
+  for (size_t i = 0; i < edges.size(); ++i) {
+    EdgePerformance& perf = report.edges[i];
+    perf.edge = edges[i];
+    int64_t source_n =
+        source_executions[static_cast<size_t>(edges[i].from)];
+    perf.probability =
+        source_n == 0 ? 0.0
+                      : static_cast<double>(perf.traversals) /
+                            static_cast<double>(source_n);
+    perf.mean_wait = perf.traversals == 0
+                         ? 0.0
+                         : wait_sums[i] /
+                               static_cast<double>(perf.traversals);
+  }
+  return report;
+}
+
+std::string PerformanceReport::Summary(
+    const ActivityDictionary& dict) const {
+  std::ostringstream out;
+  out << "activities:\n";
+  for (const ActivityPerformance& perf : activities) {
+    if (perf.instances == 0) continue;
+    out << StrFormat(
+        "  %-20s in %lld executions, %lld instances, duration mean %.2f "
+        "[%lld, %lld]\n",
+        dict.Name(perf.activity).c_str(),
+        static_cast<long long>(perf.executions),
+        static_cast<long long>(perf.instances), perf.mean_duration,
+        static_cast<long long>(perf.min_duration),
+        static_cast<long long>(perf.max_duration));
+  }
+  out << "edges:\n";
+  for (const EdgePerformance& perf : edges) {
+    out << StrFormat("  %-14s -> %-14s p=%.2f wait=%.2f (%lld traversals)\n",
+                     dict.Name(perf.edge.from).c_str(),
+                     dict.Name(perf.edge.to).c_str(), perf.probability,
+                     perf.mean_wait,
+                     static_cast<long long>(perf.traversals));
+  }
+  return out.str();
+}
+
+std::string PerformanceDot(const ProcessGraph& graph,
+                           const PerformanceReport& report,
+                           const std::string& graph_name) {
+  DotOptions options;
+  options.graph_name = graph_name;
+  for (const EdgePerformance& perf : report.edges) {
+    options.edge_labels.push_back(
+        {perf.edge,
+         StrFormat("p=%.2f wait=%.1f", perf.probability, perf.mean_wait)});
+  }
+  return ToDot(graph.graph(), graph.names(), options);
+}
+
+}  // namespace procmine

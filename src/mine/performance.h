@@ -1,0 +1,60 @@
+// Performance analytics over a mined model: the natural next question after
+// structure ("what happens in what order") is time — how long activities
+// take, how often each edge is taken, and how long work waits between
+// activities. The paper's event records carry timestamps (Definition 2);
+// this module aggregates them against a mined or designed ProcessGraph.
+
+#ifndef PROCMINE_MINE_PERFORMANCE_H_
+#define PROCMINE_MINE_PERFORMANCE_H_
+
+#include <string>
+#include <vector>
+
+#include "log/event_log.h"
+#include "workflow/process_graph.h"
+
+namespace procmine {
+
+/// Per-activity timing aggregates.
+struct ActivityPerformance {
+  ActivityId activity = -1;
+  int64_t executions = 0;    ///< executions containing the activity
+  int64_t instances = 0;     ///< total occurrences (>= executions if cyclic)
+  double mean_duration = 0;  ///< end - start, averaged over instances
+  int64_t min_duration = 0;
+  int64_t max_duration = 0;
+};
+
+/// Per-edge traversal aggregates. An edge (u, v) counts as traversed in an
+/// execution when both endpoints occur and u's first instance terminates
+/// before v's last instance starts (the mining precedence relation).
+struct EdgePerformance {
+  Edge edge;
+  int64_t traversals = 0;
+  /// P(edge taken | source executed) — the empirical edge probability that
+  /// complements Section 7's learned Boolean conditions.
+  double probability = 0;
+  /// Mean of (v.start - u.end) over traversals: waiting time on the edge.
+  double mean_wait = 0;
+};
+
+struct PerformanceReport {
+  std::vector<ActivityPerformance> activities;  ///< indexed by ActivityId
+  std::vector<EdgePerformance> edges;           ///< graph edge order
+
+  /// Multi-line table rendering.
+  std::string Summary(const ActivityDictionary& dict) const;
+};
+
+/// Aggregates `log` against `graph` (ids must be the log's ActivityIds).
+PerformanceReport AnalyzePerformance(const ProcessGraph& graph,
+                                     const EventLog& log);
+
+/// DOT rendering of `graph` with "p=.. wait=.." edge labels.
+std::string PerformanceDot(const ProcessGraph& graph,
+                           const PerformanceReport& report,
+                           const std::string& graph_name = "performance");
+
+}  // namespace procmine
+
+#endif  // PROCMINE_MINE_PERFORMANCE_H_

@@ -1,0 +1,35 @@
+// Model reconstruction: closes the paper's loop.
+//
+// Section 1's deployment story is that the mined model "can ease the
+// introduction of a workflow management system" — i.e. the mined graph plus
+// the learned edge conditions should be DEPLOYABLE. This module converts an
+// AnnotatedProcess (mined structure + per-edge DNF rules) back into an
+// executable ProcessDefinition: every learned rule becomes a Condition
+// expression tree, every activity gets an OutputSpec wide enough for the
+// rules that read its outputs (ranges estimated from the log), and the
+// result can be handed straight to the Engine — enabling
+// mine -> redeploy -> re-mine round-trip validation.
+
+#ifndef PROCMINE_MINE_RECONSTRUCT_H_
+#define PROCMINE_MINE_RECONSTRUCT_H_
+
+#include "mine/condition_miner.h"
+#include "util/result.h"
+#include "workflow/process_definition.h"
+
+namespace procmine {
+
+/// Converts an extracted DNF rule set into a Condition expression.
+/// An empty rule set is `false`; a rule with no literals is `true`.
+Condition RulesToCondition(const std::vector<ConjunctiveRule>& rules);
+
+/// Builds an executable definition from a mined, condition-annotated model.
+/// `log` supplies per-activity output ranges (min/max observed per
+/// parameter); activities that never logged outputs get none. Fails if the
+/// annotated graph does not validate as a process (no unique source/sink).
+Result<ProcessDefinition> ReconstructDefinition(
+    const AnnotatedProcess& annotated, const EventLog& log);
+
+}  // namespace procmine
+
+#endif  // PROCMINE_MINE_RECONSTRUCT_H_

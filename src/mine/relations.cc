@@ -1,0 +1,79 @@
+#include "mine/relations.h"
+
+#include <algorithm>
+
+#include "graph/algorithms.h"
+
+namespace procmine {
+
+Relations Relations::Compute(const EventLog& log) {
+  const NodeId n = log.num_activities();
+  // For each ordered pair (a, b): did they co-occur, and was "b starts after
+  // a terminates" ever violated while co-occurring?
+  std::vector<bool> cooccur(static_cast<size_t>(n) * static_cast<size_t>(n),
+                            false);
+  std::vector<bool> violated(static_cast<size_t>(n) * static_cast<size_t>(n),
+                             false);
+  auto idx = [n](ActivityId a, ActivityId b) {
+    return static_cast<size_t>(a) * static_cast<size_t>(n) +
+           static_cast<size_t>(b);
+  };
+
+  // Per execution: extent (first start, last end) of each present activity.
+  std::vector<int64_t> first_start(static_cast<size_t>(n));
+  std::vector<int64_t> last_end(static_cast<size_t>(n));
+  std::vector<bool> present(static_cast<size_t>(n));
+  for (const Execution& exec : log.executions()) {
+    std::fill(present.begin(), present.end(), false);
+    for (const ActivityInstance& inst : exec.instances()) {
+      size_t a = static_cast<size_t>(inst.activity);
+      if (!present[a]) {
+        present[a] = true;
+        first_start[a] = inst.start;
+        last_end[a] = inst.end;
+      } else {
+        first_start[a] = std::min(first_start[a], inst.start);
+        last_end[a] = std::max(last_end[a], inst.end);
+      }
+    }
+    for (ActivityId a = 0; a < n; ++a) {
+      if (!present[static_cast<size_t>(a)]) continue;
+      for (ActivityId b = 0; b < n; ++b) {
+        if (a == b || !present[static_cast<size_t>(b)]) continue;
+        cooccur[idx(a, b)] = true;
+        // "B starts after A terminates" must hold in each co-occurrence for
+        // b to (directly) follow a.
+        if (!(first_start[static_cast<size_t>(b)] >
+              last_end[static_cast<size_t>(a)])) {
+          violated[idx(a, b)] = true;
+        }
+      }
+    }
+  }
+
+  Relations rel;
+  rel.followings_ = DirectedGraph(n);
+  for (ActivityId a = 0; a < n; ++a) {
+    for (ActivityId b = 0; b < n; ++b) {
+      if (a != b && cooccur[idx(a, b)] && !violated[idx(a, b)]) {
+        rel.followings_.AddEdge(a, b);  // b follows a (directly)
+      }
+    }
+  }
+  rel.follows_closure_ = ReachabilityMatrix(rel.followings_);
+  return rel;
+}
+
+std::vector<Edge> Relations::AllDependencies() const {
+  std::vector<Edge> deps;
+  const NodeId n = num_activities();
+  for (ActivityId a = 0; a < n; ++a) {
+    for (ActivityId b = 0; b < n; ++b) {
+      if (a != b && DependsOn(b, a)) deps.push_back(Edge{a, b});
+    }
+  }
+  std::sort(deps.begin(), deps.end());
+  return deps;
+}
+
+}  // namespace procmine

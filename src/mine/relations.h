@@ -1,0 +1,60 @@
+// The log relations of Section 2: following (Definition 3), dependence
+// (Definition 4), and independence — computed directly from a log, without
+// mining a graph. The conformance checker uses these to verify Definition
+// 7's dependency-completeness and irredundancy clauses; tests use them to
+// validate the paper's worked examples.
+
+#ifndef PROCMINE_MINE_RELATIONS_H_
+#define PROCMINE_MINE_RELATIONS_H_
+
+#include <vector>
+
+#include "graph/digraph.h"
+#include "log/event_log.h"
+#include "util/bitset.h"
+
+namespace procmine {
+
+/// Follows/depends/independent relations over a log's activities.
+///
+/// Computed for repeat-free (acyclic-process) logs: for executions with
+/// repeated activities the definitions are applied to occurrence extents
+/// (last end of A vs first start of B).
+class Relations {
+ public:
+  /// One O(n^2) pass per execution plus one transitive closure.
+  static Relations Compute(const EventLog& log);
+
+  /// Definition 3: B follows A (directly or through intermediaries).
+  bool Follows(ActivityId b, ActivityId a) const {
+    return follows_closure_[static_cast<size_t>(a)].Test(
+        static_cast<size_t>(b));
+  }
+
+  /// Definition 4: B depends on A iff B follows A but A does not follow B.
+  bool DependsOn(ActivityId b, ActivityId a) const {
+    return Follows(b, a) && !Follows(a, b);
+  }
+
+  /// Definition 4: independent iff both follow each other or neither does.
+  bool Independent(ActivityId a, ActivityId b) const {
+    return Follows(a, b) == Follows(b, a);
+  }
+
+  /// The primitive-followings graph: edge (a, b) iff b directly follows a
+  /// (before taking the transitive closure).
+  const DirectedGraph& followings_graph() const { return followings_; }
+
+  NodeId num_activities() const { return followings_.num_nodes(); }
+
+  /// All dependent pairs (a, b) with b depending on a, sorted.
+  std::vector<Edge> AllDependencies() const;
+
+ private:
+  DirectedGraph followings_;
+  std::vector<DynamicBitset> follows_closure_;
+};
+
+}  // namespace procmine
+
+#endif  // PROCMINE_MINE_RELATIONS_H_

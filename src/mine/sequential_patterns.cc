@@ -1,0 +1,120 @@
+#include "mine/sequential_patterns.h"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+namespace procmine {
+
+std::string SequentialPattern::ToString(
+    const ActivityDictionary& dict) const {
+  std::ostringstream out;
+  out << "<";
+  for (size_t i = 0; i < sequence.size(); ++i) {
+    if (i > 0) out << " ";
+    out << dict.Name(sequence[i]);
+  }
+  out << "> x" << support;
+  return out.str();
+}
+
+bool IsSubsequence(const std::vector<ActivityId>& pattern,
+                   const std::vector<ActivityId>& sequence) {
+  size_t p = 0;
+  for (ActivityId a : sequence) {
+    if (p < pattern.size() && pattern[p] == a) ++p;
+  }
+  return p == pattern.size();
+}
+
+std::vector<SequentialPattern> MineSequentialPatterns(
+    const EventLog& log, const SequentialPatternOptions& options) {
+  std::vector<SequentialPattern> result;
+  if (log.num_executions() == 0) return result;
+
+  // Materialize sequences once.
+  std::vector<std::vector<ActivityId>> sequences;
+  sequences.reserve(log.num_executions());
+  for (const Execution& exec : log.executions()) {
+    sequences.push_back(exec.Sequence());
+  }
+
+  auto support_of = [&](const std::vector<ActivityId>& pattern) {
+    int64_t support = 0;
+    for (const auto& seq : sequences) {
+      support += IsSubsequence(pattern, seq) ? 1 : 0;
+    }
+    return support;
+  };
+  auto capped = [&]() {
+    return options.max_patterns > 0 &&
+           static_cast<int64_t>(result.size()) >= options.max_patterns;
+  };
+
+  // Level 1: frequent single activities.
+  std::vector<SequentialPattern> frontier;
+  for (ActivityId a = 0; a < log.num_activities(); ++a) {
+    std::vector<ActivityId> pattern = {a};
+    int64_t support = support_of(pattern);
+    if (support >= options.min_support) {
+      frontier.push_back({std::move(pattern), support});
+    }
+  }
+  std::vector<ActivityId> frequent_items;
+  for (const SequentialPattern& p : frontier) {
+    frequent_items.push_back(p.sequence[0]);
+  }
+
+  for (int length = 1; !frontier.empty() && length <= options.max_length;
+       ++length) {
+    // Grow every frontier pattern by each frequent item (suffix extension,
+    // which is complete for subsequence patterns) before committing the
+    // frontier to the result set.
+    std::vector<SequentialPattern> next;
+    if (length < options.max_length) {
+      for (const SequentialPattern& p : frontier) {
+        for (ActivityId item : frequent_items) {
+          std::vector<ActivityId> candidate = p.sequence;
+          candidate.push_back(item);
+          int64_t support = support_of(candidate);
+          if (support >= options.min_support) {
+            next.push_back({std::move(candidate), support});
+          }
+        }
+      }
+    }
+    for (SequentialPattern& p : frontier) {
+      result.push_back(std::move(p));
+      if (capped()) return result;
+    }
+    frontier = std::move(next);
+  }
+
+  std::sort(result.begin(), result.end(),
+            [](const SequentialPattern& a, const SequentialPattern& b) {
+              if (a.sequence.size() != b.sequence.size()) {
+                return a.sequence.size() < b.sequence.size();
+              }
+              return a.sequence < b.sequence;
+            });
+  return result;
+}
+
+std::vector<SequentialPattern> MaximalPatterns(
+    const std::vector<SequentialPattern>& patterns) {
+  std::vector<SequentialPattern> maximal;
+  for (const SequentialPattern& p : patterns) {
+    bool has_frequent_super = false;
+    for (const SequentialPattern& q : patterns) {
+      if (q.sequence.size() > p.sequence.size() &&
+          IsSubsequence(p.sequence, q.sequence)) {
+        has_frequent_super = true;
+        break;
+      }
+    }
+    if (!has_frequent_super) maximal.push_back(p);
+  }
+  return maximal;
+}
+
+}  // namespace procmine

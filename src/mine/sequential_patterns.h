@@ -1,0 +1,58 @@
+// Sequential-pattern mining — the baseline the paper positions itself
+// against: "In modeling the process as a graph, we generalize the problem
+// of mining sequential patterns [AS95] [MTV95]. The algorithm is still
+// practical, however, because it computes a single graph that conforms with
+// all process executions" (Section 9).
+//
+// This is an AprioriAll-style miner over executions viewed as sequences of
+// activities: a pattern <a1, ..., ak> is supported by an execution if the
+// activities appear in that order (not necessarily consecutively). Used by
+// bench_baseline to demonstrate the paper's point — a log that one conformal
+// graph summarizes explodes into hundreds of frequent sequences.
+
+#ifndef PROCMINE_MINE_SEQUENTIAL_PATTERNS_H_
+#define PROCMINE_MINE_SEQUENTIAL_PATTERNS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "log/event_log.h"
+#include "util/result.h"
+
+namespace procmine {
+
+/// One frequent sequential pattern.
+struct SequentialPattern {
+  std::vector<ActivityId> sequence;
+  int64_t support = 0;  ///< number of executions containing the pattern
+
+  std::string ToString(const ActivityDictionary& dict) const;
+};
+
+struct SequentialPatternOptions {
+  /// Minimum number of supporting executions.
+  int64_t min_support = 2;
+  /// Longest pattern to grow (guards the exponential blow-up).
+  int max_length = 8;
+  /// Hard cap on patterns produced; mining stops with ResourceExhausted
+  /// semantics (returns what it has) when reached. 0 = unlimited.
+  int64_t max_patterns = 0;
+};
+
+/// True iff `pattern` occurs as a subsequence of `sequence`.
+bool IsSubsequence(const std::vector<ActivityId>& pattern,
+                   const std::vector<ActivityId>& sequence);
+
+/// AprioriAll: level-wise candidate generation + support counting.
+/// Patterns are returned sorted by length then lexicographically.
+std::vector<SequentialPattern> MineSequentialPatterns(
+    const EventLog& log, const SequentialPatternOptions& options = {});
+
+/// The maximal patterns among `patterns` (no frequent super-sequence).
+std::vector<SequentialPattern> MaximalPatterns(
+    const std::vector<SequentialPattern>& patterns);
+
+}  // namespace procmine
+
+#endif  // PROCMINE_MINE_SEQUENTIAL_PATTERNS_H_

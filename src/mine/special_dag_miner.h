@@ -1,0 +1,49 @@
+// Algorithm 1 (Special DAG), Section 3 of the paper.
+//
+// Setting: the process graph is acyclic and EVERY execution contains every
+// activity exactly once. Under those assumptions the minimal conformal graph
+// is unique, and this miner finds it in O(n^2 m) time:
+//   1-2. collect precedence edges over one log pass,
+//   3.   drop edges appearing in both directions (such pairs are
+//        independent),
+//   4.   transitive reduction.
+
+#ifndef PROCMINE_MINE_SPECIAL_DAG_MINER_H_
+#define PROCMINE_MINE_SPECIAL_DAG_MINER_H_
+
+#include <cstdint>
+
+#include "log/event_log.h"
+#include "util/result.h"
+#include "workflow/process_graph.h"
+
+namespace procmine {
+
+struct SpecialDagMinerOptions {
+  /// Minimum executions an edge must appear in to survive (the Section 6
+  /// noise threshold T). 1 = keep everything.
+  int64_t noise_threshold = 1;
+  /// When true (default), Mine() fails with InvalidArgument if some
+  /// execution does not contain every activity exactly once — the algorithm
+  /// is only correct under that assumption (use GeneralDagMiner otherwise).
+  bool enforce_exactly_once = true;
+};
+
+/// Mines the unique minimal conformal graph of a special-DAG log.
+class SpecialDagMiner {
+ public:
+  explicit SpecialDagMiner(SpecialDagMinerOptions options = {})
+      : options_(options) {}
+
+  /// Returns a ProcessGraph whose vertex ids are the log's ActivityIds.
+  /// Fails if the precondition is violated or the precedence graph is not
+  /// reducible to a DAG (heavily corrupted input).
+  Result<ProcessGraph> Mine(const EventLog& log) const;
+
+ private:
+  SpecialDagMinerOptions options_;
+};
+
+}  // namespace procmine
+
+#endif  // PROCMINE_MINE_SPECIAL_DAG_MINER_H_

@@ -1,0 +1,149 @@
+#include "synth/log_generator.h"
+
+#include <algorithm>
+
+#include "graph/algorithms.h"
+#include "util/bitset.h"
+#include "util/random.h"
+#include "util/strings.h"
+
+namespace procmine {
+
+namespace {
+
+/// Interns the graph's activity names so log ids == vertex ids.
+void SeedDictionary(const ProcessGraph& graph, EventLog* log) {
+  for (NodeId v = 0; v < graph.num_activities(); ++v) {
+    ActivityId id = log->dictionary().Intern(graph.name(v));
+    PROCMINE_CHECK_EQ(id, v);
+  }
+}
+
+/// One walk per the Section 8.1 rules. Returns the activity sequence; the
+/// walk is "stuck" (returns false) if the ready list emptied before END.
+///
+/// One refinement over the paper's verbatim rules: an activity whose
+/// descendant already executed is *banned* from entering the list. The
+/// paper's removal rule only drops ancestors that are already listed; an
+/// ancestor can otherwise slip in later (via another parent) and execute
+/// after its descendant, producing an execution that violates the process's
+/// own dependencies — contradicting the Section 2 assumption that "the log
+/// contains correct executions of the business process". The ban closes
+/// that hole so generated logs are always dependency-consistent.
+bool WalkOnce(const DirectedGraph& g, NodeId source, NodeId sink,
+              const std::vector<DynamicBitset>& reach, Rng* rng,
+              std::vector<NodeId>* sequence) {
+  sequence->clear();
+  std::vector<bool> executed(static_cast<size_t>(g.num_nodes()), false);
+  std::vector<bool> listed(static_cast<size_t>(g.num_nodes()), false);
+  std::vector<bool> banned(static_cast<size_t>(g.num_nodes()), false);
+  std::vector<NodeId> ready;
+
+  auto execute = [&](NodeId a) {
+    sequence->push_back(a);
+    executed[static_cast<size_t>(a)] = true;
+    // Drop every listed B with a (B, A) dependency — i.e. B reaches A —
+    // and ban every unexecuted ancestor of A from ever entering the list.
+    std::erase_if(ready, [&](NodeId b) {
+      if (reach[static_cast<size_t>(b)].Test(static_cast<size_t>(a))) {
+        listed[static_cast<size_t>(b)] = false;
+        return true;
+      }
+      return false;
+    });
+    for (NodeId b = 0; b < g.num_nodes(); ++b) {
+      if (!executed[static_cast<size_t>(b)] &&
+          reach[static_cast<size_t>(b)].Test(static_cast<size_t>(a))) {
+        banned[static_cast<size_t>(b)] = true;
+      }
+    }
+    // Add A's direct descendants.
+    for (NodeId w : g.OutNeighbors(a)) {
+      if (!executed[static_cast<size_t>(w)] &&
+          !listed[static_cast<size_t>(w)] && !banned[static_cast<size_t>(w)]) {
+        listed[static_cast<size_t>(w)] = true;
+        ready.push_back(w);
+      }
+    }
+  };
+
+  execute(source);
+  while (!ready.empty()) {
+    size_t pick = rng->Index(ready.size());
+    NodeId a = ready[pick];
+    ready.erase(ready.begin() + static_cast<ptrdiff_t>(pick));
+    listed[static_cast<size_t>(a)] = false;
+    execute(a);
+    if (a == sink) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+Result<EventLog> GenerateWalkLog(const ProcessGraph& graph,
+                                 const WalkLogOptions& options) {
+  PROCMINE_RETURN_NOT_OK(graph.Validate(/*require_acyclic=*/true));
+  PROCMINE_ASSIGN_OR_RETURN(NodeId source, graph.Source());
+  PROCMINE_ASSIGN_OR_RETURN(NodeId sink, graph.Sink());
+  std::vector<DynamicBitset> reach = ReachabilityMatrix(graph.graph());
+
+  EventLog log;
+  SeedDictionary(graph, &log);
+  Rng rng(options.seed);
+  std::vector<NodeId> sequence;
+  int retries = 0;
+  while (log.num_executions() < options.num_executions) {
+    bool finished =
+        WalkOnce(graph.graph(), source, sink, reach, &rng, &sequence);
+    if (!finished && options.retry_stuck) {
+      if (++retries > options.max_retries) {
+        return Status::Internal(
+            "walker stranded too often; graph may be pathological");
+      }
+      continue;
+    }
+    log.AddExecution(Execution::FromSequence(
+        StrFormat("case_%06zu", log.num_executions()), sequence));
+  }
+  return log;
+}
+
+Result<EventLog> GenerateLinearExtensionLog(const ProcessGraph& graph,
+                                            size_t num_executions,
+                                            uint64_t seed) {
+  PROCMINE_RETURN_NOT_OK(graph.Validate(/*require_acyclic=*/true));
+  const DirectedGraph& g = graph.graph();
+  const NodeId n = g.num_nodes();
+
+  EventLog log;
+  SeedDictionary(graph, &log);
+  Rng rng(seed);
+  for (size_t i = 0; i < num_executions; ++i) {
+    // Random linear extension: repeatedly pick a uniform random vertex among
+    // those whose predecessors have all executed.
+    std::vector<int64_t> remaining(static_cast<size_t>(n));
+    std::vector<NodeId> available;
+    for (NodeId v = 0; v < n; ++v) {
+      remaining[static_cast<size_t>(v)] = g.InDegree(v);
+      if (remaining[static_cast<size_t>(v)] == 0) available.push_back(v);
+    }
+    std::vector<NodeId> sequence;
+    sequence.reserve(static_cast<size_t>(n));
+    while (!available.empty()) {
+      size_t pick = rng.Index(available.size());
+      NodeId v = available[pick];
+      available.erase(available.begin() + static_cast<ptrdiff_t>(pick));
+      sequence.push_back(v);
+      for (NodeId w : g.OutNeighbors(v)) {
+        if (--remaining[static_cast<size_t>(w)] == 0) available.push_back(w);
+      }
+    }
+    PROCMINE_CHECK_EQ(sequence.size(), static_cast<size_t>(n));
+    log.AddExecution(
+        Execution::FromSequence(StrFormat("case_%06zu", i), sequence));
+  }
+  return log;
+}
+
+}  // namespace procmine

@@ -1,0 +1,53 @@
+// Synthetic execution-log generation, Section 8.1 of the paper.
+//
+// Two generators over a ground-truth ProcessGraph:
+//
+//  * GenerateWalkLog — the paper's random walker, verbatim: "The START
+//    activity is executed first and then all the activities that can be
+//    reached directly with one edge are inserted in a list. The next
+//    activity to be executed is selected from this list in random order.
+//    Once an activity A is logged, it is removed from the list, along with
+//    any activity B in the list such that there exists a (B,A) dependency.
+//    At the same time A's descendents are added to the list. When the END
+//    activity is selected, the process terminates." Executions therefore
+//    need not contain all activities — the Algorithm 2 setting.
+//
+//  * GenerateLinearExtensionLog — every execution is a uniform-ish random
+//    topological order containing ALL activities exactly once — the
+//    Algorithm 1 (special DAG) setting of Section 3.
+
+#ifndef PROCMINE_SYNTH_LOG_GENERATOR_H_
+#define PROCMINE_SYNTH_LOG_GENERATOR_H_
+
+#include <cstdint>
+
+#include "log/event_log.h"
+#include "util/result.h"
+#include "workflow/process_graph.h"
+
+namespace procmine {
+
+struct WalkLogOptions {
+  size_t num_executions = 100;
+  uint64_t seed = 1;
+  /// The walker can rarely strand itself with an empty ready list before
+  /// selecting END (a consequence of the paper's removal rule). When true,
+  /// such executions are regenerated; when false they are kept as logged.
+  bool retry_stuck = true;
+  int max_retries = 1000;
+};
+
+/// The paper's Section 8.1 walker. The returned log's ActivityIds equal the
+/// graph's vertex ids.
+Result<EventLog> GenerateWalkLog(const ProcessGraph& graph,
+                                 const WalkLogOptions& options);
+
+/// All-activities random linear extensions (Section 3 setting). The returned
+/// log's ActivityIds equal the graph's vertex ids.
+Result<EventLog> GenerateLinearExtensionLog(const ProcessGraph& graph,
+                                            size_t num_executions,
+                                            uint64_t seed);
+
+}  // namespace procmine
+
+#endif  // PROCMINE_SYNTH_LOG_GENERATOR_H_

@@ -1,0 +1,71 @@
+#include "synth/noise_injector.h"
+
+#include <algorithm>
+
+#include "util/random.h"
+
+namespace procmine {
+
+EventLog InjectNoise(const EventLog& log, const NoiseOptions& options,
+                     NoiseReport* report) {
+  NoiseReport local;
+  EventLog noisy;
+  // Copy the dictionary so activity ids are stable.
+  for (const std::string& name : log.dictionary().names()) {
+    noisy.dictionary().Intern(name);
+  }
+  Rng rng(options.seed);
+
+  for (const Execution& exec : log.executions()) {
+    std::vector<ActivityInstance> instances = exec.instances();
+    bool touched = false;
+
+    // Out-of-order reporting: swap adjacent pairs with probability
+    // swap_rate each (one sequential pass, as in the Section 6 model where
+    // each in-sequence pair independently errs with rate epsilon).
+    for (size_t i = 1; i < instances.size(); ++i) {
+      if (rng.Bernoulli(options.swap_rate)) {
+        std::swap(instances[i - 1], instances[i]);
+        ++local.swaps;
+        touched = true;
+      }
+    }
+
+    // Spurious insertion.
+    if (!instances.empty() && log.num_activities() > 0 &&
+        rng.Bernoulli(options.insert_rate)) {
+      ActivityInstance spurious;
+      spurious.activity = static_cast<ActivityId>(
+          rng.Uniform(static_cast<uint64_t>(log.num_activities())));
+      size_t pos = static_cast<size_t>(rng.Uniform(instances.size() + 1));
+      instances.insert(instances.begin() + static_cast<ptrdiff_t>(pos),
+                       spurious);
+      ++local.inserts;
+      touched = true;
+    }
+
+    // Missed logging.
+    if (instances.size() > 1 && rng.Bernoulli(options.delete_rate)) {
+      size_t pos = rng.Index(instances.size());
+      instances.erase(instances.begin() + static_cast<ptrdiff_t>(pos));
+      ++local.deletes;
+      touched = true;
+    }
+
+    if (touched) ++local.executions_touched;
+
+    // Renumber timestamps to a clean instantaneous sequence in the (possibly
+    // corrupted) order.
+    Execution out(exec.name());
+    int64_t t = 0;
+    for (ActivityInstance& inst : instances) {
+      inst.start = inst.end = t++;
+      out.Append(std::move(inst));
+    }
+    noisy.AddExecution(std::move(out));
+  }
+  if (report != nullptr) *report = local;
+  return noisy;
+}
+
+}  // namespace procmine

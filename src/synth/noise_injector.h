@@ -1,0 +1,44 @@
+// Noise injection, Section 6 of the paper: "erroneous activities were
+// inserted in the log, or some activities that were executed were not
+// logged, or some activities were reported in out of order time sequence."
+//
+// Operates on sequence logs (instantaneous activities); the output log has
+// clean consecutive timestamps so only the *order* carries the corruption.
+
+#ifndef PROCMINE_SYNTH_NOISE_INJECTOR_H_
+#define PROCMINE_SYNTH_NOISE_INJECTOR_H_
+
+#include <cstdint>
+
+#include "log/event_log.h"
+
+namespace procmine {
+
+struct NoiseOptions {
+  /// Per adjacent pair, probability that the pair is reported out of order
+  /// (the epsilon of the Section 6 analysis).
+  double swap_rate = 0.0;
+  /// Per execution, probability that one random spurious activity instance
+  /// (drawn from the log's own alphabet) is inserted at a random position.
+  double insert_rate = 0.0;
+  /// Per execution, probability that one random instance is dropped.
+  double delete_rate = 0.0;
+  uint64_t seed = 1;
+};
+
+/// Statistics of what was corrupted (for experiment reporting).
+struct NoiseReport {
+  int64_t swaps = 0;
+  int64_t inserts = 0;
+  int64_t deletes = 0;
+  int64_t executions_touched = 0;
+};
+
+/// Returns a corrupted copy of `log`. The dictionary (and therefore all
+/// activity ids) is preserved. If `report` is non-null it receives counts.
+EventLog InjectNoise(const EventLog& log, const NoiseOptions& options,
+                     NoiseReport* report = nullptr);
+
+}  // namespace procmine
+
+#endif  // PROCMINE_SYNTH_NOISE_INJECTOR_H_

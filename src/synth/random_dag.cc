@@ -1,0 +1,78 @@
+#include "synth/random_dag.h"
+
+#include <algorithm>
+
+#include "graph/algorithms.h"
+#include "util/strings.h"
+
+namespace procmine {
+
+std::string SyntheticActivityName(int32_t index, int32_t num_activities) {
+  if (num_activities <= 26) {
+    return std::string(1, static_cast<char>('A' + index));
+  }
+  return StrFormat("A%03d", index);
+}
+
+ProcessGraph GenerateRandomDag(const RandomDagOptions& options) {
+  PROCMINE_CHECK_GE(options.num_activities, 2);
+  const int32_t n = options.num_activities;
+  Rng rng(options.seed);
+
+  DirectedGraph g(n);
+  // Forward edges over the fixed ranking 0 < 1 < ... < n-1.
+  for (NodeId i = 0; i < n; ++i) {
+    for (NodeId j = i + 1; j < n; ++j) {
+      if (rng.Bernoulli(options.edge_density)) g.AddEdge(i, j);
+    }
+  }
+  // Enforce a unique source (vertex 0) and sink (vertex n-1): every other
+  // vertex needs at least one predecessor and one successor.
+  for (NodeId v = 1; v < n; ++v) {
+    if (g.InDegree(v) == 0) {
+      NodeId u = static_cast<NodeId>(rng.Uniform(static_cast<uint64_t>(v)));
+      g.AddEdge(u, v);
+    }
+  }
+  for (NodeId v = 0; v < n - 1; ++v) {
+    if (g.OutDegree(v) == 0) {
+      NodeId w = static_cast<NodeId>(
+          v + 1 + rng.Uniform(static_cast<uint64_t>(n - 1 - v)));
+      g.AddEdge(v, w);
+    }
+  }
+
+  std::vector<std::string> names;
+  names.reserve(static_cast<size_t>(n));
+  for (int32_t i = 0; i < n; ++i) names.push_back(SyntheticActivityName(i, n));
+  ProcessGraph pg(std::move(g), std::move(names));
+  PROCMINE_CHECK(pg.Validate(/*require_acyclic=*/true).ok());
+  return pg;
+}
+
+double PaperEdgeDensity(int32_t num_activities) {
+  // Anchors derived from Table 2: edges_present / possible_forward_pairs.
+  struct Anchor {
+    int32_t n;
+    double density;
+  };
+  static constexpr Anchor kAnchors[] = {
+      {10, 24.0 / 45.0},      // 0.533
+      {25, 224.0 / 300.0},    // 0.747
+      {50, 1058.0 / 1225.0},  // 0.864
+      {100, 4569.0 / 4950.0}  // 0.923
+  };
+  if (num_activities <= kAnchors[0].n) return kAnchors[0].density;
+  for (size_t i = 1; i < std::size(kAnchors); ++i) {
+    if (num_activities <= kAnchors[i].n) {
+      const Anchor& lo = kAnchors[i - 1];
+      const Anchor& hi = kAnchors[i];
+      double t = static_cast<double>(num_activities - lo.n) /
+                 static_cast<double>(hi.n - lo.n);
+      return lo.density + t * (hi.density - lo.density);
+    }
+  }
+  return kAnchors[std::size(kAnchors) - 1].density;
+}
+
+}  // namespace procmine

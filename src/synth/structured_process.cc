@@ -1,0 +1,197 @@
+#include "synth/structured_process.h"
+
+#include <string>
+#include <vector>
+
+#include "util/random.h"
+#include "util/strings.h"
+
+namespace procmine {
+
+namespace {
+
+/// Grows the process graph block by block. Every block exposes one entry
+/// and one exit activity; composition happens by wiring exits to entries.
+class Builder {
+ public:
+  Builder(const StructuredProcessOptions& options)
+      : options_(options), rng_(options.seed) {}
+
+  ProcessDefinition Build() {
+    remaining_ = options_.target_activities;
+    NodeId start = NewActivity("Start");
+    auto [entry, exit] = MakeBlock(0);
+    NodeId end = NewActivity("End");
+    AddEdge(start, entry, Condition::True());
+    AddEdge(exit, end, Condition::True());
+
+    ProcessDefinition def(
+        ProcessGraph(std::move(graph_), std::move(names_)));
+    for (const auto& [node, spec] : output_specs_) {
+      def.SetOutputSpec(node, spec);
+    }
+    for (const auto& [edge, condition] : conditions_) {
+      def.SetCondition(edge.from, edge.to, condition);
+    }
+    for (NodeId node : and_joins_) def.SetJoin(node, JoinKind::kAnd);
+    PROCMINE_CHECK_OK(def.Validate());
+    return def;
+  }
+
+ private:
+  struct Block {
+    NodeId entry;
+    NodeId exit;
+  };
+
+  NodeId NewActivity(std::string name = "") {
+    NodeId id = graph_.AddNode();
+    if (name.empty()) {
+      name = StrFormat("T%02d", static_cast<int>(id));
+    }
+    names_.push_back(std::move(name));
+    --remaining_;
+    return id;
+  }
+
+  void AddEdge(NodeId from, NodeId to, Condition condition) {
+    if (!graph_.AddEdge(from, to)) {
+      // The edge already exists (e.g. two empty XOR branches collapsing to
+      // the same split->join edge): merge routing conditions disjunctively.
+      for (size_t i = 0; i < conditions_.size(); ++i) {
+        auto& [edge, existing] = conditions_[i];
+        if (edge.from == from && edge.to == to) {
+          if (condition.IsAlwaysTrue()) {
+            conditions_.erase(conditions_.begin() +
+                              static_cast<ptrdiff_t>(i));
+          } else {
+            existing = Condition::Or(std::move(existing),
+                                     std::move(condition));
+          }
+          return;
+        }
+      }
+      return;  // existing edge is unconditional: stays unconditional
+    }
+    if (!condition.IsAlwaysTrue()) {
+      conditions_.push_back({Edge{from, to}, std::move(condition)});
+    }
+  }
+
+  /// Gives `node` one routing output parameter in [0, 99].
+  void MakeRouter(NodeId node) {
+    output_specs_.push_back({node, OutputSpec::Uniform(1, 0, 99)});
+  }
+
+  enum class Kind { kAtomic, kSequence, kXor, kParallel, kSkip };
+
+  Kind PickKind(int depth) {
+    // Composite blocks need budget for their split/join/branch structure.
+    if (depth >= options_.max_depth || remaining_ < 4) return Kind::kAtomic;
+    double weights[] = {options_.sequence_weight, options_.xor_weight,
+                        options_.parallel_weight, options_.skip_weight};
+    double total = weights[0] + weights[1] + weights[2] + weights[3];
+    double pick = rng_.NextDouble() * total;
+    if ((pick -= weights[0]) < 0) return Kind::kSequence;
+    if ((pick -= weights[1]) < 0) return Kind::kXor;
+    if ((pick -= weights[2]) < 0) return Kind::kParallel;
+    return Kind::kSkip;
+  }
+
+  struct Block BlockOfKind(Kind kind, int depth);
+
+  struct Block MakeBlock(int depth) {
+    return BlockOfKind(PickKind(depth), depth);
+  }
+
+  const StructuredProcessOptions& options_;
+  Rng rng_;
+  int32_t remaining_ = 0;
+  DirectedGraph graph_;
+  std::vector<std::string> names_;
+  std::vector<std::pair<NodeId, OutputSpec>> output_specs_;
+  std::vector<std::pair<Edge, Condition>> conditions_;
+  std::vector<NodeId> and_joins_;
+};
+
+Builder::Block Builder::BlockOfKind(Kind kind, int depth) {
+  switch (kind) {
+    case Kind::kAtomic: {
+      NodeId node = NewActivity();
+      return {node, node};
+    }
+    case Kind::kSequence: {
+      int length = 2 + static_cast<int>(rng_.Uniform(2));  // 2-3 sub-blocks
+      struct Block first = MakeBlock(depth + 1);
+      NodeId exit = first.exit;
+      for (int i = 1; i < length && remaining_ > 1; ++i) {
+        struct Block next = MakeBlock(depth + 1);
+        AddEdge(exit, next.entry, Condition::True());
+        exit = next.exit;
+      }
+      return {first.entry, exit};
+    }
+    case Kind::kXor: {
+      // Router splits [0, 99] into k exclusive bands, one per branch.
+      int branches = 2 + static_cast<int>(rng_.Uniform(2));  // 2-3
+      NodeId split = NewActivity();
+      MakeRouter(split);
+      NodeId join = NewActivity();
+      for (int i = 0; i < branches; ++i) {
+        int64_t lo = i * 100 / branches;
+        int64_t hi = (i + 1) * 100 / branches;
+        Condition in_band =
+            Condition::And(Condition::Compare(0, CmpOp::kGe, lo),
+                           Condition::Compare(0, CmpOp::kLt, hi));
+        if (remaining_ > 1 && rng_.Bernoulli(0.8)) {
+          struct Block branch = MakeBlock(depth + 1);
+          AddEdge(split, branch.entry, std::move(in_band));
+          AddEdge(branch.exit, join, Condition::True());
+        } else {
+          // Empty branch: the band skips straight to the join.
+          AddEdge(split, join, std::move(in_band));
+        }
+      }
+      return {split, join};
+    }
+    case Kind::kParallel: {
+      int branches = 2 + static_cast<int>(rng_.Uniform(2));  // 2-3
+      NodeId split = NewActivity();
+      NodeId join = NewActivity();
+      and_joins_.push_back(join);
+      int made = 0;
+      for (int i = 0; i < branches; ++i) {
+        if (remaining_ > 1) {
+          struct Block branch = MakeBlock(depth + 1);
+          AddEdge(split, branch.entry, Condition::True());
+          AddEdge(branch.exit, join, Condition::True());
+          ++made;
+        }
+      }
+      if (made == 0) AddEdge(split, join, Condition::True());
+      return {split, join};
+    }
+    case Kind::kSkip: {
+      NodeId split = NewActivity();
+      MakeRouter(split);
+      NodeId join = NewActivity();
+      struct Block body = MakeBlock(depth + 1);
+      AddEdge(split, body.entry, Condition::Compare(0, CmpOp::kLt, 60));
+      AddEdge(body.exit, join, Condition::True());
+      AddEdge(split, join, Condition::Compare(0, CmpOp::kGe, 60));
+      return {split, join};
+    }
+  }
+  NodeId node = NewActivity();
+  return {node, node};
+}
+
+}  // namespace
+
+ProcessDefinition GenerateStructuredProcess(
+    const StructuredProcessOptions& options) {
+  PROCMINE_CHECK_GE(options.target_activities, 3);
+  return Builder(options).Build();
+}
+
+}  // namespace procmine

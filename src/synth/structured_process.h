@@ -1,0 +1,41 @@
+// Structured synthetic processes: random compositions of the classic
+// workflow blocks — sequence, exclusive choice (XOR-split/join), parallel
+// split (AND-split/join) and optional skip — with routing conditions
+// attached, the way real business processes are drawn. A complement to the
+// plain random DAGs of random_dag.h: random DAGs stress the miner's
+// worst case, structured processes measure it on realistic topologies
+// (where, as in the paper's Flowmark processes, recovery is exact).
+
+#ifndef PROCMINE_SYNTH_STRUCTURED_PROCESS_H_
+#define PROCMINE_SYNTH_STRUCTURED_PROCESS_H_
+
+#include <cstdint>
+
+#include "workflow/process_definition.h"
+
+namespace procmine {
+
+struct StructuredProcessOptions {
+  /// Activity budget. The block grammar stops growing once the budget is
+  /// spent, so the result lands at or slightly above small targets and can
+  /// undershoot large ones when max_depth caps the nesting.
+  int32_t target_activities = 12;
+  uint64_t seed = 1;
+  /// Relative weights of block kinds chosen while growing the process.
+  double sequence_weight = 3.0;
+  double xor_weight = 2.0;
+  double parallel_weight = 2.0;
+  double skip_weight = 1.0;
+  /// Maximum block nesting depth.
+  int max_depth = 3;
+};
+
+/// Generates a structured, condition-annotated, executable process.
+/// Activities are named T01, T02, ... plus Start/End. The result always
+/// passes ProcessDefinition::Validate().
+ProcessDefinition GenerateStructuredProcess(
+    const StructuredProcessOptions& options);
+
+}  // namespace procmine
+
+#endif  // PROCMINE_SYNTH_STRUCTURED_PROCESS_H_

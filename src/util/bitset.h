@@ -1,0 +1,80 @@
+// DynamicBitset: a fixed-capacity bitset sized at runtime.
+//
+// Used as the descendant-set representation in the transitive closure /
+// reduction algorithms, where OR-ing whole sets is the hot operation
+// (Algorithm 4 of the paper unions successor descendant sets per vertex).
+
+#ifndef PROCMINE_UTIL_BITSET_H_
+#define PROCMINE_UTIL_BITSET_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace procmine {
+
+/// Bitset whose size is fixed at construction. All operations are bounds
+/// checked in debug builds.
+class DynamicBitset {
+ public:
+  DynamicBitset() : size_(0) {}
+  explicit DynamicBitset(size_t size)
+      : size_(size), words_((size + 63) / 64, 0) {}
+
+  size_t size() const { return size_; }
+
+  void Set(size_t i) {
+    PROCMINE_DCHECK(i < size_);
+    words_[i >> 6] |= (uint64_t{1} << (i & 63));
+  }
+
+  void Reset(size_t i) {
+    PROCMINE_DCHECK(i < size_);
+    words_[i >> 6] &= ~(uint64_t{1} << (i & 63));
+  }
+
+  bool Test(size_t i) const {
+    PROCMINE_DCHECK(i < size_);
+    return (words_[i >> 6] >> (i & 63)) & 1;
+  }
+
+  /// Sets all bits to zero.
+  void Clear() {
+    for (auto& w : words_) w = 0;
+  }
+
+  /// this |= other. Sizes must match.
+  void OrWith(const DynamicBitset& other) {
+    PROCMINE_DCHECK(size_ == other.size_);
+    for (size_t i = 0; i < words_.size(); ++i) words_[i] |= other.words_[i];
+  }
+
+  /// True iff this and other share any set bit.
+  bool Intersects(const DynamicBitset& other) const {
+    PROCMINE_DCHECK(size_ == other.size_);
+    for (size_t i = 0; i < words_.size(); ++i) {
+      if (words_[i] & other.words_[i]) return true;
+    }
+    return false;
+  }
+
+  /// Number of set bits.
+  size_t Count() const {
+    size_t n = 0;
+    for (uint64_t w : words_) n += static_cast<size_t>(__builtin_popcountll(w));
+    return n;
+  }
+
+  friend bool operator==(const DynamicBitset& a, const DynamicBitset& b) {
+    return a.size_ == b.size_ && a.words_ == b.words_;
+  }
+
+ private:
+  size_t size_;
+  std::vector<uint64_t> words_;
+};
+
+}  // namespace procmine
+
+#endif  // PROCMINE_UTIL_BITSET_H_

@@ -1,0 +1,45 @@
+// Varint / zigzag encoding primitives for the binary log format
+// (LevelDB/RocksDB-style coding).
+
+#ifndef PROCMINE_UTIL_CODING_H_
+#define PROCMINE_UTIL_CODING_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "util/result.h"
+
+namespace procmine {
+
+/// Appends an unsigned LEB128 varint (1-10 bytes).
+void PutVarint64(std::string* dst, uint64_t value);
+
+/// Zigzag-maps a signed value so small magnitudes stay short, then varints.
+void PutVarintSigned64(std::string* dst, int64_t value);
+
+/// Appends a fixed-width little-endian 32-bit value.
+void PutFixed32(std::string* dst, uint32_t value);
+
+/// Appends length-prefixed bytes.
+void PutLengthPrefixed(std::string* dst, std::string_view bytes);
+
+/// Cursor-based decoder; each Get* advances `*cursor` on success and fails
+/// with DataLoss on truncated or malformed input.
+Result<uint64_t> GetVarint64(std::string_view* cursor);
+Result<int64_t> GetVarintSigned64(std::string_view* cursor);
+Result<uint32_t> GetFixed32(std::string_view* cursor);
+Result<std::string_view> GetLengthPrefixed(std::string_view* cursor);
+
+/// Zigzag mapping helpers (exposed for tests).
+inline uint64_t ZigzagEncode(int64_t value) {
+  return (static_cast<uint64_t>(value) << 1) ^
+         static_cast<uint64_t>(value >> 63);
+}
+inline int64_t ZigzagDecode(uint64_t value) {
+  return static_cast<int64_t>(value >> 1) ^ -static_cast<int64_t>(value & 1);
+}
+
+}  // namespace procmine
+
+#endif  // PROCMINE_UTIL_CODING_H_

@@ -1,0 +1,35 @@
+#include "util/crc32c.h"
+
+#include <array>
+
+namespace procmine {
+
+namespace {
+
+constexpr uint32_t kPolynomial = 0x82f63b78;  // reflected CRC-32C
+
+constexpr std::array<uint32_t, 256> MakeTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t crc = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc >> 1) ^ ((crc & 1) ? kPolynomial : 0);
+    }
+    table[i] = crc;
+  }
+  return table;
+}
+
+constexpr std::array<uint32_t, 256> kTable = MakeTable();
+
+}  // namespace
+
+uint32_t Crc32c(uint32_t crc, std::string_view data) {
+  crc = ~crc;
+  for (char c : data) {
+    crc = (crc >> 8) ^ kTable[(crc ^ static_cast<uint8_t>(c)) & 0xff];
+  }
+  return ~crc;
+}
+
+}  // namespace procmine

@@ -1,0 +1,59 @@
+#include "util/logging.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+
+namespace procmine {
+
+namespace {
+std::atomic<int> g_log_level{static_cast<int>(LogLevel::kInfo)};
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarning:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+  }
+  return "?";
+}
+}  // namespace
+
+void SetLogLevel(LogLevel level) {
+  g_log_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+LogLevel GetLogLevel() {
+  return static_cast<LogLevel>(g_log_level.load(std::memory_order_relaxed));
+}
+
+namespace internal {
+
+LogMessage::LogMessage(LogLevel level, const char* file, int line)
+    : level_(level), file_(file), line_(line) {}
+
+LogMessage::~LogMessage() {
+  if (static_cast<int>(level_) <
+      g_log_level.load(std::memory_order_relaxed)) {
+    return;
+  }
+  std::fprintf(stderr, "[%s %s:%d] %s\n", LevelName(level_), file_, line_,
+               stream_.str().c_str());
+}
+
+FatalMessage::FatalMessage(const char* file, int line, const char* condition)
+    : file_(file), line_(line), condition_(condition) {}
+
+FatalMessage::~FatalMessage() {
+  std::fprintf(stderr, "[FATAL %s:%d] check failed: %s %s\n", file_, line_,
+               condition_, stream_.str().c_str());
+  std::abort();
+}
+
+}  // namespace internal
+}  // namespace procmine

@@ -1,0 +1,78 @@
+// Lightweight leveled logging and CHECK macros.
+//
+// PROCMINE_CHECK(cond) aborts (with file:line) when `cond` is false, in every
+// build type; PROCMINE_DCHECK compiles out in NDEBUG builds. PROCMINE_LOG
+// writes a timestamped line to stderr when the message level is at or above
+// the global threshold.
+
+#ifndef PROCMINE_UTIL_LOGGING_H_
+#define PROCMINE_UTIL_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace procmine {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Sets the minimum level that will be emitted (default: kInfo).
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+class FatalMessage {
+ public:
+  FatalMessage(const char* file, int line, const char* condition);
+  [[noreturn]] ~FatalMessage();
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  const char* file_;
+  int line_;
+  const char* condition_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace procmine
+
+#define PROCMINE_LOG(level)                                              \
+  ::procmine::internal::LogMessage(::procmine::LogLevel::k##level,       \
+                                   __FILE__, __LINE__)                   \
+      .stream()
+
+#define PROCMINE_CHECK(condition)                                        \
+  if (!(condition))                                                      \
+  ::procmine::internal::FatalMessage(__FILE__, __LINE__, #condition)     \
+      .stream()
+
+#define PROCMINE_CHECK_EQ(a, b) PROCMINE_CHECK((a) == (b))
+#define PROCMINE_CHECK_NE(a, b) PROCMINE_CHECK((a) != (b))
+#define PROCMINE_CHECK_LT(a, b) PROCMINE_CHECK((a) < (b))
+#define PROCMINE_CHECK_LE(a, b) PROCMINE_CHECK((a) <= (b))
+#define PROCMINE_CHECK_GT(a, b) PROCMINE_CHECK((a) > (b))
+#define PROCMINE_CHECK_GE(a, b) PROCMINE_CHECK((a) >= (b))
+
+#ifdef NDEBUG
+#define PROCMINE_DCHECK(condition) \
+  if (false && (condition))        \
+  ::procmine::internal::FatalMessage(__FILE__, __LINE__, #condition).stream()
+#else
+#define PROCMINE_DCHECK(condition) PROCMINE_CHECK(condition)
+#endif
+
+#endif  // PROCMINE_UTIL_LOGGING_H_

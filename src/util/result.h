@@ -1,0 +1,89 @@
+// Result<T>: value-or-Status, in the Arrow idiom.
+//
+// A Result<T> holds either a T (when the producing operation succeeded) or an
+// error Status. Use PROCMINE_ASSIGN_OR_RETURN to unwrap in functions that
+// themselves return Status/Result.
+
+#ifndef PROCMINE_UTIL_RESULT_H_
+#define PROCMINE_UTIL_RESULT_H_
+
+#include <optional>
+#include <utility>
+
+#include "util/status.h"
+
+namespace procmine {
+
+/// Holds either a value of type T or an error Status.
+template <typename T>
+class Result {
+ public:
+  /// Constructs a successful result (implicit, so `return value;` works).
+  Result(T value)  // NOLINT(google-explicit-constructor)
+      : value_(std::move(value)) {}
+
+  /// Constructs a failed result from a non-OK status (implicit, so
+  /// `return Status::IOError(...)` works).
+  Result(Status status)  // NOLINT(google-explicit-constructor)
+      : status_(std::move(status)) {
+    if (status_.ok()) {
+      Status::Internal("Result constructed from OK status without a value")
+          .Abort("Result(Status)");
+    }
+  }
+
+  /// True iff a value is present.
+  bool ok() const { return status_.ok(); }
+
+  /// The status: OK iff a value is present.
+  const Status& status() const { return status_; }
+
+  /// The contained value. Must only be called when ok().
+  const T& ValueOrDie() const& {
+    status_.Abort("Result::ValueOrDie");
+    return *value_;
+  }
+  T& ValueOrDie() & {
+    status_.Abort("Result::ValueOrDie");
+    return *value_;
+  }
+  T&& ValueOrDie() && {
+    status_.Abort("Result::ValueOrDie");
+    return std::move(*value_);
+  }
+
+  /// Moves the value out. Must only be called when ok().
+  T MoveValueOrDie() { return std::move(*this).ValueOrDie(); }
+
+  const T& operator*() const& { return ValueOrDie(); }
+  T& operator*() & { return ValueOrDie(); }
+  const T* operator->() const { return &ValueOrDie(); }
+  T* operator->() { return &ValueOrDie(); }
+
+  /// The value if present, otherwise `fallback`.
+  T ValueOr(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+namespace internal {
+// Concatenation helpers so the macro below makes a unique temp name per line.
+#define PROCMINE_CONCAT_IMPL(x, y) x##y
+#define PROCMINE_CONCAT(x, y) PROCMINE_CONCAT_IMPL(x, y)
+}  // namespace internal
+
+/// Unwraps a Result into `lhs` or propagates its error status.
+///   PROCMINE_ASSIGN_OR_RETURN(auto log, LogReader::ReadFile(path));
+#define PROCMINE_ASSIGN_OR_RETURN(lhs, rexpr)                             \
+  auto PROCMINE_CONCAT(_result_, __LINE__) = (rexpr);                    \
+  if (!PROCMINE_CONCAT(_result_, __LINE__).ok())                         \
+    return PROCMINE_CONCAT(_result_, __LINE__).status();                 \
+  lhs = std::move(PROCMINE_CONCAT(_result_, __LINE__)).ValueOrDie()
+
+}  // namespace procmine
+
+#endif  // PROCMINE_UTIL_RESULT_H_

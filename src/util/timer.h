@@ -1,0 +1,33 @@
+// Wall-clock stopwatch used by the benchmark harnesses.
+
+#ifndef PROCMINE_UTIL_TIMER_H_
+#define PROCMINE_UTIL_TIMER_H_
+
+#include <chrono>
+
+namespace procmine {
+
+/// Measures elapsed wall-clock time with a monotonic clock.
+class StopWatch {
+ public:
+  StopWatch() : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last Reset().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Milliseconds elapsed since construction or the last Reset().
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace procmine
+
+#endif  // PROCMINE_UTIL_TIMER_H_

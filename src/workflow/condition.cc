@@ -1,0 +1,261 @@
+#include "workflow/condition.h"
+
+#include "util/logging.h"
+#include "util/strings.h"
+
+namespace procmine {
+
+std::string_view CmpOpToString(CmpOp op) {
+  switch (op) {
+    case CmpOp::kLt:
+      return "<";
+    case CmpOp::kLe:
+      return "<=";
+    case CmpOp::kGt:
+      return ">";
+    case CmpOp::kGe:
+      return ">=";
+    case CmpOp::kEq:
+      return "==";
+    case CmpOp::kNe:
+      return "!=";
+  }
+  return "?";
+}
+
+bool EvalCmp(int64_t lhs, CmpOp op, int64_t rhs) {
+  switch (op) {
+    case CmpOp::kLt:
+      return lhs < rhs;
+    case CmpOp::kLe:
+      return lhs <= rhs;
+    case CmpOp::kGt:
+      return lhs > rhs;
+    case CmpOp::kGe:
+      return lhs >= rhs;
+    case CmpOp::kEq:
+      return lhs == rhs;
+    case CmpOp::kNe:
+      return lhs != rhs;
+  }
+  return false;
+}
+
+struct Condition::Node {
+  enum class Kind : int8_t {
+    kTrue,
+    kFalse,
+    kCmpConst,
+    kCmpParam,
+    kAnd,
+    kOr,
+    kNot
+  };
+  Kind kind;
+  // kCmpConst: o[param] op value; kCmpParam: o[param] op o[rhs_param].
+  int param = 0;
+  int rhs_param = 0;
+  CmpOp op = CmpOp::kLt;
+  int64_t value = 0;
+  std::shared_ptr<const Node> left;
+  std::shared_ptr<const Node> right;
+};
+
+Condition::Condition() : root_(nullptr) {}  // null root means `true`
+Condition::Condition(std::shared_ptr<const Node> root)
+    : root_(std::move(root)) {}
+
+Condition Condition::True() { return Condition(); }
+
+Condition Condition::False() {
+  auto node = std::make_shared<Node>();
+  node->kind = Node::Kind::kFalse;
+  return Condition(node);
+}
+
+Condition Condition::Compare(int param, CmpOp op, int64_t value) {
+  PROCMINE_CHECK_GE(param, 0);
+  auto node = std::make_shared<Node>();
+  node->kind = Node::Kind::kCmpConst;
+  node->param = param;
+  node->op = op;
+  node->value = value;
+  return Condition(node);
+}
+
+Condition Condition::CompareParams(int lhs_param, CmpOp op, int rhs_param) {
+  PROCMINE_CHECK_GE(lhs_param, 0);
+  PROCMINE_CHECK_GE(rhs_param, 0);
+  auto node = std::make_shared<Node>();
+  node->kind = Node::Kind::kCmpParam;
+  node->param = lhs_param;
+  node->op = op;
+  node->rhs_param = rhs_param;
+  return Condition(node);
+}
+
+Condition Condition::And(Condition a, Condition b) {
+  auto node = std::make_shared<Node>();
+  node->kind = Node::Kind::kAnd;
+  node->left = a.root_;
+  node->right = b.root_;
+  return Condition(node);
+}
+
+Condition Condition::Or(Condition a, Condition b) {
+  auto node = std::make_shared<Node>();
+  node->kind = Node::Kind::kOr;
+  node->left = a.root_;
+  node->right = b.root_;
+  return Condition(node);
+}
+
+Condition Condition::Not(Condition a) {
+  auto node = std::make_shared<Node>();
+  node->kind = Node::Kind::kNot;
+  node->left = a.root_;
+  return Condition(node);
+}
+
+bool Condition::Eval(const std::vector<int64_t>& output) const {
+  struct Evaluator {
+    const std::vector<int64_t>& out;
+    bool Visit(const Condition::Node* node) const {
+      if (node == nullptr) return true;  // null == constant true
+      using K = Condition::Node::Kind;
+      switch (node->kind) {
+        case K::kTrue:
+          return true;
+        case K::kFalse:
+          return false;
+        case K::kCmpConst: {
+          if (static_cast<size_t>(node->param) >= out.size()) return false;
+          return EvalCmp(out[static_cast<size_t>(node->param)], node->op,
+                         node->value);
+        }
+        case K::kCmpParam: {
+          if (static_cast<size_t>(node->param) >= out.size() ||
+              static_cast<size_t>(node->rhs_param) >= out.size()) {
+            return false;
+          }
+          return EvalCmp(out[static_cast<size_t>(node->param)], node->op,
+                         out[static_cast<size_t>(node->rhs_param)]);
+        }
+        case K::kAnd:
+          return Visit(node->left.get()) && Visit(node->right.get());
+        case K::kOr:
+          return Visit(node->left.get()) || Visit(node->right.get());
+        case K::kNot:
+          return !Visit(node->left.get());
+      }
+      return false;
+    }
+  };
+  return Evaluator{output}.Visit(root_.get());
+}
+
+bool Condition::IsAlwaysTrue() const {
+  return root_ == nullptr || root_->kind == Node::Kind::kTrue;
+}
+
+Status Condition::Validate(int num_params) const {
+  struct Checker {
+    int num_params;
+    Status Visit(const Condition::Node* node) const {
+      if (node == nullptr) return Status::OK();
+      using K = Condition::Node::Kind;
+      switch (node->kind) {
+        case K::kTrue:
+        case K::kFalse:
+          return Status::OK();
+        case K::kCmpConst:
+          if (node->param >= num_params) {
+            return Status::InvalidArgument(
+                StrFormat("condition references o[%d] but activity has only "
+                          "%d output parameters",
+                          node->param, num_params));
+          }
+          return Status::OK();
+        case K::kCmpParam:
+          if (node->param >= num_params || node->rhs_param >= num_params) {
+            return Status::InvalidArgument(
+                StrFormat("condition references o[%d] or o[%d] but activity "
+                          "has only %d output parameters",
+                          node->param, node->rhs_param, num_params));
+          }
+          return Status::OK();
+        case K::kAnd:
+        case K::kOr: {
+          Status left = Visit(node->left.get());
+          if (!left.ok()) return left;
+          return Visit(node->right.get());
+        }
+        case K::kNot:
+          return Visit(node->left.get());
+      }
+      return Status::OK();
+    }
+  };
+  return Checker{num_params}.Visit(root_.get());
+}
+
+std::string Condition::ToString() const {
+  struct Printer {
+    std::string Visit(const Condition::Node* node) const {
+      if (node == nullptr) return "true";
+      using K = Condition::Node::Kind;
+      switch (node->kind) {
+        case K::kTrue:
+          return "true";
+        case K::kFalse:
+          return "false";
+        case K::kCmpConst:
+          return StrFormat("o[%d] %s %lld", node->param,
+                           std::string(CmpOpToString(node->op)).c_str(),
+                           static_cast<long long>(node->value));
+        case K::kCmpParam:
+          return StrFormat("o[%d] %s o[%d]", node->param,
+                           std::string(CmpOpToString(node->op)).c_str(),
+                           node->rhs_param);
+        case K::kAnd:
+          return "(" + Visit(node->left.get()) + " and " +
+                 Visit(node->right.get()) + ")";
+        case K::kOr:
+          return "(" + Visit(node->left.get()) + " or " +
+                 Visit(node->right.get()) + ")";
+        case K::kNot:
+          return "not " + Visit(node->left.get());
+      }
+      return "?";
+    }
+  };
+  return Printer{}.Visit(root_.get());
+}
+
+Condition Condition::Random(Rng* rng, int num_params, int max_depth,
+                            int64_t const_lo, int64_t const_hi) {
+  PROCMINE_CHECK_GT(num_params, 0);
+  if (max_depth <= 0 || rng->Bernoulli(0.6)) {
+    // Leaf: comparison against a constant (common case) or another param.
+    int param = static_cast<int>(rng->Uniform(static_cast<uint64_t>(num_params)));
+    CmpOp op = static_cast<CmpOp>(rng->Uniform(6));
+    if (num_params >= 2 && rng->Bernoulli(0.2)) {
+      int rhs = static_cast<int>(
+          rng->Uniform(static_cast<uint64_t>(num_params)));
+      return CompareParams(param, op, rhs);
+    }
+    return Compare(param, op, rng->UniformRange(const_lo, const_hi));
+  }
+  switch (rng->Uniform(3)) {
+    case 0:
+      return And(Random(rng, num_params, max_depth - 1, const_lo, const_hi),
+                 Random(rng, num_params, max_depth - 1, const_lo, const_hi));
+    case 1:
+      return Or(Random(rng, num_params, max_depth - 1, const_lo, const_hi),
+                Random(rng, num_params, max_depth - 1, const_lo, const_hi));
+    default:
+      return Not(Random(rng, num_params, max_depth - 1, const_lo, const_hi));
+  }
+}
+
+}  // namespace procmine

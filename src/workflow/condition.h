@@ -1,0 +1,77 @@
+// Condition: Boolean control-flow predicates on activity outputs.
+//
+// Section 2 of the paper annotates every edge (u,v) with a Boolean function
+// f_(u,v) : N^k -> {0,1} evaluated on the output vector o(u). Conditions are
+// immutable expression trees (comparisons of output parameters against
+// constants or each other, combined with AND/OR/NOT), cheap to copy
+// (shared_ptr nodes), and printable — the condition miner re-emits learned
+// rules in this same form.
+
+#ifndef PROCMINE_WORKFLOW_CONDITION_H_
+#define PROCMINE_WORKFLOW_CONDITION_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/random.h"
+#include "util/status.h"
+
+namespace procmine {
+
+/// Comparison operator of a leaf predicate.
+enum class CmpOp : int8_t { kLt, kLe, kGt, kGe, kEq, kNe };
+
+std::string_view CmpOpToString(CmpOp op);
+
+/// Evaluates `lhs op rhs`.
+bool EvalCmp(int64_t lhs, CmpOp op, int64_t rhs);
+
+/// Immutable Boolean expression over an output vector o.
+/// Grammar:  C ::= true | false | o[i] op const | o[i] op o[j]
+///              | C and C | C or C | not C
+class Condition {
+ public:
+  /// Default-constructed condition is `true` (unconditional edge).
+  Condition();
+
+  static Condition True();
+  static Condition False();
+  /// o[param] op value
+  static Condition Compare(int param, CmpOp op, int64_t value);
+  /// o[lhs_param] op o[rhs_param]
+  static Condition CompareParams(int lhs_param, CmpOp op, int rhs_param);
+  static Condition And(Condition a, Condition b);
+  static Condition Or(Condition a, Condition b);
+  static Condition Not(Condition a);
+
+  /// Evaluates against the output vector. Parameter indexes beyond
+  /// output.size() evaluate their leaf to false (a missing parameter can
+  /// never satisfy a comparison).
+  bool Eval(const std::vector<int64_t>& output) const;
+
+  /// True iff the expression is the constant `true`.
+  bool IsAlwaysTrue() const;
+
+  /// OK iff every referenced parameter index is < num_params.
+  Status Validate(int num_params) const;
+
+  /// Human-readable form, e.g. "(o[0] > 5 and o[1] <= o[0])".
+  std::string ToString() const;
+
+  /// Generates a random condition of depth <= max_depth over num_params
+  /// parameters with constants drawn from [const_lo, const_hi]. Used by the
+  /// synthetic workload generator.
+  static Condition Random(Rng* rng, int num_params, int max_depth,
+                          int64_t const_lo, int64_t const_hi);
+
+ private:
+  struct Node;
+  explicit Condition(std::shared_ptr<const Node> root);
+  std::shared_ptr<const Node> root_;
+};
+
+}  // namespace procmine
+
+#endif  // PROCMINE_WORKFLOW_CONDITION_H_

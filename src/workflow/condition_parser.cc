@@ -1,0 +1,199 @@
+#include "workflow/condition_parser.h"
+
+#include <cctype>
+
+#include "util/strings.h"
+
+namespace procmine {
+
+namespace {
+
+/// Hand-rolled tokenizer + recursive-descent parser.
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Result<Condition> Parse() {
+    PROCMINE_ASSIGN_OR_RETURN(Condition cond, ParseOr());
+    SkipSpace();
+    if (pos_ != text_.size()) {
+      return Error("unexpected trailing input");
+    }
+    return cond;
+  }
+
+ private:
+  /// One operand of a comparison: a parameter reference or a constant.
+  struct Operand {
+    bool is_param;
+    int param = 0;
+    int64_t value = 0;
+  };
+
+  Status Error(const std::string& message) const {
+    return Status::InvalidArgument(
+        StrFormat("condition parse error at offset %zu: %s", pos_,
+                  message.c_str()));
+  }
+
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool ConsumeSymbol(std::string_view symbol) {
+    SkipSpace();
+    if (text_.substr(pos_, symbol.size()) == symbol) {
+      pos_ += symbol.size();
+      return true;
+    }
+    return false;
+  }
+
+  /// Consumes a keyword (must not be followed by an identifier character).
+  bool ConsumeKeyword(std::string_view word) {
+    SkipSpace();
+    if (text_.substr(pos_, word.size()) != word) return false;
+    size_t after = pos_ + word.size();
+    if (after < text_.size() &&
+        (std::isalnum(static_cast<unsigned char>(text_[after])) ||
+         text_[after] == '_')) {
+      return false;
+    }
+    pos_ = after;
+    return true;
+  }
+
+  Result<int64_t> ConsumeInteger() {
+    SkipSpace();
+    size_t begin = pos_;
+    if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+')) {
+      ++pos_;
+    }
+    while (pos_ < text_.size() &&
+           std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+    if (pos_ == begin ||
+        (pos_ == begin + 1 && !std::isdigit(
+                                  static_cast<unsigned char>(text_[begin])))) {
+      return Error("expected an integer");
+    }
+    return ParseInt64(text_.substr(begin, pos_ - begin));
+  }
+
+  Result<Condition> ParseOr() {
+    PROCMINE_ASSIGN_OR_RETURN(Condition left, ParseAnd());
+    while (ConsumeKeyword("or")) {
+      PROCMINE_ASSIGN_OR_RETURN(Condition right, ParseAnd());
+      left = Condition::Or(std::move(left), std::move(right));
+    }
+    return left;
+  }
+
+  Result<Condition> ParseAnd() {
+    PROCMINE_ASSIGN_OR_RETURN(Condition left, ParseUnary());
+    while (ConsumeKeyword("and")) {
+      PROCMINE_ASSIGN_OR_RETURN(Condition right, ParseUnary());
+      left = Condition::And(std::move(left), std::move(right));
+    }
+    return left;
+  }
+
+  Result<Condition> ParseUnary() {
+    if (ConsumeKeyword("not")) {
+      PROCMINE_ASSIGN_OR_RETURN(Condition inner, ParseUnary());
+      return Condition::Not(std::move(inner));
+    }
+    return ParsePrimary();
+  }
+
+  Result<Condition> ParsePrimary() {
+    if (ConsumeSymbol("(")) {
+      PROCMINE_ASSIGN_OR_RETURN(Condition inner, ParseOr());
+      if (!ConsumeSymbol(")")) return Error("expected ')'");
+      return inner;
+    }
+    if (ConsumeKeyword("true")) return Condition::True();
+    if (ConsumeKeyword("false")) return Condition::False();
+
+    PROCMINE_ASSIGN_OR_RETURN(Operand lhs, ParseOperand());
+    PROCMINE_ASSIGN_OR_RETURN(CmpOp op, ParseCmpOp());
+    PROCMINE_ASSIGN_OR_RETURN(Operand rhs, ParseOperand());
+
+    if (lhs.is_param && rhs.is_param) {
+      return Condition::CompareParams(lhs.param, op, rhs.param);
+    }
+    if (lhs.is_param) {
+      return Condition::Compare(lhs.param, op, rhs.value);
+    }
+    if (rhs.is_param) {
+      // const OP o[i]  ==  o[i] FLIP(OP) const
+      return Condition::Compare(rhs.param, Flip(op), lhs.value);
+    }
+    // Constant comparison folds to a constant condition.
+    return EvalCmp(lhs.value, op, rhs.value) ? Condition::True()
+                                             : Condition::False();
+  }
+
+  Result<Operand> ParseOperand() {
+    SkipSpace();
+    if (pos_ < text_.size() && text_[pos_] == 'o' &&
+        pos_ + 1 < text_.size() && text_[pos_ + 1] == '[') {
+      pos_ += 2;
+      PROCMINE_ASSIGN_OR_RETURN(int64_t index, ConsumeInteger());
+      if (index < 0) return Error("parameter index must be >= 0");
+      if (!ConsumeSymbol("]")) return Error("expected ']'");
+      Operand operand;
+      operand.is_param = true;
+      operand.param = static_cast<int>(index);
+      return operand;
+    }
+    PROCMINE_ASSIGN_OR_RETURN(int64_t value, ConsumeInteger());
+    Operand operand;
+    operand.is_param = false;
+    operand.value = value;
+    return operand;
+  }
+
+  Result<CmpOp> ParseCmpOp() {
+    // Longest-match first.
+    if (ConsumeSymbol("<=")) return CmpOp::kLe;
+    if (ConsumeSymbol(">=")) return CmpOp::kGe;
+    if (ConsumeSymbol("==")) return CmpOp::kEq;
+    if (ConsumeSymbol("!=")) return CmpOp::kNe;
+    if (ConsumeSymbol("<")) return CmpOp::kLt;
+    if (ConsumeSymbol(">")) return CmpOp::kGt;
+    return Error("expected a comparison operator");
+  }
+
+  static CmpOp Flip(CmpOp op) {
+    switch (op) {
+      case CmpOp::kLt:
+        return CmpOp::kGt;
+      case CmpOp::kLe:
+        return CmpOp::kGe;
+      case CmpOp::kGt:
+        return CmpOp::kLt;
+      case CmpOp::kGe:
+        return CmpOp::kLe;
+      case CmpOp::kEq:
+      case CmpOp::kNe:
+        return op;
+    }
+    return op;
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<Condition> ParseCondition(std::string_view text) {
+  return Parser(text).Parse();
+}
+
+}  // namespace procmine

@@ -1,0 +1,31 @@
+// Parser for Condition expressions — the textual form Condition::ToString
+// emits and the FDL definition language embeds:
+//
+//   cond    := or_expr
+//   or_expr := and_expr ( 'or' and_expr )*
+//   and_expr:= unary ( 'and' unary )*
+//   unary   := 'not' unary | primary
+//   primary := '(' cond ')' | 'true' | 'false' | operand CMP operand
+//   operand := 'o' '[' INT ']' | INT
+//   CMP     := < | <= | > | >= | == | !=
+//
+// 'and' binds tighter than 'or'; at least one side of a comparison must be
+// a parameter reference (constant-vs-constant comparisons are folded).
+
+#ifndef PROCMINE_WORKFLOW_CONDITION_PARSER_H_
+#define PROCMINE_WORKFLOW_CONDITION_PARSER_H_
+
+#include <string_view>
+
+#include "util/result.h"
+#include "workflow/condition.h"
+
+namespace procmine {
+
+/// Parses `text` into a Condition. Fails with InvalidArgument (message
+/// includes the offending position) on syntax errors or trailing input.
+Result<Condition> ParseCondition(std::string_view text);
+
+}  // namespace procmine
+
+#endif  // PROCMINE_WORKFLOW_CONDITION_PARSER_H_

@@ -1,0 +1,309 @@
+#include "workflow/fdl.h"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <sstream>
+
+#include "util/strings.h"
+#include "workflow/condition_parser.h"
+
+namespace procmine {
+
+namespace {
+
+/// A raw declaration split out of the document body.
+struct Declaration {
+  std::string text;
+  int64_t line;
+};
+
+/// Strips comments and splits the body on ';'.
+std::vector<Declaration> SplitDeclarations(std::string_view body,
+                                           int64_t first_line) {
+  std::vector<Declaration> declarations;
+  std::string current;
+  int64_t line = first_line;
+  int64_t start_line = first_line;
+  bool in_comment = false;
+  for (char c : body) {
+    if (c == '\n') {
+      ++line;
+      in_comment = false;
+      current += ' ';
+      continue;
+    }
+    if (in_comment) continue;
+    if (c == '#') {
+      in_comment = true;
+      continue;
+    }
+    if (c == ';') {
+      if (!Trim(current).empty()) {
+        declarations.push_back({std::string(Trim(current)), start_line});
+      }
+      current.clear();
+      continue;
+    }
+    // The declaration starts on the line of its first visible character.
+    if (Trim(current).empty() &&
+        !std::isspace(static_cast<unsigned char>(c))) {
+      start_line = line;
+    }
+    current += c;
+  }
+  if (!Trim(current).empty()) {
+    declarations.push_back({std::string(Trim(current)), start_line});
+  }
+  return declarations;
+}
+
+Status DeclError(const Declaration& decl, const std::string& message) {
+  return Status::InvalidArgument(StrFormat(
+      "FDL line %lld: %s (in '%s')", static_cast<long long>(decl.line),
+      message.c_str(), decl.text.c_str()));
+}
+
+struct ActivityDecl {
+  std::string name;
+  int outputs = 0;
+  int64_t range_lo = 0;
+  int64_t range_hi = 99;
+};
+
+struct EdgeDecl {
+  std::string from;
+  std::string to;
+  std::string condition;  // empty = true
+  Declaration origin;
+};
+
+struct JoinDecl {
+  std::string activity;
+  JoinKind kind;
+  Declaration origin;
+};
+
+}  // namespace
+
+Result<ProcessDefinition> ParseFdl(const std::string& text,
+                                   bool require_acyclic) {
+  // Header: process <name> { ... }
+  size_t brace_open = text.find('{');
+  size_t brace_close = text.rfind('}');
+  if (brace_open == std::string::npos || brace_close == std::string::npos ||
+      brace_close < brace_open) {
+    return Status::InvalidArgument("FDL: expected 'process <name> { ... }'");
+  }
+  std::vector<std::string> header =
+      SplitWhitespace(text.substr(0, brace_open));
+  // Tolerate comment lines before the header by taking the last two tokens.
+  if (header.size() < 2 || header[header.size() - 2] != "process") {
+    return Status::InvalidArgument(
+        "FDL: document must start with 'process <name>'");
+  }
+  int64_t first_line =
+      1 + std::count(text.begin(),
+                     text.begin() + static_cast<ptrdiff_t>(brace_open), '\n');
+
+  std::vector<ActivityDecl> activities;
+  std::vector<EdgeDecl> edges;
+  std::vector<JoinDecl> joins;
+
+  for (const Declaration& decl : SplitDeclarations(
+           text.substr(brace_open + 1, brace_close - brace_open - 1),
+           first_line)) {
+    std::vector<std::string> tokens = SplitWhitespace(decl.text);
+    if (tokens.empty()) continue;
+    const std::string& keyword = tokens[0];
+
+    if (keyword == "activity") {
+      if (tokens.size() < 2) return DeclError(decl, "activity needs a name");
+      ActivityDecl activity;
+      activity.name = tokens[1];
+      size_t i = 2;
+      while (i < tokens.size()) {
+        if (tokens[i] == "outputs" && i + 1 < tokens.size()) {
+          PROCMINE_ASSIGN_OR_RETURN(int64_t k, ParseInt64(tokens[i + 1]));
+          if (k < 0 || k > 64) {
+            return DeclError(decl, "outputs must be in [0, 64]");
+          }
+          activity.outputs = static_cast<int>(k);
+          i += 2;
+        } else if (tokens[i] == "range") {
+          // range [ lo , hi ] — retokenize the remainder jointly to allow
+          // arbitrary spacing.
+          std::string rest = Join({tokens.begin() + static_cast<ptrdiff_t>(i) + 1,
+                                   tokens.end()},
+                                  " ");
+          size_t open = rest.find('[');
+          size_t comma = rest.find(',');
+          size_t close = rest.find(']');
+          if (open == std::string::npos || comma == std::string::npos ||
+              close == std::string::npos || !(open < comma && comma < close)) {
+            return DeclError(decl, "range expects [lo, hi]");
+          }
+          auto lo = ParseInt64(Trim(rest.substr(open + 1, comma - open - 1)));
+          auto hi = ParseInt64(Trim(rest.substr(comma + 1, close - comma - 1)));
+          if (!lo.ok() || !hi.ok() || *lo > *hi) {
+            return DeclError(decl, "bad range bounds");
+          }
+          activity.range_lo = *lo;
+          activity.range_hi = *hi;
+          // Nothing may follow the range.
+          if (!Trim(rest.substr(close + 1)).empty()) {
+            return DeclError(decl, "unexpected tokens after range");
+          }
+          i = tokens.size();
+        } else {
+          return DeclError(decl, "unknown activity attribute '" + tokens[i] +
+                                     "'");
+        }
+      }
+      activities.push_back(std::move(activity));
+    } else if (keyword == "edge") {
+      // edge From -> To [when <condition>]
+      std::vector<std::string> rest = tokens;
+      if (rest.size() < 4 || rest[2] != "->") {
+        return DeclError(decl, "edge expects 'edge From -> To [when ...]'");
+      }
+      EdgeDecl edge;
+      edge.from = rest[1];
+      edge.to = rest[3];
+      edge.origin = decl;
+      if (rest.size() > 4) {
+        if (rest[4] != "when") {
+          return DeclError(decl, "expected 'when' before the condition");
+        }
+        edge.condition = Join(
+            {rest.begin() + 5, rest.end()}, " ");
+        if (edge.condition.empty()) {
+          return DeclError(decl, "empty condition after 'when'");
+        }
+      }
+      edges.push_back(std::move(edge));
+    } else if (keyword == "join") {
+      if (tokens.size() != 3 || (tokens[2] != "and" && tokens[2] != "or")) {
+        return DeclError(decl, "join expects 'join <activity> and|or'");
+      }
+      joins.push_back({tokens[1],
+                       tokens[2] == "and" ? JoinKind::kAnd : JoinKind::kOr,
+                       decl});
+    } else {
+      return DeclError(decl, "unknown declaration '" + keyword + "'");
+    }
+  }
+
+  // Assemble: activities in declaration order, then edges.
+  ActivityDictionary dict;
+  for (const ActivityDecl& activity : activities) {
+    if (dict.Find(activity.name).ok()) {
+      return Status::InvalidArgument("FDL: duplicate activity '" +
+                                     activity.name + "'");
+    }
+    dict.Intern(activity.name);
+  }
+  DirectedGraph graph(dict.size());
+  for (const EdgeDecl& edge : edges) {
+    auto from = dict.Find(edge.from);
+    auto to = dict.Find(edge.to);
+    if (!from.ok()) {
+      return DeclError(edge.origin, "undeclared activity '" + edge.from + "'");
+    }
+    if (!to.ok()) {
+      return DeclError(edge.origin, "undeclared activity '" + edge.to + "'");
+    }
+    if (!graph.AddEdge(*from, *to)) {
+      return DeclError(edge.origin, "duplicate edge");
+    }
+  }
+
+  ProcessDefinition def(ProcessGraph(std::move(graph), dict.names()));
+  for (size_t i = 0; i < activities.size(); ++i) {
+    const ActivityDecl& activity = activities[i];
+    def.SetOutputSpec(static_cast<NodeId>(i),
+                      OutputSpec::Uniform(activity.outputs,
+                                          activity.range_lo,
+                                          activity.range_hi));
+  }
+  for (const EdgeDecl& edge : edges) {
+    if (edge.condition.empty()) continue;
+    Result<Condition> condition = ParseCondition(edge.condition);
+    if (!condition.ok()) {
+      return DeclError(edge.origin,
+                       std::string(condition.status().message()));
+    }
+    def.SetCondition(*dict.Find(edge.from), *dict.Find(edge.to),
+                     condition.MoveValueOrDie());
+  }
+  for (const JoinDecl& join : joins) {
+    auto id = dict.Find(join.activity);
+    if (!id.ok()) {
+      return DeclError(join.origin,
+                       "undeclared activity '" + join.activity + "'");
+    }
+    def.SetJoin(*id, join.kind);
+  }
+
+  PROCMINE_RETURN_NOT_OK(def.Validate(require_acyclic));
+  return def;
+}
+
+std::string ToFdl(const ProcessDefinition& definition,
+                  const std::string& process_name) {
+  std::ostringstream out;
+  out << "process " << process_name << " {\n";
+  for (NodeId v = 0; v < definition.num_activities(); ++v) {
+    out << "  activity " << definition.name(v);
+    const OutputSpec& spec = definition.output_spec(v);
+    if (spec.num_params() > 0) {
+      int64_t lo = spec.ranges[0].first;
+      int64_t hi = spec.ranges[0].second;
+      for (const auto& [range_lo, range_hi] : spec.ranges) {
+        lo = std::min(lo, range_lo);
+        hi = std::max(hi, range_hi);
+      }
+      out << " outputs " << spec.num_params() << " range [" << lo << ", "
+          << hi << "]";
+    }
+    out << ";\n";
+  }
+  for (NodeId v = 0; v < definition.num_activities(); ++v) {
+    if (definition.join(v) == JoinKind::kAnd) {
+      out << "  join " << definition.name(v) << " and;\n";
+    }
+  }
+  for (const Edge& e : definition.graph().Edges()) {
+    out << "  edge " << definition.name(e.from) << " -> "
+        << definition.name(e.to);
+    const Condition& condition = definition.condition(e.from, e.to);
+    if (!condition.IsAlwaysTrue()) {
+      out << " when " << condition.ToString();
+    }
+    out << ";\n";
+  }
+  out << "}\n";
+  return out.str();
+}
+
+Result<ProcessDefinition> ReadFdlFile(const std::string& path,
+                                      bool require_acyclic) {
+  std::ifstream file(path);
+  if (!file) return Status::IOError("cannot open: " + path);
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  if (file.bad()) return Status::IOError("read failed: " + path);
+  return ParseFdl(buffer.str(), require_acyclic);
+}
+
+Status WriteFdlFile(const ProcessDefinition& definition,
+                    const std::string& path,
+                    const std::string& process_name) {
+  std::ofstream file(path);
+  if (!file) return Status::IOError("cannot open for writing: " + path);
+  file << ToFdl(definition, process_name);
+  if (!file) return Status::IOError("write failed: " + path);
+  return Status::OK();
+}
+
+}  // namespace procmine

@@ -1,0 +1,51 @@
+// FDL — a Flowmark-style process Definition Language.
+//
+// The paper's substrate, IBM FlowMark, shipped a textual definition
+// language (FDL); this module provides the procmine equivalent so process
+// definitions are file artifacts: the engine can simulate a definition
+// written by hand, and a mined + condition-annotated model can be exported
+// back out as a runnable definition (see mine/reconstruct.h).
+//
+// Syntax (one statement per declaration, '#' comments, whitespace-free
+// names):
+//
+//   process Order_Fulfillment {
+//     activity Start outputs 1 range [0, 99];
+//     activity Ship;
+//     join Ship and;                       # default join is `or`
+//     edge Start -> Ship when o[0] >= 50;  # default condition is `true`
+//   }
+//
+// `outputs K` declares K output parameters; `range [lo, hi]` applies to all
+// of them (finer-grained per-parameter ranges can be set via the API).
+
+#ifndef PROCMINE_WORKFLOW_FDL_H_
+#define PROCMINE_WORKFLOW_FDL_H_
+
+#include <string>
+
+#include "util/result.h"
+#include "workflow/process_definition.h"
+
+namespace procmine {
+
+/// Parses one FDL document. The result validates structurally (unique
+/// source/sink etc.) unless `require_acyclic` relaxes the DAG check for
+/// cyclic processes.
+Result<ProcessDefinition> ParseFdl(const std::string& text,
+                                   bool require_acyclic = true);
+
+/// Serializes a definition to FDL. Output round-trips through ParseFdl
+/// (per-parameter ranges collapse to their widest common range).
+std::string ToFdl(const ProcessDefinition& definition,
+                  const std::string& process_name = "process");
+
+Result<ProcessDefinition> ReadFdlFile(const std::string& path,
+                                      bool require_acyclic = true);
+Status WriteFdlFile(const ProcessDefinition& definition,
+                    const std::string& path,
+                    const std::string& process_name = "process");
+
+}  // namespace procmine
+
+#endif  // PROCMINE_WORKFLOW_FDL_H_

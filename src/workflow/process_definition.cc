@@ -1,0 +1,66 @@
+#include "workflow/process_definition.h"
+
+#include "util/strings.h"
+
+namespace procmine {
+
+OutputSpec OutputSpec::Uniform(int k, int64_t lo, int64_t hi) {
+  PROCMINE_CHECK_GE(k, 0);
+  PROCMINE_CHECK_LE(lo, hi);
+  OutputSpec spec;
+  spec.ranges.assign(static_cast<size_t>(k), {lo, hi});
+  return spec;
+}
+
+ProcessDefinition::ProcessDefinition(ProcessGraph graph)
+    : graph_(std::move(graph)),
+      output_specs_(static_cast<size_t>(graph_.num_activities())),
+      joins_(static_cast<size_t>(graph_.num_activities()), JoinKind::kOr) {}
+
+void ProcessDefinition::SetOutputSpec(NodeId v, OutputSpec spec) {
+  PROCMINE_CHECK(v >= 0 && v < num_activities());
+  output_specs_[static_cast<size_t>(v)] = std::move(spec);
+}
+
+const OutputSpec& ProcessDefinition::output_spec(NodeId v) const {
+  PROCMINE_CHECK(v >= 0 && v < num_activities());
+  return output_specs_[static_cast<size_t>(v)];
+}
+
+void ProcessDefinition::SetCondition(NodeId from, NodeId to,
+                                     Condition condition) {
+  PROCMINE_CHECK(graph().HasEdge(from, to));
+  conditions_[PackEdge(from, to)] = std::move(condition);
+}
+
+const Condition& ProcessDefinition::condition(NodeId from, NodeId to) const {
+  static const Condition kTrue = Condition::True();
+  auto it = conditions_.find(PackEdge(from, to));
+  return it == conditions_.end() ? kTrue : it->second;
+}
+
+void ProcessDefinition::SetJoin(NodeId v, JoinKind kind) {
+  PROCMINE_CHECK(v >= 0 && v < num_activities());
+  joins_[static_cast<size_t>(v)] = kind;
+}
+
+JoinKind ProcessDefinition::join(NodeId v) const {
+  PROCMINE_CHECK(v >= 0 && v < num_activities());
+  return joins_[static_cast<size_t>(v)];
+}
+
+Status ProcessDefinition::Validate(bool require_acyclic) const {
+  PROCMINE_RETURN_NOT_OK(graph_.Validate(require_acyclic));
+  for (const Edge& e : graph().Edges()) {
+    Status st = condition(e.from, e.to)
+                    .Validate(output_spec(e.from).num_params());
+    if (!st.ok()) {
+      return Status::InvalidArgument(StrFormat(
+          "edge (%s, %s): %s", name(e.from).c_str(), name(e.to).c_str(),
+          st.message().c_str()));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace procmine

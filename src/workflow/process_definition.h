@@ -1,0 +1,78 @@
+// ProcessDefinition: a fully-specified business process, Definition 1 of the
+// paper — the structure graph plus the output function o_P (how many output
+// parameters each activity produces and from what ranges they are drawn) and
+// the Boolean condition f_(u,v) on every edge.
+//
+// This is the executable artifact: the Engine interprets a ProcessDefinition
+// to produce event logs, both for the synthetic evaluation (Section 8.1) and
+// the simulated Flowmark processes (Section 8.2).
+
+#ifndef PROCMINE_WORKFLOW_PROCESS_DEFINITION_H_
+#define PROCMINE_WORKFLOW_PROCESS_DEFINITION_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "workflow/condition.h"
+#include "workflow/process_graph.h"
+
+namespace procmine {
+
+/// How an activity's output vector is generated when it executes: each
+/// parameter i is drawn uniformly from [ranges[i].first, ranges[i].second].
+struct OutputSpec {
+  std::vector<std::pair<int64_t, int64_t>> ranges;
+
+  int num_params() const { return static_cast<int>(ranges.size()); }
+
+  /// k parameters each uniform in [lo, hi].
+  static OutputSpec Uniform(int k, int64_t lo, int64_t hi);
+};
+
+/// Join behaviour of an activity with multiple incoming edges (the "logical
+/// expression involving the activities that point to v" of Section 2).
+enum class JoinKind : int8_t {
+  kOr,   ///< runs if at least one incoming edge fired
+  kAnd,  ///< runs only if all incoming edges fired
+};
+
+/// A complete, executable process definition.
+class ProcessDefinition {
+ public:
+  ProcessDefinition() = default;
+  explicit ProcessDefinition(ProcessGraph graph);
+
+  const ProcessGraph& process_graph() const { return graph_; }
+  const DirectedGraph& graph() const { return graph_.graph(); }
+  NodeId num_activities() const { return graph_.num_activities(); }
+  const std::string& name(NodeId v) const { return graph_.name(v); }
+
+  /// Sets how activity v generates outputs (default: no outputs).
+  void SetOutputSpec(NodeId v, OutputSpec spec);
+  const OutputSpec& output_spec(NodeId v) const;
+
+  /// Sets the condition on edge (from, to); the edge must exist in the
+  /// graph. Default for every edge is `true`.
+  void SetCondition(NodeId from, NodeId to, Condition condition);
+  const Condition& condition(NodeId from, NodeId to) const;
+
+  /// Sets the join kind of v (default kOr).
+  void SetJoin(NodeId v, JoinKind kind);
+  JoinKind join(NodeId v) const;
+
+  /// Structural + referential validation: the graph validates (acyclic
+  /// unless `require_acyclic` is false), and every condition only references
+  /// parameters its source activity produces.
+  Status Validate(bool require_acyclic = true) const;
+
+ private:
+  ProcessGraph graph_;
+  std::vector<OutputSpec> output_specs_;
+  std::vector<JoinKind> joins_;
+  std::unordered_map<uint64_t, Condition> conditions_;  // PackEdge keyed
+};
+
+}  // namespace procmine
+
+#endif  // PROCMINE_WORKFLOW_PROCESS_DEFINITION_H_

@@ -1,0 +1,82 @@
+#include "workflow/process_graph.h"
+
+#include <unordered_map>
+
+#include "graph/algorithms.h"
+#include "graph/dot.h"
+#include "util/strings.h"
+
+namespace procmine {
+
+ProcessGraph::ProcessGraph(DirectedGraph graph, std::vector<std::string> names)
+    : graph_(std::move(graph)), names_(std::move(names)) {
+  PROCMINE_CHECK_EQ(static_cast<size_t>(graph_.num_nodes()), names_.size());
+}
+
+ProcessGraph ProcessGraph::FromNamedEdges(
+    const std::vector<std::pair<std::string, std::string>>& edges) {
+  ActivityDictionary dict;
+  std::vector<Edge> id_edges;
+  id_edges.reserve(edges.size());
+  for (const auto& [from, to] : edges) {
+    NodeId f = dict.Intern(from);
+    NodeId t = dict.Intern(to);
+    id_edges.push_back(Edge{f, t});
+  }
+  DirectedGraph g = DirectedGraph::FromEdges(dict.size(), id_edges);
+  return ProcessGraph(std::move(g), dict.names());
+}
+
+Result<NodeId> ProcessGraph::FindActivity(const std::string& name) const {
+  for (size_t i = 0; i < names_.size(); ++i) {
+    if (names_[i] == name) return static_cast<NodeId>(i);
+  }
+  return Status::NotFound("unknown activity: '" + name + "'");
+}
+
+Result<NodeId> ProcessGraph::Source() const {
+  std::vector<NodeId> sources = Sources(graph_);
+  if (sources.size() != 1) {
+    return Status::FailedPrecondition(
+        StrFormat("expected exactly one source, found %zu", sources.size()));
+  }
+  return sources[0];
+}
+
+Result<NodeId> ProcessGraph::Sink() const {
+  std::vector<NodeId> sinks = Sinks(graph_);
+  if (sinks.size() != 1) {
+    return Status::FailedPrecondition(
+        StrFormat("expected exactly one sink, found %zu", sinks.size()));
+  }
+  return sinks[0];
+}
+
+Status ProcessGraph::Validate(bool require_acyclic) const {
+  if (graph_.num_nodes() == 0) {
+    return Status::FailedPrecondition("process graph is empty");
+  }
+  PROCMINE_ASSIGN_OR_RETURN(NodeId source, Source());
+  PROCMINE_RETURN_NOT_OK(Sink().status());
+  if (require_acyclic && HasCycle(graph_)) {
+    return Status::FailedPrecondition("process graph has a cycle");
+  }
+  if (!IsWeaklyConnected(graph_)) {
+    return Status::FailedPrecondition("process graph is not connected");
+  }
+  std::vector<NodeId> reachable = ReachableFrom(graph_, source);
+  if (reachable.size() != static_cast<size_t>(graph_.num_nodes())) {
+    return Status::FailedPrecondition(StrFormat(
+        "only %zu of %d activities reachable from the source",
+        reachable.size(), graph_.num_nodes()));
+  }
+  return Status::OK();
+}
+
+std::string ProcessGraph::ToDot(const std::string& graph_name) const {
+  DotOptions options;
+  options.graph_name = graph_name;
+  return procmine::ToDot(graph_, names_, options);
+}
+
+}  // namespace procmine

@@ -1,0 +1,68 @@
+// ProcessGraph: the paper's process model graph — a directed graph whose
+// vertices are named activities, with a single initiating (source) and a
+// single terminating (sink) activity (Section 2, Definition 1 without the
+// output functions and edge conditions; those live in ProcessDefinition).
+//
+// Mined graphs and ground-truth graphs are both ProcessGraphs, so they can
+// be compared, rendered, and conformance-checked interchangeably.
+
+#ifndef PROCMINE_WORKFLOW_PROCESS_GRAPH_H_
+#define PROCMINE_WORKFLOW_PROCESS_GRAPH_H_
+
+#include <string>
+#include <vector>
+
+#include "graph/digraph.h"
+#include "log/activity_dictionary.h"
+#include "util/result.h"
+
+namespace procmine {
+
+/// A named-activity directed graph. Activity ids are the vertex ids.
+class ProcessGraph {
+ public:
+  ProcessGraph() = default;
+
+  /// Takes a structure graph and per-vertex activity names.
+  /// names.size() must equal graph.num_nodes().
+  ProcessGraph(DirectedGraph graph, std::vector<std::string> names);
+
+  /// Builds from an edge list in name space:
+  /// {{"A","B"},{"A","C"}} etc. New names are assigned ids in first-seen
+  /// order.
+  static ProcessGraph FromNamedEdges(
+      const std::vector<std::pair<std::string, std::string>>& edges);
+
+  const DirectedGraph& graph() const { return graph_; }
+  DirectedGraph& mutable_graph() { return graph_; }
+
+  NodeId num_activities() const { return graph_.num_nodes(); }
+  const std::string& name(NodeId v) const {
+    return names_[static_cast<size_t>(v)];
+  }
+  const std::vector<std::string>& names() const { return names_; }
+
+  /// Id of the named activity, or NotFound.
+  Result<NodeId> FindActivity(const std::string& name) const;
+
+  /// The unique source (in-degree 0). Fails unless exactly one exists.
+  Result<NodeId> Source() const;
+  /// The unique sink (out-degree 0). Fails unless exactly one exists.
+  Result<NodeId> Sink() const;
+
+  /// Structural validation per Section 2: nonempty, unique source and sink,
+  /// weakly connected, every vertex reachable from the source and reaching
+  /// the sink. Pass `require_acyclic` for the Sections 3-4 setting.
+  Status Validate(bool require_acyclic = true) const;
+
+  /// DOT rendering with activity names as labels.
+  std::string ToDot(const std::string& graph_name = "process") const;
+
+ private:
+  DirectedGraph graph_;
+  std::vector<std::string> names_;
+};
+
+}  // namespace procmine
+
+#endif  // PROCMINE_WORKFLOW_PROCESS_GRAPH_H_

@@ -1,0 +1,61 @@
+#include "log/activity_dictionary.h"
+
+#include <gtest/gtest.h>
+
+namespace procmine {
+namespace {
+
+TEST(ActivityDictionaryTest, InternAssignsDenseIds) {
+  ActivityDictionary dict;
+  EXPECT_EQ(dict.Intern("A"), 0);
+  EXPECT_EQ(dict.Intern("B"), 1);
+  EXPECT_EQ(dict.Intern("C"), 2);
+  EXPECT_EQ(dict.size(), 3);
+}
+
+TEST(ActivityDictionaryTest, InternIsIdempotent) {
+  ActivityDictionary dict;
+  ActivityId a = dict.Intern("A");
+  EXPECT_EQ(dict.Intern("A"), a);
+  EXPECT_EQ(dict.size(), 1);
+}
+
+TEST(ActivityDictionaryTest, NameRoundTrips) {
+  ActivityDictionary dict;
+  ActivityId id = dict.Intern("Upload_and_Notify");
+  EXPECT_EQ(dict.Name(id), "Upload_and_Notify");
+}
+
+TEST(ActivityDictionaryTest, FindExisting) {
+  ActivityDictionary dict;
+  dict.Intern("X");
+  auto found = dict.Find("X");
+  ASSERT_TRUE(found.ok());
+  EXPECT_EQ(*found, 0);
+}
+
+TEST(ActivityDictionaryTest, FindMissingIsNotFound) {
+  ActivityDictionary dict;
+  EXPECT_TRUE(dict.Find("nope").status().IsNotFound());
+}
+
+TEST(ActivityDictionaryTest, NamesVectorIndexedById) {
+  ActivityDictionary dict;
+  dict.Intern("A");
+  dict.Intern("B");
+  EXPECT_EQ(dict.names(), (std::vector<std::string>{"A", "B"}));
+}
+
+TEST(ActivityDictionaryTest, CaseSensitive) {
+  ActivityDictionary dict;
+  EXPECT_NE(dict.Intern("a"), dict.Intern("A"));
+}
+
+TEST(ActivityDictionaryTest, EmptyNameIsValid) {
+  ActivityDictionary dict;
+  ActivityId id = dict.Intern("");
+  EXPECT_EQ(dict.Name(id), "");
+}
+
+}  // namespace
+}  // namespace procmine

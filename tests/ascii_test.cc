@@ -1,0 +1,78 @@
+#include "graph/ascii.h"
+
+#include <gtest/gtest.h>
+
+namespace procmine {
+namespace {
+
+TEST(LayerAssignmentTest, ChainLayers) {
+  DirectedGraph g = DirectedGraph::FromEdges(4, {{0, 1}, {1, 2}, {2, 3}});
+  std::vector<int32_t> layer = LayerAssignment(g);
+  EXPECT_EQ(layer, (std::vector<int32_t>{0, 1, 2, 3}));
+}
+
+TEST(LayerAssignmentTest, DiamondSharesMiddleLayer) {
+  DirectedGraph g =
+      DirectedGraph::FromEdges(4, {{0, 1}, {0, 2}, {1, 3}, {2, 3}});
+  std::vector<int32_t> layer = LayerAssignment(g);
+  EXPECT_EQ(layer[0], 0);
+  EXPECT_EQ(layer[1], 1);
+  EXPECT_EQ(layer[2], 1);
+  EXPECT_EQ(layer[3], 2);
+}
+
+TEST(LayerAssignmentTest, LongestPathWins) {
+  // 0->1->2->4 and 0->3->4: vertex 4 must sit past the longer path.
+  DirectedGraph g = DirectedGraph::FromEdges(
+      5, {{0, 1}, {1, 2}, {2, 4}, {0, 3}, {3, 4}});
+  std::vector<int32_t> layer = LayerAssignment(g);
+  EXPECT_EQ(layer[4], 3);
+  EXPECT_EQ(layer[3], 1);
+}
+
+TEST(LayerAssignmentTest, CycleMembersShareLayer) {
+  DirectedGraph g = DirectedGraph::FromEdges(
+      4, {{0, 1}, {1, 2}, {2, 1}, {2, 3}});
+  std::vector<int32_t> layer = LayerAssignment(g);
+  EXPECT_EQ(layer[1], layer[2]);
+  EXPECT_LT(layer[0], layer[1]);
+  EXPECT_GT(layer[3], layer[2]);
+}
+
+TEST(RenderAsciiTest, ChainRendering) {
+  DirectedGraph g = DirectedGraph::FromEdges(3, {{0, 1}, {1, 2}});
+  std::string text = RenderAscii(g, {"Start", "Work", "End"});
+  EXPECT_NE(text.find("layer 0: Start"), std::string::npos);
+  EXPECT_NE(text.find("layer 1: Work"), std::string::npos);
+  EXPECT_NE(text.find("layer 2: End"), std::string::npos);
+  EXPECT_NE(text.find("Start -> Work"), std::string::npos);
+  EXPECT_NE(text.find("Work -> End"), std::string::npos);
+}
+
+TEST(RenderAsciiTest, ParallelBranchesShareLine) {
+  DirectedGraph g =
+      DirectedGraph::FromEdges(4, {{0, 1}, {0, 2}, {1, 3}, {2, 3}});
+  std::string text = RenderAscii(g, {"S", "A", "B", "E"});
+  EXPECT_NE(text.find("layer 1: A | B"), std::string::npos);
+  EXPECT_NE(text.find("S -> A | B"), std::string::npos);
+}
+
+TEST(RenderAsciiTest, IsolatedVerticesOmitted) {
+  DirectedGraph g(3);
+  g.AddEdge(0, 1);
+  std::string text = RenderAscii(g, {"A", "B", "Lonely"});
+  EXPECT_EQ(text.find("Lonely"), std::string::npos);
+}
+
+TEST(RenderAsciiTest, FallbackNumericNames) {
+  DirectedGraph g = DirectedGraph::FromEdges(2, {{0, 1}});
+  std::string text = RenderAscii(g, {});
+  EXPECT_NE(text.find("n0 -> n1"), std::string::npos);
+}
+
+TEST(RenderAsciiTest, EmptyGraph) {
+  EXPECT_EQ(RenderAscii(DirectedGraph(), {}), "");
+}
+
+}  // namespace
+}  // namespace procmine

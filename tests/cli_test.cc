@@ -1,0 +1,172 @@
+// Integration tests for the procmine CLI binary: each subcommand is driven
+// through a real process invocation (popen), validating exit codes and
+// output. The binary path is injected by CMake as PROCMINE_CLI_PATH.
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+namespace procmine {
+namespace {
+
+struct CommandResult {
+  int exit_code;
+  std::string output;  // stdout + stderr
+};
+
+CommandResult RunCli(const std::string& args) {
+  std::string command = std::string(PROCMINE_CLI_PATH) + " " + args + " 2>&1";
+  FILE* pipe = popen(command.c_str(), "r");
+  EXPECT_NE(pipe, nullptr);
+  std::string output;
+  std::array<char, 4096> buffer;
+  size_t n;
+  while ((n = fread(buffer.data(), 1, buffer.size(), pipe)) > 0) {
+    output.append(buffer.data(), n);
+  }
+  int status = pclose(pipe);
+  return {WEXITSTATUS(status), output};
+}
+
+class CliTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = ::testing::TempDir() + "/cli_test";
+    std::string mkdir = "mkdir -p " + dir_;
+    ASSERT_EQ(std::system(mkdir.c_str()), 0);
+    log_path_ = dir_ + "/demo.log";
+    CommandResult synth = RunCli(
+        "synth --activities=8 --executions=120 --seed=5 --out=" + log_path_);
+    ASSERT_EQ(synth.exit_code, 0) << synth.output;
+  }
+
+  std::string dir_;
+  std::string log_path_;
+};
+
+TEST_F(CliTest, NoArgsPrintsUsage) {
+  CommandResult result = RunCli("");
+  EXPECT_EQ(result.exit_code, 2);
+  EXPECT_NE(result.output.find("commands:"), std::string::npos);
+}
+
+TEST_F(CliTest, UnknownCommandPrintsUsage) {
+  EXPECT_EQ(RunCli("frobnicate").exit_code, 2);
+}
+
+TEST_F(CliTest, StatsReportsCounts) {
+  CommandResult result = RunCli("stats " + log_path_);
+  EXPECT_EQ(result.exit_code, 0) << result.output;
+  EXPECT_NE(result.output.find("executions=120"), std::string::npos);
+  EXPECT_NE(result.output.find("validation: clean"), std::string::npos);
+}
+
+TEST_F(CliTest, MineEmitsDot) {
+  CommandResult result = RunCli("mine " + log_path_);
+  EXPECT_EQ(result.exit_code, 0) << result.output;
+  EXPECT_NE(result.output.find("digraph"), std::string::npos);
+  EXPECT_NE(result.output.find("mined"), std::string::npos);
+}
+
+TEST_F(CliTest, MineAsciiEmitsLayers) {
+  CommandResult result = RunCli("mine --ascii " + log_path_);
+  EXPECT_EQ(result.exit_code, 0) << result.output;
+  EXPECT_NE(result.output.find("layer 0: A"), std::string::npos);
+}
+
+TEST_F(CliTest, MineRejectsBadAlgorithm) {
+  CommandResult result = RunCli("mine --algorithm=quantum " + log_path_);
+  EXPECT_NE(result.exit_code, 0);
+  EXPECT_NE(result.output.find("unknown --algorithm"), std::string::npos);
+}
+
+TEST_F(CliTest, ConvertRoundTripsThroughBinaryAndXes) {
+  std::string bin_path = dir_ + "/demo.bin";
+  std::string xes_path = dir_ + "/demo.xes";
+  EXPECT_EQ(RunCli("convert " + log_path_ + " " + bin_path).exit_code, 0);
+  EXPECT_EQ(RunCli("convert " + bin_path + " " + xes_path).exit_code, 0);
+  CommandResult from_text = RunCli("mine " + log_path_);
+  CommandResult from_xes = RunCli("mine " + xes_path);
+  EXPECT_EQ(from_text.exit_code, 0);
+  // The mined model must be identical regardless of the container format.
+  EXPECT_EQ(from_text.output, from_xes.output);
+}
+
+TEST_F(CliTest, NoiseOnCleanLog) {
+  CommandResult result = RunCli("noise " + log_path_);
+  EXPECT_EQ(result.exit_code, 0);
+  EXPECT_NE(result.output.find("epsilon"), std::string::npos);
+}
+
+TEST_F(CliTest, PerfReportsEdges) {
+  CommandResult result = RunCli("perf " + log_path_);
+  EXPECT_EQ(result.exit_code, 0) << result.output;
+  EXPECT_NE(result.output.find("activities:"), std::string::npos);
+  EXPECT_NE(result.output.find("p="), std::string::npos);
+}
+
+TEST_F(CliTest, PatternsEmitsFrequentSequences) {
+  CommandResult result = RunCli("patterns " + log_path_ + " --support=60");
+  EXPECT_EQ(result.exit_code, 0) << result.output;
+  EXPECT_NE(result.output.find("<A"), std::string::npos);
+  EXPECT_NE(result.output.find("patterns"), std::string::npos);
+}
+
+TEST_F(CliTest, CheckAgainstWrongModelFails) {
+  std::string model_path = dir_ + "/model.txt";
+  std::ofstream(model_path) << "A B\nB C\n";
+  CommandResult result =
+      RunCli("check " + log_path_ + " --model=" + model_path);
+  EXPECT_EQ(result.exit_code, 1);  // not conformal
+  EXPECT_NE(result.output.find("conformal: no"), std::string::npos);
+}
+
+TEST_F(CliTest, DiffAgainstWrongModelListsDiscrepancies) {
+  std::string model_path = dir_ + "/model.txt";
+  std::ofstream(model_path) << "A B\n";
+  CommandResult result =
+      RunCli("diff " + log_path_ + " --model=" + model_path);
+  EXPECT_EQ(result.exit_code, 1);
+  EXPECT_NE(result.output.find("discrepancies"), std::string::npos);
+}
+
+TEST_F(CliTest, SimulateFromFdlAndMineBack) {
+  std::string fdl_path = dir_ + "/def.fdl";
+  std::ofstream(fdl_path) << R"(process P {
+    activity Start outputs 1 range [0, 9];
+    activity Work;
+    activity End;
+    edge Start -> Work;
+    edge Work -> End;
+  })";
+  std::string out_path = dir_ + "/sim.log";
+  CommandResult sim = RunCli("simulate --definition=" + fdl_path +
+                             " --executions=30 --out=" + out_path);
+  EXPECT_EQ(sim.exit_code, 0) << sim.output;
+  CommandResult mined = RunCli("mine --ascii " + out_path);
+  EXPECT_NE(mined.output.find("Start -> Work"), std::string::npos);
+  EXPECT_NE(mined.output.find("Work -> End"), std::string::npos);
+}
+
+TEST_F(CliTest, MineConditionsToFdlIsRunnable) {
+  std::string fdl_path = dir_ + "/mined.fdl";
+  CommandResult mine = RunCli("mine " + log_path_ +
+                              " --conditions --fdl=" + fdl_path);
+  EXPECT_EQ(mine.exit_code, 0) << mine.output;
+  std::string relog = dir_ + "/relog.log";
+  CommandResult sim = RunCli("simulate --definition=" + fdl_path +
+                             " --executions=20 --out=" + relog);
+  EXPECT_EQ(sim.exit_code, 0) << sim.output;
+}
+
+TEST_F(CliTest, MissingFileReportsIOError) {
+  CommandResult result = RunCli("stats /nonexistent/file.log");
+  EXPECT_EQ(result.exit_code, 1);
+  EXPECT_NE(result.output.find("IO error"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace procmine

@@ -1,0 +1,131 @@
+#include "util/coding.h"
+
+#include <gtest/gtest.h>
+
+namespace procmine {
+namespace {
+
+TEST(VarintTest, RoundTripsRepresentativeValues) {
+  for (uint64_t value : {0ull, 1ull, 127ull, 128ull, 300ull, 16383ull,
+                         16384ull, (1ull << 32), ~0ull}) {
+    std::string buf;
+    PutVarint64(&buf, value);
+    std::string_view cursor = buf;
+    auto decoded = GetVarint64(&cursor);
+    ASSERT_TRUE(decoded.ok());
+    EXPECT_EQ(*decoded, value);
+    EXPECT_TRUE(cursor.empty());
+  }
+}
+
+TEST(VarintTest, EncodingLengths) {
+  std::string buf;
+  PutVarint64(&buf, 0);
+  EXPECT_EQ(buf.size(), 1u);
+  buf.clear();
+  PutVarint64(&buf, 127);
+  EXPECT_EQ(buf.size(), 1u);
+  buf.clear();
+  PutVarint64(&buf, 128);
+  EXPECT_EQ(buf.size(), 2u);
+  buf.clear();
+  PutVarint64(&buf, ~0ull);
+  EXPECT_EQ(buf.size(), 10u);
+}
+
+TEST(VarintTest, TruncatedInputFails) {
+  std::string buf;
+  PutVarint64(&buf, 1ull << 40);
+  buf.pop_back();
+  std::string_view cursor = buf;
+  auto decoded = GetVarint64(&cursor);
+  EXPECT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.status().code(), StatusCode::kDataLoss);
+}
+
+TEST(VarintTest, EmptyInputFails) {
+  std::string_view cursor;
+  EXPECT_FALSE(GetVarint64(&cursor).ok());
+}
+
+TEST(ZigzagTest, MapsSmallMagnitudesToSmallCodes) {
+  EXPECT_EQ(ZigzagEncode(0), 0u);
+  EXPECT_EQ(ZigzagEncode(-1), 1u);
+  EXPECT_EQ(ZigzagEncode(1), 2u);
+  EXPECT_EQ(ZigzagEncode(-2), 3u);
+  EXPECT_EQ(ZigzagEncode(2), 4u);
+}
+
+TEST(ZigzagTest, RoundTripsExtremes) {
+  for (int64_t value : {int64_t{0}, int64_t{-1}, int64_t{1}, INT64_MAX,
+                        INT64_MIN, int64_t{-123456789}}) {
+    EXPECT_EQ(ZigzagDecode(ZigzagEncode(value)), value);
+  }
+}
+
+TEST(VarintSignedTest, RoundTrips) {
+  for (int64_t value : {int64_t{0}, int64_t{-5}, int64_t{1000},
+                        INT64_MIN, INT64_MAX}) {
+    std::string buf;
+    PutVarintSigned64(&buf, value);
+    std::string_view cursor = buf;
+    auto decoded = GetVarintSigned64(&cursor);
+    ASSERT_TRUE(decoded.ok());
+    EXPECT_EQ(*decoded, value);
+  }
+}
+
+TEST(Fixed32Test, LittleEndianLayout) {
+  std::string buf;
+  PutFixed32(&buf, 0x04030201u);
+  ASSERT_EQ(buf.size(), 4u);
+  EXPECT_EQ(buf[0], 0x01);
+  EXPECT_EQ(buf[1], 0x02);
+  EXPECT_EQ(buf[2], 0x03);
+  EXPECT_EQ(buf[3], 0x04);
+  std::string_view cursor = buf;
+  auto decoded = GetFixed32(&cursor);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(*decoded, 0x04030201u);
+}
+
+TEST(Fixed32Test, TruncatedFails) {
+  std::string_view cursor("\x01\x02\x03", 3);
+  EXPECT_FALSE(GetFixed32(&cursor).ok());
+}
+
+TEST(LengthPrefixedTest, RoundTripsIncludingEmbeddedNul) {
+  std::string payload("a\0b", 3);
+  std::string buf;
+  PutLengthPrefixed(&buf, payload);
+  std::string_view cursor = buf;
+  auto decoded = GetLengthPrefixed(&cursor);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(*decoded, payload);
+  EXPECT_TRUE(cursor.empty());
+}
+
+TEST(LengthPrefixedTest, TruncatedPayloadFails) {
+  std::string buf;
+  PutLengthPrefixed(&buf, "hello");
+  buf.resize(buf.size() - 2);
+  std::string_view cursor = buf;
+  EXPECT_FALSE(GetLengthPrefixed(&cursor).ok());
+}
+
+TEST(CodingTest, SequentialFieldsDecodeInOrder) {
+  std::string buf;
+  PutVarint64(&buf, 7);
+  PutLengthPrefixed(&buf, "mid");
+  PutVarintSigned64(&buf, -9);
+  PutFixed32(&buf, 42);
+  std::string_view cursor = buf;
+  EXPECT_EQ(*GetVarint64(&cursor), 7u);
+  EXPECT_EQ(*GetLengthPrefixed(&cursor), "mid");
+  EXPECT_EQ(*GetVarintSigned64(&cursor), -9);
+  EXPECT_EQ(*GetFixed32(&cursor), 42u);
+  EXPECT_TRUE(cursor.empty());
+}
+
+}  // namespace
+}  // namespace procmine

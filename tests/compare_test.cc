@@ -1,0 +1,78 @@
+#include "graph/compare.h"
+
+#include <gtest/gtest.h>
+
+namespace procmine {
+namespace {
+
+TEST(CompareTest, IdenticalGraphs) {
+  DirectedGraph g = DirectedGraph::FromEdges(3, {{0, 1}, {1, 2}});
+  GraphComparison cmp = CompareEdgeSets(g, g);
+  EXPECT_TRUE(cmp.ExactMatch());
+  EXPECT_TRUE(cmp.IsSupergraph());
+  EXPECT_EQ(cmp.truth_edges, 2);
+  EXPECT_EQ(cmp.mined_edges, 2);
+  EXPECT_EQ(cmp.common_edges, 2);
+  EXPECT_DOUBLE_EQ(cmp.Precision(), 1.0);
+  EXPECT_DOUBLE_EQ(cmp.Recall(), 1.0);
+  EXPECT_DOUBLE_EQ(cmp.F1(), 1.0);
+}
+
+TEST(CompareTest, MissingEdges) {
+  DirectedGraph truth = DirectedGraph::FromEdges(3, {{0, 1}, {1, 2}, {0, 2}});
+  DirectedGraph mined = DirectedGraph::FromEdges(3, {{0, 1}, {1, 2}});
+  GraphComparison cmp = CompareEdgeSets(truth, mined);
+  EXPECT_FALSE(cmp.ExactMatch());
+  EXPECT_FALSE(cmp.IsSupergraph());
+  EXPECT_EQ(cmp.missing_edges, 1);
+  EXPECT_EQ(cmp.spurious_edges, 0);
+  EXPECT_DOUBLE_EQ(cmp.Precision(), 1.0);
+  EXPECT_NEAR(cmp.Recall(), 2.0 / 3.0, 1e-12);
+}
+
+TEST(CompareTest, SpuriousEdgesMakeSupergraph) {
+  DirectedGraph truth = DirectedGraph::FromEdges(3, {{0, 1}});
+  DirectedGraph mined = DirectedGraph::FromEdges(3, {{0, 1}, {1, 2}});
+  GraphComparison cmp = CompareEdgeSets(truth, mined);
+  EXPECT_FALSE(cmp.ExactMatch());
+  EXPECT_TRUE(cmp.IsSupergraph());
+  EXPECT_EQ(cmp.spurious_edges, 1);
+  EXPECT_NEAR(cmp.Precision(), 0.5, 1e-12);
+  EXPECT_DOUBLE_EQ(cmp.Recall(), 1.0);
+}
+
+TEST(CompareTest, EmptyGraphsCompareClean) {
+  GraphComparison cmp = CompareEdgeSets(DirectedGraph(3), DirectedGraph(3));
+  EXPECT_TRUE(cmp.ExactMatch());
+  EXPECT_DOUBLE_EQ(cmp.Precision(), 1.0);
+  EXPECT_DOUBLE_EQ(cmp.Recall(), 1.0);
+  EXPECT_DOUBLE_EQ(cmp.F1(), 1.0);  // vacuous agreement counts as perfect
+}
+
+TEST(CompareTest, ClosureComparisonIgnoresShortcutDifferences) {
+  // Chain vs chain + shortcut: same dependency structure.
+  DirectedGraph a = DirectedGraph::FromEdges(3, {{0, 1}, {1, 2}});
+  DirectedGraph b = DirectedGraph::FromEdges(3, {{0, 1}, {1, 2}, {0, 2}});
+  EXPECT_FALSE(CompareEdgeSets(a, b).ExactMatch());
+  EXPECT_TRUE(CompareClosures(a, b).ExactMatch());
+}
+
+TEST(CompareTest, EdgeDifference) {
+  DirectedGraph a = DirectedGraph::FromEdges(3, {{0, 1}, {1, 2}});
+  DirectedGraph b = DirectedGraph::FromEdges(3, {{0, 1}, {0, 2}});
+  std::vector<Edge> diff = EdgeDifference(a, b);
+  ASSERT_EQ(diff.size(), 1u);
+  EXPECT_EQ(diff[0], (Edge{1, 2}));
+}
+
+TEST(CompareTest, DifferentNodeCountsHandled) {
+  DirectedGraph truth = DirectedGraph::FromEdges(5, {{0, 4}});
+  DirectedGraph mined = DirectedGraph::FromEdges(2, {{0, 1}});
+  GraphComparison cmp = CompareEdgeSets(truth, mined);
+  EXPECT_EQ(cmp.common_edges, 0);
+  EXPECT_EQ(cmp.missing_edges, 1);
+  EXPECT_EQ(cmp.spurious_edges, 1);
+}
+
+}  // namespace
+}  // namespace procmine

@@ -1,0 +1,187 @@
+#include "mine/condition_miner.h"
+
+#include <gtest/gtest.h>
+
+#include "mine/miner.h"
+#include "workflow/engine.h"
+
+namespace procmine {
+namespace {
+
+/// A diamond with a known threshold split on S's output:
+/// S -> A if o[0] < 50, S -> B if o[0] >= 50, A/B -> E.
+ProcessDefinition ThresholdDiamond() {
+  ProcessGraph g = ProcessGraph::FromNamedEdges(
+      {{"S", "A"}, {"S", "B"}, {"A", "E"}, {"B", "E"}});
+  ProcessDefinition def(std::move(g));
+  NodeId s = *def.process_graph().FindActivity("S");
+  NodeId a = *def.process_graph().FindActivity("A");
+  NodeId b = *def.process_graph().FindActivity("B");
+  def.SetOutputSpec(s, OutputSpec::Uniform(1, 0, 99));
+  def.SetCondition(s, a, Condition::Compare(0, CmpOp::kLt, 50));
+  def.SetCondition(s, b, Condition::Compare(0, CmpOp::kGe, 50));
+  return def;
+}
+
+TEST(ConditionMinerTest, BuildTrainingSetPerSection7) {
+  ProcessDefinition def = ThresholdDiamond();
+  Engine engine(&def);
+  auto log = engine.GenerateLog(100, 1);
+  ASSERT_TRUE(log.ok());
+  NodeId s = *def.process_graph().FindActivity("S");
+  NodeId a = *def.process_graph().FindActivity("A");
+  Dataset data = ConditionMiner::BuildTrainingSet(*log, s, a);
+  // One point per execution containing S = all of them.
+  EXPECT_EQ(data.size(), 100u);
+  EXPECT_EQ(data.num_features(), 1);
+  // Both labels occur (some executions took A, some B).
+  EXPECT_GT(data.num_positive(), 0);
+  EXPECT_GT(data.num_negative(), 0);
+  // Labels match the generating condition exactly.
+  for (size_t i = 0; i < data.size(); ++i) {
+    EXPECT_EQ(data.label(i), data.features(i)[0] < 50);
+  }
+}
+
+TEST(ConditionMinerTest, BuildTrainingSetNoOutputsYieldsEmpty) {
+  EventLog log = EventLog::FromCompactStrings({"AB"});
+  Dataset data = ConditionMiner::BuildTrainingSet(log, 0, 1);
+  EXPECT_EQ(data.num_features(), 0);
+  EXPECT_TRUE(data.empty());
+}
+
+TEST(ConditionMinerTest, RecoversThresholdRule) {
+  ProcessDefinition def = ThresholdDiamond();
+  Engine engine(&def);
+  auto log = engine.GenerateLog(400, 2);
+  ASSERT_TRUE(log.ok());
+
+  // Mine the structure, then the conditions.
+  ProcessMiner miner;
+  auto annotated = miner.MineWithConditions(*log);
+  ASSERT_TRUE(annotated.ok());
+
+  NodeId s = *annotated->graph.FindActivity("S");
+  NodeId a = *annotated->graph.FindActivity("A");
+  NodeId b = *annotated->graph.FindActivity("B");
+  bool saw_sa = false, saw_sb = false;
+  for (const MinedCondition& c : annotated->conditions) {
+    if (c.edge == (Edge{s, a})) {
+      saw_sa = true;
+      EXPECT_TRUE(c.learned);
+      EXPECT_GT(c.test_accuracy, 0.95) << c.rule;
+      // Threshold near the true split at 50 (finite sampling can land the
+      // cut a notch early on the train split).
+      bool near = c.rule.find("o[0] <= 49") != std::string::npos ||
+                  c.rule.find("o[0] <= 48") != std::string::npos;
+      EXPECT_TRUE(near) << c.rule;
+    }
+    if (c.edge == (Edge{s, b})) {
+      saw_sb = true;
+      EXPECT_TRUE(c.learned);
+      bool near = c.rule.find("o[0] > 49") != std::string::npos ||
+                  c.rule.find("o[0] > 48") != std::string::npos;
+      EXPECT_TRUE(near) << c.rule;
+    }
+  }
+  EXPECT_TRUE(saw_sa);
+  EXPECT_TRUE(saw_sb);
+}
+
+TEST(ConditionMinerTest, AlwaysTakenEdgeIsUnconditioned) {
+  ProcessDefinition def = ThresholdDiamond();
+  Engine engine(&def);
+  auto log = engine.GenerateLog(100, 3);
+  ASSERT_TRUE(log.ok());
+  ProcessMiner miner;
+  auto annotated = miner.MineWithConditions(*log);
+  ASSERT_TRUE(annotated.ok());
+  NodeId a = *annotated->graph.FindActivity("A");
+  NodeId e = *annotated->graph.FindActivity("E");
+  for (const MinedCondition& c : annotated->conditions) {
+    if (c.edge == (Edge{a, e})) {
+      // Whenever A ran, E ran: nothing to learn.
+      EXPECT_FALSE(c.learned);
+      EXPECT_EQ(c.rule, "true");
+      EXPECT_EQ(c.num_negative, 0);
+    }
+  }
+}
+
+TEST(ConditionMinerTest, FlowmarkStyleLogWithoutOutputs) {
+  // Like the paper's Section 8.2: no output parameters logged, so no
+  // conditions can be learned — every edge reports "true", none learned.
+  ProcessDefinition def = ThresholdDiamond();
+  EngineOptions options;
+  options.record_outputs = false;
+  Engine engine(&def, options);
+  auto log = engine.GenerateLog(100, 4);
+  ASSERT_TRUE(log.ok());
+  ProcessMiner miner;
+  auto annotated = miner.MineWithConditions(*log);
+  ASSERT_TRUE(annotated.ok());
+  for (const MinedCondition& c : annotated->conditions) {
+    EXPECT_FALSE(c.learned);
+    EXPECT_EQ(c.rule, "true");
+  }
+}
+
+TEST(ConditionMinerTest, MinExamplesGate) {
+  ProcessDefinition def = ThresholdDiamond();
+  Engine engine(&def);
+  auto log = engine.GenerateLog(3, 5);
+  ASSERT_TRUE(log.ok());
+  ConditionMinerOptions options;
+  options.min_examples = 10;
+  ProcessMiner miner;
+  auto annotated = miner.MineWithConditions(*log, options);
+  ASSERT_TRUE(annotated.ok());
+  for (const MinedCondition& c : annotated->conditions) {
+    EXPECT_FALSE(c.learned);  // too few examples everywhere
+  }
+}
+
+TEST(ConditionMinerTest, AnnotatedDotIncludesRules) {
+  ProcessDefinition def = ThresholdDiamond();
+  Engine engine(&def);
+  auto log = engine.GenerateLog(300, 6);
+  ASSERT_TRUE(log.ok());
+  ProcessMiner miner;
+  auto annotated = miner.MineWithConditions(*log);
+  ASSERT_TRUE(annotated.ok());
+  std::string dot = annotated->ToDot("annotated");
+  EXPECT_NE(dot.find("label="), std::string::npos);
+  EXPECT_NE(dot.find("o[0]"), std::string::npos);
+}
+
+TEST(ConditionMinerTest, ConjunctionConditionRecovered) {
+  // S -> A iff o[0] > 30 and o[1] <= 60.
+  ProcessGraph g = ProcessGraph::FromNamedEdges(
+      {{"S", "A"}, {"S", "E"}, {"A", "E"}});
+  ProcessDefinition def(std::move(g));
+  NodeId s = *def.process_graph().FindActivity("S");
+  NodeId a = *def.process_graph().FindActivity("A");
+  def.SetOutputSpec(s, OutputSpec::Uniform(2, 0, 99));
+  def.SetCondition(s, a,
+                   Condition::And(Condition::Compare(0, CmpOp::kGt, 30),
+                                  Condition::Compare(1, CmpOp::kLe, 60)));
+  Engine engine(&def);
+  auto log = engine.GenerateLog(800, 7);
+  ASSERT_TRUE(log.ok());
+
+  auto graph = ProcessMiner().Mine(*log);
+  ASSERT_TRUE(graph.ok());
+  auto annotated = ConditionMiner().Mine(*graph, *log);
+  ASSERT_TRUE(annotated.ok());
+  NodeId ms = *annotated->graph.FindActivity("S");
+  NodeId ma = *annotated->graph.FindActivity("A");
+  for (const MinedCondition& c : annotated->conditions) {
+    if (c.edge == (Edge{ms, ma})) {
+      EXPECT_TRUE(c.learned);
+      EXPECT_GT(c.test_accuracy, 0.9) << c.rule;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace procmine

@@ -1,0 +1,129 @@
+#include "workflow/condition_parser.h"
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace procmine {
+namespace {
+
+Condition MustParse(const std::string& text) {
+  auto parsed = ParseCondition(text);
+  PROCMINE_CHECK_OK(parsed.status());
+  return parsed.MoveValueOrDie();
+}
+
+TEST(ConditionParserTest, Constants) {
+  EXPECT_TRUE(MustParse("true").Eval({}));
+  EXPECT_FALSE(MustParse("false").Eval({}));
+}
+
+TEST(ConditionParserTest, SimpleComparison) {
+  Condition c = MustParse("o[0] > 5");
+  EXPECT_TRUE(c.Eval({6}));
+  EXPECT_FALSE(c.Eval({5}));
+}
+
+TEST(ConditionParserTest, AllOperators) {
+  EXPECT_TRUE(MustParse("o[0] < 5").Eval({4}));
+  EXPECT_TRUE(MustParse("o[0] <= 5").Eval({5}));
+  EXPECT_TRUE(MustParse("o[0] >= 5").Eval({5}));
+  EXPECT_TRUE(MustParse("o[0] == 5").Eval({5}));
+  EXPECT_TRUE(MustParse("o[0] != 5").Eval({4}));
+}
+
+TEST(ConditionParserTest, NegativeConstants) {
+  Condition c = MustParse("o[0] >= -10");
+  EXPECT_TRUE(c.Eval({-10}));
+  EXPECT_FALSE(c.Eval({-11}));
+}
+
+TEST(ConditionParserTest, ParamToParamComparison) {
+  Condition c = MustParse("o[1] < o[0]");
+  EXPECT_TRUE(c.Eval({5, 3}));
+  EXPECT_FALSE(c.Eval({3, 5}));
+}
+
+TEST(ConditionParserTest, ConstantOnLeftFlips) {
+  Condition c = MustParse("5 < o[0]");  // == o[0] > 5
+  EXPECT_TRUE(c.Eval({6}));
+  EXPECT_FALSE(c.Eval({5}));
+}
+
+TEST(ConditionParserTest, ConstantComparisonFolds) {
+  EXPECT_TRUE(MustParse("3 < 4").Eval({}));
+  EXPECT_FALSE(MustParse("4 < 3").Eval({}));
+}
+
+TEST(ConditionParserTest, AndBindsTighterThanOr) {
+  // false and false or true  ==  (false and false) or true  ==  true
+  Condition c = MustParse("o[0] > 10 and o[0] < 5 or o[0] == 1");
+  EXPECT_TRUE(c.Eval({1}));
+  EXPECT_FALSE(c.Eval({7}));
+}
+
+TEST(ConditionParserTest, ParenthesesOverridePrecedence) {
+  // o[0] > 10 and (o[0] < 5 or o[0] == 20)
+  Condition c = MustParse("o[0] > 10 and (o[0] < 5 or o[0] == 20)");
+  EXPECT_TRUE(c.Eval({20}));
+  EXPECT_FALSE(c.Eval({15}));
+  EXPECT_FALSE(c.Eval({3}));
+}
+
+TEST(ConditionParserTest, NotAndNesting) {
+  Condition c = MustParse("not (o[0] < 0 or o[0] > 0)");
+  EXPECT_TRUE(c.Eval({0}));
+  EXPECT_FALSE(c.Eval({1}));
+  Condition d = MustParse("not not o[0] == 1");
+  EXPECT_TRUE(d.Eval({1}));
+}
+
+TEST(ConditionParserTest, WhitespaceInsensitive) {
+  Condition c = MustParse("  o[ 0 ]>5   and\n o[1]<=2 ");
+  EXPECT_TRUE(c.Eval({6, 2}));
+  EXPECT_FALSE(c.Eval({6, 3}));
+}
+
+TEST(ConditionParserTest, KeywordPrefixesAreNotKeywords) {
+  // "origin" starts with "or"-like text; identifiers aren't supported, so
+  // this must fail cleanly rather than mis-lex.
+  EXPECT_FALSE(ParseCondition("origin > 5").ok());
+  EXPECT_FALSE(ParseCondition("o[0] > 5 ordinary").ok());
+}
+
+TEST(ConditionParserTest, SyntaxErrors) {
+  for (const char* bad :
+       {"", "o[0]", "o[0] >", "> 5", "o[0] > 5)", "(o[0] > 5",
+        "o[0] >> 5", "o[-1] > 5", "o[x] > 5", "and o[0] > 5",
+        "o[0] > 5 and", "truef", "o 0 > 5"}) {
+    auto parsed = ParseCondition(bad);
+    EXPECT_FALSE(parsed.ok()) << "accepted: '" << bad << "'";
+    if (!parsed.ok()) {
+      EXPECT_NE(parsed.status().message().find("offset"), std::string::npos);
+    }
+  }
+}
+
+TEST(ConditionParserTest, RoundTripsToString) {
+  // Property: parse(ToString(c)) is semantically equal to c on a grid of
+  // inputs, for randomly generated conditions.
+  Rng rng(101);
+  for (int trial = 0; trial < 100; ++trial) {
+    Condition original = Condition::Random(&rng, 3, 3, -10, 10);
+    auto reparsed = ParseCondition(original.ToString());
+    ASSERT_TRUE(reparsed.ok())
+        << original.ToString() << ": " << reparsed.status().ToString();
+    for (int64_t a = -12; a <= 12; a += 4) {
+      for (int64_t b = -12; b <= 12; b += 4) {
+        for (int64_t c = -12; c <= 12; c += 6) {
+          std::vector<int64_t> output = {a, b, c};
+          EXPECT_EQ(original.Eval(output), reparsed->Eval(output))
+              << original.ToString() << " at " << a << "," << b << "," << c;
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace procmine

@@ -1,0 +1,148 @@
+#include "workflow/condition.h"
+
+#include <gtest/gtest.h>
+
+namespace procmine {
+namespace {
+
+TEST(CmpOpTest, EvalAllOperators) {
+  EXPECT_TRUE(EvalCmp(1, CmpOp::kLt, 2));
+  EXPECT_FALSE(EvalCmp(2, CmpOp::kLt, 2));
+  EXPECT_TRUE(EvalCmp(2, CmpOp::kLe, 2));
+  EXPECT_TRUE(EvalCmp(3, CmpOp::kGt, 2));
+  EXPECT_FALSE(EvalCmp(2, CmpOp::kGt, 2));
+  EXPECT_TRUE(EvalCmp(2, CmpOp::kGe, 2));
+  EXPECT_TRUE(EvalCmp(2, CmpOp::kEq, 2));
+  EXPECT_FALSE(EvalCmp(2, CmpOp::kEq, 3));
+  EXPECT_TRUE(EvalCmp(2, CmpOp::kNe, 3));
+}
+
+TEST(CmpOpTest, ToStringCoversAll) {
+  EXPECT_EQ(CmpOpToString(CmpOp::kLt), "<");
+  EXPECT_EQ(CmpOpToString(CmpOp::kLe), "<=");
+  EXPECT_EQ(CmpOpToString(CmpOp::kGt), ">");
+  EXPECT_EQ(CmpOpToString(CmpOp::kGe), ">=");
+  EXPECT_EQ(CmpOpToString(CmpOp::kEq), "==");
+  EXPECT_EQ(CmpOpToString(CmpOp::kNe), "!=");
+}
+
+TEST(ConditionTest, DefaultIsTrue) {
+  Condition c;
+  EXPECT_TRUE(c.IsAlwaysTrue());
+  EXPECT_TRUE(c.Eval({}));
+  EXPECT_TRUE(c.Eval({1, 2, 3}));
+  EXPECT_EQ(c.ToString(), "true");
+}
+
+TEST(ConditionTest, FalseConstant) {
+  Condition c = Condition::False();
+  EXPECT_FALSE(c.IsAlwaysTrue());
+  EXPECT_FALSE(c.Eval({}));
+  EXPECT_EQ(c.ToString(), "false");
+}
+
+TEST(ConditionTest, CompareConstant) {
+  Condition c = Condition::Compare(0, CmpOp::kGt, 5);
+  EXPECT_TRUE(c.Eval({6}));
+  EXPECT_FALSE(c.Eval({5}));
+  EXPECT_EQ(c.ToString(), "o[0] > 5");
+}
+
+TEST(ConditionTest, MissingParameterEvaluatesLeafFalse) {
+  Condition c = Condition::Compare(2, CmpOp::kGt, 0);
+  EXPECT_FALSE(c.Eval({1}));  // o[2] missing
+  EXPECT_FALSE(c.Eval({}));
+}
+
+TEST(ConditionTest, CompareParams) {
+  // The paper's example: f_(C,D) = (o(C)[1] > 0) and (o(C)[2] < o(C)[1]),
+  // 0-indexed here as o[0] > 0 and o[1] < o[0].
+  Condition c = Condition::And(Condition::Compare(0, CmpOp::kGt, 0),
+                               Condition::CompareParams(1, CmpOp::kLt, 0));
+  EXPECT_TRUE(c.Eval({5, 3}));
+  EXPECT_FALSE(c.Eval({5, 7}));
+  EXPECT_FALSE(c.Eval({0, -1}));
+  EXPECT_EQ(c.ToString(), "(o[0] > 0 and o[1] < o[0])");
+}
+
+TEST(ConditionTest, OrAndNot) {
+  Condition lt = Condition::Compare(0, CmpOp::kLt, 0);
+  Condition gt = Condition::Compare(0, CmpOp::kGt, 0);
+  Condition either = Condition::Or(lt, gt);
+  EXPECT_TRUE(either.Eval({-1}));
+  EXPECT_TRUE(either.Eval({1}));
+  EXPECT_FALSE(either.Eval({0}));
+  Condition zero = Condition::Not(either);
+  EXPECT_TRUE(zero.Eval({0}));
+  EXPECT_FALSE(zero.Eval({5}));
+  EXPECT_EQ(zero.ToString(), "not (o[0] < 0 or o[0] > 0)");
+}
+
+TEST(ConditionTest, NestedExpression) {
+  Condition c = Condition::And(
+      Condition::Or(Condition::Compare(0, CmpOp::kEq, 1),
+                    Condition::Compare(1, CmpOp::kEq, 1)),
+      Condition::Not(Condition::Compare(2, CmpOp::kEq, 0)));
+  EXPECT_TRUE(c.Eval({1, 0, 5}));
+  EXPECT_TRUE(c.Eval({0, 1, 5}));
+  EXPECT_FALSE(c.Eval({0, 0, 5}));
+  EXPECT_FALSE(c.Eval({1, 1, 0}));
+}
+
+TEST(ConditionTest, ValidateAcceptsInRangeParams) {
+  Condition c = Condition::And(Condition::Compare(0, CmpOp::kGt, 1),
+                               Condition::Compare(1, CmpOp::kLt, 9));
+  EXPECT_TRUE(c.Validate(2).ok());
+}
+
+TEST(ConditionTest, ValidateRejectsOutOfRangeParams) {
+  Condition c = Condition::Compare(3, CmpOp::kGt, 1);
+  Status st = c.Validate(2);
+  EXPECT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("o[3]"), std::string::npos);
+}
+
+TEST(ConditionTest, ValidateRejectsOutOfRangeRhsParam) {
+  Condition c = Condition::CompareParams(0, CmpOp::kLt, 5);
+  EXPECT_FALSE(c.Validate(2).ok());
+}
+
+TEST(ConditionTest, ValidateTrueNeedsNoParams) {
+  EXPECT_TRUE(Condition::True().Validate(0).ok());
+  EXPECT_TRUE(Condition::False().Validate(0).ok());
+}
+
+TEST(ConditionTest, CopyShares) {
+  Condition a = Condition::Compare(0, CmpOp::kGt, 5);
+  Condition b = a;
+  EXPECT_EQ(a.ToString(), b.ToString());
+  EXPECT_TRUE(b.Eval({6}));
+}
+
+TEST(ConditionTest, RandomConditionsAreValidAndDeterministic) {
+  Rng rng1(77), rng2(77);
+  for (int i = 0; i < 50; ++i) {
+    Condition a = Condition::Random(&rng1, 3, 3, -10, 10);
+    Condition b = Condition::Random(&rng2, 3, 3, -10, 10);
+    EXPECT_EQ(a.ToString(), b.ToString());
+    EXPECT_TRUE(a.Validate(3).ok());
+    // Evaluation never crashes on in-range inputs.
+    a.Eval({0, 0, 0});
+    a.Eval({-10, 10, 3});
+  }
+}
+
+TEST(ConditionTest, RandomRespectsDepthZero) {
+  Rng rng(5);
+  for (int i = 0; i < 20; ++i) {
+    Condition c = Condition::Random(&rng, 2, 0, 0, 10);
+    // Depth 0 forces a leaf: no connectives in the string.
+    std::string s = c.ToString();
+    EXPECT_EQ(s.find(" and "), std::string::npos);
+    EXPECT_EQ(s.find(" or "), std::string::npos);
+    EXPECT_EQ(s.find("not "), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace procmine

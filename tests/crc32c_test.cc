@@ -1,0 +1,51 @@
+#include "util/crc32c.h"
+
+#include <gtest/gtest.h>
+
+namespace procmine {
+namespace {
+
+TEST(Crc32cTest, EmptyInputIsZero) {
+  EXPECT_EQ(Crc32c(""), 0u);
+}
+
+TEST(Crc32cTest, StandardCheckValue) {
+  // The canonical CRC-32C check vector.
+  EXPECT_EQ(Crc32c("123456789"), 0xe3069283u);
+}
+
+TEST(Crc32cTest, KnownVectors) {
+  // RFC 3720 (iSCSI) appendix test patterns.
+  std::string zeros(32, '\0');
+  EXPECT_EQ(Crc32c(zeros), 0x8a9136aau);
+  std::string ffs(32, '\xff');
+  EXPECT_EQ(Crc32c(ffs), 0x62a8ab43u);
+}
+
+TEST(Crc32cTest, DetectsSingleBitFlip) {
+  std::string data = "the quick brown fox";
+  uint32_t original = Crc32c(data);
+  for (size_t byte = 0; byte < data.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::string corrupted = data;
+      corrupted[byte] = static_cast<char>(corrupted[byte] ^ (1 << bit));
+      EXPECT_NE(Crc32c(corrupted), original)
+          << "undetected flip at byte " << byte << " bit " << bit;
+    }
+  }
+}
+
+TEST(Crc32cTest, IncrementalMatchesOneShot) {
+  std::string a = "hello ";
+  std::string b = "world";
+  uint32_t one_shot = Crc32c(a + b);
+  uint32_t incremental = Crc32c(Crc32c(a), b);
+  EXPECT_EQ(incremental, one_shot);
+}
+
+TEST(Crc32cTest, OrderSensitive) {
+  EXPECT_NE(Crc32c("ab"), Crc32c("ba"));
+}
+
+}  // namespace
+}  // namespace procmine

@@ -1,0 +1,61 @@
+#include "classify/dataset.h"
+
+#include <gtest/gtest.h>
+
+namespace procmine {
+namespace {
+
+TEST(DatasetTest, AddAndAccess) {
+  Dataset data(2);
+  data.Add({1, 2}, true);
+  data.Add({3, 4}, false);
+  EXPECT_EQ(data.size(), 2u);
+  EXPECT_EQ(data.num_features(), 2);
+  EXPECT_EQ(data.features(0), (std::vector<int64_t>{1, 2}));
+  EXPECT_TRUE(data.label(0));
+  EXPECT_FALSE(data.label(1));
+}
+
+TEST(DatasetTest, PositiveNegativeCounts) {
+  Dataset data(1);
+  data.Add({1}, true);
+  data.Add({2}, true);
+  data.Add({3}, false);
+  EXPECT_EQ(data.num_positive(), 2);
+  EXPECT_EQ(data.num_negative(), 1);
+}
+
+TEST(DatasetTest, EmptyDataset) {
+  Dataset data(3);
+  EXPECT_TRUE(data.empty());
+  EXPECT_EQ(data.num_positive(), 0);
+  EXPECT_EQ(data.num_negative(), 0);
+}
+
+TEST(DatasetTest, SplitPartitionsAllRows) {
+  Dataset data(1);
+  for (int i = 0; i < 100; ++i) data.Add({i}, i % 2 == 0);
+  auto [train, test] = data.Split(0.3, 1);
+  EXPECT_EQ(train.size() + test.size(), 100u);
+  EXPECT_GT(train.size(), test.size());
+  EXPECT_GT(test.size(), 10u);  // ~30 expected
+}
+
+TEST(DatasetTest, SplitDeterministicPerSeed) {
+  Dataset data(1);
+  for (int i = 0; i < 50; ++i) data.Add({i}, true);
+  auto [train1, test1] = data.Split(0.5, 9);
+  auto [train2, test2] = data.Split(0.5, 9);
+  EXPECT_EQ(train1.size(), train2.size());
+  for (size_t i = 0; i < train1.size(); ++i) {
+    EXPECT_EQ(train1.features(i), train2.features(i));
+  }
+}
+
+TEST(DatasetDeathTest, AddChecksWidth) {
+  Dataset data(2);
+  EXPECT_DEATH(data.Add({1}, true), "check failed");
+}
+
+}  // namespace
+}  // namespace procmine

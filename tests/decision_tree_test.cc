@@ -1,0 +1,148 @@
+#include "classify/decision_tree.h"
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace procmine {
+namespace {
+
+TEST(DecisionTreeTest, EmptyDatasetYieldsFalseLeaf) {
+  DecisionTree tree = DecisionTree::Train(Dataset(1));
+  EXPECT_FALSE(tree.Predict({0}));
+  EXPECT_EQ(tree.num_leaves(), 1);
+  EXPECT_EQ(tree.depth(), 1);
+}
+
+TEST(DecisionTreeTest, PureDatasetYieldsSingleLeaf) {
+  Dataset data(1);
+  data.Add({1}, true);
+  data.Add({2}, true);
+  DecisionTree tree = DecisionTree::Train(data);
+  EXPECT_EQ(tree.num_leaves(), 1);
+  EXPECT_TRUE(tree.Predict({0}));
+  EXPECT_TRUE(tree.Predict({99}));
+}
+
+TEST(DecisionTreeTest, LearnsSingleThreshold) {
+  // label = (x >= 50)
+  Dataset data(1);
+  for (int x = 0; x < 100; ++x) data.Add({x}, x >= 50);
+  DecisionTree tree = DecisionTree::Train(data);
+  EXPECT_FALSE(tree.Predict({0}));
+  EXPECT_FALSE(tree.Predict({49}));
+  EXPECT_TRUE(tree.Predict({50}));
+  EXPECT_TRUE(tree.Predict({99}));
+  EXPECT_EQ(tree.num_leaves(), 2);
+  EXPECT_EQ(tree.nodes()[0].threshold, 49);  // goes left if <= 49
+}
+
+TEST(DecisionTreeTest, LearnsConjunction) {
+  // label = (x > 5) and (y <= 3)
+  Dataset data(2);
+  for (int x = 0; x <= 10; ++x) {
+    for (int y = 0; y <= 10; ++y) {
+      data.Add({x, y}, x > 5 && y <= 3);
+    }
+  }
+  DecisionTree tree = DecisionTree::Train(data);
+  EXPECT_TRUE(tree.Predict({6, 3}));
+  EXPECT_TRUE(tree.Predict({10, 0}));
+  EXPECT_FALSE(tree.Predict({5, 3}));
+  EXPECT_FALSE(tree.Predict({6, 4}));
+}
+
+TEST(DecisionTreeTest, LearnsDisjunctionViaMultipleLeaves) {
+  // label = (x <= 2) or (x >= 8)
+  Dataset data(1);
+  for (int x = 0; x <= 10; ++x) data.Add({x}, x <= 2 || x >= 8);
+  DecisionTree tree = DecisionTree::Train(data);
+  for (int x = 0; x <= 10; ++x) {
+    EXPECT_EQ(tree.Predict({x}), x <= 2 || x >= 8) << "x=" << x;
+  }
+}
+
+TEST(DecisionTreeTest, RespectsMaxDepth) {
+  Dataset data(1);
+  for (int x = 0; x < 64; ++x) data.Add({x}, (x / 4) % 2 == 0);
+  DecisionTreeOptions options;
+  options.max_depth = 2;
+  DecisionTree tree = DecisionTree::Train(data, options);
+  EXPECT_LE(tree.depth(), 3);  // 2 internal levels + leaf
+  EXPECT_LE(tree.num_leaves(), 4);
+}
+
+TEST(DecisionTreeTest, RespectsMinSamplesSplit) {
+  Dataset data(1);
+  data.Add({0}, false);
+  data.Add({1}, true);
+  DecisionTreeOptions options;
+  options.min_samples_split = 3;
+  DecisionTree tree = DecisionTree::Train(data, options);
+  EXPECT_EQ(tree.num_leaves(), 1);  // refused to split two samples
+}
+
+TEST(DecisionTreeTest, MajorityPredictionAtUnsplittableLeaf) {
+  // Identical features, conflicting labels: majority wins.
+  Dataset data(1);
+  data.Add({5}, true);
+  data.Add({5}, true);
+  data.Add({5}, false);
+  DecisionTree tree = DecisionTree::Train(data);
+  EXPECT_EQ(tree.num_leaves(), 1);
+  EXPECT_TRUE(tree.Predict({5}));
+}
+
+TEST(DecisionTreeTest, TieBreaksPositive) {
+  Dataset data(1);
+  data.Add({5}, true);
+  data.Add({5}, false);
+  DecisionTree tree = DecisionTree::Train(data);
+  EXPECT_TRUE(tree.Predict({5}));  // num_positive * 2 >= num_samples
+}
+
+TEST(DecisionTreeTest, PredictWithMissingFeatureUsesZero) {
+  Dataset data(2);
+  for (int x = 0; x < 10; ++x) data.Add({x, 0}, x >= 5);
+  DecisionTree tree = DecisionTree::Train(data);
+  EXPECT_FALSE(tree.Predict({}));  // feature treated as 0 -> left -> false
+}
+
+TEST(DecisionTreeTest, ToStringShowsStructure) {
+  Dataset data(1);
+  for (int x = 0; x < 10; ++x) data.Add({x}, x >= 5);
+  DecisionTree tree = DecisionTree::Train(data);
+  std::string s = tree.ToString();
+  EXPECT_NE(s.find("if o[0] <= 4:"), std::string::npos);
+  EXPECT_NE(s.find("predict true"), std::string::npos);
+  EXPECT_NE(s.find("predict false"), std::string::npos);
+}
+
+TEST(DecisionTreeTest, NoisyDataStillMostlyCorrect) {
+  Rng rng(17);
+  Dataset data(1);
+  for (int i = 0; i < 500; ++i) {
+    int64_t x = rng.UniformRange(0, 99);
+    bool label = x >= 50;
+    if (rng.Bernoulli(0.05)) label = !label;  // 5% label noise
+    data.Add({x}, label);
+  }
+  DecisionTreeOptions options;
+  options.max_depth = 3;
+  DecisionTree tree = DecisionTree::Train(data, options);
+  int correct = 0;
+  for (int x = 0; x < 100; ++x) correct += tree.Predict({x}) == (x >= 50);
+  EXPECT_GE(correct, 90);
+}
+
+TEST(DecisionTreeTest, NodeCountersAreConsistent) {
+  Dataset data(1);
+  for (int x = 0; x < 20; ++x) data.Add({x}, x >= 10);
+  DecisionTree tree = DecisionTree::Train(data);
+  const auto& root = tree.nodes()[0];
+  EXPECT_EQ(root.num_samples, 20);
+  EXPECT_EQ(root.num_positive, 10);
+}
+
+}  // namespace
+}  // namespace procmine

@@ -1,0 +1,145 @@
+#include "graph/digraph.h"
+
+#include <gtest/gtest.h>
+
+namespace procmine {
+namespace {
+
+TEST(DirectedGraphTest, EmptyGraph) {
+  DirectedGraph g;
+  EXPECT_EQ(g.num_nodes(), 0);
+  EXPECT_EQ(g.num_edges(), 0);
+}
+
+TEST(DirectedGraphTest, ConstructWithNodes) {
+  DirectedGraph g(5);
+  EXPECT_EQ(g.num_nodes(), 5);
+  EXPECT_EQ(g.num_edges(), 0);
+  for (NodeId v = 0; v < 5; ++v) {
+    EXPECT_EQ(g.OutDegree(v), 0);
+    EXPECT_EQ(g.InDegree(v), 0);
+  }
+}
+
+TEST(DirectedGraphTest, AddNode) {
+  DirectedGraph g(2);
+  NodeId v = g.AddNode();
+  EXPECT_EQ(v, 2);
+  EXPECT_EQ(g.num_nodes(), 3);
+}
+
+TEST(DirectedGraphTest, AddEdge) {
+  DirectedGraph g(3);
+  EXPECT_TRUE(g.AddEdge(0, 1));
+  EXPECT_TRUE(g.HasEdge(0, 1));
+  EXPECT_FALSE(g.HasEdge(1, 0));
+  EXPECT_EQ(g.num_edges(), 1);
+  EXPECT_EQ(g.OutDegree(0), 1);
+  EXPECT_EQ(g.InDegree(1), 1);
+}
+
+TEST(DirectedGraphTest, AddEdgeIsIdempotent) {
+  DirectedGraph g(3);
+  EXPECT_TRUE(g.AddEdge(0, 1));
+  EXPECT_FALSE(g.AddEdge(0, 1));
+  EXPECT_EQ(g.num_edges(), 1);
+  EXPECT_EQ(g.OutDegree(0), 1);
+}
+
+TEST(DirectedGraphTest, SelfLoop) {
+  DirectedGraph g(2);
+  EXPECT_TRUE(g.AddEdge(1, 1));
+  EXPECT_TRUE(g.HasEdge(1, 1));
+  EXPECT_EQ(g.OutDegree(1), 1);
+  EXPECT_EQ(g.InDegree(1), 1);
+}
+
+TEST(DirectedGraphTest, RemoveEdge) {
+  DirectedGraph g(3);
+  g.AddEdge(0, 1);
+  g.AddEdge(0, 2);
+  EXPECT_TRUE(g.RemoveEdge(0, 1));
+  EXPECT_FALSE(g.HasEdge(0, 1));
+  EXPECT_TRUE(g.HasEdge(0, 2));
+  EXPECT_EQ(g.num_edges(), 1);
+  EXPECT_EQ(g.OutDegree(0), 1);
+  EXPECT_EQ(g.InDegree(1), 0);
+}
+
+TEST(DirectedGraphTest, RemoveMissingEdgeReturnsFalse) {
+  DirectedGraph g(2);
+  EXPECT_FALSE(g.RemoveEdge(0, 1));
+}
+
+TEST(DirectedGraphTest, EdgesSortedByFromThenTo) {
+  DirectedGraph g(3);
+  g.AddEdge(2, 0);
+  g.AddEdge(0, 2);
+  g.AddEdge(0, 1);
+  std::vector<Edge> edges = g.Edges();
+  ASSERT_EQ(edges.size(), 3u);
+  EXPECT_EQ(edges[0], (Edge{0, 1}));
+  EXPECT_EQ(edges[1], (Edge{0, 2}));
+  EXPECT_EQ(edges[2], (Edge{2, 0}));
+}
+
+TEST(DirectedGraphTest, NeighborsTrackMutations) {
+  DirectedGraph g(4);
+  g.AddEdge(0, 1);
+  g.AddEdge(0, 2);
+  g.AddEdge(0, 3);
+  g.RemoveEdge(0, 2);
+  std::vector<NodeId> out = g.OutNeighbors(0);
+  std::sort(out.begin(), out.end());
+  EXPECT_EQ(out, (std::vector<NodeId>{1, 3}));
+}
+
+TEST(DirectedGraphTest, ClearEdgesKeepsNodes) {
+  DirectedGraph g(3);
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 2);
+  g.ClearEdges();
+  EXPECT_EQ(g.num_nodes(), 3);
+  EXPECT_EQ(g.num_edges(), 0);
+  EXPECT_FALSE(g.HasEdge(0, 1));
+}
+
+TEST(DirectedGraphTest, FromEdges) {
+  DirectedGraph g = DirectedGraph::FromEdges(0, {{0, 1}, {1, 4}});
+  EXPECT_EQ(g.num_nodes(), 5);  // max id + 1
+  EXPECT_TRUE(g.HasEdge(1, 4));
+  EXPECT_EQ(g.num_edges(), 2);
+}
+
+TEST(DirectedGraphTest, FromEdgesRespectsMinimumNodeCount) {
+  DirectedGraph g = DirectedGraph::FromEdges(10, {{0, 1}});
+  EXPECT_EQ(g.num_nodes(), 10);
+}
+
+TEST(DirectedGraphTest, EqualityIsStructural) {
+  DirectedGraph a(3), b(3);
+  a.AddEdge(0, 1);
+  a.AddEdge(1, 2);
+  b.AddEdge(1, 2);
+  b.AddEdge(0, 1);
+  EXPECT_TRUE(a == b);
+  b.AddEdge(0, 2);
+  EXPECT_FALSE(a == b);
+}
+
+TEST(DirectedGraphTest, ResizeGrowsButNeverShrinks) {
+  DirectedGraph g(3);
+  g.Resize(6);
+  EXPECT_EQ(g.num_nodes(), 6);
+  g.Resize(2);
+  EXPECT_EQ(g.num_nodes(), 6);
+}
+
+TEST(PackEdgeTest, RoundTrips) {
+  Edge e{123456, 654321};
+  Edge r = UnpackEdge(PackEdge(e.from, e.to));
+  EXPECT_EQ(r, e);
+}
+
+}  // namespace
+}  // namespace procmine

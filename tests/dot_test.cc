@@ -1,0 +1,75 @@
+#include "graph/dot.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+namespace procmine {
+namespace {
+
+TEST(DotTest, RendersNodesAndEdges) {
+  DirectedGraph g = DirectedGraph::FromEdges(3, {{0, 1}, {1, 2}});
+  std::string dot = ToDot(g, {"A", "B", "C"});
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+  EXPECT_NE(dot.find("\"A\" -> \"B\";"), std::string::npos);
+  EXPECT_NE(dot.find("\"B\" -> \"C\";"), std::string::npos);
+  EXPECT_NE(dot.find("rankdir=LR"), std::string::npos);
+}
+
+TEST(DotTest, FallsBackToNumericNames) {
+  DirectedGraph g = DirectedGraph::FromEdges(2, {{0, 1}});
+  std::string dot = ToDot(g, {});
+  EXPECT_NE(dot.find("\"n0\" -> \"n1\";"), std::string::npos);
+}
+
+TEST(DotTest, EscapesQuotesInNames) {
+  DirectedGraph g(1);
+  std::string dot = ToDot(g, {"say \"hi\""});
+  EXPECT_NE(dot.find("\\\"hi\\\""), std::string::npos);
+}
+
+TEST(DotTest, OmitsIsolatedVerticesWhenAsked) {
+  DirectedGraph g(3);
+  g.AddEdge(0, 1);
+  std::string with = ToDot(g, {"A", "B", "C"}, {}, /*include_isolated=*/true);
+  std::string without =
+      ToDot(g, {"A", "B", "C"}, {}, /*include_isolated=*/false);
+  EXPECT_NE(with.find("\"C\";"), std::string::npos);
+  EXPECT_EQ(without.find("\"C\";"), std::string::npos);
+}
+
+TEST(DotTest, EdgeLabels) {
+  DirectedGraph g = DirectedGraph::FromEdges(2, {{0, 1}});
+  DotOptions options;
+  options.edge_labels.push_back({Edge{0, 1}, "o[0] > 5"});
+  std::string dot = ToDot(g, {"A", "B"}, options);
+  EXPECT_NE(dot.find("[label=\"o[0] > 5\"]"), std::string::npos);
+}
+
+TEST(DotTest, GraphNameAppears) {
+  DirectedGraph g(1);
+  DotOptions options;
+  options.graph_name = "my_process";
+  std::string dot = ToDot(g, {"A"}, options);
+  EXPECT_NE(dot.find("digraph \"my_process\""), std::string::npos);
+}
+
+TEST(DotTest, WriteDotFileRoundTrip) {
+  DirectedGraph g = DirectedGraph::FromEdges(2, {{0, 1}});
+  std::string path = ::testing::TempDir() + "/dot_test_out.dot";
+  ASSERT_TRUE(WriteDotFile(g, {"X", "Y"}, path).ok());
+  std::ifstream in(path);
+  std::string content((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  EXPECT_EQ(content, ToDot(g, {"X", "Y"}));
+  std::remove(path.c_str());
+}
+
+TEST(DotTest, WriteDotFileFailsOnBadPath) {
+  DirectedGraph g(1);
+  EXPECT_FALSE(WriteDotFile(g, {"A"}, "/nonexistent_dir_xyz/out.dot").ok());
+}
+
+}  // namespace
+}  // namespace procmine

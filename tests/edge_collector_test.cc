@@ -1,0 +1,111 @@
+#include "mine/edge_collector.h"
+
+#include <gtest/gtest.h>
+
+namespace procmine {
+namespace {
+
+TEST(EdgeCollectorTest, CountsAllOrderedPairs) {
+  EventLog log = EventLog::FromCompactStrings({"ABC"});
+  EdgeCounts counts = CollectPrecedenceEdges(log);
+  // A<B, A<C, B<C.
+  EXPECT_EQ(counts.size(), 3u);
+  ActivityId a = *log.dictionary().Find("A");
+  ActivityId b = *log.dictionary().Find("B");
+  ActivityId c = *log.dictionary().Find("C");
+  EXPECT_EQ(counts.at(PackEdge(a, b)), 1);
+  EXPECT_EQ(counts.at(PackEdge(a, c)), 1);
+  EXPECT_EQ(counts.at(PackEdge(b, c)), 1);
+}
+
+TEST(EdgeCollectorTest, CountsOncePerExecution) {
+  EventLog log = EventLog::FromCompactStrings({"AB", "AB", "BA"});
+  EdgeCounts counts = CollectPrecedenceEdges(log);
+  ActivityId a = *log.dictionary().Find("A");
+  ActivityId b = *log.dictionary().Find("B");
+  EXPECT_EQ(counts.at(PackEdge(a, b)), 2);
+  EXPECT_EQ(counts.at(PackEdge(b, a)), 1);
+}
+
+TEST(EdgeCollectorTest, RepeatedActivityCountsEdgeOnce) {
+  // A...A...B: pair (A,B) appears twice within the execution but counts 1.
+  EventLog log = EventLog::FromCompactStrings({"AAB"});
+  EdgeCounts counts = CollectPrecedenceEdges(log);
+  ActivityId a = *log.dictionary().Find("A");
+  ActivityId b = *log.dictionary().Find("B");
+  EXPECT_EQ(counts.at(PackEdge(a, b)), 1);
+  EXPECT_EQ(counts.at(PackEdge(a, a)), 1);  // self pair from the repeat
+}
+
+TEST(EdgeCollectorTest, OverlappingIntervalsProduceNoEdge) {
+  Execution exec("c");
+  exec.Append({0, 0, 10, {}});
+  exec.Append({1, 5, 15, {}});
+  EventLog log;
+  log.dictionary().Intern("A");
+  log.dictionary().Intern("B");
+  log.AddExecution(std::move(exec));
+  EXPECT_TRUE(CollectPrecedenceEdges(log).empty());
+}
+
+TEST(BuildPrecedenceGraphTest, ThresholdFiltersRareEdges) {
+  EventLog log = EventLog::FromCompactStrings({"AB", "AB", "AB", "BA"});
+  EdgeCounts counts = CollectPrecedenceEdges(log);
+  DirectedGraph g1 = BuildPrecedenceGraph(counts, log.num_activities(), 1);
+  EXPECT_EQ(g1.num_edges(), 2);  // both directions
+  DirectedGraph g2 = BuildPrecedenceGraph(counts, log.num_activities(), 2);
+  EXPECT_EQ(g2.num_edges(), 1);  // only A->B survives
+  ActivityId a = *log.dictionary().Find("A");
+  ActivityId b = *log.dictionary().Find("B");
+  EXPECT_TRUE(g2.HasEdge(a, b));
+  DirectedGraph g5 = BuildPrecedenceGraph(counts, log.num_activities(), 5);
+  EXPECT_EQ(g5.num_edges(), 0);
+}
+
+TEST(RemoveTwoCyclesTest, RemovesBothOrientations) {
+  DirectedGraph g =
+      DirectedGraph::FromEdges(3, {{0, 1}, {1, 0}, {1, 2}});
+  RemoveTwoCycles(&g);
+  EXPECT_FALSE(g.HasEdge(0, 1));
+  EXPECT_FALSE(g.HasEdge(1, 0));
+  EXPECT_TRUE(g.HasEdge(1, 2));
+}
+
+TEST(RemoveTwoCyclesTest, RemovesSelfLoops) {
+  DirectedGraph g(2);
+  g.AddEdge(0, 0);
+  g.AddEdge(0, 1);
+  RemoveTwoCycles(&g);
+  EXPECT_FALSE(g.HasEdge(0, 0));
+  EXPECT_TRUE(g.HasEdge(0, 1));
+}
+
+TEST(RemoveTwoCyclesTest, LeavesLongerCyclesAlone) {
+  DirectedGraph g = DirectedGraph::FromEdges(3, {{0, 1}, {1, 2}, {2, 0}});
+  RemoveTwoCycles(&g);
+  EXPECT_EQ(g.num_edges(), 3);
+}
+
+TEST(RemoveIntraSccEdgesTest, RemovesThreeCycle) {
+  // Example 7's SCC {C, D, E} pattern: cycle plus outside edges.
+  DirectedGraph g = DirectedGraph::FromEdges(
+      5, {{0, 1}, {1, 2}, {2, 3}, {3, 1}, {2, 4}});
+  // SCC {1,2,3}; edges inside it removed, others kept.
+  RemoveIntraSccEdges(&g);
+  EXPECT_TRUE(g.HasEdge(0, 1));
+  EXPECT_TRUE(g.HasEdge(2, 4));
+  EXPECT_FALSE(g.HasEdge(1, 2));
+  EXPECT_FALSE(g.HasEdge(2, 3));
+  EXPECT_FALSE(g.HasEdge(3, 1));
+}
+
+TEST(RemoveIntraSccEdgesTest, DagUnchanged) {
+  DirectedGraph g = DirectedGraph::FromEdges(4, {{0, 1}, {0, 2}, {1, 3},
+                                                 {2, 3}});
+  DirectedGraph before = g;
+  RemoveIntraSccEdges(&g);
+  EXPECT_TRUE(g == before);
+}
+
+}  // namespace
+}  // namespace procmine

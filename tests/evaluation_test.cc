@@ -1,0 +1,66 @@
+#include "classify/evaluation.h"
+
+#include <gtest/gtest.h>
+
+namespace procmine {
+namespace {
+
+TEST(ConfusionTest, PerfectClassifier) {
+  Dataset data(1);
+  for (int x = 0; x < 20; ++x) data.Add({x}, x >= 10);
+  DecisionTree tree = DecisionTree::Train(data);
+  Confusion c = Evaluate(tree, data);
+  EXPECT_EQ(c.true_positive, 10);
+  EXPECT_EQ(c.true_negative, 10);
+  EXPECT_EQ(c.false_positive, 0);
+  EXPECT_EQ(c.false_negative, 0);
+  EXPECT_DOUBLE_EQ(c.Accuracy(), 1.0);
+  EXPECT_DOUBLE_EQ(c.Precision(), 1.0);
+  EXPECT_DOUBLE_EQ(c.Recall(), 1.0);
+}
+
+TEST(ConfusionTest, DegenerateAlwaysFalseTree) {
+  Dataset train(1);
+  train.Add({0}, false);
+  DecisionTree tree = DecisionTree::Train(train);
+  Dataset test(1);
+  test.Add({0}, true);
+  test.Add({1}, false);
+  Confusion c = Evaluate(tree, test);
+  EXPECT_EQ(c.false_negative, 1);
+  EXPECT_EQ(c.true_negative, 1);
+  EXPECT_DOUBLE_EQ(c.Accuracy(), 0.5);
+  EXPECT_DOUBLE_EQ(c.Precision(), 1.0);  // no positive predictions
+  EXPECT_DOUBLE_EQ(c.Recall(), 0.0);
+}
+
+TEST(ConfusionTest, EmptyEvaluation) {
+  Confusion c;
+  EXPECT_EQ(c.total(), 0);
+  EXPECT_DOUBLE_EQ(c.Accuracy(), 1.0);
+}
+
+TEST(CrossValidationTest, SeparableDataScoresHigh) {
+  Dataset data(1);
+  for (int x = 0; x < 200; ++x) data.Add({x}, x >= 100);
+  double acc = CrossValidateAccuracy(data, {}, 5, 1);
+  EXPECT_GT(acc, 0.95);
+}
+
+TEST(CrossValidationTest, RandomLabelsScoreNearHalf) {
+  Rng rng(3);
+  Dataset data(1);
+  for (int i = 0; i < 400; ++i) {
+    data.Add({rng.UniformRange(0, 99)}, rng.Bernoulli(0.5));
+  }
+  double acc = CrossValidateAccuracy(data, {}, 5, 2);
+  EXPECT_GT(acc, 0.3);
+  EXPECT_LT(acc, 0.7);
+}
+
+TEST(CrossValidationTest, EmptyDatasetIsPerfect) {
+  EXPECT_DOUBLE_EQ(CrossValidateAccuracy(Dataset(1), {}, 3, 1), 1.0);
+}
+
+}  // namespace
+}  // namespace procmine

@@ -1,0 +1,194 @@
+#include "workflow/fdl.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "flowmark/processes.h"
+#include "mine/metrics.h"
+#include "workflow/engine.h"
+
+namespace procmine {
+namespace {
+
+constexpr char kSample[] = R"(# order handling
+process Order_Fulfillment {
+  activity Start outputs 1 range [0, 99];
+  activity Ship;
+  activity Refund;
+  activity Close;
+  edge Start -> Ship when o[0] >= 20;
+  edge Start -> Refund when o[0] < 20;
+  edge Ship -> Close;
+  edge Refund -> Close;
+}
+)";
+
+TEST(FdlTest, ParsesSampleDocument) {
+  auto def = ParseFdl(kSample);
+  ASSERT_TRUE(def.ok()) << def.status().ToString();
+  EXPECT_EQ(def->num_activities(), 4);
+  EXPECT_EQ(def->graph().num_edges(), 4);
+  NodeId start = *def->process_graph().FindActivity("Start");
+  NodeId ship = *def->process_graph().FindActivity("Ship");
+  EXPECT_EQ(def->output_spec(start).num_params(), 1);
+  EXPECT_EQ(def->output_spec(start).ranges[0], (std::pair<int64_t, int64_t>{0, 99}));
+  EXPECT_EQ(def->condition(start, ship).ToString(), "o[0] >= 20");
+}
+
+TEST(FdlTest, ParsedDefinitionExecutes) {
+  auto def = ParseFdl(kSample);
+  ASSERT_TRUE(def.ok());
+  Engine engine(&*def);
+  auto log = engine.GenerateLog(50, 3);
+  ASSERT_TRUE(log.ok());
+  NodeId ship = *def->process_graph().FindActivity("Ship");
+  NodeId refund = *def->process_graph().FindActivity("Refund");
+  int ships = 0;
+  for (const Execution& exec : log->executions()) {
+    EXPECT_NE(exec.Contains(ship), exec.Contains(refund));
+    ships += exec.Contains(ship) ? 1 : 0;
+  }
+  EXPECT_GT(ships, 25);  // ~80%
+}
+
+TEST(FdlTest, JoinDeclarations) {
+  constexpr char kDoc[] = R"(process P {
+    activity S; activity A; activity B; activity E;
+    join E and;
+    edge S -> A; edge S -> B; edge A -> E; edge B -> E;
+  })";
+  auto def = ParseFdl(kDoc);
+  ASSERT_TRUE(def.ok()) << def.status().ToString();
+  EXPECT_EQ(def->join(*def->process_graph().FindActivity("E")),
+            JoinKind::kAnd);
+  EXPECT_EQ(def->join(*def->process_graph().FindActivity("A")),
+            JoinKind::kOr);
+}
+
+TEST(FdlTest, RoundTripsThroughToFdl) {
+  auto def = ParseFdl(kSample);
+  ASSERT_TRUE(def.ok());
+  std::string serialized = ToFdl(*def, "Order_Fulfillment");
+  auto reparsed = ParseFdl(serialized);
+  ASSERT_TRUE(reparsed.ok()) << serialized << reparsed.status().ToString();
+  EXPECT_TRUE(CompareByName(def->process_graph(),
+                            reparsed->process_graph()).ExactMatch());
+  for (const Edge& e : def->graph().Edges()) {
+    NodeId f = *reparsed->process_graph().FindActivity(def->name(e.from));
+    NodeId t = *reparsed->process_graph().FindActivity(def->name(e.to));
+    EXPECT_EQ(def->condition(e.from, e.to).ToString(),
+              reparsed->condition(f, t).ToString());
+  }
+}
+
+TEST(FdlTest, AllFlowmarkProcessesRoundTrip) {
+  for (const FlowmarkProcess& process : AllFlowmarkProcesses()) {
+    std::string serialized = ToFdl(process.definition, process.name);
+    auto reparsed = ParseFdl(serialized);
+    ASSERT_TRUE(reparsed.ok())
+        << process.name << ": " << reparsed.status().ToString() << "\n"
+        << serialized;
+    EXPECT_TRUE(CompareByName(process.definition.process_graph(),
+                              reparsed->process_graph()).ExactMatch())
+        << process.name;
+    EXPECT_TRUE(reparsed->Validate().ok());
+  }
+}
+
+TEST(FdlTest, CyclicDefinitionNeedsRelaxedValidation) {
+  constexpr char kDoc[] = R"(process Loop {
+    activity S; activity W outputs 1; activity E;
+    edge S -> W;
+    edge W -> W2 when o[0] < 5;
+    edge W -> E when o[0] >= 5;
+  })";
+  (void)kDoc;
+  constexpr char kCyclic[] = R"(process Loop {
+    activity S; activity W outputs 1; activity R outputs 1; activity E;
+    edge S -> W;
+    edge W -> R;
+    edge R -> W when o[0] < 5;
+    edge R -> E when o[0] >= 5;
+  })";
+  EXPECT_FALSE(ParseFdl(kCyclic, /*require_acyclic=*/true).ok());
+  auto def = ParseFdl(kCyclic, /*require_acyclic=*/false);
+  ASSERT_TRUE(def.ok()) << def.status().ToString();
+}
+
+TEST(FdlTest, ErrorsCarryLineNumbers) {
+  constexpr char kDoc[] = R"(process P {
+    activity S;
+    activity E;
+    edge S -> X;
+  })";
+  auto def = ParseFdl(kDoc);
+  ASSERT_FALSE(def.ok());
+  EXPECT_NE(def.status().message().find("line 4"), std::string::npos);
+  EXPECT_NE(def.status().message().find("undeclared activity 'X'"),
+            std::string::npos);
+}
+
+TEST(FdlTest, RejectsMalformedDocuments) {
+  EXPECT_FALSE(ParseFdl("").ok());
+  EXPECT_FALSE(ParseFdl("process P").ok());                  // no braces
+  EXPECT_FALSE(ParseFdl("p P { activity A; }").ok());        // bad keyword
+  EXPECT_FALSE(ParseFdl("process P { widget A; }").ok());    // bad decl
+  EXPECT_FALSE(ParseFdl("process P { activity; }").ok());    // no name
+  EXPECT_FALSE(
+      ParseFdl("process P { activity A; activity A; edge A -> A; }").ok());
+}
+
+TEST(FdlTest, RejectsDuplicateEdge) {
+  constexpr char kDoc[] = R"(process P {
+    activity S; activity E;
+    edge S -> E;
+    edge S -> E;
+  })";
+  auto def = ParseFdl(kDoc);
+  ASSERT_FALSE(def.ok());
+  EXPECT_NE(def.status().message().find("duplicate edge"),
+            std::string::npos);
+}
+
+TEST(FdlTest, RejectsBadCondition) {
+  constexpr char kDoc[] = R"(process P {
+    activity S outputs 1; activity E;
+    edge S -> E when o[0] >>> 3;
+  })";
+  auto def = ParseFdl(kDoc);
+  ASSERT_FALSE(def.ok());
+  EXPECT_NE(def.status().message().find("parse error"), std::string::npos);
+}
+
+TEST(FdlTest, ValidatesConditionsAgainstOutputs) {
+  constexpr char kDoc[] = R"(process P {
+    activity S; activity E;
+    edge S -> E when o[0] > 3;
+  })";
+  // S declares no outputs, so the condition is invalid.
+  EXPECT_FALSE(ParseFdl(kDoc).ok());
+}
+
+TEST(FdlTest, StructuralValidationApplies) {
+  constexpr char kDoc[] = R"(process P {
+    activity A; activity B; activity C;
+    edge A -> C; edge B -> C;
+  })";
+  auto def = ParseFdl(kDoc);  // two sources
+  EXPECT_FALSE(def.ok());
+}
+
+TEST(FdlTest, FileRoundTrip) {
+  auto def = ParseFdl(kSample);
+  ASSERT_TRUE(def.ok());
+  std::string path = ::testing::TempDir() + "/fdl_test.fdl";
+  ASSERT_TRUE(WriteFdlFile(*def, path, "Order_Fulfillment").ok());
+  auto read = ReadFdlFile(path);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(read->num_activities(), 4);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace procmine

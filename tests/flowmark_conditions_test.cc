@@ -1,0 +1,93 @@
+// Section 7 x Section 8.2: the paper could not learn conditions on the real
+// Flowmark logs ("Flowmark does not log the input and output parameters to
+// the activities"). Our simulated installations DO log outputs, so the
+// prescribed method runs end to end: mine each process, learn its edge
+// conditions, and check the learned rules reproduce the designed routing.
+
+#include <gtest/gtest.h>
+
+#include "flowmark/processes.h"
+#include "mine/condition_miner.h"
+#include "mine/miner.h"
+#include "mine/reconstruct.h"
+#include "workflow/engine.h"
+
+namespace procmine {
+namespace {
+
+TEST(FlowmarkConditionsTest, UploadAndNotifyThresholdRecovered) {
+  ProcessDefinition def = MakeUploadAndNotify();
+  Engine engine(&def);
+  auto log = engine.GenerateLog(400, 11);
+  ASSERT_TRUE(log.ok());
+  auto annotated = ProcessMiner().MineWithConditions(*log);
+  ASSERT_TRUE(annotated.ok());
+
+  NodeId upload = *annotated->graph.FindActivity("Upload");
+  NodeId admin = *annotated->graph.FindActivity("Notify_Admin");
+  NodeId user = *annotated->graph.FindActivity("Notify_User");
+  int learned = 0;
+  for (const MinedCondition& c : annotated->conditions) {
+    if (c.edge == (Edge{upload, admin}) || c.edge == (Edge{upload, user})) {
+      EXPECT_TRUE(c.learned) << c.rule;
+      EXPECT_GT(c.test_accuracy, 0.95) << c.rule;
+      ++learned;
+    }
+  }
+  EXPECT_EQ(learned, 2);
+}
+
+TEST(FlowmarkConditionsTest, PendBlockThreeWayBandsRecovered) {
+  ProcessDefinition def = MakePendBlock();
+  Engine engine(&def);
+  auto log = engine.GenerateLog(600, 12);
+  ASSERT_TRUE(log.ok());
+  auto annotated = ProcessMiner().MineWithConditions(*log);
+  ASSERT_TRUE(annotated.ok());
+
+  NodeId check = *annotated->graph.FindActivity("Check");
+  int learned_bands = 0;
+  for (const MinedCondition& c : annotated->conditions) {
+    if (c.edge.from != check) continue;
+    const std::string& target = annotated->graph.name(c.edge.to);
+    if (target == "Pend" || target == "Block") {
+      ++learned_bands;
+      EXPECT_TRUE(c.learned) << target;
+      EXPECT_GT(c.test_accuracy, 0.93) << target << ": " << c.rule;
+    }
+    if (target == "Resolve") {
+      // A documented limitation of the Section 7 labeling ("v is also
+      // executed in the same process execution"): Resolve runs in EVERY
+      // execution — it is the join all three routes feed — so the direct
+      // Check -> Resolve skip edge has no negative examples and is
+      // reported as unconditioned rather than as its middle band.
+      EXPECT_FALSE(c.learned);
+      EXPECT_EQ(c.num_negative, 0);
+      EXPECT_EQ(c.rule, "true");
+    }
+  }
+  EXPECT_EQ(learned_bands, 2);
+}
+
+TEST(FlowmarkConditionsTest, EveryProcessReconstructsAndReruns) {
+  // mine -> learn conditions -> reconstruct -> simulate: the full loop must
+  // close for all five simulated installations.
+  for (const FlowmarkProcess& process : AllFlowmarkProcesses()) {
+    Engine engine(&process.definition);
+    auto log = engine.GenerateLog(
+        static_cast<size_t>(process.paper_executions), 13);
+    ASSERT_TRUE(log.ok()) << process.name;
+    auto annotated = ProcessMiner().MineWithConditions(*log);
+    ASSERT_TRUE(annotated.ok()) << process.name;
+    auto reconstructed = ReconstructDefinition(*annotated, *log);
+    ASSERT_TRUE(reconstructed.ok())
+        << process.name << ": " << reconstructed.status().ToString();
+    Engine redeploy(&*reconstructed);
+    auto relog = redeploy.GenerateLog(50, 14);
+    EXPECT_TRUE(relog.ok())
+        << process.name << ": " << relog.status().ToString();
+  }
+}
+
+}  // namespace
+}  // namespace procmine

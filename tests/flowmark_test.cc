@@ -1,0 +1,151 @@
+// Section 8.2: the simulated Flowmark processes. Each definition must match
+// its Table 3 vertex/edge counts, execute cleanly, and be recovered exactly
+// by the miner from a log of the paper's size ("In every case, our algorithm
+// was able to recover the underlying process").
+
+#include "flowmark/processes.h"
+
+#include <gtest/gtest.h>
+
+#include "mine/conformance.h"
+#include "mine/metrics.h"
+#include "mine/miner.h"
+#include "workflow/engine.h"
+
+namespace procmine {
+namespace {
+
+class FlowmarkProcessTest : public ::testing::TestWithParam<size_t> {
+ protected:
+  FlowmarkProcess process_ = AllFlowmarkProcesses()[GetParam()];
+};
+
+TEST_P(FlowmarkProcessTest, MatchesTable3Shape) {
+  EXPECT_EQ(static_cast<int64_t>(process_.definition.num_activities()),
+            process_.paper_vertices);
+  EXPECT_EQ(process_.definition.graph().num_edges(), process_.paper_edges);
+  EXPECT_TRUE(process_.definition.Validate().ok());
+}
+
+TEST_P(FlowmarkProcessTest, EngineExecutesPaperExecutionCount) {
+  Engine engine(&process_.definition);
+  auto log = engine.GenerateLog(
+      static_cast<size_t>(process_.paper_executions), /*seed=*/1001);
+  ASSERT_TRUE(log.ok());
+  EXPECT_EQ(static_cast<int64_t>(log->num_executions()),
+            process_.paper_executions);
+  // Every execution starts at the source and ends at the sink.
+  NodeId source = *process_.definition.process_graph().Source();
+  NodeId sink = *process_.definition.process_graph().Sink();
+  for (const Execution& exec : log->executions()) {
+    EXPECT_EQ(exec.Sequence().front(), source);
+    EXPECT_EQ(exec.Sequence().back(), sink);
+  }
+}
+
+TEST_P(FlowmarkProcessTest, MinerRecoversUnderlyingProcess) {
+  Engine engine(&process_.definition);
+  auto log = engine.GenerateLog(
+      static_cast<size_t>(process_.paper_executions), /*seed=*/2002);
+  ASSERT_TRUE(log.ok());
+  auto mined = ProcessMiner().Mine(*log);
+  ASSERT_TRUE(mined.ok());
+  GraphComparison cmp =
+      CompareByName(process_.definition.process_graph(), *mined);
+  EXPECT_TRUE(cmp.ExactMatch())
+      << process_.name << ": missing=" << cmp.missing_edges
+      << " spurious=" << cmp.spurious_edges << "\n"
+      << mined->ToDot();
+}
+
+TEST_P(FlowmarkProcessTest, MinedGraphConformalWithLog) {
+  Engine engine(&process_.definition);
+  auto log = engine.GenerateLog(
+      static_cast<size_t>(process_.paper_executions), /*seed=*/3003);
+  ASSERT_TRUE(log.ok());
+  auto mined = ProcessMiner().Mine(*log);
+  ASSERT_TRUE(mined.ok());
+  ConformanceChecker checker(&*mined);
+  ConformanceReport report = checker.CheckLog(*log);
+  EXPECT_TRUE(report.conformal())
+      << process_.name << "\n" << report.Summary(log->dictionary());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFive, FlowmarkProcessTest,
+                         ::testing::Range<size_t>(0, 5),
+                         [](const ::testing::TestParamInfo<size_t>& info) {
+                           return AllFlowmarkProcesses()[info.param].name;
+                         });
+
+TEST(FlowmarkRegistryTest, FiveProcessesInPaperOrder) {
+  auto all = AllFlowmarkProcesses();
+  ASSERT_EQ(all.size(), 5u);
+  EXPECT_EQ(all[0].name, "Upload_and_Notify");
+  EXPECT_EQ(all[1].name, "StressSleep");
+  EXPECT_EQ(all[2].name, "Pend_Block");
+  EXPECT_EQ(all[3].name, "Local_Swap");
+  EXPECT_EQ(all[4].name, "UWI_Pilot");
+}
+
+TEST(FlowmarkRegistryTest, PaperNumbersRecorded) {
+  auto all = AllFlowmarkProcesses();
+  EXPECT_EQ(all[1].paper_executions, 160);
+  EXPECT_EQ(all[3].paper_executions, 24);
+  EXPECT_EQ(all[2].paper_log_kb, 505);
+  EXPECT_NEAR(all[0].paper_seconds, 11.5, 1e-9);
+}
+
+TEST(FlowmarkTest, UploadAndNotifyBranchesAreExclusive) {
+  ProcessDefinition def = MakeUploadAndNotify();
+  Engine engine(&def);
+  auto log = engine.GenerateLog(100, 7);
+  ASSERT_TRUE(log.ok());
+  NodeId admin = *def.process_graph().FindActivity("Notify_Admin");
+  NodeId user = *def.process_graph().FindActivity("Notify_User");
+  for (const Execution& exec : log->executions()) {
+    EXPECT_NE(exec.Contains(admin), exec.Contains(user));
+  }
+}
+
+TEST(FlowmarkTest, StressSleepAlwaysRunsAllActivities) {
+  ProcessDefinition def = MakeStressSleep();
+  Engine engine(&def);
+  auto log = engine.GenerateLog(50, 8);
+  ASSERT_TRUE(log.ok());
+  for (const Execution& exec : log->executions()) {
+    EXPECT_EQ(exec.size(), 14u);
+  }
+}
+
+TEST(FlowmarkTest, LocalSwapIsDeterministicChain) {
+  ProcessDefinition def = MakeLocalSwap();
+  Engine engine(&def);
+  auto log = engine.GenerateLog(5, 9);
+  ASSERT_TRUE(log.ok());
+  for (size_t i = 1; i < log->num_executions(); ++i) {
+    EXPECT_EQ(log->execution(i).Sequence(), log->execution(0).Sequence());
+  }
+}
+
+TEST(FlowmarkTest, PendBlockThreeWayRouting) {
+  ProcessDefinition def = MakePendBlock();
+  Engine engine(&def);
+  auto log = engine.GenerateLog(200, 10);
+  ASSERT_TRUE(log.ok());
+  NodeId pend = *def.process_graph().FindActivity("Pend");
+  NodeId block = *def.process_graph().FindActivity("Block");
+  int with_pend = 0, with_block = 0, direct = 0;
+  for (const Execution& exec : log->executions()) {
+    bool p = exec.Contains(pend), b = exec.Contains(block);
+    EXPECT_FALSE(p && b);  // routes are exclusive
+    if (p) ++with_pend;
+    else if (b) ++with_block;
+    else ++direct;
+  }
+  EXPECT_GT(with_pend, 0);
+  EXPECT_GT(with_block, 0);
+  EXPECT_GT(direct, 0);
+}
+
+}  // namespace
+}  // namespace procmine

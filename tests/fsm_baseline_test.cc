@@ -1,0 +1,115 @@
+#include "mine/fsm_baseline.h"
+
+#include <gtest/gtest.h>
+
+#include "mine/miner.h"
+
+namespace procmine {
+namespace {
+
+std::vector<ActivityId> Seq(const EventLog& log, const std::string& compact) {
+  std::vector<ActivityId> seq;
+  for (char c : compact) {
+    seq.push_back(*log.dictionary().Find(std::string(1, c)));
+  }
+  return seq;
+}
+
+TEST(FsmBaselineTest, ChainYieldsLinearAutomaton) {
+  EventLog log = EventLog::FromCompactStrings({"ABC", "ABC"});
+  Automaton fsm = LearnKTailAutomaton(log, 2);
+  EXPECT_TRUE(fsm.Accepts(Seq(log, "ABC")));
+  EXPECT_FALSE(fsm.Accepts(Seq(log, "AB")));
+  EXPECT_FALSE(fsm.Accepts(Seq(log, "ACB")));
+  EXPECT_FALSE(fsm.Accepts({}));
+}
+
+TEST(FsmBaselineTest, PrefixTreeModeAcceptsExactlyTheLog) {
+  EventLog log = EventLog::FromCompactStrings({"AB", "AC"});
+  Automaton pta = LearnKTailAutomaton(log, -1);
+  EXPECT_TRUE(pta.Accepts(Seq(log, "AB")));
+  EXPECT_TRUE(pta.Accepts(Seq(log, "AC")));
+  EXPECT_FALSE(pta.Accepts(Seq(log, "A")));
+  // PTA of two length-2 strings sharing a prefix: root + A + B + C.
+  EXPECT_EQ(pta.num_states(), 4);
+}
+
+TEST(FsmBaselineTest, AlwaysAcceptsTrainingSequences) {
+  EventLog log = EventLog::FromCompactStrings(
+      {"SABE", "SBAE", "SAE", "SBE", "SABE"});
+  for (int k : {-1, 0, 1, 2, 3}) {
+    Automaton fsm = LearnKTailAutomaton(log, k);
+    for (const Execution& exec : log.executions()) {
+      EXPECT_TRUE(fsm.Accepts(exec.Sequence())) << "k=" << k;
+    }
+  }
+}
+
+TEST(FsmBaselineTest, SmallerKMergesMoreStates) {
+  EventLog log = EventLog::FromCompactStrings(
+      {"SABE", "SBAE", "SACBE", "SBCAE"});
+  Automaton pta = LearnKTailAutomaton(log, -1);
+  Automaton k2 = LearnKTailAutomaton(log, 2);
+  Automaton k0 = LearnKTailAutomaton(log, 0);
+  EXPECT_LE(k2.num_states(), pta.num_states());
+  EXPECT_LE(k0.num_states(), k2.num_states());
+}
+
+TEST(FsmBaselineTest, PaperSection1ParallelismArgument) {
+  // "Consider a simple process graph ({S,A,B,E}, {S->A, A->E, S->B, B->E})
+  // ... This process graph can generate SABE and SBAE as valid executions.
+  // The automaton that accepts these two strings is a quite different
+  // structure... An activity appears only once in a process graph as a
+  // vertex label, whereas the same token (activity) may appear multiple
+  // times in an automaton."
+  EventLog log = EventLog::FromCompactStrings({"SABE", "SBAE"});
+
+  // Process-graph side: one vertex per activity, 4 edges.
+  auto graph = ProcessMiner().Mine(log);
+  ASSERT_TRUE(graph.ok());
+  EXPECT_EQ(graph->num_activities(), 4);
+  EXPECT_EQ(graph->graph().num_edges(), 4);
+
+  // Automaton side: A and B label multiple transitions.
+  Automaton fsm = LearnKTailAutomaton(log, 2);
+  EXPECT_TRUE(fsm.Accepts(Seq(log, "SABE")));
+  EXPECT_TRUE(fsm.Accepts(Seq(log, "SBAE")));
+  ActivityId a = *log.dictionary().Find("A");
+  ActivityId b = *log.dictionary().Find("B");
+  EXPECT_GE(fsm.TransitionsLabeled(a), 2);
+  EXPECT_GE(fsm.TransitionsLabeled(b), 2);
+}
+
+TEST(FsmBaselineTest, TransitionCounts) {
+  EventLog log = EventLog::FromCompactStrings({"AB"});
+  Automaton fsm = LearnKTailAutomaton(log, -1);
+  EXPECT_EQ(fsm.num_transitions(), 2);
+  EXPECT_EQ(fsm.TransitionsLabeled(*log.dictionary().Find("A")), 1);
+}
+
+TEST(FsmBaselineTest, GeneralizationThroughMerging) {
+  // Loop unrollings: with small k the merged automaton accepts longer
+  // unrollings it never saw (grammar-inference generalization).
+  EventLog log = EventLog::FromCompactStrings(
+      {"SWE", "SWWE", "SWWWE", "SWWWWE"});
+  Automaton fsm = LearnKTailAutomaton(log, 1);
+  std::vector<ActivityId> longer = Seq(log, "SWWWWWWWE");
+  EXPECT_TRUE(fsm.Accepts(longer));
+}
+
+TEST(FsmBaselineTest, DotRendering) {
+  EventLog log = EventLog::FromCompactStrings({"AB"});
+  Automaton fsm = LearnKTailAutomaton(log, 2);
+  std::string dot = fsm.ToDot(log.dictionary());
+  EXPECT_NE(dot.find("doublecircle"), std::string::npos);
+  EXPECT_NE(dot.find("label=\"A\""), std::string::npos);
+}
+
+TEST(FsmBaselineTest, EmptyLog) {
+  Automaton fsm = LearnKTailAutomaton(EventLog(), 2);
+  EXPECT_EQ(fsm.num_states(), 1);
+  EXPECT_FALSE(fsm.Accepts({}));
+}
+
+}  // namespace
+}  // namespace procmine

@@ -1,0 +1,204 @@
+#include "graph/algorithms.h"
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace procmine {
+namespace {
+
+DirectedGraph Diamond() {
+  // 0 -> 1 -> 3, 0 -> 2 -> 3
+  return DirectedGraph::FromEdges(4, {{0, 1}, {0, 2}, {1, 3}, {2, 3}});
+}
+
+TEST(TopologicalSortTest, DiamondOrder) {
+  auto order = TopologicalSort(Diamond());
+  ASSERT_TRUE(order.ok());
+  // Deterministic: smallest id first among ready vertices.
+  EXPECT_EQ(*order, (std::vector<NodeId>{0, 1, 2, 3}));
+}
+
+TEST(TopologicalSortTest, FailsOnCycle) {
+  DirectedGraph g = DirectedGraph::FromEdges(3, {{0, 1}, {1, 2}, {2, 0}});
+  EXPECT_FALSE(TopologicalSort(g).ok());
+}
+
+TEST(TopologicalSortTest, SelfLoopIsACycle) {
+  DirectedGraph g(2);
+  g.AddEdge(0, 0);
+  EXPECT_FALSE(TopologicalSort(g).ok());
+  EXPECT_TRUE(HasCycle(g));
+}
+
+TEST(TopologicalSortTest, EmptyAndSingleton) {
+  EXPECT_TRUE(TopologicalSort(DirectedGraph()).ok());
+  DirectedGraph one(1);
+  auto order = TopologicalSort(one);
+  ASSERT_TRUE(order.ok());
+  EXPECT_EQ(order->size(), 1u);
+}
+
+TEST(HasCycleTest, DagHasNoCycle) {
+  EXPECT_FALSE(HasCycle(Diamond()));
+}
+
+TEST(SccTest, DagHasSingletonComponents) {
+  SccResult scc = StronglyConnectedComponents(Diamond());
+  EXPECT_EQ(scc.num_components, 4);
+}
+
+TEST(SccTest, SimpleCycleIsOneComponent) {
+  DirectedGraph g = DirectedGraph::FromEdges(3, {{0, 1}, {1, 2}, {2, 0}});
+  SccResult scc = StronglyConnectedComponents(g);
+  EXPECT_EQ(scc.num_components, 1);
+  EXPECT_EQ(scc.component[0], scc.component[1]);
+  EXPECT_EQ(scc.component[1], scc.component[2]);
+}
+
+TEST(SccTest, MixedGraph) {
+  // 0 -> 1 <-> 2 -> 3, 3 <-> 4
+  DirectedGraph g =
+      DirectedGraph::FromEdges(5, {{0, 1}, {1, 2}, {2, 1}, {2, 3}, {3, 4},
+                                   {4, 3}});
+  SccResult scc = StronglyConnectedComponents(g);
+  EXPECT_EQ(scc.num_components, 3);
+  EXPECT_EQ(scc.component[1], scc.component[2]);
+  EXPECT_EQ(scc.component[3], scc.component[4]);
+  EXPECT_NE(scc.component[0], scc.component[1]);
+  EXPECT_NE(scc.component[1], scc.component[3]);
+}
+
+TEST(SccTest, ComponentsNumberedInReverseTopologicalOrder) {
+  // 0 -> 1: component of 1 must be numbered before component of 0.
+  DirectedGraph g = DirectedGraph::FromEdges(2, {{0, 1}});
+  SccResult scc = StronglyConnectedComponents(g);
+  EXPECT_LT(scc.component[1], scc.component[0]);
+}
+
+TEST(ReachabilityTest, DiamondReachability) {
+  std::vector<DynamicBitset> reach = ReachabilityMatrix(Diamond());
+  EXPECT_TRUE(reach[0].Test(1));
+  EXPECT_TRUE(reach[0].Test(2));
+  EXPECT_TRUE(reach[0].Test(3));
+  EXPECT_FALSE(reach[0].Test(0));  // no cycle: not self-reachable
+  EXPECT_TRUE(reach[1].Test(3));
+  EXPECT_FALSE(reach[1].Test(2));
+  EXPECT_EQ(reach[3].Count(), 0u);
+}
+
+TEST(ReachabilityTest, CycleMembersReachThemselves) {
+  DirectedGraph g = DirectedGraph::FromEdges(3, {{0, 1}, {1, 0}, {1, 2}});
+  std::vector<DynamicBitset> reach = ReachabilityMatrix(g);
+  EXPECT_TRUE(reach[0].Test(0));
+  EXPECT_TRUE(reach[1].Test(1));
+  EXPECT_FALSE(reach[2].Test(2));
+  EXPECT_TRUE(reach[0].Test(2));
+  EXPECT_TRUE(reach[1].Test(0));
+}
+
+TEST(ReachabilityTest, SelfLoop) {
+  DirectedGraph g(2);
+  g.AddEdge(0, 0);
+  std::vector<DynamicBitset> reach = ReachabilityMatrix(g);
+  EXPECT_TRUE(reach[0].Test(0));
+  EXPECT_FALSE(reach[1].Test(1));
+}
+
+TEST(ReachabilityTest, MatchesNaiveOnRandomGraphs) {
+  Rng rng(99);
+  for (int trial = 0; trial < 20; ++trial) {
+    const NodeId n = 12;
+    DirectedGraph g(n);
+    for (NodeId i = 0; i < n; ++i) {
+      for (NodeId j = 0; j < n; ++j) {
+        if (i != j && rng.Bernoulli(0.15)) g.AddEdge(i, j);
+      }
+    }
+    std::vector<DynamicBitset> reach = ReachabilityMatrix(g);
+    for (NodeId u = 0; u < n; ++u) {
+      for (NodeId v = 0; v < n; ++v) {
+        EXPECT_EQ(reach[static_cast<size_t>(u)].Test(static_cast<size_t>(v)),
+                  HasPath(g, u, v))
+            << "u=" << u << " v=" << v << " trial=" << trial;
+      }
+    }
+  }
+}
+
+TEST(TransitiveClosureTest, Chain) {
+  DirectedGraph g = DirectedGraph::FromEdges(4, {{0, 1}, {1, 2}, {2, 3}});
+  DirectedGraph closure = TransitiveClosure(g);
+  EXPECT_EQ(closure.num_edges(), 6);  // all i < j pairs
+  EXPECT_TRUE(closure.HasEdge(0, 3));
+  EXPECT_TRUE(closure.HasEdge(1, 3));
+  EXPECT_FALSE(closure.HasEdge(3, 0));
+}
+
+TEST(HasPathTest, DirectAndTransitive) {
+  DirectedGraph g = DirectedGraph::FromEdges(4, {{0, 1}, {1, 2}});
+  EXPECT_TRUE(HasPath(g, 0, 1));
+  EXPECT_TRUE(HasPath(g, 0, 2));
+  EXPECT_FALSE(HasPath(g, 2, 0));
+  EXPECT_FALSE(HasPath(g, 0, 3));
+  EXPECT_FALSE(HasPath(g, 0, 0));  // length >= 1 required
+}
+
+TEST(HasPathTest, CycleReachesItself) {
+  DirectedGraph g = DirectedGraph::FromEdges(2, {{0, 1}, {1, 0}});
+  EXPECT_TRUE(HasPath(g, 0, 0));
+}
+
+TEST(InducedSubgraphTest, KeepsOnlyListedVertices) {
+  DirectedGraph g = Diamond();
+  DirectedGraph sub = InducedSubgraph(g, {0, 1, 3});
+  EXPECT_EQ(sub.num_nodes(), g.num_nodes());  // ids preserved
+  EXPECT_TRUE(sub.HasEdge(0, 1));
+  EXPECT_TRUE(sub.HasEdge(1, 3));
+  EXPECT_FALSE(sub.HasEdge(0, 2));
+  EXPECT_FALSE(sub.HasEdge(2, 3));
+  EXPECT_EQ(sub.num_edges(), 2);
+}
+
+TEST(InducedSubgraphTest, DuplicatesIgnored) {
+  DirectedGraph sub = InducedSubgraph(Diamond(), {0, 0, 1, 1});
+  EXPECT_EQ(sub.num_edges(), 1);
+}
+
+TEST(SourcesSinksTest, Diamond) {
+  EXPECT_EQ(Sources(Diamond()), (std::vector<NodeId>{0}));
+  EXPECT_EQ(Sinks(Diamond()), (std::vector<NodeId>{3}));
+}
+
+TEST(SourcesSinksTest, IsolatedVertexIsBoth) {
+  DirectedGraph g(2);
+  g.AddEdge(0, 0);  // self loop: 0 is neither source nor sink
+  EXPECT_EQ(Sources(g), (std::vector<NodeId>{1}));
+  EXPECT_EQ(Sinks(g), (std::vector<NodeId>{1}));
+}
+
+TEST(WeakConnectivityTest, ConnectedAndDisconnected) {
+  EXPECT_TRUE(IsWeaklyConnected(Diamond()));
+  DirectedGraph g(4);
+  g.AddEdge(0, 1);
+  g.AddEdge(2, 3);
+  EXPECT_FALSE(IsWeaklyConnected(g));
+  EXPECT_TRUE(IsWeaklyConnected(DirectedGraph()));
+  EXPECT_TRUE(IsWeaklyConnected(DirectedGraph(1)));
+}
+
+TEST(WeakConnectivityTest, DirectionDoesNotMatter) {
+  DirectedGraph g(3);
+  g.AddEdge(1, 0);
+  g.AddEdge(1, 2);
+  EXPECT_TRUE(IsWeaklyConnected(g));
+}
+
+TEST(ReachableFromTest, IncludesStart) {
+  std::vector<NodeId> r = ReachableFrom(Diamond(), 1);
+  EXPECT_EQ(r, (std::vector<NodeId>{1, 3}));
+  EXPECT_EQ(ReachableFrom(Diamond(), 0).size(), 4u);
+}
+
+}  // namespace
+}  // namespace procmine

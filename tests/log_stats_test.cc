@@ -1,0 +1,56 @@
+#include "log/stats.h"
+
+#include <gtest/gtest.h>
+
+namespace procmine {
+namespace {
+
+TEST(LogStatsTest, BasicCounts) {
+  EventLog log = EventLog::FromCompactStrings({"ABCE", "ACE", "AE"});
+  LogStats stats = ComputeLogStats(log);
+  EXPECT_EQ(stats.num_executions, 3);
+  EXPECT_EQ(stats.num_activities, 4);
+  EXPECT_EQ(stats.total_instances, 9);
+  EXPECT_EQ(stats.min_length, 2);
+  EXPECT_EQ(stats.max_length, 4);
+  EXPECT_DOUBLE_EQ(stats.mean_length, 3.0);
+  EXPECT_GT(stats.serialized_bytes, 0);
+}
+
+TEST(LogStatsTest, ExecutionsContaining) {
+  EventLog log = EventLog::FromCompactStrings({"AB", "AC", "A"});
+  LogStats stats = ComputeLogStats(log);
+  ActivityId a = *log.dictionary().Find("A");
+  ActivityId b = *log.dictionary().Find("B");
+  ActivityId c = *log.dictionary().Find("C");
+  EXPECT_EQ(stats.executions_containing[static_cast<size_t>(a)], 3);
+  EXPECT_EQ(stats.executions_containing[static_cast<size_t>(b)], 1);
+  EXPECT_EQ(stats.executions_containing[static_cast<size_t>(c)], 1);
+}
+
+TEST(LogStatsTest, RepeatedActivityCountedOncePerExecution) {
+  EventLog log = EventLog::FromCompactStrings({"ABAB"});
+  LogStats stats = ComputeLogStats(log);
+  ActivityId a = *log.dictionary().Find("A");
+  EXPECT_EQ(stats.executions_containing[static_cast<size_t>(a)], 1);
+  EXPECT_EQ(stats.total_instances, 4);
+}
+
+TEST(LogStatsTest, EmptyLog) {
+  EventLog log;
+  LogStats stats = ComputeLogStats(log);
+  EXPECT_EQ(stats.num_executions, 0);
+  EXPECT_EQ(stats.total_instances, 0);
+  EXPECT_DOUBLE_EQ(stats.mean_length, 0.0);
+}
+
+TEST(LogStatsTest, ToStringMentionsActivities) {
+  EventLog log = EventLog::FromCompactStrings({"AB"});
+  LogStats stats = ComputeLogStats(log);
+  std::string text = stats.ToString(log.dictionary());
+  EXPECT_NE(text.find("executions=1"), std::string::npos);
+  EXPECT_NE(text.find("A: in 1 executions"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace procmine

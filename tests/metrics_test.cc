@@ -1,0 +1,58 @@
+#include "mine/metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace procmine {
+namespace {
+
+TEST(MetricsTest, ExactMatchAcrossDifferentIdSpaces) {
+  // Same named edges, different interning order.
+  ProcessGraph a = ProcessGraph::FromNamedEdges({{"A", "B"}, {"B", "C"}});
+  ProcessGraph b = ProcessGraph::FromNamedEdges({{"B", "C"}, {"A", "B"}});
+  EXPECT_FALSE(a.graph() == b.graph());  // ids differ
+  GraphComparison cmp = CompareByName(a, b);
+  EXPECT_TRUE(cmp.ExactMatch());  // names agree
+}
+
+TEST(MetricsTest, MissingAndSpuriousByName) {
+  ProcessGraph truth =
+      ProcessGraph::FromNamedEdges({{"A", "B"}, {"B", "C"}, {"C", "D"}});
+  ProcessGraph mined =
+      ProcessGraph::FromNamedEdges({{"A", "B"}, {"B", "D"}});
+  GraphComparison cmp = CompareByName(truth, mined);
+  EXPECT_EQ(cmp.common_edges, 1);
+  EXPECT_EQ(cmp.missing_edges, 2);
+  EXPECT_EQ(cmp.spurious_edges, 1);
+}
+
+TEST(MetricsTest, ActivitiesMissingFromMinedGraph) {
+  ProcessGraph truth =
+      ProcessGraph::FromNamedEdges({{"A", "B"}, {"B", "C"}});
+  ProcessGraph mined = ProcessGraph::FromNamedEdges({{"A", "B"}});
+  GraphComparison cmp = CompareByName(truth, mined);
+  EXPECT_EQ(cmp.missing_edges, 1);
+  EXPECT_EQ(cmp.spurious_edges, 0);
+}
+
+TEST(MetricsTest, ClosureComparisonByName) {
+  ProcessGraph chain =
+      ProcessGraph::FromNamedEdges({{"A", "B"}, {"B", "C"}});
+  ProcessGraph with_shortcut = ProcessGraph::FromNamedEdges(
+      {{"A", "B"}, {"B", "C"}, {"A", "C"}});
+  EXPECT_FALSE(CompareByName(chain, with_shortcut).ExactMatch());
+  EXPECT_TRUE(CompareClosuresByName(chain, with_shortcut).ExactMatch());
+}
+
+TEST(MetricsTest, NamedEdgeDifference) {
+  ProcessGraph a =
+      ProcessGraph::FromNamedEdges({{"A", "B"}, {"B", "C"}});
+  ProcessGraph b = ProcessGraph::FromNamedEdges({{"A", "B"}});
+  auto diff = NamedEdgeDifference(a, b);
+  ASSERT_EQ(diff.size(), 1u);
+  EXPECT_EQ(diff[0].first, "B");
+  EXPECT_EQ(diff[0].second, "C");
+  EXPECT_TRUE(NamedEdgeDifference(b, a).empty());
+}
+
+}  // namespace
+}  // namespace procmine

@@ -1,0 +1,88 @@
+#include "mine/miner.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/algorithms.h"
+#include "mine/metrics.h"
+
+namespace procmine {
+namespace {
+
+TEST(MinerTest, SelectsSpecialForExactlyOnceLogs) {
+  EventLog log = EventLog::FromCompactStrings({"ABC", "ACB"});
+  EXPECT_EQ(ProcessMiner::SelectAlgorithm(log),
+            MinerAlgorithm::kSpecialDag);
+}
+
+TEST(MinerTest, SelectsGeneralWhenActivitiesMissing) {
+  EventLog log = EventLog::FromCompactStrings({"ABC", "AC"});
+  EXPECT_EQ(ProcessMiner::SelectAlgorithm(log),
+            MinerAlgorithm::kGeneralDag);
+}
+
+TEST(MinerTest, SelectsCyclicOnRepeats) {
+  EventLog log = EventLog::FromCompactStrings({"ABAB"});
+  EXPECT_EQ(ProcessMiner::SelectAlgorithm(log), MinerAlgorithm::kCyclic);
+}
+
+TEST(MinerTest, AutoMinesExample6) {
+  EventLog log = EventLog::FromCompactStrings({"ABCDE", "ACDBE", "ACBDE"});
+  auto mined = ProcessMiner().Mine(log);
+  ASSERT_TRUE(mined.ok());
+  ProcessGraph expected = ProcessGraph::FromNamedEdges(
+      {{"A", "B"}, {"A", "C"}, {"B", "E"}, {"C", "D"}, {"D", "E"}});
+  EXPECT_TRUE(CompareByName(expected, *mined).ExactMatch());
+}
+
+TEST(MinerTest, AutoMinesCyclicLog) {
+  EventLog log = EventLog::FromCompactStrings(
+      {"ABDCE", "ABDCBCE", "ABCBDCE", "ADE"});
+  auto mined = ProcessMiner().Mine(log);
+  ASSERT_TRUE(mined.ok());
+  EXPECT_TRUE(HasCycle(mined->graph()));
+}
+
+TEST(MinerTest, ForcedAlgorithmOverridesAuto) {
+  EventLog log = EventLog::FromCompactStrings({"ABC", "ABC"});
+  MinerOptions options;
+  options.algorithm = MinerAlgorithm::kGeneralDag;
+  auto mined = ProcessMiner(options).Mine(log);
+  ASSERT_TRUE(mined.ok());
+  // Algorithm 2 drops the unused shortcut; chain remains.
+  EXPECT_EQ(mined->graph().num_edges(), 2);
+}
+
+TEST(MinerTest, ForcedSpecialOnGeneralLogFails) {
+  EventLog log = EventLog::FromCompactStrings({"ABC", "AC"});
+  MinerOptions options;
+  options.algorithm = MinerAlgorithm::kSpecialDag;
+  EXPECT_FALSE(ProcessMiner(options).Mine(log).ok());
+}
+
+TEST(MinerTest, EmptyLogRejected) {
+  EventLog log;
+  EXPECT_FALSE(ProcessMiner().Mine(log).ok());
+}
+
+TEST(MinerTest, NoiseThresholdPropagates) {
+  std::vector<std::string> execs(9, "ABC");
+  execs.push_back("ACB");
+  EventLog log = EventLog::FromCompactStrings(execs);
+  MinerOptions options;
+  options.noise_threshold = 2;
+  auto mined = ProcessMiner(options).Mine(log);
+  ASSERT_TRUE(mined.ok());
+  ProcessGraph expected =
+      ProcessGraph::FromNamedEdges({{"A", "B"}, {"B", "C"}});
+  EXPECT_TRUE(CompareByName(expected, *mined).ExactMatch());
+}
+
+TEST(MinerTest, MineWithConditionsEndToEnd) {
+  EventLog log = EventLog::FromCompactStrings({"ABC", "ABC"});
+  auto annotated = ProcessMiner().MineWithConditions(log);
+  ASSERT_TRUE(annotated.ok());
+  EXPECT_EQ(annotated->conditions.size(), 2u);  // one per mined edge
+}
+
+}  // namespace
+}  // namespace procmine

@@ -1,0 +1,133 @@
+#include "synth/noise_injector.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace procmine {
+namespace {
+
+EventLog ChainLog(size_t m) {
+  std::vector<std::string> execs(m, "ABCDE");
+  return EventLog::FromCompactStrings(execs);
+}
+
+TEST(NoiseInjectorTest, ZeroRatesLeaveLogUnchanged) {
+  EventLog log = ChainLog(10);
+  NoiseOptions options;  // all rates zero
+  NoiseReport report;
+  EventLog noisy = InjectNoise(log, options, &report);
+  EXPECT_EQ(report.swaps, 0);
+  EXPECT_EQ(report.inserts, 0);
+  EXPECT_EQ(report.deletes, 0);
+  EXPECT_EQ(report.executions_touched, 0);
+  ASSERT_EQ(noisy.num_executions(), 10u);
+  for (size_t i = 0; i < 10; ++i) {
+    EXPECT_EQ(noisy.execution(i).Sequence(), log.execution(i).Sequence());
+  }
+}
+
+TEST(NoiseInjectorTest, PreservesDictionary) {
+  EventLog log = ChainLog(5);
+  NoiseOptions options;
+  options.swap_rate = 0.5;
+  EventLog noisy = InjectNoise(log, options);
+  EXPECT_EQ(noisy.dictionary().names(), log.dictionary().names());
+}
+
+TEST(NoiseInjectorTest, SwapsChangeOrderNotMultiset) {
+  EventLog log = ChainLog(50);
+  NoiseOptions options;
+  options.swap_rate = 0.3;
+  options.seed = 2;
+  NoiseReport report;
+  EventLog noisy = InjectNoise(log, options, &report);
+  EXPECT_GT(report.swaps, 0);
+  for (size_t i = 0; i < noisy.num_executions(); ++i) {
+    std::vector<ActivityId> orig_seq = log.execution(i).Sequence();
+    std::vector<ActivityId> noisy_seq = noisy.execution(i).Sequence();
+    std::multiset<ActivityId> a(orig_seq.begin(), orig_seq.end());
+    std::multiset<ActivityId> b(noisy_seq.begin(), noisy_seq.end());
+    EXPECT_EQ(a, b);
+  }
+}
+
+TEST(NoiseInjectorTest, SwapRateRoughlyMatches) {
+  EventLog log = ChainLog(2000);
+  NoiseOptions options;
+  options.swap_rate = 0.1;
+  options.seed = 3;
+  NoiseReport report;
+  InjectNoise(log, options, &report);
+  // 4 adjacent pairs per execution, 2000 executions -> ~800 expected swaps.
+  EXPECT_GT(report.swaps, 600);
+  EXPECT_LT(report.swaps, 1000);
+}
+
+TEST(NoiseInjectorTest, InsertAddsOneInstance) {
+  EventLog log = ChainLog(100);
+  NoiseOptions options;
+  options.insert_rate = 1.0;
+  options.seed = 4;
+  NoiseReport report;
+  EventLog noisy = InjectNoise(log, options, &report);
+  EXPECT_EQ(report.inserts, 100);
+  for (size_t i = 0; i < noisy.num_executions(); ++i) {
+    EXPECT_EQ(noisy.execution(i).size(), 6u);
+  }
+}
+
+TEST(NoiseInjectorTest, DeleteRemovesOneInstance) {
+  EventLog log = ChainLog(100);
+  NoiseOptions options;
+  options.delete_rate = 1.0;
+  options.seed = 5;
+  NoiseReport report;
+  EventLog noisy = InjectNoise(log, options, &report);
+  EXPECT_EQ(report.deletes, 100);
+  for (size_t i = 0; i < noisy.num_executions(); ++i) {
+    EXPECT_EQ(noisy.execution(i).size(), 4u);
+  }
+}
+
+TEST(NoiseInjectorTest, TimestampsStayCleanAfterCorruption) {
+  EventLog log = ChainLog(20);
+  NoiseOptions options;
+  options.swap_rate = 0.5;
+  options.insert_rate = 0.5;
+  options.delete_rate = 0.5;
+  options.seed = 6;
+  EventLog noisy = InjectNoise(log, options);
+  for (const Execution& exec : noisy.executions()) {
+    for (size_t i = 0; i < exec.size(); ++i) {
+      EXPECT_EQ(exec[i].start, static_cast<int64_t>(i));
+      EXPECT_EQ(exec[i].end, static_cast<int64_t>(i));
+    }
+  }
+}
+
+TEST(NoiseInjectorTest, DeterministicPerSeed) {
+  EventLog log = ChainLog(30);
+  NoiseOptions options;
+  options.swap_rate = 0.2;
+  options.seed = 7;
+  EventLog a = InjectNoise(log, options);
+  EventLog b = InjectNoise(log, options);
+  for (size_t i = 0; i < 30; ++i) {
+    EXPECT_EQ(a.execution(i).Sequence(), b.execution(i).Sequence());
+  }
+}
+
+TEST(NoiseInjectorTest, ExecutionsTouchedCountsDistinct) {
+  EventLog log = ChainLog(10);
+  NoiseOptions options;
+  options.insert_rate = 1.0;
+  options.delete_rate = 1.0;
+  options.seed = 8;
+  NoiseReport report;
+  InjectNoise(log, options, &report);
+  EXPECT_EQ(report.executions_touched, 10);  // not 20
+}
+
+}  // namespace
+}  // namespace procmine

@@ -1,0 +1,125 @@
+#include "mine/noise.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace procmine {
+namespace {
+
+TEST(LogChooseTest, SmallValues) {
+  EXPECT_NEAR(std::exp(LogChoose(5, 2)), 10.0, 1e-9);
+  EXPECT_NEAR(std::exp(LogChoose(10, 0)), 1.0, 1e-9);
+  EXPECT_NEAR(std::exp(LogChoose(10, 10)), 1.0, 1e-9);
+  EXPECT_NEAR(std::exp(LogChoose(52, 5)), 2598960.0, 1.0);
+}
+
+TEST(LogChooseTest, DegenerateInputs) {
+  EXPECT_EQ(LogChoose(5, 6), -INFINITY);
+  EXPECT_EQ(LogChoose(5, -1), -INFINITY);
+  EXPECT_EQ(LogChoose(-1, 0), -INFINITY);
+}
+
+TEST(SpuriousEdgeBoundTest, MatchesDirectComputation) {
+  // C(10,3) * 0.1^3 = 120 * 0.001 = 0.12
+  EXPECT_NEAR(SpuriousEdgeBound(10, 3, 0.1), 0.12, 1e-9);
+}
+
+TEST(SpuriousEdgeBoundTest, MonotonicDecreasingInT) {
+  double prev = 1.1;
+  for (int64_t t = 1; t <= 20; ++t) {
+    double bound = SpuriousEdgeBound(100, t, 0.05);
+    EXPECT_LE(bound, prev + 1e-12);
+    prev = bound;
+  }
+}
+
+TEST(SpuriousEdgeBoundTest, EdgeCases) {
+  EXPECT_DOUBLE_EQ(SpuriousEdgeBound(10, 0, 0.1), 1.0);
+  EXPECT_DOUBLE_EQ(SpuriousEdgeBound(10, 11, 0.1), 0.0);
+}
+
+TEST(FalseDependencyBoundTest, MatchesDirectComputation) {
+  // C(10, 8) * 0.5^8 = 45 / 256
+  EXPECT_NEAR(FalseDependencyBound(10, 2), 45.0 / 256.0, 1e-9);
+}
+
+TEST(FalseDependencyBoundTest, IncreasingInT) {
+  // Larger T -> fewer same-order executions needed -> larger probability.
+  double prev = 0.0;
+  for (int64_t t = 1; t <= 50; ++t) {
+    double bound = FalseDependencyBound(100, t);
+    EXPECT_GE(bound, prev - 1e-12);
+    prev = bound;
+  }
+}
+
+TEST(FalseDependencyBoundTest, TEqualsMIsCertain) {
+  EXPECT_DOUBLE_EQ(FalseDependencyBound(10, 10), 1.0);
+}
+
+TEST(ThresholdErrorBoundTest, IsMaxOfBothBounds) {
+  int64_t m = 50;
+  double eps = 0.1;
+  for (int64_t t = 1; t <= m; ++t) {
+    double combined = ThresholdErrorBound(m, t, eps);
+    EXPECT_DOUBLE_EQ(combined, std::max(SpuriousEdgeBound(m, t, eps),
+                                        FalseDependencyBound(m, t)));
+  }
+}
+
+TEST(OptimalThresholdTest, ClosedFormMatchesDefinition) {
+  // epsilon^T == (1/2)^(m-T) at the optimum (before rounding).
+  int64_t m = 1000;
+  double eps = 0.1;
+  int64_t t = OptimalNoiseThreshold(m, eps);
+  double lhs = static_cast<double>(t) * std::log(eps);
+  double rhs = static_cast<double>(m - t) * std::log(0.5);
+  EXPECT_NEAR(lhs, rhs, std::abs(rhs) * 0.01);  // within rounding slack
+}
+
+TEST(OptimalThresholdTest, KnownValues) {
+  // T* = m / (1 + log2(1/eps)); eps=0.25 -> T* = m/3.
+  EXPECT_EQ(OptimalNoiseThreshold(300, 0.25), 100);
+  // eps -> tiny: T* -> small.
+  EXPECT_LE(OptimalNoiseThreshold(100, 1e-9), 4);
+  EXPECT_GE(OptimalNoiseThreshold(100, 1e-9), 1);
+}
+
+TEST(OptimalThresholdTest, SmallerEpsilonSmallerThreshold) {
+  EXPECT_LT(OptimalNoiseThreshold(1000, 0.01),
+            OptimalNoiseThreshold(1000, 0.4));
+}
+
+TEST(OptimalThresholdTest, ClampedToValidRange) {
+  EXPECT_GE(OptimalNoiseThreshold(1, 0.49), 1);
+  EXPECT_LE(OptimalNoiseThreshold(1, 0.49), 1);
+}
+
+TEST(OptimalThresholdTest, NearOptimalInPractice) {
+  // The closed-form T should be within a small factor of the brute-force
+  // minimizer of ThresholdErrorBound.
+  int64_t m = 200;
+  double eps = 0.05;
+  int64_t analytic = OptimalNoiseThreshold(m, eps);
+  int64_t best_t = 1;
+  double best = 2.0;
+  for (int64_t t = 1; t <= m; ++t) {
+    double bound = ThresholdErrorBound(m, t, eps);
+    if (bound < best) {
+      best = bound;
+      best_t = t;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(analytic), static_cast<double>(best_t),
+              static_cast<double>(m) * 0.05);
+  EXPECT_LE(ThresholdErrorBound(m, analytic, eps), best * 10);
+}
+
+TEST(OptimalThresholdDeathTest, RejectsBadEpsilon) {
+  EXPECT_DEATH(OptimalNoiseThreshold(10, 0.0), "check failed");
+  EXPECT_DEATH(OptimalNoiseThreshold(10, 0.5), "check failed");
+}
+
+}  // namespace
+}  // namespace procmine

@@ -1,0 +1,234 @@
+// Every worked example of the paper (Examples 1-9 / Figures 1-6), verified
+// end to end. This file is the executable record that the implementation
+// reproduces the paper's own traces.
+
+#include <gtest/gtest.h>
+
+#include "graph/algorithms.h"
+#include "mine/conformance.h"
+#include "mine/metrics.h"
+#include "mine/miner.h"
+#include "mine/noise.h"
+#include "mine/relations.h"
+#include "workflow/engine.h"
+
+namespace procmine {
+namespace {
+
+// Figure 1 in the id space A=0..E=4.
+ProcessGraph Figure1() {
+  DirectedGraph g(5);
+  g.AddEdge(0, 1);
+  g.AddEdge(0, 2);
+  g.AddEdge(1, 4);
+  g.AddEdge(2, 3);
+  g.AddEdge(2, 4);
+  g.AddEdge(3, 4);
+  return ProcessGraph(std::move(g), {"A", "B", "C", "D", "E"});
+}
+
+TEST(PaperExample1, Figure1IsAValidProcessGraph) {
+  ProcessGraph g = Figure1();
+  EXPECT_TRUE(g.Validate().ok());
+  EXPECT_EQ(g.name(*g.Source()), "A");
+  EXPECT_EQ(g.name(*g.Sink()), "E");
+  // "D always follows C, but B and C can happen in parallel."
+  EXPECT_TRUE(g.graph().HasEdge(2, 3));
+  EXPECT_FALSE(HasPath(g.graph(), 1, 2));
+  EXPECT_FALSE(HasPath(g.graph(), 2, 1));
+}
+
+TEST(PaperExample1, EdgeConditionFromThePaperEvaluates) {
+  // f_(C,D) = (o(C)[1] > 0) and (o(C)[2] < o(C)[1]), 0-indexed.
+  Condition f_cd = Condition::And(Condition::Compare(0, CmpOp::kGt, 0),
+                                  Condition::CompareParams(1, CmpOp::kLt, 0));
+  EXPECT_TRUE(f_cd.Eval({3, 1}));
+  EXPECT_FALSE(f_cd.Eval({3, 5}));
+  EXPECT_FALSE(f_cd.Eval({0, -1}));
+}
+
+TEST(PaperExample2, SampleExecutionsAreConsistentWithFigure1) {
+  // "Sample executions of the graph in Figure 1 are ABCE, ACDBE, ACDE."
+  ProcessGraph g = Figure1();
+  ConformanceChecker checker(&g);
+  EXPECT_TRUE(
+      checker.CheckExecution(Execution::FromSequence("1", {0, 1, 2, 4}))
+          .ok());  // ABCE
+  EXPECT_TRUE(
+      checker.CheckExecution(Execution::FromSequence("2", {0, 2, 3, 1, 4}))
+          .ok());  // ACDBE
+  EXPECT_TRUE(
+      checker.CheckExecution(Execution::FromSequence("3", {0, 2, 3, 4}))
+          .ok());  // ACDE
+}
+
+TEST(PaperExample3, FollowsAndDependence) {
+  EventLog log = EventLog::FromCompactStrings({"ABCE", "ACDE", "ADBE"});
+  Relations rel = Relations::Compute(log);
+  ActivityId a = *log.dictionary().Find("A");
+  ActivityId b = *log.dictionary().Find("B");
+  ActivityId d = *log.dictionary().Find("D");
+  EXPECT_TRUE(rel.DependsOn(b, a));
+  EXPECT_TRUE(rel.Independent(b, d));
+
+  EventLog extended =
+      EventLog::FromCompactStrings({"ABCE", "ACDE", "ADBE", "ADCE"});
+  Relations rel2 = Relations::Compute(extended);
+  ActivityId b2 = *extended.dictionary().Find("B");
+  ActivityId d2 = *extended.dictionary().Find("D");
+  ActivityId c2 = *extended.dictionary().Find("C");
+  EXPECT_TRUE(rel2.DependsOn(b2, d2));
+  // C and D are no longer *directly* ordered (both orders observed); the
+  // paper's prose calls them independent, though the literal Definition 3
+  // chain D -> B -> C still relates them (see relations_test.cc).
+  EXPECT_FALSE(rel2.followings_graph().HasEdge(c2, d2));
+  EXPECT_FALSE(rel2.followings_graph().HasEdge(d2, c2));
+}
+
+TEST(PaperExample4, ConsistencyOfACBEAndADBE) {
+  ProcessGraph g = Figure1();
+  ConformanceChecker checker(&g);
+  EXPECT_TRUE(
+      checker.CheckExecution(Execution::FromSequence("1", {0, 2, 1, 4}))
+          .ok());  // ACBE consistent
+  EXPECT_FALSE(
+      checker.CheckExecution(Execution::FromSequence("2", {0, 3, 1, 4}))
+          .ok());  // ADBE not
+}
+
+TEST(PaperExample5, OnlyOneDependencyGraphIsConformal) {
+  EventLog log = EventLog::FromCompactStrings({"ADCE", "ABCDE"});
+  // Dictionary: A=0, D=1, C=2, E=3, B=4.
+  // Conformal graph (what Algorithm 2 produces).
+  auto mined = ProcessMiner().Mine(log);
+  ASSERT_TRUE(mined.ok());
+  ConformanceChecker good(&*mined);
+  EXPECT_TRUE(good.CheckLog(log).conformal());
+
+  // A dependency graph that is NOT conformal: A->B, B->C, B->D, C->E, D->E
+  // (it has the right dependencies but cannot replay ADCE).
+  DirectedGraph dg(5);
+  dg.AddEdge(0, 4);
+  dg.AddEdge(4, 2);
+  dg.AddEdge(4, 1);
+  dg.AddEdge(2, 3);
+  dg.AddEdge(1, 3);
+  ProcessGraph bad(std::move(dg), {"A", "D", "C", "E", "B"});
+  ConformanceChecker bad_checker(&bad);
+  ConformanceReport report = bad_checker.CheckLog(log);
+  EXPECT_TRUE(report.dependency_complete);
+  EXPECT_TRUE(report.irredundant);
+  EXPECT_FALSE(report.execution_complete);  // ADCE cannot replay
+}
+
+TEST(PaperExample6, Algorithm1Trace) {
+  EventLog log = EventLog::FromCompactStrings({"ABCDE", "ACDBE", "ACBDE"});
+  auto mined = ProcessMiner().Mine(log);
+  ASSERT_TRUE(mined.ok());
+  ProcessGraph expected = ProcessGraph::FromNamedEdges(
+      {{"A", "B"}, {"A", "C"}, {"B", "E"}, {"C", "D"}, {"D", "E"}});
+  EXPECT_TRUE(CompareByName(expected, *mined).ExactMatch());
+}
+
+TEST(PaperExample7, Algorithm2Trace) {
+  EventLog log =
+      EventLog::FromCompactStrings({"ABCF", "ACDF", "ADEF", "AECF"});
+  auto mined = ProcessMiner().Mine(log);
+  ASSERT_TRUE(mined.ok());
+  // "There is one strongly connected component, consisting of vertices
+  // C, D, E" — they end up mutually unordered in the result.
+  ActivityId c = *log.dictionary().Find("C");
+  ActivityId d = *log.dictionary().Find("D");
+  ActivityId e = *log.dictionary().Find("E");
+  EXPECT_FALSE(HasPath(mined->graph(), c, d));
+  EXPECT_FALSE(HasPath(mined->graph(), d, c));
+  EXPECT_FALSE(HasPath(mined->graph(), d, e));
+  EXPECT_FALSE(HasPath(mined->graph(), e, d));
+  ProcessGraph expected = ProcessGraph::FromNamedEdges({{"A", "B"},
+                                                        {"B", "C"},
+                                                        {"A", "C"},
+                                                        {"A", "D"},
+                                                        {"A", "E"},
+                                                        {"C", "F"},
+                                                        {"D", "F"},
+                                                        {"E", "F"}});
+  EXPECT_TRUE(CompareByName(expected, *mined).ExactMatch());
+}
+
+TEST(PaperFigure5, TwoConformalGraphsForTheSameLog) {
+  // "Consider the log {ACF, ADCF, ABCF, ADECF}. Both the graphs in Figure 5
+  // are conformal with this log."  Dictionary: A=0, C=1, F=2, D=3, B=4, E=5.
+  EventLog log =
+      EventLog::FromCompactStrings({"ACF", "ADCF", "ABCF", "ADECF"});
+  // Graph 1: what our Algorithm 2 mines.
+  auto mined = ProcessMiner().Mine(log);
+  ASSERT_TRUE(mined.ok());
+  ConformanceChecker checker1(&*mined);
+  EXPECT_TRUE(checker1.CheckLog(log).conformal())
+      << checker1.CheckLog(log).Summary(log.dictionary());
+  // Graph 2: hand-built alternative that is also conformal. It has no
+  // direct D->C edge — the dependency "C depends on D" is covered by the
+  // path D->E->C instead, and execution ADCF remains consistent because C
+  // stays reachable through A->C.
+  DirectedGraph dg(6);
+  dg.AddEdge(0, 4);  // A->B
+  dg.AddEdge(0, 3);  // A->D
+  dg.AddEdge(0, 1);  // A->C
+  dg.AddEdge(4, 1);  // B->C
+  dg.AddEdge(3, 5);  // D->E
+  dg.AddEdge(5, 1);  // E->C
+  dg.AddEdge(1, 2);  // C->F
+  ProcessGraph alternative(std::move(dg), {"A", "C", "F", "D", "B", "E"});
+  ConformanceChecker checker2(&alternative);
+  EXPECT_TRUE(checker2.CheckLog(log).conformal())
+      << checker2.CheckLog(log).Summary(log.dictionary());
+  // The open problem: both are conformal yet structurally different.
+  EXPECT_FALSE(CompareByName(*mined, alternative).ExactMatch());
+}
+
+TEST(PaperExample8, Algorithm3Trace) {
+  EventLog log = EventLog::FromCompactStrings(
+      {"ABDCE", "ABDCBCE", "ABCBDCE", "ADE"});
+  auto mined = ProcessMiner().Mine(log);
+  ASSERT_TRUE(mined.ok());
+  // "This graph shows the cycle consisting of the activities B and C."
+  ActivityId b = *log.dictionary().Find("B");
+  ActivityId c = *log.dictionary().Find("C");
+  EXPECT_TRUE(mined->graph().HasEdge(b, c));
+  EXPECT_TRUE(mined->graph().HasEdge(c, b));
+}
+
+TEST(PaperExample9, NoiseThresholdTradeoff) {
+  // Chain A,B,C,D,E; m-k correct ABCDE, k incorrect ADCBE. "If the value of
+  // T is set lower than k, then Algorithm 2 will conclude that activities
+  // B, C, and D are independent."
+  const int m = 50, k = 3;
+  std::vector<std::string> execs(m - k, "ABCDE");
+  execs.insert(execs.end(), k, "ADCBE");
+  EventLog log = EventLog::FromCompactStrings(execs);
+
+  // T <= k: B, C, D become pairwise independent (no paths among them).
+  MinerOptions low;
+  low.noise_threshold = k;  // reversals with count k survive
+  low.algorithm = MinerAlgorithm::kSpecialDag;
+  auto noisy = ProcessMiner(low).Mine(log);
+  ASSERT_TRUE(noisy.ok());
+  ActivityId b = *log.dictionary().Find("B");
+  ActivityId c = *log.dictionary().Find("C");
+  ActivityId d = *log.dictionary().Find("D");
+  EXPECT_FALSE(HasPath(noisy->graph(), b, c));
+  EXPECT_FALSE(HasPath(noisy->graph(), c, d));
+
+  // T > k: the chain is recovered.
+  MinerOptions high;
+  high.noise_threshold = k + 1;
+  high.algorithm = MinerAlgorithm::kSpecialDag;
+  auto clean = ProcessMiner(high).Mine(log);
+  ASSERT_TRUE(clean.ok());
+  ProcessGraph expected = ProcessGraph::FromNamedEdges(
+      {{"A", "B"}, {"B", "C"}, {"C", "D"}, {"D", "E"}});
+  EXPECT_TRUE(CompareByName(expected, *clean).ExactMatch());
+}
+
+}  // namespace
+}  // namespace procmine

@@ -1,0 +1,78 @@
+#include "workflow/process_definition.h"
+
+#include <gtest/gtest.h>
+
+namespace procmine {
+namespace {
+
+ProcessDefinition SimpleDef() {
+  ProcessGraph g = ProcessGraph::FromNamedEdges(
+      {{"S", "A"}, {"S", "B"}, {"A", "E"}, {"B", "E"}});
+  return ProcessDefinition(std::move(g));
+}
+
+TEST(OutputSpecTest, UniformBuildsRanges) {
+  OutputSpec spec = OutputSpec::Uniform(3, -5, 5);
+  EXPECT_EQ(spec.num_params(), 3);
+  for (const auto& [lo, hi] : spec.ranges) {
+    EXPECT_EQ(lo, -5);
+    EXPECT_EQ(hi, 5);
+  }
+}
+
+TEST(ProcessDefinitionTest, DefaultsAreTrueConditionsAndOrJoins) {
+  ProcessDefinition def = SimpleDef();
+  NodeId s = *def.process_graph().FindActivity("S");
+  NodeId a = *def.process_graph().FindActivity("A");
+  EXPECT_TRUE(def.condition(s, a).IsAlwaysTrue());
+  EXPECT_EQ(def.join(a), JoinKind::kOr);
+  EXPECT_EQ(def.output_spec(a).num_params(), 0);
+}
+
+TEST(ProcessDefinitionTest, SetAndGetCondition) {
+  ProcessDefinition def = SimpleDef();
+  NodeId s = *def.process_graph().FindActivity("S");
+  NodeId a = *def.process_graph().FindActivity("A");
+  def.SetOutputSpec(s, OutputSpec::Uniform(1, 0, 9));
+  def.SetCondition(s, a, Condition::Compare(0, CmpOp::kGt, 4));
+  EXPECT_EQ(def.condition(s, a).ToString(), "o[0] > 4");
+}
+
+TEST(ProcessDefinitionTest, SetConditionOnMissingEdgeDies) {
+  ProcessDefinition def = SimpleDef();
+  NodeId a = *def.process_graph().FindActivity("A");
+  NodeId b = *def.process_graph().FindActivity("B");
+  EXPECT_DEATH(def.SetCondition(a, b, Condition::True()), "check failed");
+}
+
+TEST(ProcessDefinitionTest, SetJoin) {
+  ProcessDefinition def = SimpleDef();
+  NodeId e = *def.process_graph().FindActivity("E");
+  def.SetJoin(e, JoinKind::kAnd);
+  EXPECT_EQ(def.join(e), JoinKind::kAnd);
+}
+
+TEST(ProcessDefinitionTest, ValidateOkWithDefaults) {
+  EXPECT_TRUE(SimpleDef().Validate().ok());
+}
+
+TEST(ProcessDefinitionTest, ValidateCatchesConditionParamOverflow) {
+  ProcessDefinition def = SimpleDef();
+  NodeId s = *def.process_graph().FindActivity("S");
+  NodeId a = *def.process_graph().FindActivity("A");
+  def.SetOutputSpec(s, OutputSpec::Uniform(1, 0, 9));
+  def.SetCondition(s, a, Condition::Compare(7, CmpOp::kGt, 0));
+  Status st = def.Validate();
+  EXPECT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("o[7]"), std::string::npos);
+}
+
+TEST(ProcessDefinitionTest, ValidatePropagatesGraphErrors) {
+  ProcessGraph g = ProcessGraph::FromNamedEdges(
+      {{"S", "A"}, {"A", "S"}});  // cycle, no source/sink
+  ProcessDefinition def{std::move(g)};
+  EXPECT_FALSE(def.Validate().ok());
+}
+
+}  // namespace
+}  // namespace procmine

@@ -1,0 +1,95 @@
+#include "workflow/process_graph.h"
+
+#include <gtest/gtest.h>
+
+namespace procmine {
+namespace {
+
+ProcessGraph Figure1() {
+  // The paper's Figure 1: A->B, A->C, B->E, C->D, C->E, D->E.
+  return ProcessGraph::FromNamedEdges({{"A", "B"},
+                                       {"A", "C"},
+                                       {"B", "E"},
+                                       {"C", "D"},
+                                       {"C", "E"},
+                                       {"D", "E"}});
+}
+
+TEST(ProcessGraphTest, FromNamedEdgesInternsInFirstSeenOrder) {
+  ProcessGraph g = Figure1();
+  EXPECT_EQ(g.num_activities(), 5);
+  EXPECT_EQ(g.name(0), "A");
+  EXPECT_EQ(g.name(1), "B");
+  EXPECT_EQ(g.name(2), "C");
+  EXPECT_EQ(g.name(3), "E");
+  EXPECT_EQ(g.name(4), "D");
+  EXPECT_EQ(g.graph().num_edges(), 6);
+}
+
+TEST(ProcessGraphTest, FindActivity) {
+  ProcessGraph g = Figure1();
+  EXPECT_EQ(*g.FindActivity("D"), 4);
+  EXPECT_TRUE(g.FindActivity("Z").status().IsNotFound());
+}
+
+TEST(ProcessGraphTest, SourceAndSink) {
+  ProcessGraph g = Figure1();
+  EXPECT_EQ(g.name(*g.Source()), "A");
+  EXPECT_EQ(g.name(*g.Sink()), "E");
+}
+
+TEST(ProcessGraphTest, MultipleSourcesRejected) {
+  ProcessGraph g = ProcessGraph::FromNamedEdges({{"A", "C"}, {"B", "C"}});
+  EXPECT_FALSE(g.Source().ok());
+  EXPECT_TRUE(g.Sink().ok());
+}
+
+TEST(ProcessGraphTest, ValidateAcceptsFigure1) {
+  EXPECT_TRUE(Figure1().Validate().ok());
+}
+
+TEST(ProcessGraphTest, ValidateRejectsEmpty) {
+  ProcessGraph g;
+  EXPECT_FALSE(g.Validate().ok());
+}
+
+TEST(ProcessGraphTest, ValidateRejectsCycleWhenAcyclicRequired) {
+  ProcessGraph g = ProcessGraph::FromNamedEdges(
+      {{"S", "A"}, {"A", "B"}, {"B", "A"}, {"B", "E"}});
+  EXPECT_FALSE(g.Validate(/*require_acyclic=*/true).ok());
+  EXPECT_TRUE(g.Validate(/*require_acyclic=*/false).ok());
+}
+
+TEST(ProcessGraphTest, ValidateRejectsDisconnected) {
+  // Two chains sharing no edges: two sources, caught as non-unique source.
+  DirectedGraph dg(4);
+  dg.AddEdge(0, 1);
+  dg.AddEdge(2, 3);
+  ProcessGraph g(std::move(dg), {"A", "B", "C", "D"});
+  EXPECT_FALSE(g.Validate().ok());
+}
+
+TEST(ProcessGraphTest, ValidateRejectsUnreachableVertex) {
+  // 0->1->3 single chain plus 2->3: vertex 2 is a second source.
+  DirectedGraph dg(4);
+  dg.AddEdge(0, 1);
+  dg.AddEdge(1, 3);
+  dg.AddEdge(2, 3);
+  ProcessGraph g(std::move(dg), {"A", "B", "C", "D"});
+  EXPECT_FALSE(g.Validate().ok());
+}
+
+TEST(ProcessGraphTest, ToDotUsesNames) {
+  std::string dot = Figure1().ToDot("fig1");
+  EXPECT_NE(dot.find("digraph \"fig1\""), std::string::npos);
+  EXPECT_NE(dot.find("\"A\" -> \"B\";"), std::string::npos);
+  EXPECT_NE(dot.find("\"D\" -> \"E\";"), std::string::npos);
+}
+
+TEST(ProcessGraphTest, ConstructorChecksNameCount) {
+  DirectedGraph dg(2);
+  EXPECT_DEATH(ProcessGraph(std::move(dg), {"only_one"}), "check failed");
+}
+
+}  // namespace
+}  // namespace procmine

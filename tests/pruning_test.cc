@@ -1,0 +1,103 @@
+#include <gtest/gtest.h>
+
+#include "classify/decision_tree.h"
+#include "classify/evaluation.h"
+#include "classify/rules.h"
+#include "util/random.h"
+
+namespace procmine {
+namespace {
+
+TEST(PruningTest, LeafTreeUnchanged) {
+  Dataset data(1);
+  data.Add({1}, true);
+  DecisionTree tree = DecisionTree::Train(data);
+  DecisionTree pruned = PruneReducedError(tree, data);
+  EXPECT_EQ(pruned.num_leaves(), 1);
+  EXPECT_TRUE(pruned.Predict({1}));
+}
+
+TEST(PruningTest, NoiseOverfitGetsPruned) {
+  // True concept: x >= 50. Training labels carry noise, so the unpruned
+  // tree grows spurious splits; clean validation data prunes them back.
+  Rng rng(11);
+  Dataset train(1);
+  for (int i = 0; i < 400; ++i) {
+    int64_t x = rng.UniformRange(0, 99);
+    bool label = x >= 50;
+    if (rng.Bernoulli(0.15)) label = !label;
+    train.Add({x}, label);
+  }
+  Dataset validation(1);
+  for (int x = 0; x < 100; ++x) validation.Add({x}, x >= 50);
+
+  DecisionTreeOptions options;
+  options.max_depth = 12;
+  DecisionTree tree = DecisionTree::Train(train, options);
+  DecisionTree pruned = PruneReducedError(tree, validation);
+
+  EXPECT_LT(pruned.num_leaves(), tree.num_leaves());
+  double before = Evaluate(tree, validation).Accuracy();
+  double after = Evaluate(pruned, validation).Accuracy();
+  EXPECT_GE(after, before);  // never worse on the pruning set
+  EXPECT_GT(after, 0.97);
+}
+
+TEST(PruningTest, PerfectTreeSurvives) {
+  Dataset data(1);
+  for (int x = 0; x < 40; ++x) data.Add({x}, x >= 20);
+  DecisionTree tree = DecisionTree::Train(data);
+  DecisionTree pruned = PruneReducedError(tree, data);
+  EXPECT_EQ(Evaluate(pruned, data).Accuracy(), 1.0);
+  EXPECT_EQ(pruned.num_leaves(), 2);
+}
+
+TEST(PruningTest, EmptyValidationCollapsesToRoot) {
+  // With no validation rows, every subtree ties with a leaf (0 errors), so
+  // pruning collapses to a single leaf predicting the training majority.
+  Dataset train(1);
+  for (int x = 0; x < 10; ++x) train.Add({x}, x >= 5);
+  DecisionTree tree = DecisionTree::Train(train);
+  DecisionTree pruned = PruneReducedError(tree, Dataset(1));
+  EXPECT_EQ(pruned.num_leaves(), 1);
+}
+
+TEST(PruningTest, PrunedRulesAreSimpler) {
+  Rng rng(13);
+  Dataset train(2);
+  for (int i = 0; i < 300; ++i) {
+    int64_t x = rng.UniformRange(0, 99);
+    int64_t y = rng.UniformRange(0, 99);
+    bool label = x > 30 && y <= 60;
+    if (rng.Bernoulli(0.1)) label = !label;
+    train.Add({x, y}, label);
+  }
+  Dataset validation(2);
+  for (int x = 0; x < 100; x += 5) {
+    for (int y = 0; y < 100; y += 5) {
+      validation.Add({x, y}, x > 30 && y <= 60);
+    }
+  }
+  DecisionTreeOptions options;
+  options.max_depth = 10;
+  DecisionTree tree = DecisionTree::Train(train, options);
+  DecisionTree pruned = PruneReducedError(tree, validation);
+  EXPECT_LE(ExtractPositiveRules(pruned).size(),
+            ExtractPositiveRules(tree).size());
+}
+
+TEST(MinSamplesLeafTest, BlocksTinyLeaves) {
+  Dataset data(1);
+  for (int x = 0; x < 100; ++x) data.Add({x}, x >= 99);  // 1 positive
+  DecisionTreeOptions options;
+  options.min_samples_leaf = 5;
+  DecisionTree tree = DecisionTree::Train(data, options);
+  // Isolating the single positive needs a 1-sample leaf: forbidden.
+  EXPECT_EQ(tree.num_leaves(), 1);
+  DecisionTreeOptions loose;
+  loose.min_samples_leaf = 1;
+  EXPECT_GT(DecisionTree::Train(data, loose).num_leaves(), 1);
+}
+
+}  // namespace
+}  // namespace procmine

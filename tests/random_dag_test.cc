@@ -1,0 +1,104 @@
+#include "synth/random_dag.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/algorithms.h"
+
+namespace procmine {
+namespace {
+
+TEST(SyntheticActivityNameTest, LettersForSmallGraphs) {
+  EXPECT_EQ(SyntheticActivityName(0, 10), "A");
+  EXPECT_EQ(SyntheticActivityName(9, 10), "J");
+  EXPECT_EQ(SyntheticActivityName(25, 26), "Z");
+}
+
+TEST(SyntheticActivityNameTest, NumberedForLargeGraphs) {
+  EXPECT_EQ(SyntheticActivityName(0, 27), "A000");
+  EXPECT_EQ(SyntheticActivityName(99, 100), "A099");
+}
+
+TEST(RandomDagTest, DeterministicForSeed) {
+  RandomDagOptions options;
+  options.num_activities = 20;
+  options.edge_density = 0.4;
+  options.seed = 7;
+  ProcessGraph a = GenerateRandomDag(options);
+  ProcessGraph b = GenerateRandomDag(options);
+  EXPECT_TRUE(a.graph() == b.graph());
+  options.seed = 8;
+  ProcessGraph c = GenerateRandomDag(options);
+  EXPECT_FALSE(a.graph() == c.graph());
+}
+
+class RandomDagPropertyTest
+    : public ::testing::TestWithParam<std::tuple<int, double, uint64_t>> {};
+
+TEST_P(RandomDagPropertyTest, AlwaysValidSingleSourceSinkDag) {
+  auto [n, density, seed] = GetParam();
+  RandomDagOptions options;
+  options.num_activities = n;
+  options.edge_density = density;
+  options.seed = seed;
+  ProcessGraph g = GenerateRandomDag(options);
+  EXPECT_EQ(g.num_activities(), n);
+  EXPECT_TRUE(g.Validate(/*require_acyclic=*/true).ok());
+  EXPECT_EQ(*g.Source(), 0);
+  EXPECT_EQ(*g.Sink(), n - 1);
+  EXPECT_FALSE(HasCycle(g.graph()));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, RandomDagPropertyTest,
+    ::testing::Combine(::testing::Values(2, 3, 10, 25, 50),
+                       ::testing::Values(0.05, 0.5, 0.95),
+                       ::testing::Values(1u, 2u, 3u)));
+
+TEST(RandomDagTest, DensityControlsEdgeCount) {
+  RandomDagOptions sparse, dense;
+  sparse.num_activities = dense.num_activities = 30;
+  sparse.edge_density = 0.1;
+  dense.edge_density = 0.9;
+  sparse.seed = dense.seed = 5;
+  EXPECT_LT(GenerateRandomDag(sparse).graph().num_edges(),
+            GenerateRandomDag(dense).graph().num_edges());
+}
+
+TEST(PaperEdgeDensityTest, MatchesTable2Anchors) {
+  // Densities calibrated so n-vertex graphs average the paper's edge counts.
+  EXPECT_NEAR(PaperEdgeDensity(10) * 45.0, 24.0, 0.5);
+  EXPECT_NEAR(PaperEdgeDensity(25) * 300.0, 224.0, 0.5);
+  EXPECT_NEAR(PaperEdgeDensity(50) * 1225.0, 1058.0, 0.5);
+  EXPECT_NEAR(PaperEdgeDensity(100) * 4950.0, 4569.0, 0.5);
+}
+
+TEST(PaperEdgeDensityTest, InterpolatesAndClamps) {
+  EXPECT_DOUBLE_EQ(PaperEdgeDensity(5), PaperEdgeDensity(10));
+  EXPECT_DOUBLE_EQ(PaperEdgeDensity(200), PaperEdgeDensity(100));
+  double mid = PaperEdgeDensity(37);
+  EXPECT_GT(mid, PaperEdgeDensity(25));
+  EXPECT_LT(mid, PaperEdgeDensity(50));
+}
+
+TEST(RandomDagTest, PaperDensityEdgeCountsApproximatePaper) {
+  RandomDagOptions options;
+  options.num_activities = 25;
+  options.edge_density = PaperEdgeDensity(25);
+  options.seed = 11;
+  int64_t edges = GenerateRandomDag(options).graph().num_edges();
+  // 224 expected; allow sampling spread plus source/sink repair edges.
+  EXPECT_GT(edges, 190);
+  EXPECT_LT(edges, 260);
+}
+
+TEST(RandomDagTest, MinimumTwoActivities) {
+  RandomDagOptions options;
+  options.num_activities = 2;
+  options.edge_density = 0.0;
+  ProcessGraph g = GenerateRandomDag(options);
+  // Repair pass must connect source to sink.
+  EXPECT_TRUE(g.graph().HasEdge(0, 1));
+}
+
+}  // namespace
+}  // namespace procmine

@@ -1,0 +1,141 @@
+#include "util/random.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace procmine {
+namespace {
+
+TEST(RngTest, DeterministicForEqualSeeds) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.NextUint64(), b.NextUint64());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += (a.NextUint64() == b.NextUint64());
+  EXPECT_LT(equal, 3);
+}
+
+TEST(RngTest, UniformStaysInBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.Uniform(10), 10u);
+    EXPECT_LT(rng.Uniform(1), 1u);  // always 0
+  }
+}
+
+TEST(RngTest, UniformCoversAllValues) {
+  Rng rng(11);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.Uniform(5));
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(RngTest, UniformRangeInclusive) {
+  Rng rng(13);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = rng.UniformRange(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(RngTest, UniformRangeSingleton) {
+  Rng rng(17);
+  EXPECT_EQ(rng.UniformRange(5, 5), 5);
+}
+
+TEST(RngTest, NextDoubleInHalfOpenUnitInterval) {
+  Rng rng(19);
+  for (int i = 0; i < 1000; ++i) {
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, NextDoubleMeanIsAboutHalf) {
+  Rng rng(23);
+  double sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += rng.NextDouble();
+  EXPECT_NEAR(sum / n, 0.5, 0.02);
+}
+
+TEST(RngTest, BernoulliExtremes) {
+  Rng rng(29);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+    EXPECT_FALSE(rng.Bernoulli(-0.5));
+    EXPECT_TRUE(rng.Bernoulli(1.5));
+  }
+}
+
+TEST(RngTest, BernoulliFrequencyMatchesP) {
+  Rng rng(31);
+  int hits = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) hits += rng.Bernoulli(0.3);
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(RngTest, ShufflePreservesElements) {
+  Rng rng(37);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7};
+  std::vector<int> original = v;
+  rng.Shuffle(&v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, original);
+}
+
+TEST(RngTest, ShuffleEmptyAndSingleton) {
+  Rng rng(41);
+  std::vector<int> empty;
+  rng.Shuffle(&empty);
+  EXPECT_TRUE(empty.empty());
+  std::vector<int> one = {9};
+  rng.Shuffle(&one);
+  EXPECT_EQ(one, std::vector<int>{9});
+}
+
+TEST(RngTest, ShuffleActuallyPermutes) {
+  Rng rng(43);
+  std::vector<int> v(50);
+  for (int i = 0; i < 50; ++i) v[static_cast<size_t>(i)] = i;
+  std::vector<int> original = v;
+  rng.Shuffle(&v);
+  EXPECT_NE(v, original);  // astronomically unlikely to be identity
+}
+
+TEST(RngTest, ForkStreamsAreDecorrelated) {
+  Rng parent(47);
+  Rng c1 = parent.Fork(1);
+  Rng c2 = parent.Fork(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += (c1.NextUint64() == c2.NextUint64());
+  EXPECT_LT(equal, 3);
+}
+
+TEST(SplitMix64Test, KnownSequenceIsStable) {
+  uint64_t state = 0;
+  uint64_t first = SplitMix64(&state);
+  uint64_t second = SplitMix64(&state);
+  // Reference values of SplitMix64 seeded with 0.
+  EXPECT_EQ(first, 0xe220a8397b1dcdafULL);
+  EXPECT_EQ(second, 0x6e789e6aa1b965f4ULL);
+}
+
+TEST(RngTest, IndexBounds) {
+  Rng rng(53);
+  for (int i = 0; i < 100; ++i) EXPECT_LT(rng.Index(3), 3u);
+}
+
+}  // namespace
+}  // namespace procmine

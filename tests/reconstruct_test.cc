@@ -1,0 +1,126 @@
+#include "mine/reconstruct.h"
+
+#include <gtest/gtest.h>
+
+#include "mine/metrics.h"
+#include "mine/miner.h"
+#include "workflow/engine.h"
+
+namespace procmine {
+namespace {
+
+TEST(RulesToConditionTest, EmptyIsFalse) {
+  Condition c = RulesToCondition({});
+  EXPECT_FALSE(c.Eval({1, 2, 3}));
+}
+
+TEST(RulesToConditionTest, EmptyRuleIsTrue) {
+  ConjunctiveRule rule;  // no literals
+  Condition c = RulesToCondition({rule});
+  EXPECT_TRUE(c.Eval({}));
+}
+
+TEST(RulesToConditionTest, ConjunctionTranslates) {
+  ConjunctiveRule rule;
+  rule.literals.push_back({0, false, 30});  // o[0] > 30
+  rule.literals.push_back({1, true, 60});   // o[1] <= 60
+  Condition c = RulesToCondition({rule});
+  EXPECT_TRUE(c.Eval({31, 60}));
+  EXPECT_FALSE(c.Eval({30, 60}));
+  EXPECT_FALSE(c.Eval({31, 61}));
+}
+
+TEST(RulesToConditionTest, DisjunctionTranslates) {
+  ConjunctiveRule low, high;
+  low.literals.push_back({0, true, 2});    // o[0] <= 2
+  high.literals.push_back({0, false, 8});  // o[0] > 8
+  Condition c = RulesToCondition({low, high});
+  EXPECT_TRUE(c.Eval({1}));
+  EXPECT_TRUE(c.Eval({9}));
+  EXPECT_FALSE(c.Eval({5}));
+}
+
+/// The full loop: definition -> log -> mine structure + conditions ->
+/// reconstruct definition -> regenerate -> re-mine -> same graph.
+TEST(ReconstructTest, MineRedeployRemineRoundTrip) {
+  ProcessGraph truth = ProcessGraph::FromNamedEdges(
+      {{"S", "A"}, {"S", "B"}, {"A", "E"}, {"B", "E"}});
+  ProcessDefinition original(truth);
+  NodeId s = *truth.FindActivity("S");
+  original.SetOutputSpec(s, OutputSpec::Uniform(1, 0, 99));
+  original.SetCondition(s, *truth.FindActivity("A"),
+                        Condition::Compare(0, CmpOp::kLt, 50));
+  original.SetCondition(s, *truth.FindActivity("B"),
+                        Condition::Compare(0, CmpOp::kGe, 50));
+
+  Engine engine(&original);
+  auto log = engine.GenerateLog(400, 21);
+  ASSERT_TRUE(log.ok());
+
+  auto annotated = ProcessMiner().MineWithConditions(*log);
+  ASSERT_TRUE(annotated.ok());
+  auto reconstructed = ReconstructDefinition(*annotated, *log);
+  ASSERT_TRUE(reconstructed.ok()) << reconstructed.status().ToString();
+
+  // The reconstructed definition must execute and reproduce the behaviour:
+  // re-mining its logs yields the same structure again.
+  Engine redeployed(&*reconstructed);
+  auto relog = redeployed.GenerateLog(400, 22);
+  ASSERT_TRUE(relog.ok()) << relog.status().ToString();
+  auto remined = ProcessMiner().Mine(*relog);
+  ASSERT_TRUE(remined.ok());
+  EXPECT_TRUE(CompareByName(annotated->graph, *remined).ExactMatch())
+      << remined->ToDot();
+
+  // And the branch split ratio carries over (conditions actually route).
+  NodeId a = *reconstructed->process_graph().FindActivity("A");
+  int64_t with_a = 0;
+  for (const Execution& exec : relog->executions()) {
+    with_a += exec.Contains(a) ? 1 : 0;
+  }
+  EXPECT_GT(with_a, 120);  // ~50% of 400
+  EXPECT_LT(with_a, 280);
+}
+
+TEST(ReconstructTest, OutputRangesEstimatedFromLog) {
+  ProcessGraph truth =
+      ProcessGraph::FromNamedEdges({{"S", "A"}, {"A", "E"}});
+  ProcessDefinition original(truth);
+  NodeId s = *truth.FindActivity("S");
+  original.SetOutputSpec(s, OutputSpec::Uniform(2, 10, 20));
+  Engine engine(&original);
+  auto log = engine.GenerateLog(100, 23);
+  ASSERT_TRUE(log.ok());
+
+  auto annotated = ProcessMiner().MineWithConditions(*log);
+  ASSERT_TRUE(annotated.ok());
+  auto reconstructed = ReconstructDefinition(*annotated, *log);
+  ASSERT_TRUE(reconstructed.ok());
+  NodeId rs = *reconstructed->process_graph().FindActivity("S");
+  const OutputSpec& spec = reconstructed->output_spec(rs);
+  ASSERT_EQ(spec.num_params(), 2);
+  EXPECT_GE(spec.ranges[0].first, 10);
+  EXPECT_LE(spec.ranges[0].second, 20);
+}
+
+TEST(ReconstructTest, UnlearnedEdgesStayUnconditional) {
+  EventLog log = EventLog::FromCompactStrings({"ABC", "ABC"});
+  auto annotated = ProcessMiner().MineWithConditions(log);
+  ASSERT_TRUE(annotated.ok());
+  auto reconstructed = ReconstructDefinition(*annotated, log);
+  ASSERT_TRUE(reconstructed.ok());
+  for (const Edge& e : reconstructed->graph().Edges()) {
+    EXPECT_TRUE(reconstructed->condition(e.from, e.to).IsAlwaysTrue());
+  }
+}
+
+TEST(ReconstructTest, InvalidGraphRejected) {
+  // Two sources: not a valid process.
+  AnnotatedProcess annotated;
+  annotated.graph = ProcessGraph::FromNamedEdges({{"A", "C"}, {"B", "C"}});
+  EventLog log = EventLog::FromCompactStrings({"AC"});
+  EXPECT_FALSE(ReconstructDefinition(annotated, log).ok());
+}
+
+}  // namespace
+}  // namespace procmine

@@ -1,0 +1,97 @@
+#include "classify/rules.h"
+
+#include <gtest/gtest.h>
+
+namespace procmine {
+namespace {
+
+DecisionTree ThresholdTree() {
+  Dataset data(1);
+  for (int x = 0; x < 100; ++x) data.Add({x}, x >= 50);
+  return DecisionTree::Train(data);
+}
+
+TEST(RulesTest, SingleThresholdRule) {
+  std::vector<ConjunctiveRule> rules = ExtractPositiveRules(ThresholdTree());
+  ASSERT_EQ(rules.size(), 1u);
+  ASSERT_EQ(rules[0].literals.size(), 1u);
+  EXPECT_EQ(rules[0].literals[0].feature, 0);
+  EXPECT_FALSE(rules[0].literals[0].is_le);  // x > 49
+  EXPECT_EQ(rules[0].literals[0].threshold, 49);
+  EXPECT_EQ(rules[0].ToString(), "o[0] > 49");
+  EXPECT_EQ(rules[0].support, 50);
+  EXPECT_EQ(rules[0].positives, 50);
+}
+
+TEST(RulesTest, ConjunctionRule) {
+  Dataset data(2);
+  for (int x = 0; x <= 10; ++x) {
+    for (int y = 0; y <= 10; ++y) data.Add({x, y}, x > 5 && y <= 3);
+  }
+  DecisionTree tree = DecisionTree::Train(data);
+  std::vector<ConjunctiveRule> rules = ExtractPositiveRules(tree);
+  ASSERT_EQ(rules.size(), 1u);
+  EXPECT_EQ(rules[0].ToString(), "o[0] > 5 and o[1] <= 3");
+}
+
+TEST(RulesTest, DisjunctionBecomesTwoRules) {
+  Dataset data(1);
+  for (int x = 0; x <= 10; ++x) data.Add({x}, x <= 2 || x >= 8);
+  DecisionTree tree = DecisionTree::Train(data);
+  std::vector<ConjunctiveRule> rules = ExtractPositiveRules(tree);
+  EXPECT_EQ(rules.size(), 2u);
+  std::string dnf = RuleSetToString(rules);
+  EXPECT_NE(dnf.find(" or "), std::string::npos);
+}
+
+TEST(RulesTest, AllNegativeTreeYieldsNoRules) {
+  Dataset data(1);
+  data.Add({1}, false);
+  data.Add({2}, false);
+  DecisionTree tree = DecisionTree::Train(data);
+  std::vector<ConjunctiveRule> rules = ExtractPositiveRules(tree);
+  EXPECT_TRUE(rules.empty());
+  EXPECT_EQ(RuleSetToString(rules), "false");
+}
+
+TEST(RulesTest, AllPositiveTreeYieldsEmptyRule) {
+  Dataset data(1);
+  data.Add({1}, true);
+  DecisionTree tree = DecisionTree::Train(data);
+  std::vector<ConjunctiveRule> rules = ExtractPositiveRules(tree);
+  ASSERT_EQ(rules.size(), 1u);
+  EXPECT_TRUE(rules[0].literals.empty());
+  EXPECT_EQ(RuleSetToString(rules), "true");
+}
+
+TEST(RulesTest, RedundantBoundsCollapse) {
+  // Deep tree can test the same feature twice; simplification keeps the
+  // tightest bounds. Build band: 3 <= x <= 6.
+  Dataset data(1);
+  for (int x = 0; x <= 10; ++x) data.Add({x}, x >= 3 && x <= 6);
+  DecisionTree tree = DecisionTree::Train(data);
+  std::vector<ConjunctiveRule> rules = ExtractPositiveRules(tree);
+  ASSERT_EQ(rules.size(), 1u);
+  // One lower bound and one upper bound on feature 0.
+  ASSERT_EQ(rules[0].literals.size(), 2u);
+  EXPECT_FALSE(rules[0].literals[0].is_le);
+  EXPECT_EQ(rules[0].literals[0].threshold, 2);
+  EXPECT_TRUE(rules[0].literals[1].is_le);
+  EXPECT_EQ(rules[0].literals[1].threshold, 6);
+}
+
+TEST(RulesTest, RuleSetParenthesizesMultiLiteralRules) {
+  Dataset data(2);
+  for (int x = 0; x <= 6; ++x) {
+    for (int y = 0; y <= 6; ++y) {
+      data.Add({x, y}, (x <= 1) || (x >= 5 && y >= 5));
+    }
+  }
+  DecisionTree tree = DecisionTree::Train(data);
+  std::string dnf = RuleSetToString(ExtractPositiveRules(tree));
+  EXPECT_NE(dnf.find("("), std::string::npos);
+  EXPECT_NE(dnf.find(" or "), std::string::npos);
+}
+
+}  // namespace
+}  // namespace procmine

@@ -1,0 +1,124 @@
+#include "mine/sequential_patterns.h"
+
+#include <gtest/gtest.h>
+
+namespace procmine {
+namespace {
+
+TEST(IsSubsequenceTest, Basics) {
+  EXPECT_TRUE(IsSubsequence({0, 2}, {0, 1, 2}));
+  EXPECT_TRUE(IsSubsequence({}, {0, 1}));
+  EXPECT_TRUE(IsSubsequence({0, 1, 2}, {0, 1, 2}));
+  EXPECT_FALSE(IsSubsequence({2, 0}, {0, 1, 2}));
+  EXPECT_FALSE(IsSubsequence({0, 3}, {0, 1, 2}));
+  EXPECT_FALSE(IsSubsequence({0}, {}));
+}
+
+TEST(IsSubsequenceTest, RepeatedElements) {
+  EXPECT_TRUE(IsSubsequence({0, 0}, {0, 1, 0}));
+  EXPECT_FALSE(IsSubsequence({0, 0}, {0, 1, 2}));
+}
+
+TEST(SequentialPatternsTest, FindsChainsWithSupports) {
+  EventLog log = EventLog::FromCompactStrings({"ABC", "ABC", "AC"});
+  SequentialPatternOptions options;
+  options.min_support = 2;
+  auto patterns = MineSequentialPatterns(log, options);
+
+  auto find = [&](const std::string& compact) -> int64_t {
+    std::vector<ActivityId> seq;
+    for (char c : compact) {
+      seq.push_back(*log.dictionary().Find(std::string(1, c)));
+    }
+    for (const SequentialPattern& p : patterns) {
+      if (p.sequence == seq) return p.support;
+    }
+    return -1;
+  };
+  EXPECT_EQ(find("A"), 3);
+  EXPECT_EQ(find("B"), 2);
+  EXPECT_EQ(find("C"), 3);
+  EXPECT_EQ(find("AB"), 2);
+  EXPECT_EQ(find("AC"), 3);
+  EXPECT_EQ(find("BC"), 2);
+  EXPECT_EQ(find("ABC"), 2);
+  EXPECT_EQ(find("CA"), -1);  // infrequent/nonexistent order
+}
+
+TEST(SequentialPatternsTest, MinSupportFilters) {
+  EventLog log = EventLog::FromCompactStrings({"AB", "AC", "AD"});
+  SequentialPatternOptions options;
+  options.min_support = 3;
+  auto patterns = MineSequentialPatterns(log, options);
+  ASSERT_EQ(patterns.size(), 1u);  // only <A>
+  EXPECT_EQ(patterns[0].support, 3);
+}
+
+TEST(SequentialPatternsTest, MaxLengthBounds) {
+  EventLog log = EventLog::FromCompactStrings({"ABCDE", "ABCDE"});
+  SequentialPatternOptions options;
+  options.min_support = 2;
+  options.max_length = 2;
+  auto patterns = MineSequentialPatterns(log, options);
+  for (const SequentialPattern& p : patterns) {
+    EXPECT_LE(p.sequence.size(), 2u);
+  }
+}
+
+TEST(SequentialPatternsTest, MaxPatternsCaps) {
+  EventLog log = EventLog::FromCompactStrings({"ABCDE", "ABCDE"});
+  SequentialPatternOptions options;
+  options.min_support = 2;
+  options.max_patterns = 7;
+  auto patterns = MineSequentialPatterns(log, options);
+  EXPECT_EQ(patterns.size(), 7u);
+}
+
+TEST(SequentialPatternsTest, EmptyLog) {
+  EXPECT_TRUE(MineSequentialPatterns(EventLog()).empty());
+}
+
+TEST(SequentialPatternsTest, PatternCountExplodesWhereGraphStaysSmall) {
+  // The paper's Section 9 point: one conformal graph vs. a pile of
+  // sequential patterns for the same log.
+  EventLog log = EventLog::FromCompactStrings(
+      {"ABCDEF", "ABCDEF", "ABCDEF", "ABCDEF"});
+  SequentialPatternOptions options;
+  options.min_support = 4;
+  options.max_length = 6;
+  auto patterns = MineSequentialPatterns(log, options);
+  // A 6-chain has 2^6 - 1 nonempty subsequences, all frequent.
+  EXPECT_EQ(patterns.size(), 63u);
+}
+
+TEST(MaximalPatternsTest, KeepsOnlyUnextendable) {
+  EventLog log = EventLog::FromCompactStrings({"ABC", "ABC"});
+  SequentialPatternOptions options;
+  options.min_support = 2;
+  auto all = MineSequentialPatterns(log, options);
+  auto maximal = MaximalPatterns(all);
+  ASSERT_EQ(maximal.size(), 1u);
+  EXPECT_EQ(maximal[0].sequence.size(), 3u);  // <A B C>
+}
+
+TEST(MaximalPatternsTest, BranchingKeepsBothBranches) {
+  EventLog log = EventLog::FromCompactStrings({"ABD", "ACD", "ABD", "ACD"});
+  SequentialPatternOptions options;
+  options.min_support = 2;
+  auto maximal = MaximalPatterns(MineSequentialPatterns(log, options));
+  // <A B D> and <A C D> are both maximal.
+  EXPECT_EQ(maximal.size(), 2u);
+}
+
+TEST(SequentialPatternsTest, ToStringReadable) {
+  EventLog log = EventLog::FromCompactStrings({"AB", "AB"});
+  auto patterns = MineSequentialPatterns(log, {.min_support = 2});
+  bool found = false;
+  for (const SequentialPattern& p : patterns) {
+    if (p.ToString(log.dictionary()) == "<A B> x2") found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+}  // namespace
+}  // namespace procmine

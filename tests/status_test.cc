@@ -1,0 +1,145 @@
+#include "util/status.h"
+
+#include <gtest/gtest.h>
+
+#include "util/result.h"
+
+namespace procmine {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status st;
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kOk);
+  EXPECT_EQ(st.message(), "");
+  EXPECT_EQ(st.ToString(), "OK");
+}
+
+TEST(StatusTest, NamedOkFactory) {
+  EXPECT_TRUE(Status::OK().ok());
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status st = Status::InvalidArgument("bad input");
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(st.message(), "bad input");
+  EXPECT_EQ(st.ToString(), "Invalid argument: bad input");
+}
+
+TEST(StatusTest, AllFactoriesProduceMatchingCodes) {
+  EXPECT_EQ(Status::NotFound("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::AlreadyExists("x").code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(Status::OutOfRange("x").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Status::FailedPrecondition("x").code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(Status::IOError("x").code(), StatusCode::kIOError);
+  EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+  EXPECT_EQ(Status::Unimplemented("x").code(), StatusCode::kUnimplemented);
+  EXPECT_EQ(Status::DataLoss("x").code(), StatusCode::kDataLoss);
+}
+
+TEST(StatusTest, PredicateHelpers) {
+  EXPECT_TRUE(Status::InvalidArgument("x").IsInvalidArgument());
+  EXPECT_TRUE(Status::NotFound("x").IsNotFound());
+  EXPECT_TRUE(Status::FailedPrecondition("x").IsFailedPrecondition());
+  EXPECT_TRUE(Status::IOError("x").IsIOError());
+  EXPECT_FALSE(Status::OK().IsNotFound());
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::NotFound("a"), Status::NotFound("a"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::NotFound("b"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::IOError("a"));
+  EXPECT_EQ(Status::OK(), Status());
+}
+
+TEST(StatusTest, CopyIsCheapAndShared) {
+  Status a = Status::Internal("boom");
+  Status b = a;  // NOLINT(performance-unnecessary-copy-initialization)
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(b.message(), "boom");
+}
+
+Status FailingFunction() { return Status::IOError("disk"); }
+
+Status Propagates() {
+  PROCMINE_RETURN_NOT_OK(FailingFunction());
+  return Status::Internal("should not reach");
+}
+
+TEST(StatusTest, ReturnNotOkMacroPropagates) {
+  Status st = Propagates();
+  EXPECT_TRUE(st.IsIOError());
+}
+
+Status SucceedingFunction() { return Status::OK(); }
+
+Status PropagatesOk() {
+  PROCMINE_RETURN_NOT_OK(SucceedingFunction());
+  return Status::Internal("reached");
+}
+
+TEST(StatusTest, ReturnNotOkMacroFallsThroughOnOk) {
+  EXPECT_EQ(PropagatesOk().code(), StatusCode::kInternal);
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_EQ(r.ValueOrDie(), 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::NotFound("missing");
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsNotFound());
+}
+
+TEST(ResultTest, ValueOrFallback) {
+  Result<int> ok = 7;
+  Result<int> err = Status::NotFound("x");
+  EXPECT_EQ(ok.ValueOr(-1), 7);
+  EXPECT_EQ(err.ValueOr(-1), -1);
+}
+
+TEST(ResultTest, MoveValueOut) {
+  Result<std::string> r = std::string("payload");
+  std::string s = r.MoveValueOrDie();
+  EXPECT_EQ(s, "payload");
+}
+
+Result<int> HalveEven(int x) {
+  if (x % 2 != 0) return Status::InvalidArgument("odd");
+  return x / 2;
+}
+
+Result<int> QuarterEven(int x) {
+  PROCMINE_ASSIGN_OR_RETURN(int half, HalveEven(x));
+  return HalveEven(half);
+}
+
+TEST(ResultTest, AssignOrReturnMacro) {
+  Result<int> ok = QuarterEven(8);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, 2);
+
+  Result<int> err = QuarterEven(6);  // 6/2 = 3 is odd
+  EXPECT_FALSE(err.ok());
+  EXPECT_TRUE(err.status().IsInvalidArgument());
+}
+
+TEST(ResultTest, ArrowOperator) {
+  Result<std::string> r = std::string("abc");
+  EXPECT_EQ(r->size(), 3u);
+}
+
+TEST(StatusTest, CodeToStringCoversAllCodes) {
+  EXPECT_EQ(StatusCodeToString(StatusCode::kOk), "OK");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kDataLoss), "Data loss");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kUnimplemented), "Unimplemented");
+}
+
+}  // namespace
+}  // namespace procmine

@@ -1,0 +1,113 @@
+#include "log/transform.h"
+
+#include <gtest/gtest.h>
+
+namespace procmine {
+namespace {
+
+EventLog SampleLog() {
+  return EventLog::FromCompactStrings({"ABCE", "ACE", "ABE", "ABCE"});
+}
+
+TEST(FilterExecutionsTest, PredicateSelects) {
+  EventLog log = SampleLog();
+  EventLog filtered = FilterExecutions(
+      log, [](const Execution& exec) { return exec.size() == 4; });
+  EXPECT_EQ(filtered.num_executions(), 2u);  // the two ABCE
+  // Dictionary preserved even if some activities are now unused.
+  EXPECT_EQ(filtered.num_activities(), log.num_activities());
+}
+
+TEST(ProjectActivitiesTest, KeepsOnlyListed) {
+  EventLog log = SampleLog();
+  auto projected = ProjectActivities(log, {"A", "E"});
+  ASSERT_TRUE(projected.ok());
+  EXPECT_EQ(projected->num_executions(), 4u);
+  for (const Execution& exec : projected->executions()) {
+    EXPECT_EQ(exec.size(), 2u);  // A and E in every execution
+  }
+}
+
+TEST(ProjectActivitiesTest, UnknownNameFails) {
+  EventLog log = SampleLog();
+  EXPECT_TRUE(ProjectActivities(log, {"Z"}).status().IsNotFound());
+}
+
+TEST(DropActivitiesTest, RemovesListed) {
+  EventLog log = SampleLog();
+  auto dropped = DropActivities(log, {"B", "C"});
+  ASSERT_TRUE(dropped.ok());
+  for (const Execution& exec : dropped->executions()) {
+    EXPECT_EQ(exec.size(), 2u);
+  }
+}
+
+TEST(DropActivitiesTest, EmptyExecutionsRemoved) {
+  EventLog log = EventLog::FromCompactStrings({"A", "AB"});
+  auto dropped = DropActivities(log, {"A"});
+  ASSERT_TRUE(dropped.ok());
+  EXPECT_EQ(dropped->num_executions(), 1u);  // "A" vanished entirely
+}
+
+TEST(SampleExecutionsTest, SampleSizeRespected) {
+  EventLog log = SampleLog();
+  EventLog sample = SampleExecutions(log, 2, 1);
+  EXPECT_EQ(sample.num_executions(), 2u);
+  EventLog all = SampleExecutions(log, 10, 1);
+  EXPECT_EQ(all.num_executions(), 4u);
+}
+
+TEST(SampleExecutionsTest, DeterministicPerSeed) {
+  EventLog log = SampleLog();
+  EventLog a = SampleExecutions(log, 2, 7);
+  EventLog b = SampleExecutions(log, 2, 7);
+  for (size_t i = 0; i < 2; ++i) {
+    EXPECT_EQ(a.execution(i).name(), b.execution(i).name());
+  }
+}
+
+TEST(TakeExecutionsTest, TakesHead) {
+  EventLog log = SampleLog();
+  EventLog head = TakeExecutions(log, 3);
+  EXPECT_EQ(head.num_executions(), 3u);
+  EXPECT_EQ(head.execution(0).name(), log.execution(0).name());
+}
+
+TEST(SplitLogTest, Partitions) {
+  EventLog log = SampleLog();
+  auto [head, tail] = SplitLog(log, 1);
+  EXPECT_EQ(head.num_executions(), 1u);
+  EXPECT_EQ(tail.num_executions(), 3u);
+  EXPECT_EQ(head.execution(0).name(), log.execution(0).name());
+  EXPECT_EQ(tail.execution(0).name(), log.execution(1).name());
+}
+
+TEST(MergeLogsTest, UnifiesDictionariesByName) {
+  EventLog a = EventLog::FromCompactStrings({"AB"});
+  EventLog b = EventLog::FromCompactStrings({"BA", "BC"});
+  EventLog merged = MergeLogs({&a, &b});
+  EXPECT_EQ(merged.num_executions(), 3u);
+  EXPECT_EQ(merged.num_activities(), 3);  // A, B, C
+  // b's "B" (id 0 there) must map to merged "B" (id 1).
+  ActivityId b_id = *merged.dictionary().Find("B");
+  EXPECT_EQ(merged.execution(1).Sequence()[0], b_id);
+}
+
+TEST(DeduplicateSequencesTest, CollapsesRepeats) {
+  EventLog log = SampleLog();  // ABCE appears twice
+  std::vector<int64_t> multiplicity;
+  EventLog dedup = DeduplicateSequences(log, &multiplicity);
+  EXPECT_EQ(dedup.num_executions(), 3u);
+  ASSERT_EQ(multiplicity.size(), 3u);
+  EXPECT_EQ(multiplicity[0], 2);  // ABCE
+  EXPECT_EQ(multiplicity[1], 1);
+  EXPECT_EQ(multiplicity[2], 1);
+}
+
+TEST(DeduplicateSequencesTest, NullMultiplicityOk) {
+  EventLog dedup = DeduplicateSequences(SampleLog(), nullptr);
+  EXPECT_EQ(dedup.num_executions(), 3u);
+}
+
+}  // namespace
+}  // namespace procmine

@@ -1,0 +1,633 @@
+// procmine — command-line front end.
+//
+//   procmine mine <log> [--algorithm=auto|special|general|cyclic]
+//                       [--threshold=N|auto] [--dot=FILE] [--conditions]
+//   procmine check <log> --model=EDGEFILE      conformance of a model
+//   procmine diff <log> --model=EDGEFILE       designed-vs-mined diff
+//   procmine stats <log>                       log statistics + validation
+//   procmine noise <log>                       epsilon estimate + T*
+//   procmine synth --activities=N --executions=M [--density=D] [--seed=S]
+//                  --out=FILE                  synthetic workload
+//   procmine convert <in> <out>                format conversion by extension
+//
+// Log files are read by extension: .bin (binary format), .xes (XES XML),
+// anything else as the text event format. Model edge files are plain text,
+// one "From To" pair per line, '#' comments allowed.
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "graph/ascii.h"
+#include "graph/dot.h"
+#include "log/binary_log.h"
+#include "mine/performance.h"
+#include "log/reader.h"
+#include "log/stats.h"
+#include "log/validate.h"
+#include "log/transform.h"
+#include "log/writer.h"
+#include "log/xes.h"
+#include "mine/conformance.h"
+#include "mine/miner.h"
+#include "mine/model_diff.h"
+#include "mine/noise.h"
+#include "mine/reconstruct.h"
+#include "mine/sequential_patterns.h"
+#include "mine/trace.h"
+#include "workflow/engine.h"
+#include "workflow/fdl.h"
+#include "synth/log_generator.h"
+#include "synth/random_dag.h"
+#include "util/strings.h"
+
+using namespace procmine;
+
+namespace {
+
+/// Parsed command line: positional arguments and --key=value flags.
+struct Args {
+  std::vector<std::string> positional;
+  std::map<std::string, std::string> flags;
+
+  bool Has(const std::string& key) const { return flags.count(key) > 0; }
+  std::string Get(const std::string& key,
+                  const std::string& fallback = "") const {
+    auto it = flags.find(key);
+    return it == flags.end() ? fallback : it->second;
+  }
+};
+
+Args ParseArgs(int argc, char** argv) {
+  Args args;
+  for (int i = 2; i < argc; ++i) {
+    std::string_view arg = argv[i];
+    if (StartsWith(arg, "--")) {
+      size_t eq = arg.find('=');
+      if (eq == std::string_view::npos) {
+        args.flags[std::string(arg.substr(2))] = "";
+      } else {
+        args.flags[std::string(arg.substr(2, eq - 2))] =
+            std::string(arg.substr(eq + 1));
+      }
+    } else {
+      args.positional.emplace_back(arg);
+    }
+  }
+  return args;
+}
+
+Result<EventLog> ReadLogAuto(const std::string& path) {
+  if (EndsWith(path, ".bin")) return ReadBinaryLogFile(path);
+  if (EndsWith(path, ".xes")) return ReadXesFile(path);
+  return LogReader::ReadFile(path);
+}
+
+Status WriteLogAuto(const EventLog& log, const std::string& path) {
+  if (EndsWith(path, ".bin")) return WriteBinaryLogFile(log, path);
+  if (EndsWith(path, ".xes")) return WriteXesFile(log, path);
+  if (EndsWith(path, ".csv")) return LogWriter::WriteCsvFile(log, path);
+  return LogWriter::WriteFile(log, path);
+}
+
+Result<ProcessGraph> ReadEdgeListModel(const std::string& path) {
+  std::ifstream file(path);
+  if (!file) return Status::IOError("cannot open: " + path);
+  std::vector<std::pair<std::string, std::string>> edges;
+  std::string line;
+  int64_t line_no = 0;
+  while (std::getline(file, line)) {
+    ++line_no;
+    std::string_view trimmed = Trim(line);
+    if (trimmed.empty() || trimmed[0] == '#') continue;
+    std::vector<std::string> fields = SplitWhitespace(trimmed);
+    if (fields.size() != 2) {
+      return Status::InvalidArgument(
+          StrFormat("%s:%lld: expected 'From To'", path.c_str(),
+                    static_cast<long long>(line_no)));
+    }
+    edges.emplace_back(fields[0], fields[1]);
+  }
+  return ProcessGraph::FromNamedEdges(edges);
+}
+
+Result<MinerOptions> MinerOptionsFromArgs(const Args& args,
+                                          const EventLog& log) {
+  MinerOptions options;
+  std::string algorithm = args.Get("algorithm", "auto");
+  if (algorithm == "auto") {
+    options.algorithm = MinerAlgorithm::kAuto;
+  } else if (algorithm == "special") {
+    options.algorithm = MinerAlgorithm::kSpecialDag;
+  } else if (algorithm == "general") {
+    options.algorithm = MinerAlgorithm::kGeneralDag;
+  } else if (algorithm == "cyclic") {
+    options.algorithm = MinerAlgorithm::kCyclic;
+  } else {
+    return Status::InvalidArgument("unknown --algorithm: " + algorithm);
+  }
+  std::string threshold = args.Get("threshold", "1");
+  if (threshold == "auto") {
+    options.noise_threshold = SuggestNoiseThreshold(log);
+    std::fprintf(stderr, "estimated noise rate %.4f -> threshold %lld\n",
+                 EstimateNoiseRate(log),
+                 static_cast<long long>(options.noise_threshold));
+  } else {
+    PROCMINE_ASSIGN_OR_RETURN(options.noise_threshold,
+                              ParseInt64(threshold));
+  }
+  return options;
+}
+
+int CommandMine(const Args& args) {
+  if (args.positional.empty()) {
+    std::cerr << "usage: procmine mine <log> [--algorithm=...] "
+                 "[--threshold=N|auto] [--dot=FILE] [--conditions]\n";
+    return 2;
+  }
+  auto log = ReadLogAuto(args.positional[0]);
+  if (!log.ok()) {
+    std::cerr << log.status().ToString() << "\n";
+    return 1;
+  }
+  auto options = MinerOptionsFromArgs(args, *log);
+  if (!options.ok()) {
+    std::cerr << options.status().ToString() << "\n";
+    return 1;
+  }
+  ProcessMiner miner(*options);
+
+  if (args.Has("conditions")) {
+    auto annotated = miner.MineWithConditions(*log);
+    if (!annotated.ok()) {
+      std::cerr << annotated.status().ToString() << "\n";
+      return 1;
+    }
+    std::cout << annotated->ToDot("mined_process");
+    if (args.Has("fdl")) {
+      // Export the mined model as a runnable FDL definition.
+      auto reconstructed = ReconstructDefinition(*annotated, *log);
+      if (!reconstructed.ok()) {
+        std::cerr << reconstructed.status().ToString() << "\n";
+        return 1;
+      }
+      Status st = WriteFdlFile(*reconstructed, args.Get("fdl"), "mined");
+      if (!st.ok()) {
+        std::cerr << st.ToString() << "\n";
+        return 1;
+      }
+      std::fprintf(stderr, "wrote runnable definition to %s\n",
+                   args.Get("fdl").c_str());
+    }
+    for (const MinedCondition& c : annotated->conditions) {
+      if (c.learned) {
+        std::fprintf(stderr, "condition %s -> %s: %s (holdout %.3f)\n",
+                     annotated->graph.name(c.edge.from).c_str(),
+                     annotated->graph.name(c.edge.to).c_str(),
+                     c.rule.c_str(), c.test_accuracy);
+      }
+    }
+    if (args.Has("dot")) {
+      std::ofstream out(args.Get("dot"));
+      out << annotated->ToDot("mined_process");
+    }
+    return 0;
+  }
+
+  auto model = miner.Mine(*log);
+  if (!model.ok()) {
+    std::cerr << model.status().ToString() << "\n";
+    return 1;
+  }
+  std::fprintf(stderr, "mined %lld edges over %d activities\n",
+               static_cast<long long>(model->graph().num_edges()),
+               model->num_activities());
+  if (args.Has("ascii")) {
+    std::cout << RenderAscii(model->graph(), model->names());
+  } else {
+    std::cout << model->ToDot("mined_process");
+  }
+  if (args.Has("dot")) {
+    Status st = WriteDotFile(model->graph(), model->names(), args.Get("dot"));
+    if (!st.ok()) {
+      std::cerr << st.ToString() << "\n";
+      return 1;
+    }
+  }
+  return 0;
+}
+
+int CommandCheck(const Args& args) {
+  if (args.positional.empty() || !args.Has("model")) {
+    std::cerr << "usage: procmine check <log> --model=EDGEFILE\n";
+    return 2;
+  }
+  auto log = ReadLogAuto(args.positional[0]);
+  auto model = ReadEdgeListModel(args.Get("model"));
+  if (!log.ok() || !model.ok()) {
+    std::cerr << (log.ok() ? model.status() : log.status()).ToString()
+              << "\n";
+    return 1;
+  }
+  // Align the model's ids with the log's dictionary by name.
+  DirectedGraph aligned(log->num_activities());
+  std::vector<std::string> names = log->dictionary().names();
+  for (const Edge& e : model->graph().Edges()) {
+    auto from = log->dictionary().Find(model->name(e.from));
+    auto to = log->dictionary().Find(model->name(e.to));
+    if (!from.ok() || !to.ok()) {
+      // Model activity never appears in the log: extend the vertex set.
+      NodeId f = from.ok() ? *from : aligned.AddNode();
+      if (!from.ok()) names.push_back(model->name(e.from));
+      NodeId t = to.ok() ? *to : aligned.AddNode();
+      if (!to.ok()) names.push_back(model->name(e.to));
+      aligned.AddEdge(f, t);
+      continue;
+    }
+    aligned.AddEdge(*from, *to);
+  }
+  ProcessGraph aligned_model(std::move(aligned), names);
+  ConformanceChecker checker(&aligned_model);
+  ConformanceReport report = checker.CheckLog(*log);
+  std::cout << report.Summary(log->dictionary());
+  return report.conformal() ? 0 : 1;
+}
+
+int CommandDiff(const Args& args) {
+  if (args.positional.empty() || !args.Has("model")) {
+    std::cerr << "usage: procmine diff <log> --model=EDGEFILE\n";
+    return 2;
+  }
+  auto log = ReadLogAuto(args.positional[0]);
+  auto designed = ReadEdgeListModel(args.Get("model"));
+  if (!log.ok() || !designed.ok()) {
+    std::cerr << (log.ok() ? designed.status() : log.status()).ToString()
+              << "\n";
+    return 1;
+  }
+  auto mined = ProcessMiner().Mine(*log);
+  if (!mined.ok()) {
+    std::cerr << mined.status().ToString() << "\n";
+    return 1;
+  }
+  ModelDiff diff = DiffModels(*designed, *mined);
+  std::cout << diff.Summary();
+  return diff.structurally_equal() ? 0 : 1;
+}
+
+int CommandStats(const Args& args) {
+  if (args.positional.empty()) {
+    std::cerr << "usage: procmine stats <log>\n";
+    return 2;
+  }
+  auto log = ReadLogAuto(args.positional[0]);
+  if (!log.ok()) {
+    std::cerr << log.status().ToString() << "\n";
+    return 1;
+  }
+  LogStats stats = ComputeLogStats(*log);
+  std::cout << stats.ToString(log->dictionary());
+  std::vector<LogIssue> issues = ValidateLog(*log);
+  if (issues.empty()) {
+    std::cout << "validation: clean\n";
+  } else {
+    std::cout << "validation: " << issues.size() << " issues\n";
+    for (const LogIssue& issue : issues) {
+      std::cout << "  " << issue.process_instance << ": "
+                << ToString(issue.kind) << " " << issue.detail << "\n";
+    }
+  }
+  return 0;
+}
+
+int CommandVariants(const Args& args) {
+  if (args.positional.empty()) {
+    std::cerr << "usage: procmine variants <log> [--top=K]\n";
+    return 2;
+  }
+  auto log = ReadLogAuto(args.positional[0]);
+  if (!log.ok()) {
+    std::cerr << log.status().ToString() << "\n";
+    return 1;
+  }
+  auto top = ParseInt64(args.Get("top", "20"));
+  if (!top.ok()) {
+    std::cerr << "bad --top\n";
+    return 1;
+  }
+  std::vector<int64_t> multiplicity;
+  EventLog variants = DeduplicateSequences(*log, &multiplicity);
+  // Sort variant indices by multiplicity, descending.
+  std::vector<size_t> order(variants.num_executions());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return multiplicity[a] > multiplicity[b];
+  });
+  std::printf("%zu executions, %zu distinct variants\n",
+              log->num_executions(), variants.num_executions());
+  for (size_t rank = 0;
+       rank < order.size() && rank < static_cast<size_t>(*top); ++rank) {
+    const Execution& exec = variants.execution(order[rank]);
+    std::string flat;
+    for (ActivityId a : exec.Sequence()) {
+      if (!flat.empty()) flat += " ";
+      flat += variants.dictionary().Name(a);
+    }
+    std::printf("%6lld x  %s\n",
+                static_cast<long long>(multiplicity[order[rank]]),
+                flat.c_str());
+  }
+  return 0;
+}
+
+int CommandExplain(const Args& args) {
+  if (args.positional.empty()) {
+    std::cerr << "usage: procmine explain <log> [--edge=From,To] "
+                 "[--threshold=N]\n";
+    return 2;
+  }
+  auto log = ReadLogAuto(args.positional[0]);
+  if (!log.ok()) {
+    std::cerr << log.status().ToString() << "\n";
+    return 1;
+  }
+  GeneralDagMinerOptions options;
+  auto threshold = ParseInt64(args.Get("threshold", "1"));
+  if (!threshold.ok()) {
+    std::cerr << "bad --threshold\n";
+    return 1;
+  }
+  options.noise_threshold = *threshold;
+  auto trace = TraceGeneralDagMining(*log, options);
+  if (!trace.ok()) {
+    std::cerr << trace.status().ToString() << "\n";
+    return 1;
+  }
+  if (args.Has("edge")) {
+    std::vector<std::string> parts = Split(args.Get("edge"), ',');
+    if (parts.size() != 2) {
+      std::cerr << "--edge expects From,To\n";
+      return 2;
+    }
+    auto from = log->dictionary().Find(parts[0]);
+    auto to = log->dictionary().Find(parts[1]);
+    if (!from.ok() || !to.ok()) {
+      std::cerr << "unknown activity in --edge\n";
+      return 1;
+    }
+    std::cout << trace->ExplainEdge(log->dictionary(), *from, *to);
+    return 0;
+  }
+  std::cout << trace->Narrate(log->dictionary());
+  return 0;
+}
+
+int CommandPerf(const Args& args) {
+  if (args.positional.empty()) {
+    std::cerr << "usage: procmine perf <log> [--dot=FILE]\n";
+    return 2;
+  }
+  auto log = ReadLogAuto(args.positional[0]);
+  if (!log.ok()) {
+    std::cerr << log.status().ToString() << "\n";
+    return 1;
+  }
+  auto model = ProcessMiner().Mine(*log);
+  if (!model.ok()) {
+    std::cerr << model.status().ToString() << "\n";
+    return 1;
+  }
+  PerformanceReport report = AnalyzePerformance(*model, *log);
+  std::cout << report.Summary(log->dictionary());
+  if (args.Has("dot")) {
+    std::ofstream out(args.Get("dot"));
+    if (!out) {
+      std::cerr << "cannot write " << args.Get("dot") << "\n";
+      return 1;
+    }
+    out << PerformanceDot(*model, report);
+  }
+  return 0;
+}
+
+int CommandNoise(const Args& args) {
+  if (args.positional.empty()) {
+    std::cerr << "usage: procmine noise <log>\n";
+    return 2;
+  }
+  auto log = ReadLogAuto(args.positional[0]);
+  if (!log.ok()) {
+    std::cerr << log.status().ToString() << "\n";
+    return 1;
+  }
+  double epsilon = EstimateNoiseRate(*log);
+  std::printf("estimated out-of-order rate (epsilon): %.4f\n", epsilon);
+  std::printf("suggested threshold T for m=%zu executions: %lld\n",
+              log->num_executions(),
+              static_cast<long long>(SuggestNoiseThreshold(*log)));
+  return 0;
+}
+
+int CommandSynth(const Args& args) {
+  if (!args.Has("activities") || !args.Has("executions") ||
+      !args.Has("out")) {
+    std::cerr << "usage: procmine synth --activities=N --executions=M "
+                 "[--density=D] [--seed=S] --out=FILE [--truth-dot=FILE]\n";
+    return 2;
+  }
+  auto activities = ParseInt64(args.Get("activities"));
+  auto executions = ParseInt64(args.Get("executions"));
+  auto seed = ParseInt64(args.Get("seed", "1"));
+  if (!activities.ok() || !executions.ok() || !seed.ok()) {
+    std::cerr << "bad numeric flag\n";
+    return 1;
+  }
+  RandomDagOptions dag_options;
+  dag_options.num_activities = static_cast<int32_t>(*activities);
+  dag_options.seed = static_cast<uint64_t>(*seed);
+  if (args.Has("density")) {
+    auto density = ParseDouble(args.Get("density"));
+    if (!density.ok()) {
+      std::cerr << "bad --density\n";
+      return 1;
+    }
+    dag_options.edge_density = *density;
+  } else {
+    dag_options.edge_density =
+        PaperEdgeDensity(dag_options.num_activities);
+  }
+  ProcessGraph truth = GenerateRandomDag(dag_options);
+  WalkLogOptions log_options;
+  log_options.num_executions = static_cast<size_t>(*executions);
+  log_options.seed = static_cast<uint64_t>(*seed) + 1;
+  auto log = GenerateWalkLog(truth, log_options);
+  if (!log.ok()) {
+    std::cerr << log.status().ToString() << "\n";
+    return 1;
+  }
+  Status st = WriteLogAuto(*log, args.Get("out"));
+  if (!st.ok()) {
+    std::cerr << st.ToString() << "\n";
+    return 1;
+  }
+  if (args.Has("truth-dot")) {
+    PROCMINE_CHECK_OK(WriteDotFile(truth.graph(), truth.names(),
+                                   args.Get("truth-dot")));
+  }
+  std::fprintf(stderr,
+               "wrote %zu executions over %d activities (%lld true edges) "
+               "to %s\n",
+               log->num_executions(), truth.num_activities(),
+               static_cast<long long>(truth.graph().num_edges()),
+               args.Get("out").c_str());
+  return 0;
+}
+
+int CommandSimulate(const Args& args) {
+  if (!args.Has("definition") || !args.Has("executions") ||
+      !args.Has("out")) {
+    std::cerr << "usage: procmine simulate --definition=FDL "
+                 "--executions=M [--seed=S] [--cyclic] [--agents=K "
+                 "--max-duration=D] --out=FILE\n";
+    return 2;
+  }
+  bool cyclic = args.Has("cyclic");
+  auto def = ReadFdlFile(args.Get("definition"), !cyclic);
+  if (!def.ok()) {
+    std::cerr << def.status().ToString() << "\n";
+    return 1;
+  }
+  auto executions = ParseInt64(args.Get("executions"));
+  auto seed = ParseInt64(args.Get("seed", "1"));
+  if (!executions.ok() || !seed.ok()) {
+    std::cerr << "bad numeric flag\n";
+    return 1;
+  }
+  EngineOptions options;
+  if (cyclic) options.mode = ExecutionMode::kTokenFire;
+  if (args.Has("agents")) {
+    auto agents = ParseInt64(args.Get("agents"));
+    auto max_duration = ParseInt64(args.Get("max-duration", "10"));
+    if (!agents.ok() || !max_duration.ok()) {
+      std::cerr << "bad numeric flag\n";
+      return 1;
+    }
+    options.num_agents = static_cast<int>(*agents);
+    options.min_duration = 1;
+    options.max_duration = *max_duration;
+  }
+  Engine engine(&*def, options);
+  auto log = engine.GenerateLog(static_cast<size_t>(*executions),
+                                static_cast<uint64_t>(*seed));
+  if (!log.ok()) {
+    std::cerr << log.status().ToString() << "\n";
+    return 1;
+  }
+  Status st = WriteLogAuto(*log, args.Get("out"));
+  if (!st.ok()) {
+    std::cerr << st.ToString() << "\n";
+    return 1;
+  }
+  std::fprintf(stderr, "simulated %zu executions to %s\n",
+               log->num_executions(), args.Get("out").c_str());
+  return 0;
+}
+
+int CommandPatterns(const Args& args) {
+  if (args.positional.empty()) {
+    std::cerr << "usage: procmine patterns <log> [--support=N] "
+                 "[--max-length=K] [--maximal]\n";
+    return 2;
+  }
+  auto log = ReadLogAuto(args.positional[0]);
+  if (!log.ok()) {
+    std::cerr << log.status().ToString() << "\n";
+    return 1;
+  }
+  SequentialPatternOptions options;
+  auto support = ParseInt64(args.Get("support", "2"));
+  auto max_length = ParseInt64(args.Get("max-length", "6"));
+  if (!support.ok() || !max_length.ok()) {
+    std::cerr << "bad numeric flag\n";
+    return 1;
+  }
+  options.min_support = *support;
+  options.max_length = static_cast<int>(*max_length);
+  options.max_patterns = 100000;
+  auto patterns = MineSequentialPatterns(*log, options);
+  if (args.Has("maximal")) patterns = MaximalPatterns(patterns);
+  for (const SequentialPattern& p : patterns) {
+    std::cout << p.ToString(log->dictionary()) << "\n";
+  }
+  std::fprintf(stderr, "%zu patterns\n", patterns.size());
+  return 0;
+}
+
+int CommandConvert(const Args& args) {
+  if (args.positional.size() != 2) {
+    std::cerr << "usage: procmine convert <in> <out>\n";
+    return 2;
+  }
+  auto log = ReadLogAuto(args.positional[0]);
+  if (!log.ok()) {
+    std::cerr << log.status().ToString() << "\n";
+    return 1;
+  }
+  Status st = WriteLogAuto(*log, args.positional[1]);
+  if (!st.ok()) {
+    std::cerr << st.ToString() << "\n";
+    return 1;
+  }
+  return 0;
+}
+
+void PrintUsage() {
+  std::cerr <<
+      "procmine: mining process models from workflow logs\n"
+      "commands:\n"
+      "  mine <log> [--algorithm=...] [--threshold=N|auto] [--dot=FILE]\n"
+      "             [--ascii] [--conditions [--fdl=FILE]]\n"
+      "  check <log> --model=EDGEFILE\n"
+      "  diff <log> --model=EDGEFILE\n"
+      "  stats <log>\n"
+      "  perf <log> [--dot=FILE]\n"
+      "  explain <log> [--edge=From,To] [--threshold=N]\n"
+      "  variants <log> [--top=K]\n"
+      "  noise <log>\n"
+      "  synth --activities=N --executions=M [--density=D] [--seed=S]\n"
+      "        --out=FILE [--truth-dot=FILE]\n"
+      "  simulate --definition=FDL --executions=M [--seed=S] [--cyclic]\n"
+      "           [--agents=K --max-duration=D] --out=FILE\n"
+      "  patterns <log> [--support=N] [--max-length=K] [--maximal]\n"
+      "  convert <in> <out>\n"
+      "log formats by extension: .bin (binary), .xes (XES XML), .csv\n"
+      "(export only), anything else = text event format\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    PrintUsage();
+    return 2;
+  }
+  std::string command = argv[1];
+  Args args = ParseArgs(argc, argv);
+  if (command == "mine") return CommandMine(args);
+  if (command == "check") return CommandCheck(args);
+  if (command == "diff") return CommandDiff(args);
+  if (command == "stats") return CommandStats(args);
+  if (command == "perf") return CommandPerf(args);
+  if (command == "explain") return CommandExplain(args);
+  if (command == "variants") return CommandVariants(args);
+  if (command == "noise") return CommandNoise(args);
+  if (command == "synth") return CommandSynth(args);
+  if (command == "simulate") return CommandSimulate(args);
+  if (command == "patterns") return CommandPatterns(args);
+  if (command == "convert") return CommandConvert(args);
+  PrintUsage();
+  return 2;
+}
