@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_conditions.dir/bench_conditions.cc.o"
+  "CMakeFiles/bench_conditions.dir/bench_conditions.cc.o.d"
+  "bench_conditions"
+  "bench_conditions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_conditions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_graph10.dir/bench_fig7_graph10.cc.o"
+  "CMakeFiles/bench_fig7_graph10.dir/bench_fig7_graph10.cc.o.d"
+  "bench_fig7_graph10"
+  "bench_fig7_graph10.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_graph10.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_incremental.dir/bench_incremental.cc.o"
+  "CMakeFiles/bench_incremental.dir/bench_incremental.cc.o.d"
+  "bench_incremental"
+  "bench_incremental.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_incremental.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_noise_sweep.dir/bench_noise_sweep.cc.o"
+  "CMakeFiles/bench_noise_sweep.dir/bench_noise_sweep.cc.o.d"
+  "bench_noise_sweep"
+  "bench_noise_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_noise_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

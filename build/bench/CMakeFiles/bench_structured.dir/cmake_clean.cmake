@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_structured.dir/bench_structured.cc.o"
+  "CMakeFiles/bench_structured.dir/bench_structured.cc.o.d"
+  "bench_structured"
+  "bench_structured.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_structured.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

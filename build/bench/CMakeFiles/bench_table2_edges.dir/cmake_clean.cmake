@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_edges.dir/bench_table2_edges.cc.o"
+  "CMakeFiles/bench_table2_edges.dir/bench_table2_edges.cc.o.d"
+  "bench_table2_edges"
+  "bench_table2_edges.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_edges.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_flowmark.dir/bench_table3_flowmark.cc.o"
+  "CMakeFiles/bench_table3_flowmark.dir/bench_table3_flowmark.cc.o.d"
+  "bench_table3_flowmark"
+  "bench_table3_flowmark.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_flowmark.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/insurance_claim.dir/insurance_claim.cpp.o"
+  "CMakeFiles/insurance_claim.dir/insurance_claim.cpp.o.d"
+  "insurance_claim"
+  "insurance_claim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/insurance_claim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for insurance_claim.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for insurance_claim.
+# This may be replaced when dependencies are built.

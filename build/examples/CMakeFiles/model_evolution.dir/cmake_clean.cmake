@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/model_evolution.dir/model_evolution.cpp.o"
+  "CMakeFiles/model_evolution.dir/model_evolution.cpp.o.d"
+  "model_evolution"
+  "model_evolution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/model_evolution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/noise_robustness.dir/noise_robustness.cpp.o"
+  "CMakeFiles/noise_robustness.dir/noise_robustness.cpp.o.d"
+  "noise_robustness"
+  "noise_robustness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/noise_robustness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/order_fulfillment.dir/order_fulfillment.cpp.o"
+  "CMakeFiles/order_fulfillment.dir/order_fulfillment.cpp.o.d"
+  "order_fulfillment"
+  "order_fulfillment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/order_fulfillment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/paper_examples.dir/paper_examples.cpp.o"
+  "CMakeFiles/paper_examples.dir/paper_examples.cpp.o.d"
+  "paper_examples"
+  "paper_examples.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/paper_examples.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

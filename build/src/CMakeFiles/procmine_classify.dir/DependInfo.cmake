@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/classify/dataset.cc" "src/CMakeFiles/procmine_classify.dir/classify/dataset.cc.o" "gcc" "src/CMakeFiles/procmine_classify.dir/classify/dataset.cc.o.d"
+  "/root/repo/src/classify/decision_tree.cc" "src/CMakeFiles/procmine_classify.dir/classify/decision_tree.cc.o" "gcc" "src/CMakeFiles/procmine_classify.dir/classify/decision_tree.cc.o.d"
+  "/root/repo/src/classify/evaluation.cc" "src/CMakeFiles/procmine_classify.dir/classify/evaluation.cc.o" "gcc" "src/CMakeFiles/procmine_classify.dir/classify/evaluation.cc.o.d"
+  "/root/repo/src/classify/rules.cc" "src/CMakeFiles/procmine_classify.dir/classify/rules.cc.o" "gcc" "src/CMakeFiles/procmine_classify.dir/classify/rules.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/procmine_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/procmine_classify.dir/classify/dataset.cc.o"
+  "CMakeFiles/procmine_classify.dir/classify/dataset.cc.o.d"
+  "CMakeFiles/procmine_classify.dir/classify/decision_tree.cc.o"
+  "CMakeFiles/procmine_classify.dir/classify/decision_tree.cc.o.d"
+  "CMakeFiles/procmine_classify.dir/classify/evaluation.cc.o"
+  "CMakeFiles/procmine_classify.dir/classify/evaluation.cc.o.d"
+  "CMakeFiles/procmine_classify.dir/classify/rules.cc.o"
+  "CMakeFiles/procmine_classify.dir/classify/rules.cc.o.d"
+  "libprocmine_classify.a"
+  "libprocmine_classify.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/procmine_classify.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

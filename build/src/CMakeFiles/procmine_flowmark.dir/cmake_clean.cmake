@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/procmine_flowmark.dir/flowmark/processes.cc.o"
+  "CMakeFiles/procmine_flowmark.dir/flowmark/processes.cc.o.d"
+  "libprocmine_flowmark.a"
+  "libprocmine_flowmark.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/procmine_flowmark.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

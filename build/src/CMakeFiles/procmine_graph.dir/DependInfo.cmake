@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/algorithms.cc" "src/CMakeFiles/procmine_graph.dir/graph/algorithms.cc.o" "gcc" "src/CMakeFiles/procmine_graph.dir/graph/algorithms.cc.o.d"
+  "/root/repo/src/graph/ascii.cc" "src/CMakeFiles/procmine_graph.dir/graph/ascii.cc.o" "gcc" "src/CMakeFiles/procmine_graph.dir/graph/ascii.cc.o.d"
+  "/root/repo/src/graph/compare.cc" "src/CMakeFiles/procmine_graph.dir/graph/compare.cc.o" "gcc" "src/CMakeFiles/procmine_graph.dir/graph/compare.cc.o.d"
+  "/root/repo/src/graph/digraph.cc" "src/CMakeFiles/procmine_graph.dir/graph/digraph.cc.o" "gcc" "src/CMakeFiles/procmine_graph.dir/graph/digraph.cc.o.d"
+  "/root/repo/src/graph/dot.cc" "src/CMakeFiles/procmine_graph.dir/graph/dot.cc.o" "gcc" "src/CMakeFiles/procmine_graph.dir/graph/dot.cc.o.d"
+  "/root/repo/src/graph/transitive_reduction.cc" "src/CMakeFiles/procmine_graph.dir/graph/transitive_reduction.cc.o" "gcc" "src/CMakeFiles/procmine_graph.dir/graph/transitive_reduction.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/procmine_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

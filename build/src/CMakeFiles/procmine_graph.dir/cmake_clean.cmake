@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/procmine_graph.dir/graph/algorithms.cc.o"
+  "CMakeFiles/procmine_graph.dir/graph/algorithms.cc.o.d"
+  "CMakeFiles/procmine_graph.dir/graph/ascii.cc.o"
+  "CMakeFiles/procmine_graph.dir/graph/ascii.cc.o.d"
+  "CMakeFiles/procmine_graph.dir/graph/compare.cc.o"
+  "CMakeFiles/procmine_graph.dir/graph/compare.cc.o.d"
+  "CMakeFiles/procmine_graph.dir/graph/digraph.cc.o"
+  "CMakeFiles/procmine_graph.dir/graph/digraph.cc.o.d"
+  "CMakeFiles/procmine_graph.dir/graph/dot.cc.o"
+  "CMakeFiles/procmine_graph.dir/graph/dot.cc.o.d"
+  "CMakeFiles/procmine_graph.dir/graph/transitive_reduction.cc.o"
+  "CMakeFiles/procmine_graph.dir/graph/transitive_reduction.cc.o.d"
+  "libprocmine_graph.a"
+  "libprocmine_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/procmine_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

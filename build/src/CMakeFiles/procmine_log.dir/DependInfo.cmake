@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/log/activity_dictionary.cc" "src/CMakeFiles/procmine_log.dir/log/activity_dictionary.cc.o" "gcc" "src/CMakeFiles/procmine_log.dir/log/activity_dictionary.cc.o.d"
+  "/root/repo/src/log/binary_log.cc" "src/CMakeFiles/procmine_log.dir/log/binary_log.cc.o" "gcc" "src/CMakeFiles/procmine_log.dir/log/binary_log.cc.o.d"
+  "/root/repo/src/log/event_log.cc" "src/CMakeFiles/procmine_log.dir/log/event_log.cc.o" "gcc" "src/CMakeFiles/procmine_log.dir/log/event_log.cc.o.d"
+  "/root/repo/src/log/execution.cc" "src/CMakeFiles/procmine_log.dir/log/execution.cc.o" "gcc" "src/CMakeFiles/procmine_log.dir/log/execution.cc.o.d"
+  "/root/repo/src/log/reader.cc" "src/CMakeFiles/procmine_log.dir/log/reader.cc.o" "gcc" "src/CMakeFiles/procmine_log.dir/log/reader.cc.o.d"
+  "/root/repo/src/log/stats.cc" "src/CMakeFiles/procmine_log.dir/log/stats.cc.o" "gcc" "src/CMakeFiles/procmine_log.dir/log/stats.cc.o.d"
+  "/root/repo/src/log/streaming_reader.cc" "src/CMakeFiles/procmine_log.dir/log/streaming_reader.cc.o" "gcc" "src/CMakeFiles/procmine_log.dir/log/streaming_reader.cc.o.d"
+  "/root/repo/src/log/transform.cc" "src/CMakeFiles/procmine_log.dir/log/transform.cc.o" "gcc" "src/CMakeFiles/procmine_log.dir/log/transform.cc.o.d"
+  "/root/repo/src/log/validate.cc" "src/CMakeFiles/procmine_log.dir/log/validate.cc.o" "gcc" "src/CMakeFiles/procmine_log.dir/log/validate.cc.o.d"
+  "/root/repo/src/log/writer.cc" "src/CMakeFiles/procmine_log.dir/log/writer.cc.o" "gcc" "src/CMakeFiles/procmine_log.dir/log/writer.cc.o.d"
+  "/root/repo/src/log/xes.cc" "src/CMakeFiles/procmine_log.dir/log/xes.cc.o" "gcc" "src/CMakeFiles/procmine_log.dir/log/xes.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/procmine_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

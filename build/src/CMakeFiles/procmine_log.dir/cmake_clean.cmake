@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/procmine_log.dir/log/activity_dictionary.cc.o"
+  "CMakeFiles/procmine_log.dir/log/activity_dictionary.cc.o.d"
+  "CMakeFiles/procmine_log.dir/log/binary_log.cc.o"
+  "CMakeFiles/procmine_log.dir/log/binary_log.cc.o.d"
+  "CMakeFiles/procmine_log.dir/log/event_log.cc.o"
+  "CMakeFiles/procmine_log.dir/log/event_log.cc.o.d"
+  "CMakeFiles/procmine_log.dir/log/execution.cc.o"
+  "CMakeFiles/procmine_log.dir/log/execution.cc.o.d"
+  "CMakeFiles/procmine_log.dir/log/reader.cc.o"
+  "CMakeFiles/procmine_log.dir/log/reader.cc.o.d"
+  "CMakeFiles/procmine_log.dir/log/stats.cc.o"
+  "CMakeFiles/procmine_log.dir/log/stats.cc.o.d"
+  "CMakeFiles/procmine_log.dir/log/streaming_reader.cc.o"
+  "CMakeFiles/procmine_log.dir/log/streaming_reader.cc.o.d"
+  "CMakeFiles/procmine_log.dir/log/transform.cc.o"
+  "CMakeFiles/procmine_log.dir/log/transform.cc.o.d"
+  "CMakeFiles/procmine_log.dir/log/validate.cc.o"
+  "CMakeFiles/procmine_log.dir/log/validate.cc.o.d"
+  "CMakeFiles/procmine_log.dir/log/writer.cc.o"
+  "CMakeFiles/procmine_log.dir/log/writer.cc.o.d"
+  "CMakeFiles/procmine_log.dir/log/xes.cc.o"
+  "CMakeFiles/procmine_log.dir/log/xes.cc.o.d"
+  "libprocmine_log.a"
+  "libprocmine_log.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/procmine_log.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,40 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mine/condition_miner.cc" "src/CMakeFiles/procmine_mine.dir/mine/condition_miner.cc.o" "gcc" "src/CMakeFiles/procmine_mine.dir/mine/condition_miner.cc.o.d"
+  "/root/repo/src/mine/conformance.cc" "src/CMakeFiles/procmine_mine.dir/mine/conformance.cc.o" "gcc" "src/CMakeFiles/procmine_mine.dir/mine/conformance.cc.o.d"
+  "/root/repo/src/mine/cyclic_miner.cc" "src/CMakeFiles/procmine_mine.dir/mine/cyclic_miner.cc.o" "gcc" "src/CMakeFiles/procmine_mine.dir/mine/cyclic_miner.cc.o.d"
+  "/root/repo/src/mine/edge_collector.cc" "src/CMakeFiles/procmine_mine.dir/mine/edge_collector.cc.o" "gcc" "src/CMakeFiles/procmine_mine.dir/mine/edge_collector.cc.o.d"
+  "/root/repo/src/mine/fsm_baseline.cc" "src/CMakeFiles/procmine_mine.dir/mine/fsm_baseline.cc.o" "gcc" "src/CMakeFiles/procmine_mine.dir/mine/fsm_baseline.cc.o.d"
+  "/root/repo/src/mine/general_dag_miner.cc" "src/CMakeFiles/procmine_mine.dir/mine/general_dag_miner.cc.o" "gcc" "src/CMakeFiles/procmine_mine.dir/mine/general_dag_miner.cc.o.d"
+  "/root/repo/src/mine/incremental.cc" "src/CMakeFiles/procmine_mine.dir/mine/incremental.cc.o" "gcc" "src/CMakeFiles/procmine_mine.dir/mine/incremental.cc.o.d"
+  "/root/repo/src/mine/metrics.cc" "src/CMakeFiles/procmine_mine.dir/mine/metrics.cc.o" "gcc" "src/CMakeFiles/procmine_mine.dir/mine/metrics.cc.o.d"
+  "/root/repo/src/mine/miner.cc" "src/CMakeFiles/procmine_mine.dir/mine/miner.cc.o" "gcc" "src/CMakeFiles/procmine_mine.dir/mine/miner.cc.o.d"
+  "/root/repo/src/mine/model_diff.cc" "src/CMakeFiles/procmine_mine.dir/mine/model_diff.cc.o" "gcc" "src/CMakeFiles/procmine_mine.dir/mine/model_diff.cc.o.d"
+  "/root/repo/src/mine/noise.cc" "src/CMakeFiles/procmine_mine.dir/mine/noise.cc.o" "gcc" "src/CMakeFiles/procmine_mine.dir/mine/noise.cc.o.d"
+  "/root/repo/src/mine/performance.cc" "src/CMakeFiles/procmine_mine.dir/mine/performance.cc.o" "gcc" "src/CMakeFiles/procmine_mine.dir/mine/performance.cc.o.d"
+  "/root/repo/src/mine/reconstruct.cc" "src/CMakeFiles/procmine_mine.dir/mine/reconstruct.cc.o" "gcc" "src/CMakeFiles/procmine_mine.dir/mine/reconstruct.cc.o.d"
+  "/root/repo/src/mine/relations.cc" "src/CMakeFiles/procmine_mine.dir/mine/relations.cc.o" "gcc" "src/CMakeFiles/procmine_mine.dir/mine/relations.cc.o.d"
+  "/root/repo/src/mine/sequential_patterns.cc" "src/CMakeFiles/procmine_mine.dir/mine/sequential_patterns.cc.o" "gcc" "src/CMakeFiles/procmine_mine.dir/mine/sequential_patterns.cc.o.d"
+  "/root/repo/src/mine/special_dag_miner.cc" "src/CMakeFiles/procmine_mine.dir/mine/special_dag_miner.cc.o" "gcc" "src/CMakeFiles/procmine_mine.dir/mine/special_dag_miner.cc.o.d"
+  "/root/repo/src/mine/trace.cc" "src/CMakeFiles/procmine_mine.dir/mine/trace.cc.o" "gcc" "src/CMakeFiles/procmine_mine.dir/mine/trace.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/procmine_workflow.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/procmine_classify.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/procmine_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/procmine_log.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/procmine_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/synth/log_generator.cc" "src/CMakeFiles/procmine_synth.dir/synth/log_generator.cc.o" "gcc" "src/CMakeFiles/procmine_synth.dir/synth/log_generator.cc.o.d"
+  "/root/repo/src/synth/noise_injector.cc" "src/CMakeFiles/procmine_synth.dir/synth/noise_injector.cc.o" "gcc" "src/CMakeFiles/procmine_synth.dir/synth/noise_injector.cc.o.d"
+  "/root/repo/src/synth/random_dag.cc" "src/CMakeFiles/procmine_synth.dir/synth/random_dag.cc.o" "gcc" "src/CMakeFiles/procmine_synth.dir/synth/random_dag.cc.o.d"
+  "/root/repo/src/synth/structured_process.cc" "src/CMakeFiles/procmine_synth.dir/synth/structured_process.cc.o" "gcc" "src/CMakeFiles/procmine_synth.dir/synth/structured_process.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/procmine_workflow.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/procmine_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/procmine_log.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/procmine_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/procmine_synth.dir/synth/log_generator.cc.o"
+  "CMakeFiles/procmine_synth.dir/synth/log_generator.cc.o.d"
+  "CMakeFiles/procmine_synth.dir/synth/noise_injector.cc.o"
+  "CMakeFiles/procmine_synth.dir/synth/noise_injector.cc.o.d"
+  "CMakeFiles/procmine_synth.dir/synth/random_dag.cc.o"
+  "CMakeFiles/procmine_synth.dir/synth/random_dag.cc.o.d"
+  "CMakeFiles/procmine_synth.dir/synth/structured_process.cc.o"
+  "CMakeFiles/procmine_synth.dir/synth/structured_process.cc.o.d"
+  "libprocmine_synth.a"
+  "libprocmine_synth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/procmine_synth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for procmine_synth.
+# This may be replaced when dependencies are built.

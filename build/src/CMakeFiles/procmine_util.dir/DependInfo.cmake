@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/util/coding.cc" "src/CMakeFiles/procmine_util.dir/util/coding.cc.o" "gcc" "src/CMakeFiles/procmine_util.dir/util/coding.cc.o.d"
+  "/root/repo/src/util/crc32c.cc" "src/CMakeFiles/procmine_util.dir/util/crc32c.cc.o" "gcc" "src/CMakeFiles/procmine_util.dir/util/crc32c.cc.o.d"
+  "/root/repo/src/util/logging.cc" "src/CMakeFiles/procmine_util.dir/util/logging.cc.o" "gcc" "src/CMakeFiles/procmine_util.dir/util/logging.cc.o.d"
+  "/root/repo/src/util/random.cc" "src/CMakeFiles/procmine_util.dir/util/random.cc.o" "gcc" "src/CMakeFiles/procmine_util.dir/util/random.cc.o.d"
+  "/root/repo/src/util/status.cc" "src/CMakeFiles/procmine_util.dir/util/status.cc.o" "gcc" "src/CMakeFiles/procmine_util.dir/util/status.cc.o.d"
+  "/root/repo/src/util/strings.cc" "src/CMakeFiles/procmine_util.dir/util/strings.cc.o" "gcc" "src/CMakeFiles/procmine_util.dir/util/strings.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

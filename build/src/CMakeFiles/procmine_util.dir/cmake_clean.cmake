@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/procmine_util.dir/util/coding.cc.o"
+  "CMakeFiles/procmine_util.dir/util/coding.cc.o.d"
+  "CMakeFiles/procmine_util.dir/util/crc32c.cc.o"
+  "CMakeFiles/procmine_util.dir/util/crc32c.cc.o.d"
+  "CMakeFiles/procmine_util.dir/util/logging.cc.o"
+  "CMakeFiles/procmine_util.dir/util/logging.cc.o.d"
+  "CMakeFiles/procmine_util.dir/util/random.cc.o"
+  "CMakeFiles/procmine_util.dir/util/random.cc.o.d"
+  "CMakeFiles/procmine_util.dir/util/status.cc.o"
+  "CMakeFiles/procmine_util.dir/util/status.cc.o.d"
+  "CMakeFiles/procmine_util.dir/util/strings.cc.o"
+  "CMakeFiles/procmine_util.dir/util/strings.cc.o.d"
+  "libprocmine_util.a"
+  "libprocmine_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/procmine_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workflow/condition.cc" "src/CMakeFiles/procmine_workflow.dir/workflow/condition.cc.o" "gcc" "src/CMakeFiles/procmine_workflow.dir/workflow/condition.cc.o.d"
+  "/root/repo/src/workflow/condition_parser.cc" "src/CMakeFiles/procmine_workflow.dir/workflow/condition_parser.cc.o" "gcc" "src/CMakeFiles/procmine_workflow.dir/workflow/condition_parser.cc.o.d"
+  "/root/repo/src/workflow/engine.cc" "src/CMakeFiles/procmine_workflow.dir/workflow/engine.cc.o" "gcc" "src/CMakeFiles/procmine_workflow.dir/workflow/engine.cc.o.d"
+  "/root/repo/src/workflow/fdl.cc" "src/CMakeFiles/procmine_workflow.dir/workflow/fdl.cc.o" "gcc" "src/CMakeFiles/procmine_workflow.dir/workflow/fdl.cc.o.d"
+  "/root/repo/src/workflow/process_definition.cc" "src/CMakeFiles/procmine_workflow.dir/workflow/process_definition.cc.o" "gcc" "src/CMakeFiles/procmine_workflow.dir/workflow/process_definition.cc.o.d"
+  "/root/repo/src/workflow/process_graph.cc" "src/CMakeFiles/procmine_workflow.dir/workflow/process_graph.cc.o" "gcc" "src/CMakeFiles/procmine_workflow.dir/workflow/process_graph.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/procmine_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/procmine_log.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/procmine_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/procmine_workflow.dir/workflow/condition.cc.o"
+  "CMakeFiles/procmine_workflow.dir/workflow/condition.cc.o.d"
+  "CMakeFiles/procmine_workflow.dir/workflow/condition_parser.cc.o"
+  "CMakeFiles/procmine_workflow.dir/workflow/condition_parser.cc.o.d"
+  "CMakeFiles/procmine_workflow.dir/workflow/engine.cc.o"
+  "CMakeFiles/procmine_workflow.dir/workflow/engine.cc.o.d"
+  "CMakeFiles/procmine_workflow.dir/workflow/fdl.cc.o"
+  "CMakeFiles/procmine_workflow.dir/workflow/fdl.cc.o.d"
+  "CMakeFiles/procmine_workflow.dir/workflow/process_definition.cc.o"
+  "CMakeFiles/procmine_workflow.dir/workflow/process_definition.cc.o.d"
+  "CMakeFiles/procmine_workflow.dir/workflow/process_graph.cc.o"
+  "CMakeFiles/procmine_workflow.dir/workflow/process_graph.cc.o.d"
+  "libprocmine_workflow.a"
+  "libprocmine_workflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/procmine_workflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libprocmine_workflow.a"
+)

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/activity_dictionary_test.dir/activity_dictionary_test.cc.o"
+  "CMakeFiles/activity_dictionary_test.dir/activity_dictionary_test.cc.o.d"
+  "activity_dictionary_test"
+  "activity_dictionary_test.pdb"
+  "activity_dictionary_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/activity_dictionary_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

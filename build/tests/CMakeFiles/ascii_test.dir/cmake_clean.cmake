@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ascii_test.dir/ascii_test.cc.o"
+  "CMakeFiles/ascii_test.dir/ascii_test.cc.o.d"
+  "ascii_test"
+  "ascii_test.pdb"
+  "ascii_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ascii_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/binary_log_test.dir/binary_log_test.cc.o"
+  "CMakeFiles/binary_log_test.dir/binary_log_test.cc.o.d"
+  "binary_log_test"
+  "binary_log_test.pdb"
+  "binary_log_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/binary_log_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/coding_test.cc" "tests/CMakeFiles/coding_test.dir/coding_test.cc.o" "gcc" "tests/CMakeFiles/coding_test.dir/coding_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/procmine_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/procmine_mine.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/procmine_classify.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/procmine_flowmark.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/procmine_workflow.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/procmine_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/procmine_log.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/procmine_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

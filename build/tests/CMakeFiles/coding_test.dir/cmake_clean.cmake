@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coding_test.dir/coding_test.cc.o"
+  "CMakeFiles/coding_test.dir/coding_test.cc.o.d"
+  "coding_test"
+  "coding_test.pdb"
+  "coding_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coding_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

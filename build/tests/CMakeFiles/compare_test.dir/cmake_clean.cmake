@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compare_test.dir/compare_test.cc.o"
+  "CMakeFiles/compare_test.dir/compare_test.cc.o.d"
+  "compare_test"
+  "compare_test.pdb"
+  "compare_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compare_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

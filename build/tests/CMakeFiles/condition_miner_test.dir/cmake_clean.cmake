@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/condition_miner_test.dir/condition_miner_test.cc.o"
+  "CMakeFiles/condition_miner_test.dir/condition_miner_test.cc.o.d"
+  "condition_miner_test"
+  "condition_miner_test.pdb"
+  "condition_miner_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/condition_miner_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

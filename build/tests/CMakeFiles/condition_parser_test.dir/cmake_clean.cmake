@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/condition_parser_test.dir/condition_parser_test.cc.o"
+  "CMakeFiles/condition_parser_test.dir/condition_parser_test.cc.o.d"
+  "condition_parser_test"
+  "condition_parser_test.pdb"
+  "condition_parser_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/condition_parser_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/condition_test.dir/condition_test.cc.o"
+  "CMakeFiles/condition_test.dir/condition_test.cc.o.d"
+  "condition_test"
+  "condition_test.pdb"
+  "condition_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/condition_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/conformance_test.dir/conformance_test.cc.o"
+  "CMakeFiles/conformance_test.dir/conformance_test.cc.o.d"
+  "conformance_test"
+  "conformance_test.pdb"
+  "conformance_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/conformance_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crc32c_test.dir/crc32c_test.cc.o"
+  "CMakeFiles/crc32c_test.dir/crc32c_test.cc.o.d"
+  "crc32c_test"
+  "crc32c_test.pdb"
+  "crc32c_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crc32c_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cyclic_miner_test.dir/cyclic_miner_test.cc.o"
+  "CMakeFiles/cyclic_miner_test.dir/cyclic_miner_test.cc.o.d"
+  "cyclic_miner_test"
+  "cyclic_miner_test.pdb"
+  "cyclic_miner_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cyclic_miner_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/decision_tree_test.dir/decision_tree_test.cc.o"
+  "CMakeFiles/decision_tree_test.dir/decision_tree_test.cc.o.d"
+  "decision_tree_test"
+  "decision_tree_test.pdb"
+  "decision_tree_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/decision_tree_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

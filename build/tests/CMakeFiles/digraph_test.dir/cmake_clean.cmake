@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/digraph_test.dir/digraph_test.cc.o"
+  "CMakeFiles/digraph_test.dir/digraph_test.cc.o.d"
+  "digraph_test"
+  "digraph_test.pdb"
+  "digraph_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/digraph_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edge_collector_test.dir/edge_collector_test.cc.o"
+  "CMakeFiles/edge_collector_test.dir/edge_collector_test.cc.o.d"
+  "edge_collector_test"
+  "edge_collector_test.pdb"
+  "edge_collector_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edge_collector_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/engine_agents_test.dir/engine_agents_test.cc.o"
+  "CMakeFiles/engine_agents_test.dir/engine_agents_test.cc.o.d"
+  "engine_agents_test"
+  "engine_agents_test.pdb"
+  "engine_agents_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/engine_agents_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/evaluation_test.dir/evaluation_test.cc.o"
+  "CMakeFiles/evaluation_test.dir/evaluation_test.cc.o.d"
+  "evaluation_test"
+  "evaluation_test.pdb"
+  "evaluation_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/evaluation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/event_log_test.dir/event_log_test.cc.o"
+  "CMakeFiles/event_log_test.dir/event_log_test.cc.o.d"
+  "event_log_test"
+  "event_log_test.pdb"
+  "event_log_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/event_log_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/execution_test.dir/execution_test.cc.o"
+  "CMakeFiles/execution_test.dir/execution_test.cc.o.d"
+  "execution_test"
+  "execution_test.pdb"
+  "execution_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/execution_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fdl_test.dir/fdl_test.cc.o"
+  "CMakeFiles/fdl_test.dir/fdl_test.cc.o.d"
+  "fdl_test"
+  "fdl_test.pdb"
+  "fdl_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fdl_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

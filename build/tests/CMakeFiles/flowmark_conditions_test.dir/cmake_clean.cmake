@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flowmark_conditions_test.dir/flowmark_conditions_test.cc.o"
+  "CMakeFiles/flowmark_conditions_test.dir/flowmark_conditions_test.cc.o.d"
+  "flowmark_conditions_test"
+  "flowmark_conditions_test.pdb"
+  "flowmark_conditions_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flowmark_conditions_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

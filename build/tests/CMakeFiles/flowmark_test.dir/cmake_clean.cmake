@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flowmark_test.dir/flowmark_test.cc.o"
+  "CMakeFiles/flowmark_test.dir/flowmark_test.cc.o.d"
+  "flowmark_test"
+  "flowmark_test.pdb"
+  "flowmark_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flowmark_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

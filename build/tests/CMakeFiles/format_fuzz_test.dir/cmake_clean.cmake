@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/format_fuzz_test.dir/format_fuzz_test.cc.o"
+  "CMakeFiles/format_fuzz_test.dir/format_fuzz_test.cc.o.d"
+  "format_fuzz_test"
+  "format_fuzz_test.pdb"
+  "format_fuzz_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/format_fuzz_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

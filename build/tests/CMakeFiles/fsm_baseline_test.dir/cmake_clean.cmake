@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fsm_baseline_test.dir/fsm_baseline_test.cc.o"
+  "CMakeFiles/fsm_baseline_test.dir/fsm_baseline_test.cc.o.d"
+  "fsm_baseline_test"
+  "fsm_baseline_test.pdb"
+  "fsm_baseline_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fsm_baseline_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

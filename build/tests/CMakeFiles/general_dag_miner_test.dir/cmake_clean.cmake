@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/general_dag_miner_test.dir/general_dag_miner_test.cc.o"
+  "CMakeFiles/general_dag_miner_test.dir/general_dag_miner_test.cc.o.d"
+  "general_dag_miner_test"
+  "general_dag_miner_test.pdb"
+  "general_dag_miner_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/general_dag_miner_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for general_dag_miner_test.
+# This may be replaced when dependencies are built.

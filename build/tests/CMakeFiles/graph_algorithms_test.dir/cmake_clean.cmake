@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graph_algorithms_test.dir/graph_algorithms_test.cc.o"
+  "CMakeFiles/graph_algorithms_test.dir/graph_algorithms_test.cc.o.d"
+  "graph_algorithms_test"
+  "graph_algorithms_test.pdb"
+  "graph_algorithms_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graph_algorithms_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

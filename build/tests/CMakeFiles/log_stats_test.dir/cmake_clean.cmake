@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/log_stats_test.dir/log_stats_test.cc.o"
+  "CMakeFiles/log_stats_test.dir/log_stats_test.cc.o.d"
+  "log_stats_test"
+  "log_stats_test.pdb"
+  "log_stats_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/log_stats_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/noise_estimate_test.dir/noise_estimate_test.cc.o"
+  "CMakeFiles/noise_estimate_test.dir/noise_estimate_test.cc.o.d"
+  "noise_estimate_test"
+  "noise_estimate_test.pdb"
+  "noise_estimate_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/noise_estimate_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

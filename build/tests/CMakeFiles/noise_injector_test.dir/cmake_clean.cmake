@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/noise_injector_test.dir/noise_injector_test.cc.o"
+  "CMakeFiles/noise_injector_test.dir/noise_injector_test.cc.o.d"
+  "noise_injector_test"
+  "noise_injector_test.pdb"
+  "noise_injector_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/noise_injector_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

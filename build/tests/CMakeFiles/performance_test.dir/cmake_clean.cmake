@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/performance_test.dir/performance_test.cc.o"
+  "CMakeFiles/performance_test.dir/performance_test.cc.o.d"
+  "performance_test"
+  "performance_test.pdb"
+  "performance_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/performance_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/process_definition_test.dir/process_definition_test.cc.o"
+  "CMakeFiles/process_definition_test.dir/process_definition_test.cc.o.d"
+  "process_definition_test"
+  "process_definition_test.pdb"
+  "process_definition_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/process_definition_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

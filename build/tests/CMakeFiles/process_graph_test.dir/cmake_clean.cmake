@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/process_graph_test.dir/process_graph_test.cc.o"
+  "CMakeFiles/process_graph_test.dir/process_graph_test.cc.o.d"
+  "process_graph_test"
+  "process_graph_test.pdb"
+  "process_graph_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/process_graph_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reader_writer_test.dir/reader_writer_test.cc.o"
+  "CMakeFiles/reader_writer_test.dir/reader_writer_test.cc.o.d"
+  "reader_writer_test"
+  "reader_writer_test.pdb"
+  "reader_writer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reader_writer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reconstruct_test.dir/reconstruct_test.cc.o"
+  "CMakeFiles/reconstruct_test.dir/reconstruct_test.cc.o.d"
+  "reconstruct_test"
+  "reconstruct_test.pdb"
+  "reconstruct_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reconstruct_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/relations_test.dir/relations_test.cc.o"
+  "CMakeFiles/relations_test.dir/relations_test.cc.o.d"
+  "relations_test"
+  "relations_test.pdb"
+  "relations_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/relations_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sequential_patterns_test.dir/sequential_patterns_test.cc.o"
+  "CMakeFiles/sequential_patterns_test.dir/sequential_patterns_test.cc.o.d"
+  "sequential_patterns_test"
+  "sequential_patterns_test.pdb"
+  "sequential_patterns_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sequential_patterns_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/special_dag_miner_test.dir/special_dag_miner_test.cc.o"
+  "CMakeFiles/special_dag_miner_test.dir/special_dag_miner_test.cc.o.d"
+  "special_dag_miner_test"
+  "special_dag_miner_test.pdb"
+  "special_dag_miner_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/special_dag_miner_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

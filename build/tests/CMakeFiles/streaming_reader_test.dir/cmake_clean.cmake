@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/streaming_reader_test.dir/streaming_reader_test.cc.o"
+  "CMakeFiles/streaming_reader_test.dir/streaming_reader_test.cc.o.d"
+  "streaming_reader_test"
+  "streaming_reader_test.pdb"
+  "streaming_reader_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/streaming_reader_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/strings_test.dir/strings_test.cc.o"
+  "CMakeFiles/strings_test.dir/strings_test.cc.o.d"
+  "strings_test"
+  "strings_test.pdb"
+  "strings_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/strings_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/structured_process_test.dir/structured_process_test.cc.o"
+  "CMakeFiles/structured_process_test.dir/structured_process_test.cc.o.d"
+  "structured_process_test"
+  "structured_process_test.pdb"
+  "structured_process_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/structured_process_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/transitive_reduction_test.dir/transitive_reduction_test.cc.o"
+  "CMakeFiles/transitive_reduction_test.dir/transitive_reduction_test.cc.o.d"
+  "transitive_reduction_test"
+  "transitive_reduction_test.pdb"
+  "transitive_reduction_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/transitive_reduction_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/procmine_cli.dir/procmine_cli.cc.o"
+  "CMakeFiles/procmine_cli.dir/procmine_cli.cc.o.d"
+  "procmine"
+  "procmine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/procmine_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
