@@ -46,6 +46,14 @@ inline bool QuickMode() {
   return env != nullptr && std::string(env) == "1";
 }
 
+/// Worker threads for the harnesses (PROCMINE_BENCH_THREADS=N; default 1 so
+/// the recorded tables stay comparable to the sequential baseline; 0 = all
+/// hardware threads).
+inline int BenchThreads() {
+  const char* env = std::getenv("PROCMINE_BENCH_THREADS");
+  return env == nullptr ? 1 : std::atoi(env);
+}
+
 }  // namespace procmine::bench
 
 #endif  // PROCMINE_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,110 @@
+// Thread-scaling harness for the sharded mining pipeline: runs the Table 1
+// synthetic workload (100-vertex random DAG at the paper-calibrated density,
+// full execution sweep) through GeneralDagMiner at threads in {1, 2, 4, 8},
+// verifies every run mines the identical edge set, and writes the timings to
+// BENCH_parallel.json so future sessions can track the scaling trajectory.
+//
+// The speedup column is only meaningful on a machine whose hardware
+// concurrency covers the thread axis; the JSON records the machine's
+// hardware_concurrency so readers can judge the numbers.
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "mine/general_dag_miner.h"
+#include "util/thread_pool.h"
+#include "util/timer.h"
+
+using namespace procmine;
+using namespace procmine::bench;
+
+namespace {
+
+constexpr int32_t kVertices = 100;
+
+struct Sample {
+  size_t executions;
+  int threads;
+  double seconds;
+  double speedup;  // vs the 1-thread run on the same workload
+  int64_t edges;
+};
+
+double MineOnce(const EventLog& log, int threads, int64_t* edges) {
+  GeneralDagMinerOptions options;
+  options.num_threads = threads;
+  StopWatch watch;
+  auto mined = GeneralDagMiner(options).Mine(log);
+  double seconds = watch.ElapsedSeconds();
+  PROCMINE_CHECK_OK(mined.status());
+  *edges = mined->graph().num_edges();
+  return seconds;
+}
+
+}  // namespace
+
+int main() {
+  std::vector<size_t> execution_axis = {100, 1000, 10000};
+  if (QuickMode()) execution_axis = {100, 1000};
+  const std::vector<int> thread_axis = {1, 2, 4, 8};
+  const int hardware = ThreadPool::HardwareConcurrency();
+
+  std::printf("Parallel scaling, %d-vertex Table 1 workload "
+              "(hardware concurrency: %d)\n",
+              kVertices, hardware);
+  std::printf("%-12s", "executions");
+  for (int t : thread_axis) std::printf(" | %4d thr (speedup)", t);
+  std::printf("\n");
+
+  std::vector<Sample> samples;
+  for (size_t m : execution_axis) {
+    SyntheticWorkload w =
+        MakeSyntheticWorkload(kVertices, m, /*seed=*/1000 + kVertices);
+    std::printf("%-12zu", m);
+    double baseline = 0.0;
+    int64_t baseline_edges = 0;
+    for (int threads : thread_axis) {
+      int64_t edges = 0;
+      double seconds = MineOnce(w.log, threads, &edges);
+      if (threads == 1) {
+        baseline = seconds;
+        baseline_edges = edges;
+      }
+      // Determinism spot check: every thread count mines the same model.
+      PROCMINE_CHECK_EQ(edges, baseline_edges);
+      double speedup = seconds > 0.0 ? baseline / seconds : 0.0;
+      samples.push_back(Sample{m, threads, seconds, speedup, edges});
+      std::printf(" | %8.3fs (%5.2fx)", seconds, speedup);
+      std::fflush(stdout);
+    }
+    std::printf("\n");
+  }
+
+  const char* out_path = "BENCH_parallel.json";
+  std::ofstream out(out_path);
+  out << "{\n"
+      << "  \"bench\": \"parallel_scaling\",\n"
+      << "  \"workload\": {\"vertices\": " << kVertices
+      << ", \"density\": \"paper\", \"seed\": " << (1000 + kVertices)
+      << "},\n"
+      << "  \"hardware_concurrency\": " << hardware << ",\n"
+      << "  \"quick_mode\": " << (QuickMode() ? "true" : "false") << ",\n"
+      << "  \"results\": [\n";
+  for (size_t i = 0; i < samples.size(); ++i) {
+    const Sample& s = samples[i];
+    char line[256];
+    std::snprintf(line, sizeof(line),
+                  "    {\"executions\": %zu, \"threads\": %d, "
+                  "\"seconds\": %.6f, \"speedup\": %.3f, \"edges\": %lld}%s\n",
+                  s.executions, s.threads, s.seconds, s.speedup,
+                  static_cast<long long>(s.edges),
+                  i + 1 == samples.size() ? "" : ",");
+    out << line;
+  }
+  out << "  ]\n}\n";
+  std::printf("\nwrote %s\n", out_path);
+  return 0;
+}

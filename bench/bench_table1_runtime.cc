@@ -38,8 +38,10 @@ int main() {
           MakeSyntheticWorkload(n, m, /*seed=*/1000 + n);
       log_bytes[row][col] = LogWriter::SerializedBytes(w.log);
 
+      GeneralDagMinerOptions miner_options;
+      miner_options.num_threads = BenchThreads();
       StopWatch watch;
-      auto mined = GeneralDagMiner().Mine(w.log);
+      auto mined = GeneralDagMiner(miner_options).Mine(w.log);
       double seconds = watch.ElapsedSeconds();
       PROCMINE_CHECK_OK(mined.status());
       std::printf(" | %9.3f", seconds);

@@ -95,6 +95,35 @@ Result<EventLog> EventLog::FromEvents(const std::vector<Event>& events) {
   return log;
 }
 
+std::vector<ExecutionSpan> EventLog::Shards(size_t num_shards) const {
+  std::vector<ExecutionSpan> spans;
+  const size_t m = executions_.size();
+  if (m == 0 || num_shards == 0) return spans;
+  num_shards = std::min(num_shards, m);
+  // Greedy sweep: close a shard once it holds its proportional share of the
+  // remaining instances, or once the tail must become one-execution shards.
+  // Every shard ends up with at least one execution.
+  int64_t remaining = TotalInstances();
+  size_t begin = 0;
+  int64_t acc = 0;
+  size_t shards_left = num_shards;
+  for (size_t i = 0; i < m && shards_left > 1; ++i) {
+    acc += static_cast<int64_t>(executions_[i].size());
+    const size_t execs_left = m - (i + 1);
+    const bool quota_met =
+        acc * static_cast<int64_t>(shards_left) >= remaining;
+    if (quota_met || execs_left == shards_left - 1) {
+      spans.push_back(ExecutionSpan{begin, i + 1});
+      begin = i + 1;
+      remaining -= acc;
+      acc = 0;
+      --shards_left;
+    }
+  }
+  spans.push_back(ExecutionSpan{begin, m});
+  return spans;
+}
+
 int64_t EventLog::TotalInstances() const {
   int64_t n = 0;
   for (const Execution& e : executions_) n += static_cast<int64_t>(e.size());

@@ -14,6 +14,13 @@
 
 namespace procmine {
 
+/// A contiguous range of execution indices [begin, end) — the unit of work
+/// the parallel mining paths hand to one thread-pool shard.
+struct ExecutionSpan {
+  size_t begin = 0;
+  size_t end = 0;
+};
+
 /// A log of m executions of one process, with a shared activity dictionary.
 class EventLog {
  public:
@@ -45,6 +52,13 @@ class EventLog {
 
   /// Number of distinct activities seen.
   ActivityId num_activities() const { return dict_.size(); }
+
+  /// Contiguous [begin, end) execution-index ranges covering the whole log,
+  /// balanced by total instance count so parallel shards get comparable
+  /// work even when execution lengths are skewed. Returns at most
+  /// `num_shards` non-empty spans (fewer when the log is small); shard
+  /// boundaries are deterministic for a given (log, num_shards).
+  std::vector<ExecutionSpan> Shards(size_t num_shards) const;
 
   /// Total number of activity instances across all executions (each instance
   /// is two raw events).

@@ -1,35 +1,87 @@
 #include "mine/cyclic_miner.h"
 
+#include <memory>
+
 #include "mine/general_dag_miner.h"
 #include "util/strings.h"
+#include "util/thread_pool.h"
 
 namespace procmine {
 
+EventLog CyclicMiner::LabelOccurrences(
+    const EventLog& log, std::vector<ActivityId>* labeled_to_base) {
+  return LabelOccurrences(log, labeled_to_base, nullptr);
+}
+
 EventLog CyclicMiner::LabelOccurrences(const EventLog& log,
-                                       std::vector<ActivityId>* labeled_to_base) {
+                                       std::vector<ActivityId>* labeled_to_base,
+                                       ThreadPool* pool) {
   EventLog labeled;
-  std::vector<int64_t> occurrence(static_cast<size_t>(log.num_activities()));
+  const size_t n = static_cast<size_t>(log.num_activities());
+
+  // Pass 1 (sequential, integer-only): intern the labels "A#1", "A#2", ...
+  // in first-encounter order — the same order a per-instance Intern() walk
+  // would produce, so labeled ids are stable across thread counts.
+  // label_ids[a][k-1] is the labeled id of the k-th occurrence of a.
+  std::vector<std::vector<ActivityId>> label_ids(n);
+  std::vector<int64_t> occurrence(n, 0);
+  std::vector<size_t> touched;
   for (const Execution& exec : log.executions()) {
-    std::fill(occurrence.begin(), occurrence.end(), 0);
-    Execution out(exec.name());
+    touched.clear();
     for (const ActivityInstance& inst : exec.instances()) {
-      int64_t k = ++occurrence[static_cast<size_t>(inst.activity)];
-      std::string name = StrFormat(
-          "%s#%lld", log.dictionary().Name(inst.activity).c_str(),
-          static_cast<long long>(k));
-      ActivityId labeled_id = labeled.dictionary().Intern(name);
-      if (labeled_to_base != nullptr) {
-        if (static_cast<size_t>(labeled_id) >= labeled_to_base->size()) {
-          labeled_to_base->resize(static_cast<size_t>(labeled_id) + 1, -1);
+      size_t a = static_cast<size_t>(inst.activity);
+      if (occurrence[a] == 0) touched.push_back(a);
+      size_t k = static_cast<size_t>(++occurrence[a]);
+      if (k > label_ids[a].size()) {
+        std::string name = StrFormat(
+            "%s#%lld", log.dictionary().Name(inst.activity).c_str(),
+            static_cast<long long>(k));
+        ActivityId labeled_id = labeled.dictionary().Intern(name);
+        label_ids[a].push_back(labeled_id);
+        if (labeled_to_base != nullptr) {
+          if (static_cast<size_t>(labeled_id) >= labeled_to_base->size()) {
+            labeled_to_base->resize(static_cast<size_t>(labeled_id) + 1, -1);
+          }
+          (*labeled_to_base)[static_cast<size_t>(labeled_id)] = inst.activity;
         }
-        (*labeled_to_base)[static_cast<size_t>(labeled_id)] = inst.activity;
       }
-      ActivityInstance copy = inst;
-      copy.activity = labeled_id;
-      out.Append(std::move(copy));
     }
-    labeled.AddExecution(std::move(out));
+    for (size_t a : touched) occurrence[a] = 0;
   }
+
+  // Pass 2 (parallel): rewrite each execution against the fixed label table.
+  // Executions are independent, and the output slot order is the log order,
+  // so the labeled log is byte-identical for any shard count.
+  std::vector<Execution> out(log.num_executions());
+  std::vector<ExecutionSpan> spans = log.Shards(
+      pool == nullptr ? 1 : static_cast<size_t>(pool->num_threads()));
+  auto relabel_span = [&log, &label_ids, &out, n](ExecutionSpan span) {
+    std::vector<int64_t> occ(n, 0);
+    std::vector<size_t> local_touched;
+    for (size_t e = span.begin; e < span.end; ++e) {
+      const Execution& exec = log.execution(e);
+      Execution rewritten(exec.name());
+      local_touched.clear();
+      for (const ActivityInstance& inst : exec.instances()) {
+        size_t a = static_cast<size_t>(inst.activity);
+        if (occ[a] == 0) local_touched.push_back(a);
+        size_t k = static_cast<size_t>(++occ[a]);
+        ActivityInstance copy = inst;
+        copy.activity = label_ids[a][k - 1];
+        rewritten.Append(std::move(copy));
+      }
+      for (size_t a : local_touched) occ[a] = 0;
+      out[e] = std::move(rewritten);
+    }
+  };
+  if (pool != nullptr && spans.size() > 1) {
+    pool->ParallelFor(spans.size(), [&](size_t, size_t begin, size_t end) {
+      for (size_t s = begin; s < end; ++s) relabel_span(spans[s]);
+    });
+  } else {
+    for (const ExecutionSpan& span : spans) relabel_span(span);
+  }
+  for (Execution& exec : out) labeled.AddExecution(std::move(exec));
   return labeled;
 }
 
@@ -38,13 +90,18 @@ Result<ProcessGraph> CyclicMiner::Mine(const EventLog& log) const {
     return Status::InvalidArgument("log is empty");
   }
 
+  const int num_threads = ResolveThreadCount(options_.num_threads);
+  std::unique_ptr<ThreadPool> pool;
+  if (num_threads > 1) pool = std::make_unique<ThreadPool>(num_threads);
+
   // Steps 2-3: uniquely label each occurrence.
   std::vector<ActivityId> labeled_to_base;
-  EventLog labeled = LabelOccurrences(log, &labeled_to_base);
+  EventLog labeled = LabelOccurrences(log, &labeled_to_base, pool.get());
 
   // Steps 3-7: the Algorithm 2 machinery on the labeled (repeat-free) log.
   GeneralDagMinerOptions general_options;
   general_options.noise_threshold = options_.noise_threshold;
+  general_options.num_threads = num_threads;
   GeneralDagMiner general(general_options);
   PROCMINE_ASSIGN_OR_RETURN(ProcessGraph labeled_graph, general.Mine(labeled));
 

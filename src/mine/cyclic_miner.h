@@ -20,9 +20,15 @@
 
 namespace procmine {
 
+class ThreadPool;
+
 struct CyclicMinerOptions {
   /// Noise threshold forwarded to the labeled Algorithm 2 run.
   int64_t noise_threshold = 1;
+  /// Worker threads for the labeling pass and the labeled Algorithm 2 run.
+  /// 1 = sequential reference path; <= 0 = hardware concurrency. The mined
+  /// graph is byte-identical for every thread count.
+  int num_threads = 1;
 };
 
 /// Mines a (possibly cyclic) conformal graph via instance labeling.
@@ -38,6 +44,14 @@ class CyclicMiner {
   /// parallel map from labeled ActivityId to original ActivityId.
   static EventLog LabelOccurrences(const EventLog& log,
                                    std::vector<ActivityId>* labeled_to_base);
+
+  /// Sharded variant: the label dictionary is built in one cheap sequential
+  /// integer pass (preserving first-encounter interning order), then the
+  /// executions are rewritten in parallel shards. Byte-identical to the
+  /// sequential path for any thread count. `pool` may be null (sequential).
+  static EventLog LabelOccurrences(const EventLog& log,
+                                   std::vector<ActivityId>* labeled_to_base,
+                                   ThreadPool* pool);
 
  private:
   CyclicMinerOptions options_;

@@ -1,36 +1,70 @@
 #include "mine/edge_collector.h"
 
+#include <algorithm>
+#include <unordered_set>
 #include <vector>
 
 #include "graph/algorithms.h"
+#include "util/thread_pool.h"
 
 namespace procmine {
 
-EdgeCounts CollectPrecedenceEdges(const EventLog& log) {
-  EdgeCounts counts;
-  // Per-execution dedup set so an edge counts at most once per execution
-  // (what the Section 6 threshold semantics need).
-  std::unordered_map<uint64_t, size_t> last_seen_in;
-  size_t exec_index = 0;
-  for (const Execution& exec : log.executions()) {
-    ++exec_index;  // 1-based so the map's default 0 means "never"
-    const auto& instances = exec.instances();
-    for (size_t i = 0; i < instances.size(); ++i) {
-      for (size_t j = 0; j < instances.size(); ++j) {
-        if (i == j) continue;
-        if (instances[i].end < instances[j].start) {
-          uint64_t key =
-              PackEdge(instances[i].activity, instances[j].activity);
-          size_t& seen = last_seen_in[key];
-          if (seen != exec_index) {
-            seen = exec_index;
-            ++counts[key];
-          }
-        }
+namespace {
+
+// Counts the precedence edges of executions [span.begin, span.end) into
+// `counts`. Instances are ordered by start time, so for a fixed instance i
+// the partners j with start(j) > end(i) form a suffix of the instance list:
+// binary-search its first index instead of scanning all pairs. (Only j > i
+// can qualify: start(j) <= start(i) <= end(i) for j <= i.) A per-execution
+// dedup set keeps the once-per-execution counting semantics of Section 6.
+void CollectSpan(const EventLog& log, ExecutionSpan span, EdgeCounts* counts) {
+  std::unordered_set<uint64_t> seen_this_exec;
+  for (size_t e = span.begin; e < span.end; ++e) {
+    const auto& instances = log.execution(e).instances();
+    const size_t k = instances.size();
+    seen_this_exec.clear();
+    for (size_t i = 0; i < k; ++i) {
+      const int64_t end_i = instances[i].end;
+      auto first = std::partition_point(
+          instances.begin() + static_cast<ptrdiff_t>(i) + 1, instances.end(),
+          [end_i](const ActivityInstance& x) { return x.start <= end_i; });
+      for (auto it = first; it != instances.end(); ++it) {
+        uint64_t key = PackEdge(instances[i].activity, it->activity);
+        if (seen_this_exec.insert(key).second) ++(*counts)[key];
       }
     }
   }
-  return counts;
+}
+
+}  // namespace
+
+EdgeCounts CollectPrecedenceEdges(const EventLog& log) {
+  return CollectPrecedenceEdges(log, nullptr);
+}
+
+EdgeCounts CollectPrecedenceEdges(const EventLog& log, ThreadPool* pool) {
+  std::vector<ExecutionSpan> spans =
+      log.Shards(pool == nullptr ? 1 : static_cast<size_t>(pool->num_threads()));
+  if (spans.empty()) return EdgeCounts();
+  std::vector<EdgeCounts> shard_counts(spans.size());
+  if (pool != nullptr && spans.size() > 1) {
+    pool->ParallelFor(spans.size(), [&](size_t, size_t begin, size_t end) {
+      for (size_t s = begin; s < end; ++s) {
+        CollectSpan(log, spans[s], &shard_counts[s]);
+      }
+    });
+  } else {
+    for (size_t s = 0; s < spans.size(); ++s) {
+      CollectSpan(log, spans[s], &shard_counts[s]);
+    }
+  }
+  // Reduce: each shard counted disjoint executions, so summing the per-edge
+  // counters reproduces the sequential totals for any shard count.
+  EdgeCounts merged = std::move(shard_counts[0]);
+  for (size_t s = 1; s < shard_counts.size(); ++s) {
+    for (const auto& [key, count] : shard_counts[s]) merged[key] += count;
+  }
+  return merged;
 }
 
 DirectedGraph BuildPrecedenceGraph(const EdgeCounts& counts, NodeId num_nodes,

@@ -17,12 +17,23 @@
 
 namespace procmine {
 
+class ThreadPool;
+
 /// Precedence-edge counters: counts[PackEdge(u,v)] = number of executions in
 /// which some instance of u terminates before some instance of v starts.
 using EdgeCounts = std::unordered_map<uint64_t, int64_t>;
 
-/// Scans the log once and counts precedence edges. O(sum of len^2).
+/// Scans the log once and counts precedence edges. Instances are sorted by
+/// start time, so each instance binary-searches the first partner that
+/// starts after it ends: O(sum of k log k + qualifying pairs) per log.
 EdgeCounts CollectPrecedenceEdges(const EventLog& log);
+
+/// Sharded variant: executions are split into per-thread shards counted
+/// independently, then the per-edge counters are summed. Executions are
+/// disjoint across shards, so the totals (and the once-per-execution dedup
+/// semantics) are identical to the sequential path for any shard count.
+/// `pool` may be null (sequential).
+EdgeCounts CollectPrecedenceEdges(const EventLog& log, ThreadPool* pool);
 
 /// Materializes the step-2 graph over `num_nodes` vertices, keeping edges
 /// with count >= threshold (threshold 1 = no noise filtering).

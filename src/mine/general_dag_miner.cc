@@ -1,6 +1,7 @@
 #include "mine/general_dag_miner.h"
 
 #include <algorithm>
+#include <memory>
 #include <unordered_map>
 #include <unordered_set>
 
@@ -8,8 +9,55 @@
 #include "graph/transitive_reduction.h"
 #include "mine/edge_collector.h"
 #include "util/strings.h"
+#include "util/thread_pool.h"
 
 namespace procmine {
+
+namespace {
+
+// Steps 5-6 map phase for one shard: transitively reduce each execution's
+// induced subgraph and collect the surviving edges. Each shard keeps its own
+// memo table; the marked-edge sets merge by union, which is order-independent,
+// so the result is identical for any shard count.
+Status MarkReductionEdges(const EventLog& log, const DirectedGraph& g,
+                          ExecutionSpan span, bool memoize,
+                          std::unordered_set<uint64_t>* marked) {
+  // Memo key: the sorted activity set, serialized as raw id bytes.
+  std::unordered_map<std::string, std::vector<Edge>> memo;
+  for (size_t e = span.begin; e < span.end; ++e) {
+    const Execution& exec = log.execution(e);
+    std::vector<NodeId> present = exec.Sequence();
+    std::sort(present.begin(), present.end());
+
+    const std::vector<Edge>* reduction_edges = nullptr;
+    std::vector<Edge> computed;
+    std::string key;
+    if (memoize) {
+      key.assign(reinterpret_cast<const char*>(present.data()),
+                 present.size() * sizeof(NodeId));
+      auto it = memo.find(key);
+      if (it != memo.end()) reduction_edges = &it->second;
+    }
+    if (reduction_edges == nullptr) {
+      DirectedGraph induced = InducedSubgraph(g, present);
+      Result<DirectedGraph> reduced = TransitiveReduction(induced);
+      if (!reduced.ok()) return reduced.status();
+      computed = reduced->Edges();
+      if (memoize) {
+        reduction_edges = &memo.emplace(std::move(key), std::move(computed))
+                               .first->second;
+      } else {
+        reduction_edges = &computed;
+      }
+    }
+    for (const Edge& edge : *reduction_edges) {
+      marked->insert(PackEdge(edge.from, edge.to));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
 
 Result<ProcessGraph> GeneralDagMiner::Mine(const EventLog& log) const {
   const NodeId n = log.num_activities();
@@ -30,8 +78,12 @@ Result<ProcessGraph> GeneralDagMiner::Mine(const EventLog& log) const {
     }
   }
 
+  const int num_threads = ResolveThreadCount(options_.num_threads);
+  std::unique_ptr<ThreadPool> pool;
+  if (num_threads > 1) pool = std::make_unique<ThreadPool>(num_threads);
+
   // Steps 1-2: precedence edges with counts; threshold applies here.
-  EdgeCounts counts = CollectPrecedenceEdges(log);
+  EdgeCounts counts = CollectPrecedenceEdges(log, pool.get());
   DirectedGraph g = BuildPrecedenceGraph(counts, n, options_.noise_threshold);
 
   // Step 3: both-direction edges.
@@ -43,37 +95,31 @@ Result<ProcessGraph> GeneralDagMiner::Mine(const EventLog& log) const {
 
   // Steps 5-6: keep exactly the edges needed by at least one execution —
   // those in the transitive reduction of the execution's induced subgraph.
-  std::unordered_set<uint64_t> marked;
-  // Memo key: the sorted activity set, serialized as raw id bytes.
-  std::unordered_map<std::string, std::vector<Edge>> memo;
-  for (const Execution& exec : log.executions()) {
-    std::vector<NodeId> present = exec.Sequence();
-    std::sort(present.begin(), present.end());
-
-    const std::vector<Edge>* reduction_edges = nullptr;
-    std::vector<Edge> computed;
-    std::string key;
-    if (options_.memoize_reductions) {
-      key.assign(reinterpret_cast<const char*>(present.data()),
-                 present.size() * sizeof(NodeId));
-      auto it = memo.find(key);
-      if (it != memo.end()) reduction_edges = &it->second;
-    }
-    if (reduction_edges == nullptr) {
-      DirectedGraph induced = InducedSubgraph(g, present);
-      PROCMINE_ASSIGN_OR_RETURN(DirectedGraph reduced,
-                                TransitiveReduction(induced));
-      computed = reduced.Edges();
-      if (options_.memoize_reductions) {
-        reduction_edges = &memo.emplace(std::move(key), std::move(computed))
-                               .first->second;
-      } else {
-        reduction_edges = &computed;
+  std::vector<ExecutionSpan> spans = log.Shards(
+      pool == nullptr ? 1 : static_cast<size_t>(pool->num_threads()));
+  std::vector<std::unordered_set<uint64_t>> shard_marked(spans.size());
+  std::vector<Status> shard_status(spans.size());
+  if (pool != nullptr && spans.size() > 1) {
+    pool->ParallelFor(spans.size(), [&](size_t, size_t begin, size_t end) {
+      for (size_t s = begin; s < end; ++s) {
+        shard_status[s] =
+            MarkReductionEdges(log, g, spans[s], options_.memoize_reductions,
+                               &shard_marked[s]);
       }
+    });
+  } else {
+    for (size_t s = 0; s < spans.size(); ++s) {
+      shard_status[s] =
+          MarkReductionEdges(log, g, spans[s], options_.memoize_reductions,
+                             &shard_marked[s]);
     }
-    for (const Edge& e : *reduction_edges) {
-      marked.insert(PackEdge(e.from, e.to));
-    }
+  }
+  for (const Status& st : shard_status) {
+    if (!st.ok()) return st;  // first failure by shard order: deterministic
+  }
+  std::unordered_set<uint64_t> marked = std::move(shard_marked[0]);
+  for (size_t s = 1; s < shard_marked.size(); ++s) {
+    marked.insert(shard_marked[s].begin(), shard_marked[s].end());
   }
 
   DirectedGraph result(n);

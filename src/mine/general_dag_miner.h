@@ -29,7 +29,13 @@ struct GeneralDagMinerOptions {
   /// Memoize the per-execution transitive reductions keyed by the induced
   /// activity set (executions repeat heavily in real logs; the reduction
   /// only depends on the set, not the order). Ablated in bench_micro.
+  /// Under num_threads > 1 each shard keeps its own memo table.
   bool memoize_reductions = true;
+  /// Worker threads for the sharded per-execution passes (edge collection
+  /// and the step 5-6 transitive reductions). 1 = sequential reference
+  /// path; <= 0 = hardware concurrency. The mined graph is byte-identical
+  /// for every thread count.
+  int num_threads = 1;
 };
 
 /// Mines a conformal DAG from a general acyclic log.

@@ -35,16 +35,19 @@ Result<ProcessGraph> ProcessMiner::Mine(const EventLog& log) const {
     case MinerAlgorithm::kSpecialDag: {
       SpecialDagMinerOptions opts;
       opts.noise_threshold = options_.noise_threshold;
+      opts.num_threads = options_.num_threads;
       return SpecialDagMiner(opts).Mine(log);
     }
     case MinerAlgorithm::kGeneralDag: {
       GeneralDagMinerOptions opts;
       opts.noise_threshold = options_.noise_threshold;
+      opts.num_threads = options_.num_threads;
       return GeneralDagMiner(opts).Mine(log);
     }
     case MinerAlgorithm::kCyclic: {
       CyclicMinerOptions opts;
       opts.noise_threshold = options_.noise_threshold;
+      opts.num_threads = options_.num_threads;
       return CyclicMiner(opts).Mine(log);
     }
     case MinerAlgorithm::kAuto:

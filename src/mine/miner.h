@@ -31,6 +31,12 @@ struct MinerOptions {
   MinerAlgorithm algorithm = MinerAlgorithm::kAuto;
   /// Section 6 noise threshold T (minimum executions per edge); 1 keeps all.
   int64_t noise_threshold = 1;
+  /// Worker threads for the sharded per-execution mining passes. 1 (the
+  /// default) runs the sequential reference path; <= 0 selects hardware
+  /// concurrency. Every thread count produces a byte-identical model: the
+  /// shard merges (bitset OR, counter sum, marked-set union) are
+  /// order-independent by construction.
+  int num_threads = 1;
 };
 
 /// High-level mining entry point.

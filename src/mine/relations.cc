@@ -3,32 +3,38 @@
 #include <algorithm>
 
 #include "graph/algorithms.h"
+#include "util/thread_pool.h"
 
 namespace procmine {
 
-Relations Relations::Compute(const EventLog& log) {
-  const NodeId n = log.num_activities();
-  // For each ordered pair (a, b): did they co-occur, and was "b starts after
-  // a terminates" ever violated while co-occurring?
-  std::vector<bool> cooccur(static_cast<size_t>(n) * static_cast<size_t>(n),
-                            false);
-  std::vector<bool> violated(static_cast<size_t>(n) * static_cast<size_t>(n),
-                             false);
-  auto idx = [n](ActivityId a, ActivityId b) {
-    return static_cast<size_t>(a) * static_cast<size_t>(n) +
-           static_cast<size_t>(b);
-  };
+namespace {
 
+// Per-shard accumulator for the map phase: one n-bit row per activity for
+// co-occurrence and for "b starts after a terminates" violations. Rows from
+// different shards merge by word-wise OR, so the reduce is order-independent
+// and the result is identical for every shard count.
+struct RelationShard {
+  std::vector<DynamicBitset> cooccur;
+  std::vector<DynamicBitset> violated;
+};
+
+void ComputeShard(const EventLog& log, ExecutionSpan span, size_t n,
+                  RelationShard* shard) {
+  shard->cooccur.assign(n, DynamicBitset(n));
+  shard->violated.assign(n, DynamicBitset(n));
   // Per execution: extent (first start, last end) of each present activity.
-  std::vector<int64_t> first_start(static_cast<size_t>(n));
-  std::vector<int64_t> last_end(static_cast<size_t>(n));
-  std::vector<bool> present(static_cast<size_t>(n));
-  for (const Execution& exec : log.executions()) {
-    std::fill(present.begin(), present.end(), false);
+  std::vector<int64_t> first_start(n);
+  std::vector<int64_t> last_end(n);
+  std::vector<bool> present(n, false);
+  std::vector<size_t> touched;
+  for (size_t e = span.begin; e < span.end; ++e) {
+    const Execution& exec = log.execution(e);
+    touched.clear();
     for (const ActivityInstance& inst : exec.instances()) {
       size_t a = static_cast<size_t>(inst.activity);
       if (!present[a]) {
         present[a] = true;
+        touched.push_back(a);
         first_start[a] = inst.start;
         last_end[a] = inst.end;
       } else {
@@ -36,27 +42,63 @@ Relations Relations::Compute(const EventLog& log) {
         last_end[a] = std::max(last_end[a], inst.end);
       }
     }
-    for (ActivityId a = 0; a < n; ++a) {
-      if (!present[static_cast<size_t>(a)]) continue;
-      for (ActivityId b = 0; b < n; ++b) {
-        if (a == b || !present[static_cast<size_t>(b)]) continue;
-        cooccur[idx(a, b)] = true;
+    // Only the activities present in this execution can gain bits, so the
+    // pair loop is O(p^2) in the execution's activity count, not O(n^2).
+    for (size_t a : touched) {
+      for (size_t b : touched) {
+        if (a == b) continue;
+        shard->cooccur[a].Set(b);
         // "B starts after A terminates" must hold in each co-occurrence for
         // b to (directly) follow a.
-        if (!(first_start[static_cast<size_t>(b)] >
-              last_end[static_cast<size_t>(a)])) {
-          violated[idx(a, b)] = true;
-        }
+        if (!(first_start[b] > last_end[a])) shard->violated[a].Set(b);
       }
+    }
+    for (size_t a : touched) present[a] = false;
+  }
+}
+
+}  // namespace
+
+Relations Relations::Compute(const EventLog& log) {
+  return Compute(log, nullptr);
+}
+
+Relations Relations::Compute(const EventLog& log, ThreadPool* pool) {
+  const NodeId n = log.num_activities();
+  const size_t un = static_cast<size_t>(n);
+
+  // Map: one accumulator per shard, filled independently.
+  std::vector<ExecutionSpan> spans =
+      log.Shards(pool == nullptr ? 1 : static_cast<size_t>(pool->num_threads()));
+  if (spans.empty()) spans.push_back(ExecutionSpan{0, 0});
+  std::vector<RelationShard> shards(spans.size());
+  if (pool != nullptr && spans.size() > 1) {
+    pool->ParallelFor(spans.size(), [&](size_t, size_t begin, size_t end) {
+      for (size_t s = begin; s < end; ++s) {
+        ComputeShard(log, spans[s], un, &shards[s]);
+      }
+    });
+  } else {
+    for (size_t s = 0; s < spans.size(); ++s) {
+      ComputeShard(log, spans[s], un, &shards[s]);
     }
   }
 
+  // Reduce: OR the shard rows together, then keep = cooccur AND NOT violated.
   Relations rel;
   rel.followings_ = DirectedGraph(n);
-  for (ActivityId a = 0; a < n; ++a) {
-    for (ActivityId b = 0; b < n; ++b) {
-      if (a != b && cooccur[idx(a, b)] && !violated[idx(a, b)]) {
-        rel.followings_.AddEdge(a, b);  // b follows a (directly)
+  for (size_t a = 0; a < un; ++a) {
+    DynamicBitset keep = std::move(shards[0].cooccur[a]);
+    DynamicBitset violated = std::move(shards[0].violated[a]);
+    for (size_t s = 1; s < shards.size(); ++s) {
+      keep.OrWith(shards[s].cooccur[a]);
+      violated.OrWith(shards[s].violated[a]);
+    }
+    keep.AndNotWith(violated);
+    for (size_t b = 0; b < un; ++b) {
+      if (keep.Test(b)) {
+        rel.followings_.AddEdge(static_cast<NodeId>(a),
+                                static_cast<NodeId>(b));  // b follows a
       }
     }
   }

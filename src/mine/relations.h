@@ -15,6 +15,8 @@
 
 namespace procmine {
 
+class ThreadPool;
+
 /// Follows/depends/independent relations over a log's activities.
 ///
 /// Computed for repeat-free (acyclic-process) logs: for executions with
@@ -22,8 +24,15 @@ namespace procmine {
 /// (last end of A vs first start of B).
 class Relations {
  public:
-  /// One O(n^2) pass per execution plus one transitive closure.
+  /// One O(p^2) pass per execution (p = activities present) plus one
+  /// transitive closure.
   static Relations Compute(const EventLog& log);
+
+  /// Sharded variant: executions are split into per-thread shards whose
+  /// co-occurrence/violation bitset rows merge by word-wise OR, so the
+  /// result is byte-identical to the sequential path for any shard count.
+  /// `pool` may be null (sequential).
+  static Relations Compute(const EventLog& log, ThreadPool* pool);
 
   /// Definition 3: B follows A (directly or through intermediaries).
   bool Follows(ActivityId b, ActivityId a) const {

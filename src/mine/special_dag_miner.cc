@@ -1,8 +1,11 @@
 #include "mine/special_dag_miner.h"
 
+#include <memory>
+
 #include "graph/transitive_reduction.h"
 #include "mine/edge_collector.h"
 #include "util/strings.h"
+#include "util/thread_pool.h"
 
 namespace procmine {
 
@@ -35,7 +38,10 @@ Result<ProcessGraph> SpecialDagMiner::Mine(const EventLog& log) const {
   }
 
   // Steps 1-2: one pass over the log, collecting precedence edges.
-  EdgeCounts counts = CollectPrecedenceEdges(log);
+  const int num_threads = ResolveThreadCount(options_.num_threads);
+  std::unique_ptr<ThreadPool> pool;
+  if (num_threads > 1) pool = std::make_unique<ThreadPool>(num_threads);
+  EdgeCounts counts = CollectPrecedenceEdges(log, pool.get());
   DirectedGraph g = BuildPrecedenceGraph(counts, n, options_.noise_threshold);
 
   // Step 3: edges observed in both directions belong to independent

@@ -27,6 +27,10 @@ struct SpecialDagMinerOptions {
   /// execution does not contain every activity exactly once — the algorithm
   /// is only correct under that assumption (use GeneralDagMiner otherwise).
   bool enforce_exactly_once = true;
+  /// Worker threads for the sharded edge-collection pass. 1 = sequential
+  /// reference path; <= 0 = hardware concurrency. The mined graph is
+  /// byte-identical for every thread count.
+  int num_threads = 1;
 };
 
 /// Mines the unique minimal conformal graph of a special-DAG log.

@@ -50,6 +50,18 @@ class DynamicBitset {
     for (size_t i = 0; i < words_.size(); ++i) words_[i] |= other.words_[i];
   }
 
+  /// this &= other. Sizes must match.
+  void AndWith(const DynamicBitset& other) {
+    PROCMINE_DCHECK(size_ == other.size_);
+    for (size_t i = 0; i < words_.size(); ++i) words_[i] &= other.words_[i];
+  }
+
+  /// this &= ~other. Sizes must match.
+  void AndNotWith(const DynamicBitset& other) {
+    PROCMINE_DCHECK(size_ == other.size_);
+    for (size_t i = 0; i < words_.size(); ++i) words_[i] &= ~other.words_[i];
+  }
+
   /// True iff this and other share any set bit.
   bool Intersects(const DynamicBitset& other) const {
     PROCMINE_DCHECK(size_ == other.size_);

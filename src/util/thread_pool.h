@@ -1,0 +1,77 @@
+// ThreadPool: a small fixed-size worker pool for the sharded mining paths.
+//
+// The mining algorithms are all "map over executions, reduce with an
+// order-independent merge" (bitset OR, counter sum, set union), so the only
+// primitive needed is a chunked ParallelFor over an index range. The pool is
+// deliberately minimal:
+//
+//  * A pool of size 1 spawns no threads at all and runs everything inline —
+//    that path is byte-for-byte the sequential reference implementation.
+//  * ParallelFor splits [0, total) into num_threads() contiguous shards and
+//    hands each shard to fn(shard, begin, end). The calling thread executes
+//    the first shard itself.
+//  * Exceptions thrown by any shard are captured and the first one (by shard
+//    index) is rethrown on the calling thread after all shards finished, so
+//    a throwing shard can never leak a detached worker.
+
+#ifndef PROCMINE_UTIL_THREAD_POOL_H_
+#define PROCMINE_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace procmine {
+
+/// Fixed worker pool with a chunked, exception-safe ParallelFor.
+class ThreadPool {
+ public:
+  /// Shard body: fn(shard_index, begin, end) processes items [begin, end).
+  using ShardFn = std::function<void(size_t shard, size_t begin, size_t end)>;
+
+  /// Creates a pool of `num_threads` workers (clamped to >= 1). A pool of
+  /// size 1 spawns no threads; `num_threads <= 0` means hardware concurrency.
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_threads() const { return num_threads_; }
+
+  /// std::thread::hardware_concurrency(), never less than 1.
+  static int HardwareConcurrency();
+
+  /// Runs fn over [0, total) split into num_threads() contiguous shards.
+  /// Blocks until every shard finished; rethrows the lowest-shard-index
+  /// exception if any shard threw. Empty shards are not invoked.
+  void ParallelFor(size_t total, const ShardFn& fn);
+
+ private:
+  struct Task {
+    std::function<void()> body;
+  };
+
+  void WorkerLoop();
+  void Submit(std::function<void()> body);
+
+  int num_threads_;
+  std::vector<std::thread> workers_;
+
+  std::mutex mu_;
+  std::condition_variable work_available_;
+  std::vector<Task> queue_;
+  bool shutting_down_ = false;
+};
+
+/// Maps a user-facing thread-count knob to an effective pool size:
+/// `requested <= 0` selects hardware concurrency, anything else is taken
+/// as-is (values above the hardware count are allowed; useful for tests).
+int ResolveThreadCount(int requested);
+
+}  // namespace procmine
+
+#endif  // PROCMINE_UTIL_THREAD_POOL_H_

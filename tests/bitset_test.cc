@@ -57,6 +57,34 @@ TEST(DynamicBitsetTest, OrWith) {
   EXPECT_FALSE(b.Test(1));
 }
 
+TEST(DynamicBitsetTest, AndWith) {
+  DynamicBitset a(70), b(70);
+  a.Set(1);
+  a.Set(65);
+  b.Set(65);
+  b.Set(2);
+  a.AndWith(b);
+  EXPECT_FALSE(a.Test(1));
+  EXPECT_FALSE(a.Test(2));
+  EXPECT_TRUE(a.Test(65));
+  EXPECT_EQ(a.Count(), 1u);
+}
+
+TEST(DynamicBitsetTest, AndNotWith) {
+  DynamicBitset a(70), b(70);
+  a.Set(1);
+  a.Set(65);
+  b.Set(65);
+  b.Set(2);
+  a.AndNotWith(b);
+  EXPECT_TRUE(a.Test(1));
+  EXPECT_FALSE(a.Test(2));
+  EXPECT_FALSE(a.Test(65));
+  EXPECT_EQ(a.Count(), 1u);
+  // b unchanged.
+  EXPECT_EQ(b.Count(), 2u);
+}
+
 TEST(DynamicBitsetTest, Intersects) {
   DynamicBitset a(128), b(128);
   a.Set(100);

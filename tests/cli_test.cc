@@ -4,6 +4,8 @@
 
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <array>
 #include <cstdio>
 #include <fstream>
@@ -34,7 +36,9 @@ CommandResult RunCli(const std::string& args) {
 class CliTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    dir_ = ::testing::TempDir() + "/cli_test";
+    // Keyed by pid: ctest -j runs each test in its own process, and a shared
+    // directory would let one test rewrite demo.log while another reads it.
+    dir_ = ::testing::TempDir() + "/cli_test_" + std::to_string(getpid());
     std::string mkdir = "mkdir -p " + dir_;
     ASSERT_EQ(std::system(mkdir.c_str()), 0);
     log_path_ = dir_ + "/demo.log";

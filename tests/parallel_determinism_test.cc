@@ -1,0 +1,180 @@
+// Regression: the sharded mining pipeline must be byte-identical to the
+// sequential reference path for every thread count. For seeds x miners x
+// threads in {1, 2, 4, 7}, the mined edge set, the noise (edge) counters,
+// and the Relations bitsets must equal the single-threaded result.
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "mine/cyclic_miner.h"
+#include "mine/edge_collector.h"
+#include "mine/miner.h"
+#include "mine/relations.h"
+#include "synth/log_generator.h"
+#include "synth/random_dag.h"
+#include "util/random.h"
+#include "util/thread_pool.h"
+
+namespace procmine {
+namespace {
+
+const int kThreadAxis[] = {2, 4, 7};
+const uint64_t kSeeds[] = {1, 7, 42};
+
+ProcessGraph TruthDag(uint64_t seed) {
+  RandomDagOptions options;
+  options.num_activities = 24;
+  options.edge_density = PaperEdgeDensity(options.num_activities);
+  options.seed = seed;
+  return GenerateRandomDag(options);
+}
+
+// A log with repeated activities for the cyclic miner: random sequences
+// over a small alphabet, lengths 5-40, instantaneous instances.
+EventLog RandomCyclicLog(uint64_t seed) {
+  Rng rng(seed);
+  const int kAlphabet = 12;
+  std::vector<std::vector<std::string>> sequences;
+  for (int e = 0; e < 60; ++e) {
+    size_t len = static_cast<size_t>(rng.UniformRange(5, 40));
+    std::vector<std::string> seq;
+    seq.reserve(len);
+    for (size_t i = 0; i < len; ++i) {
+      seq.push_back(std::string(1, static_cast<char>(
+                                       'A' + rng.Uniform(kAlphabet))));
+    }
+    sequences.push_back(std::move(seq));
+  }
+  return EventLog::FromSequences(sequences);
+}
+
+ProcessGraph MineOrDie(const EventLog& log, MinerAlgorithm algorithm,
+                       int threads) {
+  MinerOptions options;
+  options.algorithm = algorithm;
+  options.num_threads = threads;
+  auto mined = ProcessMiner(options).Mine(log);
+  EXPECT_TRUE(mined.ok()) << mined.status().ToString();
+  return mined.MoveValueOrDie();
+}
+
+void ExpectIdenticalAcrossThreads(const EventLog& log,
+                                  MinerAlgorithm algorithm,
+                                  const std::string& label) {
+  ProcessGraph reference = MineOrDie(log, algorithm, /*threads=*/1);
+  EdgeCounts reference_counts = CollectPrecedenceEdges(log);
+  for (int threads : kThreadAxis) {
+    ProcessGraph parallel = MineOrDie(log, algorithm, threads);
+    EXPECT_TRUE(parallel.graph() == reference.graph())
+        << label << " differs at threads=" << threads;
+    EXPECT_EQ(parallel.graph().Edges(), reference.graph().Edges())
+        << label << " edge list differs at threads=" << threads;
+
+    ThreadPool pool(threads);
+    EdgeCounts parallel_counts = CollectPrecedenceEdges(log, &pool);
+    EXPECT_EQ(parallel_counts, reference_counts)
+        << label << " noise counters differ at threads=" << threads;
+  }
+}
+
+TEST(ParallelDeterminismTest, SpecialDagMiner) {
+  for (uint64_t seed : kSeeds) {
+    ProcessGraph truth = TruthDag(seed);
+    auto log = GenerateLinearExtensionLog(truth, /*num_executions=*/80,
+                                          seed * 31 + 5);
+    ASSERT_TRUE(log.ok()) << log.status().ToString();
+    ExpectIdenticalAcrossThreads(
+        *log, MinerAlgorithm::kSpecialDag,
+        "special seed=" + std::to_string(seed));
+  }
+}
+
+TEST(ParallelDeterminismTest, GeneralDagMiner) {
+  for (uint64_t seed : kSeeds) {
+    ProcessGraph truth = TruthDag(seed);
+    WalkLogOptions options;
+    options.num_executions = 120;
+    options.seed = seed * 17 + 3;
+    auto log = GenerateWalkLog(truth, options);
+    ASSERT_TRUE(log.ok()) << log.status().ToString();
+    ExpectIdenticalAcrossThreads(
+        *log, MinerAlgorithm::kGeneralDag,
+        "general seed=" + std::to_string(seed));
+  }
+}
+
+TEST(ParallelDeterminismTest, CyclicMiner) {
+  for (uint64_t seed : kSeeds) {
+    EventLog log = RandomCyclicLog(seed);
+    ExpectIdenticalAcrossThreads(log, MinerAlgorithm::kCyclic,
+                                 "cyclic seed=" + std::to_string(seed));
+  }
+}
+
+TEST(ParallelDeterminismTest, CyclicLabelingIsByteIdentical) {
+  for (uint64_t seed : kSeeds) {
+    EventLog log = RandomCyclicLog(seed);
+    std::vector<ActivityId> base_map_seq;
+    EventLog labeled_seq = CyclicMiner::LabelOccurrences(log, &base_map_seq);
+    for (int threads : kThreadAxis) {
+      ThreadPool pool(threads);
+      std::vector<ActivityId> base_map_par;
+      EventLog labeled_par =
+          CyclicMiner::LabelOccurrences(log, &base_map_par, &pool);
+      ASSERT_EQ(base_map_par, base_map_seq);
+      ASSERT_EQ(labeled_par.num_executions(), labeled_seq.num_executions());
+      ASSERT_EQ(labeled_par.dictionary().names(),
+                labeled_seq.dictionary().names());
+      for (size_t e = 0; e < labeled_seq.num_executions(); ++e) {
+        const Execution& a = labeled_par.execution(e);
+        const Execution& b = labeled_seq.execution(e);
+        ASSERT_EQ(a.name(), b.name());
+        ASSERT_EQ(a.Sequence(), b.Sequence());
+      }
+    }
+  }
+}
+
+TEST(ParallelDeterminismTest, RelationsMatchSequential) {
+  for (uint64_t seed : kSeeds) {
+    ProcessGraph truth = TruthDag(seed);
+    WalkLogOptions options;
+    options.num_executions = 100;
+    options.seed = seed + 11;
+    auto log = GenerateWalkLog(truth, options);
+    ASSERT_TRUE(log.ok()) << log.status().ToString();
+    Relations reference = Relations::Compute(*log);
+    for (int threads : kThreadAxis) {
+      ThreadPool pool(threads);
+      Relations parallel = Relations::Compute(*log, &pool);
+      EXPECT_TRUE(parallel.followings_graph() == reference.followings_graph())
+          << "followings differ at threads=" << threads;
+      EXPECT_EQ(parallel.AllDependencies(), reference.AllDependencies())
+          << "dependencies differ at threads=" << threads;
+    }
+  }
+}
+
+// The shard view itself: spans must partition [0, m) in order.
+TEST(ParallelDeterminismTest, ShardsPartitionTheLog) {
+  for (uint64_t seed : kSeeds) {
+    EventLog log = RandomCyclicLog(seed);
+    for (size_t shards : {1u, 2u, 3u, 7u, 100u, 1000u}) {
+      std::vector<ExecutionSpan> spans = log.Shards(shards);
+      ASSERT_FALSE(spans.empty());
+      EXPECT_LE(spans.size(), std::min(shards, log.num_executions()));
+      size_t expect_begin = 0;
+      for (const ExecutionSpan& span : spans) {
+        EXPECT_EQ(span.begin, expect_begin);
+        EXPECT_LT(span.begin, span.end);
+        expect_begin = span.end;
+      }
+      EXPECT_EQ(expect_begin, log.num_executions());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace procmine

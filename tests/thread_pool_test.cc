@@ -1,0 +1,88 @@
+#include "util/thread_pool.h"
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace procmine {
+namespace {
+
+TEST(ThreadPoolTest, SingleThreadRunsInline) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.num_threads(), 1);
+  std::vector<int> hits(10, 0);
+  pool.ParallelFor(10, [&](size_t shard, size_t begin, size_t end) {
+    EXPECT_EQ(shard, 0u);
+    EXPECT_EQ(begin, 0u);
+    EXPECT_EQ(end, 10u);
+    for (size_t i = begin; i < end; ++i) ++hits[i];
+  });
+  for (int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(ThreadPoolTest, ShardsCoverRangeExactlyOnce) {
+  for (int threads : {2, 3, 4, 7, 8}) {
+    ThreadPool pool(threads);
+    for (size_t total : {0u, 1u, 2u, 5u, 64u, 1000u}) {
+      std::vector<std::atomic<int>> hits(total);
+      for (auto& h : hits) h = 0;
+      pool.ParallelFor(total, [&](size_t, size_t begin, size_t end) {
+        EXPECT_LT(begin, end);  // empty shards must not be invoked
+        for (size_t i = begin; i < end; ++i) ++hits[i];
+      });
+      for (size_t i = 0; i < total; ++i) {
+        EXPECT_EQ(hits[i].load(), 1) << "total=" << total << " i=" << i;
+      }
+    }
+  }
+}
+
+TEST(ThreadPoolTest, ParallelSumMatchesSequential) {
+  ThreadPool pool(4);
+  std::vector<int64_t> values(10000);
+  std::iota(values.begin(), values.end(), 1);
+  std::vector<int64_t> partial(4, 0);
+  pool.ParallelFor(values.size(), [&](size_t shard, size_t begin, size_t end) {
+    int64_t sum = 0;
+    for (size_t i = begin; i < end; ++i) sum += values[i];
+    partial[shard] = sum;
+  });
+  int64_t total = 0;
+  for (int64_t p : partial) total += p;
+  EXPECT_EQ(total, int64_t{10000} * 10001 / 2);
+}
+
+TEST(ThreadPoolTest, ExceptionPropagatesToCaller) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.ParallelFor(100,
+                       [&](size_t, size_t begin, size_t) {
+                         if (begin == 0) throw std::runtime_error("boom");
+                       }),
+      std::runtime_error);
+  // The pool must stay usable after a throwing ParallelFor.
+  std::atomic<int> count{0};
+  pool.ParallelFor(100, [&](size_t, size_t begin, size_t end) {
+    count += static_cast<int>(end - begin);
+  });
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPoolTest, ResolveThreadCount) {
+  EXPECT_EQ(ResolveThreadCount(1), 1);
+  EXPECT_EQ(ResolveThreadCount(7), 7);
+  EXPECT_EQ(ResolveThreadCount(0), ThreadPool::HardwareConcurrency());
+  EXPECT_EQ(ResolveThreadCount(-3), ThreadPool::HardwareConcurrency());
+  EXPECT_GE(ThreadPool::HardwareConcurrency(), 1);
+}
+
+TEST(ThreadPoolTest, AutoThreadCountSpawnsHardwareConcurrency) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.num_threads(), ThreadPool::HardwareConcurrency());
+}
+
+}  // namespace
+}  // namespace procmine

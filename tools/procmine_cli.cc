@@ -1,7 +1,8 @@
 // procmine — command-line front end.
 //
 //   procmine mine <log> [--algorithm=auto|special|general|cyclic]
-//                       [--threshold=N|auto] [--dot=FILE] [--conditions]
+//                       [--threshold=N|auto] [--threads=N|auto]
+//                       [--dot=FILE] [--conditions]
 //   procmine check <log> --model=EDGEFILE      conformance of a model
 //   procmine diff <log> --model=EDGEFILE       designed-vs-mined diff
 //   procmine stats <log>                       log statistics + validation
@@ -139,13 +140,23 @@ Result<MinerOptions> MinerOptionsFromArgs(const Args& args,
     PROCMINE_ASSIGN_OR_RETURN(options.noise_threshold,
                               ParseInt64(threshold));
   }
+  // Default: all hardware threads. The model is byte-identical for any
+  // thread count; --threads=1 forces the sequential reference path.
+  std::string threads = args.Get("threads", "auto");
+  if (threads == "auto") {
+    options.num_threads = 0;  // 0 = hardware concurrency
+  } else {
+    PROCMINE_ASSIGN_OR_RETURN(int64_t parsed, ParseInt64(threads));
+    options.num_threads = static_cast<int>(parsed);
+  }
   return options;
 }
 
 int CommandMine(const Args& args) {
   if (args.positional.empty()) {
     std::cerr << "usage: procmine mine <log> [--algorithm=...] "
-                 "[--threshold=N|auto] [--dot=FILE] [--conditions]\n";
+                 "[--threshold=N|auto] [--threads=N|auto] [--dot=FILE] "
+                 "[--conditions]\n";
     return 2;
   }
   auto log = ReadLogAuto(args.positional[0]);
@@ -589,7 +600,10 @@ void PrintUsage() {
       "procmine: mining process models from workflow logs\n"
       "commands:\n"
       "  mine <log> [--algorithm=...] [--threshold=N|auto] [--dot=FILE]\n"
-      "             [--ascii] [--conditions [--fdl=FILE]]\n"
+      "             [--threads=N|auto] [--ascii] [--conditions [--fdl=FILE]]\n"
+      "             (--threads: worker threads for the sharded mining\n"
+      "              passes; auto = all hardware threads, 1 = sequential;\n"
+      "              the mined model is identical for every thread count)\n"
       "  check <log> --model=EDGEFILE\n"
       "  diff <log> --model=EDGEFILE\n"
       "  stats <log>\n"
