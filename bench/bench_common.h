@@ -8,10 +8,12 @@
 #include <string>
 
 #include "log/event_log.h"
+#include "obs/trace.h"
 #include "synth/log_generator.h"
 #include "synth/random_dag.h"
 #include "util/logging.h"
 #include "util/status.h"
+#include "util/strings.h"
 
 namespace procmine::bench {
 
@@ -52,6 +54,37 @@ inline bool QuickMode() {
 inline int BenchThreads() {
   const char* env = std::getenv("PROCMINE_BENCH_THREADS");
   return env == nullptr ? 1 : std::atoi(env);
+}
+
+/// Whether to record per-phase span breakdowns into the BENCH_*.json outputs
+/// (PROCMINE_BENCH_PHASES=1). Off by default so the headline timings measure
+/// the uninstrumented pipeline.
+inline bool PhaseMode() {
+  const char* env = std::getenv("PROCMINE_BENCH_PHASES");
+  return env != nullptr && std::string(env) == "1";
+}
+
+/// Enables span recording and clears previously recorded spans; call before
+/// the measured region when PhaseMode() is on.
+inline void ResetPhaseSpans() {
+  obs::SetTracingEnabled(true);
+  obs::TraceRecorder::Get().Reset();
+}
+
+/// The spans recorded since ResetPhaseSpans(), aggregated per name, as a
+/// JSON object fragment: {"edges.collect": {"count": 2, "ms": 1.5}, ...}.
+inline std::string PhaseTotalsJson() {
+  std::string out = "{";
+  bool first = true;
+  for (const obs::SpanStats& s : obs::TraceRecorder::Get().Stats()) {
+    out += StrFormat("%s\"%s\": {\"count\": %lld, \"ms\": %.3f}",
+                     first ? "" : ", ", s.name.c_str(),
+                     static_cast<long long>(s.count),
+                     static_cast<double>(s.total_ns) / 1e6);
+    first = false;
+  }
+  out += "}";
+  return out;
 }
 
 }  // namespace procmine::bench

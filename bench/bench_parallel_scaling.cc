@@ -31,16 +31,20 @@ struct Sample {
   double seconds;
   double speedup;  // vs the 1-thread run on the same workload
   int64_t edges;
+  std::string phases_json;  // empty unless PROCMINE_BENCH_PHASES=1
 };
 
-double MineOnce(const EventLog& log, int threads, int64_t* edges) {
+double MineOnce(const EventLog& log, int threads, int64_t* edges,
+                std::string* phases_json) {
   GeneralDagMinerOptions options;
   options.num_threads = threads;
+  if (PhaseMode()) ResetPhaseSpans();
   StopWatch watch;
   auto mined = GeneralDagMiner(options).Mine(log);
   double seconds = watch.ElapsedSeconds();
   PROCMINE_CHECK_OK(mined.status());
   *edges = mined->graph().num_edges();
+  if (PhaseMode()) *phases_json = PhaseTotalsJson();
   return seconds;
 }
 
@@ -68,7 +72,8 @@ int main() {
     int64_t baseline_edges = 0;
     for (int threads : thread_axis) {
       int64_t edges = 0;
-      double seconds = MineOnce(w.log, threads, &edges);
+      std::string phases_json;
+      double seconds = MineOnce(w.log, threads, &edges, &phases_json);
       if (threads == 1) {
         baseline = seconds;
         baseline_edges = edges;
@@ -76,7 +81,8 @@ int main() {
       // Determinism spot check: every thread count mines the same model.
       PROCMINE_CHECK_EQ(edges, baseline_edges);
       double speedup = seconds > 0.0 ? baseline / seconds : 0.0;
-      samples.push_back(Sample{m, threads, seconds, speedup, edges});
+      samples.push_back(
+          Sample{m, threads, seconds, speedup, edges, phases_json});
       std::printf(" | %8.3fs (%5.2fx)", seconds, speedup);
       std::fflush(stdout);
     }
@@ -98,11 +104,12 @@ int main() {
     char line[256];
     std::snprintf(line, sizeof(line),
                   "    {\"executions\": %zu, \"threads\": %d, "
-                  "\"seconds\": %.6f, \"speedup\": %.3f, \"edges\": %lld}%s\n",
+                  "\"seconds\": %.6f, \"speedup\": %.3f, \"edges\": %lld",
                   s.executions, s.threads, s.seconds, s.speedup,
-                  static_cast<long long>(s.edges),
-                  i + 1 == samples.size() ? "" : ",");
+                  static_cast<long long>(s.edges));
     out << line;
+    if (!s.phases_json.empty()) out << ", \"phases\": " << s.phases_json;
+    out << "}" << (i + 1 == samples.size() ? "" : ",") << "\n";
   }
   out << "  ]\n}\n";
   std::printf("\nwrote %s\n", out_path);

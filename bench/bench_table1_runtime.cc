@@ -6,6 +6,8 @@
 // paper's note on 46-107 MB logs at 10000 executions.
 
 #include <cstdio>
+#include <fstream>
+#include <string>
 #include <vector>
 
 #include "bench_common.h"
@@ -28,6 +30,7 @@ int main() {
 
   std::vector<std::vector<int64_t>> log_bytes(
       execution_axis.size(), std::vector<int64_t>(vertex_axis.size(), 0));
+  std::string cells_json;  // one JSON record per (executions, vertices) cell
 
   for (size_t row = 0; row < execution_axis.size(); ++row) {
     size_t m = execution_axis[row];
@@ -40,15 +43,32 @@ int main() {
 
       GeneralDagMinerOptions miner_options;
       miner_options.num_threads = BenchThreads();
+      if (PhaseMode()) ResetPhaseSpans();
       StopWatch watch;
       auto mined = GeneralDagMiner(miner_options).Mine(w.log);
       double seconds = watch.ElapsedSeconds();
       PROCMINE_CHECK_OK(mined.status());
       std::printf(" | %9.3f", seconds);
       std::fflush(stdout);
+
+      cells_json += StrFormat(
+          "%s    {\"executions\": %zu, \"vertices\": %d, \"seconds\": %.6f",
+          cells_json.empty() ? "" : ",\n", m, n, seconds);
+      if (PhaseMode()) {
+        cells_json += ", \"phases\": " + PhaseTotalsJson();
+      }
+      cells_json += "}";
     }
     std::printf("\n");
   }
+
+  std::ofstream json("BENCH_table1.json");
+  json << "{\n  \"bench\": \"table1_runtime\",\n  \"threads\": "
+       << BenchThreads() << ",\n  \"quick_mode\": "
+       << (QuickMode() ? "true" : "false") << ",\n  \"phases_recorded\": "
+       << (PhaseMode() ? "true" : "false") << ",\n  \"results\": [\n"
+       << cells_json << "\n  ]\n}\n";
+  std::printf("wrote BENCH_table1.json\n");
 
   std::printf("\nLog sizes (MB of text serialization):\n");
   std::printf("%-12s", "executions");

@@ -1,0 +1,24 @@
+#!/bin/sh
+# Builds the suite under ThreadSanitizer and runs the tests that exercise
+# the concurrent machinery: the obs metrics/span recorders, the thread
+# pool, and the parallel-determinism sweep. Run whenever the parallel
+# pipeline or src/obs/ changes.
+#
+# Usage: scripts/tsan-verify.sh [build-dir]   (default: build-tsan)
+
+set -eu
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build-tsan}"
+
+cmake -B "$BUILD_DIR" -S . \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DPROCMINE_SANITIZE=thread \
+  -DPROCMINE_BUILD_BENCHMARKS=OFF \
+  -DPROCMINE_BUILD_EXAMPLES=OFF
+cmake --build "$BUILD_DIR" -j \
+  --target obs_metrics_test obs_trace_test thread_pool_test \
+           parallel_determinism_test
+
+ctest --test-dir "$BUILD_DIR" --output-on-failure \
+  -R 'Obs|ThreadPool|ParallelDeterminism'

@@ -3,6 +3,8 @@
 #include <fstream>
 #include <sstream>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/coding.h"
 #include "util/crc32c.h"
 #include "util/strings.h"
@@ -134,12 +136,19 @@ Status WriteBinaryLogFile(const EventLog& log, const std::string& path) {
 }
 
 Result<EventLog> ReadBinaryLogFile(const std::string& path) {
+  PROCMINE_SPAN("log.read_binary");
   std::ifstream file(path, std::ios::binary);
   if (!file) return Status::IOError("cannot open: " + path);
   std::ostringstream buffer;
   buffer << file.rdbuf();
   if (file.bad()) return Status::IOError("read failed: " + path);
-  return DecodeBinaryLog(buffer.str());
+  Result<EventLog> log = DecodeBinaryLog(buffer.str());
+  if (log.ok()) {
+    static obs::Counter* read =
+        obs::MetricsRegistry::Get().GetCounter("log.executions_read");
+    read->Add(static_cast<int64_t>(log->num_executions()));
+  }
+  return log;
 }
 
 }  // namespace procmine

@@ -3,6 +3,9 @@
 #include <fstream>
 #include <sstream>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/logging.h"
 #include "util/strings.h"
 
 namespace procmine {
@@ -69,12 +72,22 @@ Result<EventLog> LogReader::ReadString(const std::string& text) {
 }
 
 Result<EventLog> LogReader::ReadFile(const std::string& path) {
+  PROCMINE_SPAN("log.read_text");
   std::ifstream file(path);
   if (!file) return Status::IOError("cannot open: " + path);
   std::ostringstream buffer;
   buffer << file.rdbuf();
   if (file.bad()) return Status::IOError("read failed: " + path);
-  return ReadString(buffer.str());
+  Result<EventLog> log = ReadString(buffer.str());
+  if (log.ok()) {
+    static obs::Counter* read =
+        obs::MetricsRegistry::Get().GetCounter("log.executions_read");
+    read->Add(static_cast<int64_t>(log->num_executions()));
+    PROCMINE_LOG(Debug) << "read " << log->num_executions()
+                        << " executions over " << log->num_activities()
+                        << " activities from " << path;
+  }
+  return log;
 }
 
 }  // namespace procmine

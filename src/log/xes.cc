@@ -4,6 +4,8 @@
 #include <fstream>
 #include <sstream>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/strings.h"
 
 namespace procmine {
@@ -299,12 +301,19 @@ Status WriteXesFile(const EventLog& log, const std::string& path) {
 }
 
 Result<EventLog> ReadXesFile(const std::string& path) {
+  PROCMINE_SPAN("log.read_xes");
   std::ifstream file(path);
   if (!file) return Status::IOError("cannot open: " + path);
   std::ostringstream buffer;
   buffer << file.rdbuf();
   if (file.bad()) return Status::IOError("read failed: " + path);
-  return FromXes(buffer.str());
+  Result<EventLog> log = FromXes(buffer.str());
+  if (log.ok()) {
+    static obs::Counter* read =
+        obs::MetricsRegistry::Get().GetCounter("log.executions_read");
+    read->Add(static_cast<int64_t>(log->num_executions()));
+  }
+  return log;
 }
 
 }  // namespace procmine

@@ -4,6 +4,8 @@
 #include <sstream>
 
 #include "graph/algorithms.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/strings.h"
 
 namespace procmine {
@@ -157,6 +159,7 @@ Status ConformanceChecker::CheckExecution(const Execution& exec) const {
 }
 
 ConformanceReport ConformanceChecker::CheckLog(const EventLog& log) const {
+  PROCMINE_SPAN("conformance.check_log");
   ConformanceReport report;
   const NodeId n = std::min<NodeId>(log.num_activities(),
                                     graph_->num_activities());
@@ -185,6 +188,13 @@ ConformanceReport ConformanceChecker::CheckLog(const EventLog& log) const {
                                                   std::string(st.message()));
     }
   }
+  static obs::Counter* checked = obs::MetricsRegistry::Get().GetCounter(
+      "conformance.executions_checked");
+  checked->Add(static_cast<int64_t>(log.num_executions()));
+  static obs::Counter* inconsistent = obs::MetricsRegistry::Get().GetCounter(
+      "conformance.inconsistent_executions");
+  inconsistent->Add(
+      static_cast<int64_t>(report.inconsistent_executions.size()));
   return report;
 }
 

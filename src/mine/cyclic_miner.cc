@@ -3,6 +3,8 @@
 #include <memory>
 
 #include "mine/general_dag_miner.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/strings.h"
 #include "util/thread_pool.h"
 
@@ -16,6 +18,7 @@ EventLog CyclicMiner::LabelOccurrences(
 EventLog CyclicMiner::LabelOccurrences(const EventLog& log,
                                        std::vector<ActivityId>* labeled_to_base,
                                        ThreadPool* pool) {
+  PROCMINE_SPAN("cyclic.label");
   EventLog labeled;
   const size_t n = static_cast<size_t>(log.num_activities());
 
@@ -56,6 +59,7 @@ EventLog CyclicMiner::LabelOccurrences(const EventLog& log,
   std::vector<ExecutionSpan> spans = log.Shards(
       pool == nullptr ? 1 : static_cast<size_t>(pool->num_threads()));
   auto relabel_span = [&log, &label_ids, &out, n](ExecutionSpan span) {
+    PROCMINE_SPAN("cyclic.relabel_shard");
     std::vector<int64_t> occ(n, 0);
     std::vector<size_t> local_touched;
     for (size_t e = span.begin; e < span.end; ++e) {
@@ -82,10 +86,14 @@ EventLog CyclicMiner::LabelOccurrences(const EventLog& log,
     for (const ExecutionSpan& span : spans) relabel_span(span);
   }
   for (Execution& exec : out) labeled.AddExecution(std::move(exec));
+  static obs::Counter* labels =
+      obs::MetricsRegistry::Get().GetCounter("cyclic.labels_created");
+  labels->Add(labeled.num_activities());
   return labeled;
 }
 
 Result<ProcessGraph> CyclicMiner::Mine(const EventLog& log) const {
+  PROCMINE_SPAN("cyclic.mine");
   if (log.num_activities() == 0 || log.num_executions() == 0) {
     return Status::InvalidArgument("log is empty");
   }
@@ -106,6 +114,7 @@ Result<ProcessGraph> CyclicMiner::Mine(const EventLog& log) const {
   PROCMINE_ASSIGN_OR_RETURN(ProcessGraph labeled_graph, general.Mine(labeled));
 
   // Step 8: merge equivalent sets; keep edges between different activities.
+  PROCMINE_SPAN("cyclic.merge");
   DirectedGraph merged(log.num_activities());
   for (const Edge& e : labeled_graph.graph().Edges()) {
     ActivityId from = labeled_to_base[static_cast<size_t>(e.from)];

@@ -5,6 +5,9 @@
 #include <vector>
 
 #include "graph/algorithms.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/logging.h"
 #include "util/thread_pool.h"
 
 namespace procmine {
@@ -18,6 +21,10 @@ namespace {
 // can qualify: start(j) <= start(i) <= end(i) for j <= i.) A per-execution
 // dedup set keeps the once-per-execution counting semantics of Section 6.
 void CollectSpan(const EventLog& log, ExecutionSpan span, EdgeCounts* counts) {
+  PROCMINE_SPAN("edges.collect_shard");
+  static obs::Counter* executions = obs::MetricsRegistry::Get().GetCounter(
+      "mine.executions_scanned");
+  executions->Add(static_cast<int64_t>(span.end - span.begin));
   std::unordered_set<uint64_t> seen_this_exec;
   for (size_t e = span.begin; e < span.end; ++e) {
     const auto& instances = log.execution(e).instances();
@@ -43,6 +50,7 @@ EdgeCounts CollectPrecedenceEdges(const EventLog& log) {
 }
 
 EdgeCounts CollectPrecedenceEdges(const EventLog& log, ThreadPool* pool) {
+  PROCMINE_SPAN("edges.collect");
   std::vector<ExecutionSpan> spans =
       log.Shards(pool == nullptr ? 1 : static_cast<size_t>(pool->num_threads()));
   if (spans.empty()) return EdgeCounts();
@@ -64,22 +72,37 @@ EdgeCounts CollectPrecedenceEdges(const EventLog& log, ThreadPool* pool) {
   for (size_t s = 1; s < shard_counts.size(); ++s) {
     for (const auto& [key, count] : shard_counts[s]) merged[key] += count;
   }
+  static obs::Counter* collected =
+      obs::MetricsRegistry::Get().GetCounter("mine.edges_collected");
+  collected->Add(static_cast<int64_t>(merged.size()));
+  PROCMINE_LOG(Debug) << "collected " << merged.size()
+                      << " distinct precedence edges from "
+                      << log.num_executions() << " executions across "
+                      << spans.size() << " shards";
   return merged;
 }
 
 DirectedGraph BuildPrecedenceGraph(const EdgeCounts& counts, NodeId num_nodes,
                                    int64_t threshold) {
+  PROCMINE_SPAN("edges.build_graph");
   DirectedGraph g(num_nodes);
+  int64_t pruned = 0;
   for (const auto& [key, count] : counts) {
     if (count >= threshold) {
       Edge e = UnpackEdge(key);
       g.AddEdge(e.from, e.to);
+    } else {
+      ++pruned;
     }
   }
+  static obs::Counter* below = obs::MetricsRegistry::Get().GetCounter(
+      "mine.edges_pruned_below_threshold");
+  below->Add(pruned);
   return g;
 }
 
 void RemoveTwoCycles(DirectedGraph* g) {
+  PROCMINE_SPAN("edges.remove_two_cycles");
   std::vector<Edge> to_remove;
   for (const Edge& e : g->Edges()) {
     if (e.from < e.to && g->HasEdge(e.to, e.from)) {
@@ -89,9 +112,13 @@ void RemoveTwoCycles(DirectedGraph* g) {
     if (e.from == e.to) to_remove.push_back(e);  // self loop: trivial cycle
   }
   for (const Edge& e : to_remove) g->RemoveEdge(e.from, e.to);
+  static obs::Counter* removed = obs::MetricsRegistry::Get().GetCounter(
+      "mine.two_cycle_edges_removed");
+  removed->Add(static_cast<int64_t>(to_remove.size()));
 }
 
 void RemoveIntraSccEdges(DirectedGraph* g) {
+  PROCMINE_SPAN("edges.remove_intra_scc");
   SccResult scc = StronglyConnectedComponents(*g);
   std::vector<Edge> to_remove;
   for (const Edge& e : g->Edges()) {
@@ -101,6 +128,22 @@ void RemoveIntraSccEdges(DirectedGraph* g) {
     }
   }
   for (const Edge& e : to_remove) g->RemoveEdge(e.from, e.to);
+  // A component is "merged" when it collapses >= 2 mutually-following
+  // activities (trace.cc's scc_groups reports the same sets).
+  std::vector<int64_t> members(static_cast<size_t>(scc.num_components), 0);
+  for (NodeId v = 0; v < g->num_nodes(); ++v) {
+    ++members[static_cast<size_t>(scc.component[static_cast<size_t>(v)])];
+  }
+  int64_t merged = 0;
+  for (int64_t size : members) {
+    if (size > 1) ++merged;
+  }
+  static obs::Counter* sccs =
+      obs::MetricsRegistry::Get().GetCounter("mine.sccs_merged");
+  sccs->Add(merged);
+  static obs::Counter* removed = obs::MetricsRegistry::Get().GetCounter(
+      "mine.intra_scc_edges_removed");
+  removed->Add(static_cast<int64_t>(to_remove.size()));
 }
 
 }  // namespace procmine

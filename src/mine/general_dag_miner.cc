@@ -8,6 +8,9 @@
 #include "graph/algorithms.h"
 #include "graph/transitive_reduction.h"
 #include "mine/edge_collector.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/logging.h"
 #include "util/strings.h"
 #include "util/thread_pool.h"
 
@@ -22,8 +25,11 @@ namespace {
 Status MarkReductionEdges(const EventLog& log, const DirectedGraph& g,
                           ExecutionSpan span, bool memoize,
                           std::unordered_set<uint64_t>* marked) {
+  PROCMINE_SPAN("general_dag.reduce_shard");
   // Memo key: the sorted activity set, serialized as raw id bytes.
   std::unordered_map<std::string, std::vector<Edge>> memo;
+  int64_t memo_hits = 0;
+  int64_t memo_misses = 0;
   for (size_t e = span.begin; e < span.end; ++e) {
     const Execution& exec = log.execution(e);
     std::vector<NodeId> present = exec.Sequence();
@@ -36,9 +42,13 @@ Status MarkReductionEdges(const EventLog& log, const DirectedGraph& g,
       key.assign(reinterpret_cast<const char*>(present.data()),
                  present.size() * sizeof(NodeId));
       auto it = memo.find(key);
-      if (it != memo.end()) reduction_edges = &it->second;
+      if (it != memo.end()) {
+        reduction_edges = &it->second;
+        ++memo_hits;
+      }
     }
     if (reduction_edges == nullptr) {
+      ++memo_misses;
       DirectedGraph induced = InducedSubgraph(g, present);
       Result<DirectedGraph> reduced = TransitiveReduction(induced);
       if (!reduced.ok()) return reduced.status();
@@ -54,27 +64,39 @@ Status MarkReductionEdges(const EventLog& log, const DirectedGraph& g,
       marked->insert(PackEdge(edge.from, edge.to));
     }
   }
+  // One sharded add per counter at shard end, not per execution: the totals
+  // are deterministic for any shard count and the loop stays counter-free.
+  static obs::Counter* hits =
+      obs::MetricsRegistry::Get().GetCounter("general_dag.memo_hits");
+  static obs::Counter* misses =
+      obs::MetricsRegistry::Get().GetCounter("general_dag.memo_misses");
+  hits->Add(memo_hits);
+  misses->Add(memo_misses);
   return Status::OK();
 }
 
 }  // namespace
 
 Result<ProcessGraph> GeneralDagMiner::Mine(const EventLog& log) const {
+  PROCMINE_SPAN("general_dag.mine");
   const NodeId n = log.num_activities();
   if (n == 0 || log.num_executions() == 0) {
     return Status::InvalidArgument("log is empty");
   }
-  for (const Execution& exec : log.executions()) {
-    std::vector<bool> seen(static_cast<size_t>(n), false);
-    for (const ActivityInstance& inst : exec.instances()) {
-      if (seen[static_cast<size_t>(inst.activity)]) {
-        return Status::InvalidArgument(StrFormat(
-            "execution '%s' repeats activity '%s'; Algorithm 2 assumes an "
-            "acyclic process (use CyclicMiner)",
-            exec.name().c_str(),
-            log.dictionary().Name(inst.activity).c_str()));
+  {
+    PROCMINE_SPAN("general_dag.validate");
+    for (const Execution& exec : log.executions()) {
+      std::vector<bool> seen(static_cast<size_t>(n), false);
+      for (const ActivityInstance& inst : exec.instances()) {
+        if (seen[static_cast<size_t>(inst.activity)]) {
+          return Status::InvalidArgument(StrFormat(
+              "execution '%s' repeats activity '%s'; Algorithm 2 assumes an "
+              "acyclic process (use CyclicMiner)",
+              exec.name().c_str(),
+              log.dictionary().Name(inst.activity).c_str()));
+        }
+        seen[static_cast<size_t>(inst.activity)] = true;
       }
-      seen[static_cast<size_t>(inst.activity)] = true;
     }
   }
 
@@ -95,6 +117,7 @@ Result<ProcessGraph> GeneralDagMiner::Mine(const EventLog& log) const {
 
   // Steps 5-6: keep exactly the edges needed by at least one execution —
   // those in the transitive reduction of the execution's induced subgraph.
+  PROCMINE_SPAN("general_dag.reduce");
   std::vector<ExecutionSpan> spans = log.Shards(
       pool == nullptr ? 1 : static_cast<size_t>(pool->num_threads()));
   std::vector<std::unordered_set<uint64_t>> shard_marked(spans.size());
@@ -121,6 +144,13 @@ Result<ProcessGraph> GeneralDagMiner::Mine(const EventLog& log) const {
   for (size_t s = 1; s < shard_marked.size(); ++s) {
     marked.insert(shard_marked[s].begin(), shard_marked[s].end());
   }
+  static obs::Counter* kept = obs::MetricsRegistry::Get().GetCounter(
+      "general_dag.reduction_edges_marked");
+  kept->Add(static_cast<int64_t>(marked.size()));
+  PROCMINE_LOG(Debug) << "reduction kept " << marked.size() << " of "
+                      << g.num_edges() << " DAG edges ("
+                      << log.num_executions() << " executions, "
+                      << num_threads << " threads)";
 
   DirectedGraph result(n);
   for (uint64_t key : marked) {

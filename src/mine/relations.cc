@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "graph/algorithms.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/thread_pool.h"
 
 namespace procmine {
@@ -20,6 +22,10 @@ struct RelationShard {
 
 void ComputeShard(const EventLog& log, ExecutionSpan span, size_t n,
                   RelationShard* shard) {
+  PROCMINE_SPAN("relations.compute_shard");
+  static obs::Counter* executions = obs::MetricsRegistry::Get().GetCounter(
+      "relations.executions_scanned");
+  executions->Add(static_cast<int64_t>(span.end - span.begin));
   shard->cooccur.assign(n, DynamicBitset(n));
   shard->violated.assign(n, DynamicBitset(n));
   // Per execution: extent (first start, last end) of each present activity.
@@ -64,6 +70,7 @@ Relations Relations::Compute(const EventLog& log) {
 }
 
 Relations Relations::Compute(const EventLog& log, ThreadPool* pool) {
+  PROCMINE_SPAN("relations.compute");
   const NodeId n = log.num_activities();
   const size_t un = static_cast<size_t>(n);
 
@@ -85,6 +92,7 @@ Relations Relations::Compute(const EventLog& log, ThreadPool* pool) {
   }
 
   // Reduce: OR the shard rows together, then keep = cooccur AND NOT violated.
+  PROCMINE_SPAN("relations.reduce");
   Relations rel;
   rel.followings_ = DirectedGraph(n);
   for (size_t a = 0; a < un; ++a) {
@@ -103,6 +111,9 @@ Relations Relations::Compute(const EventLog& log, ThreadPool* pool) {
     }
   }
   rel.follows_closure_ = ReachabilityMatrix(rel.followings_);
+  static obs::Counter* followings = obs::MetricsRegistry::Get().GetCounter(
+      "relations.followings_edges");
+  followings->Add(rel.followings_.num_edges());
   return rel;
 }
 

@@ -4,17 +4,20 @@
 
 #include "graph/transitive_reduction.h"
 #include "mine/edge_collector.h"
+#include "obs/trace.h"
 #include "util/strings.h"
 #include "util/thread_pool.h"
 
 namespace procmine {
 
 Result<ProcessGraph> SpecialDagMiner::Mine(const EventLog& log) const {
+  PROCMINE_SPAN("special_dag.mine");
   const NodeId n = log.num_activities();
   if (n == 0 || log.num_executions() == 0) {
     return Status::InvalidArgument("log is empty");
   }
   if (options_.enforce_exactly_once) {
+    PROCMINE_SPAN("special_dag.validate");
     for (const Execution& exec : log.executions()) {
       if (exec.size() != static_cast<size_t>(n)) {
         return Status::InvalidArgument(StrFormat(
@@ -49,6 +52,7 @@ Result<ProcessGraph> SpecialDagMiner::Mine(const EventLog& log) const {
   RemoveTwoCycles(&g);
 
   // Step 4: transitive reduction yields the minimal dependency graph.
+  PROCMINE_SPAN("special_dag.reduce");
   Result<DirectedGraph> reduced = TransitiveReduction(g);
   if (!reduced.ok()) {
     return Status::FailedPrecondition(

@@ -1,0 +1,229 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+
+#include "util/strings.h"
+
+namespace procmine::obs {
+
+namespace internal {
+std::atomic<bool> g_metrics_enabled{false};
+}  // namespace internal
+
+void SetMetricsEnabled(bool enabled) {
+  internal::g_metrics_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+int64_t Counter::Total() const {
+  int64_t total = 0;
+  for (const internal::ShardCell& cell : cells_) {
+    total += cell.value.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+void Counter::Reset() {
+  for (internal::ShardCell& cell : cells_) {
+    cell.value.store(0, std::memory_order_relaxed);
+  }
+}
+
+Histogram::Histogram(std::string name, std::vector<int64_t> bounds)
+    : name_(std::move(name)), bounds_(std::move(bounds)) {
+  PROCMINE_CHECK(!bounds_.empty());
+  PROCMINE_CHECK(std::is_sorted(bounds_.begin(), bounds_.end()));
+  for (Shard& shard : shards_) {
+    shard.buckets =
+        std::make_unique<std::atomic<int64_t>[]>(bounds_.size() + 1);
+    for (size_t b = 0; b <= bounds_.size(); ++b) {
+      shard.buckets[b].store(0, std::memory_order_relaxed);
+    }
+  }
+}
+
+void Histogram::Record(int64_t value) {
+  if (!MetricsEnabled()) return;
+  size_t bucket = static_cast<size_t>(
+      std::lower_bound(bounds_.begin(), bounds_.end(), value) -
+      bounds_.begin());
+  Shard& shard = shards_[internal::ShardIndex()];
+  shard.buckets[bucket].fetch_add(1, std::memory_order_relaxed);
+  shard.sum.fetch_add(value, std::memory_order_relaxed);
+}
+
+std::vector<int64_t> Histogram::BucketCounts() const {
+  std::vector<int64_t> counts(bounds_.size() + 1, 0);
+  for (const Shard& shard : shards_) {
+    for (size_t b = 0; b < counts.size(); ++b) {
+      counts[b] += shard.buckets[b].load(std::memory_order_relaxed);
+    }
+  }
+  return counts;
+}
+
+int64_t Histogram::TotalCount() const {
+  std::vector<int64_t> counts = BucketCounts();
+  int64_t total = 0;
+  for (int64_t c : counts) total += c;
+  return total;
+}
+
+int64_t Histogram::Sum() const {
+  int64_t total = 0;
+  for (const Shard& shard : shards_) {
+    total += shard.sum.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+void Histogram::Reset() {
+  for (Shard& shard : shards_) {
+    for (size_t b = 0; b <= bounds_.size(); ++b) {
+      shard.buckets[b].store(0, std::memory_order_relaxed);
+    }
+    shard.sum.store(0, std::memory_order_relaxed);
+  }
+}
+
+int64_t MetricsSnapshot::CounterTotal(std::string_view name) const {
+  for (const CounterValue& c : counters) {
+    if (c.name == name) return c.value;
+  }
+  return 0;
+}
+
+std::string MetricsSnapshot::ToJson() const {
+  std::string out = "{\n  \"counters\": {";
+  for (size_t i = 0; i < counters.size(); ++i) {
+    out += i == 0 ? "\n" : ",\n";
+    out += "    \"";
+    AppendJsonEscaped(&out, counters[i].name);
+    out += StrFormat("\": %lld", static_cast<long long>(counters[i].value));
+  }
+  out += counters.empty() ? "},\n" : "\n  },\n";
+  out += "  \"gauges\": {";
+  for (size_t i = 0; i < gauges.size(); ++i) {
+    out += i == 0 ? "\n" : ",\n";
+    out += "    \"";
+    AppendJsonEscaped(&out, gauges[i].name);
+    out += StrFormat("\": %lld", static_cast<long long>(gauges[i].value));
+  }
+  out += gauges.empty() ? "},\n" : "\n  },\n";
+  out += "  \"histograms\": {";
+  for (size_t i = 0; i < histograms.size(); ++i) {
+    const HistogramValue& h = histograms[i];
+    out += i == 0 ? "\n" : ",\n";
+    out += "    \"";
+    AppendJsonEscaped(&out, h.name);
+    out += "\": {\"bounds\": [";
+    for (size_t b = 0; b < h.bounds.size(); ++b) {
+      out += StrFormat("%s%lld", b ? ", " : "",
+                       static_cast<long long>(h.bounds[b]));
+    }
+    out += "], \"counts\": [";
+    for (size_t b = 0; b < h.counts.size(); ++b) {
+      out += StrFormat("%s%lld", b ? ", " : "",
+                       static_cast<long long>(h.counts[b]));
+    }
+    out += StrFormat("], \"count\": %lld, \"sum\": %lld}",
+                     static_cast<long long>(h.total_count),
+                     static_cast<long long>(h.sum));
+  }
+  out += histograms.empty() ? "}\n" : "\n  }\n";
+  out += "}\n";
+  return out;
+}
+
+std::string MetricsSnapshot::ToText() const {
+  size_t width = 0;
+  for (const CounterValue& c : counters) width = std::max(width, c.name.size());
+  for (const GaugeValue& g : gauges) width = std::max(width, g.name.size());
+  for (const HistogramValue& h : histograms) {
+    width = std::max(width, h.name.size());
+  }
+  std::string out;
+  for (const CounterValue& c : counters) {
+    out += StrFormat("%-*s %lld\n", static_cast<int>(width), c.name.c_str(),
+                     static_cast<long long>(c.value));
+  }
+  for (const GaugeValue& g : gauges) {
+    out += StrFormat("%-*s %lld\n", static_cast<int>(width), g.name.c_str(),
+                     static_cast<long long>(g.value));
+  }
+  for (const HistogramValue& h : histograms) {
+    out += StrFormat("%-*s count=%lld sum=%lld\n", static_cast<int>(width),
+                     h.name.c_str(), static_cast<long long>(h.total_count),
+                     static_cast<long long>(h.sum));
+  }
+  return out;
+}
+
+MetricsRegistry& MetricsRegistry::Get() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+Counter* MetricsRegistry::GetCounter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_
+             .emplace(std::string(name),
+                      std::unique_ptr<Counter>(new Counter(std::string(name))))
+             .first;
+  }
+  return it->second.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_
+             .emplace(std::string(name),
+                      std::unique_ptr<Gauge>(new Gauge(std::string(name))))
+             .first;
+  }
+  return it->second.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(std::string_view name,
+                                         std::vector<int64_t> bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_
+             .emplace(std::string(name),
+                      std::unique_ptr<Histogram>(new Histogram(
+                          std::string(name), std::move(bounds))))
+             .first;
+  }
+  return it->second.get();
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot snapshot;
+  // std::map iterates in name order, so the snapshot is deterministic.
+  for (const auto& [name, counter] : counters_) {
+    snapshot.counters.push_back({name, counter->Total()});
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    snapshot.gauges.push_back({name, gauge->Value()});
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    snapshot.histograms.push_back({name, histogram->bounds(),
+                                   histogram->BucketCounts(),
+                                   histogram->TotalCount(), histogram->Sum()});
+  }
+  return snapshot;
+}
+
+void MetricsRegistry::ResetAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, counter] : counters_) counter->Reset();
+  for (const auto& [name, gauge] : gauges_) gauge->Reset();
+  for (const auto& [name, histogram] : histograms_) histogram->Reset();
+}
+
+}  // namespace procmine::obs

@@ -1,0 +1,144 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <map>
+
+#include "obs/metrics.h"
+#include "util/logging.h"
+#include "util/strings.h"
+
+namespace procmine::obs {
+
+namespace internal {
+std::atomic<bool> g_tracing_enabled{false};
+}  // namespace internal
+
+void SetTracingEnabled(bool enabled) {
+  internal::g_tracing_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+TraceRecorder& TraceRecorder::Get() {
+  static TraceRecorder* recorder = new TraceRecorder();
+  return *recorder;
+}
+
+TraceRecorder::ThreadBuffer* TraceRecorder::LocalBuffer() {
+  // The shared_ptr keeps the buffer alive in buffers_ after the thread
+  // exits, so short-lived pool workers never lose their spans.
+  thread_local std::shared_ptr<ThreadBuffer> buffer = [this] {
+    auto created = std::make_shared<ThreadBuffer>();
+    std::lock_guard<std::mutex> lock(mu_);
+    buffers_.push_back(created);
+    return created;
+  }();
+  return buffer.get();
+}
+
+void TraceRecorder::Record(const char* name, int64_t start_ns,
+                           int64_t dur_ns) {
+  SpanEvent event{name, start_ns, dur_ns, CurrentThreadId()};
+  ThreadBuffer* buffer = LocalBuffer();
+  std::lock_guard<std::mutex> lock(buffer->mu);
+  buffer->events.push_back(event);
+}
+
+std::vector<SpanEvent> TraceRecorder::Snapshot() const {
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    buffers = buffers_;
+  }
+  std::vector<SpanEvent> events;
+  for (const auto& buffer : buffers) {
+    std::lock_guard<std::mutex> lock(buffer->mu);
+    events.insert(events.end(), buffer->events.begin(), buffer->events.end());
+  }
+  std::sort(events.begin(), events.end(),
+            [](const SpanEvent& a, const SpanEvent& b) {
+              if (a.start_ns != b.start_ns) return a.start_ns < b.start_ns;
+              if (a.tid != b.tid) return a.tid < b.tid;
+              return std::string_view(a.name) < std::string_view(b.name);
+            });
+  return events;
+}
+
+std::vector<SpanStats> TraceRecorder::Stats() const {
+  std::map<std::string_view, SpanStats> by_name;
+  for (const SpanEvent& event : Snapshot()) {
+    SpanStats& stats = by_name[event.name];
+    if (stats.name.empty()) stats.name = event.name;
+    ++stats.count;
+    stats.total_ns += event.dur_ns;
+    stats.max_ns = std::max(stats.max_ns, event.dur_ns);
+  }
+  std::vector<SpanStats> out;
+  out.reserve(by_name.size());
+  for (auto& [name, stats] : by_name) out.push_back(std::move(stats));
+  std::sort(out.begin(), out.end(), [](const SpanStats& a, const SpanStats& b) {
+    if (a.total_ns != b.total_ns) return a.total_ns > b.total_ns;
+    return a.name < b.name;
+  });
+  return out;
+}
+
+void TraceRecorder::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& buffer : buffers_) {
+    std::lock_guard<std::mutex> buffer_lock(buffer->mu);
+    buffer->events.clear();
+  }
+}
+
+std::string TraceRecorder::ChromeTraceJson() const {
+  std::vector<SpanEvent> events = Snapshot();
+  std::string out = "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [\n";
+  out +=
+      "  {\"name\": \"process_name\", \"ph\": \"M\", \"pid\": 0, "
+      "\"args\": {\"name\": \"procmine\"}}";
+  int64_t last_end_ns = 0;
+  for (const SpanEvent& event : events) {
+    out += StrFormat(
+        ",\n  {\"name\": \"%s\", \"cat\": \"procmine\", \"ph\": \"X\", "
+        "\"ts\": %.3f, \"dur\": %.3f, \"pid\": 0, \"tid\": %d}",
+        event.name, static_cast<double>(event.start_ns) / 1e3,
+        static_cast<double>(event.dur_ns) / 1e3, event.tid);
+    last_end_ns = std::max(last_end_ns, event.start_ns + event.dur_ns);
+  }
+  if (MetricsEnabled()) {
+    // Counter totals as "C" events at the end of the trace, so a trace file
+    // carries the run's work counts without a separate metrics file.
+    MetricsSnapshot metrics = MetricsRegistry::Get().Snapshot();
+    for (const MetricsSnapshot::CounterValue& c : metrics.counters) {
+      std::string name;
+      AppendJsonEscaped(&name, c.name);
+      out += StrFormat(
+          ",\n  {\"name\": \"%s\", \"ph\": \"C\", \"ts\": %.3f, "
+          "\"pid\": 0, \"args\": {\"value\": %lld}}",
+          name.c_str(), static_cast<double>(last_end_ns) / 1e3,
+          static_cast<long long>(c.value));
+    }
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+std::string TraceRecorder::SummaryText() const {
+  std::vector<SpanStats> stats = Stats();
+  size_t width = 4;
+  for (const SpanStats& s : stats) width = std::max(width, s.name.size());
+  std::string out = StrFormat("%-*s %8s %12s %12s %12s\n",
+                              static_cast<int>(width), "span", "count",
+                              "total-ms", "mean-ms", "max-ms");
+  for (const SpanStats& s : stats) {
+    double total_ms = static_cast<double>(s.total_ns) / 1e6;
+    out += StrFormat("%-*s %8lld %12.3f %12.3f %12.3f\n",
+                     static_cast<int>(width), s.name.c_str(),
+                     static_cast<long long>(s.count), total_ms,
+                     s.count > 0 ? total_ms / static_cast<double>(s.count)
+                                 : 0.0,
+                     static_cast<double>(s.max_ns) / 1e6);
+  }
+  return out;
+}
+
+}  // namespace procmine::obs

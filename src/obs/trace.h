@@ -1,0 +1,136 @@
+// Phase spans and Chrome-trace export.
+//
+// PROCMINE_SPAN("relations.compute") opens a scoped span: when tracing is
+// enabled it records {name, start, duration, thread} into a per-thread
+// buffer on destruction; when disabled it costs one relaxed load and a
+// branch. Buffers are merged at serialization time into Chrome trace-event
+// JSON (loadable in chrome://tracing and https://ui.perfetto.dev) or a
+// compact per-phase text summary. All timestamps come from
+// StopWatch::NowNanosSinceProcessStart(), the same monotonic clock the
+// benches and log lines use.
+//
+// Span naming convention: "<subsystem>.<phase>" with an optional "_shard"
+// suffix for the per-worker section of a parallel phase, e.g.
+// "edges.collect" wraps the whole pass and "edges.collect_shard" runs once
+// per worker inside it.
+
+#ifndef PROCMINE_OBS_TRACE_H_
+#define PROCMINE_OBS_TRACE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "util/timer.h"
+
+namespace procmine::obs {
+
+namespace internal {
+extern std::atomic<bool> g_tracing_enabled;
+}  // namespace internal
+
+/// Turns span recording on or off process-wide (default: off). Spans opened
+/// while disabled stay unrecorded even if tracing is enabled before they
+/// close (and vice versa the closing check drops half-open spans cleanly).
+void SetTracingEnabled(bool enabled);
+
+inline bool TracingEnabled() {
+  return internal::g_tracing_enabled.load(std::memory_order_relaxed);
+}
+
+/// One closed span. `name` points at a string literal supplied to
+/// PROCMINE_SPAN and is never freed.
+struct SpanEvent {
+  const char* name;
+  int64_t start_ns;  // NowNanosSinceProcessStart() at open
+  int64_t dur_ns;
+  int tid;  // CurrentThreadId() of the recording thread
+
+  bool operator==(const SpanEvent&) const = default;
+};
+
+/// Aggregated view of one span name, for the text summary.
+struct SpanStats {
+  std::string name;
+  int64_t count = 0;
+  int64_t total_ns = 0;
+  int64_t max_ns = 0;
+};
+
+/// Process-wide span sink. Each thread appends to its own buffer (guarded by
+/// a per-buffer mutex that is uncontended except while a snapshot copies it,
+/// so recording never blocks on other threads).
+class TraceRecorder {
+ public:
+  static TraceRecorder& Get();
+
+  /// Appends one closed span for the calling thread.
+  void Record(const char* name, int64_t start_ns, int64_t dur_ns);
+
+  /// Every recorded span, sorted by (start, tid, name) so the output is
+  /// stable for a given set of events.
+  std::vector<SpanEvent> Snapshot() const;
+
+  /// Per-name aggregates sorted by total time, descending.
+  std::vector<SpanStats> Stats() const;
+
+  /// Drops all recorded spans (buffers stay registered).
+  void Reset();
+
+  /// Chrome trace-event JSON ("X" complete events, microsecond timestamps).
+  /// When the metrics registry is enabled, every counter total is appended
+  /// as a Chrome "C" counter event so the trace is self-contained.
+  std::string ChromeTraceJson() const;
+
+  /// Aligned "name count total-ms mean-ms max-ms" lines, by total time.
+  std::string SummaryText() const;
+
+ private:
+  struct ThreadBuffer {
+    std::mutex mu;
+    std::vector<SpanEvent> events;
+  };
+
+  TraceRecorder() = default;
+  ThreadBuffer* LocalBuffer();
+
+  mutable std::mutex mu_;  // guards buffers_ (registration + snapshot)
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers_;
+};
+
+/// RAII span. Prefer the PROCMINE_SPAN macro.
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(const char* name)
+      : name_(name),
+        start_ns_(TracingEnabled() ? StopWatch::NowNanosSinceProcessStart()
+                                   : -1) {}
+  ~ScopedSpan() {
+    if (start_ns_ < 0 || !TracingEnabled()) return;
+    TraceRecorder::Get().Record(
+        name_, start_ns_, StopWatch::NowNanosSinceProcessStart() - start_ns_);
+  }
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  const char* name_;
+  int64_t start_ns_;
+};
+
+}  // namespace procmine::obs
+
+#define PROCMINE_OBS_CONCAT_INNER(a, b) a##b
+#define PROCMINE_OBS_CONCAT(a, b) PROCMINE_OBS_CONCAT_INNER(a, b)
+
+/// Opens a span covering the rest of the enclosing scope. `name` must be a
+/// string literal (it is stored by pointer).
+#define PROCMINE_SPAN(name)                                       \
+  ::procmine::obs::ScopedSpan PROCMINE_OBS_CONCAT(procmine_span_, \
+                                                  __LINE__)(name)
+
+#endif  // PROCMINE_OBS_TRACE_H_

@@ -4,10 +4,15 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "util/strings.h"
+#include "util/timer.h"
+
 namespace procmine {
 
 namespace {
 std::atomic<int> g_log_level{static_cast<int>(LogLevel::kInfo)};
+std::atomic<int> g_log_format{static_cast<int>(LogFormat::kText)};
+std::atomic<int> g_next_thread_id{0};
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -32,6 +37,35 @@ LogLevel GetLogLevel() {
   return static_cast<LogLevel>(g_log_level.load(std::memory_order_relaxed));
 }
 
+bool ParseLogLevel(const std::string& name, LogLevel* level) {
+  if (name == "debug") {
+    *level = LogLevel::kDebug;
+  } else if (name == "info") {
+    *level = LogLevel::kInfo;
+  } else if (name == "warning" || name == "warn") {
+    *level = LogLevel::kWarning;
+  } else if (name == "error") {
+    *level = LogLevel::kError;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+void SetLogFormat(LogFormat format) {
+  g_log_format.store(static_cast<int>(format), std::memory_order_relaxed);
+}
+
+LogFormat GetLogFormat() {
+  return static_cast<LogFormat>(g_log_format.load(std::memory_order_relaxed));
+}
+
+int CurrentThreadId() {
+  thread_local int id =
+      g_next_thread_id.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
 namespace internal {
 
 LogMessage::LogMessage(LogLevel level, const char* file, int line)
@@ -42,8 +76,26 @@ LogMessage::~LogMessage() {
       g_log_level.load(std::memory_order_relaxed)) {
     return;
   }
-  std::fprintf(stderr, "[%s %s:%d] %s\n", LevelName(level_), file_, line_,
-               stream_.str().c_str());
+  const double elapsed_ms =
+      static_cast<double>(StopWatch::NowNanosSinceProcessStart()) / 1e6;
+  const int tid = CurrentThreadId();
+  if (GetLogFormat() == LogFormat::kJsonLines) {
+    // One object per line; a single fprintf keeps lines whole under
+    // concurrent writers (stderr is unbuffered, POSIX writes are atomic for
+    // reasonable line lengths).
+    std::string msg;
+    AppendJsonEscaped(&msg, stream_.str());
+    std::string file;
+    AppendJsonEscaped(&file, file_);
+    std::fprintf(stderr,
+                 "{\"elapsed_ms\":%.3f,\"level\":\"%s\",\"tid\":%d,"
+                 "\"file\":\"%s\",\"line\":%d,\"msg\":\"%s\"}\n",
+                 elapsed_ms, LevelName(level_), tid, file.c_str(), line_,
+                 msg.c_str());
+    return;
+  }
+  std::fprintf(stderr, "[%s t%d +%.3fs %s:%d] %s\n", LevelName(level_), tid,
+               elapsed_ms / 1e3, file_, line_, stream_.str().c_str());
 }
 
 FatalMessage::FatalMessage(const char* file, int line, const char* condition)

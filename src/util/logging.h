@@ -2,8 +2,13 @@
 //
 // PROCMINE_CHECK(cond) aborts (with file:line) when `cond` is false, in every
 // build type; PROCMINE_DCHECK compiles out in NDEBUG builds. PROCMINE_LOG
-// writes a timestamped line to stderr when the message level is at or above
-// the global threshold.
+// writes a line to stderr when the message level is at or above the global
+// threshold. Every line carries the worker's thread id and the monotonic
+// elapsed time since process start, so interleaved output from the sharded
+// parallel mining passes is attributable to a worker and orderable:
+//
+//   [INFO t2 +0.134s mine/relations.cc:71] ...      (text format)
+//   {"elapsed_ms":134.2,"level":"INFO","tid":2,...} (JSON-lines format)
 
 #ifndef PROCMINE_UTIL_LOGGING_H_
 #define PROCMINE_UTIL_LOGGING_H_
@@ -18,6 +23,22 @@ enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
 /// Sets the minimum level that will be emitted (default: kInfo).
 void SetLogLevel(LogLevel level);
 LogLevel GetLogLevel();
+
+/// Parses "debug" / "info" / "warning" (or "warn") / "error". Returns false
+/// on anything else, leaving `level` untouched.
+bool ParseLogLevel(const std::string& name, LogLevel* level);
+
+/// Output shape of PROCMINE_LOG lines. kText is the bracketed human format;
+/// kJsonLines emits one JSON object per line for machine consumption.
+enum class LogFormat : int { kText = 0, kJsonLines = 1 };
+
+void SetLogFormat(LogFormat format);
+LogFormat GetLogFormat();
+
+/// A small dense id for the calling thread (0 for the first thread that ever
+/// logs or records a span, 1 for the next, ...). Stable for the thread's
+/// lifetime; used by log lines and span events so the two are correlatable.
+int CurrentThreadId();
 
 namespace internal {
 

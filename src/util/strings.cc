@@ -119,4 +119,32 @@ std::string StrFormat(const char* fmt, ...) {
   return out;
 }
 
+void AppendJsonEscaped(std::string* out, std::string_view text) {
+  for (char c : text) {
+    switch (c) {
+      case '"':
+        out->append("\\\"");
+        break;
+      case '\\':
+        out->append("\\\\");
+        break;
+      case '\n':
+        out->append("\\n");
+        break;
+      case '\r':
+        out->append("\\r");
+        break;
+      case '\t':
+        out->append("\\t");
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out->append(StrFormat("\\u%04x", static_cast<unsigned>(c) & 0xff));
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+}
+
 }  // namespace procmine

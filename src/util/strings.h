@@ -39,6 +39,10 @@ Result<double> ParseDouble(std::string_view text);
 std::string StrFormat(const char* fmt, ...)
     __attribute__((format(printf, 1, 2)));
 
+/// Appends `text` to `out` with JSON string escaping (quotes, backslash,
+/// control characters); the surrounding quotes are the caller's.
+void AppendJsonEscaped(std::string* out, std::string_view text);
+
 }  // namespace procmine
 
 #endif  // PROCMINE_UTIL_STRINGS_H_

@@ -1,9 +1,12 @@
-// Wall-clock stopwatch used by the benchmark harnesses.
+// Wall-clock stopwatch used by the benchmark harnesses and the span
+// recorder. Everything here reads the same std::chrono::steady_clock, so
+// bench timings, span timestamps, and log elapsed times are comparable.
 
 #ifndef PROCMINE_UTIL_TIMER_H_
 #define PROCMINE_UTIL_TIMER_H_
 
 #include <chrono>
+#include <cstdint>
 
 namespace procmine {
 
@@ -22,6 +25,23 @@ class StopWatch {
 
   /// Milliseconds elapsed since construction or the last Reset().
   double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+  /// Nanoseconds elapsed since construction or the last Reset().
+  int64_t ElapsedNanos() const {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                                start_)
+        .count();
+  }
+
+  /// Nanoseconds since the process-wide epoch (the first call to this
+  /// function). Spans, log lines, and benches all timestamp against this one
+  /// monotonic origin, so their times line up in a trace.
+  static int64_t NowNanosSinceProcessStart() {
+    static const Clock::time_point epoch = Clock::now();
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                                epoch)
+        .count();
+  }
 
  private:
   using Clock = std::chrono::steady_clock;

@@ -9,6 +9,7 @@
 #include <array>
 #include <cstdio>
 #include <fstream>
+#include <iterator>
 #include <string>
 
 namespace procmine {
@@ -164,6 +165,70 @@ TEST_F(CliTest, MineConditionsToFdlIsRunnable) {
   CommandResult sim = RunCli("simulate --definition=" + fdl_path +
                              " --executions=20 --out=" + relog);
   EXPECT_EQ(sim.exit_code, 0) << sim.output;
+}
+
+TEST_F(CliTest, TraceOutWritesChromeTraceWithMiningPhases) {
+  std::string trace_path = dir_ + "/trace.json";
+  CommandResult result =
+      RunCli("mine --trace-out=" + trace_path + " " + log_path_);
+  EXPECT_EQ(result.exit_code, 0) << result.output;
+  // The text summary goes to stderr alongside the file.
+  EXPECT_NE(result.output.find("span"), std::string::npos) << result.output;
+  std::ifstream in(trace_path);
+  ASSERT_TRUE(in.good()) << trace_path;
+  std::string json((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  for (const char* phase :
+       {"log.read_text", "edges.collect", "general_dag.mine",
+        "general_dag.validate", "general_dag.reduce"}) {
+    EXPECT_NE(json.find(phase), std::string::npos) << phase;
+  }
+  // Counter totals embedded as Chrome "C" events.
+  EXPECT_NE(json.find("mine.edges_collected"), std::string::npos);
+}
+
+TEST_F(CliTest, MetricsOutWritesRegistrySnapshot) {
+  std::string metrics_path = dir_ + "/metrics.json";
+  CommandResult result =
+      RunCli("mine --metrics-out=" + metrics_path + " " + log_path_);
+  EXPECT_EQ(result.exit_code, 0) << result.output;
+  std::ifstream in(metrics_path);
+  ASSERT_TRUE(in.good()) << metrics_path;
+  std::string json((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"log.executions_read\": 120"), std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"mine.executions_scanned\": 120"), std::string::npos)
+      << json;
+}
+
+TEST_F(CliTest, LogLevelRejectsUnknownValue) {
+  CommandResult result = RunCli("mine --log-level=loud " + log_path_);
+  EXPECT_EQ(result.exit_code, 2);
+  EXPECT_NE(result.output.find("log-level"), std::string::npos);
+}
+
+TEST_F(CliTest, JsonLogLinesAreStructured) {
+  CommandResult result =
+      RunCli("mine --log-json --log-level=debug " + log_path_);
+  EXPECT_EQ(result.exit_code, 0) << result.output;
+  EXPECT_NE(result.output.find("\"level\":\"DEBUG\""), std::string::npos)
+      << result.output;
+  EXPECT_NE(result.output.find("\"tid\":"), std::string::npos);
+  EXPECT_NE(result.output.find("\"elapsed_ms\":"), std::string::npos);
+  EXPECT_NE(result.output.find("distinct precedence edges"), std::string::npos)
+      << result.output;
+}
+
+TEST_F(CliTest, TextDebugLogsCarryThreadIdAndElapsed) {
+  CommandResult result = RunCli("mine --log-level=debug " + log_path_);
+  EXPECT_EQ(result.exit_code, 0) << result.output;
+  // [DEBUG t0 +0.003s .../edge_collector.cc:NN] ...
+  EXPECT_NE(result.output.find("[DEBUG t"), std::string::npos)
+      << result.output;
+  EXPECT_NE(result.output.find("edge_collector.cc:"), std::string::npos);
 }
 
 TEST_F(CliTest, MissingFileReportsIOError) {

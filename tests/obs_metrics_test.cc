@@ -1,0 +1,150 @@
+// Metrics registry semantics: counter/gauge/histogram arithmetic, the
+// disabled fast path, deterministic merges across thread counts, and the
+// snapshot serializations.
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/metrics.h"
+#include "util/thread_pool.h"
+
+namespace procmine {
+namespace {
+
+using obs::Counter;
+using obs::Gauge;
+using obs::Histogram;
+using obs::MetricsRegistry;
+using obs::MetricsSnapshot;
+
+class ObsMetricsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    obs::SetMetricsEnabled(true);
+    MetricsRegistry::Get().ResetAll();
+  }
+  void TearDown() override {
+    MetricsRegistry::Get().ResetAll();
+    obs::SetMetricsEnabled(false);
+  }
+};
+
+TEST_F(ObsMetricsTest, CounterAddsAndResets) {
+  Counter* c = MetricsRegistry::Get().GetCounter("test.counter");
+  EXPECT_EQ(c->Total(), 0);
+  c->Add(5);
+  c->Increment();
+  EXPECT_EQ(c->Total(), 6);
+  c->Reset();
+  EXPECT_EQ(c->Total(), 0);
+}
+
+TEST_F(ObsMetricsTest, RegistrationIsIdempotent) {
+  Counter* a = MetricsRegistry::Get().GetCounter("test.same");
+  Counter* b = MetricsRegistry::Get().GetCounter("test.same");
+  EXPECT_EQ(a, b);
+  a->Add(3);
+  EXPECT_EQ(b->Total(), 3);
+}
+
+TEST_F(ObsMetricsTest, DisabledCounterRecordsNothing) {
+  Counter* c = MetricsRegistry::Get().GetCounter("test.disabled");
+  obs::SetMetricsEnabled(false);
+  c->Add(42);
+  EXPECT_EQ(c->Total(), 0);
+  obs::SetMetricsEnabled(true);
+  c->Add(1);
+  EXPECT_EQ(c->Total(), 1);
+}
+
+TEST_F(ObsMetricsTest, GaugeKeepsLastValue) {
+  Gauge* g = MetricsRegistry::Get().GetGauge("test.gauge");
+  g->Set(7);
+  g->Set(11);
+  EXPECT_EQ(g->Value(), 11);
+  obs::SetMetricsEnabled(false);
+  g->Set(99);
+  EXPECT_EQ(g->Value(), 11);
+}
+
+TEST_F(ObsMetricsTest, HistogramBucketsValues) {
+  Histogram* h =
+      MetricsRegistry::Get().GetHistogram("test.histo", {10, 100, 1000});
+  h->Record(1);     // <= 10
+  h->Record(10);    // <= 10 (inclusive upper bound)
+  h->Record(11);    // <= 100
+  h->Record(1000);  // <= 1000
+  h->Record(5000);  // overflow
+  std::vector<int64_t> counts = h->BucketCounts();
+  ASSERT_EQ(counts.size(), 4u);
+  EXPECT_EQ(counts[0], 2);
+  EXPECT_EQ(counts[1], 1);
+  EXPECT_EQ(counts[2], 1);
+  EXPECT_EQ(counts[3], 1);
+  EXPECT_EQ(h->TotalCount(), 5);
+  EXPECT_EQ(h->Sum(), 1 + 10 + 11 + 1000 + 5000);
+  h->Reset();
+  EXPECT_EQ(h->TotalCount(), 0);
+  EXPECT_EQ(h->Sum(), 0);
+}
+
+// The shard-then-merge discipline: hammering one counter from k threads must
+// produce the exact arithmetic total for every k, and the same final
+// snapshot regardless of which shard cells absorbed the increments.
+TEST_F(ObsMetricsTest, ConcurrentCountsMergeDeterministically) {
+  const int64_t kPerItem = 3;
+  const size_t kItems = 10000;
+  for (int threads : {1, 2, 4, 7}) {
+    MetricsRegistry::Get().ResetAll();
+    Counter* c = MetricsRegistry::Get().GetCounter("test.concurrent");
+    Histogram* h =
+        MetricsRegistry::Get().GetHistogram("test.concurrent_histo", {50});
+    ThreadPool pool(threads);
+    pool.ParallelFor(kItems, [&](size_t, size_t begin, size_t end) {
+      for (size_t i = begin; i < end; ++i) {
+        c->Add(kPerItem);
+        h->Record(static_cast<int64_t>(i % 100));
+      }
+    });
+    EXPECT_EQ(c->Total(), static_cast<int64_t>(kItems) * kPerItem)
+        << "threads=" << threads;
+    EXPECT_EQ(h->TotalCount(), static_cast<int64_t>(kItems))
+        << "threads=" << threads;
+    std::vector<int64_t> counts = h->BucketCounts();
+    ASSERT_EQ(counts.size(), 2u);
+    EXPECT_EQ(counts[0], static_cast<int64_t>(kItems) * 51 / 100);
+    EXPECT_EQ(counts[1], static_cast<int64_t>(kItems) * 49 / 100);
+  }
+}
+
+TEST_F(ObsMetricsTest, SnapshotIsSortedAndSearchable) {
+  MetricsRegistry::Get().GetCounter("test.b")->Add(2);
+  MetricsRegistry::Get().GetCounter("test.a")->Add(1);
+  MetricsSnapshot snapshot = MetricsRegistry::Get().Snapshot();
+  // std::map ordering: every counter list is sorted by name.
+  for (size_t i = 1; i < snapshot.counters.size(); ++i) {
+    EXPECT_LT(snapshot.counters[i - 1].name, snapshot.counters[i].name);
+  }
+  EXPECT_EQ(snapshot.CounterTotal("test.a"), 1);
+  EXPECT_EQ(snapshot.CounterTotal("test.b"), 2);
+  EXPECT_EQ(snapshot.CounterTotal("test.absent"), 0);
+}
+
+TEST_F(ObsMetricsTest, JsonAndTextCarryValues) {
+  MetricsRegistry::Get().GetCounter("test.json_counter")->Add(17);
+  MetricsRegistry::Get().GetGauge("test.json_gauge")->Set(-4);
+  MetricsRegistry::Get().GetHistogram("test.json_histo", {5})->Record(3);
+  MetricsSnapshot snapshot = MetricsRegistry::Get().Snapshot();
+  std::string json = snapshot.ToJson();
+  EXPECT_NE(json.find("\"test.json_counter\": 17"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"test.json_gauge\": -4"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"test.json_histo\""), std::string::npos) << json;
+  std::string text = snapshot.ToText();
+  EXPECT_NE(text.find("test.json_counter"), std::string::npos);
+  EXPECT_NE(text.find("17"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace procmine

@@ -11,6 +11,14 @@
 //                  --out=FILE                  synthetic workload
 //   procmine convert <in> <out>                format conversion by extension
 //
+// Global observability flags (valid on every command):
+//   --trace-out=FILE    record phase spans, write Chrome trace-event JSON
+//                       (open in chrome://tracing or ui.perfetto.dev) and
+//                       print a per-phase summary to stderr
+//   --metrics-out=FILE  record pipeline counters, write a JSON snapshot
+//   --log-level=LEVEL   debug|info|warning|error (default info)
+//   --log-json          emit log lines as JSON objects (machine-parseable)
+//
 // Log files are read by extension: .bin (binary format), .xes (XES XML),
 // anything else as the text event format. Model edge files are plain text,
 // one "From To" pair per line, '#' comments allowed.
@@ -24,6 +32,8 @@
 
 #include "graph/ascii.h"
 #include "graph/dot.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "log/binary_log.h"
 #include "mine/performance.h"
 #include "log/reader.h"
@@ -43,6 +53,7 @@
 #include "workflow/fdl.h"
 #include "synth/log_generator.h"
 #include "synth/random_dag.h"
+#include "util/logging.h"
 #include "util/strings.h"
 
 using namespace procmine;
@@ -617,19 +628,63 @@ void PrintUsage() {
       "           [--agents=K --max-duration=D] --out=FILE\n"
       "  patterns <log> [--support=N] [--max-length=K] [--maximal]\n"
       "  convert <in> <out>\n"
+      "global flags (any command): --trace-out=FILE (Chrome trace JSON +\n"
+      "per-phase summary), --metrics-out=FILE (counter snapshot JSON),\n"
+      "--log-level=debug|info|warning|error, --log-json (JSON-lines logs)\n"
       "log formats by extension: .bin (binary), .xes (XES XML), .csv\n"
       "(export only), anything else = text event format\n";
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
-  if (argc < 2) {
-    PrintUsage();
-    return 2;
+/// Applies --log-level / --log-json / --trace-out / --metrics-out before the
+/// command runs. Returns false (after printing why) on a malformed value.
+bool SetUpObservability(const Args& args) {
+  if (args.Has("log-level")) {
+    LogLevel level;
+    if (!ParseLogLevel(args.Get("log-level"), &level)) {
+      std::cerr << "bad --log-level: " << args.Get("log-level")
+                << " (want debug|info|warning|error)\n";
+      return false;
+    }
+    SetLogLevel(level);
   }
-  std::string command = argv[1];
-  Args args = ParseArgs(argc, argv);
+  if (args.Has("log-json")) SetLogFormat(LogFormat::kJsonLines);
+  if (args.Has("trace-out")) {
+    obs::SetTracingEnabled(true);
+    // A trace embeds counter totals, so tracing implies metrics.
+    obs::SetMetricsEnabled(true);
+  }
+  if (args.Has("metrics-out")) obs::SetMetricsEnabled(true);
+  return true;
+}
+
+/// Writes the trace / metrics files after the command finished. Failures are
+/// reported but do not change the command's exit code semantics beyond 1.
+int FlushObservability(const Args& args, int rc) {
+  if (args.Has("trace-out")) {
+    std::ofstream out(args.Get("trace-out"));
+    if (!out) {
+      std::cerr << "cannot write " << args.Get("trace-out") << "\n";
+      return rc == 0 ? 1 : rc;
+    }
+    out << obs::TraceRecorder::Get().ChromeTraceJson();
+    std::fprintf(stderr, "wrote trace to %s\n%s",
+                 args.Get("trace-out").c_str(),
+                 obs::TraceRecorder::Get().SummaryText().c_str());
+  }
+  if (args.Has("metrics-out")) {
+    std::ofstream out(args.Get("metrics-out"));
+    if (!out) {
+      std::cerr << "cannot write " << args.Get("metrics-out") << "\n";
+      return rc == 0 ? 1 : rc;
+    }
+    out << obs::MetricsRegistry::Get().Snapshot().ToJson();
+    std::fprintf(stderr, "wrote metrics to %s\n",
+                 args.Get("metrics-out").c_str());
+  }
+  return rc;
+}
+
+int Dispatch(const std::string& command, const Args& args) {
   if (command == "mine") return CommandMine(args);
   if (command == "check") return CommandCheck(args);
   if (command == "diff") return CommandDiff(args);
@@ -644,4 +699,18 @@ int main(int argc, char** argv) {
   if (command == "convert") return CommandConvert(args);
   PrintUsage();
   return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    PrintUsage();
+    return 2;
+  }
+  std::string command = argv[1];
+  Args args = ParseArgs(argc, argv);
+  if (!SetUpObservability(args)) return 2;
+  int rc = Dispatch(command, args);
+  return FlushObservability(args, rc);
 }
