@@ -1,0 +1,22 @@
+#!/bin/sh
+# Quick-mode ingestion smoke: builds bench_ingest in an existing (or fresh)
+# Release tree and runs the BenchIngestQuick ctest gate, which fails if the
+# zero-copy text path drops below 3x the legacy reader's events/sec.
+# Also runs the ingest equivalence suite first, so a speedup measured on a
+# wrong parse never counts.
+#
+# Usage: scripts/bench-smoke.sh [build-dir]   (default: build)
+
+set -eu
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build}"
+
+if [ ! -f "$BUILD_DIR/CMakeCache.txt" ]; then
+  cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release
+fi
+cmake --build "$BUILD_DIR" -j --target bench_ingest ingest_equivalence_test
+
+ctest --test-dir "$BUILD_DIR" --output-on-failure -R 'IngestEquivalence'
+ctest --test-dir "$BUILD_DIR" --output-on-failure -R 'BenchIngestQuick'
+echo "ingestion smoke OK: see $BUILD_DIR/BENCH_ingest.json"

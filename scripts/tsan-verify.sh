@@ -1,8 +1,9 @@
 #!/bin/sh
 # Builds the suite under ThreadSanitizer and runs the tests that exercise
 # the concurrent machinery: the obs metrics/span recorders, the thread
-# pool, and the parallel-determinism sweep. Run whenever the parallel
-# pipeline or src/obs/ changes.
+# pool, the parallel-determinism sweep, and the sharded parallel log
+# parser (ingest equivalence). Run whenever the parallel pipeline,
+# src/obs/, or the ingestion layer changes.
 #
 # Usage: scripts/tsan-verify.sh [build-dir]   (default: build-tsan)
 
@@ -18,7 +19,8 @@ cmake -B "$BUILD_DIR" -S . \
   -DPROCMINE_BUILD_EXAMPLES=OFF
 cmake --build "$BUILD_DIR" -j \
   --target obs_metrics_test obs_trace_test thread_pool_test \
-           parallel_determinism_test
+           parallel_determinism_test ingest_equivalence_test \
+           mapped_file_test
 
 ctest --test-dir "$BUILD_DIR" --output-on-failure \
-  -R 'Obs|ThreadPool|ParallelDeterminism'
+  -R 'Obs|ThreadPool|ParallelDeterminism|IngestEquivalence|MappedFile'

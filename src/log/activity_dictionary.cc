@@ -5,7 +5,7 @@
 namespace procmine {
 
 ActivityId ActivityDictionary::Intern(std::string_view name) {
-  auto it = index_.find(std::string(name));
+  auto it = index_.find(name);
   if (it != index_.end()) return it->second;
   ActivityId id = static_cast<ActivityId>(names_.size());
   names_.emplace_back(name);
@@ -14,7 +14,7 @@ ActivityId ActivityDictionary::Intern(std::string_view name) {
 }
 
 Result<ActivityId> ActivityDictionary::Find(std::string_view name) const {
-  auto it = index_.find(std::string(name));
+  auto it = index_.find(name);
   if (it == index_.end()) {
     return Status::NotFound("unknown activity: '" + std::string(name) + "'");
   }

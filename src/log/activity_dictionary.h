@@ -40,7 +40,15 @@ class ActivityDictionary {
   const std::vector<std::string>& names() const { return names_; }
 
  private:
-  std::unordered_map<std::string, ActivityId> index_;
+  // Transparent hashing so Intern/Find probe with a string_view directly —
+  // no temporary std::string per lookup.
+  struct Hash {
+    using is_transparent = void;
+    size_t operator()(std::string_view s) const {
+      return std::hash<std::string_view>{}(s);
+    }
+  };
+  std::unordered_map<std::string, ActivityId, Hash, std::equal_to<>> index_;
   std::vector<std::string> names_;
 };
 

@@ -1,12 +1,12 @@
 #include "log/binary_log.h"
 
 #include <fstream>
-#include <sstream>
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "util/coding.h"
 #include "util/crc32c.h"
+#include "util/mapped_file.h"
 #include "util/strings.h"
 
 namespace procmine {
@@ -137,12 +137,13 @@ Status WriteBinaryLogFile(const EventLog& log, const std::string& path) {
 
 Result<EventLog> ReadBinaryLogFile(const std::string& path) {
   PROCMINE_SPAN("log.read_binary");
-  std::ifstream file(path, std::ios::binary);
-  if (!file) return Status::IOError("cannot open: " + path);
-  std::ostringstream buffer;
-  buffer << file.rdbuf();
-  if (file.bad()) return Status::IOError("read failed: " + path);
-  Result<EventLog> log = DecodeBinaryLog(buffer.str());
+  // Decode straight out of the mapping: the varint cursor walks the page
+  // cache and only the dictionary strings and outputs are copied.
+  PROCMINE_ASSIGN_OR_RETURN(MappedFile file, MappedFile::Open(path));
+  static obs::Counter* bytes =
+      obs::MetricsRegistry::Get().GetCounter("log.bytes_read");
+  bytes->Add(static_cast<int64_t>(file.size()));
+  Result<EventLog> log = DecodeBinaryLog(file.data());
   if (log.ok()) {
     static obs::Counter* read =
         obs::MetricsRegistry::Get().GetCounter("log.executions_read");

@@ -1,0 +1,179 @@
+#include "log/event_assembly.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "obs/trace.h"
+#include "util/strings.h"
+
+namespace procmine {
+
+namespace {
+
+/// FIFO of open START events for one activity, reused across instances.
+/// pop-from-front is an index bump; Reset() reclaims the storage.
+struct OpenStarts {
+  struct Pending {
+    int64_t timestamp;
+    size_t seq;  // position in the instance's time-sorted record order
+  };
+  std::vector<Pending> queue;
+  size_t head = 0;
+
+  bool empty() const { return head == queue.size(); }
+  void Reset() {
+    queue.clear();
+    head = 0;
+  }
+};
+
+/// Stable sort tuned for per-execution event counts: executions are almost
+/// always small, and std::stable_sort allocates a merge buffer per call —
+/// insertion sort (inherently stable) avoids that for the common case.
+template <typename T, typename Less>
+void StableSortSmall(std::vector<T>* v, Less less) {
+  if (v->size() > 64) {
+    std::stable_sort(v->begin(), v->end(), less);
+    return;
+  }
+  for (size_t i = 1; i < v->size(); ++i) {
+    T value = std::move((*v)[i]);
+    size_t j = i;
+    while (j > 0 && less(value, (*v)[j - 1])) {
+      (*v)[j] = std::move((*v)[j - 1]);
+      --j;
+    }
+    (*v)[j] = std::move(value);
+  }
+}
+
+}  // namespace
+
+Result<EventLog> AssembleEventLog(const CompactEventBatch& batch) {
+  PROCMINE_SPAN("log.assemble");
+  const size_t num_instances = batch.instance_names.size();
+  const size_t num_activities = batch.activity_names.size();
+
+  // Group event indices by process instance with a stable counting sort:
+  // grouped[group_begin[i] .. group_begin[i+1]) are instance i's events in
+  // log order.
+  std::vector<uint32_t> group_begin(num_instances + 1, 0);
+  for (const CompactEvent& e : batch.events) {
+    ++group_begin[static_cast<size_t>(e.instance) + 1];
+  }
+  std::partial_sum(group_begin.begin(), group_begin.end(),
+                   group_begin.begin());
+  std::vector<uint32_t> grouped(batch.events.size());
+  {
+    std::vector<uint32_t> cursor(group_begin.begin(), group_begin.end() - 1);
+    for (uint32_t i = 0; i < batch.events.size(); ++i) {
+      grouped[cursor[static_cast<size_t>(batch.events[i].instance)]++] = i;
+    }
+  }
+
+  // Instances are emitted in name order (the std::map order of the original
+  // grouping); ties cannot occur since names are interned uniquely.
+  std::vector<int32_t> by_name(num_instances);
+  std::iota(by_name.begin(), by_name.end(), 0);
+  std::sort(by_name.begin(), by_name.end(), [&](int32_t a, int32_t b) {
+    return batch.instance_names[static_cast<size_t>(a)] <
+           batch.instance_names[static_cast<size_t>(b)];
+  });
+
+  EventLog log;
+  // Activity interning is deferred until an END event pairs, so dictionary
+  // ids are assigned in pairing order — the same order FromEvents always
+  // produced. temp_to_final memoizes one Intern per distinct activity.
+  std::vector<ActivityId> temp_to_final(num_activities, -1);
+  std::vector<OpenStarts> open(num_activities);
+  std::vector<int32_t> touched;  // activity ids with a non-Reset() queue
+  std::vector<uint32_t> order;   // one instance's events, time-sorted
+  std::vector<ActivityInstance> instances;
+
+  for (int32_t inst_id : by_name) {
+    const uint32_t begin = group_begin[static_cast<size_t>(inst_id)];
+    const uint32_t end = group_begin[static_cast<size_t>(inst_id) + 1];
+    if (begin == end) continue;
+    std::string_view inst_name =
+        batch.instance_names[static_cast<size_t>(inst_id)];
+
+    order.assign(grouped.begin() + begin, grouped.begin() + end);
+    StableSortSmall(&order, [&](uint32_t a, uint32_t b) {
+      const CompactEvent& x = batch.events[a];
+      const CompactEvent& y = batch.events[b];
+      if (x.timestamp != y.timestamp) return x.timestamp < y.timestamp;
+      // START before END at equal timestamps, so an instantaneous
+      // activity pairs with itself.
+      return x.type < y.type;
+    });
+
+    auto release_queues = [&]() {
+      for (int32_t a : touched) open[static_cast<size_t>(a)].Reset();
+      touched.clear();
+    };
+
+    instances.clear();
+    for (size_t seq = 0; seq < order.size(); ++seq) {
+      const CompactEvent& e = batch.events[order[seq]];
+      OpenStarts& fifo = open[static_cast<size_t>(e.activity)];
+      if (e.type == EventType::kStart) {
+        if (fifo.queue.empty()) touched.push_back(e.activity);
+        fifo.queue.push_back({e.timestamp, seq});
+        continue;
+      }
+      if (fifo.empty()) {
+        release_queues();
+        return Status::InvalidArgument(StrFormat(
+            "execution '%s': END without START for activity '%s'",
+            std::string(inst_name).c_str(),
+            std::string(batch.activity_names[static_cast<size_t>(e.activity)])
+                .c_str()));
+      }
+      ActivityInstance inst;
+      inst.activity = e.activity;  // temp id; remapped below
+      inst.start = fifo.queue[fifo.head++].timestamp;
+      inst.end = e.timestamp;
+      inst.output.assign(
+          batch.outputs.begin() + e.output_begin,
+          batch.outputs.begin() + e.output_begin + e.output_count);
+      instances.push_back(std::move(inst));
+    }
+    // Report the earliest START (in time-sorted order) left unmatched.
+    size_t first_seq = order.size();
+    int32_t first_activity = -1;
+    for (int32_t a : touched) {
+      const OpenStarts& fifo = open[static_cast<size_t>(a)];
+      if (!fifo.empty() && fifo.queue[fifo.head].seq < first_seq) {
+        first_seq = fifo.queue[fifo.head].seq;
+        first_activity = a;
+      }
+    }
+    release_queues();
+    if (first_activity >= 0) {
+      return Status::InvalidArgument(StrFormat(
+          "execution '%s': START without END for activity '%s'",
+          std::string(inst_name).c_str(),
+          std::string(batch.activity_names[static_cast<size_t>(first_activity)])
+              .c_str()));
+    }
+
+    for (ActivityInstance& inst : instances) {
+      ActivityId& final_id = temp_to_final[static_cast<size_t>(inst.activity)];
+      if (final_id < 0) {
+        final_id = log.dictionary().Intern(
+            batch.activity_names[static_cast<size_t>(inst.activity)]);
+      }
+      inst.activity = final_id;
+    }
+    StableSortSmall(&instances,
+                    [](const ActivityInstance& a, const ActivityInstance& b) {
+                      return a.start < b.start;
+                    });
+    Execution exec{std::string(inst_name)};
+    for (ActivityInstance& inst : instances) exec.Append(std::move(inst));
+    log.AddExecution(std::move(exec));
+  }
+  return log;
+}
+
+}  // namespace procmine

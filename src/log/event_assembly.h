@@ -1,0 +1,58 @@
+// Compact event batches and the shared EventLog assembly pass.
+//
+// Both ingestion fronts — the legacy EventLog::FromEvents compatibility API
+// and the zero-copy file parser in LogReader — reduce their input to the
+// same dictionary-encoded intermediate: name tables plus fixed-size event
+// records whose variable-length pieces (names, output vectors) live in
+// side pools. AssembleEventLog then performs the one canonical
+// group → sort → START/END-pair → intern pass, so every ingestion path
+// produces byte-identical EventLogs and identical error messages by
+// construction.
+//
+// The name tables are string_views borrowed from the caller (raw Event
+// structs or an mmapped file); they must stay alive across the call.
+// AssembleEventLog copies them into the EventLog's own dictionary.
+
+#ifndef PROCMINE_LOG_EVENT_ASSEMBLY_H_
+#define PROCMINE_LOG_EVENT_ASSEMBLY_H_
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "log/event.h"
+#include "log/event_log.h"
+#include "util/result.h"
+
+namespace procmine {
+
+/// One parsed event with every string replaced by a table index and outputs
+/// referenced in a shared pool. 24 bytes instead of two heap strings.
+struct CompactEvent {
+  int32_t instance = -1;      ///< index into CompactEventBatch::instance_names
+  int32_t activity = -1;      ///< index into CompactEventBatch::activity_names
+  EventType type = EventType::kStart;
+  int64_t timestamp = 0;
+  uint32_t output_begin = 0;  ///< first output value in the pool
+  uint32_t output_count = 0;
+};
+
+/// A batch of compact events in log order, with borrowed name tables.
+struct CompactEventBatch {
+  std::vector<std::string_view> instance_names;  ///< by CompactEvent::instance
+  std::vector<std::string_view> activity_names;  ///< by CompactEvent::activity
+  std::vector<CompactEvent> events;              ///< original log order
+  std::vector<int64_t> outputs;                  ///< shared output-value pool
+};
+
+/// Assembles a batch into an EventLog: groups events by process instance
+/// (instances ordered by name), pairs START/END events FIFO per activity,
+/// orders instances by start time, and interns activity names into the
+/// log's dictionary. Semantics and error messages match the documented
+/// EventLog::FromEvents contract; the result is deterministic — independent
+/// of how the batch was produced or sharded.
+Result<EventLog> AssembleEventLog(const CompactEventBatch& batch);
+
+}  // namespace procmine
+
+#endif  // PROCMINE_LOG_EVENT_ASSEMBLY_H_

@@ -1,10 +1,10 @@
 #include "log/event_log.h"
 
 #include <algorithm>
-#include <deque>
-#include <map>
+#include <string_view>
 #include <unordered_map>
 
+#include "log/event_assembly.h"
 #include "util/strings.h"
 
 namespace procmine {
@@ -36,63 +36,37 @@ EventLog EventLog::FromSequences(
 }
 
 Result<EventLog> EventLog::FromEvents(const std::vector<Event>& events) {
-  // Group events by process instance, preserving log order within a group.
-  // std::map keeps instance iteration deterministic.
-  std::map<std::string, std::vector<const Event*>> by_instance;
+  // Dictionary-encode into a compact batch (string_view keys borrow from
+  // `events`, so no per-event string is built for the lookups), then run the
+  // canonical assembly pass shared with the zero-copy file parser.
+  CompactEventBatch batch;
+  batch.events.reserve(events.size());
+  std::unordered_map<std::string_view, int32_t> instance_ids;
+  std::unordered_map<std::string_view, int32_t> activity_ids;
+  instance_ids.reserve(events.size());
+  auto intern = [](std::unordered_map<std::string_view, int32_t>* ids,
+                   std::vector<std::string_view>* names,
+                   std::string_view name) {
+    auto [it, inserted] =
+        ids->emplace(name, static_cast<int32_t>(names->size()));
+    if (inserted) names->push_back(name);
+    return it->second;
+  };
   for (const Event& e : events) {
-    by_instance[e.process_instance].push_back(&e);
+    CompactEvent compact;
+    compact.instance = intern(&instance_ids, &batch.instance_names,
+                              e.process_instance);
+    compact.activity = intern(&activity_ids, &batch.activity_names,
+                              e.activity);
+    compact.type = e.type;
+    compact.timestamp = e.timestamp;
+    compact.output_begin = static_cast<uint32_t>(batch.outputs.size());
+    compact.output_count = static_cast<uint32_t>(e.output.size());
+    batch.outputs.insert(batch.outputs.end(), e.output.begin(),
+                         e.output.end());
+    batch.events.push_back(compact);
   }
-
-  EventLog log;
-  for (auto& [instance_name, records] : by_instance) {
-    std::stable_sort(records.begin(), records.end(),
-                     [](const Event* a, const Event* b) {
-                       if (a->timestamp != b->timestamp) {
-                         return a->timestamp < b->timestamp;
-                       }
-                       // START before END at equal timestamps, so an
-                       // instantaneous activity pairs with itself.
-                       return a->type < b->type;
-                     });
-    // FIFO queues of open START events per activity name.
-    std::unordered_map<std::string, std::deque<const Event*>> open;
-    std::vector<ActivityInstance> instances;
-    for (const Event* e : records) {
-      if (e->type == EventType::kStart) {
-        open[e->activity].push_back(e);
-        continue;
-      }
-      auto it = open.find(e->activity);
-      if (it == open.end() || it->second.empty()) {
-        return Status::InvalidArgument(
-            StrFormat("execution '%s': END without START for activity '%s'",
-                      instance_name.c_str(), e->activity.c_str()));
-      }
-      const Event* start = it->second.front();
-      it->second.pop_front();
-      ActivityInstance inst;
-      inst.activity = log.dict_.Intern(e->activity);
-      inst.start = start->timestamp;
-      inst.end = e->timestamp;
-      inst.output = e->output;
-      instances.push_back(std::move(inst));
-    }
-    for (const auto& [name, queue] : open) {
-      if (!queue.empty()) {
-        return Status::InvalidArgument(
-            StrFormat("execution '%s': START without END for activity '%s'",
-                      instance_name.c_str(), name.c_str()));
-      }
-    }
-    std::stable_sort(instances.begin(), instances.end(),
-                     [](const ActivityInstance& a, const ActivityInstance& b) {
-                       return a.start < b.start;
-                     });
-    Execution exec(instance_name);
-    for (auto& inst : instances) exec.Append(std::move(inst));
-    log.AddExecution(std::move(exec));
-  }
-  return log;
+  return AssembleEventLog(batch);
 }
 
 std::vector<ExecutionSpan> EventLog::Shards(size_t num_shards) const {

@@ -1,12 +1,18 @@
 #include "log/reader.h"
 
-#include <fstream>
+#include <algorithm>
+#include <charconv>
+#include <cstring>
 #include <sstream>
+#include <unordered_map>
 
+#include "log/event_assembly.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "util/logging.h"
+#include "util/mapped_file.h"
 #include "util/strings.h"
+#include "util/thread_pool.h"
 
 namespace procmine {
 
@@ -71,21 +77,288 @@ Result<EventLog> LogReader::ReadString(const std::string& text) {
   return EventLog::FromEvents(events);
 }
 
-Result<EventLog> LogReader::ReadFile(const std::string& path) {
-  PROCMINE_SPAN("log.read_text");
-  std::ifstream file(path);
-  if (!file) return Status::IOError("cannot open: " + path);
-  std::ostringstream buffer;
-  buffer << file.rdbuf();
-  if (file.bad()) return Status::IOError("read failed: " + path);
-  Result<EventLog> log = ReadString(buffer.str());
+namespace {
+
+/// One parser shard's output: compact events over shard-local name tables,
+/// or the shard's first error. Name views alias the input text.
+struct ParseShardResult {
+  std::vector<std::string_view> instance_names;
+  std::vector<std::string_view> activity_names;
+  std::vector<CompactEvent> events;
+  std::vector<int64_t> outputs;
+  int64_t lines = 0;       // lines consumed (complete count iff no error)
+  int64_t error_line = 0;  // shard-local 1-based line of the first error
+  std::string error;       // message without the "line N: " prefix
+
+  bool ok() const { return error.empty(); }
+};
+
+int32_t InternView(std::unordered_map<std::string_view, int32_t>* ids,
+                   std::vector<std::string_view>* names,
+                   std::string_view name) {
+  auto [it, inserted] =
+      ids->emplace(name, static_cast<int32_t>(names->size()));
+  if (inserted) names->push_back(name);
+  return it->second;
+}
+
+/// The std::isspace C-locale set without going through libc: space plus
+/// the \t..\r control range.
+inline bool IsFieldSpace(char c) {
+  return c == ' ' || static_cast<unsigned char>(c - '\t') <= '\r' - '\t';
+}
+
+/// Strict integer scan for the hot path: digits with an optional '-', fully
+/// consumed. Anything else (leading '+', whitespace, junk) falls back to
+/// ParseInt64, which owns the exact dialect and error wording.
+inline bool FastParseInt(std::string_view s, int64_t* out) {
+  auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), *out);
+  return ec == std::errc() && ptr == s.data() + s.size();
+}
+
+/// Tokenize-and-encode pass over one chunk of whole lines. Validation order
+/// and error wording replicate LogReader::ParseEvents exactly; the events
+/// themselves are dictionary-encoded on the fly instead of materialized.
+/// The loop is a single pointer scan: fields are carved out in place, so no
+/// per-line Trim/split containers and no string copies on the happy path.
+void ParseShard(std::string_view chunk, ParseShardResult* r) {
+  PROCMINE_SPAN("log.parse_shard");
+  // ~32 bytes is a conservative guess at the bytes-per-event line; a low
+  // guess only costs a few vector doublings.
+  r->events.reserve(chunk.size() / 32 + 1);
+  std::unordered_map<std::string_view, int32_t> instance_ids;
+  std::unordered_map<std::string_view, int32_t> activity_ids;
+  // Consecutive lines usually repeat the instance (executions are written
+  // contiguously) and often the activity (a START/END pair); a one-entry
+  // cache skips the hash lookup for those runs.
+  std::string_view last_instance, last_activity;
+  int32_t last_instance_id = -1, last_activity_id = -1;
+  const char* p = chunk.data();
+  const char* const end = p + chunk.size();
+  while (p < end) {
+    const char* nl = static_cast<const char*>(
+        memchr(p, '\n', static_cast<size_t>(end - p)));
+    const char* const line_end = nl != nullptr ? nl : end;
+    const char* q = p;
+    p = nl != nullptr ? nl + 1 : end;
+    ++r->lines;
+    // Carve the four fixed fields.
+    std::string_view fields[4];
+    size_t nfields = 0;
+    while (nfields < 4) {
+      while (q < line_end && IsFieldSpace(*q)) ++q;
+      if (q == line_end) break;
+      const char* f = q;
+      while (q < line_end && !IsFieldSpace(*q)) ++q;
+      fields[nfields++] = std::string_view(f, static_cast<size_t>(q - f));
+    }
+    if (nfields == 0) continue;           // blank line
+    if (fields[0][0] == '#') continue;    // comment
+    if (nfields < 4) {                    // scanner drained the line
+      r->error_line = r->lines;
+      r->error = StrFormat("expected at least 4 fields, got %zu", nfields);
+      return;
+    }
+    CompactEvent event;
+    if (fields[2] == "START") {
+      event.type = EventType::kStart;
+    } else if (fields[2] == "END") {
+      event.type = EventType::kEnd;
+    } else {
+      r->error_line = r->lines;
+      r->error = StrFormat("event type must be START or END, got '%s'",
+                           std::string(fields[2]).c_str());
+      return;
+    }
+    if (!FastParseInt(fields[3], &event.timestamp)) {
+      auto ts = ParseInt64(fields[3]);
+      if (!ts.ok()) {
+        r->error_line = r->lines;
+        r->error =
+            StrFormat("bad timestamp: %s", ts.status().message().c_str());
+        return;
+      }
+      event.timestamp = *ts;
+    }
+    // Any remaining tokens are output parameters, parsed as encountered.
+    event.output_begin = static_cast<uint32_t>(r->outputs.size());
+    for (;;) {
+      while (q < line_end && IsFieldSpace(*q)) ++q;
+      if (q == line_end) break;
+      const char* f = q;
+      while (q < line_end && !IsFieldSpace(*q)) ++q;
+      std::string_view token(f, static_cast<size_t>(q - f));
+      if (event.output_count == 0 && event.type == EventType::kStart) {
+        r->error_line = r->lines;
+        r->error = "output parameters are only valid on END events";
+        return;
+      }
+      int64_t value;
+      if (!FastParseInt(token, &value)) {
+        auto parsed = ParseInt64(token);
+        if (!parsed.ok()) {
+          r->error_line = r->lines;
+          r->error = StrFormat("bad output parameter '%s'",
+                               std::string(token).c_str());
+          return;
+        }
+        value = *parsed;
+      }
+      r->outputs.push_back(value);
+      ++event.output_count;
+    }
+    if (fields[0] == last_instance) {
+      event.instance = last_instance_id;
+    } else {
+      event.instance =
+          InternView(&instance_ids, &r->instance_names, fields[0]);
+      last_instance = fields[0];
+      last_instance_id = event.instance;
+    }
+    if (fields[1] == last_activity) {
+      event.activity = last_activity_id;
+    } else {
+      event.activity =
+          InternView(&activity_ids, &r->activity_names, fields[1]);
+      last_activity = fields[1];
+      last_activity_id = event.activity;
+    }
+    r->events.push_back(event);
+  }
+}
+
+/// Cuts `data` into `num_shards` ranges aligned on line starts. Boundary
+/// rule: the byte at offset i*size/num_shards belongs to the shard that owns
+/// the start of its line, so every line lands in exactly one shard and the
+/// cut points are a pure function of (size, num_shards) — independent of
+/// thread scheduling.
+std::vector<std::string_view> SplitChunksAtLines(std::string_view data,
+                                                 size_t num_shards) {
+  std::vector<size_t> starts;
+  starts.reserve(num_shards + 1);
+  starts.push_back(0);
+  for (size_t i = 1; i < num_shards; ++i) {
+    size_t raw = data.size() / num_shards * i;
+    if (raw == 0) {
+      starts.push_back(0);
+      continue;
+    }
+    size_t nl = data.find('\n', raw - 1);
+    starts.push_back(nl == std::string_view::npos ? data.size() : nl + 1);
+  }
+  starts.push_back(data.size());
+  std::vector<std::string_view> chunks;
+  chunks.reserve(num_shards);
+  for (size_t i = 0; i < num_shards; ++i) {
+    chunks.push_back(data.substr(starts[i], starts[i + 1] - starts[i]));
+  }
+  return chunks;
+}
+
+}  // namespace
+
+Result<EventLog> LogReader::ParseText(std::string_view text,
+                                      const LogParseOptions& options) {
+  int threads = ResolveThreadCount(options.num_threads);
+  // Under min_shard_bytes per extra shard the merge overhead outweighs the
+  // parallelism; the cut points stay deterministic because they depend only
+  // on the input size and the options, never on the schedule.
+  size_t per_shard = std::max<size_t>(1, options.min_shard_bytes);
+  size_t num_shards = std::max<size_t>(
+      1, std::min<size_t>(static_cast<size_t>(threads),
+                          text.size() / per_shard + 1));
+  std::vector<ParseShardResult> shards(num_shards);
+  std::vector<std::string_view> chunks = SplitChunksAtLines(text, num_shards);
+  if (num_shards == 1) {
+    ParseShard(chunks[0], &shards[0]);
+  } else {
+    ThreadPool pool(threads);
+    pool.ParallelFor(num_shards, [&](size_t, size_t begin, size_t end) {
+      for (size_t s = begin; s < end; ++s) ParseShard(chunks[s], &shards[s]);
+    });
+  }
+
+  // First error in file order wins: shards scan disjoint ranges in file
+  // order, so it is the lowest-indexed erroring shard's error, offset by the
+  // (complete) line counts of the shards before it.
+  int64_t line_offset = 0;
+  for (const ParseShardResult& shard : shards) {
+    if (!shard.ok()) {
+      return Status::InvalidArgument(
+          StrFormat("line %lld: %s",
+                    static_cast<long long>(line_offset + shard.error_line),
+                    shard.error.c_str()));
+    }
+    line_offset += shard.lines;
+  }
+
+  // Deterministic merge: remap shard-local ids into global tables in shard
+  // order. Global id assignment is first-appearance order over the
+  // concatenated shards — a pure function of the input bytes.
+  CompactEventBatch batch;
+  if (num_shards == 1) {
+    // The identity remap: a single shard's first-appearance order IS the
+    // global order, so its tables move over untouched.
+    batch.instance_names = std::move(shards[0].instance_names);
+    batch.activity_names = std::move(shards[0].activity_names);
+    batch.events = std::move(shards[0].events);
+    batch.outputs = std::move(shards[0].outputs);
+    return AssembleEventLog(batch);
+  }
+  {
+    size_t total_events = 0;
+    size_t total_outputs = 0;
+    for (const ParseShardResult& shard : shards) {
+      total_events += shard.events.size();
+      total_outputs += shard.outputs.size();
+    }
+    batch.events.reserve(total_events);
+    batch.outputs.reserve(total_outputs);
+  }
+  std::unordered_map<std::string_view, int32_t> instance_ids;
+  std::unordered_map<std::string_view, int32_t> activity_ids;
+  std::vector<int32_t> instance_remap;
+  std::vector<int32_t> activity_remap;
+  for (const ParseShardResult& shard : shards) {
+    instance_remap.clear();
+    activity_remap.clear();
+    for (std::string_view name : shard.instance_names) {
+      instance_remap.push_back(
+          InternView(&instance_ids, &batch.instance_names, name));
+    }
+    for (std::string_view name : shard.activity_names) {
+      activity_remap.push_back(
+          InternView(&activity_ids, &batch.activity_names, name));
+    }
+    const uint32_t output_base = static_cast<uint32_t>(batch.outputs.size());
+    batch.outputs.insert(batch.outputs.end(), shard.outputs.begin(),
+                         shard.outputs.end());
+    for (CompactEvent event : shard.events) {
+      event.instance = instance_remap[static_cast<size_t>(event.instance)];
+      event.activity = activity_remap[static_cast<size_t>(event.activity)];
+      event.output_begin += output_base;
+      batch.events.push_back(event);
+    }
+  }
+  return AssembleEventLog(batch);
+}
+
+Result<EventLog> LogReader::ReadFile(const std::string& path,
+                                     const LogParseOptions& options) {
+  PROCMINE_SPAN("log.read_mmap");
+  PROCMINE_ASSIGN_OR_RETURN(MappedFile file, MappedFile::Open(path));
+  static obs::Counter* bytes =
+      obs::MetricsRegistry::Get().GetCounter("log.bytes_read");
+  bytes->Add(static_cast<int64_t>(file.size()));
+  Result<EventLog> log = ParseText(file.data(), options);
   if (log.ok()) {
     static obs::Counter* read =
         obs::MetricsRegistry::Get().GetCounter("log.executions_read");
     read->Add(static_cast<int64_t>(log->num_executions()));
     PROCMINE_LOG(Debug) << "read " << log->num_executions()
                         << " executions over " << log->num_activities()
-                        << " activities from " << path;
+                        << " activities from " << path
+                        << (file.is_mapped() ? " (mmap)" : " (buffered)");
   }
   return log;
 }

@@ -5,11 +5,27 @@
 // Blank lines and lines starting with '#' are ignored. Output parameters may
 // only appear on END events (Definition 2: O is the output of the activity
 // if E = END and a null vector otherwise).
+//
+// Two ingestion paths produce identical EventLogs (and identical error
+// messages on malformed input):
+//
+//  * ParseEvents/ReadString — the compatibility API: materializes a
+//    std::vector<Event> (two owning strings per event) and assembles it
+//    via EventLog::FromEvents.
+//  * ParseText/ReadFile — the zero-copy path: ReadFile mmaps the file
+//    (MappedFile, buffered fallback) and the fused parser tokenizes
+//    string_views straight out of the mapping, interning names into
+//    dictionary ids as it scans; no Event vector is ever built. With
+//    options.num_threads > 1 the input is split at line boundaries and
+//    parsed in parallel with shard-local dictionaries, followed by a
+//    deterministic remap+merge — the result is byte-identical to
+//    single-threaded parsing for any thread count.
 
 #ifndef PROCMINE_LOG_READER_H_
 #define PROCMINE_LOG_READER_H_
 
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "log/event.h"
@@ -18,16 +34,37 @@
 
 namespace procmine {
 
+/// Knobs for the zero-copy ingestion path.
+struct LogParseOptions {
+  /// Parser shards. 1 = sequential; <= 0 = hardware concurrency. The parsed
+  /// log is byte-identical for any value.
+  int num_threads = 1;
+
+  /// Minimum input bytes per parser shard: inputs smaller than
+  /// 2 * min_shard_bytes stay single-shard so tiny logs skip the merge.
+  /// Tests lower this to force multi-shard parses on small corpora; the
+  /// result is byte-identical for any value.
+  size_t min_shard_bytes = 256 * 1024;
+};
+
 class LogReader {
  public:
-  /// Parses raw event records from log text.
+  /// Parses raw event records from log text (compatibility API).
   static Result<std::vector<Event>> ParseEvents(const std::string& text);
 
-  /// Parses log text and assembles it into an EventLog.
+  /// Parses log text and assembles it into an EventLog via ParseEvents
+  /// (compatibility API; prefer ParseText).
   static Result<EventLog> ReadString(const std::string& text);
 
-  /// Reads and assembles a log file.
-  static Result<EventLog> ReadFile(const std::string& path);
+  /// Fused zero-copy parser: tokenizes `text` in place and interns names
+  /// directly into the EventLog's dictionary. Equivalent to ReadString on
+  /// every input, valid or not.
+  static Result<EventLog> ParseText(std::string_view text,
+                                    const LogParseOptions& options = {});
+
+  /// Reads and assembles a log file through the mmap + ParseText path.
+  static Result<EventLog> ReadFile(const std::string& path,
+                                   const LogParseOptions& options = {});
 };
 
 }  // namespace procmine

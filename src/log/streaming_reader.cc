@@ -2,10 +2,11 @@
 
 #include <algorithm>
 #include <deque>
-#include <fstream>
 #include <unordered_map>
 #include <unordered_set>
 
+#include "obs/trace.h"
+#include "util/mapped_file.h"
 #include "util/strings.h"
 
 namespace procmine {
@@ -70,78 +71,111 @@ class InstanceAssembler {
   std::vector<ActivityInstance> instances_;
 };
 
+/// Line-at-a-time scan state, shared by the istream loop and the mmap file
+/// path: ProcessLine per input line (views may alias caller storage; they
+/// are consumed before return), then Finish once at end of input.
+class StreamParser {
+ public:
+  explicit StreamParser(const ExecutionCallback& callback)
+      : callback_(callback) {
+    fields_.reserve(8);
+  }
+
+  Status ProcessLine(std::string_view line) {
+    ++stats_.lines;
+    std::string_view trimmed = Trim(line);
+    if (trimmed.empty() || trimmed[0] == '#') return Status::OK();
+    SplitWhitespaceViews(trimmed, &fields_);
+    if (fields_.size() < 4) {
+      return Status::InvalidArgument(
+          StrFormat("line %lld: expected at least 4 fields",
+                    static_cast<long long>(stats_.lines)));
+    }
+    std::string_view instance = fields_[0];
+    bool is_start = fields_[2] == "START";
+    if (!is_start && fields_[2] != "END") {
+      return Status::InvalidArgument(
+          StrFormat("line %lld: bad event type '%s'",
+                    static_cast<long long>(stats_.lines),
+                    std::string(fields_[2]).c_str()));
+    }
+    auto timestamp = ParseInt64(fields_[3]);
+    if (!timestamp.ok()) {
+      return Status::InvalidArgument(
+          StrFormat("line %lld: bad timestamp",
+                    static_cast<long long>(stats_.lines)));
+    }
+    std::vector<int64_t> output;
+    for (size_t i = 4; i < fields_.size(); ++i) {
+      PROCMINE_ASSIGN_OR_RETURN(int64_t value, ParseInt64(fields_[i]));
+      output.push_back(value);
+    }
+
+    if (current_ == nullptr || current_->name() != instance) {
+      if (finished_.count(std::string(instance)) > 0) {
+        return Status::InvalidArgument(StrFormat(
+            "line %lld: events of instance '%s' are not contiguous",
+            static_cast<long long>(stats_.lines),
+            std::string(instance).c_str()));
+      }
+      PROCMINE_RETURN_NOT_OK(FinishCurrent());
+      current_ = std::make_unique<InstanceAssembler>(std::string(instance));
+    }
+    ++stats_.events;
+    return current_->Add(dict_.Intern(fields_[1]), is_start, *timestamp,
+                         std::move(output), &dict_);
+  }
+
+  Result<StreamingStats> Finish() {
+    PROCMINE_RETURN_NOT_OK(FinishCurrent());
+    return stats_;
+  }
+
+ private:
+  Status FinishCurrent() {
+    if (current_ == nullptr) return Status::OK();
+    PROCMINE_ASSIGN_OR_RETURN(Execution exec, current_->Finish(dict_));
+    finished_.insert(current_->name());
+    current_.reset();
+    ++stats_.executions;
+    return callback_(exec, dict_);
+  }
+
+  const ExecutionCallback& callback_;
+  StreamingStats stats_;
+  ActivityDictionary dict_;
+  std::unordered_set<std::string> finished_;
+  std::unique_ptr<InstanceAssembler> current_;
+  std::vector<std::string_view> fields_;
+};
+
 }  // namespace
 
 Result<StreamingStats> StreamLog(std::istream* input,
                                  const ExecutionCallback& callback) {
-  StreamingStats stats;
-  ActivityDictionary dict;
-  std::unordered_set<std::string> finished;
-  std::unique_ptr<InstanceAssembler> current;
+  StreamParser parser(callback);
   std::string line;
-
-  auto finish_current = [&]() -> Status {
-    if (current == nullptr) return Status::OK();
-    PROCMINE_ASSIGN_OR_RETURN(Execution exec, current->Finish(dict));
-    finished.insert(current->name());
-    current.reset();
-    ++stats.executions;
-    return callback(exec, dict);
-  };
-
   while (std::getline(*input, line)) {
-    ++stats.lines;
-    std::string_view trimmed = Trim(line);
-    if (trimmed.empty() || trimmed[0] == '#') continue;
-    std::vector<std::string> fields = SplitWhitespace(trimmed);
-    if (fields.size() < 4) {
-      return Status::InvalidArgument(
-          StrFormat("line %lld: expected at least 4 fields",
-                    static_cast<long long>(stats.lines)));
-    }
-    const std::string& instance = fields[0];
-    bool is_start = fields[2] == "START";
-    if (!is_start && fields[2] != "END") {
-      return Status::InvalidArgument(
-          StrFormat("line %lld: bad event type '%s'",
-                    static_cast<long long>(stats.lines), fields[2].c_str()));
-    }
-    auto timestamp = ParseInt64(fields[3]);
-    if (!timestamp.ok()) {
-      return Status::InvalidArgument(
-          StrFormat("line %lld: bad timestamp",
-                    static_cast<long long>(stats.lines)));
-    }
-    std::vector<int64_t> output;
-    for (size_t i = 4; i < fields.size(); ++i) {
-      PROCMINE_ASSIGN_OR_RETURN(int64_t value, ParseInt64(fields[i]));
-      output.push_back(value);
-    }
-
-    if (current == nullptr || current->name() != instance) {
-      if (finished.count(instance) > 0) {
-        return Status::InvalidArgument(StrFormat(
-            "line %lld: events of instance '%s' are not contiguous",
-            static_cast<long long>(stats.lines), instance.c_str()));
-      }
-      PROCMINE_RETURN_NOT_OK(finish_current());
-      current = std::make_unique<InstanceAssembler>(instance);
-    }
-    ++stats.events;
-    PROCMINE_RETURN_NOT_OK(current->Add(dict.Intern(fields[1]), is_start,
-                                        *timestamp, std::move(output),
-                                        &dict));
+    PROCMINE_RETURN_NOT_OK(parser.ProcessLine(line));
   }
   if (input->bad()) return Status::IOError("stream read failed");
-  PROCMINE_RETURN_NOT_OK(finish_current());
-  return stats;
+  return parser.Finish();
 }
 
 Result<StreamingStats> StreamLogFile(const std::string& path,
                                      const ExecutionCallback& callback) {
-  std::ifstream file(path);
-  if (!file) return Status::IOError("cannot open: " + path);
-  return StreamLog(&file, callback);
+  PROCMINE_SPAN("log.stream_mmap");
+  PROCMINE_ASSIGN_OR_RETURN(MappedFile file, MappedFile::Open(path));
+  StreamParser parser(callback);
+  std::string_view data = file.data();
+  size_t pos = 0;
+  while (pos < data.size()) {
+    size_t eol = data.find('\n', pos);
+    if (eol == std::string_view::npos) eol = data.size();
+    PROCMINE_RETURN_NOT_OK(parser.ProcessLine(data.substr(pos, eol - pos)));
+    pos = eol + 1;
+  }
+  return parser.Finish();
 }
 
 }  // namespace procmine

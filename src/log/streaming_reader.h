@@ -39,7 +39,10 @@ struct StreamingStats {
 Result<StreamingStats> StreamLog(std::istream* input,
                                  const ExecutionCallback& callback);
 
-/// File convenience wrapper.
+/// File variant: memory-maps `path` and scans it line by line without
+/// copying (the OS pages the mapping in and out, so memory stays bounded
+/// even for logs far larger than RAM). Same callback semantics and error
+/// messages as the istream path.
 Result<StreamingStats> StreamLogFile(const std::string& path,
                                      const ExecutionCallback& callback);
 

@@ -1,6 +1,8 @@
 #include "log/validate.h"
 
-#include <map>
+#include <algorithm>
+#include <numeric>
+#include <string_view>
 #include <unordered_map>
 
 #include "util/strings.h"
@@ -25,28 +27,52 @@ std::string ToString(LogIssue::Kind kind) {
 
 std::vector<LogIssue> ValidateEvents(const std::vector<Event>& events) {
   std::vector<LogIssue> issues;
-  // open[instance][activity] = number of unmatched STARTs.
-  std::map<std::string, std::unordered_map<std::string, int64_t>> open;
+  // Intern instance names (heterogeneous string_view lookup, no key copies)
+  // and track unmatched-START counts per (instance, activity). Activities
+  // per instance are few, so a first-seen-ordered vector beats a nested
+  // hash map and keeps the report deterministic.
+  struct InstanceState {
+    std::string_view name;
+    std::vector<std::pair<std::string_view, int64_t>> counts;
+  };
+  std::unordered_map<std::string_view, size_t> instance_ids;
+  std::vector<InstanceState> instances;
+  instance_ids.reserve(events.size() / 4 + 1);
   for (const Event& e : events) {
-    auto& counts = open[e.process_instance];
+    auto [it, inserted] = instance_ids.emplace(e.process_instance,
+                                               instances.size());
+    if (inserted) instances.push_back({e.process_instance, {}});
+    auto& counts = instances[it->second].counts;
+    auto slot = std::find_if(counts.begin(), counts.end(), [&](const auto& c) {
+      return c.first == e.activity;
+    });
+    if (slot == counts.end()) {
+      counts.emplace_back(e.activity, 0);
+      slot = counts.end() - 1;
+    }
     if (e.type == EventType::kStart) {
-      ++counts[e.activity];
+      ++slot->second;
+    } else if (slot->second == 0) {
+      issues.push_back({LogIssue::Kind::kEndWithoutStart, e.process_instance,
+                        "activity '" + e.activity + "'"});
     } else {
-      if (counts[e.activity] == 0) {
-        issues.push_back({LogIssue::Kind::kEndWithoutStart,
-                          e.process_instance,
-                          "activity '" + e.activity + "'"});
-      } else {
-        --counts[e.activity];
-      }
+      --slot->second;
     }
   }
-  for (const auto& [instance, counts] : open) {
-    for (const auto& [activity, n] : counts) {
+  // Unmatched STARTs, instances in name order (activities in first-seen
+  // order within each instance).
+  std::vector<size_t> by_name(instances.size());
+  std::iota(by_name.begin(), by_name.end(), 0);
+  std::sort(by_name.begin(), by_name.end(), [&](size_t a, size_t b) {
+    return instances[a].name < instances[b].name;
+  });
+  for (size_t i : by_name) {
+    for (const auto& [activity, n] : instances[i].counts) {
       if (n > 0) {
-        issues.push_back({LogIssue::Kind::kStartWithoutEnd, instance,
+        issues.push_back({LogIssue::Kind::kStartWithoutEnd,
+                          std::string(instances[i].name),
                           StrFormat("activity '%s' (%lld unmatched)",
-                                    activity.c_str(),
+                                    std::string(activity).c_str(),
                                     static_cast<long long>(n))});
       }
     }

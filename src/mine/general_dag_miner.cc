@@ -10,6 +10,7 @@
 #include "mine/edge_collector.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "util/hash.h"
 #include "util/logging.h"
 #include "util/strings.h"
 #include "util/thread_pool.h"
@@ -26,8 +27,17 @@ Status MarkReductionEdges(const EventLog& log, const DirectedGraph& g,
                           ExecutionSpan span, bool memoize,
                           std::unordered_set<uint64_t>* marked) {
   PROCMINE_SPAN("general_dag.reduce_shard");
-  // Memo key: the sorted activity set, serialized as raw id bytes.
-  std::unordered_map<std::string, std::vector<Edge>> memo;
+  // Memo key: the sorted activity set. Hashing the id vector directly
+  // (HashBytes over the raw id words) avoids serializing a fresh string key
+  // per execution just to look it up.
+  struct SequenceHash {
+    size_t operator()(const std::vector<NodeId>& ids) const {
+      return static_cast<size_t>(
+          HashBytes(ids.data(), ids.size() * sizeof(NodeId)));
+    }
+  };
+  std::unordered_map<std::vector<NodeId>, std::vector<Edge>, SequenceHash>
+      memo;
   int64_t memo_hits = 0;
   int64_t memo_misses = 0;
   for (size_t e = span.begin; e < span.end; ++e) {
@@ -37,11 +47,8 @@ Status MarkReductionEdges(const EventLog& log, const DirectedGraph& g,
 
     const std::vector<Edge>* reduction_edges = nullptr;
     std::vector<Edge> computed;
-    std::string key;
     if (memoize) {
-      key.assign(reinterpret_cast<const char*>(present.data()),
-                 present.size() * sizeof(NodeId));
-      auto it = memo.find(key);
+      auto it = memo.find(present);
       if (it != memo.end()) {
         reduction_edges = &it->second;
         ++memo_hits;
@@ -54,8 +61,9 @@ Status MarkReductionEdges(const EventLog& log, const DirectedGraph& g,
       if (!reduced.ok()) return reduced.status();
       computed = reduced->Edges();
       if (memoize) {
-        reduction_edges = &memo.emplace(std::move(key), std::move(computed))
-                               .first->second;
+        reduction_edges =
+            &memo.emplace(std::move(present), std::move(computed))
+                 .first->second;
       } else {
         reduction_edges = &computed;
       }

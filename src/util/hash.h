@@ -1,0 +1,44 @@
+// HashBytes: a fast 64-bit byte-string hash (FNV-1a with a wyhash-style
+// final mix) for hot-path hash maps that would otherwise have to build a
+// std::string key just to hash it — e.g. the general-DAG reduction memo,
+// which keys on an activity-id sequence.
+//
+// Not cryptographic and not stable across releases; never persist these
+// values to disk.
+
+#ifndef PROCMINE_UTIL_HASH_H_
+#define PROCMINE_UTIL_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+
+namespace procmine {
+
+inline uint64_t HashBytes(const void* data, size_t size) {
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  uint64_t h = 0xcbf29ce484222325ull;  // FNV offset basis
+  // 8 bytes per round keeps the loop fast on long keys; the multiply mixes
+  // the whole word, unlike canonical byte-at-a-time FNV.
+  while (size >= 8) {
+    uint64_t word;
+    std::memcpy(&word, p, 8);
+    h = (h ^ word) * 0x100000001b3ull;
+    p += 8;
+    size -= 8;
+  }
+  while (size > 0) {
+    h = (h ^ *p++) * 0x100000001b3ull;
+    --size;
+  }
+  // Final avalanche (xor-shift multiply, wyhash/splitmix style): FNV alone
+  // mixes poorly into the low bits that unordered_map buckets use.
+  h ^= h >> 32;
+  h *= 0xd6e8feb86659fd93ull;
+  h ^= h >> 32;
+  return h;
+}
+
+}  // namespace procmine
+
+#endif  // PROCMINE_UTIL_HASH_H_

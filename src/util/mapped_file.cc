@@ -1,0 +1,89 @@
+#include "util/mapped_file.h"
+
+#include <cstdio>
+
+#if defined(__unix__) || defined(__APPLE__)
+#define PROCMINE_HAVE_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#endif
+
+namespace procmine {
+
+MappedFile& MappedFile::operator=(MappedFile&& other) noexcept {
+  if (this != &other) {
+    Unmap();
+    data_ = other.data_;
+    mapping_ = other.mapping_;
+    mapping_size_ = other.mapping_size_;
+    buffer_ = std::move(other.buffer_);
+    if (mapping_ == nullptr) data_ = buffer_;  // re-point at our own buffer
+    other.mapping_ = nullptr;
+    other.mapping_size_ = 0;
+    other.data_ = {};
+  }
+  return *this;
+}
+
+void MappedFile::Unmap() {
+#if PROCMINE_HAVE_MMAP
+  if (mapping_ != nullptr) {
+    ::munmap(mapping_, mapping_size_);
+  }
+#endif
+  mapping_ = nullptr;
+  mapping_size_ = 0;
+  data_ = {};
+}
+
+Result<MappedFile> MappedFile::Open(const std::string& path) {
+#if PROCMINE_HAVE_MMAP
+  int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) return Status::IOError("cannot open: " + path);
+  struct stat st;
+  if (::fstat(fd, &st) != 0 || !S_ISREG(st.st_mode)) {
+    // Pipes, sockets, and other non-regular files have no meaningful size;
+    // stream them through the buffered path instead.
+    ::close(fd);
+    return OpenBuffered(path);
+  }
+  MappedFile file;
+  if (st.st_size == 0) {  // mmap of length 0 is an error; empty view is fine
+    ::close(fd);
+    return file;
+  }
+  size_t size = static_cast<size_t>(st.st_size);
+  void* mapping = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+  ::close(fd);
+  if (mapping == MAP_FAILED) return OpenBuffered(path);
+#if defined(POSIX_MADV_SEQUENTIAL)
+  ::posix_madvise(mapping, size, POSIX_MADV_SEQUENTIAL);
+#endif
+  file.mapping_ = mapping;
+  file.mapping_size_ = size;
+  file.data_ = std::string_view(static_cast<const char*>(mapping), size);
+  return file;
+#else
+  return OpenBuffered(path);
+#endif
+}
+
+Result<MappedFile> MappedFile::OpenBuffered(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return Status::IOError("cannot open: " + path);
+  MappedFile file;
+  char chunk[1 << 16];
+  size_t n;
+  while ((n = std::fread(chunk, 1, sizeof(chunk), f)) > 0) {
+    file.buffer_.append(chunk, n);
+  }
+  bool failed = std::ferror(f) != 0;
+  std::fclose(f);
+  if (failed) return Status::IOError("read failed: " + path);
+  file.data_ = file.buffer_;
+  return file;
+}
+
+}  // namespace procmine

@@ -1,0 +1,64 @@
+// MappedFile: read-only whole-file access as a std::string_view.
+//
+// The ingestion hot path wants the raw bytes of a log without copying them
+// through an istream: Open() mmaps the file (MAP_PRIVATE, advised for
+// sequential access) so parsers can tokenize string_views straight out of
+// the page cache. When mmap is unavailable (non-POSIX build, special files
+// like pipes or /proc entries where fstat lies, or plain mmap failure) the
+// file is read into an owned buffer instead — same interface, one copy.
+//
+// The view returned by data() is valid for the lifetime of the MappedFile
+// object; anything that borrows from it (interned names, tokens) must copy
+// before the object is destroyed.
+
+#ifndef PROCMINE_UTIL_MAPPED_FILE_H_
+#define PROCMINE_UTIL_MAPPED_FILE_H_
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <utility>
+
+#include "util/result.h"
+
+namespace procmine {
+
+/// A read-only file mapping (or buffered fallback copy).
+class MappedFile {
+ public:
+  MappedFile() = default;
+  ~MappedFile() { Unmap(); }
+
+  MappedFile(MappedFile&& other) noexcept { *this = std::move(other); }
+  MappedFile& operator=(MappedFile&& other) noexcept;
+
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+
+  /// Opens `path` read-only, preferring mmap. IOError if the file cannot be
+  /// opened or read.
+  static Result<MappedFile> Open(const std::string& path);
+
+  /// Opens `path` via plain buffered reads, never mmap — the fallback path,
+  /// exposed so tests can verify both paths yield identical bytes.
+  static Result<MappedFile> OpenBuffered(const std::string& path);
+
+  /// The file contents. Valid until this object is destroyed or moved from.
+  std::string_view data() const { return data_; }
+  size_t size() const { return data_.size(); }
+
+  /// True when the contents are an actual mmap (false: owned buffer).
+  bool is_mapped() const { return mapping_ != nullptr; }
+
+ private:
+  void Unmap();
+
+  std::string_view data_;
+  void* mapping_ = nullptr;  // munmap target when non-null
+  size_t mapping_size_ = 0;
+  std::string buffer_;  // fallback storage when mapping_ == nullptr
+};
+
+}  // namespace procmine
+
+#endif  // PROCMINE_UTIL_MAPPED_FILE_H_

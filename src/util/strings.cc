@@ -2,6 +2,7 @@
 
 #include <cctype>
 #include <cerrno>
+#include <charconv>
 #include <cstdarg>
 #include <cstdio>
 #include <cstdlib>
@@ -37,6 +38,28 @@ std::vector<std::string> SplitWhitespace(std::string_view text) {
     if (i > start) parts.emplace_back(text.substr(start, i - start));
   }
   return parts;
+}
+
+namespace {
+
+/// The std::isspace C-locale set (space plus the \t..\r control range)
+/// without the libc call — this runs per byte of every parsed log line.
+inline bool IsAsciiSpace(char c) {
+  return c == ' ' || static_cast<unsigned char>(c - '\t') <= '\r' - '\t';
+}
+
+}  // namespace
+
+void SplitWhitespaceViews(std::string_view text,
+                          std::vector<std::string_view>* out) {
+  out->clear();
+  size_t i = 0;
+  while (i < text.size()) {
+    while (i < text.size() && IsAsciiSpace(text[i])) ++i;
+    size_t start = i;
+    while (i < text.size() && !IsAsciiSpace(text[i])) ++i;
+    if (i > start) out->push_back(text.substr(start, i - start));
+  }
 }
 
 std::string Join(const std::vector<std::string>& parts,
@@ -75,17 +98,35 @@ bool EndsWith(std::string_view text, std::string_view suffix) {
 
 Result<int64_t> ParseInt64(std::string_view text) {
   if (text.empty()) return Status::InvalidArgument("empty integer literal");
-  std::string buf(text);
-  errno = 0;
-  char* end = nullptr;
-  long long value = std::strtoll(buf.c_str(), &end, 10);
-  if (errno == ERANGE) {
-    return Status::OutOfRange("integer out of range: '" + buf + "'");
+  // std::from_chars is the allocation-free fast path; the strtoll dialect it
+  // replaces also accepted leading whitespace and an explicit '+', so those
+  // are handled here to keep the accepted language unchanged.
+  size_t i = 0;
+  while (i < text.size() &&
+         std::isspace(static_cast<unsigned char>(text[i]))) {
+    ++i;
   }
-  if (end != buf.c_str() + buf.size()) {
-    return Status::InvalidArgument("malformed integer: '" + buf + "'");
+  size_t digits = i;
+  if (digits < text.size() && text[digits] == '+') ++digits;
+  const char* first = text.data() + digits;
+  const char* last = text.data() + text.size();
+  // from_chars itself handles '-'; after an explicit '+' only digits may
+  // follow ("+-5" must stay malformed, as strtoll treated it).
+  if (digits > i && (first == last || *first == '-')) {
+    return Status::InvalidArgument("malformed integer: '" + std::string(text) +
+                                   "'");
   }
-  return static_cast<int64_t>(value);
+  int64_t value = 0;
+  auto [ptr, ec] = std::from_chars(first, last, value, 10);
+  if (ec == std::errc::result_out_of_range) {
+    return Status::OutOfRange("integer out of range: '" + std::string(text) +
+                              "'");
+  }
+  if (ec != std::errc() || ptr != last) {
+    return Status::InvalidArgument("malformed integer: '" + std::string(text) +
+                                   "'");
+  }
+  return value;
 }
 
 Result<double> ParseDouble(std::string_view text) {

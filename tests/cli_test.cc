@@ -180,8 +180,8 @@ TEST_F(CliTest, TraceOutWritesChromeTraceWithMiningPhases) {
                    std::istreambuf_iterator<char>());
   EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
   for (const char* phase :
-       {"log.read_text", "edges.collect", "general_dag.mine",
-        "general_dag.validate", "general_dag.reduce"}) {
+       {"log.read_mmap", "log.parse_shard", "log.assemble", "edges.collect",
+        "general_dag.mine", "general_dag.validate", "general_dag.reduce"}) {
     EXPECT_NE(json.find(phase), std::string::npos) << phase;
   }
   // Counter totals embedded as Chrome "C" events.

@@ -1,0 +1,82 @@
+// MappedFile: mmap and buffered-fallback paths must expose identical bytes.
+
+#include "util/mapped_file.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+namespace procmine {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  const char* dir = std::getenv("TMPDIR");
+  return std::string(dir == nullptr ? "/tmp" : dir) + "/" + name;
+}
+
+void WriteFileOrDie(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary);
+  ASSERT_TRUE(out.is_open()) << path;
+  out << content;
+}
+
+TEST(MappedFileTest, MapsFileContents) {
+  std::string path = TempPath("mapped_file_test.txt");
+  std::string content = "hello\nmapped\nworld\n";
+  WriteFileOrDie(path, content);
+  auto file = MappedFile::Open(path);
+  ASSERT_TRUE(file.ok()) << file.status().ToString();
+  EXPECT_EQ(file->data(), content);
+  EXPECT_EQ(file->size(), content.size());
+  std::remove(path.c_str());
+}
+
+TEST(MappedFileTest, BufferedFallbackMatchesMmap) {
+  std::string path = TempPath("mapped_file_fallback_test.txt");
+  std::string content(1 << 18, 'x');
+  for (size_t i = 0; i < content.size(); i += 37) content[i] = '\n';
+  content += "tail without newline";
+  WriteFileOrDie(path, content);
+  auto mapped = MappedFile::Open(path);
+  auto buffered = MappedFile::OpenBuffered(path);
+  ASSERT_TRUE(mapped.ok());
+  ASSERT_TRUE(buffered.ok());
+  EXPECT_FALSE(buffered->is_mapped());
+  EXPECT_EQ(mapped->data(), buffered->data());
+  std::remove(path.c_str());
+}
+
+TEST(MappedFileTest, EmptyFileYieldsEmptyView) {
+  std::string path = TempPath("mapped_file_empty_test.txt");
+  WriteFileOrDie(path, "");
+  auto file = MappedFile::Open(path);
+  ASSERT_TRUE(file.ok()) << file.status().ToString();
+  EXPECT_EQ(file->size(), 0u);
+  std::remove(path.c_str());
+}
+
+TEST(MappedFileTest, MissingFileIsIOError) {
+  auto file = MappedFile::Open("/nonexistent/mapped_file.bin");
+  EXPECT_FALSE(file.ok());
+  EXPECT_TRUE(file.status().IsIOError());
+}
+
+TEST(MappedFileTest, MoveTransfersContents) {
+  std::string path = TempPath("mapped_file_move_test.txt");
+  WriteFileOrDie(path, "move me\n");
+  auto file = MappedFile::Open(path);
+  ASSERT_TRUE(file.ok());
+  MappedFile moved = file.MoveValueOrDie();
+  EXPECT_EQ(moved.data(), "move me\n");
+  // Buffered files must re-point their view at the moved-to buffer.
+  auto buffered = MappedFile::OpenBuffered(path);
+  ASSERT_TRUE(buffered.ok());
+  MappedFile moved_buffered = buffered.MoveValueOrDie();
+  EXPECT_EQ(moved_buffered.data(), "move me\n");
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace procmine

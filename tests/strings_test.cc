@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <string_view>
+#include <vector>
+
 namespace procmine {
 namespace {
 
@@ -23,6 +26,28 @@ TEST(SplitWhitespaceTest, DropsEmptyFields) {
             (std::vector<std::string>{"a", "b", "c"}));
   EXPECT_TRUE(SplitWhitespace("   ").empty());
   EXPECT_TRUE(SplitWhitespace("").empty());
+}
+
+TEST(SplitWhitespaceViewsTest, MatchesOwningVariant) {
+  std::vector<std::string_view> views;
+  for (const char* input :
+       {"  a \t b\nc  ", "", "   ", "one", "x\ty z", "a  b"}) {
+    SplitWhitespaceViews(input, &views);
+    std::vector<std::string> owned = SplitWhitespace(input);
+    ASSERT_EQ(views.size(), owned.size()) << "'" << input << "'";
+    for (size_t i = 0; i < views.size(); ++i) {
+      EXPECT_EQ(views[i], owned[i]) << "'" << input << "'";
+    }
+  }
+}
+
+TEST(SplitWhitespaceViewsTest, ViewsAliasTheInput) {
+  std::string input = "alpha beta";
+  std::vector<std::string_view> views;
+  SplitWhitespaceViews(input, &views);
+  ASSERT_EQ(views.size(), 2u);
+  EXPECT_EQ(views[0].data(), input.data());
+  EXPECT_EQ(views[1].data(), input.data() + 6);
 }
 
 TEST(JoinTest, Joins) {
@@ -58,6 +83,19 @@ TEST(ParseInt64Test, RejectsMalformed) {
   EXPECT_FALSE(ParseInt64("12x").ok());
   EXPECT_FALSE(ParseInt64("x12").ok());
   EXPECT_FALSE(ParseInt64("1.5").ok());
+}
+
+TEST(ParseInt64Test, KeepsStrtollDialect) {
+  // The from_chars rewrite must keep the old strtoll-style acceptance:
+  // leading whitespace and an optional '+' sign are fine, trailing junk
+  // and a bare or doubled sign are not.
+  EXPECT_EQ(*ParseInt64("  42"), 42);
+  EXPECT_EQ(*ParseInt64("+7"), 7);
+  EXPECT_EQ(*ParseInt64("\t-3"), -3);
+  EXPECT_FALSE(ParseInt64("+-5").ok());
+  EXPECT_FALSE(ParseInt64("+").ok());
+  EXPECT_FALSE(ParseInt64("42 ").ok());
+  EXPECT_FALSE(ParseInt64("   ").ok());
 }
 
 TEST(ParseInt64Test, RejectsOverflow) {

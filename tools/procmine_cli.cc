@@ -20,8 +20,10 @@
 //   --log-json          emit log lines as JSON objects (machine-parseable)
 //
 // Log files are read by extension: .bin (binary format), .xes (XES XML),
-// anything else as the text event format. Model edge files are plain text,
-// one "From To" pair per line, '#' comments allowed.
+// anything else as the text event format. Text logs are memory-mapped and
+// parsed in parallel; --threads controls both ingestion sharding and the
+// miners, and the result is byte-identical for every value. Model edge
+// files are plain text, one "From To" pair per line, '#' comments allowed.
 
 #include <cstdio>
 #include <fstream>
@@ -92,10 +94,24 @@ Args ParseArgs(int argc, char** argv) {
   return args;
 }
 
-Result<EventLog> ReadLogAuto(const std::string& path) {
+/// The --threads flag as a pool-size knob: auto (default) = hardware
+/// concurrency (0), otherwise the literal value. Errors fall back to auto
+/// so the miner option parsing can report them properly.
+int ThreadsFlag(const Args& args) {
+  std::string threads = args.Get("threads", "auto");
+  if (threads == "auto") return 0;
+  auto parsed = ParseInt64(threads);
+  return parsed.ok() ? static_cast<int>(*parsed) : 0;
+}
+
+Result<EventLog> ReadLogAuto(const std::string& path, const Args& args) {
   if (EndsWith(path, ".bin")) return ReadBinaryLogFile(path);
   if (EndsWith(path, ".xes")) return ReadXesFile(path);
-  return LogReader::ReadFile(path);
+  // Text ingestion shards across --threads workers; the parsed log is
+  // byte-identical for any thread count.
+  LogParseOptions options;
+  options.num_threads = ThreadsFlag(args);
+  return LogReader::ReadFile(path, options);
 }
 
 Status WriteLogAuto(const EventLog& log, const std::string& path) {
@@ -170,7 +186,7 @@ int CommandMine(const Args& args) {
                  "[--conditions]\n";
     return 2;
   }
-  auto log = ReadLogAuto(args.positional[0]);
+  auto log = ReadLogAuto(args.positional[0], args);
   if (!log.ok()) {
     std::cerr << log.status().ToString() << "\n";
     return 1;
@@ -247,7 +263,7 @@ int CommandCheck(const Args& args) {
     std::cerr << "usage: procmine check <log> --model=EDGEFILE\n";
     return 2;
   }
-  auto log = ReadLogAuto(args.positional[0]);
+  auto log = ReadLogAuto(args.positional[0], args);
   auto model = ReadEdgeListModel(args.Get("model"));
   if (!log.ok() || !model.ok()) {
     std::cerr << (log.ok() ? model.status() : log.status()).ToString()
@@ -283,7 +299,7 @@ int CommandDiff(const Args& args) {
     std::cerr << "usage: procmine diff <log> --model=EDGEFILE\n";
     return 2;
   }
-  auto log = ReadLogAuto(args.positional[0]);
+  auto log = ReadLogAuto(args.positional[0], args);
   auto designed = ReadEdgeListModel(args.Get("model"));
   if (!log.ok() || !designed.ok()) {
     std::cerr << (log.ok() ? designed.status() : log.status()).ToString()
@@ -305,7 +321,7 @@ int CommandStats(const Args& args) {
     std::cerr << "usage: procmine stats <log>\n";
     return 2;
   }
-  auto log = ReadLogAuto(args.positional[0]);
+  auto log = ReadLogAuto(args.positional[0], args);
   if (!log.ok()) {
     std::cerr << log.status().ToString() << "\n";
     return 1;
@@ -330,7 +346,7 @@ int CommandVariants(const Args& args) {
     std::cerr << "usage: procmine variants <log> [--top=K]\n";
     return 2;
   }
-  auto log = ReadLogAuto(args.positional[0]);
+  auto log = ReadLogAuto(args.positional[0], args);
   if (!log.ok()) {
     std::cerr << log.status().ToString() << "\n";
     return 1;
@@ -371,7 +387,7 @@ int CommandExplain(const Args& args) {
                  "[--threshold=N]\n";
     return 2;
   }
-  auto log = ReadLogAuto(args.positional[0]);
+  auto log = ReadLogAuto(args.positional[0], args);
   if (!log.ok()) {
     std::cerr << log.status().ToString() << "\n";
     return 1;
@@ -412,7 +428,7 @@ int CommandPerf(const Args& args) {
     std::cerr << "usage: procmine perf <log> [--dot=FILE]\n";
     return 2;
   }
-  auto log = ReadLogAuto(args.positional[0]);
+  auto log = ReadLogAuto(args.positional[0], args);
   if (!log.ok()) {
     std::cerr << log.status().ToString() << "\n";
     return 1;
@@ -440,7 +456,7 @@ int CommandNoise(const Args& args) {
     std::cerr << "usage: procmine noise <log>\n";
     return 2;
   }
-  auto log = ReadLogAuto(args.positional[0]);
+  auto log = ReadLogAuto(args.positional[0], args);
   if (!log.ok()) {
     std::cerr << log.status().ToString() << "\n";
     return 1;
@@ -564,7 +580,7 @@ int CommandPatterns(const Args& args) {
                  "[--max-length=K] [--maximal]\n";
     return 2;
   }
-  auto log = ReadLogAuto(args.positional[0]);
+  auto log = ReadLogAuto(args.positional[0], args);
   if (!log.ok()) {
     std::cerr << log.status().ToString() << "\n";
     return 1;
@@ -593,7 +609,7 @@ int CommandConvert(const Args& args) {
     std::cerr << "usage: procmine convert <in> <out>\n";
     return 2;
   }
-  auto log = ReadLogAuto(args.positional[0]);
+  auto log = ReadLogAuto(args.positional[0], args);
   if (!log.ok()) {
     std::cerr << log.status().ToString() << "\n";
     return 1;
