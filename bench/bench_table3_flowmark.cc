@@ -54,10 +54,10 @@ int main() {
     // Figures 8-12: the mined process model graphs.
     std::string path = "figure" + std::to_string(figure_number++) + "_" +
                        process.name + ".dot";
-    PROCMINE_CHECK_OK(WriteDotFile(mined->graph(), mined->names(), path,
-                                   {.graph_name = process.name,
-                                    .rankdir_lr = true,
-                                    .edge_labels = {}}));
+    DotOptions dot_options;
+    dot_options.graph_name = process.name;
+    PROCMINE_CHECK_OK(
+        WriteDotFile(mined->graph(), mined->names(), path, dot_options));
     std::printf("  -> wrote %s\n", path.c_str());
   }
 

@@ -39,13 +39,27 @@ std::string ToDot(const DirectedGraph& g,
   }
   for (const Edge& e : g.Edges()) {
     out << "  " << Quote(name_of(e.from)) << " -> " << Quote(name_of(e.to));
-    for (const auto& [edge, label] : options.edge_labels) {
+    bool attributed = false;
+    for (const auto& [edge, attrs] : options.edge_attributes) {
       if (edge == e) {
-        out << " [label=" << Quote(label) << "]";
+        out << " [" << attrs << "]";
+        attributed = true;
         break;
       }
     }
+    if (!attributed) {
+      for (const auto& [edge, label] : options.edge_labels) {
+        if (edge == e) {
+          out << " [label=" << Quote(label) << "]";
+          break;
+        }
+      }
+    }
     out << ";\n";
+  }
+  for (const auto& [e, attrs] : options.extra_edges) {
+    out << "  " << Quote(name_of(e.from)) << " -> " << Quote(name_of(e.to))
+        << " [" << attrs << "];\n";
   }
   out << "}\n";
   return out.str();

@@ -18,6 +18,15 @@ struct DotOptions {
   bool rankdir_lr = true;  ///< left-to-right layout, like the paper's figures
   /// Optional per-edge labels keyed by packed edge id (e.g. mined conditions).
   std::vector<std::pair<Edge, std::string>> edge_labels;
+  /// Optional raw DOT attribute lists (without brackets) for edges of the
+  /// graph, e.g. {"label=\"12\", penwidth=2"}. Takes precedence over
+  /// edge_labels when both match an edge.
+  std::vector<std::pair<Edge, std::string>> edge_attributes;
+  /// Edges rendered in addition to the graph's own, each with a raw DOT
+  /// attribute list. Used by obs/report.h to draw dropped candidate edges
+  /// (dashed gray) next to the kept ones. Endpoints outside [0, num_nodes)
+  /// are allowed and named via `labels`.
+  std::vector<std::pair<Edge, std::string>> extra_edges;
 };
 
 /// Renders `g` as a DOT digraph. `labels[v]` is the display name of vertex v;

@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "graph/dot.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace procmine {
 
@@ -40,6 +42,11 @@ Dataset ConditionMiner::BuildTrainingSet(const EventLog& log, ActivityId u,
 
 Result<AnnotatedProcess> ConditionMiner::Mine(const ProcessGraph& graph,
                                               const EventLog& log) const {
+  PROCMINE_SPAN("condition_miner.mine");
+  static obs::Counter* considered = obs::MetricsRegistry::Get().GetCounter(
+      "condition_miner.edges_considered");
+  static obs::Counter* learned = obs::MetricsRegistry::Get().GetCounter(
+      "condition_miner.conditions_learned");
   AnnotatedProcess annotated;
   annotated.graph = graph;
 
@@ -67,7 +74,9 @@ Result<AnnotatedProcess> ConditionMiner::Mine(const ProcessGraph& graph,
       mined.rule = RuleSetToString(ExtractPositiveRules(tree));
       mined.tree = std::move(tree);
       mined.learned = true;
+      learned->Increment();
     }
+    considered->Increment();
     annotated.conditions.push_back(std::move(mined));
   }
   return annotated;

@@ -10,6 +10,16 @@
 
 namespace procmine {
 
+namespace {
+// Instance index (start-time order) of activity `a`'s first occurrence.
+int64_t FirstInstanceOf(const Execution& exec, NodeId a) {
+  for (size_t i = 0; i < exec.size(); ++i) {
+    if (exec[i].activity == a) return static_cast<int64_t>(i);
+  }
+  return -1;
+}
+}  // namespace
+
 ConformanceChecker::ConformanceChecker(const ProcessGraph* graph)
     : graph_(graph), reach_(ReachabilityMatrix(graph->graph())) {
   PROCMINE_CHECK(graph_ != nullptr);
@@ -39,13 +49,23 @@ ConformanceChecker::ConformanceChecker(const ProcessGraph* graph)
   }
 }
 
-Status ConformanceChecker::CheckExecution(const Execution& exec) const {
+Status ConformanceChecker::CheckExecution(
+    const Execution& exec, int64_t* first_violation_event) const {
+  // Structural failures (empty execution, ambiguous endpoints) have no
+  // single violating event; flag them as -1 up front so every early return
+  // below only has to set the index when one exists.
+  if (first_violation_event != nullptr) *first_violation_event = -1;
+  auto violating_event = [first_violation_event](int64_t index) {
+    if (first_violation_event != nullptr) *first_violation_event = index;
+  };
   if (exec.empty()) return Status::InvalidArgument("execution is empty");
   const DirectedGraph& g = graph_->graph();
   const NodeId n = g.num_nodes();
 
-  for (const ActivityInstance& inst : exec.instances()) {
+  for (size_t i = 0; i < exec.size(); ++i) {
+    const ActivityInstance& inst = exec[i];
     if (inst.activity < 0 || inst.activity >= n) {
+      violating_event(static_cast<int64_t>(i));
       return Status::FailedPrecondition(StrFormat(
           "activity id %d is not a vertex of the graph", inst.activity));
     }
@@ -55,12 +75,14 @@ Status ConformanceChecker::CheckExecution(const Execution& exec) const {
   NodeId source = source_;
   NodeId sink = sink_;
   if (exec[0].activity != source) {
+    violating_event(0);
     return Status::FailedPrecondition(StrFormat(
         "first activity '%s' is not the initiating activity '%s'",
         graph_->name(exec[0].activity).c_str(),
         graph_->name(source).c_str()));
   }
   if (exec[exec.size() - 1].activity != sink) {
+    violating_event(static_cast<int64_t>(exec.size()) - 1);
     return Status::FailedPrecondition(StrFormat(
         "last activity '%s' is not the terminating activity '%s'",
         graph_->name(exec[exec.size() - 1].activity).c_str(),
@@ -125,6 +147,7 @@ Status ConformanceChecker::CheckExecution(const Execution& exec) const {
   if (reach_count != vertices.size()) {
     for (NodeId v : vertices) {
       if (!reached[static_cast<size_t>(v)]) {
+        violating_event(FirstInstanceOf(exec, v));
         return Status::FailedPrecondition(StrFormat(
             "activity '%s' is not reachable from the initiating activity in "
             "the induced subgraph",
@@ -149,6 +172,9 @@ Status ConformanceChecker::CheckExecution(const Execution& exec) const {
       if (reach[static_cast<size_t>(u)].Test(static_cast<size_t>(v)) &&
           last_end[static_cast<size_t>(v)] <
               first_start[static_cast<size_t>(u)]) {
+        // The first event proving the violation is v's earliest instance:
+        // it already ran even though u (which v depends on) had not started.
+        violating_event(FirstInstanceOf(exec, v));
         return Status::FailedPrecondition(StrFormat(
             "ordering violates the dependency '%s' -> '%s'",
             graph_->name(u).c_str(), graph_->name(v).c_str()));
@@ -158,7 +184,8 @@ Status ConformanceChecker::CheckExecution(const Execution& exec) const {
   return Status::OK();
 }
 
-ConformanceReport ConformanceChecker::CheckLog(const EventLog& log) const {
+ConformanceReport ConformanceChecker::CheckLog(const EventLog& log,
+                                               bool record_verdicts) const {
   PROCMINE_SPAN("conformance.check_log");
   ConformanceReport report;
   const NodeId n = std::min<NodeId>(log.num_activities(),
@@ -180,12 +207,19 @@ ConformanceReport ConformanceChecker::CheckLog(const EventLog& log) const {
     }
   }
 
+  if (record_verdicts) report.verdicts.reserve(log.num_executions());
   for (const Execution& exec : log.executions()) {
-    Status st = CheckExecution(exec);
+    int64_t first_violation_event = -1;
+    Status st = CheckExecution(exec, &first_violation_event);
     if (!st.ok()) {
       report.execution_complete = false;
       report.inconsistent_executions.emplace_back(exec.name(),
                                                   std::string(st.message()));
+    }
+    if (record_verdicts) {
+      report.verdicts.push_back({exec.name(), st.ok(),
+                                 std::string(st.ok() ? "" : st.message()),
+                                 first_violation_event});
     }
   }
   static obs::Counter* checked = obs::MetricsRegistry::Get().GetCounter(

@@ -25,6 +25,16 @@
 
 namespace procmine {
 
+/// One execution's Definition 6 verdict, in log order.
+struct ExecutionVerdict {
+  std::string execution;  ///< execution name
+  bool consistent = true;
+  std::string violation;  ///< first failure reason ("" when consistent)
+  /// Instance index (start-time order) of the first violating event, or -1
+  /// when the failure is structural (e.g. the graph has no unique source).
+  int64_t first_violation_event = -1;
+};
+
 /// Definition 7 verdict with the violating evidence.
 struct ConformanceReport {
   bool dependency_complete = true;
@@ -37,6 +47,9 @@ struct ConformanceReport {
   std::vector<Edge> spurious_paths;
   /// (execution name, failure reason) for inconsistent executions.
   std::vector<std::pair<std::string, std::string>> inconsistent_executions;
+  /// Per-execution verdicts in log order — only populated by
+  /// CheckLog(log, /*record_verdicts=*/true); empty otherwise.
+  std::vector<ExecutionVerdict> verdicts;
 
   bool conformal() const {
     return dependency_complete && irredundant && execution_complete;
@@ -56,10 +69,21 @@ class ConformanceChecker {
   explicit ConformanceChecker(const ProcessGraph* graph);
 
   /// Definition 6. OK iff `exec` is consistent with the graph.
-  Status CheckExecution(const Execution& exec) const;
+  Status CheckExecution(const Execution& exec) const {
+    return CheckExecution(exec, nullptr);
+  }
 
-  /// Definition 7 over the whole log.
-  ConformanceReport CheckLog(const EventLog& log) const;
+  /// Definition 6 with evidence: on failure, `*first_violation_event` (when
+  /// non-null) is set to the instance index of the first violating event,
+  /// or -1 for structural failures that no single event causes.
+  Status CheckExecution(const Execution& exec,
+                        int64_t* first_violation_event) const;
+
+  /// Definition 7 over the whole log. With `record_verdicts` the report
+  /// additionally carries one ExecutionVerdict per execution in log order
+  /// (the raw material of obs/report.h's conformance audit).
+  ConformanceReport CheckLog(const EventLog& log,
+                             bool record_verdicts = false) const;
 
  private:
   const ProcessGraph* graph_;

@@ -3,6 +3,7 @@
 #include <memory>
 
 #include "mine/general_dag_miner.h"
+#include "mine/provenance.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "util/strings.h"
@@ -110,8 +111,15 @@ Result<ProcessGraph> CyclicMiner::Mine(const EventLog& log) const {
   GeneralDagMinerOptions general_options;
   general_options.noise_threshold = options_.noise_threshold;
   general_options.num_threads = num_threads;
+  general_options.provenance = options_.provenance;
   GeneralDagMiner general(general_options);
   PROCMINE_ASSIGN_OR_RETURN(ProcessGraph labeled_graph, general.Mine(labeled));
+  if (options_.provenance != nullptr) {
+    // The inner run recorded labeled names; attach the merge-back mapping so
+    // report consumers can relate "A#2 -> B#1" to the base edge A -> B.
+    options_.provenance->SetBaseMapping(labeled_to_base,
+                                        log.dictionary().names());
+  }
 
   // Step 8: merge equivalent sets; keep edges between different activities.
   PROCMINE_SPAN("cyclic.merge");

@@ -21,6 +21,7 @@
 namespace procmine {
 
 class ThreadPool;
+class ProvenanceRecorder;
 
 struct CyclicMinerOptions {
   /// Noise threshold forwarded to the labeled Algorithm 2 run.
@@ -29,6 +30,11 @@ struct CyclicMinerOptions {
   /// 1 = sequential reference path; <= 0 = hardware concurrency. The mined
   /// graph is byte-identical for every thread count.
   int num_threads = 1;
+  /// Optional edge-provenance sink (see mine/provenance.h). Recorded in the
+  /// occurrence-labeled id space ("A#1", "A#2", ...) the inner Algorithm 2
+  /// run operates in, with the labeled-to-base mapping attached. Not owned;
+  /// must outlive Mine(). Null (the default) disables recording.
+  ProvenanceRecorder* provenance = nullptr;
 };
 
 /// Mines a (possibly cyclic) conformal graph via instance labeling.

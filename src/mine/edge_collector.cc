@@ -24,11 +24,14 @@ void CollectSpan(const EventLog& log, ExecutionSpan span, EdgeCounts* counts) {
   PROCMINE_SPAN("edges.collect_shard");
   static obs::Counter* executions = obs::MetricsRegistry::Get().GetCounter(
       "mine.executions_scanned");
+  static obs::Histogram* exec_size = obs::MetricsRegistry::Get().GetHistogram(
+      "mine.execution_instances", {4, 16, 64, 256, 1024, 4096});
   executions->Add(static_cast<int64_t>(span.end - span.begin));
   std::unordered_set<uint64_t> seen_this_exec;
   for (size_t e = span.begin; e < span.end; ++e) {
     const auto& instances = log.execution(e).instances();
     const size_t k = instances.size();
+    exec_size->Record(static_cast<int64_t>(k));
     seen_this_exec.clear();
     for (size_t i = 0; i < k; ++i) {
       const int64_t end_i = instances[i].end;
@@ -43,34 +46,106 @@ void CollectSpan(const EventLog& log, ExecutionSpan span, EdgeCounts* counts) {
   }
 }
 
+// Provenance-recording twin of CollectSpan: additionally tracks first/last
+// witnessing execution index per edge. A separate function so the plain
+// counting path stays branch-free when no recorder is attached.
+void CollectEvidenceSpan(const EventLog& log, ExecutionSpan span,
+                         EdgeEvidenceMap* evidence) {
+  PROCMINE_SPAN("edges.collect_shard");
+  static obs::Counter* executions = obs::MetricsRegistry::Get().GetCounter(
+      "mine.executions_scanned");
+  static obs::Histogram* exec_size = obs::MetricsRegistry::Get().GetHistogram(
+      "mine.execution_instances", {4, 16, 64, 256, 1024, 4096});
+  executions->Add(static_cast<int64_t>(span.end - span.begin));
+  std::unordered_set<uint64_t> seen_this_exec;
+  for (size_t e = span.begin; e < span.end; ++e) {
+    const auto& instances = log.execution(e).instances();
+    const size_t k = instances.size();
+    exec_size->Record(static_cast<int64_t>(k));
+    seen_this_exec.clear();
+    for (size_t i = 0; i < k; ++i) {
+      const int64_t end_i = instances[i].end;
+      auto first = std::partition_point(
+          instances.begin() + static_cast<ptrdiff_t>(i) + 1, instances.end(),
+          [end_i](const ActivityInstance& x) { return x.start <= end_i; });
+      for (auto it = first; it != instances.end(); ++it) {
+        uint64_t key = PackEdge(instances[i].activity, it->activity);
+        if (seen_this_exec.insert(key).second) {
+          EdgeEvidence& cell = (*evidence)[key];
+          ++cell.support;
+          int64_t index = static_cast<int64_t>(e);
+          if (cell.first_witness < 0) cell.first_witness = index;
+          cell.last_witness = index;  // e is increasing within the shard
+        }
+      }
+    }
+  }
+}
+
+// Sharded evidence collection mirroring the counting path: disjoint
+// execution spans, then a sum/min/max merge that is identical for any shard
+// count. Returns the merged evidence and fills `counts` with the supports.
+EdgeEvidenceMap CollectEvidence(const EventLog& log,
+                                const std::vector<ExecutionSpan>& spans,
+                                ThreadPool* pool, EdgeCounts* counts) {
+  std::vector<EdgeEvidenceMap> shard_evidence(spans.size());
+  if (pool != nullptr && spans.size() > 1) {
+    pool->ParallelFor(spans.size(), [&](size_t, size_t begin, size_t end) {
+      for (size_t s = begin; s < end; ++s) {
+        CollectEvidenceSpan(log, spans[s], &shard_evidence[s]);
+      }
+    });
+  } else {
+    for (size_t s = 0; s < spans.size(); ++s) {
+      CollectEvidenceSpan(log, spans[s], &shard_evidence[s]);
+    }
+  }
+  EdgeEvidenceMap merged = std::move(shard_evidence[0]);
+  for (size_t s = 1; s < shard_evidence.size(); ++s) {
+    for (const auto& [key, cell] : shard_evidence[s]) {
+      merged[key].Merge(cell);
+    }
+  }
+  counts->reserve(merged.size());
+  for (const auto& [key, cell] : merged) (*counts)[key] = cell.support;
+  return merged;
+}
+
 }  // namespace
 
 EdgeCounts CollectPrecedenceEdges(const EventLog& log) {
   return CollectPrecedenceEdges(log, nullptr);
 }
 
-EdgeCounts CollectPrecedenceEdges(const EventLog& log, ThreadPool* pool) {
+EdgeCounts CollectPrecedenceEdges(const EventLog& log, ThreadPool* pool,
+                                  ProvenanceRecorder* provenance) {
   PROCMINE_SPAN("edges.collect");
   std::vector<ExecutionSpan> spans =
       log.Shards(pool == nullptr ? 1 : static_cast<size_t>(pool->num_threads()));
   if (spans.empty()) return EdgeCounts();
-  std::vector<EdgeCounts> shard_counts(spans.size());
-  if (pool != nullptr && spans.size() > 1) {
-    pool->ParallelFor(spans.size(), [&](size_t, size_t begin, size_t end) {
-      for (size_t s = begin; s < end; ++s) {
+  EdgeCounts merged;
+  if (provenance != nullptr) {
+    provenance->SetEvidence(CollectEvidence(log, spans, pool, &merged));
+  } else {
+    std::vector<EdgeCounts> shard_counts(spans.size());
+    if (pool != nullptr && spans.size() > 1) {
+      pool->ParallelFor(spans.size(), [&](size_t, size_t begin, size_t end) {
+        for (size_t s = begin; s < end; ++s) {
+          CollectSpan(log, spans[s], &shard_counts[s]);
+        }
+      });
+    } else {
+      for (size_t s = 0; s < spans.size(); ++s) {
         CollectSpan(log, spans[s], &shard_counts[s]);
       }
-    });
-  } else {
-    for (size_t s = 0; s < spans.size(); ++s) {
-      CollectSpan(log, spans[s], &shard_counts[s]);
     }
-  }
-  // Reduce: each shard counted disjoint executions, so summing the per-edge
-  // counters reproduces the sequential totals for any shard count.
-  EdgeCounts merged = std::move(shard_counts[0]);
-  for (size_t s = 1; s < shard_counts.size(); ++s) {
-    for (const auto& [key, count] : shard_counts[s]) merged[key] += count;
+    // Reduce: each shard counted disjoint executions, so summing the
+    // per-edge counters reproduces the sequential totals for any shard
+    // count.
+    merged = std::move(shard_counts[0]);
+    for (size_t s = 1; s < shard_counts.size(); ++s) {
+      for (const auto& [key, count] : shard_counts[s]) merged[key] += count;
+    }
   }
   static obs::Counter* collected =
       obs::MetricsRegistry::Get().GetCounter("mine.edges_collected");
@@ -83,7 +158,8 @@ EdgeCounts CollectPrecedenceEdges(const EventLog& log, ThreadPool* pool) {
 }
 
 DirectedGraph BuildPrecedenceGraph(const EdgeCounts& counts, NodeId num_nodes,
-                                   int64_t threshold) {
+                                   int64_t threshold,
+                                   ProvenanceRecorder* provenance) {
   PROCMINE_SPAN("edges.build_graph");
   DirectedGraph g(num_nodes);
   int64_t pruned = 0;
@@ -93,6 +169,10 @@ DirectedGraph BuildPrecedenceGraph(const EdgeCounts& counts, NodeId num_nodes,
       g.AddEdge(e.from, e.to);
     } else {
       ++pruned;
+      if (provenance != nullptr) {
+        Edge e = UnpackEdge(key);
+        provenance->MarkDropped(e.from, e.to, DropReason::kBelowThreshold);
+      }
     }
   }
   static obs::Counter* below = obs::MetricsRegistry::Get().GetCounter(
@@ -101,7 +181,7 @@ DirectedGraph BuildPrecedenceGraph(const EdgeCounts& counts, NodeId num_nodes,
   return g;
 }
 
-void RemoveTwoCycles(DirectedGraph* g) {
+void RemoveTwoCycles(DirectedGraph* g, ProvenanceRecorder* provenance) {
   PROCMINE_SPAN("edges.remove_two_cycles");
   std::vector<Edge> to_remove;
   for (const Edge& e : g->Edges()) {
@@ -111,13 +191,18 @@ void RemoveTwoCycles(DirectedGraph* g) {
     }
     if (e.from == e.to) to_remove.push_back(e);  // self loop: trivial cycle
   }
-  for (const Edge& e : to_remove) g->RemoveEdge(e.from, e.to);
+  for (const Edge& e : to_remove) {
+    g->RemoveEdge(e.from, e.to);
+    if (provenance != nullptr) {
+      provenance->MarkDropped(e.from, e.to, DropReason::kTwoCycle);
+    }
+  }
   static obs::Counter* removed = obs::MetricsRegistry::Get().GetCounter(
       "mine.two_cycle_edges_removed");
   removed->Add(static_cast<int64_t>(to_remove.size()));
 }
 
-void RemoveIntraSccEdges(DirectedGraph* g) {
+void RemoveIntraSccEdges(DirectedGraph* g, ProvenanceRecorder* provenance) {
   PROCMINE_SPAN("edges.remove_intra_scc");
   SccResult scc = StronglyConnectedComponents(*g);
   std::vector<Edge> to_remove;
@@ -127,7 +212,12 @@ void RemoveIntraSccEdges(DirectedGraph* g) {
       to_remove.push_back(e);
     }
   }
-  for (const Edge& e : to_remove) g->RemoveEdge(e.from, e.to);
+  for (const Edge& e : to_remove) {
+    g->RemoveEdge(e.from, e.to);
+    if (provenance != nullptr) {
+      provenance->MarkDropped(e.from, e.to, DropReason::kIntraScc);
+    }
+  }
   // A component is "merged" when it collapses >= 2 mutually-following
   // activities (trace.cc's scc_groups reports the same sets).
   std::vector<int64_t> members(static_cast<size_t>(scc.num_components), 0);

@@ -14,6 +14,7 @@
 
 #include "graph/digraph.h"
 #include "log/event_log.h"
+#include "mine/provenance.h"
 
 namespace procmine {
 
@@ -33,21 +34,33 @@ EdgeCounts CollectPrecedenceEdges(const EventLog& log);
 /// disjoint across shards, so the totals (and the once-per-execution dedup
 /// semantics) are identical to the sequential path for any shard count.
 /// `pool` may be null (sequential).
-EdgeCounts CollectPrecedenceEdges(const EventLog& log, ThreadPool* pool);
+///
+/// When `provenance` is non-null the scan additionally records each edge's
+/// first/last witnessing execution index into the recorder (shard cells
+/// merge by sum/min/max, so the evidence is identical for any shard count).
+/// The counting path is untouched when `provenance` is null.
+EdgeCounts CollectPrecedenceEdges(const EventLog& log, ThreadPool* pool,
+                                  ProvenanceRecorder* provenance = nullptr);
 
 /// Materializes the step-2 graph over `num_nodes` vertices, keeping edges
-/// with count >= threshold (threshold 1 = no noise filtering).
+/// with count >= threshold (threshold 1 = no noise filtering). Pruned edges
+/// are reported to `provenance` as kBelowThreshold when it is non-null.
 DirectedGraph BuildPrecedenceGraph(const EdgeCounts& counts, NodeId num_nodes,
-                                   int64_t threshold);
+                                   int64_t threshold,
+                                   ProvenanceRecorder* provenance = nullptr);
 
 /// Step 3 of Algorithms 1-3: "Remove from E the edges that appear in both
 /// directions." Removes both orientations of every 2-cycle, in place.
-void RemoveTwoCycles(DirectedGraph* g);
+/// Removed edges are reported to `provenance` as kTwoCycle.
+void RemoveTwoCycles(DirectedGraph* g,
+                     ProvenanceRecorder* provenance = nullptr);
 
 /// Step 4 of Algorithms 2-3: removes every edge between two vertices of the
 /// same strongly connected component, in place. Vertices in one SCC follow
 /// each other both ways and are therefore independent (Definition 4).
-void RemoveIntraSccEdges(DirectedGraph* g);
+/// Removed edges are reported to `provenance` as kIntraScc.
+void RemoveIntraSccEdges(DirectedGraph* g,
+                         ProvenanceRecorder* provenance = nullptr);
 
 }  // namespace procmine
 

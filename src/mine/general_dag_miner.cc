@@ -113,14 +113,16 @@ Result<ProcessGraph> GeneralDagMiner::Mine(const EventLog& log) const {
   if (num_threads > 1) pool = std::make_unique<ThreadPool>(num_threads);
 
   // Steps 1-2: precedence edges with counts; threshold applies here.
-  EdgeCounts counts = CollectPrecedenceEdges(log, pool.get());
-  DirectedGraph g = BuildPrecedenceGraph(counts, n, options_.noise_threshold);
+  ProvenanceRecorder* prov = options_.provenance;
+  EdgeCounts counts = CollectPrecedenceEdges(log, pool.get(), prov);
+  DirectedGraph g =
+      BuildPrecedenceGraph(counts, n, options_.noise_threshold, prov);
 
   // Step 3: both-direction edges.
-  RemoveTwoCycles(&g);
+  RemoveTwoCycles(&g, prov);
 
   // Step 4: strongly-connected-component edges. After this, g is a DAG.
-  RemoveIntraSccEdges(&g);
+  RemoveIntraSccEdges(&g, prov);
   PROCMINE_DCHECK(!HasCycle(g));
 
   // Steps 5-6: keep exactly the edges needed by at least one execution —
@@ -164,6 +166,15 @@ Result<ProcessGraph> GeneralDagMiner::Mine(const EventLog& log) const {
   for (uint64_t key : marked) {
     Edge e = UnpackEdge(key);
     result.AddEdge(e.from, e.to);
+  }
+  if (prov != nullptr) {
+    // Step 6 drops the DAG edges no execution's reduction needed.
+    for (const Edge& e : g.Edges()) {
+      if (marked.count(PackEdge(e.from, e.to)) == 0) {
+        prov->MarkDropped(e.from, e.to, DropReason::kTransitiveReduction);
+      }
+    }
+    prov->SetActivityNames(log.dictionary().names());
   }
   return ProcessGraph(std::move(result), log.dictionary().names());
 }

@@ -22,6 +22,8 @@
 
 namespace procmine {
 
+class ProvenanceRecorder;
+
 struct GeneralDagMinerOptions {
   /// Minimum executions an edge must appear in to survive (Section 6
   /// noise threshold T). 1 = keep everything.
@@ -36,6 +38,10 @@ struct GeneralDagMinerOptions {
   /// path; <= 0 = hardware concurrency. The mined graph is byte-identical
   /// for every thread count.
   int num_threads = 1;
+  /// Optional edge-provenance sink (see mine/provenance.h). Not owned; must
+  /// outlive Mine(). Null (the default) disables recording at the cost of
+  /// one branch per instrumented site.
+  ProvenanceRecorder* provenance = nullptr;
 };
 
 /// Mines a conformal DAG from a general acyclic log.

@@ -5,6 +5,8 @@
 
 #include "graph/algorithms.h"
 #include "graph/transitive_reduction.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/strings.h"
 
 namespace procmine {
@@ -36,6 +38,7 @@ Status IncrementalMiner::AddLog(const EventLog& log) {
 }
 
 Status IncrementalMiner::Absorb(const Execution& exec) {
+  PROCMINE_SPAN("incremental.absorb");
   if (exec.empty()) {
     return Status::InvalidArgument("empty execution");
   }
@@ -63,6 +66,9 @@ Status IncrementalMiner::Absorb(const Execution& exec) {
   ++set_counts_[std::move(present)];
   ++num_executions_;
   ++version_;
+  static obs::Counter* absorbed =
+      obs::MetricsRegistry::Get().GetCounter("incremental.executions_absorbed");
+  absorbed->Increment();
   return Status::OK();
 }
 
@@ -76,6 +82,10 @@ Result<ProcessGraph> IncrementalMiner::CurrentGraph() const {
   if (num_executions_ == 0) {
     return Status::FailedPrecondition("no executions absorbed yet");
   }
+  PROCMINE_SPAN("incremental.rebuild");
+  static obs::Counter* rebuilds =
+      obs::MetricsRegistry::Get().GetCounter("incremental.rebuilds");
+  rebuilds->Increment();
 
   // Steps 2-4 of Algorithm 2 over the accumulated counters.
   DirectedGraph g =

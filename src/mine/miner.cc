@@ -36,18 +36,21 @@ Result<ProcessGraph> ProcessMiner::Mine(const EventLog& log) const {
       SpecialDagMinerOptions opts;
       opts.noise_threshold = options_.noise_threshold;
       opts.num_threads = options_.num_threads;
+      opts.provenance = options_.provenance;
       return SpecialDagMiner(opts).Mine(log);
     }
     case MinerAlgorithm::kGeneralDag: {
       GeneralDagMinerOptions opts;
       opts.noise_threshold = options_.noise_threshold;
       opts.num_threads = options_.num_threads;
+      opts.provenance = options_.provenance;
       return GeneralDagMiner(opts).Mine(log);
     }
     case MinerAlgorithm::kCyclic: {
       CyclicMinerOptions opts;
       opts.noise_threshold = options_.noise_threshold;
       opts.num_threads = options_.num_threads;
+      opts.provenance = options_.provenance;
       return CyclicMiner(opts).Mine(log);
     }
     case MinerAlgorithm::kAuto:

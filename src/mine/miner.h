@@ -20,6 +20,8 @@
 
 namespace procmine {
 
+class ProvenanceRecorder;
+
 enum class MinerAlgorithm : int8_t {
   kAuto,        ///< choose from the log's shape
   kSpecialDag,  ///< Algorithm 1
@@ -37,6 +39,10 @@ struct MinerOptions {
   /// shard merges (bitset OR, counter sum, marked-set union) are
   /// order-independent by construction.
   int num_threads = 1;
+  /// Optional edge-provenance sink forwarded to the selected algorithm (see
+  /// mine/provenance.h; obs/report.h builds full run reports on top of it).
+  /// Not owned; must outlive Mine(). Null (the default) disables recording.
+  ProvenanceRecorder* provenance = nullptr;
 };
 
 /// High-level mining entry point.

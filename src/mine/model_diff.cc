@@ -1,8 +1,10 @@
 #include "mine/model_diff.h"
 
+#include <algorithm>
 #include <map>
 #include <set>
 #include <sstream>
+#include <tuple>
 
 #include "graph/algorithms.h"
 
@@ -114,6 +116,13 @@ ModelDiff DiffModels(const ProcessGraph& designed,
           {ModelDiscrepancy::Kind::kUndocumentedDependency, from, to, ""});
     }
   }
+  // Canonical order: reports must be byte-stable regardless of the id order
+  // the two dictionaries happened to intern activities in.
+  std::sort(diff.discrepancies.begin(), diff.discrepancies.end(),
+            [](const ModelDiscrepancy& a, const ModelDiscrepancy& b) {
+              return std::tie(a.kind, a.from, a.to, a.activity) <
+                     std::tie(b.kind, b.from, b.to, b.activity);
+            });
   return diff;
 }
 

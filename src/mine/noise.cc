@@ -5,6 +5,8 @@
 
 #include <vector>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/logging.h"
 
 namespace procmine {
@@ -55,6 +57,7 @@ int64_t OptimalNoiseThreshold(int64_t m, double epsilon) {
 }
 
 double EstimateNoiseRate(const EventLog& log, double minority_cutoff) {
+  PROCMINE_SPAN("noise.estimate");
   const ActivityId n = log.num_activities();
   if (n == 0 || log.num_executions() == 0) return 0.0;
 
@@ -96,6 +99,7 @@ double EstimateNoiseRate(const EventLog& log, double minority_cutoff) {
 
   double weighted_minority = 0.0;
   double weight = 0.0;
+  int64_t noisy_pairs = 0;
   for (ActivityId a = 0; a < n; ++a) {
     for (ActivityId b = a + 1; b < n; ++b) {
       int64_t ab = ordered[idx(a, b)];
@@ -107,8 +111,12 @@ double EstimateNoiseRate(const EventLog& log, double minority_cutoff) {
       if (minority >= minority_cutoff) continue;  // genuinely parallel
       weighted_minority += minority * static_cast<double>(total);
       weight += static_cast<double>(total);
+      ++noisy_pairs;
     }
   }
+  static obs::Counter* noisy =
+      obs::MetricsRegistry::Get().GetCounter("noise.noisy_pairs");
+  noisy->Add(noisy_pairs);
   return weight == 0.0 ? 0.0 : weighted_minority / weight;
 }
 

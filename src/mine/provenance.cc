@@ -1,0 +1,81 @@
+#include "mine/provenance.h"
+
+#include <algorithm>
+
+namespace procmine {
+
+std::string_view ToString(DropReason reason) {
+  switch (reason) {
+    case DropReason::kKept:
+      return "kept";
+    case DropReason::kBelowThreshold:
+      return "below_threshold";
+    case DropReason::kTwoCycle:
+      return "two_cycle";
+    case DropReason::kIntraScc:
+      return "intra_scc";
+    case DropReason::kTransitiveReduction:
+      return "transitive_reduction";
+  }
+  return "unknown";
+}
+
+void EdgeEvidence::Merge(const EdgeEvidence& other) {
+  support += other.support;
+  if (first_witness < 0 ||
+      (other.first_witness >= 0 && other.first_witness < first_witness)) {
+    first_witness = other.first_witness;
+  }
+  last_witness = std::max(last_witness, other.last_witness);
+}
+
+void ProvenanceRecorder::MarkDropped(NodeId from, NodeId to,
+                                     DropReason reason) {
+  dropped_.emplace(PackEdge(from, to), reason);  // first reason wins
+}
+
+std::vector<EdgeProvenance> ProvenanceRecorder::Edges() const {
+  std::vector<EdgeProvenance> out;
+  out.reserve(evidence_.size());
+  for (const auto& [key, evidence] : evidence_) {
+    EdgeProvenance p;
+    p.edge = UnpackEdge(key);
+    p.support = evidence.support;
+    p.first_witness = evidence.first_witness;
+    p.last_witness = evidence.last_witness;
+    auto it = dropped_.find(key);
+    if (it != dropped_.end()) p.reason = it->second;
+    out.push_back(p);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const EdgeProvenance& a, const EdgeProvenance& b) {
+              return a.edge < b.edge;
+            });
+  return out;
+}
+
+int64_t ProvenanceRecorder::CountWithSupportAtLeast(int64_t threshold) const {
+  int64_t count = 0;
+  for (const auto& [key, evidence] : evidence_) {
+    if (evidence.support >= threshold) ++count;
+  }
+  return count;
+}
+
+int64_t ProvenanceRecorder::max_support() const {
+  int64_t max = 0;
+  for (const auto& [key, evidence] : evidence_) {
+    max = std::max(max, evidence.support);
+  }
+  return max;
+}
+
+void ProvenanceRecorder::Reset() {
+  evidence_.clear();
+  dropped_.clear();
+  names_.clear();
+  labeled_to_base_.clear();
+  base_names_.clear();
+}
+
+}  // namespace procmine

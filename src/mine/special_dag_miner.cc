@@ -44,12 +44,14 @@ Result<ProcessGraph> SpecialDagMiner::Mine(const EventLog& log) const {
   const int num_threads = ResolveThreadCount(options_.num_threads);
   std::unique_ptr<ThreadPool> pool;
   if (num_threads > 1) pool = std::make_unique<ThreadPool>(num_threads);
-  EdgeCounts counts = CollectPrecedenceEdges(log, pool.get());
-  DirectedGraph g = BuildPrecedenceGraph(counts, n, options_.noise_threshold);
+  ProvenanceRecorder* prov = options_.provenance;
+  EdgeCounts counts = CollectPrecedenceEdges(log, pool.get(), prov);
+  DirectedGraph g =
+      BuildPrecedenceGraph(counts, n, options_.noise_threshold, prov);
 
   // Step 3: edges observed in both directions belong to independent
   // activity pairs.
-  RemoveTwoCycles(&g);
+  RemoveTwoCycles(&g, prov);
 
   // Step 4: transitive reduction yields the minimal dependency graph.
   PROCMINE_SPAN("special_dag.reduce");
@@ -60,6 +62,14 @@ Result<ProcessGraph> SpecialDagMiner::Mine(const EventLog& log) const {
         "violates the special-DAG assumptions (try GeneralDagMiner or a "
         "higher noise threshold): " +
         reduced.status().message());
+  }
+  if (prov != nullptr) {
+    for (const Edge& e : g.Edges()) {
+      if (!reduced->HasEdge(e.from, e.to)) {
+        prov->MarkDropped(e.from, e.to, DropReason::kTransitiveReduction);
+      }
+    }
+    prov->SetActivityNames(log.dictionary().names());
   }
   return ProcessGraph(reduced.MoveValueOrDie(), log.dictionary().names());
 }

@@ -19,6 +19,8 @@
 
 namespace procmine {
 
+class ProvenanceRecorder;
+
 struct SpecialDagMinerOptions {
   /// Minimum executions an edge must appear in to survive (the Section 6
   /// noise threshold T). 1 = keep everything.
@@ -31,6 +33,10 @@ struct SpecialDagMinerOptions {
   /// reference path; <= 0 = hardware concurrency. The mined graph is
   /// byte-identical for every thread count.
   int num_threads = 1;
+  /// Optional edge-provenance sink (see mine/provenance.h). Not owned; must
+  /// outlive Mine(). Null (the default) disables recording at the cost of
+  /// one branch per instrumented site.
+  ProvenanceRecorder* provenance = nullptr;
 };
 
 /// Mines the unique minimal conformal graph of a special-DAG log.

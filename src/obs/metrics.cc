@@ -85,6 +85,27 @@ void Histogram::Reset() {
   }
 }
 
+double MetricsSnapshot::HistogramValue::Percentile(double q) const {
+  if (total_count <= 0 || bounds.empty()) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  const double rank = q * static_cast<double>(total_count);
+  int64_t seen = 0;
+  for (size_t b = 0; b < counts.size(); ++b) {
+    if (counts[b] == 0) continue;
+    if (static_cast<double>(seen) + static_cast<double>(counts[b]) >= rank) {
+      if (b >= bounds.size()) break;  // overflow bucket: clamp below
+      const double lo = b == 0 ? 0.0 : static_cast<double>(bounds[b - 1]);
+      const double hi = static_cast<double>(bounds[b]);
+      const double frac =
+          (rank - static_cast<double>(seen)) / static_cast<double>(counts[b]);
+      return lo + (hi - lo) * frac;
+    }
+    seen += counts[b];
+  }
+  return static_cast<double>(bounds.back());
+}
+
 int64_t MetricsSnapshot::CounterTotal(std::string_view name) const {
   for (const CounterValue& c : counters) {
     if (c.name == name) return c.value;
@@ -125,9 +146,11 @@ std::string MetricsSnapshot::ToJson() const {
       out += StrFormat("%s%lld", b ? ", " : "",
                        static_cast<long long>(h.counts[b]));
     }
-    out += StrFormat("], \"count\": %lld, \"sum\": %lld}",
-                     static_cast<long long>(h.total_count),
-                     static_cast<long long>(h.sum));
+    out += StrFormat(
+        "], \"count\": %lld, \"sum\": %lld, \"p50\": %.6g, \"p95\": %.6g, "
+        "\"p99\": %.6g}",
+        static_cast<long long>(h.total_count), static_cast<long long>(h.sum),
+        h.Percentile(0.50), h.Percentile(0.95), h.Percentile(0.99));
   }
   out += histograms.empty() ? "}\n" : "\n  }\n";
   out += "}\n";
@@ -151,9 +174,11 @@ std::string MetricsSnapshot::ToText() const {
                      static_cast<long long>(g.value));
   }
   for (const HistogramValue& h : histograms) {
-    out += StrFormat("%-*s count=%lld sum=%lld\n", static_cast<int>(width),
-                     h.name.c_str(), static_cast<long long>(h.total_count),
-                     static_cast<long long>(h.sum));
+    out += StrFormat(
+        "%-*s count=%lld sum=%lld p50=%.6g p95=%.6g p99=%.6g\n",
+        static_cast<int>(width), h.name.c_str(),
+        static_cast<long long>(h.total_count), static_cast<long long>(h.sum),
+        h.Percentile(0.50), h.Percentile(0.95), h.Percentile(0.99));
   }
   return out;
 }

@@ -149,6 +149,12 @@ struct MetricsSnapshot {
     std::vector<int64_t> counts;  // bounds.size() + 1 entries
     int64_t total_count;
     int64_t sum;
+
+    /// Estimated q-quantile (q in [0, 1]) by linear interpolation inside the
+    /// owning bucket; bucket 0's lower edge is 0 and the overflow bucket
+    /// clamps to the last bound. Deterministic: derived only from the merged
+    /// bucket counts. Returns 0 for an empty histogram.
+    double Percentile(double q) const;
   };
 
   std::vector<CounterValue> counters;

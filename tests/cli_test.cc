@@ -237,5 +237,127 @@ TEST_F(CliTest, MissingFileReportsIOError) {
   EXPECT_NE(result.output.find("IO error"), std::string::npos);
 }
 
+// ---------------------------------------------------------------------------
+// Run reports (obs/report.h): --report-out / --report-dot on mine, and the
+// report subcommand. Golden files live in tests/golden/ and are compared
+// byte-for-byte; the examples/logs/ inputs are committed alongside them.
+
+std::string ReadFileOrEmpty(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.good()) return "";
+  return std::string((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+}
+
+const char* kOrderLog = PROCMINE_EXAMPLES_DIR "/logs/order_fulfillment.log";
+const char* kLoanLog = PROCMINE_EXAMPLES_DIR "/logs/loan_review.log";
+
+TEST_F(CliTest, MineReportOutEmitsProvenanceJson) {
+  std::string report_path = dir_ + "/report.json";
+  CommandResult result =
+      RunCli("mine --report-out=" + report_path + " " + log_path_);
+  EXPECT_EQ(result.exit_code, 0) << result.output;
+  std::string json = ReadFileOrEmpty(report_path);
+  ASSERT_FALSE(json.empty()) << report_path;
+  for (const char* key :
+       {"\"schema_version\"", "\"edges\"", "\"support\"",
+        "\"first_witness\"", "\"verdicts\"", "\"sensitivity\"",
+        "\"metrics\""}) {
+    EXPECT_NE(json.find(key), std::string::npos) << key;
+  }
+  // The run mined 120 executions; the embedded metrics must agree.
+  EXPECT_NE(json.find("\"log.executions_read\": 120"), std::string::npos);
+  // Thread-count-dependent counters are excluded by contract.
+  EXPECT_EQ(json.find("memo_hits"), std::string::npos);
+}
+
+TEST_F(CliTest, MineReportDotMarksDroppedEdges) {
+  std::string dot_path = dir_ + "/report.dot";
+  CommandResult result = RunCli("mine --threshold=2 --report-dot=" + dot_path +
+                                " " + std::string(kOrderLog));
+  EXPECT_EQ(result.exit_code, 0) << result.output;
+  std::string dot = ReadFileOrEmpty(dot_path);
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+  EXPECT_NE(dot.find("style=dashed"), std::string::npos) << dot;
+  EXPECT_NE(dot.find("transitive_reduction"), std::string::npos) << dot;
+}
+
+TEST_F(CliTest, ReportSubcommandPrintsSummaryAndTable) {
+  CommandResult result =
+      RunCli("report --threshold=2 " + std::string(kOrderLog));
+  EXPECT_EQ(result.exit_code, 0) << result.output;
+  EXPECT_NE(result.output.find("candidate edges"), std::string::npos)
+      << result.output;
+  EXPECT_NE(result.output.find("spurious_bound"), std::string::npos);
+  EXPECT_NE(result.output.find("<- mined T"), std::string::npos);
+}
+
+TEST_F(CliTest, ReportGoldenJsonIsStable) {
+  std::string out_path = dir_ + "/golden_run.json";
+  CommandResult result =
+      RunCli("report --algorithm=general --threshold=2 --threads=2 --out=" +
+             out_path + " " + std::string(kOrderLog));
+  ASSERT_EQ(result.exit_code, 0) << result.output;
+  std::string golden =
+      ReadFileOrEmpty(PROCMINE_GOLDEN_DIR "/order_fulfillment_report.json");
+  ASSERT_FALSE(golden.empty()) << "golden file missing";
+  EXPECT_EQ(ReadFileOrEmpty(out_path), golden)
+      << "report JSON drifted from tests/golden/order_fulfillment_report."
+         "json; regenerate with the command in tests/golden/README.md "
+         "if the change is intentional";
+}
+
+TEST_F(CliTest, ReportGoldenDotIsStable) {
+  std::string out_path = dir_ + "/golden_run.dot";
+  CommandResult result =
+      RunCli("report --algorithm=general --threshold=2 --threads=2 --dot=" +
+             out_path + " " + std::string(kOrderLog));
+  ASSERT_EQ(result.exit_code, 0) << result.output;
+  std::string golden =
+      ReadFileOrEmpty(PROCMINE_GOLDEN_DIR "/order_fulfillment_report.dot");
+  ASSERT_FALSE(golden.empty()) << "golden file missing";
+  EXPECT_EQ(ReadFileOrEmpty(out_path), golden);
+}
+
+TEST_F(CliTest, ReportBytesIdenticalAcrossThreadCounts) {
+  std::string baseline;
+  for (const char* threads : {"1", "2", "8"}) {
+    std::string out_path = dir_ + "/threads_" + threads + ".json";
+    CommandResult result = RunCli("report --threshold=2 --threads=" +
+                                  std::string(threads) + " --out=" + out_path +
+                                  " " + std::string(kOrderLog));
+    ASSERT_EQ(result.exit_code, 0) << result.output;
+    std::string json = ReadFileOrEmpty(out_path);
+    ASSERT_FALSE(json.empty());
+    if (baseline.empty()) {
+      baseline = json;
+    } else {
+      EXPECT_EQ(json, baseline) << "--threads=" << threads;
+    }
+  }
+}
+
+TEST_F(CliTest, ReportCyclicLogUsesOccurrenceLabels) {
+  std::string out_path = dir_ + "/loan.json";
+  CommandResult result =
+      RunCli("report --out=" + out_path + " " + std::string(kLoanLog));
+  EXPECT_EQ(result.exit_code, 0) << result.output;
+  std::string json = ReadFileOrEmpty(out_path);
+  EXPECT_NE(json.find("\"occurrence_labeled\": true"), std::string::npos);
+  EXPECT_NE(json.find("Review#2"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"base_from\""), std::string::npos);
+}
+
+TEST_F(CliTest, TraceSummaryIncludesHistogramPercentiles) {
+  std::string trace_path = dir_ + "/trace.json";
+  CommandResult result =
+      RunCli("mine --trace-out=" + trace_path + " " + log_path_);
+  EXPECT_EQ(result.exit_code, 0) << result.output;
+  EXPECT_NE(result.output.find("p50="), std::string::npos) << result.output;
+  EXPECT_NE(result.output.find("p99="), std::string::npos);
+  EXPECT_NE(result.output.find("mine.execution_instances"), std::string::npos)
+      << result.output;
+}
+
 }  // namespace
 }  // namespace procmine

@@ -7,6 +7,9 @@
 //   procmine diff <log> --model=EDGEFILE       designed-vs-mined diff
 //   procmine stats <log>                       log statistics + validation
 //   procmine noise <log>                       epsilon estimate + T*
+//   procmine report <log> [--out=FILE] [--dot=FILE]
+//                  mining run report: edge provenance, conformance audit,
+//                  noise-threshold sensitivity
 //   procmine synth --activities=N --executions=M [--density=D] [--seed=S]
 //                  --out=FILE                  synthetic workload
 //   procmine convert <in> <out>                format conversion by extension
@@ -29,12 +32,14 @@
 #include <fstream>
 #include <iostream>
 #include <map>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "graph/ascii.h"
 #include "graph/dot.h"
 #include "obs/metrics.h"
+#include "obs/report.h"
 #include "obs/trace.h"
 #include "log/binary_log.h"
 #include "mine/performance.h"
@@ -179,11 +184,67 @@ Result<MinerOptions> MinerOptionsFromArgs(const Args& args,
   return options;
 }
 
+/// Parses --sweep=T1,T2,... into RunReportOptions::sweep.
+Result<std::vector<int64_t>> ParseSweep(const std::string& spec) {
+  std::vector<int64_t> sweep;
+  for (const std::string& field : Split(spec, ',')) {
+    PROCMINE_ASSIGN_OR_RETURN(int64_t t, ParseInt64(field));
+    sweep.push_back(t);
+  }
+  return sweep;
+}
+
+Result<obs::RunReportOptions> ReportOptionsFromArgs(const Args& args,
+                                                    const EventLog& log) {
+  PROCMINE_ASSIGN_OR_RETURN(MinerOptions miner_options,
+                            MinerOptionsFromArgs(args, log));
+  obs::RunReportOptions options;
+  options.algorithm = miner_options.algorithm;
+  options.noise_threshold = miner_options.noise_threshold;
+  options.num_threads = miner_options.num_threads;
+  if (args.Has("sweep")) {
+    PROCMINE_ASSIGN_OR_RETURN(options.sweep, ParseSweep(args.Get("sweep")));
+  }
+  if (args.Has("unstable-cutoff")) {
+    PROCMINE_ASSIGN_OR_RETURN(options.unstable_cutoff,
+                              ParseDouble(args.Get("unstable-cutoff")));
+  }
+  return options;
+}
+
+/// Writes the JSON / annotated-DOT artifacts named by `json_flag` and
+/// `dot_flag`. Returns false (after printing why) on an IO failure.
+bool WriteReportArtifacts(const obs::RunReport& report, const Args& args,
+                          const std::string& json_flag,
+                          const std::string& dot_flag) {
+  if (args.Has(json_flag)) {
+    std::ofstream out(args.Get(json_flag));
+    if (!out) {
+      std::cerr << "cannot write " << args.Get(json_flag) << "\n";
+      return false;
+    }
+    out << report.ToJson();
+    std::fprintf(stderr, "wrote run report to %s\n",
+                 args.Get(json_flag).c_str());
+  }
+  if (args.Has(dot_flag)) {
+    std::ofstream out(args.Get(dot_flag));
+    if (!out) {
+      std::cerr << "cannot write " << args.Get(dot_flag) << "\n";
+      return false;
+    }
+    out << report.ToAnnotatedDot();
+    std::fprintf(stderr, "wrote annotated dot to %s\n",
+                 args.Get(dot_flag).c_str());
+  }
+  return true;
+}
+
 int CommandMine(const Args& args) {
   if (args.positional.empty()) {
     std::cerr << "usage: procmine mine <log> [--algorithm=...] "
                  "[--threshold=N|auto] [--threads=N|auto] [--dot=FILE] "
-                 "[--conditions]\n";
+                 "[--report-out=FILE] [--report-dot=FILE] [--conditions]\n";
     return 2;
   }
   auto log = ReadLogAuto(args.positional[0], args);
@@ -197,6 +258,26 @@ int CommandMine(const Args& args) {
     return 1;
   }
   ProcessMiner miner(*options);
+
+  // --report-out / --report-dot: mine once with provenance recording and
+  // reuse the report's model below instead of mining again.
+  std::optional<obs::RunReport> report;
+  if (args.Has("report-out") || args.Has("report-dot")) {
+    auto report_options = ReportOptionsFromArgs(args, *log);
+    if (!report_options.ok()) {
+      std::cerr << report_options.status().ToString() << "\n";
+      return 1;
+    }
+    auto built = obs::BuildRunReport(*log, *report_options);
+    if (!built.ok()) {
+      std::cerr << built.status().ToString() << "\n";
+      return 1;
+    }
+    report = std::move(*built);
+    if (!WriteReportArtifacts(*report, args, "report-out", "report-dot")) {
+      return 1;
+    }
+  }
 
   if (args.Has("conditions")) {
     auto annotated = miner.MineWithConditions(*log);
@@ -235,7 +316,10 @@ int CommandMine(const Args& args) {
     return 0;
   }
 
-  auto model = miner.Mine(*log);
+  Result<ProcessGraph> model = report.has_value()
+                                   ? Result<ProcessGraph>(
+                                         std::move(report->model))
+                                   : miner.Mine(*log);
   if (!model.ok()) {
     std::cerr << model.status().ToString() << "\n";
     return 1;
@@ -469,6 +553,37 @@ int CommandNoise(const Args& args) {
   return 0;
 }
 
+int CommandReport(const Args& args) {
+  if (args.positional.empty()) {
+    std::cerr << "usage: procmine report <log> [--algorithm=...] "
+                 "[--threshold=N|auto] [--threads=N|auto] [--out=FILE] "
+                 "[--dot=FILE] [--sweep=T1,T2,...] [--unstable-cutoff=P]\n";
+    return 2;
+  }
+  // Reports are built from recorded counters, so recording must be on even
+  // without --metrics-out.
+  obs::SetMetricsEnabled(true);
+  auto log = ReadLogAuto(args.positional[0], args);
+  if (!log.ok()) {
+    std::cerr << log.status().ToString() << "\n";
+    return 1;
+  }
+  auto options = ReportOptionsFromArgs(args, *log);
+  if (!options.ok()) {
+    std::cerr << options.status().ToString() << "\n";
+    return 1;
+  }
+  auto report = obs::BuildRunReport(*log, *options);
+  if (!report.ok()) {
+    std::cerr << report.status().ToString() << "\n";
+    return 1;
+  }
+  if (!WriteReportArtifacts(*report, args, "out", "dot")) return 1;
+  std::cout << report->SummaryText() << "\n"
+            << report->SensitivityTableText();
+  return 0;
+}
+
 int CommandSynth(const Args& args) {
   if (!args.Has("activities") || !args.Has("executions") ||
       !args.Has("out")) {
@@ -628,6 +743,10 @@ void PrintUsage() {
       "commands:\n"
       "  mine <log> [--algorithm=...] [--threshold=N|auto] [--dot=FILE]\n"
       "             [--threads=N|auto] [--ascii] [--conditions [--fdl=FILE]]\n"
+      "             [--report-out=FILE] [--report-dot=FILE]\n"
+      "             (--report-out: full run report JSON — edge provenance,\n"
+      "              conformance verdicts, noise-threshold sensitivity;\n"
+      "              --report-dot: DOT with dropped candidates dashed gray)\n"
       "             (--threads: worker threads for the sharded mining\n"
       "              passes; auto = all hardware threads, 1 = sequential;\n"
       "              the mined model is identical for every thread count)\n"
@@ -638,6 +757,8 @@ void PrintUsage() {
       "  explain <log> [--edge=From,To] [--threshold=N]\n"
       "  variants <log> [--top=K]\n"
       "  noise <log>\n"
+      "  report <log> [--algorithm=...] [--threshold=N|auto] [--out=FILE]\n"
+      "         [--dot=FILE] [--sweep=T1,T2,...] [--unstable-cutoff=P]\n"
       "  synth --activities=N --executions=M [--density=D] [--seed=S]\n"
       "        --out=FILE [--truth-dot=FILE]\n"
       "  simulate --definition=FDL --executions=M [--seed=S] [--cyclic]\n"
@@ -670,6 +791,10 @@ bool SetUpObservability(const Args& args) {
     obs::SetMetricsEnabled(true);
   }
   if (args.Has("metrics-out")) obs::SetMetricsEnabled(true);
+  // Run reports embed a metrics snapshot, so the flags imply recording.
+  if (args.Has("report-out") || args.Has("report-dot")) {
+    obs::SetMetricsEnabled(true);
+  }
   return true;
 }
 
@@ -686,6 +811,12 @@ int FlushObservability(const Args& args, int rc) {
     std::fprintf(stderr, "wrote trace to %s\n%s",
                  args.Get("trace-out").c_str(),
                  obs::TraceRecorder::Get().SummaryText().c_str());
+    obs::MetricsSnapshot snapshot = obs::MetricsRegistry::Get().Snapshot();
+    for (const auto& h : snapshot.histograms) {
+      std::fprintf(stderr, "%s: count=%lld p50=%.6g p95=%.6g p99=%.6g\n",
+                   h.name.c_str(), static_cast<long long>(h.total_count),
+                   h.Percentile(0.50), h.Percentile(0.95), h.Percentile(0.99));
+    }
   }
   if (args.Has("metrics-out")) {
     std::ofstream out(args.Get("metrics-out"));
@@ -709,6 +840,7 @@ int Dispatch(const std::string& command, const Args& args) {
   if (command == "explain") return CommandExplain(args);
   if (command == "variants") return CommandVariants(args);
   if (command == "noise") return CommandNoise(args);
+  if (command == "report") return CommandReport(args);
   if (command == "synth") return CommandSynth(args);
   if (command == "simulate") return CommandSimulate(args);
   if (command == "patterns") return CommandPatterns(args);
