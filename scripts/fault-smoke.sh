@@ -1,0 +1,115 @@
+#!/bin/sh
+# Fault smoke gate: drives the real CLI under injected faults
+# (PROCMINE_FAILPOINTS), hostile input, and exhausted budgets, asserting
+# the documented exit-code taxonomy and that no torn or partial artifact
+# is ever left behind:
+#   0 ok, 1 analysis mismatch, 2 usage, 3 data error, 4 budget-degraded,
+#   5 internal, 134 injected crash.
+#
+# Registered as the `fault_smoke` ctest (tests/CMakeLists.txt) with the
+# built CLI and examples/logs/order_fulfillment.log. Standalone usage:
+#   scripts/fault-smoke.sh <procmine-binary> <log>
+
+set -eu
+
+PROCMINE="${1:?usage: fault-smoke.sh <procmine-binary> <log>}"
+LOG="${2:?usage: fault-smoke.sh <procmine-binary> <log>}"
+
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT
+
+fail() { echo "FAIL: $*" >&2; exit 1; }
+
+# expect_exit <want> <description> <cmd...>: run the command, capture its
+# output, and require the exact exit code.
+expect_exit() {
+  want="$1"; what="$2"; shift 2
+  set +e
+  "$@" > "$TMP/out.txt" 2>&1
+  got=$?
+  set -e
+  if [ "$got" -ne "$want" ]; then
+    cat "$TMP/out.txt" >&2
+    fail "$what: exit $got, want $want"
+  fi
+}
+
+# A hostile log: clean executions interleaved with malformed lines and
+# executions that cannot pair.
+HOSTILE="$TMP/hostile.log"
+i=0
+while [ "$i" -lt 16 ]; do
+  {
+    echo "g$i A START $i"
+    echo "g$i A END $((i + 1))"
+    echo "g$i B START $((i + 2))"
+    echo "g$i B END $((i + 4)) 7"
+    echo "garbage line $i"
+    echo "lost$i C END 9"
+  } >> "$HOSTILE"
+  i=$((i + 1))
+done
+
+# --- exit-code taxonomy ----------------------------------------------------
+expect_exit 0 "clean mine" "$PROCMINE" mine "$LOG"
+expect_exit 2 "missing command is a usage error" "$PROCMINE"
+expect_exit 3 "nonexistent input is a data error" \
+  "$PROCMINE" mine "$TMP/no-such-file.log"
+expect_exit 3 "bad --recovery value is a data error" \
+  "$PROCMINE" mine --recovery=lenient "$LOG"
+expect_exit 3 "strict mining of a hostile log is a data error" \
+  "$PROCMINE" mine "$HOSTILE"
+
+# --- recovery-mode ingestion ----------------------------------------------
+expect_exit 0 "quarantine mining of a hostile log succeeds" \
+  "$PROCMINE" mine --recovery=quarantine --quarantine-out="$TMP/q1.txt" \
+  --threads=1 --dot="$TMP/m1.dot" "$HOSTILE"
+grep -q "skipped" "$TMP/out.txt" || fail "no skip summary on stderr"
+expect_exit 0 "quarantine mining with 4 threads succeeds" \
+  "$PROCMINE" mine --recovery=quarantine --quarantine-out="$TMP/q4.txt" \
+  --threads=4 --dot="$TMP/m4.dot" "$HOSTILE"
+head -n 1 "$TMP/q1.txt" | grep -q "procmine quarantine" \
+  || fail "quarantine sidecar has no versioned header"
+cmp "$TMP/q1.txt" "$TMP/q4.txt" \
+  || fail "quarantine bytes differ between --threads=1 and --threads=4"
+cmp "$TMP/m1.dot" "$TMP/m4.dot" \
+  || fail "model bytes differ between --threads=1 and --threads=4"
+
+# --- budget degradation ----------------------------------------------------
+expect_exit 4 "zero deadline degrades the report" \
+  "$PROCMINE" report --deadline-ms=0 --out="$TMP/degraded.json" "$LOG"
+grep -q "DEGRADED" "$TMP/out.txt" || fail "degraded run not announced"
+grep -q '"degraded": true' "$TMP/degraded.json" \
+  || fail "degraded report JSON does not say so"
+grep -q '"cut_phase"' "$TMP/degraded.json" \
+  || fail "degraded report JSON names no cut phase"
+expect_exit 4 "tiny execution cap degrades mining" \
+  "$PROCMINE" mine --max-executions=5 "$LOG"
+
+# --- injected faults -------------------------------------------------------
+expect_exit 3 "injected report-write error is a data error" \
+  env PROCMINE_FAILPOINTS="report.write=error" \
+  "$PROCMINE" report --out="$TMP/faulted.json" "$LOG"
+[ ! -e "$TMP/faulted.json" ] || fail "faulted report left a file behind"
+
+expect_exit 3 "injected rename error is a data error" \
+  env PROCMINE_FAILPOINTS="atomic_write.rename=error" \
+  "$PROCMINE" report --out="$TMP/renamed.json" "$LOG"
+[ ! -e "$TMP/renamed.json" ] || fail "failed rename left the target"
+[ ! -e "$TMP/renamed.json.tmp" ] || fail "failed rename leaked a temp file"
+
+expect_exit 134 "injected crash aborts before the rename commits" \
+  env PROCMINE_FAILPOINTS="atomic_write.rename=crash" \
+  "$PROCMINE" report --out="$TMP/crashed.json" "$LOG"
+[ ! -e "$TMP/crashed.json" ] || fail "crashed run left a torn report"
+
+# Short writes and EINTR must be absorbed, not surfaced.
+expect_exit 0 "short-write injection still produces the full artifact" \
+  env PROCMINE_FAILPOINTS="atomic_write.write=short:7" \
+  "$PROCMINE" report --out="$TMP/short.json" "$LOG"
+expect_exit 0 "clean reference report" \
+  "$PROCMINE" report --out="$TMP/ref.json" "$LOG"
+cmp "$TMP/short.json" "$TMP/ref.json" \
+  || fail "short-write artifact differs from the clean one"
+
+echo "fault smoke OK"

@@ -1,7 +1,9 @@
 #include "graph/dot.h"
 
-#include <fstream>
 #include <sstream>
+
+#include "util/atomic_file.h"
+#include "util/failpoint.h"
 
 namespace procmine {
 
@@ -68,11 +70,10 @@ std::string ToDot(const DirectedGraph& g,
 Status WriteDotFile(const DirectedGraph& g,
                     const std::vector<std::string>& labels,
                     const std::string& path, const DotOptions& options) {
-  std::ofstream file(path);
-  if (!file) return Status::IOError("cannot open for writing: " + path);
-  file << ToDot(g, labels, options);
-  if (!file) return Status::IOError("write failed: " + path);
-  return Status::OK();
+  if (auto fp = PROCMINE_FAILPOINT("dot.write"); fp) {
+    return fp.ToStatus("dot.write");
+  }
+  return WriteFileAtomic(path, ToDot(g, labels, options));
 }
 
 }  // namespace procmine

@@ -1,11 +1,11 @@
 #include "log/binary_log.h"
 
-#include <fstream>
-
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "util/atomic_file.h"
 #include "util/coding.h"
 #include "util/crc32c.h"
+#include "util/failpoint.h"
 #include "util/mapped_file.h"
 #include "util/strings.h"
 
@@ -14,6 +14,116 @@ namespace procmine {
 namespace {
 constexpr char kMagic[] = "PMLG";
 constexpr uint64_t kVersion = 1;
+
+/// Decodes one execution record at *cursor with the strict semantic checks.
+/// On failure *cursor is unspecified; salvage callers snapshot it first.
+Result<Execution> DecodeOneExecution(std::string_view* cursor,
+                                     uint64_t activity_count) {
+  PROCMINE_ASSIGN_OR_RETURN(std::string_view name, GetLengthPrefixed(cursor));
+  Execution exec{std::string(name)};
+  PROCMINE_ASSIGN_OR_RETURN(uint64_t instance_count, GetVarint64(cursor));
+  int64_t previous_start = 0;
+  for (uint64_t i = 0; i < instance_count; ++i) {
+    PROCMINE_ASSIGN_OR_RETURN(uint64_t activity, GetVarint64(cursor));
+    if (activity >= activity_count) {
+      return Status::InvalidArgument(StrFormat(
+          "activity id %llu out of dictionary range",
+          static_cast<unsigned long long>(activity)));
+    }
+    PROCMINE_ASSIGN_OR_RETURN(int64_t start_delta, GetVarintSigned64(cursor));
+    PROCMINE_ASSIGN_OR_RETURN(uint64_t duration, GetVarint64(cursor));
+    ActivityInstance inst;
+    inst.activity = static_cast<ActivityId>(activity);
+    inst.start = previous_start + start_delta;
+    previous_start = inst.start;
+    inst.end = inst.start + static_cast<int64_t>(duration);
+    if (inst.start > inst.end ||
+        (!exec.empty() && exec[exec.size() - 1].start > inst.start)) {
+      return Status::InvalidArgument("instances out of start order");
+    }
+    PROCMINE_ASSIGN_OR_RETURN(uint64_t output_count, GetVarint64(cursor));
+    if (output_count > cursor->size()) {  // cheap sanity before allocating
+      return Status::DataLoss("output count exceeds remaining input");
+    }
+    inst.output.reserve(output_count);
+    for (uint64_t o = 0; o < output_count; ++o) {
+      PROCMINE_ASSIGN_OR_RETURN(int64_t value, GetVarintSigned64(cursor));
+      inst.output.push_back(value);
+    }
+    exec.Append(std::move(inst));
+  }
+  return exec;
+}
+
+/// Best-effort decode of a file that failed the strict pass: keeps every
+/// complete execution before the first undecodable byte. Returns
+/// `strict_error` unchanged when even the header/dictionary is unreadable —
+/// there is no salvageable prefix then.
+Result<EventLog> SalvageBinaryLog(std::string_view data,
+                                  const Status& strict_error,
+                                  const BinaryDecodeOptions& options) {
+  if (data.size() < 4 || data.substr(0, 4) != std::string_view(kMagic, 4)) {
+    return strict_error;
+  }
+  // Greedy re-decode over everything after the magic. For a truncated file
+  // the CRC footer is gone (the strict pass misreads trailing data bytes as
+  // one), so no footer is split off here; whatever the executions do not
+  // consume counts as dropped.
+  std::string_view cursor = data.substr(4);
+  auto version = GetVarint64(&cursor);
+  if (!version.ok() || *version != kVersion) return strict_error;
+  EventLog log;
+  auto activity_count = GetVarint64(&cursor);
+  if (!activity_count.ok()) return strict_error;
+  for (uint64_t i = 0; i < *activity_count; ++i) {
+    auto name = GetLengthPrefixed(&cursor);
+    if (!name.ok() ||
+        static_cast<uint64_t>(log.dictionary().Intern(*name)) != i) {
+      return strict_error;  // unusable dictionary: ids would be meaningless
+    }
+  }
+  auto execution_count = GetVarint64(&cursor);
+  if (!execution_count.ok()) return strict_error;
+  Status stop;  // why the greedy loop gave up (OK = decoded them all)
+  for (uint64_t e = 0; e < *execution_count; ++e) {
+    std::string_view mark = cursor;
+    auto exec = DecodeOneExecution(&cursor, *activity_count);
+    if (!exec.ok()) {
+      stop = exec.status();
+      cursor = mark;  // drop from the start of the bad execution
+      break;
+    }
+    log.AddExecution(std::move(*exec));
+  }
+
+  if (options.report != nullptr) {
+    std::string_view error_class;
+    if (!stop.ok()) {
+      error_class = stop.code() == StatusCode::kDataLoss ? "truncated_body"
+                                                         : "semantic_error";
+    } else if (strict_error.message().find("checksum mismatch") !=
+               std::string::npos) {
+      error_class = "checksum_mismatch";
+    } else {
+      error_class = "semantic_error";
+    }
+    options.report->salvage_attempted = true;
+    options.report->salvaged_executions =
+        static_cast<int64_t>(log.num_executions());
+    options.report->salvage_dropped_bytes =
+        static_cast<int64_t>(cursor.size());
+    options.report->AddErrorClass(error_class);
+    if (options.recovery == RecoveryPolicy::kQuarantine) {
+      QuarantineRecord record;
+      record.byte_offset = static_cast<int64_t>(data.size() - cursor.size());
+      record.error_class = std::string(error_class);
+      record.raw = strict_error.message();
+      options.report->quarantined.push_back(std::move(record));
+    }
+  }
+  return log;
+}
+
 }  // namespace
 
 std::string EncodeBinaryLog(const EventLog& log) {
@@ -81,42 +191,8 @@ Result<EventLog> DecodeBinaryLog(std::string_view data) {
 
   PROCMINE_ASSIGN_OR_RETURN(uint64_t execution_count, GetVarint64(&cursor));
   for (uint64_t e = 0; e < execution_count; ++e) {
-    PROCMINE_ASSIGN_OR_RETURN(std::string_view name,
-                              GetLengthPrefixed(&cursor));
-    Execution exec{std::string(name)};
-    PROCMINE_ASSIGN_OR_RETURN(uint64_t instance_count, GetVarint64(&cursor));
-    int64_t previous_start = 0;
-    for (uint64_t i = 0; i < instance_count; ++i) {
-      PROCMINE_ASSIGN_OR_RETURN(uint64_t activity, GetVarint64(&cursor));
-      if (activity >= activity_count) {
-        return Status::InvalidArgument(StrFormat(
-            "activity id %llu out of dictionary range",
-            static_cast<unsigned long long>(activity)));
-      }
-      PROCMINE_ASSIGN_OR_RETURN(int64_t start_delta,
-                                GetVarintSigned64(&cursor));
-      PROCMINE_ASSIGN_OR_RETURN(uint64_t duration, GetVarint64(&cursor));
-      ActivityInstance inst;
-      inst.activity = static_cast<ActivityId>(activity);
-      inst.start = previous_start + start_delta;
-      previous_start = inst.start;
-      inst.end = inst.start + static_cast<int64_t>(duration);
-      if (inst.start > inst.end ||
-          (!exec.empty() &&
-           exec[exec.size() - 1].start > inst.start)) {
-        return Status::InvalidArgument("instances out of start order");
-      }
-      PROCMINE_ASSIGN_OR_RETURN(uint64_t output_count, GetVarint64(&cursor));
-      if (output_count > cursor.size()) {  // cheap sanity before allocating
-        return Status::DataLoss("output count exceeds remaining input");
-      }
-      inst.output.reserve(output_count);
-      for (uint64_t o = 0; o < output_count; ++o) {
-        PROCMINE_ASSIGN_OR_RETURN(int64_t value, GetVarintSigned64(&cursor));
-        inst.output.push_back(value);
-      }
-      exec.Append(std::move(inst));
-    }
+    PROCMINE_ASSIGN_OR_RETURN(Execution exec,
+                              DecodeOneExecution(&cursor, activity_count));
     log.AddExecution(std::move(exec));
   }
   if (!cursor.empty()) {
@@ -126,16 +202,28 @@ Result<EventLog> DecodeBinaryLog(std::string_view data) {
   return log;
 }
 
+Result<EventLog> DecodeBinaryLog(std::string_view data,
+                                 const BinaryDecodeOptions& options) {
+  Result<EventLog> strict = DecodeBinaryLog(data);
+  if (strict.ok() || options.recovery == RecoveryPolicy::kStrict) {
+    return strict;
+  }
+  return SalvageBinaryLog(data, strict.status(), options);
+}
+
 Status WriteBinaryLogFile(const EventLog& log, const std::string& path) {
-  std::ofstream file(path, std::ios::binary);
-  if (!file) return Status::IOError("cannot open for writing: " + path);
-  std::string encoded = EncodeBinaryLog(log);
-  file.write(encoded.data(), static_cast<std::streamsize>(encoded.size()));
-  if (!file) return Status::IOError("write failed: " + path);
-  return Status::OK();
+  if (auto fp = PROCMINE_FAILPOINT("binary_log.write"); fp) {
+    return fp.ToStatus("binary_log.write");
+  }
+  return WriteFileAtomic(path, EncodeBinaryLog(log));
 }
 
 Result<EventLog> ReadBinaryLogFile(const std::string& path) {
+  return ReadBinaryLogFile(path, BinaryDecodeOptions{});
+}
+
+Result<EventLog> ReadBinaryLogFile(const std::string& path,
+                                   const BinaryDecodeOptions& options) {
   PROCMINE_SPAN("log.read_binary");
   // Decode straight out of the mapping: the varint cursor walks the page
   // cache and only the dictionary strings and outputs are copied.
@@ -143,7 +231,7 @@ Result<EventLog> ReadBinaryLogFile(const std::string& path) {
   static obs::Counter* bytes =
       obs::MetricsRegistry::Get().GetCounter("log.bytes_read");
   bytes->Add(static_cast<int64_t>(file.size()));
-  Result<EventLog> log = DecodeBinaryLog(file.data());
+  Result<EventLog> log = DecodeBinaryLog(file.data(), options);
   if (log.ok()) {
     static obs::Counter* read =
         obs::MetricsRegistry::Get().GetCounter("log.executions_read");

@@ -25,6 +25,7 @@
 #include <string>
 
 #include "log/event_log.h"
+#include "log/recovery.h"
 #include "util/result.h"
 
 namespace procmine {
@@ -36,8 +37,33 @@ std::string EncodeBinaryLog(const EventLog& log);
 /// truncation, checksum mismatch) and InvalidArgument on semantic errors.
 Result<EventLog> DecodeBinaryLog(std::string_view data);
 
+/// Recovery knobs for binary decoding.
+struct BinaryDecodeOptions {
+  /// Under kSkip / kQuarantine a file that fails the strict decode is
+  /// salvaged: every complete execution before the corruption / truncation
+  /// point is recovered, the remainder is dropped, and the outcome is
+  /// recorded in `report` (salvage_attempted, salvaged_executions,
+  /// salvage_dropped_bytes, plus an error class: truncated_body,
+  /// checksum_mismatch, bad_dictionary, or semantic_error). A file whose
+  /// magic or dictionary cannot be read has no salvageable prefix and fails
+  /// with the strict error even in recovery mode.
+  RecoveryPolicy recovery = RecoveryPolicy::kStrict;
+  IngestionReport* report = nullptr;
+};
+
+/// DecodeBinaryLog with a recovery policy; kStrict is exactly the strict
+/// overload above.
+Result<EventLog> DecodeBinaryLog(std::string_view data,
+                                 const BinaryDecodeOptions& options);
+
+/// Writes the encoded log atomically (temp file + fsync + rename): a crash
+/// mid-write never leaves a torn .bin at `path`.
 Status WriteBinaryLogFile(const EventLog& log, const std::string& path);
 Result<EventLog> ReadBinaryLogFile(const std::string& path);
+
+/// ReadBinaryLogFile with a recovery policy (see BinaryDecodeOptions).
+Result<EventLog> ReadBinaryLogFile(const std::string& path,
+                                   const BinaryDecodeOptions& options);
 
 }  // namespace procmine
 

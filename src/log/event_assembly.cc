@@ -50,6 +50,11 @@ void StableSortSmall(std::vector<T>* v, Less less) {
 }  // namespace
 
 Result<EventLog> AssembleEventLog(const CompactEventBatch& batch) {
+  return AssembleEventLog(batch, AssemblyRecovery{});
+}
+
+Result<EventLog> AssembleEventLog(const CompactEventBatch& batch,
+                                  const AssemblyRecovery& recovery) {
   PROCMINE_SPAN("log.assemble");
   const size_t num_instances = batch.instance_names.size();
   const size_t num_activities = batch.activity_names.size();
@@ -113,6 +118,8 @@ Result<EventLog> AssembleEventLog(const CompactEventBatch& batch) {
     };
 
     instances.clear();
+    std::string_view fail_class;  // empty = this instance paired cleanly
+    std::string fail_detail;
     for (size_t seq = 0; seq < order.size(); ++seq) {
       const CompactEvent& e = batch.events[order[seq]];
       OpenStarts& fifo = open[static_cast<size_t>(e.activity)];
@@ -122,12 +129,13 @@ Result<EventLog> AssembleEventLog(const CompactEventBatch& batch) {
         continue;
       }
       if (fifo.empty()) {
-        release_queues();
-        return Status::InvalidArgument(StrFormat(
+        fail_class = "end_without_start";
+        fail_detail = StrFormat(
             "execution '%s': END without START for activity '%s'",
             std::string(inst_name).c_str(),
             std::string(batch.activity_names[static_cast<size_t>(e.activity)])
-                .c_str()));
+                .c_str());
+        break;
       }
       ActivityInstance inst;
       inst.activity = e.activity;  // temp id; remapped below
@@ -138,23 +146,43 @@ Result<EventLog> AssembleEventLog(const CompactEventBatch& batch) {
           batch.outputs.begin() + e.output_begin + e.output_count);
       instances.push_back(std::move(inst));
     }
-    // Report the earliest START (in time-sorted order) left unmatched.
-    size_t first_seq = order.size();
-    int32_t first_activity = -1;
-    for (int32_t a : touched) {
-      const OpenStarts& fifo = open[static_cast<size_t>(a)];
-      if (!fifo.empty() && fifo.queue[fifo.head].seq < first_seq) {
-        first_seq = fifo.queue[fifo.head].seq;
-        first_activity = a;
+    if (fail_class.empty()) {
+      // Report the earliest START (in time-sorted order) left unmatched.
+      size_t first_seq = order.size();
+      int32_t first_activity = -1;
+      for (int32_t a : touched) {
+        const OpenStarts& fifo = open[static_cast<size_t>(a)];
+        if (!fifo.empty() && fifo.queue[fifo.head].seq < first_seq) {
+          first_seq = fifo.queue[fifo.head].seq;
+          first_activity = a;
+        }
+      }
+      if (first_activity >= 0) {
+        fail_class = "start_without_end";
+        fail_detail = StrFormat(
+            "execution '%s': START without END for activity '%s'",
+            std::string(inst_name).c_str(),
+            std::string(
+                batch.activity_names[static_cast<size_t>(first_activity)])
+                .c_str());
       }
     }
     release_queues();
-    if (first_activity >= 0) {
-      return Status::InvalidArgument(StrFormat(
-          "execution '%s': START without END for activity '%s'",
-          std::string(inst_name).c_str(),
-          std::string(batch.activity_names[static_cast<size_t>(first_activity)])
-              .c_str()));
+    if (!fail_class.empty()) {
+      if (recovery.policy == RecoveryPolicy::kStrict) {
+        return Status::InvalidArgument(fail_detail);
+      }
+      if (recovery.report != nullptr) {
+        ++recovery.report->executions_dropped;
+        recovery.report->AddErrorClass(fail_class);
+        if (recovery.policy == RecoveryPolicy::kQuarantine) {
+          QuarantineRecord record;
+          record.error_class = std::string(fail_class);
+          record.raw = std::move(fail_detail);
+          recovery.report->quarantined.push_back(std::move(record));
+        }
+      }
+      continue;  // drop the whole execution
     }
 
     for (ActivityInstance& inst : instances) {

@@ -22,6 +22,7 @@
 
 #include "log/event.h"
 #include "log/event_log.h"
+#include "log/recovery.h"
 #include "util/result.h"
 
 namespace procmine {
@@ -45,6 +46,16 @@ struct CompactEventBatch {
   std::vector<int64_t> outputs;                  ///< shared output-value pool
 };
 
+/// How AssembleEventLog treats executions whose events do not pair.
+/// Under kSkip / kQuarantine the offending execution is dropped (recorded
+/// in `report` when non-null: executions_dropped, error class
+/// end_without_start / start_without_end, and — under kQuarantine — a
+/// QuarantineRecord with byte_offset -1 carrying the strict error text).
+struct AssemblyRecovery {
+  RecoveryPolicy policy = RecoveryPolicy::kStrict;
+  IngestionReport* report = nullptr;
+};
+
 /// Assembles a batch into an EventLog: groups events by process instance
 /// (instances ordered by name), pairs START/END events FIFO per activity,
 /// orders instances by start time, and interns activity names into the
@@ -52,6 +63,11 @@ struct CompactEventBatch {
 /// EventLog::FromEvents contract; the result is deterministic — independent
 /// of how the batch was produced or sharded.
 Result<EventLog> AssembleEventLog(const CompactEventBatch& batch);
+
+/// As above, but malformed executions are handled per `recovery`. With a
+/// kStrict policy this is exactly AssembleEventLog(batch).
+Result<EventLog> AssembleEventLog(const CompactEventBatch& batch,
+                                  const AssemblyRecovery& recovery);
 
 }  // namespace procmine
 

@@ -90,8 +90,38 @@ struct ParseShardResult {
   int64_t error_line = 0;  // shard-local 1-based line of the first error
   std::string error;       // message without the "line N: " prefix
 
+  // Recovery bookkeeping, shard-local: quarantine byte offsets are relative
+  // to the chunk start and lines are shard-local; the merge rebases both.
+  IngestionReport report;
+
   bool ok() const { return error.empty(); }
 };
+
+/// Handles one malformed line. Strict: records the shard error and returns
+/// false (the shard stops). Otherwise: counts the skip (and captures the
+/// raw line under kQuarantine) and returns true (the caller drops the line
+/// and keeps scanning).
+bool SkipOrFail(ParseShardResult* r, RecoveryPolicy policy,
+                std::string_view error_class, std::string message,
+                const char* line_begin, const char* line_end,
+                std::string_view chunk) {
+  if (policy == RecoveryPolicy::kStrict) {
+    r->error_line = r->lines;
+    r->error = std::move(message);
+    return false;
+  }
+  ++r->report.lines_skipped;
+  r->report.AddErrorClass(error_class);
+  if (policy == RecoveryPolicy::kQuarantine) {
+    QuarantineRecord record;
+    record.byte_offset = line_begin - chunk.data();
+    record.line = r->lines;
+    record.error_class = std::string(error_class);
+    record.raw.assign(line_begin, static_cast<size_t>(line_end - line_begin));
+    r->report.quarantined.push_back(std::move(record));
+  }
+  return true;
+}
 
 int32_t InternView(std::unordered_map<std::string_view, int32_t>* ids,
                    std::vector<std::string_view>* names,
@@ -121,7 +151,8 @@ inline bool FastParseInt(std::string_view s, int64_t* out) {
 /// themselves are dictionary-encoded on the fly instead of materialized.
 /// The loop is a single pointer scan: fields are carved out in place, so no
 /// per-line Trim/split containers and no string copies on the happy path.
-void ParseShard(std::string_view chunk, ParseShardResult* r) {
+void ParseShard(std::string_view chunk, RecoveryPolicy policy,
+                ParseShardResult* r) {
   PROCMINE_SPAN("log.parse_shard");
   // ~32 bytes is a conservative guess at the bytes-per-event line; a low
   // guess only costs a few vector doublings.
@@ -140,6 +171,7 @@ void ParseShard(std::string_view chunk, ParseShardResult* r) {
         memchr(p, '\n', static_cast<size_t>(end - p)));
     const char* const line_end = nl != nullptr ? nl : end;
     const char* q = p;
+    const char* const line_begin = p;
     p = nl != nullptr ? nl + 1 : end;
     ++r->lines;
     // Carve the four fixed fields.
@@ -155,8 +187,11 @@ void ParseShard(std::string_view chunk, ParseShardResult* r) {
     if (nfields == 0) continue;           // blank line
     if (fields[0][0] == '#') continue;    // comment
     if (nfields < 4) {                    // scanner drained the line
-      r->error_line = r->lines;
-      r->error = StrFormat("expected at least 4 fields, got %zu", nfields);
+      if (SkipOrFail(r, policy, "short_line",
+                     StrFormat("expected at least 4 fields, got %zu", nfields),
+                     line_begin, line_end, chunk)) {
+        continue;
+      }
       return;
     }
     CompactEvent event;
@@ -165,23 +200,30 @@ void ParseShard(std::string_view chunk, ParseShardResult* r) {
     } else if (fields[2] == "END") {
       event.type = EventType::kEnd;
     } else {
-      r->error_line = r->lines;
-      r->error = StrFormat("event type must be START or END, got '%s'",
-                           std::string(fields[2]).c_str());
+      if (SkipOrFail(r, policy, "bad_event_type",
+                     StrFormat("event type must be START or END, got '%s'",
+                               std::string(fields[2]).c_str()),
+                     line_begin, line_end, chunk)) {
+        continue;
+      }
       return;
     }
     if (!FastParseInt(fields[3], &event.timestamp)) {
       auto ts = ParseInt64(fields[3]);
       if (!ts.ok()) {
-        r->error_line = r->lines;
-        r->error =
-            StrFormat("bad timestamp: %s", ts.status().message().c_str());
+        if (SkipOrFail(r, policy, "bad_timestamp",
+                       StrFormat("bad timestamp: %s",
+                                 ts.status().message().c_str()),
+                       line_begin, line_end, chunk)) {
+          continue;
+        }
         return;
       }
       event.timestamp = *ts;
     }
     // Any remaining tokens are output parameters, parsed as encountered.
     event.output_begin = static_cast<uint32_t>(r->outputs.size());
+    bool line_failed = false;
     for (;;) {
       while (q < line_end && IsFieldSpace(*q)) ++q;
       if (q == line_end) break;
@@ -189,23 +231,36 @@ void ParseShard(std::string_view chunk, ParseShardResult* r) {
       while (q < line_end && !IsFieldSpace(*q)) ++q;
       std::string_view token(f, static_cast<size_t>(q - f));
       if (event.output_count == 0 && event.type == EventType::kStart) {
-        r->error_line = r->lines;
-        r->error = "output parameters are only valid on END events";
+        if (SkipOrFail(r, policy, "output_on_start",
+                       "output parameters are only valid on END events",
+                       line_begin, line_end, chunk)) {
+          line_failed = true;
+          break;
+        }
         return;
       }
       int64_t value;
       if (!FastParseInt(token, &value)) {
         auto parsed = ParseInt64(token);
         if (!parsed.ok()) {
-          r->error_line = r->lines;
-          r->error = StrFormat("bad output parameter '%s'",
-                               std::string(token).c_str());
+          if (SkipOrFail(r, policy, "bad_output",
+                         StrFormat("bad output parameter '%s'",
+                                   std::string(token).c_str()),
+                         line_begin, line_end, chunk)) {
+            line_failed = true;
+            break;
+          }
           return;
         }
         value = *parsed;
       }
       r->outputs.push_back(value);
       ++event.output_count;
+    }
+    if (line_failed) {
+      // Unwind output values the dropped line already pooled.
+      r->outputs.resize(event.output_begin);
+      continue;
     }
     if (fields[0] == last_instance) {
       event.instance = last_instance_id;
@@ -225,6 +280,8 @@ void ParseShard(std::string_view chunk, ParseShardResult* r) {
     }
     r->events.push_back(event);
   }
+  r->report.lines_total = r->lines;
+  r->report.events_parsed = static_cast<int64_t>(r->events.size());
 }
 
 /// Cuts `data` into `num_shards` ranges aligned on line starts. Boundary
@@ -270,17 +327,20 @@ Result<EventLog> LogReader::ParseText(std::string_view text,
   std::vector<ParseShardResult> shards(num_shards);
   std::vector<std::string_view> chunks = SplitChunksAtLines(text, num_shards);
   if (num_shards == 1) {
-    ParseShard(chunks[0], &shards[0]);
+    ParseShard(chunks[0], options.recovery, &shards[0]);
   } else {
     ThreadPool pool(threads);
     pool.ParallelFor(num_shards, [&](size_t, size_t begin, size_t end) {
-      for (size_t s = begin; s < end; ++s) ParseShard(chunks[s], &shards[s]);
+      for (size_t s = begin; s < end; ++s) {
+        ParseShard(chunks[s], options.recovery, &shards[s]);
+      }
     });
   }
 
   // First error in file order wins: shards scan disjoint ranges in file
   // order, so it is the lowest-indexed erroring shard's error, offset by the
-  // (complete) line counts of the shards before it.
+  // (complete) line counts of the shards before it. (Recovery-mode shards
+  // never set an error.)
   int64_t line_offset = 0;
   for (const ParseShardResult& shard : shards) {
     if (!shard.ok()) {
@@ -290,6 +350,25 @@ Result<EventLog> LogReader::ParseText(std::string_view text,
                     shard.error.c_str()));
     }
     line_offset += shard.lines;
+  }
+
+  // Fold shard recovery reports in file order, rebasing each shard's
+  // quarantine records from chunk-local to file-absolute coordinates. The
+  // result is a pure function of the input bytes — shard count invisible.
+  if (options.report != nullptr) {
+    options.report->policy = options.recovery;
+    int64_t lines_before = 0;
+    for (size_t s = 0; s < num_shards; ++s) {
+      IngestionReport shard_report = std::move(shards[s].report);
+      const int64_t chunk_base =
+          chunks[s].empty() ? 0 : chunks[s].data() - text.data();
+      for (QuarantineRecord& record : shard_report.quarantined) {
+        record.byte_offset += chunk_base;
+        record.line += lines_before;
+      }
+      lines_before += shards[s].lines;
+      options.report->Merge(shard_report);
+    }
   }
 
   // Deterministic merge: remap shard-local ids into global tables in shard
@@ -303,7 +382,8 @@ Result<EventLog> LogReader::ParseText(std::string_view text,
     batch.activity_names = std::move(shards[0].activity_names);
     batch.events = std::move(shards[0].events);
     batch.outputs = std::move(shards[0].outputs);
-    return AssembleEventLog(batch);
+    return AssembleEventLog(batch,
+                            AssemblyRecovery{options.recovery, options.report});
   }
   {
     size_t total_events = 0;
@@ -340,7 +420,8 @@ Result<EventLog> LogReader::ParseText(std::string_view text,
       batch.events.push_back(event);
     }
   }
-  return AssembleEventLog(batch);
+  return AssembleEventLog(batch,
+                          AssemblyRecovery{options.recovery, options.report});
 }
 
 Result<EventLog> LogReader::ReadFile(const std::string& path,

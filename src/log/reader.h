@@ -30,6 +30,7 @@
 
 #include "log/event.h"
 #include "log/event_log.h"
+#include "log/recovery.h"
 #include "util/result.h"
 
 namespace procmine {
@@ -45,6 +46,18 @@ struct LogParseOptions {
   /// Tests lower this to force multi-shard parses on small corpora; the
   /// result is byte-identical for any value.
   size_t min_shard_bytes = 256 * 1024;
+
+  /// What to do with malformed lines / executions. kStrict fails the whole
+  /// parse (the classic behavior); kSkip and kQuarantine drop the offending
+  /// input and keep going. Because shard cuts are line-aligned and skip
+  /// decisions are per line, the surviving log, the report, and the
+  /// quarantine records are byte-identical for any num_threads.
+  RecoveryPolicy recovery = RecoveryPolicy::kStrict;
+
+  /// When non-null, filled with what recovery did (counts are global, byte
+  /// offsets/lines in quarantine records are file-absolute). Merged-into,
+  /// not reset — zero-initialize before the call.
+  IngestionReport* report = nullptr;
 };
 
 class LogReader {

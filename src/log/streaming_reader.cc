@@ -19,14 +19,18 @@ class InstanceAssembler {
  public:
   explicit InstanceAssembler(std::string name) : name_(std::move(name)) {}
 
+  /// On failure *error_class names the reject bucket (end_without_start,
+  /// negative_duration) for recovery-mode accounting.
   Status Add(ActivityId activity, bool is_start, int64_t timestamp,
-             std::vector<int64_t> output, ActivityDictionary* dict) {
+             std::vector<int64_t> output, ActivityDictionary* dict,
+             std::string_view* error_class) {
     if (is_start) {
       open_[activity].push_back(timestamp);
       return Status::OK();
     }
     auto it = open_.find(activity);
     if (it == open_.end() || it->second.empty()) {
+      *error_class = "end_without_start";
       return Status::InvalidArgument(
           StrFormat("execution '%s': END without START for '%s'",
                     name_.c_str(), dict->Name(activity).c_str()));
@@ -38,6 +42,7 @@ class InstanceAssembler {
     inst.end = timestamp;
     inst.output = std::move(output);
     if (inst.end < inst.start) {
+      *error_class = "negative_duration";
       return Status::InvalidArgument(
           StrFormat("execution '%s': negative duration for '%s'",
                     name_.c_str(), dict->Name(activity).c_str()));
@@ -46,9 +51,11 @@ class InstanceAssembler {
     return Status::OK();
   }
 
-  Result<Execution> Finish(const ActivityDictionary& dict) {
+  Result<Execution> Finish(const ActivityDictionary& dict,
+                           std::string_view* error_class) {
     for (const auto& [activity, queue] : open_) {
       if (!queue.empty()) {
+        *error_class = "start_without_end";
         return Status::InvalidArgument(
             StrFormat("execution '%s': START without END for '%s'",
                       name_.c_str(), dict.Name(activity).c_str()));
@@ -76,17 +83,24 @@ class InstanceAssembler {
 /// are consumed before return), then Finish once at end of input.
 class StreamParser {
  public:
-  explicit StreamParser(const ExecutionCallback& callback)
-      : callback_(callback) {
+  StreamParser(const ExecutionCallback& callback, const StreamOptions& options)
+      : callback_(callback), options_(options) {
     fields_.reserve(8);
+    if (options_.report != nullptr) {
+      options_.report->policy = options_.recovery;
+    }
   }
 
-  Status ProcessLine(std::string_view line) {
+  /// `offset` is the line's byte offset in the source (for quarantine
+  /// records); -1 when the source is not byte-addressed (istream).
+  Status ProcessLine(std::string_view line, int64_t offset = -1) {
     ++stats_.lines;
+    if (options_.report != nullptr) ++options_.report->lines_total;
     std::string_view trimmed = Trim(line);
     if (trimmed.empty() || trimmed[0] == '#') return Status::OK();
     SplitWhitespaceViews(trimmed, &fields_);
     if (fields_.size() < 4) {
+      if (SkipLine("short_line", line, offset)) return Status::OK();
       return Status::InvalidArgument(
           StrFormat("line %lld: expected at least 4 fields",
                     static_cast<long long>(stats_.lines)));
@@ -94,6 +108,7 @@ class StreamParser {
     std::string_view instance = fields_[0];
     bool is_start = fields_[2] == "START";
     if (!is_start && fields_[2] != "END") {
+      if (SkipLine("bad_event_type", line, offset)) return Status::OK();
       return Status::InvalidArgument(
           StrFormat("line %lld: bad event type '%s'",
                     static_cast<long long>(stats_.lines),
@@ -101,18 +116,26 @@ class StreamParser {
     }
     auto timestamp = ParseInt64(fields_[3]);
     if (!timestamp.ok()) {
+      if (SkipLine("bad_timestamp", line, offset)) return Status::OK();
       return Status::InvalidArgument(
           StrFormat("line %lld: bad timestamp",
                     static_cast<long long>(stats_.lines)));
     }
     std::vector<int64_t> output;
     for (size_t i = 4; i < fields_.size(); ++i) {
-      PROCMINE_ASSIGN_OR_RETURN(int64_t value, ParseInt64(fields_[i]));
-      output.push_back(value);
+      auto value = ParseInt64(fields_[i]);
+      if (!value.ok()) {
+        if (SkipLine("bad_output", line, offset)) return Status::OK();
+        return value.status();
+      }
+      output.push_back(*value);
     }
 
     if (current_ == nullptr || current_->name() != instance) {
       if (finished_.count(std::string(instance)) > 0) {
+        if (SkipLine("non_contiguous_instance", line, offset)) {
+          return Status::OK();
+        }
         return Status::InvalidArgument(StrFormat(
             "line %lld: events of instance '%s' are not contiguous",
             static_cast<long long>(stats_.lines),
@@ -120,10 +143,24 @@ class StreamParser {
       }
       PROCMINE_RETURN_NOT_OK(FinishCurrent());
       current_ = std::make_unique<InstanceAssembler>(std::string(instance));
+      poison_class_ = {};
+      poison_detail_.clear();
     }
+    if (!poison_class_.empty()) return Status::OK();  // drop poisoned group
+    if (options_.report != nullptr) ++options_.report->events_parsed;
     ++stats_.events;
-    return current_->Add(dict_.Intern(fields_[1]), is_start, *timestamp,
-                         std::move(output), &dict_);
+    std::string_view error_class;
+    Status added = current_->Add(dict_.Intern(fields_[1]), is_start,
+                                 *timestamp, std::move(output), &dict_,
+                                 &error_class);
+    if (!added.ok() && options_.recovery != RecoveryPolicy::kStrict) {
+      // The execution is unusable, but its group must still be consumed to
+      // keep contiguity tracking intact — poison it instead of returning.
+      poison_class_ = error_class;
+      poison_detail_ = added.message();
+      return Status::OK();
+    }
+    return added;
   }
 
   Result<StreamingStats> Finish() {
@@ -132,20 +169,71 @@ class StreamParser {
   }
 
  private:
+  /// Recovery-mode line drop: returns true when the line was skipped
+  /// (recorded in the report), false when strict semantics apply.
+  bool SkipLine(std::string_view error_class, std::string_view line,
+                int64_t offset) {
+    if (options_.recovery == RecoveryPolicy::kStrict) return false;
+    if (options_.report != nullptr) {
+      ++options_.report->lines_skipped;
+      options_.report->AddErrorClass(error_class);
+      if (options_.recovery == RecoveryPolicy::kQuarantine) {
+        QuarantineRecord record;
+        record.byte_offset = offset;
+        record.line = stats_.lines;
+        record.error_class = std::string(error_class);
+        record.raw = std::string(line);
+        options_.report->quarantined.push_back(std::move(record));
+      }
+    }
+    return true;
+  }
+
+  /// Drops the current execution (recovery) instead of failing the scan.
+  void DropCurrent(std::string_view error_class, std::string detail) {
+    if (options_.report != nullptr) {
+      ++options_.report->executions_dropped;
+      options_.report->AddErrorClass(error_class);
+      if (options_.recovery == RecoveryPolicy::kQuarantine) {
+        QuarantineRecord record;
+        record.error_class = std::string(error_class);
+        record.raw = std::move(detail);
+        options_.report->quarantined.push_back(std::move(record));
+      }
+    }
+  }
+
   Status FinishCurrent() {
     if (current_ == nullptr) return Status::OK();
-    PROCMINE_ASSIGN_OR_RETURN(Execution exec, current_->Finish(dict_));
     finished_.insert(current_->name());
+    if (!poison_class_.empty()) {  // failed during Add: already classified
+      DropCurrent(poison_class_, std::move(poison_detail_));
+      current_.reset();
+      poison_class_ = {};
+      poison_detail_.clear();
+      return Status::OK();
+    }
+    std::string_view error_class;
+    auto exec = current_->Finish(dict_, &error_class);
+    if (!exec.ok()) {
+      if (options_.recovery == RecoveryPolicy::kStrict) return exec.status();
+      DropCurrent(error_class, exec.status().message());
+      current_.reset();
+      return Status::OK();
+    }
     current_.reset();
     ++stats_.executions;
-    return callback_(exec, dict_);
+    return callback_(*exec, dict_);
   }
 
   const ExecutionCallback& callback_;
+  StreamOptions options_;
   StreamingStats stats_;
   ActivityDictionary dict_;
   std::unordered_set<std::string> finished_;
   std::unique_ptr<InstanceAssembler> current_;
+  std::string_view poison_class_;  // non-empty: current_ is condemned
+  std::string poison_detail_;
   std::vector<std::string_view> fields_;
 };
 
@@ -153,7 +241,13 @@ class StreamParser {
 
 Result<StreamingStats> StreamLog(std::istream* input,
                                  const ExecutionCallback& callback) {
-  StreamParser parser(callback);
+  return StreamLog(input, callback, StreamOptions{});
+}
+
+Result<StreamingStats> StreamLog(std::istream* input,
+                                 const ExecutionCallback& callback,
+                                 const StreamOptions& options) {
+  StreamParser parser(callback, options);
   std::string line;
   while (std::getline(*input, line)) {
     PROCMINE_RETURN_NOT_OK(parser.ProcessLine(line));
@@ -164,15 +258,22 @@ Result<StreamingStats> StreamLog(std::istream* input,
 
 Result<StreamingStats> StreamLogFile(const std::string& path,
                                      const ExecutionCallback& callback) {
+  return StreamLogFile(path, callback, StreamOptions{});
+}
+
+Result<StreamingStats> StreamLogFile(const std::string& path,
+                                     const ExecutionCallback& callback,
+                                     const StreamOptions& options) {
   PROCMINE_SPAN("log.stream_mmap");
   PROCMINE_ASSIGN_OR_RETURN(MappedFile file, MappedFile::Open(path));
-  StreamParser parser(callback);
+  StreamParser parser(callback, options);
   std::string_view data = file.data();
   size_t pos = 0;
   while (pos < data.size()) {
     size_t eol = data.find('\n', pos);
     if (eol == std::string_view::npos) eol = data.size();
-    PROCMINE_RETURN_NOT_OK(parser.ProcessLine(data.substr(pos, eol - pos)));
+    PROCMINE_RETURN_NOT_OK(parser.ProcessLine(data.substr(pos, eol - pos),
+                                              static_cast<int64_t>(pos)));
     pos = eol + 1;
   }
   return parser.Finish();

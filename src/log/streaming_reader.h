@@ -18,6 +18,7 @@
 #include <string>
 
 #include "log/event_log.h"
+#include "log/recovery.h"
 #include "util/result.h"
 
 namespace procmine {
@@ -35,9 +36,23 @@ struct StreamingStats {
   int64_t lines = 0;
 };
 
+/// Recovery knobs for the streaming scan.
+struct StreamOptions {
+  /// Under kSkip / kQuarantine: malformed lines are dropped (error classes
+  /// short_line, bad_event_type, bad_timestamp, bad_output,
+  /// non_contiguous_instance), and an execution whose events do not pair is
+  /// poisoned — its callback never fires and it is counted as dropped
+  /// (end_without_start, negative_duration, start_without_end).
+  RecoveryPolicy recovery = RecoveryPolicy::kStrict;
+  IngestionReport* report = nullptr;
+};
+
 /// Scans `input` (text event format) and invokes `callback` per execution.
 Result<StreamingStats> StreamLog(std::istream* input,
                                  const ExecutionCallback& callback);
+Result<StreamingStats> StreamLog(std::istream* input,
+                                 const ExecutionCallback& callback,
+                                 const StreamOptions& options);
 
 /// File variant: memory-maps `path` and scans it line by line without
 /// copying (the OS pages the mapping in and out, so memory stays bounded
@@ -45,6 +60,9 @@ Result<StreamingStats> StreamLog(std::istream* input,
 /// messages as the istream path.
 Result<StreamingStats> StreamLogFile(const std::string& path,
                                      const ExecutionCallback& callback);
+Result<StreamingStats> StreamLogFile(const std::string& path,
+                                     const ExecutionCallback& callback,
+                                     const StreamOptions& options);
 
 }  // namespace procmine
 

@@ -1,7 +1,9 @@
 #include "log/writer.h"
 
-#include <fstream>
 #include <sstream>
+
+#include "util/atomic_file.h"
+#include "util/failpoint.h"
 
 namespace procmine {
 
@@ -40,11 +42,10 @@ std::string LogWriter::ToCsv(const EventLog& log) {
 
 namespace {
 Status WriteStringToFile(const std::string& content, const std::string& path) {
-  std::ofstream file(path);
-  if (!file) return Status::IOError("cannot open for writing: " + path);
-  file << content;
-  if (!file) return Status::IOError("write failed: " + path);
-  return Status::OK();
+  if (auto fp = PROCMINE_FAILPOINT("log_writer.write"); fp) {
+    return fp.ToStatus("log_writer.write");
+  }
+  return WriteFileAtomic(path, content);
 }
 }  // namespace
 

@@ -99,6 +99,16 @@ Result<ProcessGraph> CyclicMiner::Mine(const EventLog& log) const {
     return Status::InvalidArgument("log is empty");
   }
 
+  if (BudgetCut(options_.budget, options_.degradation, "cyclic.label",
+                "occurrence labeling and all later phases skipped; the "
+                "model has no edges")) {
+    if (options_.provenance != nullptr) {
+      options_.provenance->SetActivityNames(log.dictionary().names());
+    }
+    return ProcessGraph(DirectedGraph(log.num_activities()),
+                        log.dictionary().names());
+  }
+
   const int num_threads = ResolveThreadCount(options_.num_threads);
   std::unique_ptr<ThreadPool> pool;
   if (num_threads > 1) pool = std::make_unique<ThreadPool>(num_threads);
@@ -108,10 +118,14 @@ Result<ProcessGraph> CyclicMiner::Mine(const EventLog& log) const {
   EventLog labeled = LabelOccurrences(log, &labeled_to_base, pool.get());
 
   // Steps 3-7: the Algorithm 2 machinery on the labeled (repeat-free) log.
+  // The budget rides along: an inner cut yields a conformal-but-unminimized
+  // labeled graph, which still merges into a valid (degraded) base model.
   GeneralDagMinerOptions general_options;
   general_options.noise_threshold = options_.noise_threshold;
   general_options.num_threads = num_threads;
   general_options.provenance = options_.provenance;
+  general_options.budget = options_.budget;
+  general_options.degradation = options_.degradation;
   GeneralDagMiner general(general_options);
   PROCMINE_ASSIGN_OR_RETURN(ProcessGraph labeled_graph, general.Mine(labeled));
   if (options_.provenance != nullptr) {

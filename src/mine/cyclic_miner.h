@@ -15,6 +15,7 @@
 #include <cstdint>
 
 #include "log/event_log.h"
+#include "util/budget.h"
 #include "util/result.h"
 #include "workflow/process_graph.h"
 
@@ -35,6 +36,10 @@ struct CyclicMinerOptions {
   /// run operates in, with the labeled-to-base mapping attached. Not owned;
   /// must outlive Mine(). Null (the default) disables recording.
   ProvenanceRecorder* provenance = nullptr;
+  /// Optional run budget + degradation sink (see util/budget.h), forwarded
+  /// to the inner Algorithm 2 run. Borrowed; may be null.
+  RunBudget* budget = nullptr;
+  DegradationInfo* degradation = nullptr;
 };
 
 /// Mines a (possibly cyclic) conformal graph via instance labeling.

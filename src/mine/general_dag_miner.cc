@@ -24,7 +24,8 @@ namespace {
 // memo table; the marked-edge sets merge by union, which is order-independent,
 // so the result is identical for any shard count.
 Status MarkReductionEdges(const EventLog& log, const DirectedGraph& g,
-                          ExecutionSpan span, bool memoize,
+                          ExecutionSpan span, bool memoize, RunBudget* budget,
+                          bool* budget_aborted,
                           std::unordered_set<uint64_t>* marked) {
   PROCMINE_SPAN("general_dag.reduce_shard");
   // Memo key: the sorted activity set. Hashing the id vector directly
@@ -41,6 +42,13 @@ Status MarkReductionEdges(const EventLog& log, const DirectedGraph& g,
   int64_t memo_hits = 0;
   int64_t memo_misses = 0;
   for (size_t e = span.begin; e < span.end; ++e) {
+    // A budget probe reads the clock (and possibly /proc), so amortize it;
+    // the sticky exhausted flag makes every shard stop within one stride.
+    if (budget != nullptr && (e - span.begin) % 1024 == 0 &&
+        budget->Check() != BudgetResource::kNone) {
+      *budget_aborted = true;
+      return Status::OK();
+    }
     const Execution& exec = log.execution(e);
     std::vector<NodeId> present = exec.Sequence();
     std::sort(present.begin(), present.end());
@@ -108,12 +116,19 @@ Result<ProcessGraph> GeneralDagMiner::Mine(const EventLog& log) const {
     }
   }
 
+  ProvenanceRecorder* prov = options_.provenance;
+  if (BudgetCut(options_.budget, options_.degradation, "general_dag.collect",
+                "precedence collection and all later phases skipped; the "
+                "model has no edges")) {
+    if (prov != nullptr) prov->SetActivityNames(log.dictionary().names());
+    return ProcessGraph(DirectedGraph(n), log.dictionary().names());
+  }
+
   const int num_threads = ResolveThreadCount(options_.num_threads);
   std::unique_ptr<ThreadPool> pool;
   if (num_threads > 1) pool = std::make_unique<ThreadPool>(num_threads);
 
   // Steps 1-2: precedence edges with counts; threshold applies here.
-  ProvenanceRecorder* prov = options_.provenance;
   EdgeCounts counts = CollectPrecedenceEdges(log, pool.get(), prov);
   DirectedGraph g =
       BuildPrecedenceGraph(counts, n, options_.noise_threshold, prov);
@@ -125,6 +140,21 @@ Result<ProcessGraph> GeneralDagMiner::Mine(const EventLog& log) const {
   RemoveIntraSccEdges(&g, prov);
   PROCMINE_DCHECK(!HasCycle(g));
 
+  // The post-SCC DAG is conformal (Theorem 5) even without steps 5-6, so it
+  // is the partial model a budget cut falls back to — here and on a
+  // mid-reduction abort below.
+  const char* kReduceDropped =
+      "per-execution transitive reductions skipped; the model is conformal "
+      "but keeps edges a full run would have removed";
+  auto degraded_model = [&]() {
+    if (prov != nullptr) prov->SetActivityNames(log.dictionary().names());
+    return ProcessGraph(std::move(g), log.dictionary().names());
+  };
+  if (BudgetCut(options_.budget, options_.degradation, "general_dag.reduce",
+                kReduceDropped)) {
+    return degraded_model();
+  }
+
   // Steps 5-6: keep exactly the edges needed by at least one execution —
   // those in the transitive reduction of the execution's induced subgraph.
   PROCMINE_SPAN("general_dag.reduce");
@@ -132,23 +162,30 @@ Result<ProcessGraph> GeneralDagMiner::Mine(const EventLog& log) const {
       pool == nullptr ? 1 : static_cast<size_t>(pool->num_threads()));
   std::vector<std::unordered_set<uint64_t>> shard_marked(spans.size());
   std::vector<Status> shard_status(spans.size());
+  std::vector<uint8_t> shard_aborted(spans.size(), 0);
+  auto run_shard = [&](size_t s) {
+    bool aborted = false;
+    shard_status[s] =
+        MarkReductionEdges(log, g, spans[s], options_.memoize_reductions,
+                           options_.budget, &aborted, &shard_marked[s]);
+    shard_aborted[s] = aborted ? 1 : 0;
+  };
   if (pool != nullptr && spans.size() > 1) {
     pool->ParallelFor(spans.size(), [&](size_t, size_t begin, size_t end) {
-      for (size_t s = begin; s < end; ++s) {
-        shard_status[s] =
-            MarkReductionEdges(log, g, spans[s], options_.memoize_reductions,
-                               &shard_marked[s]);
-      }
+      for (size_t s = begin; s < end; ++s) run_shard(s);
     });
   } else {
-    for (size_t s = 0; s < spans.size(); ++s) {
-      shard_status[s] =
-          MarkReductionEdges(log, g, spans[s], options_.memoize_reductions,
-                             &shard_marked[s]);
-    }
+    for (size_t s = 0; s < spans.size(); ++s) run_shard(s);
   }
   for (const Status& st : shard_status) {
     if (!st.ok()) return st;  // first failure by shard order: deterministic
+  }
+  for (uint8_t aborted : shard_aborted) {
+    if (aborted != 0) {
+      BudgetCut(options_.budget, options_.degradation, "general_dag.reduce",
+                kReduceDropped);
+      return degraded_model();
+    }
   }
   std::unordered_set<uint64_t> marked = std::move(shard_marked[0]);
   for (size_t s = 1; s < shard_marked.size(); ++s) {

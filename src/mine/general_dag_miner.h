@@ -17,6 +17,7 @@
 #include <cstdint>
 
 #include "log/event_log.h"
+#include "util/budget.h"
 #include "util/result.h"
 #include "workflow/process_graph.h"
 
@@ -42,6 +43,12 @@ struct GeneralDagMinerOptions {
   /// outlive Mine(). Null (the default) disables recording at the cost of
   /// one branch per instrumented site.
   ProvenanceRecorder* provenance = nullptr;
+  /// Optional run budget + degradation sink (see util/budget.h): checked at
+  /// phase boundaries and every ~1024 executions inside the step 5-6
+  /// reduction pass. On exhaustion the miner returns the conformal (but
+  /// unminimized) post-SCC DAG and records the cut. Borrowed; may be null.
+  RunBudget* budget = nullptr;
+  DegradationInfo* degradation = nullptr;
 };
 
 /// Mines a conformal DAG from a general acyclic log.

@@ -3,6 +3,7 @@
 #include "mine/cyclic_miner.h"
 #include "mine/general_dag_miner.h"
 #include "mine/special_dag_miner.h"
+#include "util/strings.h"
 
 namespace procmine {
 
@@ -28,8 +29,38 @@ Result<ProcessGraph> ProcessMiner::Mine(const EventLog& log) const {
   if (log.num_executions() == 0) {
     return Status::InvalidArgument("log is empty");
   }
+
+  // max_executions applies at the facade: mine only the first N executions
+  // (the dictionary is copied whole so activity ids stay the log's ids) and
+  // record the truncation as a degradation.
+  const EventLog* input = &log;
+  EventLog truncated;
+  if (options_.budget != nullptr &&
+      options_.budget->OverExecutionLimit(log.num_executions())) {
+    const int64_t keep = options_.budget->limits().max_executions;
+    for (const std::string& name : log.dictionary().names()) {
+      truncated.dictionary().Intern(name);
+    }
+    for (int64_t e = 0; e < keep; ++e) {
+      truncated.AddExecution(log.execution(static_cast<size_t>(e)));
+    }
+    if (options_.degradation != nullptr && !options_.degradation->degraded) {
+      options_.degradation->degraded = true;
+      options_.degradation->resource = BudgetResource::kExecutions;
+      options_.degradation->cut_phase = "miner.input";
+      options_.degradation->dropped = StrFormat(
+          "%lld of %lld executions beyond --max-executions ignored",
+          static_cast<long long>(log.num_executions() - keep),
+          static_cast<long long>(log.num_executions()));
+    }
+    input = &truncated;
+    if (truncated.num_executions() == 0) {
+      return Status::InvalidArgument("max-executions leaves the log empty");
+    }
+  }
+
   MinerAlgorithm algorithm = options_.algorithm == MinerAlgorithm::kAuto
-                                 ? SelectAlgorithm(log)
+                                 ? SelectAlgorithm(*input)
                                  : options_.algorithm;
   switch (algorithm) {
     case MinerAlgorithm::kSpecialDag: {
@@ -37,21 +68,27 @@ Result<ProcessGraph> ProcessMiner::Mine(const EventLog& log) const {
       opts.noise_threshold = options_.noise_threshold;
       opts.num_threads = options_.num_threads;
       opts.provenance = options_.provenance;
-      return SpecialDagMiner(opts).Mine(log);
+      opts.budget = options_.budget;
+      opts.degradation = options_.degradation;
+      return SpecialDagMiner(opts).Mine(*input);
     }
     case MinerAlgorithm::kGeneralDag: {
       GeneralDagMinerOptions opts;
       opts.noise_threshold = options_.noise_threshold;
       opts.num_threads = options_.num_threads;
       opts.provenance = options_.provenance;
-      return GeneralDagMiner(opts).Mine(log);
+      opts.budget = options_.budget;
+      opts.degradation = options_.degradation;
+      return GeneralDagMiner(opts).Mine(*input);
     }
     case MinerAlgorithm::kCyclic: {
       CyclicMinerOptions opts;
       opts.noise_threshold = options_.noise_threshold;
       opts.num_threads = options_.num_threads;
       opts.provenance = options_.provenance;
-      return CyclicMiner(opts).Mine(log);
+      opts.budget = options_.budget;
+      opts.degradation = options_.degradation;
+      return CyclicMiner(opts).Mine(*input);
     }
     case MinerAlgorithm::kAuto:
       break;

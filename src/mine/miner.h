@@ -15,6 +15,7 @@
 #include "log/event_log.h"
 #include "mine/condition_miner.h"
 #include "mine/conformance.h"
+#include "util/budget.h"
 #include "util/result.h"
 #include "workflow/process_graph.h"
 
@@ -43,6 +44,14 @@ struct MinerOptions {
   /// mine/provenance.h; obs/report.h builds full run reports on top of it).
   /// Not owned; must outlive Mine(). Null (the default) disables recording.
   ProvenanceRecorder* provenance = nullptr;
+  /// Optional run budget, checked at phase boundaries (and periodically
+  /// inside the long reduction passes). On exhaustion the miner returns the
+  /// best model built so far instead of finishing — never an error — and
+  /// records what was cut in `degradation`. max_executions is applied here:
+  /// the log is truncated to its first N executions before mining. Both
+  /// pointers are borrowed and may be null (no budgeting).
+  RunBudget* budget = nullptr;
+  DegradationInfo* degradation = nullptr;
 };
 
 /// High-level mining entry point.

@@ -40,11 +40,18 @@ Result<ProcessGraph> SpecialDagMiner::Mine(const EventLog& log) const {
     }
   }
 
+  ProvenanceRecorder* prov = options_.provenance;
+  if (BudgetCut(options_.budget, options_.degradation, "special_dag.collect",
+                "precedence collection and all later phases skipped; the "
+                "model has no edges")) {
+    if (prov != nullptr) prov->SetActivityNames(log.dictionary().names());
+    return ProcessGraph(DirectedGraph(n), log.dictionary().names());
+  }
+
   // Steps 1-2: one pass over the log, collecting precedence edges.
   const int num_threads = ResolveThreadCount(options_.num_threads);
   std::unique_ptr<ThreadPool> pool;
   if (num_threads > 1) pool = std::make_unique<ThreadPool>(num_threads);
-  ProvenanceRecorder* prov = options_.provenance;
   EdgeCounts counts = CollectPrecedenceEdges(log, pool.get(), prov);
   DirectedGraph g =
       BuildPrecedenceGraph(counts, n, options_.noise_threshold, prov);
@@ -52,6 +59,13 @@ Result<ProcessGraph> SpecialDagMiner::Mine(const EventLog& log) const {
   // Step 3: edges observed in both directions belong to independent
   // activity pairs.
   RemoveTwoCycles(&g, prov);
+
+  if (BudgetCut(options_.budget, options_.degradation, "special_dag.reduce",
+                "transitive reduction skipped; the model may contain "
+                "redundant (transitively implied) edges")) {
+    if (prov != nullptr) prov->SetActivityNames(log.dictionary().names());
+    return ProcessGraph(std::move(g), log.dictionary().names());
+  }
 
   // Step 4: transitive reduction yields the minimal dependency graph.
   PROCMINE_SPAN("special_dag.reduce");

@@ -14,6 +14,7 @@
 #include <cstdint>
 
 #include "log/event_log.h"
+#include "util/budget.h"
 #include "util/result.h"
 #include "workflow/process_graph.h"
 
@@ -37,6 +38,11 @@ struct SpecialDagMinerOptions {
   /// outlive Mine(). Null (the default) disables recording at the cost of
   /// one branch per instrumented site.
   ProvenanceRecorder* provenance = nullptr;
+  /// Optional run budget + degradation sink (see util/budget.h): checked at
+  /// phase boundaries; on exhaustion the best graph built so far is
+  /// returned and the cut is recorded. Borrowed; may be null.
+  RunBudget* budget = nullptr;
+  DegradationInfo* degradation = nullptr;
 };
 
 /// Mines the unique minimal conformal graph of a special-DAG log.

@@ -87,12 +87,22 @@ Result<RunReport> BuildRunReport(const EventLog& log,
   report.num_executions = static_cast<int64_t>(log.num_executions());
   report.num_activities = static_cast<int64_t>(log.num_activities());
 
+  if (options.ingestion != nullptr) {
+    report.has_ingestion = true;
+    report.ingestion = *options.ingestion;
+    // The raw rejected bytes belong in the quarantine sidecar, not the
+    // report; keep the JSON bounded by carrying only the aggregates.
+    report.ingestion.quarantined.clear();
+  }
+
   ProvenanceRecorder recorder;
   MinerOptions miner_options;
   miner_options.algorithm = algorithm;
   miner_options.noise_threshold = options.noise_threshold;
   miner_options.num_threads = options.num_threads;
   miner_options.provenance = &recorder;
+  miner_options.budget = options.budget;
+  miner_options.degradation = &report.degradation;
   PROCMINE_ASSIGN_OR_RETURN(report.model,
                             ProcessMiner(miner_options).Mine(log));
 
@@ -107,13 +117,19 @@ Result<RunReport> BuildRunReport(const EventLog& log,
     }
   }
 
-  {
+  // Exhausted budgets skip the audit phases rather than failing the report:
+  // the partial model is still emitted, and the degradation record names the
+  // first phase that was cut.
+  if (!BudgetCut(options.budget, &report.degradation, "report.conformance",
+                 "conformance audit skipped; per-execution verdicts are "
+                 "absent")) {
     PROCMINE_SPAN("report.conformance");
     ConformanceChecker checker(&report.model);
     report.conformance = checker.CheckLog(log, /*record_verdicts=*/true);
   }
 
-  {
+  if (!BudgetCut(options.budget, &report.degradation, "report.sensitivity",
+                 "noise sensitivity sweep skipped; the table is empty")) {
     PROCMINE_SPAN("report.sensitivity");
     report.epsilon = EstimateNoiseRate(log);
     const int64_t m = report.num_executions;
@@ -149,7 +165,7 @@ Result<RunReport> BuildRunReport(const EventLog& log,
 
 std::string RunReport::ToJson() const {
   std::string out = "{\n";
-  out += "  \"schema_version\": 1,\n";
+  out += "  \"schema_version\": 2,\n";
   out += "  \"algorithm\": ";
   AppendQuoted(&out, algorithm);
   out += StrFormat(",\n  \"noise_threshold\": %lld",
@@ -161,6 +177,45 @@ std::string RunReport::ToJson() const {
   out += StrFormat(",\n  \"occurrence_labeled\": %s",
                    BoolName(occurrence_labeled));
   out += StrFormat(",\n  \"epsilon\": %.6g,\n", epsilon);
+
+  out += StrFormat("  \"degraded\": %s,\n", BoolName(degradation.degraded));
+  if (degradation.degraded) {
+    out += "  \"degradation\": {\"resource\": ";
+    AppendQuoted(&out, std::string(BudgetResourceName(degradation.resource)));
+    out += ", \"cut_phase\": ";
+    AppendQuoted(&out, degradation.cut_phase);
+    out += ", \"dropped\": ";
+    AppendQuoted(&out, degradation.dropped);
+    out += "},\n";
+  } else {
+    out += "  \"degradation\": null,\n";
+  }
+
+  if (has_ingestion) {
+    out += "  \"ingestion\": {\n    \"policy\": ";
+    AppendQuoted(&out, std::string(RecoveryPolicyName(ingestion.policy)));
+    out += StrFormat(
+        ",\n    \"lines_total\": %lld,\n    \"events_parsed\": %lld,\n"
+        "    \"lines_skipped\": %lld,\n    \"executions_dropped\": %lld,\n"
+        "    \"salvage_attempted\": %s,\n    \"salvaged_executions\": %lld,\n"
+        "    \"salvage_dropped_bytes\": %lld,\n    \"error_classes\": {",
+        static_cast<long long>(ingestion.lines_total),
+        static_cast<long long>(ingestion.events_parsed),
+        static_cast<long long>(ingestion.lines_skipped),
+        static_cast<long long>(ingestion.executions_dropped),
+        BoolName(ingestion.salvage_attempted),
+        static_cast<long long>(ingestion.salvaged_executions),
+        static_cast<long long>(ingestion.salvage_dropped_bytes));
+    for (size_t i = 0; i < ingestion.error_classes.size(); ++i) {
+      if (i != 0) out += ", ";
+      AppendQuoted(&out, ingestion.error_classes[i].first);
+      out += StrFormat(": %lld",
+                       static_cast<long long>(ingestion.error_classes[i].second));
+    }
+    out += "}\n  },\n";
+  } else {
+    out += "  \"ingestion\": null,\n";
+  }
 
   out += "  \"model\": {\n    \"activities\": [";
   const std::vector<std::string>& model_names = model.names();
@@ -367,6 +422,16 @@ std::string RunReport::SummaryText() const {
                      static_cast<long long>(unstable_hi));
   } else {
     out += "unstable T band      none\n";
+  }
+  if (degradation.degraded) {
+    out += StrFormat("DEGRADED             %s budget exhausted at %s\n",
+                     std::string(BudgetResourceName(degradation.resource))
+                         .c_str(),
+                     degradation.cut_phase.c_str());
+    out += StrFormat("  dropped            %s\n", degradation.dropped.c_str());
+  }
+  if (has_ingestion && ingestion.AnyLoss()) {
+    out += ingestion.SummaryText();
   }
   return out;
 }

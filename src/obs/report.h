@@ -27,10 +27,12 @@
 #include <vector>
 
 #include "log/event_log.h"
+#include "log/recovery.h"
 #include "mine/conformance.h"
 #include "mine/miner.h"
 #include "mine/provenance.h"
 #include "obs/metrics.h"
+#include "util/budget.h"
 #include "util/result.h"
 #include "workflow/process_graph.h"
 
@@ -63,6 +65,17 @@ struct RunReportOptions {
   std::vector<int64_t> sweep;
   /// Also learn edge conditions and keep them in `model` annotations
   /// downstream. Off here; the CLI mines conditions separately.
+
+  /// Optional run budget (util/budget.h). Threaded into the miner, and
+  /// checked again before the conformance audit and the sensitivity sweep:
+  /// an exhausted budget skips those phases and records the cut in
+  /// RunReport::degradation instead of failing the report. Borrowed; may be
+  /// null (no limits).
+  RunBudget* budget = nullptr;
+  /// Optional ingestion report from recovery-mode parsing (log/recovery.h).
+  /// Copied into the report so the JSON records what the reader dropped
+  /// before mining even started. Borrowed; may be null.
+  const IngestionReport* ingestion = nullptr;
 };
 
 /// The aggregated artifact. Build with BuildRunReport().
@@ -92,6 +105,14 @@ struct RunReport {
   std::vector<NoiseSensitivityRow> sensitivity;
 
   MetricsSnapshot metrics;  ///< thread-count-invariant subset of the run's
+
+  /// Budget degradation record: set when the run budget expired and a phase
+  /// was cut (partial model, skipped audit, or truncated sweep).
+  DegradationInfo degradation;
+  /// Ingestion recovery record, present when the log was read under a
+  /// non-strict RecoveryPolicy (see RunReportOptions::ingestion).
+  bool has_ingestion = false;
+  IngestionReport ingestion;
 
   /// Deterministic JSON: fixed key order, sorted edges, %.6g doubles.
   /// Byte-identical for any thread count of the producing run.

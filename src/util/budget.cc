@@ -1,0 +1,75 @@
+#include "util/budget.h"
+
+#include <unistd.h>
+
+#include <cstdio>
+
+namespace procmine {
+
+std::string_view BudgetResourceName(BudgetResource resource) {
+  switch (resource) {
+    case BudgetResource::kNone:
+      return "";
+    case BudgetResource::kDeadline:
+      return "deadline";
+    case BudgetResource::kMemory:
+      return "memory";
+    case BudgetResource::kExecutions:
+      return "executions";
+  }
+  return "";
+}
+
+int64_t CurrentRssBytes() {
+  // /proc/self/statm field 2 is resident pages; cheaper to parse than
+  // /proc/self/status and always present on Linux.
+  std::FILE* f = std::fopen("/proc/self/statm", "r");
+  if (f == nullptr) return 0;
+  long long size_pages = 0;
+  long long rss_pages = 0;
+  int matched = std::fscanf(f, "%lld %lld", &size_pages, &rss_pages);
+  std::fclose(f);
+  if (matched != 2) return 0;
+  long page = ::sysconf(_SC_PAGESIZE);
+  if (page <= 0) page = 4096;
+  return static_cast<int64_t>(rss_pages) * page;
+}
+
+BudgetResource RunBudget::Check() {
+  BudgetResource prior = Exhausted();
+  if (prior != BudgetResource::kNone) return prior;
+  BudgetResource hit = BudgetResource::kNone;
+  if (limits_.deadline_ms >= 0 &&
+      watch_.ElapsedMillis() >= static_cast<double>(limits_.deadline_ms)) {
+    hit = BudgetResource::kDeadline;
+  } else if (limits_.max_memory_bytes >= 0 &&
+             CurrentRssBytes() > limits_.max_memory_bytes) {
+    hit = BudgetResource::kMemory;
+  }
+  if (hit != BudgetResource::kNone) {
+    // First tripper wins; if another thread raced us, report its resource.
+    int8_t expected = 0;
+    if (!exhausted_.compare_exchange_strong(expected,
+                                            static_cast<int8_t>(hit),
+                                            std::memory_order_relaxed)) {
+      return static_cast<BudgetResource>(expected);
+    }
+  }
+  return hit;
+}
+
+bool BudgetCut(RunBudget* budget, DegradationInfo* degradation,
+               std::string_view phase, std::string_view dropped) {
+  if (budget == nullptr) return false;
+  BudgetResource hit = budget->Check();
+  if (hit == BudgetResource::kNone) return false;
+  if (degradation != nullptr && !degradation->degraded) {
+    degradation->degraded = true;
+    degradation->resource = hit;
+    degradation->cut_phase = std::string(phase);
+    degradation->dropped = std::string(dropped);
+  }
+  return true;
+}
+
+}  // namespace procmine

@@ -1,0 +1,105 @@
+// Run budgets: bounded time / memory / input size with graceful degradation.
+//
+// A RunBudget carries the limits the user asked for (--deadline-ms,
+// --max-memory-mb, --max-executions) and answers "are we over?" at phase
+// boundaries. Exhaustion is sticky: once any resource trips, every later
+// Check() reports the same resource, so a long pipeline degrades exactly
+// once and all downstream phases see a consistent answer.
+//
+// Miners do not abort on exhaustion — they stop starting new phases, return
+// the best model built so far, and record what was cut in a DegradationInfo
+// that the RunReport serializes (degraded flag + cut phase + what was
+// dropped). The CLI maps a degraded-but-successful run to its own exit code
+// so scripts can tell "complete" from "partial".
+
+#ifndef PROCMINE_UTIL_BUDGET_H_
+#define PROCMINE_UTIL_BUDGET_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "util/timer.h"
+
+namespace procmine {
+
+/// Which budget resource ran out.
+enum class BudgetResource : int8_t {
+  kNone = 0,
+  kDeadline = 1,
+  kMemory = 2,
+  kExecutions = 3,
+};
+
+/// "deadline" / "memory" / "executions" (empty for kNone).
+std::string_view BudgetResourceName(BudgetResource resource);
+
+/// Resident set size of this process in bytes (via /proc/self/statm);
+/// 0 when unavailable.
+int64_t CurrentRssBytes();
+
+/// Tracks limits for one run. Thread-safe: Check() may race from shard
+/// workers; the sticky exhausted state makes every caller agree.
+class RunBudget {
+ public:
+  struct Limits {
+    int64_t deadline_ms = -1;      ///< wall clock from Start(); <0 = unlimited
+    int64_t max_memory_bytes = -1;  ///< rss ceiling; <0 = unlimited
+    int64_t max_executions = -1;    ///< input size cap; <0 = unlimited
+  };
+
+  RunBudget() = default;
+  explicit RunBudget(const Limits& limits) : limits_(limits) {}
+
+  const Limits& limits() const { return limits_; }
+
+  /// True when every limit is unlimited (Check() is then trivially kNone).
+  bool Unlimited() const {
+    return limits_.deadline_ms < 0 && limits_.max_memory_bytes < 0 &&
+           limits_.max_executions < 0;
+  }
+
+  /// Starts (or restarts) the deadline clock. Call once, before ingestion.
+  void Start() { watch_.Reset(); }
+
+  /// Returns the first resource that is exhausted, or kNone. Sticky: after
+  /// a non-kNone return, every later call returns that same resource.
+  BudgetResource Check();
+
+  /// True when `count` executions exceed max_executions.
+  bool OverExecutionLimit(int64_t count) const {
+    return limits_.max_executions >= 0 && count > limits_.max_executions;
+  }
+
+  /// The already-recorded exhausted resource without re-probing the clock
+  /// or rss (kNone if Check() never tripped).
+  BudgetResource Exhausted() const {
+    return static_cast<BudgetResource>(
+        exhausted_.load(std::memory_order_relaxed));
+  }
+
+ private:
+  Limits limits_;
+  StopWatch watch_;
+  std::atomic<int8_t> exhausted_{0};
+};
+
+/// What a budget cut did to the run, for the RunReport.
+struct DegradationInfo {
+  bool degraded = false;
+  BudgetResource resource = BudgetResource::kNone;
+  std::string cut_phase;  ///< phase that was cut short or skipped
+  std::string dropped;    ///< human description of what the model is missing
+};
+
+/// Records the first budget cut: if `budget` is exhausted and `*degradation`
+/// is still clean, fills it in and returns true. Returns whether the budget
+/// is exhausted (so callers write `if (BudgetCut(...)) break;`). Safe with
+/// null budget/degradation (then always false).
+bool BudgetCut(RunBudget* budget, DegradationInfo* degradation,
+               std::string_view phase, std::string_view dropped);
+
+}  // namespace procmine
+
+#endif  // PROCMINE_UTIL_BUDGET_H_

@@ -1,0 +1,171 @@
+#include "util/failpoint.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "util/strings.h"
+
+namespace procmine::failpoint {
+
+namespace {
+
+struct ArmedSite {
+  Injection injection;
+  int64_t hits = 0;   // evaluations since arming
+  int64_t fired = 0;  // times the action actually triggered
+};
+
+struct Registry {
+  std::mutex mu;
+  std::unordered_map<std::string, ArmedSite> sites;
+  std::unordered_map<std::string, int64_t> hit_counts;
+};
+
+Registry& GetRegistry() {
+  static Registry* registry = new Registry();
+  return *registry;
+}
+
+// Fast-path gate: number of currently armed sites. Fire() is a single
+// relaxed load when nothing is armed.
+std::atomic<int> g_armed{0};
+
+Action ParseAction(std::string_view name) {
+  if (name == "error") return Action::kError;
+  if (name == "short") return Action::kShortIO;
+  if (name == "alloc") return Action::kAllocFail;
+  if (name == "eintr") return Action::kEintr;
+  if (name == "crash") return Action::kCrash;
+  return Action::kNone;
+}
+
+}  // namespace
+
+Status FireResult::ToStatus(std::string_view site) const {
+  switch (action) {
+    case Action::kError:
+      return Status::IOError(
+          StrFormat("injected IO error at failpoint '%s'",
+                    std::string(site).c_str()));
+    case Action::kAllocFail:
+      return Status::Internal(
+          StrFormat("injected allocation failure at failpoint '%s'",
+                    std::string(site).c_str()));
+    default:
+      return Status::OK();
+  }
+}
+
+void Activate(std::string_view site, const Injection& injection) {
+  if (injection.action == Action::kNone) {
+    Deactivate(site);
+    return;
+  }
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  auto [it, inserted] =
+      registry.sites.emplace(std::string(site), ArmedSite{injection});
+  if (!inserted) {
+    it->second = ArmedSite{injection};
+  } else {
+    g_armed.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void Activate(std::string_view site, Action action, int64_t arg) {
+  Injection injection;
+  injection.action = action;
+  injection.arg = arg;
+  Activate(site, injection);
+}
+
+void Deactivate(std::string_view site) {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  if (registry.sites.erase(std::string(site)) > 0) {
+    g_armed.fetch_sub(1, std::memory_order_relaxed);
+  }
+}
+
+void DeactivateAll() {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  g_armed.fetch_sub(static_cast<int>(registry.sites.size()),
+                    std::memory_order_relaxed);
+  registry.sites.clear();
+  registry.hit_counts.clear();
+}
+
+int64_t HitCount(std::string_view site) {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  auto it = registry.hit_counts.find(std::string(site));
+  return it == registry.hit_counts.end() ? 0 : it->second;
+}
+
+int ActivateFromEnv() {
+  const char* spec = std::getenv("PROCMINE_FAILPOINTS");
+  if (spec == nullptr || *spec == '\0') return 0;
+  int armed = 0;
+  for (const std::string& entry : Split(spec, ',')) {
+    std::string_view e = Trim(entry);
+    size_t eq = e.find('=');
+    if (eq == std::string_view::npos) continue;
+    std::string_view site = e.substr(0, eq);
+    std::string_view rhs = e.substr(eq + 1);
+    Injection injection;
+    // Peel #count, then @skip, then :arg off the right-hand side.
+    size_t hash = rhs.find('#');
+    if (hash != std::string_view::npos) {
+      injection.count = ParseInt64(rhs.substr(hash + 1)).ValueOr(0);
+      rhs = rhs.substr(0, hash);
+    }
+    size_t at = rhs.find('@');
+    if (at != std::string_view::npos) {
+      injection.skip = ParseInt64(rhs.substr(at + 1)).ValueOr(0);
+      rhs = rhs.substr(0, at);
+    }
+    size_t colon = rhs.find(':');
+    if (colon != std::string_view::npos) {
+      injection.arg = ParseInt64(rhs.substr(colon + 1)).ValueOr(0);
+      rhs = rhs.substr(0, colon);
+    }
+    injection.action = ParseAction(rhs);
+    if (injection.action == Action::kNone || site.empty()) continue;
+    Activate(site, injection);
+    ++armed;
+  }
+  return armed;
+}
+
+#if !defined(PROCMINE_FAILPOINTS_DISABLED)
+
+FireResult Fire(std::string_view site) {
+  if (g_armed.load(std::memory_order_relaxed) == 0) return FireResult{};
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  ++registry.hit_counts[std::string(site)];
+  auto it = registry.sites.find(std::string(site));
+  if (it == registry.sites.end()) return FireResult{};
+  ArmedSite& armed = it->second;
+  if (armed.hits++ < armed.injection.skip) return FireResult{};
+  if (armed.injection.count > 0 && armed.fired >= armed.injection.count) {
+    return FireResult{};
+  }
+  ++armed.fired;
+  if (armed.injection.action == Action::kCrash) {
+    // A crash must look like a real kill: no stack unwinding, no atexit
+    // flushes, no destructors — exactly the state a torn-write bug would
+    // leave behind.
+    std::_Exit(134);
+  }
+  return FireResult{armed.injection.action, armed.injection.arg};
+}
+
+#endif  // !PROCMINE_FAILPOINTS_DISABLED
+
+}  // namespace procmine::failpoint

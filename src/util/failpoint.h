@@ -1,0 +1,101 @@
+// Failpoints: named fault-injection sites for testing error paths.
+//
+// Production code marks its fallible IO/allocation sites with
+// PROCMINE_FAILPOINT("site.name") and interprets the returned action:
+//
+//   if (auto fp = PROCMINE_FAILPOINT("atomic_write.write"); fp) {
+//     if (fp.action == failpoint::Action::kShortIO) { /* truncate the op */ }
+//     else return fp.ToStatus("atomic_write.write");
+//   }
+//
+// Sites are inert by default: the disabled fast path is one relaxed atomic
+// load of a global activation counter. Tests activate sites through the
+// programmatic API (failpoint::Activate) or the environment
+// (PROCMINE_FAILPOINTS="site=action[:arg][@skip][#count],..."), which the
+// CLI parses at startup so child-process crash tests can inject faults into
+// a real binary.
+//
+// Building with -DPROCMINE_FAILPOINTS=OFF compiles every site out entirely
+// (the macro folds to a constexpr no-op), which is the recommended
+// configuration for release binaries that must not carry the harness.
+//
+// The site catalog lives in docs/robustness.md.
+
+#ifndef PROCMINE_UTIL_FAILPOINT_H_
+#define PROCMINE_UTIL_FAILPOINT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "util/status.h"
+
+namespace procmine::failpoint {
+
+/// What an activated site should do.
+enum class Action : int8_t {
+  kNone = 0,   ///< inactive — proceed normally
+  kError = 1,  ///< fail with an injected IO error
+  kShortIO = 2,  ///< perform the IO, but only `arg` bytes per operation
+  kAllocFail = 3,  ///< fail with an injected allocation failure
+  kEintr = 4,  ///< behave as if the syscall returned EINTR (site retries)
+  kCrash = 5,  ///< terminate the process immediately (handled inside Fire)
+};
+
+/// Outcome of hitting a site. Contextually false when the site is inactive.
+struct FireResult {
+  Action action = Action::kNone;
+  int64_t arg = 0;  ///< action payload (e.g. bytes per op for kShortIO)
+
+  explicit operator bool() const { return action != Action::kNone; }
+
+  /// The Status an erroring action maps to: kError -> IOError,
+  /// kAllocFail -> Internal, both naming the site. OK for other actions.
+  Status ToStatus(std::string_view site) const;
+};
+
+/// Activation knobs: skip the first `skip` hits, then fire at most `count`
+/// times (0 = unlimited). `arg` is forwarded to the site.
+struct Injection {
+  Action action = Action::kNone;
+  int64_t arg = 0;
+  int64_t skip = 0;
+  int64_t count = 0;
+};
+
+/// Arms `site` with `injection`. Replaces any existing activation.
+void Activate(std::string_view site, const Injection& injection);
+void Activate(std::string_view site, Action action, int64_t arg = 0);
+
+/// Disarms one site / every site.
+void Deactivate(std::string_view site);
+void DeactivateAll();
+
+/// Number of times `site` has been evaluated while any failpoint was armed
+/// (armed or not itself). For test assertions that a site was reached.
+int64_t HitCount(std::string_view site);
+
+/// Parses PROCMINE_FAILPOINTS from the environment and arms the named
+/// sites. Syntax: comma-separated `site=action[:arg][@skip][#count]` with
+/// action in {error, short, alloc, eintr, crash}. Returns the number of
+/// sites armed; malformed entries are ignored.
+int ActivateFromEnv();
+
+#if defined(PROCMINE_FAILPOINTS_DISABLED)
+
+inline constexpr FireResult Fire(std::string_view) { return FireResult{}; }
+
+#else
+
+/// Evaluates `site`: kNone unless armed. kCrash terminates the process here
+/// (via _Exit) so call sites never need a crash branch.
+FireResult Fire(std::string_view site);
+
+#endif
+
+}  // namespace procmine::failpoint
+
+/// The site marker. Evaluates to a contextually-bool FireResult.
+#define PROCMINE_FAILPOINT(site) ::procmine::failpoint::Fire(site)
+
+#endif  // PROCMINE_UTIL_FAILPOINT_H_

@@ -1,6 +1,8 @@
 #include "util/mapped_file.h"
 
-#include <cstdio>
+#include <cerrno>
+#include <cstring>
+#include <new>
 
 #if defined(__unix__) || defined(__APPLE__)
 #define PROCMINE_HAVE_MMAP 1
@@ -8,7 +10,12 @@
 #include <sys/mman.h>
 #include <sys/stat.h>
 #include <unistd.h>
+#else
+#include <cstdio>
 #endif
+
+#include "util/failpoint.h"
+#include "util/strings.h"
 
 namespace procmine {
 
@@ -40,7 +47,13 @@ void MappedFile::Unmap() {
 
 Result<MappedFile> MappedFile::Open(const std::string& path) {
 #if PROCMINE_HAVE_MMAP
-  int fd = ::open(path.c_str(), O_RDONLY);
+  if (auto fp = PROCMINE_FAILPOINT("mapped_file.open"); fp) {
+    return fp.ToStatus("mapped_file.open");
+  }
+  int fd;
+  do {
+    fd = ::open(path.c_str(), O_RDONLY);
+  } while (fd < 0 && errno == EINTR);
   if (fd < 0) return Status::IOError("cannot open: " + path);
   struct stat st;
   if (::fstat(fd, &st) != 0 || !S_ISREG(st.st_mode)) {
@@ -70,6 +83,66 @@ Result<MappedFile> MappedFile::Open(const std::string& path) {
 #endif
 }
 
+#if PROCMINE_HAVE_MMAP
+
+Result<MappedFile> MappedFile::OpenBuffered(const std::string& path) {
+  if (auto fp = PROCMINE_FAILPOINT("mapped_file.open"); fp) {
+    return fp.ToStatus("mapped_file.open");
+  }
+  int fd;
+  do {
+    fd = ::open(path.c_str(), O_RDONLY);
+  } while (fd < 0 && errno == EINTR);
+  if (fd < 0) return Status::IOError("cannot open: " + path);
+
+  MappedFile file;
+  try {
+    if (auto fp = PROCMINE_FAILPOINT("mapped_file.alloc"); fp) {
+      ::close(fd);
+      return fp.ToStatus("mapped_file.alloc");
+    }
+    char chunk[1 << 16];
+    for (;;) {
+      size_t want = sizeof(chunk);
+      bool forced_error = false;
+      if (auto fp = PROCMINE_FAILPOINT("mapped_file.read"); fp) {
+        switch (fp.action) {
+          case failpoint::Action::kShortIO:
+            // A short read() on a regular file is legal; the loop must keep
+            // reading until EOF instead of treating it as end-of-file.
+            want = fp.arg > 0 ? static_cast<size_t>(fp.arg) : 1;
+            break;
+          case failpoint::Action::kEintr:
+            errno = EINTR;
+            forced_error = true;
+            break;
+          default:
+            ::close(fd);
+            return fp.ToStatus("mapped_file.read");
+        }
+      }
+      ssize_t n = forced_error ? -1 : ::read(fd, chunk, want);
+      if (n < 0) {
+        if (errno == EINTR) continue;  // interrupted, nothing consumed: retry
+        int err = errno;
+        ::close(fd);
+        return Status::IOError(
+            StrFormat("read %s: %s", path.c_str(), std::strerror(err)));
+      }
+      if (n == 0) break;  // EOF
+      file.buffer_.append(chunk, static_cast<size_t>(n));
+    }
+  } catch (const std::bad_alloc&) {
+    ::close(fd);
+    return Status::Internal("out of memory reading: " + path);
+  }
+  ::close(fd);
+  file.data_ = file.buffer_;
+  return file;
+}
+
+#else  // !PROCMINE_HAVE_MMAP
+
 Result<MappedFile> MappedFile::OpenBuffered(const std::string& path) {
   std::FILE* f = std::fopen(path.c_str(), "rb");
   if (f == nullptr) return Status::IOError("cannot open: " + path);
@@ -85,5 +158,7 @@ Result<MappedFile> MappedFile::OpenBuffered(const std::string& path) {
   file.data_ = file.buffer_;
   return file;
 }
+
+#endif  // PROCMINE_HAVE_MMAP
 
 }  // namespace procmine

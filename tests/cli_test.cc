@@ -34,6 +34,23 @@ CommandResult RunCli(const std::string& args) {
   return {WEXITSTATUS(status), output};
 }
 
+/// Like RunCli but with environment assignments (e.g. failpoint injections)
+/// prefixed onto the command.
+CommandResult RunCliEnv(const std::string& env, const std::string& args) {
+  std::string command = "env " + env + " " + std::string(PROCMINE_CLI_PATH) +
+                        " " + args + " 2>&1";
+  FILE* pipe = popen(command.c_str(), "r");
+  EXPECT_NE(pipe, nullptr);
+  std::string output;
+  std::array<char, 4096> buffer;
+  size_t n;
+  while ((n = fread(buffer.data(), 1, buffer.size(), pipe)) > 0) {
+    output.append(buffer.data(), n);
+  }
+  int status = pclose(pipe);
+  return {WEXITSTATUS(status), output};
+}
+
 class CliTest : public ::testing::Test {
  protected:
   void SetUp() override {
@@ -233,7 +250,7 @@ TEST_F(CliTest, TextDebugLogsCarryThreadIdAndElapsed) {
 
 TEST_F(CliTest, MissingFileReportsIOError) {
   CommandResult result = RunCli("stats /nonexistent/file.log");
-  EXPECT_EQ(result.exit_code, 1);
+  EXPECT_EQ(result.exit_code, 3);  // data error in the exit-code taxonomy
   EXPECT_NE(result.output.find("IO error"), std::string::npos);
 }
 
@@ -346,6 +363,112 @@ TEST_F(CliTest, ReportCyclicLogUsesOccurrenceLabels) {
   EXPECT_NE(json.find("\"occurrence_labeled\": true"), std::string::npos);
   EXPECT_NE(json.find("Review#2"), std::string::npos) << json;
   EXPECT_NE(json.find("\"base_from\""), std::string::npos);
+}
+
+/// Writes a hostile log: clean executions interleaved with malformed lines
+/// and executions that cannot pair.
+std::string WriteGarbageLog(const std::string& dir) {
+  std::string path = dir + "/hostile.log";
+  std::ofstream out(path, std::ios::binary);
+  for (int i = 0; i < 24; ++i) {
+    std::string g = "g" + std::to_string(i);
+    out << g << " A START " << i << "\n" << g << " A END " << i + 1 << "\n";
+    out << g << " B START " << i + 2 << "\n"
+        << g << " B END " << i + 4 << " 7\n";
+    out << "garbage line " << i << "\n";
+    out << "lost" << i << " C END 9\n";
+  }
+  return path;
+}
+
+TEST_F(CliTest, StrictMiningOfHostileLogIsADataError) {
+  std::string path = WriteGarbageLog(dir_);
+  CommandResult result = RunCli("mine " + path);
+  EXPECT_EQ(result.exit_code, 3) << result.output;
+}
+
+TEST_F(CliTest, QuarantineMiningIsByteIdenticalAcrossThreadCounts) {
+  std::string path = WriteGarbageLog(dir_);
+  std::string baseline_dot;
+  std::string baseline_quarantine;
+  for (const char* threads : {"1", "2", "8"}) {
+    std::string dot_path = dir_ + "/hostile_" + threads + ".dot";
+    std::string q_path = dir_ + "/hostile_" + threads + ".quarantine";
+    CommandResult result = RunCli(
+        "mine --recovery=quarantine --quarantine-out=" + q_path +
+        " --threads=" + std::string(threads) + " --dot=" + dot_path + " " +
+        path);
+    ASSERT_EQ(result.exit_code, 0) << result.output;
+    EXPECT_NE(result.output.find("skipped"), std::string::npos)
+        << result.output;
+    std::string dot = ReadFileOrEmpty(dot_path);
+    std::string quarantine = ReadFileOrEmpty(q_path);
+    ASSERT_FALSE(dot.empty());
+    ASSERT_EQ(quarantine.find("# procmine quarantine"), 0u);
+    if (baseline_dot.empty()) {
+      baseline_dot = dot;
+      baseline_quarantine = quarantine;
+    } else {
+      EXPECT_EQ(dot, baseline_dot) << "--threads=" << threads;
+      EXPECT_EQ(quarantine, baseline_quarantine) << "--threads=" << threads;
+    }
+  }
+}
+
+TEST_F(CliTest, QuarantineOutWithContradictoryRecoveryIsRejected) {
+  CommandResult result = RunCli("mine --recovery=skip --quarantine-out=" +
+                                dir_ + "/q.txt " + log_path_);
+  EXPECT_EQ(result.exit_code, 3);
+  EXPECT_NE(result.output.find("--quarantine-out requires"),
+            std::string::npos)
+      << result.output;
+}
+
+TEST_F(CliTest, ZeroDeadlineDegradesReportWithValidJson) {
+  std::string out_path = dir_ + "/degraded.json";
+  CommandResult result =
+      RunCli("report --deadline-ms=0 --out=" + out_path + " " + log_path_);
+  EXPECT_EQ(result.exit_code, 4) << result.output;
+  EXPECT_NE(result.output.find("DEGRADED"), std::string::npos)
+      << result.output;
+  // The partial report is still a complete artifact naming the cut phase.
+  std::string json = ReadFileOrEmpty(out_path);
+  ASSERT_FALSE(json.empty());
+  EXPECT_NE(json.find("\"degraded\": true"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"cut_phase\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"resource\": \"deadline\""), std::string::npos)
+      << json;
+}
+
+TEST_F(CliTest, MaxExecutionsDegradesMiningButStillEmitsAModel) {
+  CommandResult result = RunCli("mine --max-executions=10 " + log_path_);
+  EXPECT_EQ(result.exit_code, 4) << result.output;
+  EXPECT_NE(result.output.find("digraph"), std::string::npos);
+  EXPECT_NE(result.output.find("DEGRADED"), std::string::npos)
+      << result.output;
+  EXPECT_NE(result.output.find("executions"), std::string::npos);
+}
+
+TEST_F(CliTest, CrashFailpointLeavesNoTornReport) {
+  std::string out_path = dir_ + "/crashed.json";
+  CommandResult result =
+      RunCliEnv("PROCMINE_FAILPOINTS=atomic_write.rename=crash",
+                "report --out=" + out_path + " " + log_path_);
+  // The injected crash aborts the process before the rename commits; the
+  // target path must not exist (no torn JSON).
+  EXPECT_EQ(result.exit_code, 134) << result.output;
+  EXPECT_TRUE(ReadFileOrEmpty(out_path).empty());
+}
+
+TEST_F(CliTest, InjectedWriteErrorMapsToDataExit) {
+  std::string out_path = dir_ + "/faulted.json";
+  CommandResult result =
+      RunCliEnv("PROCMINE_FAILPOINTS=report.write=error",
+                "report --out=" + out_path + " " + log_path_);
+  EXPECT_EQ(result.exit_code, 3) << result.output;
+  EXPECT_NE(result.output.find("report.write"), std::string::npos)
+      << result.output;
+  EXPECT_TRUE(ReadFileOrEmpty(out_path).empty());
 }
 
 TEST_F(CliTest, TraceSummaryIncludesHistogramPercentiles) {

@@ -22,6 +22,20 @@
 //   --log-level=LEVEL   debug|info|warning|error (default info)
 //   --log-json          emit log lines as JSON objects (machine-parseable)
 //
+// Robustness flags (any log-reading command; see docs/robustness.md):
+//   --recovery=POLICY      strict (default) | skip | quarantine — what to do
+//                          with malformed lines / executions
+//   --quarantine-out=FILE  write rejected inputs to a sidecar (implies
+//                          --recovery=quarantine)
+//   --deadline-ms=N        wall-clock budget; exhausted -> partial model
+//   --max-memory-mb=N      rss budget, checked at phase boundaries
+//   --max-executions=N     mine only the first N executions
+//
+// Exit codes: 0 success; 1 analysis mismatch (check/diff found a
+// discrepancy); 2 usage error; 3 data error (unreadable, malformed, or
+// unwritable input/output); 4 run completed but was budget-degraded;
+// 5 internal error.
+//
 // Log files are read by extension: .bin (binary format), .xes (XES XML),
 // anything else as the text event format. Text logs are memory-mapped and
 // parsed in parallel; --threads controls both ingestion sharding and the
@@ -42,6 +56,7 @@
 #include "obs/report.h"
 #include "obs/trace.h"
 #include "log/binary_log.h"
+#include "log/recovery.h"
 #include "mine/performance.h"
 #include "log/reader.h"
 #include "log/stats.h"
@@ -60,6 +75,9 @@
 #include "workflow/fdl.h"
 #include "synth/log_generator.h"
 #include "synth/random_dag.h"
+#include "util/atomic_file.h"
+#include "util/budget.h"
+#include "util/failpoint.h"
 #include "util/logging.h"
 #include "util/strings.h"
 
@@ -109,14 +127,117 @@ int ThreadsFlag(const Args& args) {
   return parsed.ok() ? static_cast<int>(*parsed) : 0;
 }
 
-Result<EventLog> ReadLogAuto(const std::string& path, const Args& args) {
-  if (EndsWith(path, ".bin")) return ReadBinaryLogFile(path);
-  if (EndsWith(path, ".xes")) return ReadXesFile(path);
-  // Text ingestion shards across --threads workers; the parsed log is
-  // byte-identical for any thread count.
-  LogParseOptions options;
-  options.num_threads = ThreadsFlag(args);
-  return LogReader::ReadFile(path, options);
+// Exit-code taxonomy (documented in docs/robustness.md). Analysis commands
+// keep 1 for "the check itself failed" (non-conformal, model diff) so that
+// scripts can tell a negative verdict from a broken input.
+constexpr int kExitOk = 0;
+constexpr int kExitMismatch = 1;
+constexpr int kExitUsage = 2;
+constexpr int kExitData = 3;
+constexpr int kExitDegraded = 4;
+constexpr int kExitInternal = 5;
+
+int ExitCodeForStatus(const Status& status) {
+  switch (status.code()) {
+    case StatusCode::kOk:
+      return kExitOk;
+    case StatusCode::kInvalidArgument:
+    case StatusCode::kNotFound:
+    case StatusCode::kOutOfRange:
+    case StatusCode::kFailedPrecondition:
+    case StatusCode::kIOError:
+    case StatusCode::kDataLoss:
+      return kExitData;
+    default:
+      return kExitInternal;
+  }
+}
+
+/// Prints `status` and maps it to an exit code.
+int Fail(const Status& status) {
+  std::cerr << status.ToString() << "\n";
+  return ExitCodeForStatus(status);
+}
+
+/// Resolves --recovery / --quarantine-out into a policy. --quarantine-out
+/// implies quarantine; combining it with an explicit non-quarantine
+/// --recovery is a contradiction and rejected.
+Result<RecoveryPolicy> RecoveryFlag(const Args& args) {
+  RecoveryPolicy policy = RecoveryPolicy::kStrict;
+  if (args.Has("recovery")) {
+    PROCMINE_ASSIGN_OR_RETURN(policy,
+                              ParseRecoveryPolicy(args.Get("recovery")));
+  }
+  if (args.Has("quarantine-out")) {
+    if (args.Has("recovery") && policy != RecoveryPolicy::kQuarantine) {
+      return Status::InvalidArgument(
+          "--quarantine-out requires --recovery=quarantine (or omit "
+          "--recovery)");
+    }
+    policy = RecoveryPolicy::kQuarantine;
+  }
+  return policy;
+}
+
+/// Parses --deadline-ms / --max-memory-mb / --max-executions.
+Result<RunBudget::Limits> BudgetLimitsFromArgs(const Args& args) {
+  RunBudget::Limits limits;
+  if (args.Has("deadline-ms")) {
+    PROCMINE_ASSIGN_OR_RETURN(limits.deadline_ms,
+                              ParseInt64(args.Get("deadline-ms")));
+  }
+  if (args.Has("max-memory-mb")) {
+    PROCMINE_ASSIGN_OR_RETURN(int64_t mb,
+                              ParseInt64(args.Get("max-memory-mb")));
+    limits.max_memory_bytes = mb * (int64_t{1} << 20);
+  }
+  if (args.Has("max-executions")) {
+    PROCMINE_ASSIGN_OR_RETURN(limits.max_executions,
+                              ParseInt64(args.Get("max-executions")));
+  }
+  return limits;
+}
+
+/// Reads a log honoring --recovery / --quarantine-out. When the caller
+/// passes a report sink it receives the full IngestionReport; either way
+/// the quarantine sidecar is written and any loss is summarized on stderr.
+Result<EventLog> ReadLogAuto(const std::string& path, const Args& args,
+                             IngestionReport* report_out = nullptr) {
+  PROCMINE_ASSIGN_OR_RETURN(RecoveryPolicy policy, RecoveryFlag(args));
+  IngestionReport local;
+  IngestionReport* report = report_out != nullptr ? report_out : &local;
+  report->policy = policy;
+  Result<EventLog> log = Status::Internal("unreachable");
+  if (EndsWith(path, ".bin")) {
+    BinaryDecodeOptions options;
+    options.recovery = policy;
+    options.report = report;
+    log = ReadBinaryLogFile(path, options);
+  } else if (EndsWith(path, ".xes")) {
+    if (policy != RecoveryPolicy::kStrict) {
+      std::fprintf(stderr, "note: --recovery does not apply to .xes inputs\n");
+    }
+    log = ReadXesFile(path);
+  } else {
+    // Text ingestion shards across --threads workers; the parsed log, the
+    // report, and the quarantine bytes are identical for any thread count.
+    LogParseOptions options;
+    options.num_threads = ThreadsFlag(args);
+    options.recovery = policy;
+    options.report = report;
+    log = LogReader::ReadFile(path, options);
+  }
+  if (!log.ok()) return log;
+  if (args.Has("quarantine-out")) {
+    PROCMINE_RETURN_NOT_OK(
+        WriteQuarantineFile(args.Get("quarantine-out"), *report));
+    std::fprintf(stderr, "wrote quarantine to %s\n",
+                 args.Get("quarantine-out").c_str());
+  }
+  if (report->AnyLoss()) {
+    std::fprintf(stderr, "%s", report->SummaryText().c_str());
+  }
+  return log;
 }
 
 Status WriteLogAuto(const EventLog& log, const std::string& path) {
@@ -213,50 +334,61 @@ Result<obs::RunReportOptions> ReportOptionsFromArgs(const Args& args,
 }
 
 /// Writes the JSON / annotated-DOT artifacts named by `json_flag` and
-/// `dot_flag`. Returns false (after printing why) on an IO failure.
-bool WriteReportArtifacts(const obs::RunReport& report, const Args& args,
-                          const std::string& json_flag,
-                          const std::string& dot_flag) {
+/// `dot_flag`. Atomic: a crash or injected fault mid-write never leaves a
+/// torn file at the target path.
+Status WriteReportArtifacts(const obs::RunReport& report, const Args& args,
+                            const std::string& json_flag,
+                            const std::string& dot_flag) {
   if (args.Has(json_flag)) {
-    std::ofstream out(args.Get(json_flag));
-    if (!out) {
-      std::cerr << "cannot write " << args.Get(json_flag) << "\n";
-      return false;
+    if (auto fp = PROCMINE_FAILPOINT("report.write"); fp) {
+      return fp.ToStatus("report.write");
     }
-    out << report.ToJson();
+    PROCMINE_RETURN_NOT_OK(
+        WriteFileAtomic(args.Get(json_flag), report.ToJson()));
     std::fprintf(stderr, "wrote run report to %s\n",
                  args.Get(json_flag).c_str());
   }
   if (args.Has(dot_flag)) {
-    std::ofstream out(args.Get(dot_flag));
-    if (!out) {
-      std::cerr << "cannot write " << args.Get(dot_flag) << "\n";
-      return false;
-    }
-    out << report.ToAnnotatedDot();
+    PROCMINE_RETURN_NOT_OK(
+        WriteFileAtomic(args.Get(dot_flag), report.ToAnnotatedDot()));
     std::fprintf(stderr, "wrote annotated dot to %s\n",
                  args.Get(dot_flag).c_str());
   }
-  return true;
+  return Status::OK();
+}
+
+/// Common tail for budget-carrying commands: a clean run exits 0, a
+/// degraded one announces what was cut and exits 4.
+int FinishWithDegradation(const DegradationInfo& degradation) {
+  if (!degradation.degraded) return kExitOk;
+  std::fprintf(stderr, "DEGRADED: %s budget exhausted at %s; %s\n",
+               std::string(BudgetResourceName(degradation.resource)).c_str(),
+               degradation.cut_phase.c_str(), degradation.dropped.c_str());
+  return kExitDegraded;
 }
 
 int CommandMine(const Args& args) {
   if (args.positional.empty()) {
     std::cerr << "usage: procmine mine <log> [--algorithm=...] "
                  "[--threshold=N|auto] [--threads=N|auto] [--dot=FILE] "
-                 "[--report-out=FILE] [--report-dot=FILE] [--conditions]\n";
-    return 2;
+                 "[--report-out=FILE] [--report-dot=FILE] [--conditions] "
+                 "[--recovery=strict|skip|quarantine] [--quarantine-out=FILE] "
+                 "[--deadline-ms=N] [--max-memory-mb=N] [--max-executions=N]\n";
+    return kExitUsage;
   }
-  auto log = ReadLogAuto(args.positional[0], args);
-  if (!log.ok()) {
-    std::cerr << log.status().ToString() << "\n";
-    return 1;
-  }
+  auto limits = BudgetLimitsFromArgs(args);
+  if (!limits.ok()) return Fail(limits.status());
+  RunBudget budget(*limits);
+  DegradationInfo degradation;
+  budget.Start();  // the deadline covers ingestion too
+
+  IngestionReport ingestion;
+  auto log = ReadLogAuto(args.positional[0], args, &ingestion);
+  if (!log.ok()) return Fail(log.status());
   auto options = MinerOptionsFromArgs(args, *log);
-  if (!options.ok()) {
-    std::cerr << options.status().ToString() << "\n";
-    return 1;
-  }
+  if (!options.ok()) return Fail(options.status());
+  options->budget = &budget;
+  options->degradation = &degradation;
   ProcessMiner miner(*options);
 
   // --report-out / --report-dot: mine once with provenance recording and
@@ -264,40 +396,30 @@ int CommandMine(const Args& args) {
   std::optional<obs::RunReport> report;
   if (args.Has("report-out") || args.Has("report-dot")) {
     auto report_options = ReportOptionsFromArgs(args, *log);
-    if (!report_options.ok()) {
-      std::cerr << report_options.status().ToString() << "\n";
-      return 1;
+    if (!report_options.ok()) return Fail(report_options.status());
+    report_options->budget = &budget;
+    if (ingestion.policy != RecoveryPolicy::kStrict) {
+      report_options->ingestion = &ingestion;
     }
     auto built = obs::BuildRunReport(*log, *report_options);
-    if (!built.ok()) {
-      std::cerr << built.status().ToString() << "\n";
-      return 1;
-    }
+    if (!built.ok()) return Fail(built.status());
     report = std::move(*built);
-    if (!WriteReportArtifacts(*report, args, "report-out", "report-dot")) {
-      return 1;
-    }
+    degradation = report->degradation;
+    Status st = WriteReportArtifacts(*report, args, "report-out",
+                                     "report-dot");
+    if (!st.ok()) return Fail(st);
   }
 
   if (args.Has("conditions")) {
     auto annotated = miner.MineWithConditions(*log);
-    if (!annotated.ok()) {
-      std::cerr << annotated.status().ToString() << "\n";
-      return 1;
-    }
+    if (!annotated.ok()) return Fail(annotated.status());
     std::cout << annotated->ToDot("mined_process");
     if (args.Has("fdl")) {
       // Export the mined model as a runnable FDL definition.
       auto reconstructed = ReconstructDefinition(*annotated, *log);
-      if (!reconstructed.ok()) {
-        std::cerr << reconstructed.status().ToString() << "\n";
-        return 1;
-      }
+      if (!reconstructed.ok()) return Fail(reconstructed.status());
       Status st = WriteFdlFile(*reconstructed, args.Get("fdl"), "mined");
-      if (!st.ok()) {
-        std::cerr << st.ToString() << "\n";
-        return 1;
-      }
+      if (!st.ok()) return Fail(st);
       std::fprintf(stderr, "wrote runnable definition to %s\n",
                    args.Get("fdl").c_str());
     }
@@ -313,17 +435,14 @@ int CommandMine(const Args& args) {
       std::ofstream out(args.Get("dot"));
       out << annotated->ToDot("mined_process");
     }
-    return 0;
+    return FinishWithDegradation(degradation);
   }
 
   Result<ProcessGraph> model = report.has_value()
                                    ? Result<ProcessGraph>(
                                          std::move(report->model))
                                    : miner.Mine(*log);
-  if (!model.ok()) {
-    std::cerr << model.status().ToString() << "\n";
-    return 1;
-  }
+  if (!model.ok()) return Fail(model.status());
   std::fprintf(stderr, "mined %lld edges over %d activities\n",
                static_cast<long long>(model->graph().num_edges()),
                model->num_activities());
@@ -334,12 +453,9 @@ int CommandMine(const Args& args) {
   }
   if (args.Has("dot")) {
     Status st = WriteDotFile(model->graph(), model->names(), args.Get("dot"));
-    if (!st.ok()) {
-      std::cerr << st.ToString() << "\n";
-      return 1;
-    }
+    if (!st.ok()) return Fail(st);
   }
-  return 0;
+  return FinishWithDegradation(degradation);
 }
 
 int CommandCheck(const Args& args) {
@@ -350,9 +466,7 @@ int CommandCheck(const Args& args) {
   auto log = ReadLogAuto(args.positional[0], args);
   auto model = ReadEdgeListModel(args.Get("model"));
   if (!log.ok() || !model.ok()) {
-    std::cerr << (log.ok() ? model.status() : log.status()).ToString()
-              << "\n";
-    return 1;
+    return Fail(log.ok() ? model.status() : log.status());
   }
   // Align the model's ids with the log's dictionary by name.
   DirectedGraph aligned(log->num_activities());
@@ -375,7 +489,7 @@ int CommandCheck(const Args& args) {
   ConformanceChecker checker(&aligned_model);
   ConformanceReport report = checker.CheckLog(*log);
   std::cout << report.Summary(log->dictionary());
-  return report.conformal() ? 0 : 1;
+  return report.conformal() ? kExitOk : kExitMismatch;
 }
 
 int CommandDiff(const Args& args) {
@@ -386,18 +500,13 @@ int CommandDiff(const Args& args) {
   auto log = ReadLogAuto(args.positional[0], args);
   auto designed = ReadEdgeListModel(args.Get("model"));
   if (!log.ok() || !designed.ok()) {
-    std::cerr << (log.ok() ? designed.status() : log.status()).ToString()
-              << "\n";
-    return 1;
+    return Fail(log.ok() ? designed.status() : log.status());
   }
   auto mined = ProcessMiner().Mine(*log);
-  if (!mined.ok()) {
-    std::cerr << mined.status().ToString() << "\n";
-    return 1;
-  }
+  if (!mined.ok()) return Fail(mined.status());
   ModelDiff diff = DiffModels(*designed, *mined);
   std::cout << diff.Summary();
-  return diff.structurally_equal() ? 0 : 1;
+  return diff.structurally_equal() ? kExitOk : kExitMismatch;
 }
 
 int CommandStats(const Args& args) {
@@ -406,10 +515,7 @@ int CommandStats(const Args& args) {
     return 2;
   }
   auto log = ReadLogAuto(args.positional[0], args);
-  if (!log.ok()) {
-    std::cerr << log.status().ToString() << "\n";
-    return 1;
-  }
+  if (!log.ok()) return Fail(log.status());
   LogStats stats = ComputeLogStats(*log);
   std::cout << stats.ToString(log->dictionary());
   std::vector<LogIssue> issues = ValidateLog(*log);
@@ -431,14 +537,11 @@ int CommandVariants(const Args& args) {
     return 2;
   }
   auto log = ReadLogAuto(args.positional[0], args);
-  if (!log.ok()) {
-    std::cerr << log.status().ToString() << "\n";
-    return 1;
-  }
+  if (!log.ok()) return Fail(log.status());
   auto top = ParseInt64(args.Get("top", "20"));
   if (!top.ok()) {
     std::cerr << "bad --top\n";
-    return 1;
+    return kExitData;
   }
   std::vector<int64_t> multiplicity;
   EventLog variants = DeduplicateSequences(*log, &multiplicity);
@@ -472,22 +575,16 @@ int CommandExplain(const Args& args) {
     return 2;
   }
   auto log = ReadLogAuto(args.positional[0], args);
-  if (!log.ok()) {
-    std::cerr << log.status().ToString() << "\n";
-    return 1;
-  }
+  if (!log.ok()) return Fail(log.status());
   GeneralDagMinerOptions options;
   auto threshold = ParseInt64(args.Get("threshold", "1"));
   if (!threshold.ok()) {
     std::cerr << "bad --threshold\n";
-    return 1;
+    return kExitData;
   }
   options.noise_threshold = *threshold;
   auto trace = TraceGeneralDagMining(*log, options);
-  if (!trace.ok()) {
-    std::cerr << trace.status().ToString() << "\n";
-    return 1;
-  }
+  if (!trace.ok()) return Fail(trace.status());
   if (args.Has("edge")) {
     std::vector<std::string> parts = Split(args.Get("edge"), ',');
     if (parts.size() != 2) {
@@ -498,7 +595,7 @@ int CommandExplain(const Args& args) {
     auto to = log->dictionary().Find(parts[1]);
     if (!from.ok() || !to.ok()) {
       std::cerr << "unknown activity in --edge\n";
-      return 1;
+      return kExitData;
     }
     std::cout << trace->ExplainEdge(log->dictionary(), *from, *to);
     return 0;
@@ -513,22 +610,16 @@ int CommandPerf(const Args& args) {
     return 2;
   }
   auto log = ReadLogAuto(args.positional[0], args);
-  if (!log.ok()) {
-    std::cerr << log.status().ToString() << "\n";
-    return 1;
-  }
+  if (!log.ok()) return Fail(log.status());
   auto model = ProcessMiner().Mine(*log);
-  if (!model.ok()) {
-    std::cerr << model.status().ToString() << "\n";
-    return 1;
-  }
+  if (!model.ok()) return Fail(model.status());
   PerformanceReport report = AnalyzePerformance(*model, *log);
   std::cout << report.Summary(log->dictionary());
   if (args.Has("dot")) {
     std::ofstream out(args.Get("dot"));
     if (!out) {
       std::cerr << "cannot write " << args.Get("dot") << "\n";
-      return 1;
+      return kExitData;
     }
     out << PerformanceDot(*model, report);
   }
@@ -541,10 +632,7 @@ int CommandNoise(const Args& args) {
     return 2;
   }
   auto log = ReadLogAuto(args.positional[0], args);
-  if (!log.ok()) {
-    std::cerr << log.status().ToString() << "\n";
-    return 1;
-  }
+  if (!log.ok()) return Fail(log.status());
   double epsilon = EstimateNoiseRate(*log);
   std::printf("estimated out-of-order rate (epsilon): %.4f\n", epsilon);
   std::printf("suggested threshold T for m=%zu executions: %lld\n",
@@ -557,31 +645,34 @@ int CommandReport(const Args& args) {
   if (args.positional.empty()) {
     std::cerr << "usage: procmine report <log> [--algorithm=...] "
                  "[--threshold=N|auto] [--threads=N|auto] [--out=FILE] "
-                 "[--dot=FILE] [--sweep=T1,T2,...] [--unstable-cutoff=P]\n";
-    return 2;
+                 "[--dot=FILE] [--sweep=T1,T2,...] [--unstable-cutoff=P] "
+                 "[--recovery=strict|skip|quarantine] [--quarantine-out=FILE] "
+                 "[--deadline-ms=N] [--max-memory-mb=N] [--max-executions=N]\n";
+    return kExitUsage;
   }
   // Reports are built from recorded counters, so recording must be on even
   // without --metrics-out.
   obs::SetMetricsEnabled(true);
-  auto log = ReadLogAuto(args.positional[0], args);
-  if (!log.ok()) {
-    std::cerr << log.status().ToString() << "\n";
-    return 1;
-  }
+  auto limits = BudgetLimitsFromArgs(args);
+  if (!limits.ok()) return Fail(limits.status());
+  RunBudget budget(*limits);
+  budget.Start();
+  IngestionReport ingestion;
+  auto log = ReadLogAuto(args.positional[0], args, &ingestion);
+  if (!log.ok()) return Fail(log.status());
   auto options = ReportOptionsFromArgs(args, *log);
-  if (!options.ok()) {
-    std::cerr << options.status().ToString() << "\n";
-    return 1;
+  if (!options.ok()) return Fail(options.status());
+  options->budget = &budget;
+  if (ingestion.policy != RecoveryPolicy::kStrict) {
+    options->ingestion = &ingestion;
   }
   auto report = obs::BuildRunReport(*log, *options);
-  if (!report.ok()) {
-    std::cerr << report.status().ToString() << "\n";
-    return 1;
-  }
-  if (!WriteReportArtifacts(*report, args, "out", "dot")) return 1;
+  if (!report.ok()) return Fail(report.status());
+  Status st = WriteReportArtifacts(*report, args, "out", "dot");
+  if (!st.ok()) return Fail(st);
   std::cout << report->SummaryText() << "\n"
             << report->SensitivityTableText();
-  return 0;
+  return FinishWithDegradation(report->degradation);
 }
 
 int CommandSynth(const Args& args) {
@@ -596,7 +687,7 @@ int CommandSynth(const Args& args) {
   auto seed = ParseInt64(args.Get("seed", "1"));
   if (!activities.ok() || !executions.ok() || !seed.ok()) {
     std::cerr << "bad numeric flag\n";
-    return 1;
+    return kExitData;
   }
   RandomDagOptions dag_options;
   dag_options.num_activities = static_cast<int32_t>(*activities);
@@ -605,7 +696,7 @@ int CommandSynth(const Args& args) {
     auto density = ParseDouble(args.Get("density"));
     if (!density.ok()) {
       std::cerr << "bad --density\n";
-      return 1;
+      return kExitData;
     }
     dag_options.edge_density = *density;
   } else {
@@ -617,15 +708,9 @@ int CommandSynth(const Args& args) {
   log_options.num_executions = static_cast<size_t>(*executions);
   log_options.seed = static_cast<uint64_t>(*seed) + 1;
   auto log = GenerateWalkLog(truth, log_options);
-  if (!log.ok()) {
-    std::cerr << log.status().ToString() << "\n";
-    return 1;
-  }
+  if (!log.ok()) return Fail(log.status());
   Status st = WriteLogAuto(*log, args.Get("out"));
-  if (!st.ok()) {
-    std::cerr << st.ToString() << "\n";
-    return 1;
-  }
+  if (!st.ok()) return Fail(st);
   if (args.Has("truth-dot")) {
     PROCMINE_CHECK_OK(WriteDotFile(truth.graph(), truth.names(),
                                    args.Get("truth-dot")));
@@ -649,15 +734,12 @@ int CommandSimulate(const Args& args) {
   }
   bool cyclic = args.Has("cyclic");
   auto def = ReadFdlFile(args.Get("definition"), !cyclic);
-  if (!def.ok()) {
-    std::cerr << def.status().ToString() << "\n";
-    return 1;
-  }
+  if (!def.ok()) return Fail(def.status());
   auto executions = ParseInt64(args.Get("executions"));
   auto seed = ParseInt64(args.Get("seed", "1"));
   if (!executions.ok() || !seed.ok()) {
     std::cerr << "bad numeric flag\n";
-    return 1;
+    return kExitData;
   }
   EngineOptions options;
   if (cyclic) options.mode = ExecutionMode::kTokenFire;
@@ -666,7 +748,7 @@ int CommandSimulate(const Args& args) {
     auto max_duration = ParseInt64(args.Get("max-duration", "10"));
     if (!agents.ok() || !max_duration.ok()) {
       std::cerr << "bad numeric flag\n";
-      return 1;
+      return kExitData;
     }
     options.num_agents = static_cast<int>(*agents);
     options.min_duration = 1;
@@ -675,15 +757,9 @@ int CommandSimulate(const Args& args) {
   Engine engine(&*def, options);
   auto log = engine.GenerateLog(static_cast<size_t>(*executions),
                                 static_cast<uint64_t>(*seed));
-  if (!log.ok()) {
-    std::cerr << log.status().ToString() << "\n";
-    return 1;
-  }
+  if (!log.ok()) return Fail(log.status());
   Status st = WriteLogAuto(*log, args.Get("out"));
-  if (!st.ok()) {
-    std::cerr << st.ToString() << "\n";
-    return 1;
-  }
+  if (!st.ok()) return Fail(st);
   std::fprintf(stderr, "simulated %zu executions to %s\n",
                log->num_executions(), args.Get("out").c_str());
   return 0;
@@ -696,16 +772,13 @@ int CommandPatterns(const Args& args) {
     return 2;
   }
   auto log = ReadLogAuto(args.positional[0], args);
-  if (!log.ok()) {
-    std::cerr << log.status().ToString() << "\n";
-    return 1;
-  }
+  if (!log.ok()) return Fail(log.status());
   SequentialPatternOptions options;
   auto support = ParseInt64(args.Get("support", "2"));
   auto max_length = ParseInt64(args.Get("max-length", "6"));
   if (!support.ok() || !max_length.ok()) {
     std::cerr << "bad numeric flag\n";
-    return 1;
+    return kExitData;
   }
   options.min_support = *support;
   options.max_length = static_cast<int>(*max_length);
@@ -725,15 +798,9 @@ int CommandConvert(const Args& args) {
     return 2;
   }
   auto log = ReadLogAuto(args.positional[0], args);
-  if (!log.ok()) {
-    std::cerr << log.status().ToString() << "\n";
-    return 1;
-  }
+  if (!log.ok()) return Fail(log.status());
   Status st = WriteLogAuto(*log, args.positional[1]);
-  if (!st.ok()) {
-    std::cerr << st.ToString() << "\n";
-    return 1;
-  }
+  if (!st.ok()) return Fail(st);
   return 0;
 }
 
@@ -768,6 +835,11 @@ void PrintUsage() {
       "global flags (any command): --trace-out=FILE (Chrome trace JSON +\n"
       "per-phase summary), --metrics-out=FILE (counter snapshot JSON),\n"
       "--log-level=debug|info|warning|error, --log-json (JSON-lines logs)\n"
+      "robustness flags (any log-reading command; docs/robustness.md):\n"
+      "--recovery=strict|skip|quarantine, --quarantine-out=FILE,\n"
+      "--deadline-ms=N, --max-memory-mb=N, --max-executions=N\n"
+      "exit codes: 0 ok, 1 analysis mismatch, 2 usage, 3 data error,\n"
+      "4 budget-degraded, 5 internal\n"
       "log formats by extension: .bin (binary), .xes (XES XML), .csv\n"
       "(export only), anything else = text event format\n";
 }
@@ -802,12 +874,12 @@ bool SetUpObservability(const Args& args) {
 /// reported but do not change the command's exit code semantics beyond 1.
 int FlushObservability(const Args& args, int rc) {
   if (args.Has("trace-out")) {
-    std::ofstream out(args.Get("trace-out"));
-    if (!out) {
-      std::cerr << "cannot write " << args.Get("trace-out") << "\n";
-      return rc == 0 ? 1 : rc;
+    Status st = WriteFileAtomic(args.Get("trace-out"),
+                                obs::TraceRecorder::Get().ChromeTraceJson());
+    if (!st.ok()) {
+      std::cerr << st.ToString() << "\n";
+      return rc == 0 ? ExitCodeForStatus(st) : rc;
     }
-    out << obs::TraceRecorder::Get().ChromeTraceJson();
     std::fprintf(stderr, "wrote trace to %s\n%s",
                  args.Get("trace-out").c_str(),
                  obs::TraceRecorder::Get().SummaryText().c_str());
@@ -819,12 +891,12 @@ int FlushObservability(const Args& args, int rc) {
     }
   }
   if (args.Has("metrics-out")) {
-    std::ofstream out(args.Get("metrics-out"));
-    if (!out) {
-      std::cerr << "cannot write " << args.Get("metrics-out") << "\n";
-      return rc == 0 ? 1 : rc;
+    Status st = WriteFileAtomic(args.Get("metrics-out"),
+                                obs::MetricsRegistry::Get().Snapshot().ToJson());
+    if (!st.ok()) {
+      std::cerr << st.ToString() << "\n";
+      return rc == 0 ? ExitCodeForStatus(st) : rc;
     }
-    out << obs::MetricsRegistry::Get().Snapshot().ToJson();
     std::fprintf(stderr, "wrote metrics to %s\n",
                  args.Get("metrics-out").c_str());
   }
@@ -852,6 +924,9 @@ int Dispatch(const std::string& command, const Args& args) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Arm PROCMINE_FAILPOINTS sites first so fault-injection tests exercise
+  // the whole binary, ingestion included.
+  failpoint::ActivateFromEnv();
   if (argc < 2) {
     PrintUsage();
     return 2;
