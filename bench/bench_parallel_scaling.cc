@@ -1,15 +1,23 @@
-// Thread-scaling harness for the sharded mining pipeline: runs the Table 1
-// synthetic workload (100-vertex random DAG at the paper-calibrated density,
-// full execution sweep) through GeneralDagMiner at threads in {1, 2, 4, 8},
-// verifies every run mines the identical edge set, and writes the timings to
-// BENCH_parallel.json so future sessions can track the scaling trajectory.
+// Thread-scaling / roofline harness for the sharded mining pipeline: runs
+// the Table 1 synthetic workload (100-vertex random DAG at the
+// paper-calibrated density, full execution sweep) through GeneralDagMiner at
+// threads in {1, 2, 4, 8}, verifies every run mines the identical edge set,
+// and writes a roofline-style report to BENCH_parallel.json: wall seconds,
+// speedup, and the two throughput axes that matter for this pipeline —
+// events/sec (activity instances consumed) and pairs/sec (precedence pairs
+// considered by the collect phase). Alongside the headline (uninstrumented)
+// timings, each (executions, threads) cell re-runs once with span recording
+// on and embeds per-phase {count, total_ms, p95_ms} so skew inside the
+// work-stealing chunks is visible without a separate trace run.
 //
 // The speedup column is only meaningful on a machine whose hardware
 // concurrency covers the thread axis; the JSON records the machine's
 // hardware_concurrency so readers can judge the numbers.
 
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -31,21 +39,63 @@ struct Sample {
   double seconds;
   double speedup;  // vs the 1-thread run on the same workload
   int64_t edges;
-  std::string phases_json;  // empty unless PROCMINE_BENCH_PHASES=1
+  double events_per_sec;  // activity instances / second
+  double pairs_per_sec;   // precedence pairs (sum of C(len, 2)) / second
+  std::string phases_json;
 };
 
-double MineOnce(const EventLog& log, int threads, int64_t* edges,
-                std::string* phases_json) {
+double MineOnce(const EventLog& log, int threads, int64_t* edges) {
   GeneralDagMinerOptions options;
   options.num_threads = threads;
-  if (PhaseMode()) ResetPhaseSpans();
   StopWatch watch;
   auto mined = GeneralDagMiner(options).Mine(log);
   double seconds = watch.ElapsedSeconds();
   PROCMINE_CHECK_OK(mined.status());
   *edges = mined->graph().num_edges();
-  if (PhaseMode()) *phases_json = PhaseTotalsJson();
   return seconds;
+}
+
+// Re-runs the miner with span recording enabled and aggregates each phase
+// name into {count, total_ms, p95_ms} (nearest-rank p95 over the individual
+// span durations — for the *_shard spans that is the tail chunk).
+std::string PhasePercentilesJson(const EventLog& log, int threads) {
+  ResetPhaseSpans();
+  int64_t edges = 0;
+  MineOnce(log, threads, &edges);
+  std::map<std::string, std::vector<int64_t>> by_name;
+  for (const obs::SpanEvent& e : obs::TraceRecorder::Get().Snapshot()) {
+    by_name[e.name].push_back(e.dur_ns);
+  }
+  obs::SetTracingEnabled(false);
+  std::string out = "{";
+  bool first = true;
+  for (auto& [name, durs] : by_name) {
+    std::sort(durs.begin(), durs.end());
+    size_t rank = (durs.size() * 95 + 99) / 100;  // ceil(0.95 * n), 1-based
+    rank = std::min(std::max<size_t>(rank, 1), durs.size());
+    int64_t total = 0;
+    for (int64_t d : durs) total += d;
+    out += StrFormat(
+        "%s\"%s\": {\"count\": %lld, \"total_ms\": %.3f, \"p95_ms\": %.3f}",
+        first ? "" : ", ", name.c_str(),
+        static_cast<long long>(durs.size()), static_cast<double>(total) / 1e6,
+        static_cast<double>(durs[rank - 1]) / 1e6);
+    first = false;
+  }
+  out += "}";
+  return out;
+}
+
+// The two roofline denominators: how many activity instances the log holds,
+// and how many ordered precedence pairs the collect phase walks.
+void CountWork(const EventLog& log, double* events, double* pairs) {
+  *events = 0;
+  *pairs = 0;
+  for (const Execution& exec : log.executions()) {
+    double len = static_cast<double>(exec.instances().size());
+    *events += len;
+    *pairs += len * (len - 1) / 2.0;
+  }
 }
 
 }  // namespace
@@ -67,13 +117,14 @@ int main() {
   for (size_t m : execution_axis) {
     SyntheticWorkload w =
         MakeSyntheticWorkload(kVertices, m, /*seed=*/1000 + kVertices);
+    double events = 0, pairs = 0;
+    CountWork(w.log, &events, &pairs);
     std::printf("%-12zu", m);
     double baseline = 0.0;
     int64_t baseline_edges = 0;
     for (int threads : thread_axis) {
       int64_t edges = 0;
-      std::string phases_json;
-      double seconds = MineOnce(w.log, threads, &edges, &phases_json);
+      double seconds = MineOnce(w.log, threads, &edges);
       if (threads == 1) {
         baseline = seconds;
         baseline_edges = edges;
@@ -81,12 +132,29 @@ int main() {
       // Determinism spot check: every thread count mines the same model.
       PROCMINE_CHECK_EQ(edges, baseline_edges);
       double speedup = seconds > 0.0 ? baseline / seconds : 0.0;
-      samples.push_back(
-          Sample{m, threads, seconds, speedup, edges, phases_json});
+      Sample s{m,
+               threads,
+               seconds,
+               speedup,
+               edges,
+               seconds > 0.0 ? events / seconds : 0.0,
+               seconds > 0.0 ? pairs / seconds : 0.0,
+               PhasePercentilesJson(w.log, threads)};
+      samples.push_back(std::move(s));
       std::printf(" | %8.3fs (%5.2fx)", seconds, speedup);
       std::fflush(stdout);
     }
     std::printf("\n");
+  }
+
+  // Roofline view: throughput per thread count at the largest workload.
+  const size_t largest = execution_axis.back();
+  std::printf("\nthroughput at %zu executions\n", largest);
+  std::printf("%-8s %16s %16s\n", "threads", "events/sec", "pairs/sec");
+  for (const Sample& s : samples) {
+    if (s.executions != largest) continue;
+    std::printf("%-8d %16.0f %16.0f\n", s.threads, s.events_per_sec,
+                s.pairs_per_sec);
   }
 
   const char* out_path = "BENCH_parallel.json";
@@ -101,12 +169,14 @@ int main() {
       << "  \"results\": [\n";
   for (size_t i = 0; i < samples.size(); ++i) {
     const Sample& s = samples[i];
-    char line[256];
+    char line[320];
     std::snprintf(line, sizeof(line),
                   "    {\"executions\": %zu, \"threads\": %d, "
-                  "\"seconds\": %.6f, \"speedup\": %.3f, \"edges\": %lld",
+                  "\"seconds\": %.6f, \"speedup\": %.3f, \"edges\": %lld, "
+                  "\"events_per_sec\": %.0f, \"pairs_per_sec\": %.0f",
                   s.executions, s.threads, s.seconds, s.speedup,
-                  static_cast<long long>(s.edges));
+                  static_cast<long long>(s.edges), s.events_per_sec,
+                  s.pairs_per_sec);
     out << line;
     if (!s.phases_json.empty()) out << ", \"phases\": " << s.phases_json;
     out << "}" << (i + 1 == samples.size() ? "" : ",") << "\n";

@@ -1,9 +1,13 @@
 #!/bin/sh
-# Quick-mode ingestion smoke: builds bench_ingest in an existing (or fresh)
-# Release tree and runs the BenchIngestQuick ctest gate, which fails if the
-# zero-copy text path drops below 3x the legacy reader's events/sec.
-# Also runs the ingest equivalence suite first, so a speedup measured on a
-# wrong parse never counts.
+# Quick-mode perf smoke: builds the gated benches in an existing (or fresh)
+# Release tree and runs their ctest gates.
+#
+#  * BenchIngestQuick — fails if the zero-copy text path drops below 3x the
+#    legacy reader's events/sec. The ingest equivalence suite runs first, so
+#    a speedup measured on a wrong parse never counts.
+#  * BenchKernelsQuick — fails if the unrolled/SIMD word kernels or the
+#    BitMatrix closure/reduce paths fall below the seed-style baselines.
+#    The bit_matrix property suite runs first, for the same reason.
 #
 # Usage: scripts/bench-smoke.sh [build-dir]   (default: build)
 
@@ -15,8 +19,11 @@ BUILD_DIR="${1:-build}"
 if [ ! -f "$BUILD_DIR/CMakeCache.txt" ]; then
   cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release
 fi
-cmake --build "$BUILD_DIR" -j --target bench_ingest ingest_equivalence_test
+cmake --build "$BUILD_DIR" -j --target bench_ingest ingest_equivalence_test \
+  bench_kernels bit_matrix_test
 
 ctest --test-dir "$BUILD_DIR" --output-on-failure -R 'IngestEquivalence'
 ctest --test-dir "$BUILD_DIR" --output-on-failure -R 'BenchIngestQuick'
-echo "ingestion smoke OK: see $BUILD_DIR/BENCH_ingest.json"
+ctest --test-dir "$BUILD_DIR" --output-on-failure -R 'BitsKernel|BitMatrix'
+ctest --test-dir "$BUILD_DIR" --output-on-failure -R 'BenchKernelsQuick'
+echo "perf smoke OK: see $BUILD_DIR/BENCH_ingest.json and $BUILD_DIR/BENCH_kernels.json"

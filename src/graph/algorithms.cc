@@ -99,10 +99,10 @@ SccResult StronglyConnectedComponents(const DirectedGraph& g) {
   return result;
 }
 
-std::vector<DynamicBitset> ReachabilityMatrix(const DirectedGraph& g) {
+BitMatrix ReachabilityMatrix(const DirectedGraph& g) {
   const NodeId n = g.num_nodes();
-  std::vector<DynamicBitset> reach(static_cast<size_t>(n),
-                                   DynamicBitset(static_cast<size_t>(n)));
+  const size_t un = static_cast<size_t>(n);
+  BitMatrix reach(un, un);
   // Process SCCs in the order Tarjan emits them (reverse topological order of
   // the condensation): when we finish component c, every component it can
   // reach has already been finished.
@@ -115,11 +115,9 @@ std::vector<DynamicBitset> ReachabilityMatrix(const DirectedGraph& g) {
         .push_back(v);
   }
   // Per-component reach set, built in component index order (0 first).
-  std::vector<DynamicBitset> comp_reach(
-      static_cast<size_t>(scc.num_components),
-      DynamicBitset(static_cast<size_t>(n)));
+  BitMatrix comp_reach(static_cast<size_t>(scc.num_components), un);
   for (int32_t c = 0; c < scc.num_components; ++c) {
-    DynamicBitset& r = comp_reach[static_cast<size_t>(c)];
+    BitRow r = comp_reach[static_cast<size_t>(c)];
     const auto& verts = members[static_cast<size_t>(c)];
     bool cyclic = verts.size() > 1;
     for (NodeId v : verts) {
@@ -140,8 +138,8 @@ std::vector<DynamicBitset> ReachabilityMatrix(const DirectedGraph& g) {
     }
   }
   for (NodeId v = 0; v < n; ++v) {
-    reach[static_cast<size_t>(v)] =
-        comp_reach[static_cast<size_t>(scc.component[static_cast<size_t>(v)])];
+    reach[static_cast<size_t>(v)].CopyFrom(
+        comp_reach[static_cast<size_t>(scc.component[static_cast<size_t>(v)])]);
   }
   return reach;
 }
@@ -149,10 +147,10 @@ std::vector<DynamicBitset> ReachabilityMatrix(const DirectedGraph& g) {
 DirectedGraph TransitiveClosure(const DirectedGraph& g) {
   const NodeId n = g.num_nodes();
   DirectedGraph closure(n);
-  std::vector<DynamicBitset> reach = ReachabilityMatrix(g);
+  BitMatrix reach = ReachabilityMatrix(g);
   for (NodeId v = 0; v < n; ++v) {
     for (NodeId u = 0; u < n; ++u) {
-      if (reach[static_cast<size_t>(v)].Test(static_cast<size_t>(u))) {
+      if (reach.Test(static_cast<size_t>(v), static_cast<size_t>(u))) {
         closure.AddEdge(v, u);
       }
     }

@@ -8,7 +8,7 @@
 #include <vector>
 
 #include "graph/digraph.h"
-#include "util/bitset.h"
+#include "util/bit_matrix.h"
 #include "util/result.h"
 
 namespace procmine {
@@ -30,8 +30,10 @@ struct SccResult {
 SccResult StronglyConnectedComponents(const DirectedGraph& g);
 
 /// reach[v].Test(u) == true iff there is a directed path v ->+ u of length
-/// >= 1. (A vertex reaches itself only via a cycle.) O(V*E/64).
-std::vector<DynamicBitset> ReachabilityMatrix(const DirectedGraph& g);
+/// >= 1. (A vertex reaches itself only via a cycle.) O(V*E/64). Returned as
+/// a flat BitMatrix (one 64-byte-aligned allocation, padded rows) so the
+/// per-component row unions run through the word kernels.
+BitMatrix ReachabilityMatrix(const DirectedGraph& g);
 
 /// The transitive closure as a graph: edge (u,v) iff a path u ->+ v exists.
 DirectedGraph TransitiveClosure(const DirectedGraph& g);

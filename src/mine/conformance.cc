@@ -21,8 +21,15 @@ int64_t FirstInstanceOf(const Execution& exec, NodeId a) {
 }  // namespace
 
 ConformanceChecker::ConformanceChecker(const ProcessGraph* graph)
-    : graph_(graph), reach_(ReachabilityMatrix(graph->graph())) {
+    : ConformanceChecker(graph, ReachabilityMatrix(graph->graph())) {}
+
+ConformanceChecker::ConformanceChecker(const ProcessGraph* graph,
+                                       BitMatrix reach)
+    : graph_(graph), reach_(std::move(reach)) {
   PROCMINE_CHECK(graph_ != nullptr);
+  PROCMINE_CHECK(reach_.rows() ==
+                     static_cast<size_t>(graph_->graph().num_nodes()) &&
+                 reach_.cols() == reach_.rows());
   // Locate the initiating and terminating activities, ignoring isolated
   // vertices: a graph mined from a log whose dictionary lists activities
   // that never occurred carries them as degree-0 vertices, and the paper's
@@ -164,12 +171,28 @@ Status ConformanceChecker::CheckExecution(
   // stated to be equivalent to "R can be a successful execution of P for
   // suitably chosen outputs and edge functions", and a dependency routed
   // through an activity that never ran imposes no ordering on R.
-  DirectedGraph present_subgraph = InducedSubgraph(g, vertices);
-  std::vector<DynamicBitset> reach = ReachabilityMatrix(present_subgraph);
-  for (NodeId u : vertices) {
-    for (NodeId v : vertices) {
-      if (u == v) continue;
-      if (reach[static_cast<size_t>(u)].Test(static_cast<size_t>(v)) &&
+  // The subgraph is built over compact ids [0, p) so the per-execution
+  // reachability matrix is p x p in the execution's activity count — the
+  // seed rebuilt a full n-vertex graph and n x n matrix for every execution.
+  const size_t p = vertices.size();
+  std::vector<int32_t> compact(static_cast<size_t>(n), -1);
+  for (size_t i = 0; i < p; ++i) {
+    compact[static_cast<size_t>(vertices[i])] = static_cast<int32_t>(i);
+  }
+  DirectedGraph present_subgraph(static_cast<NodeId>(p));
+  for (size_t i = 0; i < p; ++i) {
+    for (NodeId v : g.OutNeighbors(vertices[i])) {
+      const int32_t cv = compact[static_cast<size_t>(v)];
+      if (cv >= 0) present_subgraph.AddEdge(static_cast<NodeId>(i), cv);
+    }
+  }
+  BitMatrix reach = ReachabilityMatrix(present_subgraph);
+  for (size_t i = 0; i < p; ++i) {
+    for (size_t j = 0; j < p; ++j) {
+      if (i == j) continue;
+      const NodeId u = vertices[i];
+      const NodeId v = vertices[j];
+      if (reach.Test(i, j) &&
           last_end[static_cast<size_t>(v)] <
               first_start[static_cast<size_t>(u)]) {
         // The first event proving the violation is v's earliest instance:
@@ -184,18 +207,23 @@ Status ConformanceChecker::CheckExecution(
   return Status::OK();
 }
 
-ConformanceReport ConformanceChecker::CheckLog(const EventLog& log,
-                                               bool record_verdicts) const {
+ConformanceReport ConformanceChecker::CheckLog(
+    const EventLog& log, bool record_verdicts,
+    const Relations* precomputed) const {
   PROCMINE_SPAN("conformance.check_log");
   ConformanceReport report;
   const NodeId n = std::min<NodeId>(log.num_activities(),
                                     graph_->num_activities());
 
-  Relations relations = Relations::Compute(log);
+  // Reuse the caller's relations (and the followings closure inside them)
+  // when offered; otherwise compute our own copy for this log.
+  Relations computed;
+  if (precomputed == nullptr) computed = Relations::Compute(log);
+  const Relations& relations = precomputed != nullptr ? *precomputed : computed;
   for (ActivityId a = 0; a < n; ++a) {
     for (ActivityId b = 0; b < n; ++b) {
       if (a == b) continue;
-      bool path = reach_[static_cast<size_t>(a)].Test(static_cast<size_t>(b));
+      bool path = reach_.Test(static_cast<size_t>(a), static_cast<size_t>(b));
       if (relations.DependsOn(b, a) && !path) {
         report.dependency_complete = false;
         report.missing_dependencies.push_back(Edge{a, b});

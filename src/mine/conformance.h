@@ -19,7 +19,7 @@
 
 #include "log/event_log.h"
 #include "mine/relations.h"
-#include "util/bitset.h"
+#include "util/bit_matrix.h"
 #include "util/status.h"
 #include "workflow/process_graph.h"
 
@@ -68,6 +68,12 @@ class ConformanceChecker {
   /// ActivityIds (true for mined graphs and engine-generated logs).
   explicit ConformanceChecker(const ProcessGraph* graph);
 
+  /// As above, but adopts a precomputed reachability matrix of
+  /// `graph->graph()` (e.g. one kept around from an earlier checker over the
+  /// same model) instead of recomputing it. `reach` must have one row and
+  /// one column per graph vertex.
+  ConformanceChecker(const ProcessGraph* graph, BitMatrix reach);
+
   /// Definition 6. OK iff `exec` is consistent with the graph.
   Status CheckExecution(const Execution& exec) const {
     return CheckExecution(exec, nullptr);
@@ -83,11 +89,25 @@ class ConformanceChecker {
   /// additionally carries one ExecutionVerdict per execution in log order
   /// (the raw material of obs/report.h's conformance audit).
   ConformanceReport CheckLog(const EventLog& log,
-                             bool record_verdicts = false) const;
+                             bool record_verdicts = false) const {
+    return CheckLog(log, record_verdicts, nullptr);
+  }
+
+  /// As above, reusing the caller's already-computed `relations` for the
+  /// same log (its followings closure backs the dependency-completeness and
+  /// irredundancy clauses) instead of running Relations::Compute again.
+  /// `relations` may be null.
+  ConformanceReport CheckLog(const EventLog& log, bool record_verdicts,
+                             const Relations* relations) const;
+
+  /// The graph's reachability matrix (path a ->+ b iff Test(a, b)); exposed
+  /// so callers checking the same model repeatedly can hand it to the
+  /// adopting constructor.
+  const BitMatrix& reach() const { return reach_; }
 
  private:
   const ProcessGraph* graph_;
-  std::vector<DynamicBitset> reach_;
+  BitMatrix reach_;
   // Initiating/terminating activities, isolated vertices ignored; if either
   // is not unique, endpoint_error_ carries the failure.
   NodeId source_ = -1;

@@ -80,9 +80,8 @@ EventLog CyclicMiner::LabelOccurrences(const EventLog& log,
     }
   };
   if (pool != nullptr && spans.size() > 1) {
-    pool->ParallelFor(spans.size(), [&](size_t, size_t begin, size_t end) {
-      for (size_t s = begin; s < end; ++s) relabel_span(spans[s]);
-    });
+    pool->ParallelForChunked(spans.size(),
+                             [&](size_t c) { relabel_span(spans[c]); });
   } else {
     for (const ExecutionSpan& span : spans) relabel_span(span);
   }
@@ -111,7 +110,10 @@ Result<ProcessGraph> CyclicMiner::Mine(const EventLog& log) const {
 
   const int num_threads = ResolveThreadCount(options_.num_threads);
   std::unique_ptr<ThreadPool> pool;
-  if (num_threads > 1) pool = std::make_unique<ThreadPool>(num_threads);
+  if (num_threads > 1 &&
+      log.num_executions() >= ThreadPool::kSmallInputInlineThreshold) {
+    pool = std::make_unique<ThreadPool>(num_threads);
+  }
 
   // Steps 2-3: uniquely label each occurrence.
   std::vector<ActivityId> labeled_to_base;
@@ -123,6 +125,7 @@ Result<ProcessGraph> CyclicMiner::Mine(const EventLog& log) const {
   GeneralDagMinerOptions general_options;
   general_options.noise_threshold = options_.noise_threshold;
   general_options.num_threads = num_threads;
+  general_options.chunk_size = options_.chunk_size;
   general_options.provenance = options_.provenance;
   general_options.budget = options_.budget;
   general_options.degradation = options_.degradation;

@@ -29,8 +29,12 @@ struct CyclicMinerOptions {
   int64_t noise_threshold = 1;
   /// Worker threads for the labeling pass and the labeled Algorithm 2 run.
   /// 1 = sequential reference path; <= 0 = hardware concurrency. The mined
-  /// graph is byte-identical for every thread count.
+  /// graph is byte-identical for every thread count; logs below
+  /// ThreadPool::kSmallInputInlineThreshold executions skip the pool.
   int num_threads = 1;
+  /// Executions per work-stealing chunk, forwarded to the inner Algorithm 2
+  /// run; 0 = default (see PlanChunks). Any value produces the same model.
+  size_t chunk_size = 0;
   /// Optional edge-provenance sink (see mine/provenance.h). Recorded in the
   /// occurrence-labeled id space ("A#1", "A#2", ...) the inner Algorithm 2
   /// run operates in, with the labeled-to-base mapping attached. Not owned;

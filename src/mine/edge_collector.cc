@@ -82,18 +82,16 @@ void CollectEvidenceSpan(const EventLog& log, ExecutionSpan span,
   }
 }
 
-// Sharded evidence collection mirroring the counting path: disjoint
-// execution spans, then a sum/min/max merge that is identical for any shard
+// Chunked evidence collection mirroring the counting path: disjoint
+// execution spans, then a sum/min/max merge that is identical for any chunk
 // count. Returns the merged evidence and fills `counts` with the supports.
 EdgeEvidenceMap CollectEvidence(const EventLog& log,
                                 const std::vector<ExecutionSpan>& spans,
                                 ThreadPool* pool, EdgeCounts* counts) {
   std::vector<EdgeEvidenceMap> shard_evidence(spans.size());
   if (pool != nullptr && spans.size() > 1) {
-    pool->ParallelFor(spans.size(), [&](size_t, size_t begin, size_t end) {
-      for (size_t s = begin; s < end; ++s) {
-        CollectEvidenceSpan(log, spans[s], &shard_evidence[s]);
-      }
+    pool->ParallelForChunked(spans.size(), [&](size_t c) {
+      CollectEvidenceSpan(log, spans[c], &shard_evidence[c]);
     });
   } else {
     for (size_t s = 0; s < spans.size(); ++s) {
@@ -118,10 +116,12 @@ EdgeCounts CollectPrecedenceEdges(const EventLog& log) {
 }
 
 EdgeCounts CollectPrecedenceEdges(const EventLog& log, ThreadPool* pool,
-                                  ProvenanceRecorder* provenance) {
+                                  ProvenanceRecorder* provenance,
+                                  size_t chunk_size) {
   PROCMINE_SPAN("edges.collect");
+  const int threads = pool == nullptr ? 1 : pool->num_threads();
   std::vector<ExecutionSpan> spans =
-      log.Shards(pool == nullptr ? 1 : static_cast<size_t>(pool->num_threads()));
+      log.Shards(PlanChunks(log.num_executions(), threads, chunk_size));
   if (spans.empty()) return EdgeCounts();
   EdgeCounts merged;
   if (provenance != nullptr) {
@@ -129,19 +129,17 @@ EdgeCounts CollectPrecedenceEdges(const EventLog& log, ThreadPool* pool,
   } else {
     std::vector<EdgeCounts> shard_counts(spans.size());
     if (pool != nullptr && spans.size() > 1) {
-      pool->ParallelFor(spans.size(), [&](size_t, size_t begin, size_t end) {
-        for (size_t s = begin; s < end; ++s) {
-          CollectSpan(log, spans[s], &shard_counts[s]);
-        }
+      pool->ParallelForChunked(spans.size(), [&](size_t c) {
+        CollectSpan(log, spans[c], &shard_counts[c]);
       });
     } else {
       for (size_t s = 0; s < spans.size(); ++s) {
         CollectSpan(log, spans[s], &shard_counts[s]);
       }
     }
-    // Reduce: each shard counted disjoint executions, so summing the
-    // per-edge counters reproduces the sequential totals for any shard
-    // count.
+    // Reduce: each chunk counted disjoint executions, so summing the
+    // per-edge counters in chunk order reproduces the sequential totals for
+    // any thread count.
     merged = std::move(shard_counts[0]);
     for (size_t s = 1; s < shard_counts.size(); ++s) {
       for (const auto& [key, count] : shard_counts[s]) merged[key] += count;

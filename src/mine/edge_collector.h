@@ -29,18 +29,22 @@ using EdgeCounts = std::unordered_map<uint64_t, int64_t>;
 /// starts after it ends: O(sum of k log k + qualifying pairs) per log.
 EdgeCounts CollectPrecedenceEdges(const EventLog& log);
 
-/// Sharded variant: executions are split into per-thread shards counted
-/// independently, then the per-edge counters are summed. Executions are
-/// disjoint across shards, so the totals (and the once-per-execution dedup
-/// semantics) are identical to the sequential path for any shard count.
-/// `pool` may be null (sequential).
+/// Parallel variant: executions are split into work-stealing chunks counted
+/// independently (idle workers claim the next chunk), then the per-edge
+/// counters are summed in chunk order. Executions are disjoint across
+/// chunks and the chunk partition depends only on (log, thread count,
+/// chunk_size), so the totals (and the once-per-execution dedup semantics)
+/// are identical to the sequential path for any thread count. `pool` may be
+/// null (sequential); `chunk_size` is the per-chunk execution count (0 =
+/// default, see PlanChunks).
 ///
 /// When `provenance` is non-null the scan additionally records each edge's
-/// first/last witnessing execution index into the recorder (shard cells
-/// merge by sum/min/max, so the evidence is identical for any shard count).
-/// The counting path is untouched when `provenance` is null.
+/// first/last witnessing execution index into the recorder (chunk cells
+/// merge by sum/min/max, so the evidence is identical for any thread
+/// count). The counting path is untouched when `provenance` is null.
 EdgeCounts CollectPrecedenceEdges(const EventLog& log, ThreadPool* pool,
-                                  ProvenanceRecorder* provenance = nullptr);
+                                  ProvenanceRecorder* provenance = nullptr,
+                                  size_t chunk_size = 0);
 
 /// Materializes the step-2 graph over `num_nodes` vertices, keeping edges
 /// with count >= threshold (threshold 1 = no noise filtering). Pruned edges

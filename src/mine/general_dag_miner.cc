@@ -2,8 +2,8 @@
 
 #include <algorithm>
 #include <memory>
-#include <unordered_map>
 #include <unordered_set>
+#include <vector>
 
 #include "graph/algorithms.h"
 #include "graph/transitive_reduction.h"
@@ -12,6 +12,7 @@
 #include "obs/trace.h"
 #include "util/hash.h"
 #include "util/logging.h"
+#include "util/striped_memo.h"
 #include "util/strings.h"
 #include "util/thread_pool.h"
 
@@ -19,31 +20,42 @@ namespace procmine {
 
 namespace {
 
-// Steps 5-6 map phase for one shard: transitively reduce each execution's
-// induced subgraph and collect the surviving edges. Each shard keeps its own
-// memo table; the marked-edge sets merge by union, which is order-independent,
-// so the result is identical for any shard count.
+// Memo key: the sorted activity set. Hashing the id vector directly
+// (HashBytes over the raw id words) avoids serializing a fresh string key
+// per execution just to look it up.
+struct SequenceHash {
+  size_t operator()(const std::vector<NodeId>& ids) const {
+    return static_cast<size_t>(
+        HashBytes(ids.data(), ids.size() * sizeof(NodeId)));
+  }
+};
+
+// One memo shared by every worker: the cached edge vector is a pure function
+// of the activity set (InducedReducer's topological order and emit order are
+// fixed), so first-writer-wins sharing cannot perturb the model — only the
+// hit/miss counts, which obs/report.cc already excludes as
+// thread-count-dependent.
+using ReductionMemo =
+    StripedMemo<std::vector<NodeId>, std::vector<Edge>, SequenceHash>;
+
+// Steps 5-6 map phase for one chunk: transitively reduce each execution's
+// induced subgraph and collect the surviving edges. The marked-edge sets
+// merge by union, which is order-independent, so the result is identical
+// for any thread count and chunk size.
 Status MarkReductionEdges(const EventLog& log, const DirectedGraph& g,
-                          ExecutionSpan span, bool memoize, RunBudget* budget,
-                          bool* budget_aborted,
+                          ExecutionSpan span, ReductionMemo* memo,
+                          RunBudget* budget, bool* budget_aborted,
                           std::unordered_set<uint64_t>* marked) {
   PROCMINE_SPAN("general_dag.reduce_shard");
-  // Memo key: the sorted activity set. Hashing the id vector directly
-  // (HashBytes over the raw id words) avoids serializing a fresh string key
-  // per execution just to look it up.
-  struct SequenceHash {
-    size_t operator()(const std::vector<NodeId>& ids) const {
-      return static_cast<size_t>(
-          HashBytes(ids.data(), ids.size() * sizeof(NodeId)));
-    }
-  };
-  std::unordered_map<std::vector<NodeId>, std::vector<Edge>, SequenceHash>
-      memo;
+  // Per-chunk reducer: its arena scratch is recycled across every execution
+  // in the span, so the steady-state loop performs no heap allocation.
+  InducedReducer reducer(g);
+  std::vector<Edge> computed;
   int64_t memo_hits = 0;
   int64_t memo_misses = 0;
   for (size_t e = span.begin; e < span.end; ++e) {
     // A budget probe reads the clock (and possibly /proc), so amortize it;
-    // the sticky exhausted flag makes every shard stop within one stride.
+    // the sticky exhausted flag makes every chunk stop within one stride.
     if (budget != nullptr && (e - span.begin) % 1024 == 0 &&
         budget->Check() != BudgetResource::kNone) {
       *budget_aborted = true;
@@ -54,24 +66,15 @@ Status MarkReductionEdges(const EventLog& log, const DirectedGraph& g,
     std::sort(present.begin(), present.end());
 
     const std::vector<Edge>* reduction_edges = nullptr;
-    std::vector<Edge> computed;
-    if (memoize) {
-      auto it = memo.find(present);
-      if (it != memo.end()) {
-        reduction_edges = &it->second;
-        ++memo_hits;
-      }
+    if (memo != nullptr) {
+      reduction_edges = memo->Find(present);
+      if (reduction_edges != nullptr) ++memo_hits;
     }
     if (reduction_edges == nullptr) {
       ++memo_misses;
-      DirectedGraph induced = InducedSubgraph(g, present);
-      Result<DirectedGraph> reduced = TransitiveReduction(induced);
-      if (!reduced.ok()) return reduced.status();
-      computed = reduced->Edges();
-      if (memoize) {
-        reduction_edges =
-            &memo.emplace(std::move(present), std::move(computed))
-                 .first->second;
+      PROCMINE_RETURN_NOT_OK(reducer.Reduce(present, &computed));
+      if (memo != nullptr) {
+        reduction_edges = memo->Insert(std::move(present), computed);
       } else {
         reduction_edges = &computed;
       }
@@ -80,8 +83,9 @@ Status MarkReductionEdges(const EventLog& log, const DirectedGraph& g,
       marked->insert(PackEdge(edge.from, edge.to));
     }
   }
-  // One sharded add per counter at shard end, not per execution: the totals
-  // are deterministic for any shard count and the loop stays counter-free.
+  // One sharded add per counter at chunk end, not per execution. With a
+  // shared memo the hit/miss split depends on which worker saw a duplicate
+  // first; the sum hits+misses stays deterministic.
   static obs::Counter* hits =
       obs::MetricsRegistry::Get().GetCounter("general_dag.memo_hits");
   static obs::Counter* misses =
@@ -124,12 +128,18 @@ Result<ProcessGraph> GeneralDagMiner::Mine(const EventLog& log) const {
     return ProcessGraph(DirectedGraph(n), log.dictionary().names());
   }
 
+  // Below the inline threshold the pool's wake/sleep traffic costs more
+  // than the parallelism returns; the sequential path is byte-identical.
   const int num_threads = ResolveThreadCount(options_.num_threads);
   std::unique_ptr<ThreadPool> pool;
-  if (num_threads > 1) pool = std::make_unique<ThreadPool>(num_threads);
+  if (num_threads > 1 &&
+      log.num_executions() >= ThreadPool::kSmallInputInlineThreshold) {
+    pool = std::make_unique<ThreadPool>(num_threads);
+  }
 
   // Steps 1-2: precedence edges with counts; threshold applies here.
-  EdgeCounts counts = CollectPrecedenceEdges(log, pool.get(), prov);
+  EdgeCounts counts =
+      CollectPrecedenceEdges(log, pool.get(), prov, options_.chunk_size);
   DirectedGraph g =
       BuildPrecedenceGraph(counts, n, options_.noise_threshold, prov);
 
@@ -158,22 +168,23 @@ Result<ProcessGraph> GeneralDagMiner::Mine(const EventLog& log) const {
   // Steps 5-6: keep exactly the edges needed by at least one execution —
   // those in the transitive reduction of the execution's induced subgraph.
   PROCMINE_SPAN("general_dag.reduce");
+  const int threads = pool == nullptr ? 1 : pool->num_threads();
   std::vector<ExecutionSpan> spans = log.Shards(
-      pool == nullptr ? 1 : static_cast<size_t>(pool->num_threads()));
+      PlanChunks(log.num_executions(), threads, options_.chunk_size));
+  ReductionMemo memo;
+  ReductionMemo* shared_memo = options_.memoize_reductions ? &memo : nullptr;
   std::vector<std::unordered_set<uint64_t>> shard_marked(spans.size());
   std::vector<Status> shard_status(spans.size());
   std::vector<uint8_t> shard_aborted(spans.size(), 0);
   auto run_shard = [&](size_t s) {
     bool aborted = false;
     shard_status[s] =
-        MarkReductionEdges(log, g, spans[s], options_.memoize_reductions,
-                           options_.budget, &aborted, &shard_marked[s]);
+        MarkReductionEdges(log, g, spans[s], shared_memo, options_.budget,
+                           &aborted, &shard_marked[s]);
     shard_aborted[s] = aborted ? 1 : 0;
   };
   if (pool != nullptr && spans.size() > 1) {
-    pool->ParallelFor(spans.size(), [&](size_t, size_t begin, size_t end) {
-      for (size_t s = begin; s < end; ++s) run_shard(s);
-    });
+    pool->ParallelForChunked(spans.size(), run_shard);
   } else {
     for (size_t s = 0; s < spans.size(); ++s) run_shard(s);
   }

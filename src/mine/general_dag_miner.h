@@ -32,13 +32,21 @@ struct GeneralDagMinerOptions {
   /// Memoize the per-execution transitive reductions keyed by the induced
   /// activity set (executions repeat heavily in real logs; the reduction
   /// only depends on the set, not the order). Ablated in bench_micro.
-  /// Under num_threads > 1 each shard keeps its own memo table.
+  /// Under num_threads > 1 all workers share one striped concurrent memo
+  /// (util/striped_memo.h): a duplicate execution is a hit no matter which
+  /// worker saw it first.
   bool memoize_reductions = true;
-  /// Worker threads for the sharded per-execution passes (edge collection
+  /// Worker threads for the chunked per-execution passes (edge collection
   /// and the step 5-6 transitive reductions). 1 = sequential reference
   /// path; <= 0 = hardware concurrency. The mined graph is byte-identical
-  /// for every thread count.
+  /// for every thread count; logs below
+  /// ThreadPool::kSmallInputInlineThreshold executions skip the pool
+  /// entirely.
   int num_threads = 1;
+  /// Executions per work-stealing chunk; 0 (the default) selects 4 chunks
+  /// per thread (see PlanChunks). Any value produces the same model —
+  /// exposed for tuning and for the determinism tests' chunk-size axis.
+  size_t chunk_size = 0;
   /// Optional edge-provenance sink (see mine/provenance.h). Not owned; must
   /// outlive Mine(). Null (the default) disables recording at the cost of
   /// one branch per instrumented site.

@@ -67,6 +67,7 @@ Result<ProcessGraph> ProcessMiner::Mine(const EventLog& log) const {
       SpecialDagMinerOptions opts;
       opts.noise_threshold = options_.noise_threshold;
       opts.num_threads = options_.num_threads;
+      opts.chunk_size = options_.chunk_size;
       opts.provenance = options_.provenance;
       opts.budget = options_.budget;
       opts.degradation = options_.degradation;
@@ -76,6 +77,7 @@ Result<ProcessGraph> ProcessMiner::Mine(const EventLog& log) const {
       GeneralDagMinerOptions opts;
       opts.noise_threshold = options_.noise_threshold;
       opts.num_threads = options_.num_threads;
+      opts.chunk_size = options_.chunk_size;
       opts.provenance = options_.provenance;
       opts.budget = options_.budget;
       opts.degradation = options_.degradation;
@@ -85,6 +87,7 @@ Result<ProcessGraph> ProcessMiner::Mine(const EventLog& log) const {
       CyclicMinerOptions opts;
       opts.noise_threshold = options_.noise_threshold;
       opts.num_threads = options_.num_threads;
+      opts.chunk_size = options_.chunk_size;
       opts.provenance = options_.provenance;
       opts.budget = options_.budget;
       opts.degradation = options_.degradation;

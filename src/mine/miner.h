@@ -34,12 +34,18 @@ struct MinerOptions {
   MinerAlgorithm algorithm = MinerAlgorithm::kAuto;
   /// Section 6 noise threshold T (minimum executions per edge); 1 keeps all.
   int64_t noise_threshold = 1;
-  /// Worker threads for the sharded per-execution mining passes. 1 (the
+  /// Worker threads for the chunked per-execution mining passes. 1 (the
   /// default) runs the sequential reference path; <= 0 selects hardware
   /// concurrency. Every thread count produces a byte-identical model: the
-  /// shard merges (bitset OR, counter sum, marked-set union) are
+  /// chunk partition is a pure function of the log and these options, and
+  /// the chunk merges (bitset OR, counter sum, marked-set union) are
   /// order-independent by construction.
   int num_threads = 1;
+  /// Executions per work-stealing chunk (0 = default, 4 chunks per thread;
+  /// see PlanChunks). Any value produces the same model — a tuning knob
+  /// only: smaller chunks rebalance better against skewed executions,
+  /// larger chunks amortize per-chunk accumulators.
+  size_t chunk_size = 0;
   /// Optional edge-provenance sink forwarded to the selected algorithm (see
   /// mine/provenance.h; obs/report.h builds full run reports on top of it).
   /// Not owned; must outlive Mine(). Null (the default) disables recording.

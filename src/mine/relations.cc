@@ -11,13 +11,14 @@ namespace procmine {
 
 namespace {
 
-// Per-shard accumulator for the map phase: one n-bit row per activity for
-// co-occurrence and for "b starts after a terminates" violations. Rows from
-// different shards merge by word-wise OR, so the reduce is order-independent
-// and the result is identical for every shard count.
+// Per-chunk accumulator for the map phase: one n x n bit matrix for
+// co-occurrence and one for "b starts after a terminates" violations.
+// Matrices from different chunks merge by whole-matrix OR — a single flat
+// kernel call, order-independent — so the result is identical for every
+// thread count and chunk size.
 struct RelationShard {
-  std::vector<DynamicBitset> cooccur;
-  std::vector<DynamicBitset> violated;
+  BitMatrix cooccur;
+  BitMatrix violated;
 };
 
 void ComputeShard(const EventLog& log, ExecutionSpan span, size_t n,
@@ -26,8 +27,8 @@ void ComputeShard(const EventLog& log, ExecutionSpan span, size_t n,
   static obs::Counter* executions = obs::MetricsRegistry::Get().GetCounter(
       "relations.executions_scanned");
   executions->Add(static_cast<int64_t>(span.end - span.begin));
-  shard->cooccur.assign(n, DynamicBitset(n));
-  shard->violated.assign(n, DynamicBitset(n));
+  shard->cooccur = BitMatrix(n, n);
+  shard->violated = BitMatrix(n, n);
   // Per execution: extent (first start, last end) of each present activity.
   std::vector<int64_t> first_start(n);
   std::vector<int64_t> last_end(n);
@@ -53,10 +54,10 @@ void ComputeShard(const EventLog& log, ExecutionSpan span, size_t n,
     for (size_t a : touched) {
       for (size_t b : touched) {
         if (a == b) continue;
-        shard->cooccur[a].Set(b);
+        shard->cooccur.Set(a, b);
         // "B starts after A terminates" must hold in each co-occurrence for
         // b to (directly) follow a.
-        if (!(first_start[b] > last_end[a])) shard->violated[a].Set(b);
+        if (!(first_start[b] > last_end[a])) shard->violated.Set(a, b);
       }
     }
     for (size_t a : touched) present[a] = false;
@@ -69,21 +70,23 @@ Relations Relations::Compute(const EventLog& log) {
   return Compute(log, nullptr);
 }
 
-Relations Relations::Compute(const EventLog& log, ThreadPool* pool) {
+Relations Relations::Compute(const EventLog& log, ThreadPool* pool,
+                             size_t chunk_size) {
   PROCMINE_SPAN("relations.compute");
   const NodeId n = log.num_activities();
   const size_t un = static_cast<size_t>(n);
 
-  // Map: one accumulator per shard, filled independently.
+  // Map: one accumulator per chunk, chunks claimed by idle workers. The
+  // chunk partition is a pure function of (log, threads, chunk_size), never
+  // of runtime scheduling.
+  const int threads = pool == nullptr ? 1 : pool->num_threads();
   std::vector<ExecutionSpan> spans =
-      log.Shards(pool == nullptr ? 1 : static_cast<size_t>(pool->num_threads()));
+      log.Shards(PlanChunks(log.num_executions(), threads, chunk_size));
   if (spans.empty()) spans.push_back(ExecutionSpan{0, 0});
   std::vector<RelationShard> shards(spans.size());
   if (pool != nullptr && spans.size() > 1) {
-    pool->ParallelFor(spans.size(), [&](size_t, size_t begin, size_t end) {
-      for (size_t s = begin; s < end; ++s) {
-        ComputeShard(log, spans[s], un, &shards[s]);
-      }
+    pool->ParallelForChunked(spans.size(), [&](size_t c) {
+      ComputeShard(log, spans[c], un, &shards[c]);
     });
   } else {
     for (size_t s = 0; s < spans.size(); ++s) {
@@ -91,20 +94,21 @@ Relations Relations::Compute(const EventLog& log, ThreadPool* pool) {
     }
   }
 
-  // Reduce: OR the shard rows together, then keep = cooccur AND NOT violated.
+  // Reduce: OR the chunk matrices together (one flat kernel call per
+  // matrix), then keep = cooccur AND NOT violated.
   PROCMINE_SPAN("relations.reduce");
   Relations rel;
   rel.followings_ = DirectedGraph(n);
+  BitMatrix keep = std::move(shards[0].cooccur);
+  BitMatrix violated = std::move(shards[0].violated);
+  for (size_t s = 1; s < shards.size(); ++s) {
+    keep.OrWith(shards[s].cooccur);
+    violated.OrWith(shards[s].violated);
+  }
+  keep.AndNotWith(violated);
   for (size_t a = 0; a < un; ++a) {
-    DynamicBitset keep = std::move(shards[0].cooccur[a]);
-    DynamicBitset violated = std::move(shards[0].violated[a]);
-    for (size_t s = 1; s < shards.size(); ++s) {
-      keep.OrWith(shards[s].cooccur[a]);
-      violated.OrWith(shards[s].violated[a]);
-    }
-    keep.AndNotWith(violated);
     for (size_t b = 0; b < un; ++b) {
-      if (keep.Test(b)) {
+      if (keep.Test(a, b)) {
         rel.followings_.AddEdge(static_cast<NodeId>(a),
                                 static_cast<NodeId>(b));  // b follows a
       }

@@ -11,7 +11,7 @@
 
 #include "graph/digraph.h"
 #include "log/event_log.h"
-#include "util/bitset.h"
+#include "util/bit_matrix.h"
 
 namespace procmine {
 
@@ -28,16 +28,19 @@ class Relations {
   /// transitive closure.
   static Relations Compute(const EventLog& log);
 
-  /// Sharded variant: executions are split into per-thread shards whose
-  /// co-occurrence/violation bitset rows merge by word-wise OR, so the
-  /// result is byte-identical to the sequential path for any shard count.
-  /// `pool` may be null (sequential).
-  static Relations Compute(const EventLog& log, ThreadPool* pool);
+  /// Parallel variant: executions are split into work-stealing chunks whose
+  /// co-occurrence/violation bit matrices merge by whole-matrix OR. The
+  /// chunk partition depends only on (log, thread count, chunk_size), so
+  /// the result is byte-identical to the sequential path for any thread
+  /// count. `pool` may be null (sequential); `chunk_size` is the per-chunk
+  /// execution count (0 = default, see PlanChunks).
+  static Relations Compute(const EventLog& log, ThreadPool* pool,
+                           size_t chunk_size = 0);
 
   /// Definition 3: B follows A (directly or through intermediaries).
   bool Follows(ActivityId b, ActivityId a) const {
-    return follows_closure_[static_cast<size_t>(a)].Test(
-        static_cast<size_t>(b));
+    return follows_closure_.Test(static_cast<size_t>(a),
+                                 static_cast<size_t>(b));
   }
 
   /// Definition 4: B depends on A iff B follows A but A does not follow B.
@@ -54,6 +57,11 @@ class Relations {
   /// (before taking the transitive closure).
   const DirectedGraph& followings_graph() const { return followings_; }
 
+  /// Transitive closure of the followings graph: row a holds every b that
+  /// follows a. Exposed so the conformance checker can reuse it instead of
+  /// recomputing a reachability matrix of its own.
+  const BitMatrix& follows_closure() const { return follows_closure_; }
+
   NodeId num_activities() const { return followings_.num_nodes(); }
 
   /// All dependent pairs (a, b) with b depending on a, sorted.
@@ -61,7 +69,7 @@ class Relations {
 
  private:
   DirectedGraph followings_;
-  std::vector<DynamicBitset> follows_closure_;
+  BitMatrix follows_closure_;
 };
 
 }  // namespace procmine

@@ -48,11 +48,17 @@ Result<ProcessGraph> SpecialDagMiner::Mine(const EventLog& log) const {
     return ProcessGraph(DirectedGraph(n), log.dictionary().names());
   }
 
-  // Steps 1-2: one pass over the log, collecting precedence edges.
+  // Steps 1-2: one pass over the log, collecting precedence edges. Tiny
+  // logs skip the pool: the inline path is byte-identical and cheaper than
+  // the pool's wake/sleep traffic.
   const int num_threads = ResolveThreadCount(options_.num_threads);
   std::unique_ptr<ThreadPool> pool;
-  if (num_threads > 1) pool = std::make_unique<ThreadPool>(num_threads);
-  EdgeCounts counts = CollectPrecedenceEdges(log, pool.get(), prov);
+  if (num_threads > 1 &&
+      log.num_executions() >= ThreadPool::kSmallInputInlineThreshold) {
+    pool = std::make_unique<ThreadPool>(num_threads);
+  }
+  EdgeCounts counts =
+      CollectPrecedenceEdges(log, pool.get(), prov, options_.chunk_size);
   DirectedGraph g =
       BuildPrecedenceGraph(counts, n, options_.noise_threshold, prov);
 

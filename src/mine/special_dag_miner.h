@@ -30,10 +30,14 @@ struct SpecialDagMinerOptions {
   /// execution does not contain every activity exactly once — the algorithm
   /// is only correct under that assumption (use GeneralDagMiner otherwise).
   bool enforce_exactly_once = true;
-  /// Worker threads for the sharded edge-collection pass. 1 = sequential
+  /// Worker threads for the chunked edge-collection pass. 1 = sequential
   /// reference path; <= 0 = hardware concurrency. The mined graph is
-  /// byte-identical for every thread count.
+  /// byte-identical for every thread count; logs below
+  /// ThreadPool::kSmallInputInlineThreshold executions skip the pool.
   int num_threads = 1;
+  /// Executions per work-stealing chunk; 0 = default (see PlanChunks). Any
+  /// value produces the same model.
+  size_t chunk_size = 0;
   /// Optional edge-provenance sink (see mine/provenance.h). Not owned; must
   /// outlive Mine(). Null (the default) disables recording at the cost of
   /// one branch per instrumented site.

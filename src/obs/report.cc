@@ -1,12 +1,15 @@
 #include "obs/report.h"
 
 #include <algorithm>
+#include <memory>
 #include <set>
 
 #include "graph/dot.h"
 #include "mine/noise.h"
+#include "mine/relations.h"
 #include "obs/trace.h"
 #include "util/strings.h"
+#include "util/thread_pool.h"
 
 namespace procmine::obs {
 
@@ -100,6 +103,7 @@ Result<RunReport> BuildRunReport(const EventLog& log,
   miner_options.algorithm = algorithm;
   miner_options.noise_threshold = options.noise_threshold;
   miner_options.num_threads = options.num_threads;
+  miner_options.chunk_size = options.chunk_size;
   miner_options.provenance = &recorder;
   miner_options.budget = options.budget;
   miner_options.degradation = &report.degradation;
@@ -125,7 +129,20 @@ Result<RunReport> BuildRunReport(const EventLog& log,
                  "absent")) {
     PROCMINE_SPAN("report.conformance");
     ConformanceChecker checker(&report.model);
-    report.conformance = checker.CheckLog(log, /*record_verdicts=*/true);
+    // Compute the log relations once here — sharded across the same worker
+    // budget the miner used — and hand them to the checker instead of letting
+    // CheckLog rebuild them on one thread. The verdicts are identical either
+    // way; Relations::Compute is thread-count invariant.
+    const int audit_threads = ResolveThreadCount(options.num_threads);
+    std::unique_ptr<ThreadPool> audit_pool;
+    if (audit_threads > 1 &&
+        log.num_executions() >= ThreadPool::kSmallInputInlineThreshold) {
+      audit_pool = std::make_unique<ThreadPool>(audit_threads);
+    }
+    Relations relations =
+        Relations::Compute(log, audit_pool.get(), options.chunk_size);
+    report.conformance =
+        checker.CheckLog(log, /*record_verdicts=*/true, &relations);
   }
 
   if (!BudgetCut(options.budget, &report.degradation, "report.sensitivity",

@@ -57,6 +57,9 @@ struct RunReportOptions {
   MinerAlgorithm algorithm = MinerAlgorithm::kAuto;
   int64_t noise_threshold = 1;  ///< the T actually mined with
   int num_threads = 1;
+  /// Executions per work-stealing chunk (0 = default; see PlanChunks).
+  /// Forwarded to MinerOptions::chunk_size; any value yields the same model.
+  size_t chunk_size = 0;
   /// Error-bound level above which a sweep row is flagged unstable.
   double unstable_cutoff = 0.05;
   /// Thresholds to sweep. Empty (default) picks >= 5 distinct values

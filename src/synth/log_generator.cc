@@ -3,7 +3,7 @@
 #include <algorithm>
 
 #include "graph/algorithms.h"
-#include "util/bitset.h"
+#include "util/bit_matrix.h"
 #include "util/random.h"
 #include "util/strings.h"
 
@@ -31,7 +31,7 @@ void SeedDictionary(const ProcessGraph& graph, EventLog* log) {
 /// contains correct executions of the business process". The ban closes
 /// that hole so generated logs are always dependency-consistent.
 bool WalkOnce(const DirectedGraph& g, NodeId source, NodeId sink,
-              const std::vector<DynamicBitset>& reach, Rng* rng,
+              const BitMatrix& reach, Rng* rng,
               std::vector<NodeId>* sequence) {
   sequence->clear();
   std::vector<bool> executed(static_cast<size_t>(g.num_nodes()), false);
@@ -45,7 +45,7 @@ bool WalkOnce(const DirectedGraph& g, NodeId source, NodeId sink,
     // Drop every listed B with a (B, A) dependency — i.e. B reaches A —
     // and ban every unexecuted ancestor of A from ever entering the list.
     std::erase_if(ready, [&](NodeId b) {
-      if (reach[static_cast<size_t>(b)].Test(static_cast<size_t>(a))) {
+      if (reach.Test(static_cast<size_t>(b), static_cast<size_t>(a))) {
         listed[static_cast<size_t>(b)] = false;
         return true;
       }
@@ -53,7 +53,7 @@ bool WalkOnce(const DirectedGraph& g, NodeId source, NodeId sink,
     });
     for (NodeId b = 0; b < g.num_nodes(); ++b) {
       if (!executed[static_cast<size_t>(b)] &&
-          reach[static_cast<size_t>(b)].Test(static_cast<size_t>(a))) {
+          reach.Test(static_cast<size_t>(b), static_cast<size_t>(a))) {
         banned[static_cast<size_t>(b)] = true;
       }
     }
@@ -86,7 +86,7 @@ Result<EventLog> GenerateWalkLog(const ProcessGraph& graph,
   PROCMINE_RETURN_NOT_OK(graph.Validate(/*require_acyclic=*/true));
   PROCMINE_ASSIGN_OR_RETURN(NodeId source, graph.Source());
   PROCMINE_ASSIGN_OR_RETURN(NodeId sink, graph.Sink());
-  std::vector<DynamicBitset> reach = ReachabilityMatrix(graph.graph());
+  BitMatrix reach = ReachabilityMatrix(graph.graph());
 
   EventLog log;
   SeedDictionary(graph, &log);

@@ -1,0 +1,73 @@
+#include "util/arena.h"
+
+#include <algorithm>
+#include <new>
+
+#include "util/logging.h"
+
+namespace procmine {
+
+namespace {
+
+uint64_t* AllocateAligned(size_t bytes) {
+  return static_cast<uint64_t*>(
+      ::operator new(bytes, std::align_val_t{Arena::kBlockAlignment}));
+}
+
+void FreeAligned(uint64_t* p) {
+  ::operator delete(p, std::align_val_t{Arena::kBlockAlignment});
+}
+
+}  // namespace
+
+Arena::Arena(size_t min_block_bytes)
+    : min_block_bytes_(std::max<size_t>(min_block_bytes, kBlockAlignment)) {}
+
+Arena::~Arena() {
+  for (Block& b : blocks_) FreeAligned(b.data);
+}
+
+void* Arena::Allocate(size_t bytes, size_t align) {
+  PROCMINE_DCHECK(align != 0 && (align & (align - 1)) == 0);
+  PROCMINE_DCHECK(align <= kBlockAlignment);
+  if (bytes == 0) bytes = 1;  // distinct non-null pointers, like malloc
+  size_t aligned_offset = (offset_ + align - 1) & ~(align - 1);
+  if (blocks_.empty() || current_ >= blocks_.size() ||
+      aligned_offset + bytes > blocks_[current_].capacity) {
+    NextBlock(bytes);
+    aligned_offset = 0;  // block starts are kBlockAlignment-aligned
+  }
+  uint64_t* base = blocks_[current_].data;
+  offset_ = aligned_offset + bytes;
+  bytes_in_use_ += bytes;
+  return reinterpret_cast<char*>(base) + aligned_offset;
+}
+
+void Arena::NextBlock(size_t bytes) {
+  // Reuse a retained block if the next one fits; Reset() made them all free.
+  size_t next = blocks_.empty() ? 0 : current_ + 1;
+  if (next < blocks_.size() && bytes <= blocks_[next].capacity) {
+    current_ = next;
+    offset_ = 0;
+    return;
+  }
+  // Double the last capacity so long runs settle into O(log) blocks, but
+  // never allocate less than the request or the configured minimum.
+  size_t capacity = min_block_bytes_;
+  if (!blocks_.empty()) capacity = blocks_.back().capacity * 2;
+  capacity = std::max(capacity, bytes);
+  // Round to the alignment so capacity math stays line-granular.
+  capacity = (capacity + kBlockAlignment - 1) & ~(kBlockAlignment - 1);
+  blocks_.push_back(Block{AllocateAligned(capacity), capacity});
+  bytes_reserved_ += capacity;
+  current_ = blocks_.size() - 1;
+  offset_ = 0;
+}
+
+void Arena::Reset() {
+  current_ = 0;
+  offset_ = 0;
+  bytes_in_use_ = 0;
+}
+
+}  // namespace procmine

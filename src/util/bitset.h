@@ -7,6 +7,7 @@
 #ifndef PROCMINE_UTIL_BITSET_H_
 #define PROCMINE_UTIL_BITSET_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <vector>
 
@@ -39,10 +40,22 @@ class DynamicBitset {
     return (words_[i >> 6] >> (i & 63)) & 1;
   }
 
-  /// Sets all bits to zero.
-  void Clear() {
-    for (auto& w : words_) w = 0;
+  /// Sets all bits to zero. std::fill compiles to one memset, not the
+  /// element loop the seed used.
+  void Clear() { std::fill(words_.begin(), words_.end(), uint64_t{0}); }
+
+  /// True iff any bit is set. Early-exits on the first nonzero word — hot
+  /// paths use this instead of `Count() != 0`, which always scans every
+  /// word and popcounts it.
+  bool Any() const {
+    for (uint64_t w : words_) {
+      if (w != 0) return true;
+    }
+    return false;
   }
+
+  /// True iff no bit is set.
+  bool None() const { return !Any(); }
 
   /// this |= other. Sizes must match.
   void OrWith(const DynamicBitset& other) {

@@ -1,0 +1,93 @@
+// StripedMemo: a striped concurrent memo table shared across worker threads.
+//
+// The general-DAG miner memoizes per-execution transitive reductions keyed
+// by the execution's activity set. The seed kept one memo per shard and
+// merged nothing: a duplicate execution landing in two shards was a miss in
+// both. This table is shared by all workers — N independently locked
+// stripes, selected by key hash, so threads working on different keys
+// almost never touch the same stripe, and lookups in a stripe proceed
+// concurrently under a shared lock.
+//
+// Correctness contract: the cached Value must be a PURE function of the Key
+// (first writer wins; a racing second computation is discarded), and values
+// are never erased, so the returned pointers stay valid for the table's
+// lifetime (std::unordered_map never moves nodes on rehash).
+//
+// With that contract, sharing the memo cannot perturb results — every
+// thread either computes the value or reads an identical cached one — so
+// the byte-identical-for-any-thread-count guarantee is preserved. Hit/miss
+// *counts* do become schedule-dependent at >1 thread, which is why
+// obs/report.cc excludes them from the embedded metrics snapshot.
+
+#ifndef PROCMINE_UTIL_STRIPED_MEMO_H_
+#define PROCMINE_UTIL_STRIPED_MEMO_H_
+
+#include <cstddef>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <unordered_map>
+#include <utility>
+
+namespace procmine {
+
+template <typename Key, typename Value, typename Hash = std::hash<Key>>
+class StripedMemo {
+ public:
+  /// `num_stripes` is rounded up to a power of two. 16 stripes keep the
+  /// false-sharing odds negligible for the pool sizes this repo runs.
+  explicit StripedMemo(size_t num_stripes = 16) {
+    size_t n = 1;
+    while (n < num_stripes) n <<= 1;
+    stripes_ = std::make_unique<Stripe[]>(n);
+    mask_ = n - 1;
+  }
+
+  StripedMemo(const StripedMemo&) = delete;
+  StripedMemo& operator=(const StripedMemo&) = delete;
+
+  /// Returns the cached value for `key`, or nullptr. The pointer remains
+  /// valid until the memo is destroyed.
+  const Value* Find(const Key& key) const {
+    const Stripe& s = StripeFor(key);
+    std::shared_lock<std::shared_mutex> lock(s.mu);
+    auto it = s.map.find(key);
+    return it == s.map.end() ? nullptr : &it->second;
+  }
+
+  /// Inserts (key, value) if absent. Returns the stored value — the caller's
+  /// on a win, the first writer's if another thread got there first.
+  const Value* Insert(Key key, Value value) {
+    Stripe& s = StripeFor(key);
+    std::unique_lock<std::shared_mutex> lock(s.mu);
+    auto [it, inserted] = s.map.try_emplace(std::move(key), std::move(value));
+    return &it->second;
+  }
+
+  /// Total entries across stripes (approximate under concurrent inserts).
+  size_t size() const {
+    size_t total = 0;
+    for (size_t i = 0; i <= mask_; ++i) {
+      std::shared_lock<std::shared_mutex> lock(stripes_[i].mu);
+      total += stripes_[i].map.size();
+    }
+    return total;
+  }
+
+ private:
+  struct alignas(64) Stripe {  // one cache line per lock: no false sharing
+    mutable std::shared_mutex mu;
+    std::unordered_map<Key, Value, Hash> map;
+  };
+
+  Stripe& StripeFor(const Key& key) const {
+    return stripes_[Hash{}(key)&mask_];
+  }
+
+  std::unique_ptr<Stripe[]> stripes_;
+  size_t mask_ = 0;
+};
+
+}  // namespace procmine
+
+#endif  // PROCMINE_UTIL_STRIPED_MEMO_H_

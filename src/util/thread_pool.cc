@@ -1,6 +1,7 @@
 #include "util/thread_pool.h"
 
 #include <algorithm>
+#include <atomic>
 #include <exception>
 
 #include "util/logging.h"
@@ -14,6 +15,18 @@ int ThreadPool::HardwareConcurrency() {
 
 int ResolveThreadCount(int requested) {
   return requested <= 0 ? ThreadPool::HardwareConcurrency() : requested;
+}
+
+size_t PlanChunks(size_t total, int threads, size_t chunk_size) {
+  if (total == 0) return 1;
+  size_t workers = static_cast<size_t>(std::max(1, threads));
+  size_t per_chunk = chunk_size;
+  if (per_chunk == 0) {
+    // Default: 4 chunks per worker. ceil so tiny inputs round to one chunk.
+    per_chunk = (total + workers * 4 - 1) / (workers * 4);
+  }
+  per_chunk = std::max<size_t>(1, per_chunk);
+  return std::min(total, (total + per_chunk - 1) / per_chunk);
 }
 
 ThreadPool::ThreadPool(int num_threads)
@@ -109,6 +122,68 @@ void ThreadPool::ParallelFor(size_t total, const ShardFn& fn) {
   }
   // The caller works shard 0 instead of idling.
   run_shard(0, 0, bound(1));
+
+  std::unique_lock<std::mutex> lock(state.mu);
+  state.done.wait(lock, [&state] { return state.pending == 0; });
+  if (state.error) std::rethrow_exception(state.error);
+}
+
+void ThreadPool::ParallelForChunked(size_t num_chunks, const ChunkFn& fn) {
+  if (num_chunks == 0) return;
+  // Tiny inputs or a size-1 pool: run inline. Same chunk visit order as the
+  // sequential reference, so this branch is trivially byte-identical.
+  if (num_threads_ <= 1 || num_chunks <= 1) {
+    for (size_t c = 0; c < num_chunks; ++c) fn(c);
+    return;
+  }
+
+  // All shared state lives on this frame; the final wait guarantees no
+  // worker touches it after ParallelForChunked returns.
+  struct Completion {
+    std::atomic<size_t> next_chunk{0};  // the work-stealing counter
+    std::mutex mu;
+    std::condition_variable done;
+    size_t pending = 0;
+    size_t error_chunk = 0;
+    std::exception_ptr error;
+  } state;
+
+  // Each participant drains chunks until the counter runs out. A worker
+  // that hits an exception stops claiming chunks but the others drain the
+  // remainder, so `pending` always reaches zero.
+  auto drain = [&fn, &state, num_chunks] {
+    std::exception_ptr error;
+    size_t error_chunk = 0;
+    for (;;) {
+      size_t c = state.next_chunk.fetch_add(1, std::memory_order_relaxed);
+      if (c >= num_chunks) break;
+      try {
+        fn(c);
+      } catch (...) {
+        error = std::current_exception();
+        error_chunk = c;
+        break;
+      }
+    }
+    std::lock_guard<std::mutex> lock(state.mu);
+    if (error && (!state.error || error_chunk < state.error_chunk)) {
+      state.error = error;
+      state.error_chunk = error_chunk;
+    }
+    if (--state.pending == 0) state.done.notify_one();
+  };
+
+  // No point waking more workers than there are chunks.
+  size_t participants =
+      std::min(static_cast<size_t>(num_threads_), num_chunks);
+  {
+    std::lock_guard<std::mutex> lock(state.mu);
+    state.pending = participants;
+  }
+  for (size_t i = 1; i < participants; ++i) {
+    Submit([&drain] { drain(); });
+  }
+  drain();  // the caller steals chunks too instead of idling
 
   std::unique_lock<std::mutex> lock(state.mu);
   state.done.wait(lock, [&state] { return state.pending == 0; });

@@ -10,6 +10,14 @@
 //  * ParallelFor splits [0, total) into num_threads() contiguous shards and
 //    hands each shard to fn(shard, begin, end). The calling thread executes
 //    the first shard itself.
+//  * ParallelForChunked is the work-stealing mode: the caller supplies a
+//    chunk count (usually several per thread, see PlanChunks) and idle
+//    workers claim the next chunk off a shared atomic counter, so an
+//    unlucky expensive chunk no longer strands the rest of the pool behind
+//    one fixed shard. Determinism is preserved by construction: the chunk
+//    boundaries are a pure function of (total, num_chunks) and callers
+//    keep one result slot per chunk, merged in chunk-index order — which
+//    worker ran a chunk never reaches the output.
 //  * Exceptions thrown by any shard are captured and the first one (by shard
 //    index) is rethrown on the calling thread after all shards finished, so
 //    a throwing shard can never leak a detached worker.
@@ -50,6 +58,20 @@ class ThreadPool {
   /// exception if any shard threw. Empty shards are not invoked.
   void ParallelFor(size_t total, const ShardFn& fn);
 
+  /// Work-stealing variant: runs fn(chunk) exactly once for every chunk in
+  /// [0, num_chunks), chunks claimed dynamically by idle workers (and the
+  /// calling thread) off an atomic counter. Blocks until all chunks
+  /// finished; rethrows the lowest-chunk-index exception if any threw.
+  /// Which worker runs a chunk is unspecified — callers must keep
+  /// per-chunk result slots and merge them in chunk order.
+  using ChunkFn = std::function<void(size_t chunk)>;
+  void ParallelForChunked(size_t num_chunks, const ChunkFn& fn);
+
+  /// Below this many items a parallel pass costs more in pool traffic than
+  /// it saves; miners skip pool construction entirely for such logs and run
+  /// the inline sequential path (which is byte-identical anyway).
+  static constexpr size_t kSmallInputInlineThreshold = 32;
+
  private:
   struct Task {
     std::function<void()> body;
@@ -71,6 +93,15 @@ class ThreadPool {
 /// `requested <= 0` selects hardware concurrency, anything else is taken
 /// as-is (values above the hardware count are allowed; useful for tests).
 int ResolveThreadCount(int requested);
+
+/// Number of chunks for a work-stealing pass over `total` items.
+/// `chunk_size` is the per-chunk item count knob: 0 selects the default of
+/// 4 chunks per thread (enough slack for stealing to rebalance, few enough
+/// that per-chunk accumulators stay cheap to merge); any other value is
+/// honored as-is. The result is always in [1, total] (1 when total == 0) —
+/// and, crucially, independent of which threads exist, so the chunk
+/// partition that reaches the merge step is deterministic.
+size_t PlanChunks(size_t total, int threads, size_t chunk_size);
 
 }  // namespace procmine
 

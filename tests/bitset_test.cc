@@ -85,6 +85,21 @@ TEST(DynamicBitsetTest, AndNotWith) {
   EXPECT_EQ(b.Count(), 2u);
 }
 
+TEST(DynamicBitsetTest, AnyAndNone) {
+  DynamicBitset b(200);
+  EXPECT_FALSE(b.Any());
+  EXPECT_TRUE(b.None());
+  b.Set(199);  // last bit of the tail word
+  EXPECT_TRUE(b.Any());
+  EXPECT_FALSE(b.None());
+  b.Reset(199);
+  EXPECT_FALSE(b.Any());
+  EXPECT_TRUE(b.None());
+  DynamicBitset empty(0);
+  EXPECT_FALSE(empty.Any());
+  EXPECT_TRUE(empty.None());
+}
+
 TEST(DynamicBitsetTest, Intersects) {
   DynamicBitset a(128), b(128);
   a.Set(100);

@@ -63,7 +63,7 @@ TEST(EngineAgentsTest, StartTimesAreDistinct) {
 TEST(EngineAgentsTest, CausalityRespected) {
   // No activity may start before a predecessor (by graph path) ended.
   ProcessDefinition def = WideDef();
-  std::vector<DynamicBitset> reach = ReachabilityMatrix(def.graph());
+  BitMatrix reach = ReachabilityMatrix(def.graph());
   Engine engine(&def, AgentOptions(4, 1, 10));
   for (uint64_t seed = 0; seed < 30; ++seed) {
     Rng rng(seed);

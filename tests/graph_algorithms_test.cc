@@ -77,7 +77,7 @@ TEST(SccTest, ComponentsNumberedInReverseTopologicalOrder) {
 }
 
 TEST(ReachabilityTest, DiamondReachability) {
-  std::vector<DynamicBitset> reach = ReachabilityMatrix(Diamond());
+  BitMatrix reach = ReachabilityMatrix(Diamond());
   EXPECT_TRUE(reach[0].Test(1));
   EXPECT_TRUE(reach[0].Test(2));
   EXPECT_TRUE(reach[0].Test(3));
@@ -89,7 +89,7 @@ TEST(ReachabilityTest, DiamondReachability) {
 
 TEST(ReachabilityTest, CycleMembersReachThemselves) {
   DirectedGraph g = DirectedGraph::FromEdges(3, {{0, 1}, {1, 0}, {1, 2}});
-  std::vector<DynamicBitset> reach = ReachabilityMatrix(g);
+  BitMatrix reach = ReachabilityMatrix(g);
   EXPECT_TRUE(reach[0].Test(0));
   EXPECT_TRUE(reach[1].Test(1));
   EXPECT_FALSE(reach[2].Test(2));
@@ -100,7 +100,7 @@ TEST(ReachabilityTest, CycleMembersReachThemselves) {
 TEST(ReachabilityTest, SelfLoop) {
   DirectedGraph g(2);
   g.AddEdge(0, 0);
-  std::vector<DynamicBitset> reach = ReachabilityMatrix(g);
+  BitMatrix reach = ReachabilityMatrix(g);
   EXPECT_TRUE(reach[0].Test(0));
   EXPECT_FALSE(reach[1].Test(1));
 }
@@ -115,7 +115,7 @@ TEST(ReachabilityTest, MatchesNaiveOnRandomGraphs) {
         if (i != j && rng.Bernoulli(0.15)) g.AddEdge(i, j);
       }
     }
-    std::vector<DynamicBitset> reach = ReachabilityMatrix(g);
+    BitMatrix reach = ReachabilityMatrix(g);
     for (NodeId u = 0; u < n; ++u) {
       for (NodeId v = 0; v < n; ++v) {
         EXPECT_EQ(reach[static_cast<size_t>(u)].Test(static_cast<size_t>(v)),

@@ -118,7 +118,7 @@ TEST(LinearExtensionLogTest, RespectsAllDependencies) {
   ProcessGraph g = GenerateRandomDag(dag_options);
   auto log = GenerateLinearExtensionLog(g, 50, 9);
   ASSERT_TRUE(log.ok());
-  std::vector<DynamicBitset> reach = ReachabilityMatrix(g.graph());
+  BitMatrix reach = ReachabilityMatrix(g.graph());
   for (const Execution& exec : log->executions()) {
     std::vector<ActivityId> seq = exec.Sequence();
     for (size_t i = 0; i < seq.size(); ++i) {

@@ -51,10 +51,11 @@ EventLog RandomCyclicLog(uint64_t seed) {
 }
 
 ProcessGraph MineOrDie(const EventLog& log, MinerAlgorithm algorithm,
-                       int threads) {
+                       int threads, size_t chunk_size = 0) {
   MinerOptions options;
   options.algorithm = algorithm;
   options.num_threads = threads;
+  options.chunk_size = chunk_size;
   auto mined = ProcessMiner(options).Mine(log);
   EXPECT_TRUE(mined.ok()) << mined.status().ToString();
   return mined.MoveValueOrDie();
@@ -153,6 +154,71 @@ TEST(ParallelDeterminismTest, RelationsMatchSequential) {
           << "followings differ at threads=" << threads;
       EXPECT_EQ(parallel.AllDependencies(), reference.AllDependencies())
           << "dependencies differ at threads=" << threads;
+    }
+  }
+}
+
+// The work-stealing granularity knob must be invisible in the output: for
+// every miner, threads x chunk-size combinations (including chunk sizes that
+// give one chunk per execution, ragged tails, and a single giant chunk) all
+// yield the reference model.
+TEST(ParallelDeterminismTest, ChunkSizeNeverChangesTheModel) {
+  const size_t kChunkAxis[] = {1, 3, 16, 1000};
+  auto sweep = [&](const EventLog& log, MinerAlgorithm algorithm,
+                   const std::string& label) {
+    ProcessGraph reference = MineOrDie(log, algorithm, /*threads=*/1);
+    for (int threads : {1, 2, 8}) {
+      for (size_t chunk : kChunkAxis) {
+        ProcessGraph parallel = MineOrDie(log, algorithm, threads, chunk);
+        EXPECT_EQ(parallel.graph().Edges(), reference.graph().Edges())
+            << label << " threads=" << threads << " chunk=" << chunk;
+      }
+    }
+  };
+  for (uint64_t seed : {uint64_t{1}, uint64_t{42}}) {
+    ProcessGraph truth = TruthDag(seed);
+    auto linear = GenerateLinearExtensionLog(truth, /*num_executions=*/90,
+                                             seed * 13 + 1);
+    ASSERT_TRUE(linear.ok()) << linear.status().ToString();
+    sweep(*linear, MinerAlgorithm::kSpecialDag,
+          "special seed=" + std::to_string(seed));
+    WalkLogOptions options;
+    options.num_executions = 90;
+    options.seed = seed * 13 + 1;
+    auto walk = GenerateWalkLog(truth, options);
+    ASSERT_TRUE(walk.ok()) << walk.status().ToString();
+    sweep(*walk, MinerAlgorithm::kGeneralDag,
+          "general seed=" + std::to_string(seed));
+  }
+  // The cyclic miner rides on the general machinery; one seed suffices.
+  EventLog cyclic = RandomCyclicLog(3);
+  ProcessGraph reference = MineOrDie(cyclic, MinerAlgorithm::kCyclic, 1);
+  for (int threads : {2, 8}) {
+    for (size_t chunk : kChunkAxis) {
+      ProcessGraph parallel =
+          MineOrDie(cyclic, MinerAlgorithm::kCyclic, threads, chunk);
+      EXPECT_EQ(parallel.graph().Edges(), reference.graph().Edges())
+          << "cyclic threads=" << threads << " chunk=" << chunk;
+    }
+  }
+}
+
+// PlanChunks: the partition arithmetic behind the knob.
+TEST(ParallelDeterminismTest, PlanChunksBounds) {
+  EXPECT_EQ(PlanChunks(0, 4, 0), 1u);
+  EXPECT_EQ(PlanChunks(100, 1, 0), 4u);   // default: ~4 chunks per thread
+  EXPECT_EQ(PlanChunks(100, 4, 0), 15u);  // ceil(100 / ceil(100/16))
+  EXPECT_EQ(PlanChunks(10, 4, 0), 10u);   // never more chunks than items
+  EXPECT_EQ(PlanChunks(100, 4, 7), 15u);  // ceil(100 / 7)
+  EXPECT_EQ(PlanChunks(100, 4, 1000), 1u);
+  EXPECT_EQ(PlanChunks(100, 4, 1), 100u);
+  for (size_t total : {1u, 5u, 64u, 1000u}) {
+    for (int threads : {1, 2, 8}) {
+      for (size_t chunk : {0u, 1u, 3u, 50u}) {
+        size_t chunks = PlanChunks(total, threads, chunk);
+        EXPECT_GE(chunks, 1u);
+        EXPECT_LE(chunks, total);
+      }
     }
   }
 }

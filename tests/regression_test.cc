@@ -29,7 +29,7 @@ TEST(RegressionTest, WalkerNeverViolatesTruthDependencies) {
     ProcessGraph truth = GenerateRandomDag(dag_options);
     auto log = GenerateWalkLog(truth, {.num_executions = 60, .seed = seed});
     ASSERT_TRUE(log.ok());
-    std::vector<DynamicBitset> reach = ReachabilityMatrix(truth.graph());
+    BitMatrix reach = ReachabilityMatrix(truth.graph());
     for (const Execution& exec : log->executions()) {
       std::vector<ActivityId> seq = exec.Sequence();
       for (size_t i = 0; i < seq.size(); ++i) {

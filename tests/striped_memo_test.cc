@@ -1,0 +1,103 @@
+// StripedMemo contract: first-writer-wins inserts, pointer stability across
+// growth, and data-race freedom under concurrent mixed Find/Insert traffic
+// (the TSan suite runs this file too).
+
+#include <cstddef>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/striped_memo.h"
+
+namespace procmine {
+namespace {
+
+TEST(StripedMemoTest, FindMissThenHit) {
+  StripedMemo<int, std::string> memo;
+  EXPECT_EQ(memo.Find(1), nullptr);
+  const std::string* stored = memo.Insert(1, "one");
+  ASSERT_NE(stored, nullptr);
+  EXPECT_EQ(*stored, "one");
+  const std::string* found = memo.Find(1);
+  ASSERT_NE(found, nullptr);
+  EXPECT_EQ(*found, "one");
+  EXPECT_EQ(memo.size(), 1u);
+}
+
+TEST(StripedMemoTest, FirstWriterWins) {
+  StripedMemo<int, std::string> memo;
+  memo.Insert(7, "first");
+  const std::string* second = memo.Insert(7, "second");
+  EXPECT_EQ(*second, "first");  // the losing value is discarded
+  EXPECT_EQ(*memo.Find(7), "first");
+  EXPECT_EQ(memo.size(), 1u);
+}
+
+TEST(StripedMemoTest, PointersSurviveGrowth) {
+  StripedMemo<int, int> memo(4);
+  const int* first = memo.Insert(0, 100);
+  // Thousands of inserts force many rehashes in every stripe; the node-based
+  // map must keep the early pointer valid throughout.
+  for (int k = 1; k < 5000; ++k) memo.Insert(k, k + 100);
+  EXPECT_EQ(*first, 100);
+  EXPECT_EQ(memo.size(), 5000u);
+  for (int k = 0; k < 5000; k += 371) {
+    const int* v = memo.Find(k);
+    ASSERT_NE(v, nullptr);
+    EXPECT_EQ(*v, k + 100);
+  }
+}
+
+TEST(StripedMemoTest, VectorKeysAndValues) {
+  // The shape the general-DAG miner uses: activity-set key, edge-list value.
+  struct VecHash {
+    size_t operator()(const std::vector<int>& v) const {
+      size_t h = 1469598103934665603ull;
+      for (int x : v) h = (h ^ static_cast<size_t>(x)) * 1099511628211ull;
+      return h;
+    }
+  };
+  StripedMemo<std::vector<int>, std::vector<int>, VecHash> memo;
+  memo.Insert({1, 2, 3}, {42});
+  const std::vector<int>* v = memo.Find({1, 2, 3});
+  ASSERT_NE(v, nullptr);
+  EXPECT_EQ(*v, std::vector<int>({42}));
+  EXPECT_EQ(memo.Find({1, 2}), nullptr);
+}
+
+TEST(StripedMemoTest, ConcurrentInsertsAgreeOnOneValue) {
+  // All threads race to insert every key with a thread-specific value. For
+  // each key exactly one value must win, and every reader must observe that
+  // same value forever after.
+  StripedMemo<int, int> memo;
+  const int kKeys = 512;
+  const int kThreads = 8;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&memo, t] {
+      for (int k = 0; k < kKeys; ++k) {
+        const int* hit = memo.Find(k);
+        if (hit != nullptr) {
+          // A visible value never changes.
+          EXPECT_EQ(*hit, *memo.Find(k));
+          continue;
+        }
+        memo.Insert(k, t * kKeys + k);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  EXPECT_EQ(memo.size(), static_cast<size_t>(kKeys));
+  for (int k = 0; k < kKeys; ++k) {
+    const int* v = memo.Find(k);
+    ASSERT_NE(v, nullptr);
+    EXPECT_EQ(*v % kKeys, k);  // some thread's value for exactly this key
+  }
+}
+
+}  // namespace
+}  // namespace procmine

@@ -2,7 +2,7 @@
 //
 //   procmine mine <log> [--algorithm=auto|special|general|cyclic]
 //                       [--threshold=N|auto] [--threads=N|auto]
-//                       [--dot=FILE] [--conditions]
+//                       [--chunk-size=N] [--dot=FILE] [--conditions]
 //   procmine check <log> --model=EDGEFILE      conformance of a model
 //   procmine diff <log> --model=EDGEFILE       designed-vs-mined diff
 //   procmine stats <log>                       log statistics + validation
@@ -39,8 +39,11 @@
 // Log files are read by extension: .bin (binary format), .xes (XES XML),
 // anything else as the text event format. Text logs are memory-mapped and
 // parsed in parallel; --threads controls both ingestion sharding and the
-// miners, and the result is byte-identical for every value. Model edge
-// files are plain text, one "From To" pair per line, '#' comments allowed.
+// miners, and the result is byte-identical for every value. --chunk-size
+// sets the executions-per-chunk granularity of the work-stealing mining
+// passes (0/absent = 4 chunks per worker) — a tuning knob only, the model
+// is identical for every value. Model edge files are plain text, one
+// "From To" pair per line, '#' comments allowed.
 
 #include <cstdio>
 #include <fstream>
@@ -302,6 +305,15 @@ Result<MinerOptions> MinerOptionsFromArgs(const Args& args,
     PROCMINE_ASSIGN_OR_RETURN(int64_t parsed, ParseInt64(threads));
     options.num_threads = static_cast<int>(parsed);
   }
+  // Work-stealing granularity knob; any value yields the same model.
+  if (args.Has("chunk-size")) {
+    PROCMINE_ASSIGN_OR_RETURN(int64_t chunk,
+                              ParseInt64(args.Get("chunk-size")));
+    if (chunk < 0) {
+      return Status::InvalidArgument("--chunk-size must be >= 0");
+    }
+    options.chunk_size = static_cast<size_t>(chunk);
+  }
   return options;
 }
 
@@ -323,6 +335,7 @@ Result<obs::RunReportOptions> ReportOptionsFromArgs(const Args& args,
   options.algorithm = miner_options.algorithm;
   options.noise_threshold = miner_options.noise_threshold;
   options.num_threads = miner_options.num_threads;
+  options.chunk_size = miner_options.chunk_size;
   if (args.Has("sweep")) {
     PROCMINE_ASSIGN_OR_RETURN(options.sweep, ParseSweep(args.Get("sweep")));
   }
@@ -370,7 +383,8 @@ int FinishWithDegradation(const DegradationInfo& degradation) {
 int CommandMine(const Args& args) {
   if (args.positional.empty()) {
     std::cerr << "usage: procmine mine <log> [--algorithm=...] "
-                 "[--threshold=N|auto] [--threads=N|auto] [--dot=FILE] "
+                 "[--threshold=N|auto] [--threads=N|auto] [--chunk-size=N] "
+                 "[--dot=FILE] "
                  "[--report-out=FILE] [--report-dot=FILE] [--conditions] "
                  "[--recovery=strict|skip|quarantine] [--quarantine-out=FILE] "
                  "[--deadline-ms=N] [--max-memory-mb=N] [--max-executions=N]\n";
@@ -644,7 +658,8 @@ int CommandNoise(const Args& args) {
 int CommandReport(const Args& args) {
   if (args.positional.empty()) {
     std::cerr << "usage: procmine report <log> [--algorithm=...] "
-                 "[--threshold=N|auto] [--threads=N|auto] [--out=FILE] "
+                 "[--threshold=N|auto] [--threads=N|auto] [--chunk-size=N] "
+                 "[--out=FILE] "
                  "[--dot=FILE] [--sweep=T1,T2,...] [--unstable-cutoff=P] "
                  "[--recovery=strict|skip|quarantine] [--quarantine-out=FILE] "
                  "[--deadline-ms=N] [--max-memory-mb=N] [--max-executions=N]\n";
@@ -809,14 +824,16 @@ void PrintUsage() {
       "procmine: mining process models from workflow logs\n"
       "commands:\n"
       "  mine <log> [--algorithm=...] [--threshold=N|auto] [--dot=FILE]\n"
-      "             [--threads=N|auto] [--ascii] [--conditions [--fdl=FILE]]\n"
+      "             [--threads=N|auto] [--chunk-size=N] [--ascii]\n"
+      "             [--conditions [--fdl=FILE]]\n"
       "             [--report-out=FILE] [--report-dot=FILE]\n"
       "             (--report-out: full run report JSON — edge provenance,\n"
       "              conformance verdicts, noise-threshold sensitivity;\n"
       "              --report-dot: DOT with dropped candidates dashed gray)\n"
-      "             (--threads: worker threads for the sharded mining\n"
+      "             (--threads: worker threads for the work-stealing mining\n"
       "              passes; auto = all hardware threads, 1 = sequential;\n"
-      "              the mined model is identical for every thread count)\n"
+      "              --chunk-size: executions per stolen chunk, 0 = auto;\n"
+      "              the mined model is identical for every combination)\n"
       "  check <log> --model=EDGEFILE\n"
       "  diff <log> --model=EDGEFILE\n"
       "  stats <log>\n"
@@ -825,7 +842,8 @@ void PrintUsage() {
       "  variants <log> [--top=K]\n"
       "  noise <log>\n"
       "  report <log> [--algorithm=...] [--threshold=N|auto] [--out=FILE]\n"
-      "         [--dot=FILE] [--sweep=T1,T2,...] [--unstable-cutoff=P]\n"
+      "         [--dot=FILE] [--chunk-size=N] [--sweep=T1,T2,...]\n"
+      "         [--unstable-cutoff=P]\n"
       "  synth --activities=N --executions=M [--density=D] [--seed=S]\n"
       "        --out=FILE [--truth-dot=FILE]\n"
       "  simulate --definition=FDL --executions=M [--seed=S] [--cyclic]\n"
