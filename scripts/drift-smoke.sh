@@ -1,0 +1,181 @@
+#!/bin/sh
+# Drift smoke gate: generates a condition-flip scenario, runs the monitor,
+# and validates the whole observable surface:
+#   * the drift report parses and its invariants hold (window arithmetic,
+#     alert/window cross-references, schema_version 3),
+#   * the alert feed is valid JSONL naming the injected flip with a witness,
+#   * alerts, report, and registry bytes are identical for --threads=1,
+#     --threads=4, and --stream,
+#   * the registry round-trips: every version parses, versions are
+#     contiguous, and the parent-hash chain links each file to its parent,
+#   * an injected crash mid-publish leaves no torn version file, and a rerun
+#     over the surviving directory resumes after the durable prefix,
+#   * a drift-free noisy control at the Section 6 epsilon raises no alerts.
+#
+# Registered as the `drift_smoke` ctest (tests/CMakeLists.txt). Standalone:
+#   scripts/drift-smoke.sh <procmine-binary>
+
+set -eu
+
+PROCMINE="${1:?usage: drift-smoke.sh <procmine-binary>}"
+
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT
+
+"$PROCMINE" synth --drift=condition_flipped --executions=400 --cut=200 \
+  --seed=11 --out="$TMP/flip.log" > /dev/null
+
+run_monitor() {
+  # run_monitor <tag> [extra flags...]; exit 1 (drift found) is the
+  # expected verdict, anything else is a failure.
+  tag="$1"; shift
+  mkdir -p "$TMP/$tag"
+  rc=0
+  "$PROCMINE" monitor "$TMP/flip.log" --window-executions=100 \
+    --registry-dir="$TMP/$tag/reg" --alerts-out="$TMP/$tag/alerts.jsonl" \
+    --report-out="$TMP/$tag/report.json" "$@" 2> /dev/null || rc=$?
+  [ "$rc" -eq 1 ] || {
+    echo "FAIL: monitor ($tag) exited $rc, want 1 (drift detected)" >&2
+    exit 1
+  }
+}
+
+run_monitor t1 --threads=1
+run_monitor t4 --threads=4
+run_monitor stream --stream
+
+cmp "$TMP/t1/alerts.jsonl" "$TMP/t4/alerts.jsonl" || {
+  echo "FAIL: alert feed differs between --threads=1 and --threads=4" >&2
+  exit 1
+}
+cmp "$TMP/t1/alerts.jsonl" "$TMP/stream/alerts.jsonl" || {
+  echo "FAIL: alert feed differs between batch and --stream" >&2
+  exit 1
+}
+for v in 1 2 3 4; do
+  cmp "$TMP/t1/reg/v00000$v.json" "$TMP/t4/reg/v00000$v.json" || {
+    echo "FAIL: registry v$v differs between thread counts" >&2
+    exit 1
+  }
+  cmp "$TMP/t1/reg/v00000$v.json" "$TMP/stream/reg/v00000$v.json" || {
+    echo "FAIL: registry v$v differs between batch and --stream" >&2
+    exit 1
+  }
+done
+
+# Injected crash on the third snapshot publish: versions 1-2 stay durable,
+# no torn v3, and a rerun resumes from the recovered registry.
+rc=0
+env PROCMINE_FAILPOINTS='atomic_write.rename=crash@4' \
+  "$PROCMINE" monitor "$TMP/flip.log" --window-executions=100 \
+  --registry-dir="$TMP/crash/reg" > /dev/null 2>&1 || rc=$?
+[ "$rc" -ne 0 ] && [ "$rc" -ne 1 ] || {
+  echo "FAIL: crash-injected monitor exited $rc, want a crash exit" >&2
+  exit 1
+}
+[ ! -f "$TMP/crash/reg/v000003.json" ] || {
+  echo "FAIL: torn registry version survived the injected crash" >&2
+  exit 1
+}
+rc=0
+"$PROCMINE" monitor "$TMP/flip.log" --window-executions=100 \
+  --registry-dir="$TMP/crash/reg" > /dev/null 2>&1 || rc=$?
+[ "$rc" -eq 1 ] || {
+  echo "FAIL: rerun over crashed registry exited $rc, want 1" >&2
+  exit 1
+}
+
+# Drift-free noisy control: swap noise at the monitor's epsilon, no change
+# injected -> the Section 6 gates must keep the feed empty (exit 0).
+"$PROCMINE" synth --drift=none --executions=600 --swap-rate=0.05 --seed=12 \
+  --out="$TMP/quiet.log" > /dev/null
+"$PROCMINE" monitor "$TMP/quiet.log" --window-executions=100 \
+  --epsilon=0.05 --alerts-out="$TMP/quiet.jsonl" > /dev/null 2>&1 || {
+  echo "FAIL: drift-free noisy control raised alerts (exit $?)" >&2
+  exit 1
+}
+[ ! -s "$TMP/quiet.jsonl" ] || {
+  echo "FAIL: drift-free noisy control wrote a non-empty alert feed" >&2
+  exit 1
+}
+
+python3 - "$TMP/t1" "$TMP/crash/reg" <<'PYEOF'
+import json
+import os
+import sys
+
+out_dir, crashed_reg = sys.argv[1], sys.argv[2]
+
+
+def crc32c(data):
+    # Reflected CRC-32C (Castagnoli), matching src/util/crc32c.cc. zlib's
+    # crc32 uses the IEEE polynomial and would not match.
+    crc = 0xFFFFFFFF
+    for b in data:
+        crc ^= b
+        for _ in range(8):
+            crc = (crc >> 1) ^ (0x82F63B78 if crc & 1 else 0)
+    return crc ^ 0xFFFFFFFF
+
+# --- drift report invariants ---
+with open(os.path.join(out_dir, "report.json")) as f:
+    report = json.load(f)
+assert report["schema_version"] == 3, report["schema_version"]
+assert report["report"] == "drift"
+assert report["drift_detected"] is True
+assert report["num_alerts"] == len(report["alerts"]) >= 1
+assert report["num_windows"] == len(report["windows"]) == 4
+
+W = report["monitor"]["window_executions"]
+for i, w in enumerate(report["windows"]):
+    assert w["index"] == i, w
+    assert w["num_executions"] == w["last_execution"] - w["first_execution"] + 1
+    assert w["num_executions"] <= W, w
+    assert 0 < w["support_low"] < w["support_high"] <= W, w
+    assert w["noise_threshold"] >= 1, w
+    assert w["registry_version"] == i + 1, w
+per_window = [w["num_alerts"] for w in report["windows"]]
+
+# --- alert feed: valid JSONL, cross-consistent with the report ---
+with open(os.path.join(out_dir, "alerts.jsonl")) as f:
+    alerts = [json.loads(line) for line in f if line.strip()]
+assert len(alerts) == report["num_alerts"]
+kinds = {"edge_appeared", "edge_vanished", "direction_flipped",
+         "support_surge", "support_collapse"}
+for a in alerts:
+    assert a["alert"] in kinds, a
+    assert a["window_first"] <= a["witness_execution"] <= a["window_last"] \
+        or a["witness_execution"] == -1, a
+    per_window[a["window"]] -= 1
+assert all(n == 0 for n in per_window), "per-window alert counts mismatch"
+flip = [a for a in alerts if a["alert"] == "direction_flipped"]
+assert flip and flip[0]["witness_name"] == "drift_000200", flip
+
+# --- registry round-trip: contiguous versions, linked parent hashes ---
+def check_registry(reg_dir, expect_latest):
+    parent = "none"
+    for v in range(1, expect_latest + 1):
+        path = os.path.join(reg_dir, f"v{v:06d}.json")
+        raw = open(path, "rb").read()
+        snap = json.loads(raw)
+        assert snap["snapshot_schema"] == 1, path
+        assert snap["version"] == v, path
+        assert snap["parent_hash"] == parent, (
+            f"{path}: parent hash chain broken")
+        assert snap["activities"] == sorted(snap["activities"]), path
+        names = set(snap["activities"])
+        for e in snap["edges"]:
+            assert e["from"] in names and e["to"] in names, e
+            assert e["support"] >= snap["noise_threshold"], e
+        parent = f"{crc32c(raw):08x}"
+    current = open(os.path.join(reg_dir, "CURRENT")).read().split()
+    assert current == [str(expect_latest), parent], current
+    assert not os.path.exists(
+        os.path.join(reg_dir, f"v{expect_latest + 1:06d}.json"))
+
+check_registry(os.path.join(out_dir, "reg"), 4)
+check_registry(crashed_reg, 6)  # 2 recovered + 4 republished by the rerun
+
+print(f"drift smoke OK: {len(alerts)} alerts, 4 windows, "
+      f"registry chains verified")
+PYEOF

@@ -5,9 +5,10 @@
 # memo table, the parallel-determinism sweep (threads x chunk-size), the
 # sharded parallel log parser (ingest equivalence), the run-report
 # builder (provenance recording + thread-count-invariant report bytes),
-# and the robustness layer (recovery-mode sharded quarantine merges,
-# failpoints, budgets). Run whenever the parallel pipeline, src/obs/, or
-# the ingestion layer changes.
+# the robustness layer (recovery-mode sharded quarantine merges,
+# failpoints, budgets), and the drift monitor + model registry (whose
+# outputs must be identical however ingestion was sharded). Run whenever
+# the parallel pipeline, src/obs/, or the ingestion layer changes.
 #
 # Usage: scripts/tsan-verify.sh [build-dir]   (default: build-tsan)
 
@@ -25,7 +26,8 @@ cmake --build "$BUILD_DIR" -j \
   --target obs_metrics_test obs_trace_test thread_pool_test \
            striped_memo_test parallel_determinism_test \
            ingest_equivalence_test mapped_file_test report_test \
-           recovery_test failpoint_test budget_test
+           recovery_test failpoint_test budget_test \
+           drift_test registry_test
 
 ctest --test-dir "$BUILD_DIR" --output-on-failure \
-  -R 'Obs|ThreadPool|StripedMemo|ParallelDeterminism|IngestEquivalence|MappedFile|RunReport|RecoveryMatrix|BinarySalvage|StreamingRecovery|RecoveryPolicy|Failpoint|RunBudget|MinerBudget|ReportBudget'
+  -R 'Obs|ThreadPool|StripedMemo|ParallelDeterminism|IngestEquivalence|MappedFile|RunReport|RecoveryMatrix|BinarySalvage|StreamingRecovery|RecoveryPolicy|Failpoint|RunBudget|MinerBudget|ReportBudget|DriftMonitor|SupportHighWatermark|Registry'

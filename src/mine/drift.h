@@ -1,0 +1,206 @@
+// Windowed drift monitoring — watching a process change under its log.
+//
+// The paper mines one static model from one finished log; its Section 6
+// noise analysis is exactly the machinery needed to watch the model move.
+// DriftMonitor rolls a window of the last W executions over a stream
+// (tumbling when slide == W, sliding otherwise) on top of IncrementalMiner
+// absorption/eviction, mines each window, publishes the window model to a
+// versioned registry (obs/registry.h), and compares consecutive windows:
+//
+//  * support trajectories — every precedence pair's window counter is
+//    classified high / mid / low against the Section 6 hysteresis band
+//    [s_lo, s_hi] (s_hi = smallest support s with
+//    FalseDependencyBound(W, W-s) <= bound_cutoff, s_lo = W - s_hi, the
+//    symmetric spurious band). A pair crossing the whole band —
+//    low -> high or high -> low between windows — raises a support alert;
+//    movement within the band is noise by the paper's own bounds and stays
+//    silent.
+//  * structural changes — the window models' edge sets are diffed; an edge
+//    appearing, vanishing, or flipping direction raises an alert, gated by
+//    the Section 6 bounds so spurious-support edges and reduction
+//    rearrangements do not page anyone.
+//
+// Every alert carries provenance: the window range, the first witnessing
+// execution inside the window, and the bound that tripped. All mining is
+// sequential over the incremental statistics, so the alert feed and the
+// registry are byte-identical regardless of how the caller's ingestion was
+// sharded.
+
+#ifndef PROCMINE_MINE_DRIFT_H_
+#define PROCMINE_MINE_DRIFT_H_
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "log/event_log.h"
+#include "mine/incremental.h"
+#include "obs/registry.h"
+#include "util/result.h"
+
+namespace procmine {
+
+struct DriftOptions {
+  /// Window size W in executions.
+  int64_t window_executions = 100;
+  /// Executions between window evaluations; 0 means tumbling (= W).
+  int64_t slide = 0;
+  /// Mining threshold T for each window; 0 means the Section 6 optimum
+  /// T* = W / (1 + log2(1/epsilon)) recomputed per window.
+  int64_t noise_threshold = 0;
+  /// Assumed per-pair out-of-order error rate (Section 6's epsilon).
+  double epsilon = 0.05;
+  /// Alert gate: a change only alerts when the relevant Section 6 bound is
+  /// at or below this probability.
+  double bound_cutoff = 0.05;
+  /// Also evaluate a trailing partial window at Finish() when at least this
+  /// many executions remain unevaluated (0 = never).
+  int64_t min_final_window = 0;
+};
+
+/// One drift alert. Serialized as a single deterministic JSON line.
+struct DriftAlert {
+  enum class Kind {
+    kEdgeAppeared,      ///< model edge in this window, absent in the last
+    kEdgeVanished,      ///< model edge in the last window, gone in this
+    kDirectionFlipped,  ///< (u,v) vanished while (v,u) appeared
+    kSupportSurge,      ///< pair support crossed low -> high
+    kSupportCollapse,   ///< pair support crossed high -> low
+  };
+  Kind kind;
+  int64_t window_index = 0;  ///< the window that witnessed the change
+  int64_t window_first = 0;  ///< global index of its first execution
+  int64_t window_last = 0;   ///< global index of its last execution
+  std::string from;
+  std::string to;
+  int64_t support_before = 0;  ///< pair support in the previous window
+  int64_t support_after = 0;   ///< pair support in this window
+  std::string bound;           ///< name of the Section 6 bound that gated
+  double bound_value = 0.0;    ///< its value (probability of a false alarm)
+  int64_t witness_execution = -1;  ///< global index of the first witness
+  std::string witness_name;        ///< its execution name ("" when none)
+
+  std::string ToJsonLine() const;
+};
+
+/// Stable machine-readable alert-kind name (used in JSON — never rename).
+std::string_view DriftAlertKindName(DriftAlert::Kind kind);
+
+/// Per-window digest kept for the final report.
+struct DriftWindowSummary {
+  int64_t index = 0;
+  int64_t first_execution = 0;
+  int64_t last_execution = 0;
+  int64_t num_executions = 0;
+  int64_t noise_threshold = 1;  ///< T the window was mined with
+  int64_t support_high = 0;     ///< s_hi of the hysteresis band
+  int64_t support_low = 0;      ///< s_lo of the hysteresis band
+  int64_t num_activities = 0;
+  int64_t num_edges = 0;
+  int64_t registry_version = 0;  ///< 0 when no registry was attached
+  int64_t num_alerts = 0;
+};
+
+/// The final drift report (schema_version 3 of the run-report family).
+struct DriftReport {
+  std::string source;  ///< input path or label
+  DriftOptions options;
+  int64_t num_executions = 0;
+  int64_t num_windows = 0;
+  std::string registry_dir;          ///< "" when no registry was attached
+  int64_t registry_latest_version = 0;
+  std::vector<DriftWindowSummary> windows;
+  std::vector<DriftAlert> alerts;
+
+  bool drift_detected() const { return !alerts.empty(); }
+
+  /// Deterministic JSON, "schema_version": 3.
+  std::string ToJson() const;
+};
+
+/// Feeds executions, evaluates windows, accumulates alerts. Not
+/// thread-safe: one monitor per stream (determinism is the point).
+class DriftMonitor {
+ public:
+  /// `registry` (optional, borrowed) receives one snapshot per window.
+  explicit DriftMonitor(DriftOptions options,
+                        obs::ModelRegistry* registry = nullptr);
+
+  /// Absorbs one execution (ids refer to `dict`); evaluates a window when
+  /// one completes. Invalid executions (empty, repeated activities) are
+  /// rejected like IncrementalMiner::AddExecution.
+  Status Add(const Execution& exec, const ActivityDictionary& dict);
+
+  /// Absorbs a whole log in order.
+  Status AddLog(const EventLog& log);
+
+  /// Evaluates the trailing partial window when options.min_final_window
+  /// admits it. Idempotent.
+  Status Finish();
+
+  const std::vector<DriftAlert>& alerts() const { return alerts_; }
+  const std::vector<DriftWindowSummary>& windows() const { return windows_; }
+  int64_t num_executions() const { return next_index_; }
+  int64_t num_windows() const {
+    return static_cast<int64_t>(windows_.size());
+  }
+
+  DriftReport BuildReport(std::string source) const;
+
+ private:
+  struct WindowEntry {
+    int64_t global_index;
+    Execution exec;  ///< remapped into the monitor's dictionary
+  };
+  /// Last non-mid classification of a pair's support trajectory.
+  enum class Anchor : int8_t { kHigh, kLow };
+
+  int64_t EffectiveSlide() const;
+  Status EvaluateWindow();
+  void ScanStructuralChanges(
+      const std::map<std::pair<std::string, std::string>, int64_t>& cur,
+      int64_t window_size, int64_t s_hi,
+      std::vector<DriftAlert>* out) const;
+  void ScanSupportTrajectories(int64_t window_size, int64_t s_hi,
+                               int64_t s_lo,
+                               const std::vector<DriftAlert>& structural,
+                               std::vector<DriftAlert>* out);
+  DriftAlert MakeAlert(DriftAlert::Kind kind, const std::string& from,
+                       const std::string& to) const;
+  /// First window execution witnessing from-before-to (global index, name);
+  /// {-1, ""} when none.
+  std::pair<int64_t, std::string> FindWitness(const std::string& from,
+                                              const std::string& to) const;
+
+  DriftOptions options_;
+  obs::ModelRegistry* registry_;  // borrowed, may be null
+  IncrementalMiner miner_;
+  std::deque<WindowEntry> window_;
+  int64_t next_index_ = 0;      ///< executions absorbed so far
+  int64_t last_window_end_ = 0; ///< next_index_ when the last window closed
+  bool finished_ = false;
+
+  // Previous evaluated window, in name space.
+  bool have_previous_ = false;
+  int64_t previous_size_ = 0;
+  std::map<std::pair<std::string, std::string>, int64_t> previous_edges_;
+  /// Raw pair supports of the previous window (alert support_before).
+  std::map<std::pair<std::string, std::string>, int64_t> previous_supports_;
+  /// Trajectory anchors keyed by (from, to) names; absent = never left mid.
+  std::map<std::pair<std::string, std::string>, Anchor> anchors_;
+  bool have_baseline_ = false;  ///< first window only seeds the state
+
+  std::vector<DriftAlert> alerts_;
+  std::vector<DriftWindowSummary> windows_;
+};
+
+/// The hysteresis band's upper edge for a window of `m` executions:
+/// smallest support s with FalseDependencyBound(m, m - s) <= cutoff, or
+/// m + 1 when even s = m fails the cutoff. Exposed for tests and docs.
+int64_t SupportHighWatermark(int64_t m, double cutoff);
+
+}  // namespace procmine
+
+#endif  // PROCMINE_MINE_DRIFT_H_

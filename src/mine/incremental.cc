@@ -37,6 +37,28 @@ Status IncrementalMiner::AddLog(const EventLog& log) {
   return Status::OK();
 }
 
+Status IncrementalMiner::RemoveSequence(
+    const std::vector<std::string>& sequence) {
+  std::vector<ActivityId> ids;
+  ids.reserve(sequence.size());
+  for (const std::string& name : sequence) {
+    PROCMINE_ASSIGN_OR_RETURN(ActivityId id, dict_.Find(name));
+    ids.push_back(id);
+  }
+  return Evict(Execution::FromSequence("evicted", ids));
+}
+
+Status IncrementalMiner::RemoveExecution(const Execution& exec,
+                                         const ActivityDictionary& dict) {
+  Execution remapped(exec.name());
+  for (ActivityInstance inst : exec.instances()) {
+    PROCMINE_ASSIGN_OR_RETURN(inst.activity,
+                              dict_.Find(dict.Name(inst.activity)));
+    remapped.Append(std::move(inst));
+  }
+  return Evict(remapped);
+}
+
 Status IncrementalMiner::Absorb(const Execution& exec) {
   PROCMINE_SPAN("incremental.absorb");
   if (exec.empty()) {
@@ -70,6 +92,66 @@ Status IncrementalMiner::Absorb(const Execution& exec) {
       obs::MetricsRegistry::Get().GetCounter("incremental.executions_absorbed");
   absorbed->Increment();
   return Status::OK();
+}
+
+Status IncrementalMiner::Evict(const Execution& exec) {
+  PROCMINE_SPAN("incremental.evict");
+  if (exec.empty()) {
+    return Status::InvalidArgument("empty execution");
+  }
+  std::vector<ActivityId> present = exec.Sequence();
+  std::sort(present.begin(), present.end());
+  if (std::adjacent_find(present.begin(), present.end()) != present.end()) {
+    return Status::InvalidArgument(
+        "execution repeats an activity; the incremental miner covers the "
+        "acyclic setting (use CyclicMiner in batch mode)");
+  }
+
+  // Same pair enumeration as Absorb, so eviction undoes exactly what the
+  // matching Absorb contributed.
+  std::unordered_set<uint64_t> seen_pairs;
+  const auto& instances = exec.instances();
+  for (size_t i = 0; i < instances.size(); ++i) {
+    for (size_t j = 0; j < instances.size(); ++j) {
+      if (i != j && instances[i].end < instances[j].start) {
+        seen_pairs.insert(
+            PackEdge(instances[i].activity, instances[j].activity));
+      }
+    }
+  }
+
+  // Validate before mutating: a failed eviction must leave the state
+  // untouched.
+  auto set_it = set_counts_.find(present);
+  if (set_it == set_counts_.end() || set_it->second <= 0) {
+    return Status::FailedPrecondition(
+        "eviction of an execution whose activity set was never absorbed");
+  }
+  for (uint64_t key : seen_pairs) {
+    auto it = counts_.find(key);
+    if (it == counts_.end() || it->second <= 0) {
+      return Status::FailedPrecondition(
+          "eviction of an execution whose precedence pairs were never "
+          "absorbed");
+    }
+  }
+
+  for (uint64_t key : seen_pairs) {
+    auto it = counts_.find(key);
+    if (--it->second == 0) counts_.erase(it);
+  }
+  if (--set_it->second == 0) set_counts_.erase(set_it);
+  --num_executions_;
+  ++version_;
+  static obs::Counter* evicted =
+      obs::MetricsRegistry::Get().GetCounter("incremental.executions_evicted");
+  evicted->Increment();
+  return Status::OK();
+}
+
+int64_t IncrementalMiner::EdgeSupport(ActivityId from, ActivityId to) const {
+  auto it = counts_.find(PackEdge(from, to));
+  return it == counts_.end() ? 0 : it->second;
 }
 
 void IncrementalMiner::SetNoiseThreshold(int64_t threshold) {

@@ -48,6 +48,19 @@ class IncrementalMiner {
   /// Absorbs a whole log.
   Status AddLog(const EventLog& log);
 
+  /// Exact inverse of AddSequence: decrements the execution's precedence
+  /// pairs and its activity-set counter, so the miner's state equals what
+  /// it would have been had the execution never been absorbed (the window-
+  /// eviction primitive for drift monitoring). Every name must already be
+  /// interned and the execution must have been absorbed — removing
+  /// something never added is FailedPrecondition and leaves the state
+  /// untouched.
+  Status RemoveSequence(const std::vector<std::string>& sequence);
+
+  /// Exact inverse of AddExecution (same contract as RemoveSequence).
+  Status RemoveExecution(const Execution& exec,
+                         const ActivityDictionary& dict);
+
   /// Mines the model over everything absorbed so far. O(distinct activity
   /// sets * n^3) worst case; cached until the next Add*.
   Result<ProcessGraph> CurrentGraph() const;
@@ -62,8 +75,17 @@ class IncrementalMiner {
   /// Number of distinct activity sets seen (the query-cost driver).
   size_t num_distinct_activity_sets() const { return set_counts_.size(); }
 
+  /// Live precedence counters keyed by PackEdge(from, to) in this miner's
+  /// id space — the support trajectories the drift monitor watches.
+  const EdgeCounts& edge_counts() const { return counts_; }
+
+  /// Support of one precedence pair (0 when never observed / fully
+  /// evicted). Ids are in this miner's dictionary.
+  int64_t EdgeSupport(ActivityId from, ActivityId to) const;
+
  private:
   Status Absorb(const Execution& exec);
+  Status Evict(const Execution& exec);
 
   IncrementalMinerOptions options_;
   ActivityDictionary dict_;

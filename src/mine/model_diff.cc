@@ -7,8 +7,25 @@
 #include <tuple>
 
 #include "graph/algorithms.h"
+#include "util/strings.h"
 
 namespace procmine {
+
+std::string_view ModelDiscrepancyKindName(ModelDiscrepancy::Kind kind) {
+  switch (kind) {
+    case ModelDiscrepancy::Kind::kUnobservedActivity:
+      return "unobserved_activity";
+    case ModelDiscrepancy::Kind::kUndocumentedActivity:
+      return "undocumented_activity";
+    case ModelDiscrepancy::Kind::kUnexercisedDependency:
+      return "unexercised_dependency";
+    case ModelDiscrepancy::Kind::kUndocumentedDependency:
+      return "undocumented_dependency";
+    case ModelDiscrepancy::Kind::kRefinedEdge:
+      return "refined_edge";
+  }
+  return "unknown";
+}
 
 std::string ModelDiscrepancy::ToString() const {
   switch (kind) {
@@ -46,6 +63,49 @@ std::string ModelDiff::Summary() const {
     out << "  - " << d.ToString() << "\n";
   }
   return out.str();
+}
+
+std::string ModelDiff::ToJson() const {
+  auto quoted = [](const std::string& s) {
+    std::string out = "\"";
+    AppendJsonEscaped(&out, s);
+    out += "\"";
+    return out;
+  };
+  std::string out;
+  out.reserve(128 + discrepancies.size() * 96);
+  out += "{\n";
+  out += "  \"model_diff_schema\": 1,\n";
+  out += StrFormat("  \"structurally_equal\": %s,\n",
+                   structurally_equal() ? "true" : "false");
+  out += "  \"counts\": {";
+  constexpr ModelDiscrepancy::Kind kKinds[] = {
+      ModelDiscrepancy::Kind::kUnobservedActivity,
+      ModelDiscrepancy::Kind::kUndocumentedActivity,
+      ModelDiscrepancy::Kind::kUnexercisedDependency,
+      ModelDiscrepancy::Kind::kUndocumentedDependency,
+      ModelDiscrepancy::Kind::kRefinedEdge,
+  };
+  for (size_t i = 0; i < std::size(kKinds); ++i) {
+    if (i > 0) out += ", ";
+    out += StrFormat("\"%s\": %lld",
+                     std::string(ModelDiscrepancyKindName(kKinds[i])).c_str(),
+                     static_cast<long long>(CountKind(kKinds[i])));
+  }
+  out += "},\n";
+  out += "  \"discrepancies\": [";
+  for (size_t i = 0; i < discrepancies.size(); ++i) {
+    const ModelDiscrepancy& d = discrepancies[i];
+    out += i > 0 ? ",\n    " : "\n    ";
+    out += StrFormat(
+        "{\"kind\": \"%s\", \"from\": %s, \"to\": %s, \"activity\": %s}",
+        std::string(ModelDiscrepancyKindName(d.kind)).c_str(),
+        quoted(d.from).c_str(), quoted(d.to).c_str(),
+        quoted(d.activity).c_str());
+  }
+  out += discrepancies.empty() ? "]\n" : "\n  ]\n";
+  out += "}\n";
+  return out;
 }
 
 ModelDiff DiffModels(const ProcessGraph& designed,

@@ -43,6 +43,10 @@ struct ModelDiscrepancy {
   std::string ToString() const;
 };
 
+/// Stable machine-readable name for a discrepancy kind (snake_case, used in
+/// JSON artifacts — never rename).
+std::string_view ModelDiscrepancyKindName(ModelDiscrepancy::Kind kind);
+
 /// Full diff report.
 struct ModelDiff {
   std::vector<ModelDiscrepancy> discrepancies;
@@ -50,6 +54,10 @@ struct ModelDiff {
   bool structurally_equal() const { return discrepancies.empty(); }
   int64_t CountKind(ModelDiscrepancy::Kind kind) const;
   std::string Summary() const;
+
+  /// Deterministic JSON: fixed key order, discrepancies in the canonical
+  /// (kind, from, to, activity) sort DiffModels already guarantees.
+  std::string ToJson() const;
 };
 
 /// Diffs `designed` against `mined` by activity name.

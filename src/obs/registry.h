@@ -1,0 +1,114 @@
+// Versioned on-disk model registry — the publication side of drift
+// monitoring (ROADMAP item 5, feeding the future `procmine serve` of
+// item 1).
+//
+// One registry directory holds one session's history of mined models as a
+// chain of schema'd JSON snapshots:
+//
+//   <dir>/v000001.json     version 1 (the oldest window)
+//   <dir>/v000002.json     version 2, parent_hash = crc32c(v000001.json)
+//   ...
+//   <dir>/CURRENT          "<latest-version> <hash-of-latest-file>"
+//
+// Every file is written with util/atomic_file, so a reader (or a crashed
+// writer) never observes a torn snapshot: a version file either does not
+// exist or is complete and parseable. CURRENT is advisory — Open() trusts
+// the longest contiguous, hash-chained prefix of v*.json files, which makes
+// the registry robust to a crash between the snapshot write and the CURRENT
+// update. Versions are monotonically increasing and never rewritten.
+
+#ifndef PROCMINE_OBS_REGISTRY_H_
+#define PROCMINE_OBS_REGISTRY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "mine/model_diff.h"
+#include "util/result.h"
+#include "workflow/process_graph.h"
+
+namespace procmine::obs {
+
+/// Which slice of the stream a snapshot was mined from.
+struct SnapshotWindow {
+  int64_t index = 0;             ///< window ordinal within the producing run
+  int64_t first_execution = 0;   ///< global index of the first execution
+  int64_t last_execution = 0;    ///< global index of the last execution
+  int64_t num_executions = 0;    ///< window size (last - first + 1)
+  std::string first_name;        ///< execution name at first_execution
+  std::string last_name;         ///< execution name at last_execution
+};
+
+/// One model edge with its window support counter.
+struct SnapshotEdge {
+  std::string from;
+  std::string to;
+  int64_t support = 0;
+};
+
+/// One registry entry: a window's mined model plus provenance metadata.
+struct ModelSnapshot {
+  int64_t version = 0;        ///< assigned by ModelRegistry::Append
+  std::string parent_hash;    ///< crc32c hex of the parent file; "none" at v1
+  SnapshotWindow window;
+  int64_t noise_threshold = 1;  ///< the T the window was mined with
+  double epsilon = 0.0;         ///< noise rate assumed/estimated for bounds
+  std::vector<std::string> activities;  ///< active activities, sorted
+  std::vector<SnapshotEdge> edges;      ///< model edges, sorted by (from,to)
+
+  /// Deterministic JSON (fixed key order, sorted lists, %.6g doubles).
+  std::string ToJson() const;
+
+  /// Parses a snapshot written by ToJson (schema-checked).
+  static Result<ModelSnapshot> FromJson(std::string_view json);
+
+  /// The snapshot's model as a ProcessGraph in first-seen name order.
+  ProcessGraph ToProcessGraph() const;
+};
+
+/// Append-only registry over one directory. Not thread-safe; one writer per
+/// directory is the contract (the monitor owns its registry for the run).
+class ModelRegistry {
+ public:
+  /// Opens (creating the directory if needed) and scans existing versions.
+  /// Version files that fail to parse or break the parent-hash chain end
+  /// the chain: everything before them stays loadable, and the next Append
+  /// continues from the last valid version.
+  static Result<ModelRegistry> Open(const std::string& dir);
+
+  /// Assigns the next version and parent hash, writes the snapshot
+  /// atomically, then updates CURRENT. Returns the assigned version.
+  Result<int64_t> Append(ModelSnapshot snapshot);
+
+  /// Loads one version (1-based).
+  Result<ModelSnapshot> Load(int64_t version) const;
+
+  /// Loads the newest version; fails on an empty registry.
+  Result<ModelSnapshot> LoadLatest() const;
+
+  /// Structural diff between two stored versions (by activity name).
+  Result<ModelDiff> DiffVersions(int64_t from_version,
+                                 int64_t to_version) const;
+
+  int64_t latest_version() const { return latest_version_; }
+  bool empty() const { return latest_version_ == 0; }
+  const std::string& dir() const { return dir_; }
+
+  /// All valid versions, ascending (always contiguous 1..latest).
+  std::vector<int64_t> Versions() const;
+
+  /// Path of one version file (exists only for valid versions).
+  std::string VersionPath(int64_t version) const;
+
+ private:
+  explicit ModelRegistry(std::string dir) : dir_(std::move(dir)) {}
+
+  std::string dir_;
+  int64_t latest_version_ = 0;
+  std::string latest_hash_ = "none";  ///< crc32c hex of the latest file
+};
+
+}  // namespace procmine::obs
+
+#endif  // PROCMINE_OBS_REGISTRY_H_

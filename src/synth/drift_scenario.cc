@@ -1,0 +1,139 @@
+#include "synth/drift_scenario.h"
+
+#include <string>
+#include <vector>
+
+#include "synth/noise_injector.h"
+#include "util/random.h"
+#include "util/strings.h"
+
+namespace procmine {
+
+namespace {
+
+constexpr const char* kReceive = "Receive";
+constexpr const char* kCheck = "Check";
+constexpr const char* kPack = "Pack";
+constexpr const char* kBill = "Bill";
+constexpr const char* kShip = "Ship";
+constexpr const char* kClose = "Close";
+
+// Pack-branch probability of execution `index` under kFrequencyShift.
+double BranchProbability(const DriftScenarioOptions& o, int64_t index) {
+  if (index < o.cut) return o.shift_from;
+  if (o.ramp_executions <= 0) return o.shift_to;
+  int64_t into = index - o.cut;
+  if (into >= o.ramp_executions) return o.shift_to;
+  double t = static_cast<double>(into) /
+             static_cast<double>(o.ramp_executions);
+  return o.shift_from + t * (o.shift_to - o.shift_from);
+}
+
+}  // namespace
+
+std::string_view DriftKindName(DriftKind kind) {
+  switch (kind) {
+    case DriftKind::kNone:
+      return "none";
+    case DriftKind::kEdgeAdded:
+      return "edge_added";
+    case DriftKind::kEdgeRemoved:
+      return "edge_removed";
+    case DriftKind::kConditionFlipped:
+      return "condition_flipped";
+    case DriftKind::kFrequencyShift:
+      return "frequency_shift";
+  }
+  return "unknown";
+}
+
+Result<DriftKind> ParseDriftKind(std::string_view name) {
+  for (DriftKind kind :
+       {DriftKind::kNone, DriftKind::kEdgeAdded, DriftKind::kEdgeRemoved,
+        DriftKind::kConditionFlipped, DriftKind::kFrequencyShift}) {
+    if (name == DriftKindName(kind)) return kind;
+  }
+  return Status::InvalidArgument(
+      StrFormat("unknown drift kind '%s' (want none|edge_added|edge_removed|"
+                "condition_flipped|frequency_shift)",
+                std::string(name).c_str()));
+}
+
+Result<EventLog> GenerateDriftLog(const DriftScenarioOptions& options) {
+  if (options.num_executions <= 0) {
+    return Status::InvalidArgument("num_executions must be positive");
+  }
+  if (options.cut < 0 || options.cut > options.num_executions) {
+    return Status::InvalidArgument(StrFormat(
+        "cut %lld outside [0, %lld]", static_cast<long long>(options.cut),
+        static_cast<long long>(options.num_executions)));
+  }
+
+  EventLog log;
+  Rng rng(options.seed);
+  std::vector<std::string> sequence;
+  for (int64_t i = 0; i < options.num_executions; ++i) {
+    const bool post = i >= options.cut;
+    sequence.assign({kReceive, kCheck});
+    switch (options.kind) {
+      case DriftKind::kNone:
+        // Truly parallel middle: random order, forever.
+        if (rng.Bernoulli(0.5)) {
+          sequence.insert(sequence.end(), {kPack, kBill});
+        } else {
+          sequence.insert(sequence.end(), {kBill, kPack});
+        }
+        break;
+      case DriftKind::kEdgeAdded:
+        if (post) {
+          sequence.insert(sequence.end(), {kPack, kBill});
+        } else if (rng.Bernoulli(0.5)) {
+          sequence.insert(sequence.end(), {kPack, kBill});
+        } else {
+          sequence.insert(sequence.end(), {kBill, kPack});
+        }
+        break;
+      case DriftKind::kEdgeRemoved:
+        if (!post) {
+          sequence.insert(sequence.end(), {kPack, kBill});
+        } else if (rng.Bernoulli(0.5)) {
+          sequence.insert(sequence.end(), {kPack, kBill});
+        } else {
+          sequence.insert(sequence.end(), {kBill, kPack});
+        }
+        break;
+      case DriftKind::kConditionFlipped:
+        if (post) {
+          sequence.insert(sequence.end(), {kBill, kPack});
+        } else {
+          sequence.insert(sequence.end(), {kPack, kBill});
+        }
+        break;
+      case DriftKind::kFrequencyShift:
+        // Exclusive branch: only one of Pack / Bill per execution.
+        sequence.push_back(rng.Bernoulli(BranchProbability(options, i))
+                               ? kPack
+                               : kBill);
+        break;
+    }
+    sequence.insert(sequence.end(), {kShip, kClose});
+
+    std::vector<ActivityId> ids;
+    ids.reserve(sequence.size());
+    for (const std::string& name : sequence) {
+      ids.push_back(log.dictionary().Intern(name));
+    }
+    log.AddExecution(Execution::FromSequence(
+        StrFormat("drift_%06lld", static_cast<long long>(i)), ids));
+  }
+
+  if (options.swap_rate > 0.0) {
+    NoiseOptions noise;
+    noise.swap_rate = options.swap_rate;
+    noise.seed = options.seed + 1;
+    return InjectNoise(log, noise);
+  }
+  return log;
+}
+
+}  // namespace procmine

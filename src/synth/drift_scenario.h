@@ -1,0 +1,72 @@
+// Synthetic drift scenarios: a known process whose behaviour changes at a
+// known execution index, so drift-detection latency (windows between the
+// injected change and the first alert) is measurable.
+//
+// The base process is a six-activity order flow
+//   Receive -> Check -> {Pack, Bill} -> Ship -> Close
+// where Pack and Bill are truly parallel (logged in random order). Each
+// scenario perturbs it at `cut`:
+//
+//  * kEdgeAdded      — Pack and Bill serialize (Pack always completes before
+//                      Bill starts): the model gains Pack -> Bill.
+//  * kEdgeRemoved    — the mirror: serialized before the cut, parallel
+//                      after: the model loses Pack -> Bill.
+//  * kConditionFlipped — serialized Pack -> Bill before the cut, serialized
+//                      Bill -> Pack after: the edge flips direction.
+//  * kFrequencyShift — Check branches exclusively to Pack or Bill; the
+//                      Pack-branch probability moves from `shift_from` to
+//                      `shift_to` (abruptly, or linearly over
+//                      `ramp_executions`): edge supports drift gradually.
+//  * kNone           — no change; with `swap_rate` > 0 this is the
+//                      drift-free noisy control a monitor must stay silent
+//                      on.
+
+#ifndef PROCMINE_SYNTH_DRIFT_SCENARIO_H_
+#define PROCMINE_SYNTH_DRIFT_SCENARIO_H_
+
+#include <cstdint>
+#include <string_view>
+
+#include "log/event_log.h"
+#include "util/result.h"
+
+namespace procmine {
+
+enum class DriftKind {
+  kNone,
+  kEdgeAdded,
+  kEdgeRemoved,
+  kConditionFlipped,
+  kFrequencyShift,
+};
+
+/// Stable scenario name ("none", "edge_added", ...). Inverse of
+/// ParseDriftKind.
+std::string_view DriftKindName(DriftKind kind);
+Result<DriftKind> ParseDriftKind(std::string_view name);
+
+struct DriftScenarioOptions {
+  DriftKind kind = DriftKind::kNone;
+  int64_t num_executions = 400;
+  /// First execution index with post-change behaviour.
+  int64_t cut = 200;
+  uint64_t seed = 1;
+  /// Per-adjacent-pair out-of-order rate applied to the whole log (the
+  /// Section 6 epsilon); 0 = clean.
+  double swap_rate = 0.0;
+  /// kFrequencyShift only: Pack-branch probability before / after the cut.
+  double shift_from = 0.9;
+  double shift_to = 0.1;
+  /// kFrequencyShift only: executions over which the probability ramps
+  /// linearly from shift_from to shift_to (0 = abrupt change at the cut).
+  int64_t ramp_executions = 0;
+};
+
+/// Generates the scenario log. Executions are instantaneous sequences named
+/// "drift_%06d" in stream order; activity ids are interned in first-seen
+/// order.
+Result<EventLog> GenerateDriftLog(const DriftScenarioOptions& options);
+
+}  // namespace procmine
+
+#endif  // PROCMINE_SYNTH_DRIFT_SCENARIO_H_

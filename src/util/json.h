@@ -1,0 +1,87 @@
+// A minimal JSON reader for procmine's own artifacts.
+//
+// Every subsystem that persists state (run reports, model-registry
+// snapshots, metrics dumps) emits deterministic JSON; this parser is the
+// matching read side, so registry snapshots can be loaded, verified, and
+// diffed without an external dependency. It accepts strict RFC 8259 JSON
+// (objects, arrays, strings with escapes, numbers, true/false/null) and
+// preserves object key order, which keeps round-trips canonical.
+//
+// It is a validating reader for trusted, self-produced files — not a
+// hardened parser for hostile input (nesting depth is bounded, but there is
+// no streaming mode and numbers are held as double + int64).
+
+#ifndef PROCMINE_UTIL_JSON_H_
+#define PROCMINE_UTIL_JSON_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "util/result.h"
+
+namespace procmine::json {
+
+/// One parsed JSON value. Objects keep their key order.
+class Value {
+ public:
+  enum class Kind : int8_t { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Value() = default;
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_bool() const { return kind_ == Kind::kBool; }
+  bool is_number() const { return kind_ == Kind::kNumber; }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+
+  bool AsBool() const { return bool_; }
+  double AsDouble() const { return number_; }
+  /// The number as an integer; exact when the literal had no '.'/'e' part
+  /// and fit in int64, otherwise a truncation of the double.
+  int64_t AsInt64() const { return integer_; }
+  const std::string& AsString() const { return string_; }
+
+  const std::vector<Value>& items() const { return items_; }
+  const std::vector<std::pair<std::string, Value>>& members() const {
+    return members_;
+  }
+
+  /// Looks up `key` in an object; null when absent or not an object.
+  const Value* Find(std::string_view key) const;
+
+  /// Typed member accessors: the member must exist and have the right type.
+  Result<int64_t> GetInt(std::string_view key) const;
+  Result<double> GetDouble(std::string_view key) const;
+  Result<std::string> GetString(std::string_view key) const;
+  Result<bool> GetBool(std::string_view key) const;
+
+  static Value Null() { return Value(); }
+  static Value Bool(bool b);
+  static Value Number(double d, int64_t i);
+  static Value String(std::string s);
+  static Value Array(std::vector<Value> items);
+  static Value Object(std::vector<std::pair<std::string, Value>> members);
+
+ private:
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  int64_t integer_ = 0;
+  std::string string_;
+  std::vector<Value> items_;
+  std::vector<std::pair<std::string, Value>> members_;
+};
+
+/// Parses one JSON document; trailing non-whitespace is an error. Errors
+/// carry a byte offset.
+Result<Value> Parse(std::string_view text);
+
+}  // namespace procmine::json
+
+#endif  // PROCMINE_UTIL_JSON_H_

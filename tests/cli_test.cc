@@ -471,6 +471,155 @@ TEST_F(CliTest, InjectedWriteErrorMapsToDataExit) {
   EXPECT_TRUE(ReadFileOrEmpty(out_path).empty());
 }
 
+TEST_F(CliTest, DiffJsonModeEmitsMachineReadableReport) {
+  std::string model_path = dir_ + "/designed.model";
+  std::ofstream(model_path) << "A B\n";
+  std::string json_path = dir_ + "/diff.json";
+  CommandResult result =
+      RunCli("diff --model=" + model_path + " --json=" + json_path + " " +
+             log_path_);
+  // Discrepancies still map to the mismatch exit even in JSON mode.
+  EXPECT_EQ(result.exit_code, 1) << result.output;
+  std::string json = ReadFileOrEmpty(json_path);
+  EXPECT_NE(json.find("\"model_diff_schema\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"structurally_equal\": false"), std::string::npos);
+  EXPECT_NE(json.find("\"discrepancies\": ["), std::string::npos);
+}
+
+class MonitorCliTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = ::testing::TempDir() + "/monitor_cli_" + std::to_string(getpid());
+    std::string mkdir = "rm -rf " + dir_ + " && mkdir -p " + dir_;
+    ASSERT_EQ(std::system(mkdir.c_str()), 0);
+    log_path_ = dir_ + "/flip.log";
+    CommandResult synth = RunCli(
+        "synth --drift=condition_flipped --executions=400 --cut=200 "
+        "--seed=3 --out=" + log_path_);
+    ASSERT_EQ(synth.exit_code, 0) << synth.output;
+  }
+
+  // Runs `monitor` into its own subdirectory; returns the alert feed bytes.
+  std::string MonitorInto(const std::string& tag, const std::string& flags,
+                          int expect_exit = 1) {
+    std::string sub = dir_ + "/" + tag;
+    CommandResult result = RunCli(
+        "monitor " + log_path_ + " --window-executions=100 --registry-dir=" +
+        sub + "/reg --alerts-out=" + sub + "/alerts.jsonl --report-out=" +
+        sub + "/report.json " + flags);
+    EXPECT_EQ(result.exit_code, expect_exit) << result.output;
+    return ReadFileOrEmpty(sub + "/alerts.jsonl");
+  }
+
+  std::string dir_;
+  std::string log_path_;
+};
+
+TEST_F(MonitorCliTest, DetectsFlipAndWritesAllArtifacts) {
+  std::string alerts = MonitorInto("base", "");
+  EXPECT_NE(alerts.find("\"alert\": \"direction_flipped\""),
+            std::string::npos);
+  EXPECT_NE(alerts.find("\"witness_name\": \"drift_000200\""),
+            std::string::npos);
+
+  std::string report = ReadFileOrEmpty(dir_ + "/base/report.json");
+  EXPECT_NE(report.find("\"schema_version\": 3"), std::string::npos);
+  EXPECT_NE(report.find("\"report\": \"drift\""), std::string::npos);
+  EXPECT_NE(report.find("\"drift_detected\": true"), std::string::npos);
+
+  // Four tumbling windows -> registry versions 1..4 plus CURRENT.
+  for (int v = 1; v <= 4; ++v) {
+    char name[32];
+    std::snprintf(name, sizeof(name), "/base/reg/v%06d.json", v);
+    EXPECT_FALSE(ReadFileOrEmpty(dir_ + name).empty()) << name;
+  }
+  std::string current = ReadFileOrEmpty(dir_ + "/base/reg/CURRENT");
+  EXPECT_EQ(current.substr(0, 2), "4 ");
+}
+
+TEST_F(MonitorCliTest, OutputsBytesIdenticalAcrossThreadsChunksAndStream) {
+  std::string reference = MonitorInto("t1", "--threads=1");
+  ASSERT_FALSE(reference.empty());
+  EXPECT_EQ(MonitorInto("t4", "--threads=4"), reference);
+  EXPECT_EQ(MonitorInto("t7c3", "--threads=7 --chunk-size=3"), reference);
+  EXPECT_EQ(MonitorInto("stream", "--stream"), reference);
+
+  // Reports differ only in the registry-dir they name; everything else —
+  // windows, alerts, counters — must be byte-identical.
+  auto normalized = [this](const std::string& tag) {
+    std::string report = ReadFileOrEmpty(dir_ + "/" + tag + "/report.json");
+    size_t start = report.find("  \"registry\": ");
+    EXPECT_NE(start, std::string::npos) << tag;
+    size_t end = report.find('\n', start);
+    report.erase(start, end - start);
+    return report;
+  };
+  std::string ref_report = normalized("t1");
+  EXPECT_EQ(normalized("t4"), ref_report);
+  EXPECT_EQ(normalized("stream"), ref_report);
+  EXPECT_EQ(ReadFileOrEmpty(dir_ + "/t4/reg/v000002.json"),
+            ReadFileOrEmpty(dir_ + "/t1/reg/v000002.json"));
+  EXPECT_EQ(ReadFileOrEmpty(dir_ + "/stream/reg/v000004.json"),
+            ReadFileOrEmpty(dir_ + "/t1/reg/v000004.json"));
+}
+
+TEST_F(MonitorCliTest, DriftFreeNoisyLogExitsZero) {
+  std::string quiet_log = dir_ + "/quiet.log";
+  CommandResult synth = RunCli(
+      "synth --drift=none --executions=600 --swap-rate=0.05 --seed=9 "
+      "--out=" + quiet_log);
+  ASSERT_EQ(synth.exit_code, 0) << synth.output;
+  CommandResult result = RunCli("monitor " + quiet_log +
+                                " --window-executions=100 --epsilon=0.05");
+  EXPECT_EQ(result.exit_code, 0) << result.output;
+  EXPECT_NE(result.output.find("0 alerts"), std::string::npos)
+      << result.output;
+}
+
+TEST_F(MonitorCliTest, SlidingWindowsAndRegistryVersionCount) {
+  std::string sub = dir_ + "/slide";
+  CommandResult result = RunCli(
+      "monitor " + log_path_ + " --window-executions=100 --slide=50 "
+      "--registry-dir=" + sub + "/reg");
+  EXPECT_EQ(result.exit_code, 1) << result.output;
+  // Windows close at 100, 150, ..., 400 -> 7 registry versions.
+  EXPECT_NE(result.output.find("7 windows"), std::string::npos)
+      << result.output;
+  std::string current = ReadFileOrEmpty(sub + "/reg/CURRENT");
+  EXPECT_EQ(current.substr(0, 2), "7 ");
+}
+
+TEST_F(MonitorCliTest, CrashFailpointLeavesNoTornRegistryVersion) {
+  std::string sub = dir_ + "/crash";
+  // Crash on the 5th atomic rename: versions 1-2 and their CURRENT commits
+  // land, version 3 dies mid-publish.
+  CommandResult result = RunCliEnv(
+      "PROCMINE_FAILPOINTS=atomic_write.rename=crash@4",
+      "monitor " + log_path_ + " --window-executions=100 --registry-dir=" +
+          sub + "/reg");
+  EXPECT_EQ(result.exit_code, 134) << result.output;
+  EXPECT_FALSE(ReadFileOrEmpty(sub + "/reg/v000001.json").empty());
+  EXPECT_FALSE(ReadFileOrEmpty(sub + "/reg/v000002.json").empty());
+  // The interrupted version never appears at its final path (its .tmp may
+  // survive the crash; Open ignores it and the next write replaces it).
+  EXPECT_TRUE(ReadFileOrEmpty(sub + "/reg/v000003.json").empty());
+
+  // A rerun into the surviving directory resumes after the durable prefix.
+  CommandResult rerun = RunCli(
+      "monitor " + log_path_ + " --window-executions=100 --registry-dir=" +
+      sub + "/reg");
+  EXPECT_EQ(rerun.exit_code, 1) << rerun.output;
+  std::string current = ReadFileOrEmpty(sub + "/reg/CURRENT");
+  EXPECT_EQ(current.substr(0, 2), "6 ");  // 2 recovered + 4 new
+}
+
+TEST_F(MonitorCliTest, UsageAndDataErrors) {
+  EXPECT_EQ(RunCli("monitor").exit_code, 2);
+  EXPECT_EQ(RunCli("monitor --window-executions=0 " + log_path_).exit_code,
+            2);
+  EXPECT_EQ(RunCli("monitor " + dir_ + "/absent.log").exit_code, 3);
+}
+
 TEST_F(CliTest, TraceSummaryIncludesHistogramPercentiles) {
   std::string trace_path = dir_ + "/trace.json";
   CommandResult result =

@@ -1,0 +1,352 @@
+// Drift monitor: every injected scenario is detected within one window of
+// the cut, drift-free noisy logs stay silent at the Section 6 bounds, and
+// window mechanics (tumbling, sliding, partial-final) behave.
+
+#include "mine/drift.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+
+#include "mine/noise.h"
+#include "obs/registry.h"
+#include "synth/drift_scenario.h"
+
+namespace procmine {
+namespace {
+
+Result<EventLog> MustLog(const DriftScenarioOptions& options) {
+  return GenerateDriftLog(options);
+}
+
+// Runs a monitor over a generated scenario and returns it for inspection.
+DriftMonitor RunScenario(const DriftScenarioOptions& scenario,
+                         const DriftOptions& options,
+                         obs::ModelRegistry* registry = nullptr) {
+  auto log = MustLog(scenario);
+  EXPECT_TRUE(log.ok()) << log.status().message();
+  DriftMonitor monitor(options, registry);
+  EXPECT_TRUE(monitor.AddLog(*log).ok());
+  EXPECT_TRUE(monitor.Finish().ok());
+  return monitor;
+}
+
+bool HasAlert(const DriftMonitor& monitor, DriftAlert::Kind kind,
+              const std::string& from, const std::string& to) {
+  for (const DriftAlert& alert : monitor.alerts()) {
+    if (alert.kind == kind && alert.from == from && alert.to == to) {
+      return true;
+    }
+  }
+  return false;
+}
+
+// Latency in windows between the cut and the first alert; -1 = no alert.
+int64_t DetectionWindowLatency(const DriftMonitor& monitor, int64_t cut) {
+  for (const DriftAlert& alert : monitor.alerts()) {
+    if (alert.window_last >= cut) {
+      return alert.window_index - cut / 100;  // windows past the cut window
+    }
+  }
+  return -1;
+}
+
+TEST(SupportHighWatermarkTest, MatchesFalseDependencyBound) {
+  // s_hi is the smallest support whose complement passes the bound cutoff.
+  int64_t s_hi = SupportHighWatermark(100, 0.05);
+  ASSERT_GT(s_hi, 50);
+  ASSERT_LT(s_hi, 100);
+  EXPECT_LE(FalseDependencyBound(100, 100 - s_hi), 0.05);
+  EXPECT_GT(FalseDependencyBound(100, 100 - (s_hi - 1)), 0.05);
+  // Degenerate windows: nothing can clear the bound.
+  EXPECT_EQ(SupportHighWatermark(2, 1e-12), 3);
+}
+
+TEST(DriftMonitorTest, DetectsEdgeAddedWithinOneWindow) {
+  DriftScenarioOptions scenario;
+  scenario.kind = DriftKind::kEdgeAdded;
+  scenario.num_executions = 400;
+  scenario.cut = 200;
+  DriftMonitor monitor = RunScenario(scenario, {.window_executions = 100});
+
+  EXPECT_TRUE(HasAlert(monitor, DriftAlert::Kind::kEdgeAppeared, "Pack",
+                       "Bill"));
+  EXPECT_EQ(DetectionWindowLatency(monitor, scenario.cut), 0);
+}
+
+TEST(DriftMonitorTest, DetectsEdgeRemovedWithinOneWindow) {
+  DriftScenarioOptions scenario;
+  scenario.kind = DriftKind::kEdgeRemoved;
+  scenario.num_executions = 400;
+  scenario.cut = 200;
+  DriftMonitor monitor = RunScenario(scenario, {.window_executions = 100});
+
+  EXPECT_TRUE(HasAlert(monitor, DriftAlert::Kind::kEdgeVanished, "Pack",
+                       "Bill"));
+  EXPECT_EQ(DetectionWindowLatency(monitor, scenario.cut), 0);
+}
+
+TEST(DriftMonitorTest, DetectsConditionFlipExactlyOnce) {
+  DriftScenarioOptions scenario;
+  scenario.kind = DriftKind::kConditionFlipped;
+  scenario.num_executions = 400;
+  scenario.cut = 200;
+  DriftMonitor monitor = RunScenario(scenario, {.window_executions = 100});
+
+  // The flip is one behavioural change: exactly one alert, the flip itself.
+  // The appear/vanish halves and the reduction rearrangements around them
+  // must all be folded in or suppressed.
+  ASSERT_EQ(monitor.alerts().size(), 1u);
+  const DriftAlert& alert = monitor.alerts()[0];
+  EXPECT_EQ(alert.kind, DriftAlert::Kind::kDirectionFlipped);
+  EXPECT_EQ(alert.from, "Pack");
+  EXPECT_EQ(alert.to, "Bill");
+  EXPECT_EQ(alert.witness_execution, 200);
+  EXPECT_EQ(alert.witness_name, "drift_000200");
+}
+
+TEST(DriftMonitorTest, DetectsFrequencyShift) {
+  DriftScenarioOptions scenario;
+  scenario.kind = DriftKind::kFrequencyShift;
+  scenario.num_executions = 400;
+  scenario.cut = 200;
+  DriftMonitor monitor = RunScenario(scenario, {.window_executions = 100});
+
+  EXPECT_TRUE(HasAlert(monitor, DriftAlert::Kind::kSupportSurge, "Receive",
+                       "Bill"));
+  EXPECT_TRUE(HasAlert(monitor, DriftAlert::Kind::kSupportCollapse,
+                       "Receive", "Pack"));
+  EXPECT_EQ(DetectionWindowLatency(monitor, scenario.cut), 0);
+}
+
+TEST(DriftMonitorTest, GradualShiftStillDetectedWithinRamp) {
+  DriftScenarioOptions scenario;
+  scenario.kind = DriftKind::kFrequencyShift;
+  scenario.num_executions = 800;
+  scenario.cut = 200;
+  scenario.ramp_executions = 300;  // probability drifts over 3 windows
+  DriftMonitor monitor = RunScenario(scenario, {.window_executions = 100});
+
+  ASSERT_FALSE(monitor.alerts().empty());
+  // The first alert must land inside the ramp or the first settled window.
+  EXPECT_LE(monitor.alerts().front().window_first,
+            scenario.cut + scenario.ramp_executions);
+}
+
+TEST(DriftMonitorTest, CleanStableProcessRaisesNothing) {
+  DriftScenarioOptions scenario;
+  scenario.kind = DriftKind::kNone;
+  scenario.num_executions = 600;
+  DriftMonitor monitor = RunScenario(scenario, {.window_executions = 100});
+  EXPECT_TRUE(monitor.alerts().empty());
+  EXPECT_EQ(monitor.num_windows(), 6);
+  EXPECT_FALSE(monitor.BuildReport("clean").drift_detected());
+}
+
+TEST(DriftMonitorTest, NoisyDriftFreeLogStaysSilentAtSectionSixBounds) {
+  // The acceptance bar: swap noise at the assumed epsilon, no drift, zero
+  // alerts — across several seeds so it is not one lucky shuffle.
+  for (uint64_t seed : {1u, 7u, 23u, 101u}) {
+    DriftScenarioOptions scenario;
+    scenario.kind = DriftKind::kNone;
+    scenario.num_executions = 800;
+    scenario.seed = seed;
+    scenario.swap_rate = 0.05;
+    DriftOptions options;
+    options.window_executions = 100;
+    options.epsilon = 0.05;
+    DriftMonitor monitor = RunScenario(scenario, options);
+    EXPECT_TRUE(monitor.alerts().empty())
+        << "seed " << seed << ": "
+        << monitor.alerts().front().ToJsonLine();
+  }
+}
+
+TEST(DriftMonitorTest, NoisySlidingWindowsAlsoStaySilent) {
+  DriftScenarioOptions scenario;
+  scenario.kind = DriftKind::kNone;
+  scenario.num_executions = 600;
+  scenario.swap_rate = 0.05;
+  DriftOptions options;
+  options.window_executions = 100;
+  options.slide = 25;
+  DriftMonitor monitor = RunScenario(scenario, options);
+  EXPECT_TRUE(monitor.alerts().empty());
+  EXPECT_EQ(monitor.num_windows(), 21);  // (600 - 100) / 25 + 1
+}
+
+TEST(DriftMonitorTest, NoisyFlipStillDetected) {
+  DriftScenarioOptions scenario;
+  scenario.kind = DriftKind::kConditionFlipped;
+  scenario.num_executions = 400;
+  scenario.cut = 200;
+  scenario.swap_rate = 0.05;
+  DriftOptions options;
+  options.window_executions = 100;
+  options.epsilon = 0.05;
+  DriftMonitor monitor = RunScenario(scenario, options);
+  EXPECT_TRUE(HasAlert(monitor, DriftAlert::Kind::kDirectionFlipped, "Pack",
+                       "Bill"));
+}
+
+TEST(DriftMonitorTest, SlidingWindowsShrinkDetectionLatency) {
+  DriftScenarioOptions scenario;
+  scenario.kind = DriftKind::kConditionFlipped;
+  scenario.num_executions = 400;
+  scenario.cut = 150;  // off the tumbling grid
+  DriftOptions options;
+  options.window_executions = 100;
+  options.slide = 10;
+  DriftMonitor monitor = RunScenario(scenario, options);
+
+  ASSERT_FALSE(monitor.alerts().empty());
+  // First alert fires while the window still straddles the cut, i.e. within
+  // one window length of the change, not one tumbling period.
+  EXPECT_LT(monitor.alerts().front().window_first, scenario.cut);
+  EXPECT_GE(monitor.alerts().front().window_last, scenario.cut);
+}
+
+TEST(DriftMonitorTest, BaselineWindowNeverAlerts) {
+  // Even a pathological first window (all edges new by definition) only
+  // seeds state.
+  DriftScenarioOptions scenario;
+  scenario.kind = DriftKind::kNone;
+  scenario.num_executions = 100;
+  scenario.cut = 0;
+  DriftMonitor monitor = RunScenario(scenario, {.window_executions = 100});
+  EXPECT_EQ(monitor.num_windows(), 1);
+  EXPECT_TRUE(monitor.alerts().empty());
+}
+
+TEST(DriftMonitorTest, PartialFinalWindowHonorsMinFinalWindow) {
+  DriftScenarioOptions scenario;
+  scenario.kind = DriftKind::kNone;
+  scenario.num_executions = 250;
+
+  DriftOptions skip;
+  skip.window_executions = 100;
+  DriftMonitor without = RunScenario(scenario, skip);
+  EXPECT_EQ(without.num_windows(), 2);  // trailing 50 dropped
+
+  DriftOptions keep = skip;
+  keep.min_final_window = 40;
+  DriftMonitor with = RunScenario(scenario, keep);
+  ASSERT_EQ(with.num_windows(), 3);
+  EXPECT_EQ(with.windows().back().num_executions, 50);
+}
+
+TEST(DriftMonitorTest, WindowSummariesCarryBandAndThreshold) {
+  DriftScenarioOptions scenario;
+  scenario.kind = DriftKind::kNone;
+  scenario.num_executions = 200;
+  DriftOptions options;
+  options.window_executions = 100;
+  options.epsilon = 0.05;
+  DriftMonitor monitor = RunScenario(scenario, options);
+
+  ASSERT_EQ(monitor.num_windows(), 2);
+  const DriftWindowSummary& w = monitor.windows()[0];
+  EXPECT_EQ(w.num_executions, 100);
+  EXPECT_EQ(w.noise_threshold, OptimalNoiseThreshold(100, 0.05));
+  EXPECT_EQ(w.support_high, SupportHighWatermark(100, options.bound_cutoff));
+  EXPECT_EQ(w.support_low, 100 - w.support_high);
+  EXPECT_EQ(w.num_activities, 6);
+  EXPECT_GT(w.num_edges, 0);
+}
+
+TEST(DriftMonitorTest, PublishesEveryWindowToRegistry) {
+  std::string dir = ::testing::TempDir() + "/drift_registry_publish";
+  std::string wipe = "rm -rf " + dir;
+  ASSERT_EQ(std::system(wipe.c_str()), 0);
+  auto registry = obs::ModelRegistry::Open(dir);
+  ASSERT_TRUE(registry.ok());
+
+  DriftScenarioOptions scenario;
+  scenario.kind = DriftKind::kConditionFlipped;
+  scenario.num_executions = 400;
+  scenario.cut = 200;
+  DriftMonitor monitor =
+      RunScenario(scenario, {.window_executions = 100}, &*registry);
+
+  EXPECT_EQ(registry->latest_version(), 4);
+  for (const DriftWindowSummary& w : monitor.windows()) {
+    ASSERT_GT(w.registry_version, 0);
+    auto snap = registry->Load(w.registry_version);
+    ASSERT_TRUE(snap.ok());
+    EXPECT_EQ(snap->window.index, w.index);
+    EXPECT_EQ(snap->window.first_execution, w.first_execution);
+    EXPECT_EQ(snap->window.num_executions, w.num_executions);
+    EXPECT_EQ(static_cast<int64_t>(snap->edges.size()), w.num_edges);
+  }
+  // The published models flip between versions 2 and 3 (windows 1 and 2).
+  auto diff = registry->DiffVersions(2, 3);
+  ASSERT_TRUE(diff.ok());
+  EXPECT_FALSE(diff->structurally_equal());
+}
+
+TEST(DriftMonitorTest, AlertJsonLineIsDeterministic) {
+  DriftScenarioOptions scenario;
+  scenario.kind = DriftKind::kConditionFlipped;
+  scenario.num_executions = 400;
+  scenario.cut = 200;
+  DriftMonitor a = RunScenario(scenario, {.window_executions = 100});
+  DriftMonitor b = RunScenario(scenario, {.window_executions = 100});
+
+  ASSERT_EQ(a.alerts().size(), b.alerts().size());
+  for (size_t i = 0; i < a.alerts().size(); ++i) {
+    EXPECT_EQ(a.alerts()[i].ToJsonLine(), b.alerts()[i].ToJsonLine());
+  }
+  EXPECT_EQ(a.BuildReport("x").ToJson(), b.BuildReport("x").ToJson());
+
+  const std::string line = a.alerts()[0].ToJsonLine();
+  EXPECT_NE(line.find("\"alert\": \"direction_flipped\""),
+            std::string::npos);
+  EXPECT_NE(line.find("\"witness_name\": \"drift_000200\""),
+            std::string::npos);
+}
+
+TEST(DriftMonitorTest, ReportCarriesSchemaVersionThree) {
+  DriftScenarioOptions scenario;
+  scenario.kind = DriftKind::kNone;
+  scenario.num_executions = 200;
+  DriftMonitor monitor = RunScenario(scenario, {.window_executions = 100});
+  DriftReport report = monitor.BuildReport("unit");
+  std::string json = report.ToJson();
+  EXPECT_NE(json.find("\"schema_version\": 3"), std::string::npos);
+  EXPECT_NE(json.find("\"report\": \"drift\""), std::string::npos);
+  EXPECT_NE(json.find("\"source\": \"unit\""), std::string::npos);
+  EXPECT_EQ(report.num_executions, 200);
+  EXPECT_EQ(report.num_windows, 2);
+}
+
+TEST(DriftMonitorTest, RejectsInvalidExecutionsWithoutAdvancing) {
+  DriftMonitor monitor({.window_executions = 10});
+  EventLog log = EventLog::FromCompactStrings({"AB"});
+  Execution empty("empty");
+  EXPECT_FALSE(monitor.Add(empty, log.dictionary()).ok());
+  EXPECT_EQ(monitor.num_executions(), 0);
+  ASSERT_TRUE(monitor.AddLog(log).ok());
+  EXPECT_EQ(monitor.num_executions(), 1);
+}
+
+TEST(DriftMonitorTest, FinishIsIdempotent) {
+  DriftScenarioOptions scenario;
+  scenario.kind = DriftKind::kNone;
+  scenario.num_executions = 150;
+  scenario.cut = 0;
+  auto log = MustLog(scenario);
+  ASSERT_TRUE(log.ok());
+  DriftOptions options;
+  options.window_executions = 100;
+  options.min_final_window = 10;
+  DriftMonitor monitor(options);
+  ASSERT_TRUE(monitor.AddLog(*log).ok());
+  ASSERT_TRUE(monitor.Finish().ok());
+  int64_t windows = monitor.num_windows();
+  ASSERT_TRUE(monitor.Finish().ok());
+  EXPECT_EQ(monitor.num_windows(), windows);
+}
+
+}  // namespace
+}  // namespace procmine

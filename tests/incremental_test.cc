@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <deque>
+
 #include "mine/general_dag_miner.h"
 #include "mine/metrics.h"
 #include "synth/log_generator.h"
@@ -141,6 +143,108 @@ TEST(IncrementalMinerTest, DictionaryGrowsAcrossDifferentSources) {
   ActivityId b = *graph->FindActivity("B");
   ActivityId c = *graph->FindActivity("C");
   EXPECT_TRUE(graph->graph().HasEdge(b, c));
+}
+
+TEST(IncrementalMinerTest, RemoveIsExactInverseOfAdd) {
+  IncrementalMiner miner;
+  ASSERT_TRUE(miner.AddSequence({"A", "B", "C"}).ok());
+  ASSERT_TRUE(miner.AddSequence({"A", "C", "B"}).ok());
+  ASSERT_TRUE(miner.RemoveSequence({"A", "C", "B"}).ok());
+  EXPECT_EQ(miner.num_executions(), 1u);
+
+  // State must equal a miner that never saw the removed execution.
+  IncrementalMiner fresh;
+  ASSERT_TRUE(fresh.AddSequence({"A", "B", "C"}).ok());
+  auto evicted = miner.CurrentGraph();
+  auto reference = fresh.CurrentGraph();
+  ASSERT_TRUE(evicted.ok());
+  ASSERT_TRUE(reference.ok());
+  EXPECT_TRUE(CompareByName(*reference, *evicted).ExactMatch());
+  EXPECT_EQ(miner.num_distinct_activity_sets(), 1u);
+}
+
+TEST(IncrementalMinerTest, RemoveUnknownSequenceFailsAtomically) {
+  IncrementalMiner miner;
+  ASSERT_TRUE(miner.AddSequence({"A", "B"}).ok());
+
+  // Never-interned name.
+  Status st = miner.RemoveSequence({"A", "Z"});
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(miner.num_executions(), 1u);
+
+  // Known names, but this execution (order) was never absorbed.
+  st = miner.RemoveSequence({"B", "A"});
+  EXPECT_EQ(st.code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(miner.num_executions(), 1u);
+
+  // The one real execution is still removable afterwards: the failed
+  // removals left every counter untouched.
+  EXPECT_TRUE(miner.RemoveSequence({"A", "B"}).ok());
+  EXPECT_EQ(miner.num_executions(), 0u);
+  EXPECT_FALSE(miner.RemoveSequence({"A", "B"}).ok());
+}
+
+TEST(IncrementalMinerTest, RemoveRejectsInvalidExecutions) {
+  IncrementalMiner miner;
+  ASSERT_TRUE(miner.AddSequence({"A", "B"}).ok());
+  EXPECT_FALSE(miner.RemoveSequence({}).ok());
+  EXPECT_FALSE(miner.RemoveSequence({"A", "A"}).ok());
+  EXPECT_EQ(miner.num_executions(), 1u);
+}
+
+TEST(IncrementalMinerTest, EdgeSupportTracksAddAndRemove) {
+  IncrementalMiner miner;
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(miner.AddSequence({"A", "B"}).ok());
+  }
+  ActivityId a = *miner.dictionary().Find("A");
+  ActivityId b = *miner.dictionary().Find("B");
+  EXPECT_EQ(miner.EdgeSupport(a, b), 3);
+  EXPECT_EQ(miner.EdgeSupport(b, a), 0);
+  ASSERT_TRUE(miner.RemoveSequence({"A", "B"}).ok());
+  EXPECT_EQ(miner.EdgeSupport(a, b), 2);
+  ASSERT_TRUE(miner.RemoveSequence({"A", "B"}).ok());
+  ASSERT_TRUE(miner.RemoveSequence({"A", "B"}).ok());
+  EXPECT_EQ(miner.EdgeSupport(a, b), 0);
+  // Fully evicted pairs leave no residue in the live counters.
+  EXPECT_TRUE(miner.edge_counts().empty());
+}
+
+TEST(IncrementalMinerTest, SlidingWindowEquivalentToScratchMiner) {
+  // Maintain a 20-execution window over a 60-execution stream; at every
+  // step the incremental model must match mining the window from scratch.
+  EventLog log = EventLog::FromCompactStrings({"ABCF", "ACDF", "ADEF",
+                                               "AECF", "ABDF", "ACEF"});
+  std::vector<size_t> stream;
+  for (size_t i = 0; i < 60; ++i) stream.push_back(i % 6);
+
+  IncrementalMiner rolling;
+  std::deque<size_t> window;
+  for (size_t step = 0; step < stream.size(); ++step) {
+    ASSERT_TRUE(rolling
+                    .AddExecution(log.execution(stream[step]),
+                                  log.dictionary())
+                    .ok());
+    window.push_back(stream[step]);
+    if (window.size() > 20) {
+      ASSERT_TRUE(rolling
+                      .RemoveExecution(log.execution(window.front()),
+                                       log.dictionary())
+                      .ok());
+      window.pop_front();
+    }
+    if (step % 7 != 0) continue;  // spot-check a spread of steps
+    IncrementalMiner scratch;
+    for (size_t idx : window) {
+      ASSERT_TRUE(
+          scratch.AddExecution(log.execution(idx), log.dictionary()).ok());
+    }
+    auto a = rolling.CurrentGraph();
+    auto b = scratch.CurrentGraph();
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    EXPECT_TRUE(CompareByName(*b, *a).ExactMatch()) << "step " << step;
+  }
 }
 
 TEST(IncrementalMinerTest, IntervalExecutionsSupported) {

@@ -103,6 +103,34 @@ TEST(ModelDiffTest, EndToEndWithMiner) {
   }
 }
 
+TEST(ModelDiffTest, ToJsonIsSchemaStableAndComplete) {
+  ProcessGraph mined =
+      ProcessGraph::FromNamedEdges({{"Start", "Check"}, {"Check", "Close"}});
+  ModelDiff diff = DiffModels(Designed(), mined);
+  std::string json = diff.ToJson();
+
+  EXPECT_NE(json.find("\"model_diff_schema\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"structurally_equal\": false"), std::string::npos);
+  // Every kind appears in counts, even at zero, in fixed order.
+  size_t unobserved = json.find("\"unobserved_activity\":");
+  size_t refined = json.find("\"refined_edge\":");
+  ASSERT_NE(unobserved, std::string::npos);
+  ASSERT_NE(refined, std::string::npos);
+  EXPECT_LT(unobserved, refined);
+  EXPECT_NE(json.find("\"kind\": \"unobserved_activity\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"activity\": \"Ship\""), std::string::npos);
+
+  // Deterministic: same diff, same bytes.
+  EXPECT_EQ(DiffModels(Designed(), mined).ToJson(), json);
+
+  // Agreement is the degenerate document, not an absent one.
+  std::string equal_json = DiffModels(Designed(), Designed()).ToJson();
+  EXPECT_NE(equal_json.find("\"structurally_equal\": true"),
+            std::string::npos);
+  EXPECT_NE(equal_json.find("\"discrepancies\": []"), std::string::npos);
+}
+
 TEST(ModelDiffTest, SummaryListsDiscrepancies) {
   ProcessGraph mined =
       ProcessGraph::FromNamedEdges({{"Start", "Check"}, {"Check", "Close"}});

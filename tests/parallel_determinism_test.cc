@@ -10,6 +10,8 @@
 
 #include "mine/cyclic_miner.h"
 #include "mine/edge_collector.h"
+#include "mine/incremental.h"
+#include "mine/metrics.h"
 #include "mine/miner.h"
 #include "mine/relations.h"
 #include "synth/log_generator.h"
@@ -199,6 +201,53 @@ TEST(ParallelDeterminismTest, ChunkSizeNeverChangesTheModel) {
           MineOrDie(cyclic, MinerAlgorithm::kCyclic, threads, chunk);
       EXPECT_EQ(parallel.graph().Edges(), reference.graph().Edges())
           << "cyclic threads=" << threads << " chunk=" << chunk;
+    }
+  }
+}
+
+// Window eviction must be invisible too: a miner that absorbed the whole
+// stream and evicted everything before the window equals batch-mining just
+// the window — at every threads x chunk-size combination of the batch path.
+TEST(ParallelDeterminismTest, WindowEvictionMatchesScratchMining) {
+  const size_t kChunkAxis[] = {1, 3, 16, 1000};
+  for (uint64_t seed : kSeeds) {
+    ProcessGraph truth = TruthDag(seed);
+    // Linear extensions touch every activity, so the evicted miner's
+    // dictionary and the window log cover the same activity set.
+    auto log = GenerateLinearExtensionLog(truth, /*num_executions=*/90,
+                                          seed * 7 + 2);
+    ASSERT_TRUE(log.ok()) << log.status().ToString();
+    const size_t kWindowStart = 60;
+
+    IncrementalMiner rolling;
+    ASSERT_TRUE(rolling.AddLog(*log).ok());
+    for (size_t i = 0; i < kWindowStart; ++i) {
+      ASSERT_TRUE(rolling
+                      .RemoveExecution(log->execution(i), log->dictionary())
+                      .ok());
+    }
+    auto windowed = rolling.CurrentGraph();
+    ASSERT_TRUE(windowed.ok());
+
+    EventLog window_log;
+    for (size_t i = kWindowStart; i < log->num_executions(); ++i) {
+      std::vector<ActivityId> ids;
+      for (ActivityId id : log->execution(i).Sequence()) {
+        ids.push_back(window_log.dictionary().Intern(
+            log->dictionary().Name(id)));
+      }
+      window_log.AddExecution(
+          Execution::FromSequence(log->execution(i).name(), ids));
+    }
+
+    for (int threads : kThreadAxis) {
+      for (size_t chunk : kChunkAxis) {
+        ProcessGraph batch = MineOrDie(window_log, MinerAlgorithm::kGeneralDag,
+                                       threads, chunk);
+        EXPECT_TRUE(CompareByName(batch, *windowed).ExactMatch())
+            << "seed=" << seed << " threads=" << threads
+            << " chunk=" << chunk;
+      }
     }
   }
 }

@@ -1,0 +1,288 @@
+// Versioned model registry: monotone versions, parent-hash chaining,
+// crash-safe (failpoint-injected) writes, and load-back equality.
+
+#include "obs/registry.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <iterator>
+#include <string>
+
+#include "mine/model_diff.h"
+#include "util/failpoint.h"
+
+namespace procmine::obs {
+namespace {
+
+std::string ReadFileOrEmpty(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.good()) return "";
+  return std::string((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+}
+
+bool FileExists(const std::string& path) {
+  return std::ifstream(path).good();
+}
+
+// A small but non-trivial snapshot: isolated activity, two edges, window
+// provenance — enough surface for round-trip equality to mean something.
+ModelSnapshot DemoSnapshot(int64_t window_index) {
+  ModelSnapshot snap;
+  snap.window.index = window_index;
+  snap.window.first_execution = window_index * 100;
+  snap.window.last_execution = window_index * 100 + 99;
+  snap.window.num_executions = 100;
+  snap.window.first_name = "exec_a";
+  snap.window.last_name = "exec_b";
+  snap.noise_threshold = 19;
+  snap.epsilon = 0.05;
+  snap.activities = {"A", "B", "C", "Idle"};
+  snap.edges = {{"A", "B", 97}, {"B", "C", 88}};
+  return snap;
+}
+
+class RegistryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    failpoint::DeactivateAll();
+    dir_ = ::testing::TempDir() + "/registry_" +
+           ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    std::string mkdir = "rm -rf " + dir_;
+    ASSERT_EQ(std::system(mkdir.c_str()), 0);
+  }
+  void TearDown() override { failpoint::DeactivateAll(); }
+
+  std::string dir_;
+};
+
+TEST_F(RegistryTest, OpenCreatesEmptyRegistry) {
+  auto reg = ModelRegistry::Open(dir_);
+  ASSERT_TRUE(reg.ok()) << reg.status().message();
+  EXPECT_TRUE(reg->empty());
+  EXPECT_EQ(reg->latest_version(), 0);
+  EXPECT_TRUE(reg->Versions().empty());
+  EXPECT_FALSE(reg->LoadLatest().ok());
+}
+
+TEST_F(RegistryTest, VersionsAreMonotoneAndContiguous) {
+  auto reg = ModelRegistry::Open(dir_);
+  ASSERT_TRUE(reg.ok());
+  for (int64_t i = 1; i <= 5; ++i) {
+    auto version = reg->Append(DemoSnapshot(i - 1));
+    ASSERT_TRUE(version.ok()) << version.status().message();
+    EXPECT_EQ(*version, i);
+    EXPECT_EQ(reg->latest_version(), i);
+  }
+  EXPECT_EQ(reg->Versions(), (std::vector<int64_t>{1, 2, 3, 4, 5}));
+}
+
+TEST_F(RegistryTest, LoadBackEqualsAppended) {
+  auto reg = ModelRegistry::Open(dir_);
+  ASSERT_TRUE(reg.ok());
+  ModelSnapshot in = DemoSnapshot(0);
+  ASSERT_TRUE(reg->Append(in).ok());
+
+  auto out = reg->Load(1);
+  ASSERT_TRUE(out.ok()) << out.status().message();
+  EXPECT_EQ(out->version, 1);
+  EXPECT_EQ(out->parent_hash, "none");
+  EXPECT_EQ(out->window.index, in.window.index);
+  EXPECT_EQ(out->window.first_execution, in.window.first_execution);
+  EXPECT_EQ(out->window.last_execution, in.window.last_execution);
+  EXPECT_EQ(out->window.num_executions, in.window.num_executions);
+  EXPECT_EQ(out->window.first_name, in.window.first_name);
+  EXPECT_EQ(out->window.last_name, in.window.last_name);
+  EXPECT_EQ(out->noise_threshold, in.noise_threshold);
+  EXPECT_DOUBLE_EQ(out->epsilon, in.epsilon);
+  EXPECT_EQ(out->activities, in.activities);
+  ASSERT_EQ(out->edges.size(), in.edges.size());
+  for (size_t i = 0; i < in.edges.size(); ++i) {
+    EXPECT_EQ(out->edges[i].from, in.edges[i].from);
+    EXPECT_EQ(out->edges[i].to, in.edges[i].to);
+    EXPECT_EQ(out->edges[i].support, in.edges[i].support);
+  }
+}
+
+TEST_F(RegistryTest, JsonRoundTripIsByteStable) {
+  ModelSnapshot snap = DemoSnapshot(3);
+  snap.version = 7;
+  snap.parent_hash = "deadbeef";
+  std::string json = snap.ToJson();
+  auto parsed = ModelSnapshot::FromJson(json);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().message();
+  EXPECT_EQ(parsed->ToJson(), json);
+}
+
+TEST_F(RegistryTest, ToProcessGraphKeepsIsolatedActivities) {
+  ModelSnapshot snap = DemoSnapshot(0);
+  ProcessGraph graph = snap.ToProcessGraph();
+  EXPECT_EQ(graph.num_activities(), 4);  // Idle survives despite no edges
+  EXPECT_EQ(graph.graph().num_edges(), 2);
+  auto idle = graph.FindActivity("Idle");
+  ASSERT_TRUE(idle.ok());
+}
+
+TEST_F(RegistryTest, ParentHashChainLinksFiles) {
+  auto reg = ModelRegistry::Open(dir_);
+  ASSERT_TRUE(reg.ok());
+  ASSERT_TRUE(reg->Append(DemoSnapshot(0)).ok());
+  ASSERT_TRUE(reg->Append(DemoSnapshot(1)).ok());
+  ASSERT_TRUE(reg->Append(DemoSnapshot(2)).ok());
+
+  auto v1 = reg->Load(1);
+  auto v2 = reg->Load(2);
+  auto v3 = reg->Load(3);
+  ASSERT_TRUE(v1.ok() && v2.ok() && v3.ok());
+  EXPECT_EQ(v1->parent_hash, "none");
+  EXPECT_NE(v2->parent_hash, "none");
+  EXPECT_NE(v3->parent_hash, v2->parent_hash);
+
+  // Reopening sees the same chain and continues numbering after it.
+  auto reopened = ModelRegistry::Open(dir_);
+  ASSERT_TRUE(reopened.ok());
+  EXPECT_EQ(reopened->latest_version(), 3);
+  auto v4 = reopened->Append(DemoSnapshot(3));
+  ASSERT_TRUE(v4.ok());
+  EXPECT_EQ(*v4, 4);
+  auto loaded = reopened->Load(4);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_NE(loaded->parent_hash, "none");
+}
+
+TEST_F(RegistryTest, OpenStopsAtBrokenChain) {
+  auto reg = ModelRegistry::Open(dir_);
+  ASSERT_TRUE(reg.ok());
+  for (int i = 0; i < 4; ++i) ASSERT_TRUE(reg->Append(DemoSnapshot(i)).ok());
+
+  // Corrupt v3: rewrite it with a wrong parent hash. v1..v2 stay loadable;
+  // v3 and v4 fall off the end of the chain.
+  ModelSnapshot bogus = DemoSnapshot(2);
+  bogus.version = 3;
+  bogus.parent_hash = "00000000";
+  std::ofstream out(reg->VersionPath(3), std::ios::binary | std::ios::trunc);
+  out << bogus.ToJson();
+  out.close();
+
+  auto reopened = ModelRegistry::Open(dir_);
+  ASSERT_TRUE(reopened.ok());
+  EXPECT_EQ(reopened->latest_version(), 2);
+  EXPECT_TRUE(reopened->Load(1).ok());
+  EXPECT_TRUE(reopened->Load(2).ok());
+  EXPECT_FALSE(reopened->Load(3).ok());
+}
+
+TEST_F(RegistryTest, OpenStopsAtTornSnapshot) {
+  auto reg = ModelRegistry::Open(dir_);
+  ASSERT_TRUE(reg.ok());
+  ASSERT_TRUE(reg->Append(DemoSnapshot(0)).ok());
+  ASSERT_TRUE(reg->Append(DemoSnapshot(1)).ok());
+
+  // Simulate a torn write the atomic layer is supposed to prevent: truncate
+  // v2 mid-file. Open() must degrade to v1, not fail or crash.
+  std::string v2 = ReadFileOrEmpty(reg->VersionPath(2));
+  ASSERT_GT(v2.size(), 10u);
+  std::ofstream out(reg->VersionPath(2), std::ios::binary | std::ios::trunc);
+  out << v2.substr(0, v2.size() / 2);
+  out.close();
+
+  auto reopened = ModelRegistry::Open(dir_);
+  ASSERT_TRUE(reopened.ok());
+  EXPECT_EQ(reopened->latest_version(), 1);
+}
+
+TEST_F(RegistryTest, FailedAppendLeavesNoTornVersion) {
+  auto reg = ModelRegistry::Open(dir_);
+  ASSERT_TRUE(reg.ok());
+  ASSERT_TRUE(reg->Append(DemoSnapshot(0)).ok());
+
+  failpoint::Activate("atomic_write.write", failpoint::Action::kError);
+  auto version = reg->Append(DemoSnapshot(1));
+  EXPECT_FALSE(version.ok());
+  failpoint::DeactivateAll();
+
+  // The failed version must not exist, in any form.
+  EXPECT_FALSE(FileExists(reg->VersionPath(2)));
+  EXPECT_FALSE(FileExists(reg->VersionPath(2) + ".tmp"));
+  EXPECT_EQ(reg->latest_version(), 1);
+
+  // The registry keeps working after the fault clears.
+  auto retried = reg->Append(DemoSnapshot(1));
+  ASSERT_TRUE(retried.ok());
+  EXPECT_EQ(*retried, 2);
+  auto reopened = ModelRegistry::Open(dir_);
+  ASSERT_TRUE(reopened.ok());
+  EXPECT_EQ(reopened->latest_version(), 2);
+}
+
+TEST_F(RegistryTest, CrashBeforeCurrentUpdateStillRecovers) {
+  auto reg = ModelRegistry::Open(dir_);
+  ASSERT_TRUE(reg.ok());
+  ASSERT_TRUE(reg->Append(DemoSnapshot(0)).ok());
+
+  // Fail the CURRENT rewrite (second atomic write of the Append): the
+  // snapshot itself is durable, so recovery must still see version 2.
+  failpoint::Activate("atomic_write.rename",
+                      failpoint::Injection{failpoint::Action::kError,
+                                           /*arg=*/0, /*skip=*/1,
+                                           /*count=*/1});
+  auto version = reg->Append(DemoSnapshot(1));
+  failpoint::DeactivateAll();
+  // Append surfaces the CURRENT failure, but the version file landed.
+  ASSERT_TRUE(FileExists(reg->VersionPath(2)));
+
+  auto reopened = ModelRegistry::Open(dir_);
+  ASSERT_TRUE(reopened.ok());
+  EXPECT_EQ(reopened->latest_version(), 2);
+  EXPECT_TRUE(reopened->Load(2).ok());
+  (void)version;
+}
+
+TEST_F(RegistryTest, DiffVersionsReportsStructuralChange) {
+  auto reg = ModelRegistry::Open(dir_);
+  ASSERT_TRUE(reg.ok());
+  // Fully-connected snapshots: DiffModels reads an isolated vertex as an
+  // unobserved activity, which would make even a self-diff unequal.
+  // Diamond serializing into a chain: B -> C is the single new closure
+  // pair, so exactly one undocumented dependency (plus A -> C degrading to
+  // a refined edge).
+  ModelSnapshot before = DemoSnapshot(0);
+  before.edges = {{"A", "B", 97}, {"A", "C", 95}, {"B", "Idle", 88},
+                  {"C", "Idle", 90}};
+  ModelSnapshot after = DemoSnapshot(1);
+  after.edges = {{"A", "B", 97}, {"B", "C", 92}, {"B", "Idle", 88},
+                 {"C", "Idle", 90}};
+  ASSERT_TRUE(reg->Append(before).ok());
+  ASSERT_TRUE(reg->Append(after).ok());
+
+  auto same = reg->DiffVersions(1, 1);
+  ASSERT_TRUE(same.ok());
+  EXPECT_TRUE(same->structurally_equal());
+
+  auto diff = reg->DiffVersions(1, 2);
+  ASSERT_TRUE(diff.ok());
+  EXPECT_FALSE(diff->structurally_equal());
+  EXPECT_EQ(diff->CountKind(ModelDiscrepancy::Kind::kUndocumentedDependency),
+            1);
+
+  EXPECT_FALSE(reg->DiffVersions(1, 9).ok());
+}
+
+TEST_F(RegistryTest, FromJsonRejectsBadSnapshots) {
+  EXPECT_FALSE(ModelSnapshot::FromJson("not json").ok());
+  EXPECT_FALSE(ModelSnapshot::FromJson("{}").ok());
+  // Unsorted activities violate the schema's determinism contract.
+  ModelSnapshot snap = DemoSnapshot(0);
+  snap.activities = {"B", "A"};
+  snap.edges.clear();
+  EXPECT_FALSE(ModelSnapshot::FromJson(snap.ToJson()).ok());
+  // Edges must reference listed activities.
+  ModelSnapshot dangling = DemoSnapshot(0);
+  dangling.edges.push_back({"Idle", "Zed", 5});
+  EXPECT_FALSE(ModelSnapshot::FromJson(dangling.ToJson()).ok());
+}
+
+}  // namespace
+}  // namespace procmine::obs

@@ -10,8 +10,13 @@
 //   procmine report <log> [--out=FILE] [--dot=FILE]
 //                  mining run report: edge provenance, conformance audit,
 //                  noise-threshold sensitivity
+//   procmine monitor <log> [--window-executions=W] [--slide=S]
+//                  [--registry-dir=DIR] [--alerts-out=FILE]
+//                  windowed drift monitoring: versioned model registry +
+//                  JSON-lines alert feed; exit 1 when drift was detected
 //   procmine synth --activities=N --executions=M [--density=D] [--seed=S]
 //                  --out=FILE                  synthetic workload
+//                  (--drift=KIND generates a change-point scenario instead)
 //   procmine convert <in> <out>                format conversion by extension
 //
 // Global observability flags (valid on every command):
@@ -67,10 +72,14 @@
 #include "log/transform.h"
 #include "log/writer.h"
 #include "log/xes.h"
+#include "log/streaming_reader.h"
 #include "mine/conformance.h"
+#include "mine/drift.h"
 #include "mine/miner.h"
 #include "mine/model_diff.h"
 #include "mine/noise.h"
+#include "obs/registry.h"
+#include "synth/drift_scenario.h"
 #include "mine/reconstruct.h"
 #include "mine/sequential_patterns.h"
 #include "mine/trace.h"
@@ -519,8 +528,152 @@ int CommandDiff(const Args& args) {
   auto mined = ProcessMiner().Mine(*log);
   if (!mined.ok()) return Fail(mined.status());
   ModelDiff diff = DiffModels(*designed, *mined);
-  std::cout << diff.Summary();
+  if (args.Has("json")) {
+    // Machine-readable mode: canonically sorted discrepancies as JSON, to
+    // stdout or (atomically) to the named file.
+    if (args.Get("json").empty()) {
+      std::cout << diff.ToJson();
+    } else {
+      Status st = WriteFileAtomic(args.Get("json"), diff.ToJson());
+      if (!st.ok()) return Fail(st);
+      std::fprintf(stderr, "wrote diff to %s\n", args.Get("json").c_str());
+    }
+  } else {
+    std::cout << diff.Summary();
+  }
   return diff.structurally_equal() ? kExitOk : kExitMismatch;
+}
+
+int CommandMonitor(const Args& args) {
+  if (args.positional.empty()) {
+    std::cerr << "usage: procmine monitor <log> [--window-executions=W] "
+                 "[--slide=S] [--threshold=N|auto] [--epsilon=E] "
+                 "[--bound-cutoff=P] [--min-final-window=N] "
+                 "[--registry-dir=DIR] [--alerts-out=FILE] "
+                 "[--report-out=FILE] [--threads=N|auto] [--stream]\n";
+    return kExitUsage;
+  }
+  const std::string& path = args.positional[0];
+
+  DriftOptions options;
+  auto window = ParseInt64(args.Get("window-executions", "100"));
+  auto slide = ParseInt64(args.Get("slide", "0"));
+  auto min_final = ParseInt64(args.Get("min-final-window", "0"));
+  if (!window.ok() || !slide.ok() || !min_final.ok()) {
+    std::cerr << "bad numeric flag\n";
+    return kExitData;
+  }
+  options.window_executions = *window;
+  options.slide = *slide;
+  options.min_final_window = *min_final;
+  if (options.window_executions < 2 || options.slide < 0 ||
+      options.slide > options.window_executions ||
+      options.min_final_window < 0) {
+    std::cerr << "need --window-executions >= 2 and 0 <= --slide <= "
+                 "--window-executions\n";
+    return kExitUsage;
+  }
+  std::string threshold = args.Get("threshold", "auto");
+  if (threshold == "auto") {
+    options.noise_threshold = 0;  // Section 6 optimum T* per window
+  } else {
+    auto parsed = ParseInt64(threshold);
+    if (!parsed.ok()) {
+      std::cerr << "bad --threshold\n";
+      return kExitData;
+    }
+    options.noise_threshold = *parsed;
+  }
+  if (args.Has("epsilon")) {
+    auto epsilon = ParseDouble(args.Get("epsilon"));
+    if (!epsilon.ok()) {
+      std::cerr << "bad --epsilon\n";
+      return kExitData;
+    }
+    options.epsilon = *epsilon;
+  }
+  if (args.Has("bound-cutoff")) {
+    auto cutoff = ParseDouble(args.Get("bound-cutoff"));
+    if (!cutoff.ok()) {
+      std::cerr << "bad --bound-cutoff\n";
+      return kExitData;
+    }
+    options.bound_cutoff = *cutoff;
+  }
+
+  std::optional<obs::ModelRegistry> registry;
+  if (args.Has("registry-dir")) {
+    auto opened = obs::ModelRegistry::Open(args.Get("registry-dir"));
+    if (!opened.ok()) return Fail(opened.status());
+    registry = std::move(*opened);
+  }
+  DriftMonitor monitor(options,
+                       registry.has_value() ? &*registry : nullptr);
+
+  // --stream scans text logs execution-by-execution in bounded memory;
+  // the default path parses the whole log first (sharded across --threads).
+  // The monitor mines sequentially either way, so registry, alerts, and
+  // report are byte-identical for both paths and any thread count.
+  if (args.Has("stream")) {
+    if (EndsWith(path, ".bin") || EndsWith(path, ".xes")) {
+      std::cerr << "--stream applies to text logs only\n";
+      return kExitUsage;
+    }
+    auto policy = RecoveryFlag(args);
+    if (!policy.ok()) return Fail(policy.status());
+    StreamOptions stream_options;
+    stream_options.recovery = *policy;
+    auto stats = StreamLogFile(
+        path,
+        [&monitor](const Execution& exec, const ActivityDictionary& dict) {
+          return monitor.Add(exec, dict);
+        },
+        stream_options);
+    if (!stats.ok()) return Fail(stats.status());
+  } else {
+    auto log = ReadLogAuto(path, args);
+    if (!log.ok()) return Fail(log.status());
+    Status st = monitor.AddLog(*log);
+    if (!st.ok()) return Fail(st);
+  }
+  Status st = monitor.Finish();
+  if (!st.ok()) return Fail(st);
+
+  // Deterministic JSON-lines alert feed.
+  std::string feed;
+  for (const DriftAlert& alert : monitor.alerts()) {
+    feed += alert.ToJsonLine();
+  }
+  if (args.Has("alerts-out")) {
+    st = WriteFileAtomic(args.Get("alerts-out"), feed);
+    if (!st.ok()) return Fail(st);
+    std::fprintf(stderr, "wrote %zu alerts to %s\n", monitor.alerts().size(),
+                 args.Get("alerts-out").c_str());
+  } else {
+    std::cout << feed;
+  }
+
+  DriftReport report = monitor.BuildReport(path);
+  if (args.Has("report-out")) {
+    st = WriteFileAtomic(args.Get("report-out"), report.ToJson());
+    if (!st.ok()) return Fail(st);
+    std::fprintf(stderr, "wrote drift report to %s\n",
+                 args.Get("report-out").c_str());
+  }
+  std::fprintf(stderr,
+               "monitored %lld executions in %lld windows: %zu alerts%s\n",
+               static_cast<long long>(monitor.num_executions()),
+               static_cast<long long>(monitor.num_windows()),
+               monitor.alerts().size(),
+               registry.has_value()
+                   ? StrFormat(", registry at v%lld",
+                               static_cast<long long>(
+                                   registry->latest_version()))
+                         .c_str()
+                   : "");
+  // Like check/diff: a negative verdict (drift found) is exit 1, so scripts
+  // can tell "the process moved" from "the monitor broke".
+  return report.drift_detected() ? kExitMismatch : kExitOk;
 }
 
 int CommandStats(const Args& args) {
@@ -690,11 +843,90 @@ int CommandReport(const Args& args) {
   return FinishWithDegradation(report->degradation);
 }
 
+/// `synth --drift=KIND`: a known process whose behaviour changes at --cut,
+/// for measuring drift-detection latency (see synth/drift_scenario.h).
+int CommandSynthDrift(const Args& args) {
+  auto kind = ParseDriftKind(args.Get("drift"));
+  if (!kind.ok()) return Fail(kind.status());
+  DriftScenarioOptions options;
+  options.kind = *kind;
+  auto executions = ParseInt64(args.Get("executions"));
+  auto seed = ParseInt64(args.Get("seed", "1"));
+  if (!executions.ok() || !seed.ok()) {
+    std::cerr << "bad numeric flag\n";
+    return kExitData;
+  }
+  options.num_executions = *executions;
+  options.seed = static_cast<uint64_t>(*seed);
+  options.cut = options.num_executions / 2;
+  if (args.Has("cut")) {
+    auto cut = ParseInt64(args.Get("cut"));
+    if (!cut.ok()) {
+      std::cerr << "bad --cut\n";
+      return kExitData;
+    }
+    options.cut = *cut;
+  }
+  if (args.Has("swap-rate")) {
+    auto rate = ParseDouble(args.Get("swap-rate"));
+    if (!rate.ok()) {
+      std::cerr << "bad --swap-rate\n";
+      return kExitData;
+    }
+    options.swap_rate = *rate;
+  }
+  if (args.Has("shift-from")) {
+    auto p = ParseDouble(args.Get("shift-from"));
+    if (!p.ok()) {
+      std::cerr << "bad --shift-from\n";
+      return kExitData;
+    }
+    options.shift_from = *p;
+  }
+  if (args.Has("shift-to")) {
+    auto p = ParseDouble(args.Get("shift-to"));
+    if (!p.ok()) {
+      std::cerr << "bad --shift-to\n";
+      return kExitData;
+    }
+    options.shift_to = *p;
+  }
+  if (args.Has("ramp")) {
+    auto ramp = ParseInt64(args.Get("ramp"));
+    if (!ramp.ok()) {
+      std::cerr << "bad --ramp\n";
+      return kExitData;
+    }
+    options.ramp_executions = *ramp;
+  }
+  auto log = GenerateDriftLog(options);
+  if (!log.ok()) return Fail(log.status());
+  Status st = WriteLogAuto(*log, args.Get("out"));
+  if (!st.ok()) return Fail(st);
+  std::fprintf(stderr,
+               "wrote %zu executions (drift=%s at cut %lld) to %s\n",
+               log->num_executions(),
+               std::string(DriftKindName(options.kind)).c_str(),
+               static_cast<long long>(options.cut), args.Get("out").c_str());
+  return 0;
+}
+
 int CommandSynth(const Args& args) {
+  if (args.Has("drift")) {
+    if (!args.Has("executions") || !args.Has("out")) {
+      std::cerr << "usage: procmine synth --drift=none|edge_added|"
+                   "edge_removed|condition_flipped|frequency_shift "
+                   "--executions=M [--cut=N] [--seed=S] [--swap-rate=E] "
+                   "[--shift-from=P] [--shift-to=P] [--ramp=N] --out=FILE\n";
+      return 2;
+    }
+    return CommandSynthDrift(args);
+  }
   if (!args.Has("activities") || !args.Has("executions") ||
       !args.Has("out")) {
     std::cerr << "usage: procmine synth --activities=N --executions=M "
-                 "[--density=D] [--seed=S] --out=FILE [--truth-dot=FILE]\n";
+                 "[--density=D] [--seed=S] --out=FILE [--truth-dot=FILE] "
+                 "(or: synth --drift=KIND --executions=M --out=FILE)\n";
     return 2;
   }
   auto activities = ParseInt64(args.Get("activities"));
@@ -844,8 +1076,19 @@ void PrintUsage() {
       "  report <log> [--algorithm=...] [--threshold=N|auto] [--out=FILE]\n"
       "         [--dot=FILE] [--chunk-size=N] [--sweep=T1,T2,...]\n"
       "         [--unstable-cutoff=P]\n"
+      "  monitor <log> [--window-executions=W] [--slide=S]\n"
+      "          [--threshold=N|auto] [--epsilon=E] [--bound-cutoff=P]\n"
+      "          [--min-final-window=N] [--registry-dir=DIR]\n"
+      "          [--alerts-out=FILE] [--report-out=FILE] [--stream]\n"
+      "          (windowed drift monitoring: mines every window, keeps a\n"
+      "           versioned model registry, emits a JSON-lines alert feed\n"
+      "           and a schema_version-3 drift report; exit 1 = drift)\n"
       "  synth --activities=N --executions=M [--density=D] [--seed=S]\n"
       "        --out=FILE [--truth-dot=FILE]\n"
+      "  synth --drift=none|edge_added|edge_removed|condition_flipped|\n"
+      "        frequency_shift --executions=M [--cut=N] [--swap-rate=E]\n"
+      "        [--shift-from=P] [--shift-to=P] [--ramp=N] [--seed=S]\n"
+      "        --out=FILE   (drift scenario with a known change point)\n"
       "  simulate --definition=FDL --executions=M [--seed=S] [--cyclic]\n"
       "           [--agents=K --max-duration=D] --out=FILE\n"
       "  patterns <log> [--support=N] [--max-length=K] [--maximal]\n"
@@ -931,6 +1174,7 @@ int Dispatch(const std::string& command, const Args& args) {
   if (command == "variants") return CommandVariants(args);
   if (command == "noise") return CommandNoise(args);
   if (command == "report") return CommandReport(args);
+  if (command == "monitor") return CommandMonitor(args);
   if (command == "synth") return CommandSynth(args);
   if (command == "simulate") return CommandSimulate(args);
   if (command == "patterns") return CommandPatterns(args);
