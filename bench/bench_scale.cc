@@ -1,0 +1,351 @@
+// Out-of-core scale harness: generates segment stores of 10^7..10^8 raw
+// events (10^5..4x10^5 in quick mode; 10^9 with PROCMINE_BENCH_SCALE_XL=1)
+// with the streamed walker, mines them with the windowed out-of-core miner
+// under a fixed memory budget, and checks the two acceptance bars:
+//
+//   * peak RSS during the whole out-of-core pipeline (generate -> spill ->
+//     mine) stays within the budget, sampled by a watcher thread;
+//   * on sizes small enough to also materialize, the out-of-core model is
+//     byte-identical (same edges, same names) to ProcessMiner::Mine on the
+//     materialized log.
+//
+// Output: a table to stdout and BENCH_scale.json next to the binary. The
+// exit code is the gate: non-zero when any size misses a bar, so the ctest
+// BenchScaleQuick target catches regressions. PROCMINE_BENCH_QUICK=1
+// shrinks the sizes for CI.
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "log/segment_store.h"
+#include "mine/miner.h"
+#include "mine/ooc_miner.h"
+#include "synth/log_generator.h"
+#include "synth/random_dag.h"
+#include "util/budget.h"
+
+namespace procmine::bench {
+namespace {
+
+/// Samples CurrentRssBytes on a watcher thread while the measured phase
+/// runs. Lifetime-scoped: peak() is valid after Stop().
+class RssWatcher {
+ public:
+  RssWatcher() {
+    thread_ = std::thread([this] {
+      while (!stop_.load(std::memory_order_relaxed)) {
+        int64_t rss = CurrentRssBytes();
+        int64_t seen = peak_.load(std::memory_order_relaxed);
+        while (rss > seen &&
+               !peak_.compare_exchange_weak(seen, rss,
+                                            std::memory_order_relaxed)) {
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+      }
+    });
+  }
+  ~RssWatcher() { Stop(); }
+
+  void Stop() {
+    if (thread_.joinable()) {
+      stop_.store(true, std::memory_order_relaxed);
+      thread_.join();
+    }
+  }
+
+  int64_t peak() const { return peak_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<bool> stop_{false};
+  std::atomic<int64_t> peak_{0};
+  std::thread thread_;
+};
+
+struct ScaleResult {
+  int64_t target_events = 0;
+  int64_t events = 0;
+  int64_t executions = 0;
+  int64_t segments = 0;
+  int64_t spill_seals = 0;
+  double disk_mb = 0.0;
+  double gen_sec = 0.0;
+  double mine_sec = 0.0;
+  double events_per_sec = 0.0;
+  double peak_rss_mb = 0.0;
+  double budget_mb = 0.0;
+  bool rss_within_budget = false;
+  bool identity_checked = false;
+  bool identical = true;  ///< vacuously true when not checked
+  int64_t edges = 0;
+  bool pass = false;
+};
+
+bool SameModel(const ProcessGraph& a, const ProcessGraph& b) {
+  if (a.num_activities() != b.num_activities()) return false;
+  for (NodeId v = 0; v < a.num_activities(); ++v) {
+    if (a.name(v) != b.name(v)) return false;
+  }
+  std::vector<Edge> ea = a.graph().Edges();
+  std::vector<Edge> eb = b.graph().Edges();
+  if (ea.size() != eb.size()) return false;
+  for (size_t i = 0; i < ea.size(); ++i) {
+    if (ea[i].from != eb[i].from || ea[i].to != eb[i].to) return false;
+  }
+  return true;
+}
+
+double Seconds(std::chrono::steady_clock::time_point a,
+               std::chrono::steady_clock::time_point b) {
+  return std::chrono::duration<double>(b - a).count();
+}
+
+/// One size cell: stream-generate a store, mine it out of core under the
+/// budget, optionally cross-check against the materialized in-memory path.
+ScaleResult RunSize(int64_t target_events, int64_t budget_bytes,
+                    int64_t segment_events, bool check_identity,
+                    int threads) {
+  const std::string dir =
+      StrFormat("BENCH_scale_store_%lld",
+                static_cast<long long>(target_events));
+  std::filesystem::remove_all(dir);
+
+  ScaleResult r;
+  r.target_events = target_events;
+  r.budget_mb = static_cast<double>(budget_bytes) / (1 << 20);
+
+  RandomDagOptions dag_options;
+  dag_options.num_activities = 25;
+  dag_options.edge_density = PaperEdgeDensity(dag_options.num_activities);
+  dag_options.seed = 17;
+  ProcessGraph truth = GenerateRandomDag(dag_options);
+  ActivityDictionary dict;
+  for (NodeId v = 0; v < truth.num_activities(); ++v) {
+    dict.Intern(truth.name(v));
+  }
+
+  RunBudget budget(
+      RunBudget::Limits{/*deadline_ms=*/-1, budget_bytes, /*max_execs=*/-1});
+  budget.Start();
+
+  SegmentStoreOptions store_options;
+  store_options.target_segment_events = segment_events;
+  store_options.budget = &budget;
+  store_options.max_resident_bytes =
+      std::max<int64_t>(budget_bytes / 4, 1 << 20);
+
+  ProcessGraph ooc_model;
+  {
+    // The watcher covers generation + spill + mine: the whole out-of-core
+    // pipeline must fit the budget, not just the mining pass.
+    RssWatcher watcher;
+    auto t0 = std::chrono::steady_clock::now();
+    auto writer = SegmentedLogWriter::Create(dir, store_options);
+    PROCMINE_CHECK_OK(writer.status());
+    WalkLogOptions walk;
+    walk.num_executions = static_cast<size_t>(-1) / 2;
+    walk.seed = 18;
+    StreamWalkStats gen_stats;
+    PROCMINE_CHECK_OK(StreamWalkLog(
+        truth, walk, target_events,
+        [&](Execution&& exec) { return writer->Append(exec, dict); },
+        &gen_stats));
+    PROCMINE_CHECK_OK(writer->Finish());
+    auto t1 = std::chrono::steady_clock::now();
+    r.gen_sec = Seconds(t0, t1);
+    r.events = gen_stats.events;
+    r.executions = gen_stats.executions;
+    r.segments = writer->segments_sealed();
+    r.spill_seals = writer->spill_seals();
+    r.disk_mb = static_cast<double>(writer->disk_bytes()) / (1 << 20);
+
+    auto store = SegmentStore::Open(dir, store_options);
+    PROCMINE_CHECK_OK(store.status());
+    MinerOptions options;
+    options.num_threads = threads;
+    options.budget = &budget;
+    DegradationInfo degradation;
+    options.degradation = &degradation;
+    auto model = OutOfCoreMiner(options).Mine(&*store);
+    PROCMINE_CHECK_OK(model.status());
+    auto t2 = std::chrono::steady_clock::now();
+    r.mine_sec = Seconds(t1, t2);
+    r.events_per_sec =
+        r.mine_sec > 0 ? static_cast<double>(r.events) / r.mine_sec : 0.0;
+    r.edges = model->graph().num_edges();
+    // A budget degradation means the run did NOT produce the full model —
+    // the size fails its bar even if RSS stayed low.
+    r.identical = !degradation.degraded;
+    watcher.Stop();
+    r.peak_rss_mb = static_cast<double>(watcher.peak()) / (1 << 20);
+    ooc_model = std::move(*model);
+  }
+  r.rss_within_budget =
+      r.peak_rss_mb <= static_cast<double>(budget_bytes) / (1 << 20);
+
+  if (check_identity) {
+    // The in-memory reference is deliberately outside the watcher scope and
+    // unbudgeted: it is the oracle, not the system under test.
+    r.identity_checked = true;
+    SegmentStoreOptions ref_options;  // default cache, no budget
+    auto store = SegmentStore::Open(dir, ref_options);
+    PROCMINE_CHECK_OK(store.status());
+    auto materialized = store->Materialize();
+    PROCMINE_CHECK_OK(materialized.status());
+    MinerOptions options;
+    options.num_threads = threads;
+    auto reference = ProcessMiner(options).Mine(*materialized);
+    PROCMINE_CHECK_OK(reference.status());
+    r.identical = r.identical && SameModel(ooc_model, *reference);
+  }
+  r.pass = r.rss_within_budget && r.identical;
+  std::filesystem::remove_all(dir);
+  return r;
+}
+
+/// Runs one size cell in a forked child and pipes the (trivially copyable)
+/// result back. Isolation is the point, not crash containment: glibc keeps
+/// freed small allocations resident in its arenas, so a previous size's
+/// identity oracle (materialize + in-memory mine, hundreds of MB) would
+/// leave this process's RSS above the spill high-water and poison both the
+/// budget probes and the peak-RSS measurement of every later size.
+ScaleResult RunSizeIsolated(int64_t target_events, int64_t budget_bytes,
+                            int64_t segment_events, bool check_identity,
+                            int threads) {
+  int fds[2];
+  if (pipe(fds) != 0) {
+    return RunSize(target_events, budget_bytes, segment_events,
+                   check_identity, threads);
+  }
+  std::fflush(stdout);
+  const pid_t pid = fork();
+  if (pid < 0) {
+    close(fds[0]);
+    close(fds[1]);
+    return RunSize(target_events, budget_bytes, segment_events,
+                   check_identity, threads);
+  }
+  if (pid == 0) {
+    close(fds[0]);
+    ScaleResult r = RunSize(target_events, budget_bytes, segment_events,
+                            check_identity, threads);
+    ssize_t n = write(fds[1], &r, sizeof r);
+    _exit(n == static_cast<ssize_t>(sizeof r) ? 0 : 1);
+  }
+  close(fds[1]);
+  ScaleResult r;
+  size_t got = 0;
+  while (got < sizeof r) {
+    ssize_t n = read(fds[0], reinterpret_cast<char*>(&r) + got,
+                     sizeof r - got);
+    if (n <= 0) break;
+    got += static_cast<size_t>(n);
+  }
+  close(fds[0]);
+  int status = 0;
+  waitpid(pid, &status, 0);
+  if (got != sizeof r || !WIFEXITED(status) || WEXITSTATUS(status) != 0) {
+    std::fprintf(stderr, "size %lld: child failed (status %d)\n",
+                 static_cast<long long>(target_events), status);
+    r = ScaleResult{};
+    r.target_events = target_events;
+    r.budget_mb = static_cast<double>(budget_bytes) / (1 << 20);
+    r.identical = false;
+    r.pass = false;
+  }
+  return r;
+}
+
+int Run() {
+  const bool quick = QuickMode();
+  const int threads = BenchThreads();
+  std::vector<int64_t> sizes;
+  std::vector<bool> check;
+  int64_t budget_bytes;
+  // Quick mode shrinks segments so even the small corpora span several
+  // windows — otherwise the whole gate would run on a single segment and
+  // never exercise the windowed merge.
+  int64_t segment_events = int64_t{1} << 20;
+  if (quick) {
+    sizes = {100'000, 400'000};
+    check = {true, true};
+    budget_bytes = int64_t{192} << 20;
+    segment_events = int64_t{1} << 14;
+  } else {
+    sizes = {10'000'000, 100'000'000};
+    check = {true, false};  // 10^8 in memory is the scale we are escaping
+    budget_bytes = int64_t{512} << 20;
+    const char* xl = std::getenv("PROCMINE_BENCH_SCALE_XL");
+    if (xl != nullptr && std::string(xl) == "1") {
+      sizes.push_back(1'000'000'000);
+      check.push_back(false);
+    }
+  }
+
+  std::printf("out-of-core scale (budget %lld MiB, %d threads%s)\n",
+              static_cast<long long>(budget_bytes >> 20), threads,
+              quick ? ", quick" : "");
+  std::printf("  %12s %12s %9s %9s %9s %11s %9s %9s %9s  %s\n", "events",
+              "executions", "segments", "gen_s", "mine_s", "events/s",
+              "disk_MB", "rss_MB", "ident", "verdict");
+  std::vector<ScaleResult> results;
+  bool all_pass = true;
+  for (size_t i = 0; i < sizes.size(); ++i) {
+    ScaleResult r = RunSizeIsolated(sizes[i], budget_bytes, segment_events,
+                                    check[i], threads);
+    all_pass = all_pass && r.pass;
+    std::printf("  %12lld %12lld %9lld %9.2f %9.2f %11.0f %9.1f %9.1f %9s  %s\n",
+                static_cast<long long>(r.events),
+                static_cast<long long>(r.executions),
+                static_cast<long long>(r.segments), r.gen_sec, r.mine_sec,
+                r.events_per_sec, r.disk_mb, r.peak_rss_mb,
+                r.identity_checked ? (r.identical ? "same" : "DIFF") : "-",
+                r.pass ? "pass" : "FAIL");
+    results.push_back(r);
+  }
+
+  std::ofstream out("BENCH_scale.json");
+  out << StrFormat("{\n  \"budget_mb\": %lld,\n",
+                   static_cast<long long>(budget_bytes >> 20));
+  out << StrFormat("  \"quick\": %s,\n  \"threads\": %d,\n",
+                   quick ? "true" : "false", threads);
+  out << "  \"sizes\": [\n";
+  for (size_t i = 0; i < results.size(); ++i) {
+    const ScaleResult& r = results[i];
+    out << StrFormat(
+        "    {\"target_events\": %lld, \"events\": %lld, "
+        "\"executions\": %lld, \"segments\": %lld, \"spill_seals\": %lld, "
+        "\"disk_mb\": %.1f, \"gen_sec\": %.2f, \"mine_sec\": %.2f, "
+        "\"events_per_sec\": %.0f, \"peak_rss_mb\": %.1f, "
+        "\"budget_mb\": %.0f, \"rss_within_budget\": %s, "
+        "\"identity_checked\": %s, \"identical\": %s, \"edges\": %lld, "
+        "\"pass\": %s}%s\n",
+        static_cast<long long>(r.target_events),
+        static_cast<long long>(r.events),
+        static_cast<long long>(r.executions),
+        static_cast<long long>(r.segments),
+        static_cast<long long>(r.spill_seals), r.disk_mb, r.gen_sec,
+        r.mine_sec, r.events_per_sec, r.peak_rss_mb, r.budget_mb,
+        r.rss_within_budget ? "true" : "false",
+        r.identity_checked ? "true" : "false", r.identical ? "true" : "false",
+        static_cast<long long>(r.edges), r.pass ? "true" : "false",
+        i + 1 < results.size() ? "," : "");
+  }
+  out << "  ],\n";
+  out << StrFormat("  \"pass\": %s\n}\n", all_pass ? "true" : "false");
+  return all_pass ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace procmine::bench
+
+int main() { return procmine::bench::Run(); }

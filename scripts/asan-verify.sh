@@ -1,0 +1,27 @@
+#!/bin/sh
+# Builds the out-of-core suites under AddressSanitizer + UBSan and runs
+# them: the segment store codec (varint/zigzag decode over torn and
+# corrupted inputs is exactly where an out-of-bounds read would hide),
+# the spill/evict path (LRU cache frees decoded windows while shared_ptr
+# handles may still be live), the windowed out-of-core miner, and the
+# recovery/salvage machinery it reuses. Run whenever src/log/segment_store,
+# src/mine/ooc_miner, or the binary-log salvage path changes.
+#
+# Usage: scripts/asan-verify.sh [build-dir]   (default: build-asan)
+
+set -eu
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build-asan}"
+
+cmake -B "$BUILD_DIR" -S . \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DPROCMINE_SANITIZE=address \
+  -DPROCMINE_BUILD_BENCHMARKS=OFF \
+  -DPROCMINE_BUILD_EXAMPLES=OFF
+cmake --build "$BUILD_DIR" -j \
+  --target segment_store_test binary_log_test recovery_test \
+           format_fuzz_test budget_test
+
+ctest --test-dir "$BUILD_DIR" --output-on-failure \
+  -R 'SegmentStore|SegmentCodec|OocIdentity|BinaryLog|RecoveryMatrix|BinarySalvage|StreamingRecovery|RecoveryPolicy|FormatFuzz|RunBudget'

@@ -1,0 +1,167 @@
+#!/bin/sh
+# Out-of-core scale smoke gate. Two halves:
+#
+#  1. Runs the bench_scale harness (quick mode) and validates
+#     BENCH_scale.json with python3: overall pass, peak RSS within the
+#     memory budget for every size, and out-of-core/in-memory identity on
+#     every size that was cross-checked.
+#
+#  2. Drives the real CLI end to end:
+#       * synth --stream-out produces a store whose mined model is
+#         byte-identical to mining the same synth flags via --out,
+#         at --threads=1 and --threads=4 and two --segment-events sizes;
+#       * mine --spill-dir on the text log matches the direct mine;
+#       * mine --max-memory-mb on a store exits 0 (no degradation) and
+#         reports the store footprint;
+#       * a torn segment file fails closed under the default strict
+#         policy (exit 3) and mines the salvaged prefix with a loss
+#         summary under --recovery=skip;
+#       * stats on a store reports the footprint without decoding it.
+#
+# Registered as the `scale_smoke` ctest (tests/CMakeLists.txt). Standalone:
+#   scripts/scale-smoke.sh <procmine-binary> <bench_scale-binary>
+
+set -eu
+
+PROCMINE="${1:?usage: scale-smoke.sh <procmine-binary> <bench_scale-binary>}"
+BENCH_SCALE="${2:?usage: scale-smoke.sh <procmine-binary> <bench_scale-binary>}"
+
+# The bench runs with the scratch dir as cwd (it writes BENCH_scale.json
+# there), so both binaries must be absolute.
+PROCMINE="$(cd "$(dirname "$PROCMINE")" && pwd)/$(basename "$PROCMINE")"
+BENCH_SCALE="$(cd "$(dirname "$BENCH_SCALE")" && pwd)/$(basename "$BENCH_SCALE")"
+
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT
+
+# --- 1. bench harness + JSON invariants ---------------------------------
+
+(cd "$TMP" && PROCMINE_BENCH_QUICK=1 "$BENCH_SCALE" > bench_scale.out) || {
+  echo "FAIL: bench_scale exited non-zero" >&2
+  cat "$TMP/bench_scale.out" >&2
+  exit 1
+}
+
+python3 - "$TMP/BENCH_scale.json" <<'PYEOF'
+import json
+import sys
+
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+
+assert doc["pass"] is True, "harness reported failure"
+assert doc["sizes"], "no sizes recorded"
+for size in doc["sizes"]:
+    events = size["events"]
+    assert events >= size["target_events"], (
+        f"{events} events generated, wanted >= {size['target_events']}")
+    assert size["rss_within_budget"] is True, f"RSS bar missed at {events}"
+    assert size["peak_rss_mb"] <= size["budget_mb"], (
+        f"peak {size['peak_rss_mb']} MiB > budget {size['budget_mb']} MiB")
+    assert size["segments"] > 1, f"only {size['segments']} segment at {events}"
+    assert size["identity_checked"] is True, f"identity not checked at {events}"
+    assert size["identical"] is True, f"model diverged at {events}"
+    assert size["edges"] > 0, f"empty model at {events}"
+    assert size["events_per_sec"] > 0
+print("BENCH_scale.json invariants hold "
+      f"({len(doc['sizes'])} sizes, budget {doc['budget_mb']} MiB)")
+PYEOF
+
+# --- 2. CLI end-to-end --------------------------------------------------
+
+SYNTH_FLAGS="--activities=10 --executions=400 --seed=21"
+
+"$PROCMINE" synth $SYNTH_FLAGS --out="$TMP/ref.log" > /dev/null
+"$PROCMINE" mine "$TMP/ref.log" --dot="$TMP/ref.dot" > /dev/null 2>&1
+
+for seg in 128 4096; do
+  for threads in 1 4; do
+    tag="s${seg}t${threads}"
+    "$PROCMINE" synth $SYNTH_FLAGS --segment-events="$seg" \
+      --stream-out="$TMP/store_$tag" > /dev/null 2>&1
+    "$PROCMINE" mine "$TMP/store_$tag" --threads="$threads" \
+      --dot="$TMP/$tag.dot" > /dev/null 2>&1 || {
+      echo "FAIL: mine store ($tag) exited $?" >&2
+      exit 1
+    }
+    cmp "$TMP/ref.dot" "$TMP/$tag.dot" || {
+      echo "FAIL: store model ($tag) differs from the in-memory mine" >&2
+      exit 1
+    }
+  done
+done
+
+"$PROCMINE" mine "$TMP/ref.log" --spill-dir="$TMP/spill" \
+  --dot="$TMP/spill.dot" > /dev/null 2>&1 || {
+  echo "FAIL: mine --spill-dir exited $?" >&2
+  exit 1
+}
+cmp "$TMP/ref.dot" "$TMP/spill.dot" || {
+  echo "FAIL: --spill-dir model differs from the direct mine" >&2
+  exit 1
+}
+
+# A bounded mine over a store: exit 0 (complete model, no degradation) and
+# the footprint lines on stderr.
+"$PROCMINE" mine "$TMP/store_s128t1" --max-memory-mb=256 \
+  --dot="$TMP/budget.dot" 2> "$TMP/budget.err" > /dev/null || {
+  echo "FAIL: budgeted store mine exited $? (degraded or failed)" >&2
+  cat "$TMP/budget.err" >&2
+  exit 1
+}
+cmp "$TMP/ref.dot" "$TMP/budget.dot" || {
+  echo "FAIL: budgeted store mine changed the model" >&2
+  exit 1
+}
+grep -q "mined out of core" "$TMP/budget.err" || {
+  echo "FAIL: budgeted store mine did not report out-of-core stats" >&2
+  exit 1
+}
+grep -q "^cache: " "$TMP/budget.err" || {
+  echo "FAIL: budgeted store mine did not report the cache footprint" >&2
+  exit 1
+}
+
+# stats reads the manifest only.
+"$PROCMINE" stats "$TMP/store_s128t1" > "$TMP/stats.out"
+grep -q "segment store" "$TMP/stats.out" || {
+  echo "FAIL: stats did not recognize the store" >&2
+  exit 1
+}
+grep -q "on-disk bytes:" "$TMP/stats.out" || {
+  echo "FAIL: stats is missing the footprint" >&2
+  exit 1
+}
+
+# --- torn-segment recovery ---------------------------------------------
+
+# Tear the final segment file in half. Strict mining must fail closed
+# (exit 3, data error); --recovery=skip must mine the salvaged prefix and
+# say what was lost.
+VICTIM="$(ls "$TMP/store_s128t1"/*.seg | sort | tail -1)"
+SIZE="$(wc -c < "$VICTIM")"
+HALF=$((SIZE / 2))
+head -c "$HALF" "$VICTIM" > "$VICTIM.torn" && mv "$VICTIM.torn" "$VICTIM"
+
+rc=0
+"$PROCMINE" mine "$TMP/store_s128t1" > /dev/null 2>&1 || rc=$?
+[ "$rc" -eq 3 ] || {
+  echo "FAIL: strict mine of a torn store exited $rc, want 3" >&2
+  exit 1
+}
+
+rc=0
+"$PROCMINE" mine "$TMP/store_s128t1" --recovery=skip \
+  > /dev/null 2> "$TMP/salvage.err" || rc=$?
+[ "$rc" -eq 0 ] || {
+  echo "FAIL: --recovery=skip mine of a torn store exited $rc" >&2
+  cat "$TMP/salvage.err" >&2
+  exit 1
+}
+grep -qi "dropped" "$TMP/salvage.err" || {
+  echo "FAIL: salvage mine did not summarize the loss" >&2
+  cat "$TMP/salvage.err" >&2
+  exit 1
+}
+
+echo "scale-smoke: all gates passed"

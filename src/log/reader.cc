@@ -89,6 +89,8 @@ struct ParseShardResult {
   int64_t lines = 0;       // lines consumed (complete count iff no error)
   int64_t error_line = 0;  // shard-local 1-based line of the first error
   std::string error;       // message without the "line N: " prefix
+  bool budget_tripped = false;  // memory high-water crossed mid-shard
+  int64_t lines_dropped = 0;    // unconsumed lines after the budget trip
 
   // Recovery bookkeeping, shard-local: quarantine byte offsets are relative
   // to the chunk start and lines are shard-local; the merge rebases both.
@@ -151,8 +153,21 @@ inline bool FastParseInt(std::string_view s, int64_t* out) {
 /// themselves are dictionary-encoded on the fly instead of materialized.
 /// The loop is a single pointer scan: fields are carved out in place, so no
 /// per-line Trim/split containers and no string copies on the happy path.
+/// Lines remaining in [p, end): newline count plus a final unterminated line.
+int64_t CountRemainingLines(const char* p, const char* end) {
+  int64_t lines = 0;
+  while (p < end) {
+    const char* nl = static_cast<const char*>(
+        memchr(p, '\n', static_cast<size_t>(end - p)));
+    ++lines;
+    if (nl == nullptr) break;
+    p = nl + 1;
+  }
+  return lines;
+}
+
 void ParseShard(std::string_view chunk, RecoveryPolicy policy,
-                ParseShardResult* r) {
+                const LogParseOptions& options, ParseShardResult* r) {
   PROCMINE_SPAN("log.parse_shard");
   // ~32 bytes is a conservative guess at the bytes-per-event line; a low
   // guess only costs a few vector doublings.
@@ -164,9 +179,24 @@ void ParseShard(std::string_view chunk, RecoveryPolicy policy,
   // cache skips the hash lookup for those runs.
   std::string_view last_instance, last_activity;
   int32_t last_instance_id = -1, last_activity_id = -1;
+  ProbeTicker probe(options.probe_period_lines);
   const char* p = chunk.data();
   const char* const end = p + chunk.size();
   while (p < end) {
+    // The ingestion memory probe: amortized (an RSS read is a /proc round
+    // trip), non-sticky (a spill can free memory and parsing resumes being
+    // legal on a later run). On a trip the shard stops consuming input; RSS
+    // is process-global, so every sibling shard trips within one period.
+    if (options.budget != nullptr && probe.Due() &&
+        options.budget->OverMemoryHighWater(options.memory_high_water)) {
+      r->budget_tripped = true;
+      r->lines_dropped = CountRemainingLines(p, end);
+      if (policy != RecoveryPolicy::kStrict) {
+        r->report.lines_skipped += r->lines_dropped;
+        r->report.AddErrorClass("budget_truncated", r->lines_dropped);
+      }
+      break;
+    }
     const char* nl = static_cast<const char*>(
         memchr(p, '\n', static_cast<size_t>(end - p)));
     const char* const line_end = nl != nullptr ? nl : end;
@@ -280,7 +310,7 @@ void ParseShard(std::string_view chunk, RecoveryPolicy policy,
     }
     r->events.push_back(event);
   }
-  r->report.lines_total = r->lines;
+  r->report.lines_total = r->lines + r->lines_dropped;
   r->report.events_parsed = static_cast<int64_t>(r->events.size());
 }
 
@@ -327,14 +357,42 @@ Result<EventLog> LogReader::ParseText(std::string_view text,
   std::vector<ParseShardResult> shards(num_shards);
   std::vector<std::string_view> chunks = SplitChunksAtLines(text, num_shards);
   if (num_shards == 1) {
-    ParseShard(chunks[0], options.recovery, &shards[0]);
+    ParseShard(chunks[0], options.recovery, options, &shards[0]);
   } else {
     ThreadPool pool(threads);
     pool.ParallelFor(num_shards, [&](size_t, size_t begin, size_t end) {
       for (size_t s = begin; s < end; ++s) {
-        ParseShard(chunks[s], options.recovery, &shards[s]);
+        ParseShard(chunks[s], options.recovery, options, &shards[s]);
       }
     });
+  }
+
+  // An ingestion budget trip outranks per-line errors: under kStrict the
+  // parse cannot finish inside the budget at all, so point at the
+  // out-of-core path; in recovery modes the unparsed tail was dropped and
+  // the cut is recorded as a degradation.
+  bool budget_tripped = false;
+  int64_t budget_lines_dropped = 0;
+  for (const ParseShardResult& shard : shards) {
+    budget_tripped = budget_tripped || shard.budget_tripped;
+    budget_lines_dropped += shard.lines_dropped;
+  }
+  if (budget_tripped) {
+    if (options.recovery == RecoveryPolicy::kStrict) {
+      return Status::FailedPrecondition(StrFormat(
+          "memory budget high-water mark crossed while parsing (%lld lines "
+          "unread); mine from a segment store (--spill-dir / synth "
+          "--stream-out) or raise --max-memory-mb",
+          static_cast<long long>(budget_lines_dropped)));
+    }
+    if (options.degradation != nullptr && !options.degradation->degraded) {
+      options.degradation->degraded = true;
+      options.degradation->resource = BudgetResource::kMemory;
+      options.degradation->cut_phase = "log.parse";
+      options.degradation->dropped = StrFormat(
+          "%lld lines beyond the ingestion memory high-water mark dropped",
+          static_cast<long long>(budget_lines_dropped));
+    }
   }
 
   // First error in file order wins: shards scan disjoint ranges in file

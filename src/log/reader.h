@@ -31,6 +31,7 @@
 #include "log/event.h"
 #include "log/event_log.h"
 #include "log/recovery.h"
+#include "util/budget.h"
 #include "util/result.h"
 
 namespace procmine {
@@ -58,6 +59,23 @@ struct LogParseOptions {
   /// offsets/lines in quarantine records are file-absolute). Merged-into,
   /// not reset — zero-initialize before the call.
   IngestionReport* report = nullptr;
+
+  /// Optional ingestion memory budget. When set, every parse shard probes
+  /// RSS once per probe_period_lines lines (amortized — an RSS read is a
+  /// /proc round trip) so a huge log trips the budget during the parse, not
+  /// after assembly has already blown past it. Crossing the high-water mark
+  /// stops consuming input: under kStrict the parse fails with a pointer at
+  /// the out-of-core path; under kSkip/kQuarantine the rest of the input is
+  /// dropped like any other skipped input (error class "budget_truncated")
+  /// and the cut is recorded in `degradation`. Borrowed; may be null.
+  RunBudget* budget = nullptr;
+  DegradationInfo* degradation = nullptr;
+
+  /// Lines between RSS probes in each parse shard.
+  uint32_t probe_period_lines = 4096;
+
+  /// Fraction of --max-memory-mb treated as the ingestion high-water mark.
+  double memory_high_water = 0.8;
 };
 
 class LogReader {

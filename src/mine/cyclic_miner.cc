@@ -11,6 +11,47 @@
 
 namespace procmine {
 
+void OccurrenceLabeler::Observe(const Execution& exec,
+                                const ActivityDictionary& base_dict) {
+  if (label_ids_.size() < static_cast<size_t>(base_dict.size())) {
+    label_ids_.resize(static_cast<size_t>(base_dict.size()));
+    occurrence_.resize(static_cast<size_t>(base_dict.size()), 0);
+  }
+  touched_.clear();
+  for (const ActivityInstance& inst : exec.instances()) {
+    size_t a = static_cast<size_t>(inst.activity);
+    if (occurrence_[a] == 0) touched_.push_back(a);
+    size_t k = static_cast<size_t>(++occurrence_[a]);
+    if (k > label_ids_[a].size()) {
+      std::string name =
+          StrFormat("%s#%lld", base_dict.Name(inst.activity).c_str(),
+                    static_cast<long long>(k));
+      ActivityId labeled_id = labeled_dict_.Intern(name);
+      label_ids_[a].push_back(labeled_id);
+      if (static_cast<size_t>(labeled_id) >= labeled_to_base_.size()) {
+        labeled_to_base_.resize(static_cast<size_t>(labeled_id) + 1, -1);
+      }
+      labeled_to_base_[static_cast<size_t>(labeled_id)] = inst.activity;
+    }
+  }
+  for (size_t a : touched_) occurrence_[a] = 0;
+}
+
+Execution OccurrenceLabeler::Relabel(const Execution& exec) {
+  Execution rewritten(exec.name());
+  touched_.clear();
+  for (const ActivityInstance& inst : exec.instances()) {
+    size_t a = static_cast<size_t>(inst.activity);
+    if (occurrence_[a] == 0) touched_.push_back(a);
+    size_t k = static_cast<size_t>(++occurrence_[a]);
+    ActivityInstance copy = inst;
+    copy.activity = label_ids_[a][k - 1];
+    rewritten.Append(std::move(copy));
+  }
+  for (size_t a : touched_) occurrence_[a] = 0;
+  return rewritten;
+}
+
 EventLog CyclicMiner::LabelOccurrences(
     const EventLog& log, std::vector<ActivityId>* labeled_to_base) {
   return LabelOccurrences(log, labeled_to_base, nullptr);
@@ -26,32 +67,13 @@ EventLog CyclicMiner::LabelOccurrences(const EventLog& log,
   // Pass 1 (sequential, integer-only): intern the labels "A#1", "A#2", ...
   // in first-encounter order — the same order a per-instance Intern() walk
   // would produce, so labeled ids are stable across thread counts.
-  // label_ids[a][k-1] is the labeled id of the k-th occurrence of a.
-  std::vector<std::vector<ActivityId>> label_ids(n);
-  std::vector<int64_t> occurrence(n, 0);
-  std::vector<size_t> touched;
+  OccurrenceLabeler labeler;
   for (const Execution& exec : log.executions()) {
-    touched.clear();
-    for (const ActivityInstance& inst : exec.instances()) {
-      size_t a = static_cast<size_t>(inst.activity);
-      if (occurrence[a] == 0) touched.push_back(a);
-      size_t k = static_cast<size_t>(++occurrence[a]);
-      if (k > label_ids[a].size()) {
-        std::string name = StrFormat(
-            "%s#%lld", log.dictionary().Name(inst.activity).c_str(),
-            static_cast<long long>(k));
-        ActivityId labeled_id = labeled.dictionary().Intern(name);
-        label_ids[a].push_back(labeled_id);
-        if (labeled_to_base != nullptr) {
-          if (static_cast<size_t>(labeled_id) >= labeled_to_base->size()) {
-            labeled_to_base->resize(static_cast<size_t>(labeled_id) + 1, -1);
-          }
-          (*labeled_to_base)[static_cast<size_t>(labeled_id)] = inst.activity;
-        }
-      }
-    }
-    for (size_t a : touched) occurrence[a] = 0;
+    labeler.Observe(exec, log.dictionary());
   }
+  labeled.dictionary() = labeler.labeled_dictionary();
+  const std::vector<std::vector<ActivityId>>& label_ids = labeler.label_ids();
+  if (labeled_to_base != nullptr) *labeled_to_base = labeler.labeled_to_base();
 
   // Pass 2 (parallel): rewrite each execution against the fixed label table.
   // Executions are independent, and the output slot order is the log order,

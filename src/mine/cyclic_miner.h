@@ -13,6 +13,7 @@
 #define PROCMINE_MINE_CYCLIC_MINER_H_
 
 #include <cstdint>
+#include <vector>
 
 #include "log/event_log.h"
 #include "util/budget.h"
@@ -23,6 +24,44 @@ namespace procmine {
 
 class ThreadPool;
 class ProvenanceRecorder;
+
+/// Incremental occurrence labeling: the table "k-th occurrence of A is
+/// pseudo-activity A#k", built one execution at a time so the out-of-core
+/// path can stream a store through pass 1 without materializing the labeled
+/// log. Observe() in log order reproduces exactly the first-encounter
+/// interning order of CyclicMiner::LabelOccurrences; Relabel() then rewrites
+/// any execution against the finished table. Single-threaded.
+class OccurrenceLabeler {
+ public:
+  /// Pass 1: extends the label table with `exec`'s occurrences. `base_dict`
+  /// names the activity ids `exec` uses; call in log order.
+  void Observe(const Execution& exec, const ActivityDictionary& base_dict);
+
+  /// Pass 2: rewrites one execution against the table built so far. Every
+  /// occurrence must already have been Observed.
+  Execution Relabel(const Execution& exec);
+
+  /// The labeled dictionary ("A#1", "B#1", "A#2", ...).
+  const ActivityDictionary& labeled_dictionary() const { return labeled_dict_; }
+
+  /// Labeled ActivityId -> base ActivityId.
+  const std::vector<ActivityId>& labeled_to_base() const {
+    return labeled_to_base_;
+  }
+
+  /// label_ids()[a][k-1] is the labeled id of the k-th occurrence of base
+  /// activity a (exposed for the parallel relabel pass).
+  const std::vector<std::vector<ActivityId>>& label_ids() const {
+    return label_ids_;
+  }
+
+ private:
+  ActivityDictionary labeled_dict_;
+  std::vector<std::vector<ActivityId>> label_ids_;
+  std::vector<ActivityId> labeled_to_base_;
+  std::vector<int64_t> occurrence_;  // per-exec scratch, reset via touched_
+  std::vector<size_t> touched_;
+};
 
 struct CyclicMinerOptions {
   /// Noise threshold forwarded to the labeled Algorithm 2 run.

@@ -17,26 +17,22 @@
 #include "util/thread_pool.h"
 
 namespace procmine {
+namespace mine_internal {
 
-namespace {
-
-// Memo key: the sorted activity set. Hashing the id vector directly
-// (HashBytes over the raw id words) avoids serializing a fresh string key
-// per execution just to look it up.
-struct SequenceHash {
-  size_t operator()(const std::vector<NodeId>& ids) const {
-    return static_cast<size_t>(
-        HashBytes(ids.data(), ids.size() * sizeof(NodeId)));
+Status ValidateNoRepeats(const Execution& exec,
+                         const ActivityDictionary& dict, NodeId n) {
+  std::vector<bool> seen(static_cast<size_t>(n), false);
+  for (const ActivityInstance& inst : exec.instances()) {
+    if (seen[static_cast<size_t>(inst.activity)]) {
+      return Status::InvalidArgument(StrFormat(
+          "execution '%s' repeats activity '%s'; Algorithm 2 assumes an "
+          "acyclic process (use CyclicMiner)",
+          exec.name().c_str(), dict.Name(inst.activity).c_str()));
+    }
+    seen[static_cast<size_t>(inst.activity)] = true;
   }
-};
-
-// One memo shared by every worker: the cached edge vector is a pure function
-// of the activity set (InducedReducer's topological order and emit order are
-// fixed), so first-writer-wins sharing cannot perturb the model — only the
-// hit/miss counts, which obs/report.cc already excludes as
-// thread-count-dependent.
-using ReductionMemo =
-    StripedMemo<std::vector<NodeId>, std::vector<Edge>, SequenceHash>;
+  return Status::OK();
+}
 
 // Steps 5-6 map phase for one chunk: transitively reduce each execution's
 // induced subgraph and collect the surviving edges. The marked-edge sets
@@ -95,7 +91,9 @@ Status MarkReductionEdges(const EventLog& log, const DirectedGraph& g,
   return Status::OK();
 }
 
-}  // namespace
+}  // namespace mine_internal
+
+using mine_internal::ReductionMemo;
 
 Result<ProcessGraph> GeneralDagMiner::Mine(const EventLog& log) const {
   PROCMINE_SPAN("general_dag.mine");
@@ -106,17 +104,8 @@ Result<ProcessGraph> GeneralDagMiner::Mine(const EventLog& log) const {
   {
     PROCMINE_SPAN("general_dag.validate");
     for (const Execution& exec : log.executions()) {
-      std::vector<bool> seen(static_cast<size_t>(n), false);
-      for (const ActivityInstance& inst : exec.instances()) {
-        if (seen[static_cast<size_t>(inst.activity)]) {
-          return Status::InvalidArgument(StrFormat(
-              "execution '%s' repeats activity '%s'; Algorithm 2 assumes an "
-              "acyclic process (use CyclicMiner)",
-              exec.name().c_str(),
-              log.dictionary().Name(inst.activity).c_str()));
-        }
-        seen[static_cast<size_t>(inst.activity)] = true;
-      }
+      PROCMINE_RETURN_NOT_OK(
+          mine_internal::ValidateNoRepeats(exec, log.dictionary(), n));
     }
   }
 
@@ -178,9 +167,9 @@ Result<ProcessGraph> GeneralDagMiner::Mine(const EventLog& log) const {
   std::vector<uint8_t> shard_aborted(spans.size(), 0);
   auto run_shard = [&](size_t s) {
     bool aborted = false;
-    shard_status[s] =
-        MarkReductionEdges(log, g, spans[s], shared_memo, options_.budget,
-                           &aborted, &shard_marked[s]);
+    shard_status[s] = mine_internal::MarkReductionEdges(
+        log, g, spans[s], shared_memo, options_.budget, &aborted,
+        &shard_marked[s]);
     shard_aborted[s] = aborted ? 1 : 0;
   };
   if (pool != nullptr && spans.size() > 1) {

@@ -15,15 +15,56 @@
 #define PROCMINE_MINE_GENERAL_DAG_MINER_H_
 
 #include <cstdint>
+#include <unordered_set>
+#include <vector>
 
+#include "graph/digraph.h"
 #include "log/event_log.h"
 #include "util/budget.h"
+#include "util/hash.h"
 #include "util/result.h"
+#include "util/striped_memo.h"
 #include "workflow/process_graph.h"
 
 namespace procmine {
 
 class ProvenanceRecorder;
+
+namespace mine_internal {
+
+/// Memo key hash for the per-execution reductions: the sorted activity set.
+/// Hashing the id vector directly (HashBytes over the raw id words) avoids
+/// serializing a fresh string key per execution just to look it up.
+struct SequenceHash {
+  size_t operator()(const std::vector<NodeId>& ids) const {
+    return static_cast<size_t>(
+        HashBytes(ids.data(), ids.size() * sizeof(NodeId)));
+  }
+};
+
+/// One memo shared by every worker (and, on the out-of-core path, across
+/// every segment window): the cached edge vector is a pure function of the
+/// activity set, so first-writer-wins sharing cannot perturb the model.
+using ReductionMemo =
+    StripedMemo<std::vector<NodeId>, std::vector<Edge>, SequenceHash>;
+
+/// Algorithm 2's per-execution validation: InvalidArgument when `exec`
+/// repeats an activity (same message the in-memory miner emits, so the
+/// windowed path fails identically).
+Status ValidateNoRepeats(const Execution& exec,
+                         const ActivityDictionary& dict, NodeId n);
+
+/// Steps 5-6 map phase for one span of `log`: transitively reduce each
+/// execution's induced subgraph of `g` and union the surviving edges into
+/// `marked`. Shared by the in-memory shards and the out-of-core segment
+/// windows — marked-set union is order-independent, so any partition of the
+/// executions yields the same set.
+Status MarkReductionEdges(const EventLog& log, const DirectedGraph& g,
+                          ExecutionSpan span, ReductionMemo* memo,
+                          RunBudget* budget, bool* budget_aborted,
+                          std::unordered_set<uint64_t>* marked);
+
+}  // namespace mine_internal
 
 struct GeneralDagMinerOptions {
   /// Minimum executions an edge must appear in to survive (Section 6

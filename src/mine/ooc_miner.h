@@ -1,0 +1,69 @@
+// Out-of-core mining: the three paper algorithms over a SegmentStore,
+// one bounded window at a time.
+//
+// The in-memory miners already shard every per-execution pass and merge
+// with order-independent operations (edge-counter sums, marked-set unions,
+// first-encounter label interning in log order). This driver exploits
+// exactly that: it walks the store's segments in order, runs each phase's
+// per-execution work on one decoded window at a time, and folds the
+// results into the same global accumulators — so the model that comes out
+// is byte-identical to ProcessMiner::Mine on the materialized log, at any
+// threads x chunk-size x segment-size, while resident memory stays bounded
+// by the store's LRU cache plus one window's accumulators.
+//
+// Per-pass shape:
+//   validate   one streaming pass (first bad execution, same error text)
+//   select     kAuto only: one streaming pass mirroring SelectAlgorithm
+//   collect    CollectPrecedenceEdges per window, counters summed
+//   reduce     MarkReductionEdges per window against the global DAG, with
+//              one ReductionMemo shared across windows (general/cyclic)
+//   label      OccurrenceLabeler streamed over the store; windows are
+//              relabeled on the fly for the inner Algorithm 2 passes
+//              (the labeled log is never materialized whole)
+//
+// Budget semantics match the in-memory path: the same BudgetCut phases fire
+// in the same order, so a budget-degraded out-of-core run returns the same
+// partial model and DegradationInfo as the in-memory run would.
+//
+// Unsupported: provenance recording (run reports index executions globally
+// and want the whole log resident — use the in-memory path for those).
+
+#ifndef PROCMINE_MINE_OOC_MINER_H_
+#define PROCMINE_MINE_OOC_MINER_H_
+
+#include <cstdint>
+
+#include "log/segment_store.h"
+#include "mine/miner.h"
+#include "util/result.h"
+#include "workflow/process_graph.h"
+
+namespace procmine {
+
+/// What one out-of-core run touched (window loads are counted per pass, so
+/// a general-DAG run over S segments reports ~2S windows).
+struct OocMineStats {
+  int64_t windows = 0;     ///< window visits across all passes
+  int64_t executions = 0;  ///< executions mined (after any --max-executions cap)
+  int64_t events = 0;      ///< raw events mined (2 x instances)
+};
+
+/// Windowed miner over a segment store.
+class OutOfCoreMiner {
+ public:
+  explicit OutOfCoreMiner(MinerOptions options = MinerOptions())
+      : options_(options) {}
+
+  /// Mines `store`'s executions. The store is mutated only through its
+  /// resident cache. Returns the same model (and the same errors, and the
+  /// same budget degradations) as ProcessMiner::Mine(store->Materialize()).
+  Result<ProcessGraph> Mine(SegmentStore* store,
+                            OocMineStats* stats = nullptr) const;
+
+ private:
+  MinerOptions options_;
+};
+
+}  // namespace procmine
+
+#endif  // PROCMINE_MINE_OOC_MINER_H_

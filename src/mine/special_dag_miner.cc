@@ -9,6 +9,31 @@
 #include "util/thread_pool.h"
 
 namespace procmine {
+namespace mine_internal {
+
+Status ValidateExactlyOnce(const Execution& exec,
+                           const ActivityDictionary& dict, NodeId n) {
+  if (exec.size() != static_cast<size_t>(n)) {
+    return Status::InvalidArgument(StrFormat(
+        "execution '%s' has %zu activities but the log has %d distinct "
+        "activities; Algorithm 1 requires every activity exactly once "
+        "per execution (use GeneralDagMiner)",
+        exec.name().c_str(), exec.size(), n));
+  }
+  std::vector<bool> seen(static_cast<size_t>(n), false);
+  for (const ActivityInstance& inst : exec.instances()) {
+    if (seen[static_cast<size_t>(inst.activity)]) {
+      return Status::InvalidArgument(StrFormat(
+          "execution '%s' repeats activity '%s'; Algorithm 1 requires "
+          "every activity exactly once per execution",
+          exec.name().c_str(), dict.Name(inst.activity).c_str()));
+    }
+    seen[static_cast<size_t>(inst.activity)] = true;
+  }
+  return Status::OK();
+}
+
+}  // namespace mine_internal
 
 Result<ProcessGraph> SpecialDagMiner::Mine(const EventLog& log) const {
   PROCMINE_SPAN("special_dag.mine");
@@ -19,24 +44,8 @@ Result<ProcessGraph> SpecialDagMiner::Mine(const EventLog& log) const {
   if (options_.enforce_exactly_once) {
     PROCMINE_SPAN("special_dag.validate");
     for (const Execution& exec : log.executions()) {
-      if (exec.size() != static_cast<size_t>(n)) {
-        return Status::InvalidArgument(StrFormat(
-            "execution '%s' has %zu activities but the log has %d distinct "
-            "activities; Algorithm 1 requires every activity exactly once "
-            "per execution (use GeneralDagMiner)",
-            exec.name().c_str(), exec.size(), n));
-      }
-      std::vector<bool> seen(static_cast<size_t>(n), false);
-      for (const ActivityInstance& inst : exec.instances()) {
-        if (seen[static_cast<size_t>(inst.activity)]) {
-          return Status::InvalidArgument(StrFormat(
-              "execution '%s' repeats activity '%s'; Algorithm 1 requires "
-              "every activity exactly once per execution",
-              exec.name().c_str(),
-              log.dictionary().Name(inst.activity).c_str()));
-        }
-        seen[static_cast<size_t>(inst.activity)] = true;
-      }
+      PROCMINE_RETURN_NOT_OK(
+          mine_internal::ValidateExactlyOnce(exec, log.dictionary(), n));
     }
   }
 

@@ -22,6 +22,16 @@ namespace procmine {
 
 class ProvenanceRecorder;
 
+namespace mine_internal {
+
+/// Algorithm 1's per-execution validation: InvalidArgument unless `exec`
+/// contains every one of the `n` activities exactly once (same messages the
+/// in-memory miner emits, so the windowed path fails identically).
+Status ValidateExactlyOnce(const Execution& exec,
+                           const ActivityDictionary& dict, NodeId n);
+
+}  // namespace mine_internal
+
 struct SpecialDagMinerOptions {
   /// Minimum executions an edge must appear in to survive (the Section 6
   /// noise threshold T). 1 = keep everything.

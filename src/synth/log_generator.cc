@@ -81,21 +81,24 @@ bool WalkOnce(const DirectedGraph& g, NodeId source, NodeId sink,
 
 }  // namespace
 
-Result<EventLog> GenerateWalkLog(const ProcessGraph& graph,
-                                 const WalkLogOptions& options) {
+Status StreamWalkLog(const ProcessGraph& graph, const WalkLogOptions& options,
+                     int64_t max_events,
+                     const std::function<Status(Execution&&)>& sink,
+                     StreamWalkStats* stats) {
   PROCMINE_RETURN_NOT_OK(graph.Validate(/*require_acyclic=*/true));
   PROCMINE_ASSIGN_OR_RETURN(NodeId source, graph.Source());
-  PROCMINE_ASSIGN_OR_RETURN(NodeId sink, graph.Sink());
+  PROCMINE_ASSIGN_OR_RETURN(NodeId sink_node, graph.Sink());
   BitMatrix reach = ReachabilityMatrix(graph.graph());
 
-  EventLog log;
-  SeedDictionary(graph, &log);
   Rng rng(options.seed);
   std::vector<NodeId> sequence;
   int retries = 0;
-  while (log.num_executions() < options.num_executions) {
+  size_t produced = 0;
+  int64_t events = 0;
+  while (produced < options.num_executions &&
+         (max_events <= 0 || events < max_events)) {
     bool finished =
-        WalkOnce(graph.graph(), source, sink, reach, &rng, &sequence);
+        WalkOnce(graph.graph(), source, sink_node, reach, &rng, &sequence);
     if (!finished && options.retry_stuck) {
       if (++retries > options.max_retries) {
         return Status::Internal(
@@ -103,9 +106,27 @@ Result<EventLog> GenerateWalkLog(const ProcessGraph& graph,
       }
       continue;
     }
-    log.AddExecution(Execution::FromSequence(
-        StrFormat("case_%06zu", log.num_executions()), sequence));
+    events += 2 * static_cast<int64_t>(sequence.size());
+    PROCMINE_RETURN_NOT_OK(sink(Execution::FromSequence(
+        StrFormat("case_%06zu", produced), sequence)));
+    ++produced;
   }
+  if (stats != nullptr) {
+    stats->executions = static_cast<int64_t>(produced);
+    stats->events = events;
+  }
+  return Status::OK();
+}
+
+Result<EventLog> GenerateWalkLog(const ProcessGraph& graph,
+                                 const WalkLogOptions& options) {
+  EventLog log;
+  SeedDictionary(graph, &log);
+  PROCMINE_RETURN_NOT_OK(
+      StreamWalkLog(graph, options, /*max_events=*/0, [&](Execution&& exec) {
+        log.AddExecution(std::move(exec));
+        return Status::OK();
+      }));
   return log;
 }
 

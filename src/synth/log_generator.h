@@ -20,6 +20,7 @@
 #define PROCMINE_SYNTH_LOG_GENERATOR_H_
 
 #include <cstdint>
+#include <functional>
 
 #include "log/event_log.h"
 #include "util/result.h"
@@ -41,6 +42,25 @@ struct WalkLogOptions {
 /// graph's vertex ids.
 Result<EventLog> GenerateWalkLog(const ProcessGraph& graph,
                                  const WalkLogOptions& options);
+
+/// What a streamed generation run produced.
+struct StreamWalkStats {
+  int64_t executions = 0;
+  int64_t events = 0;  ///< raw events (2 per activity instance)
+};
+
+/// Streaming walker: hands each execution to `sink` instead of materializing
+/// an EventLog, so logs far larger than RAM can be generated (the caller
+/// typically feeds a SegmentedLogWriter). RNG-identical to GenerateWalkLog:
+/// the first k executions it emits equal the first k executions of
+/// GenerateWalkLog with the same options, byte for byte (same case names,
+/// same sequences). Stops after options.num_executions executions, or as
+/// soon as `max_events` raw events have been emitted (<= 0 = no event cap).
+/// A sink error aborts generation and is returned as-is.
+Status StreamWalkLog(const ProcessGraph& graph, const WalkLogOptions& options,
+                     int64_t max_events,
+                     const std::function<Status(Execution&&)>& sink,
+                     StreamWalkStats* stats = nullptr);
 
 /// All-activities random linear extensions (Section 3 setting). The returned
 /// log's ActivityIds equal the graph's vertex ids.

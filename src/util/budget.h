@@ -79,10 +79,34 @@ class RunBudget {
         exhausted_.load(std::memory_order_relaxed));
   }
 
+  /// Non-sticky memory probe for spill decisions: true when current RSS is
+  /// above `fraction` of max_memory_bytes. Unlike Check(), crossing the
+  /// high-water mark does NOT mark the budget exhausted — sealing a segment
+  /// frees memory and the run continues, so the probe must keep answering
+  /// honestly after each spill. Always false with no memory limit.
+  bool OverMemoryHighWater(double fraction = 0.8) const {
+    if (limits_.max_memory_bytes < 0) return false;
+    return static_cast<double>(CurrentRssBytes()) >
+           fraction * static_cast<double>(limits_.max_memory_bytes);
+  }
+
  private:
   Limits limits_;
   StopWatch watch_;
   std::atomic<int8_t> exhausted_{0};
+};
+
+/// Amortizes an expensive probe (an rss read is a /proc round trip) over a
+/// hot loop: Due() returns true once every `period` ticks. Single-threaded;
+/// each shard worker keeps its own.
+class ProbeTicker {
+ public:
+  explicit ProbeTicker(uint32_t period) : period_(period == 0 ? 1 : period) {}
+  bool Due() { return ++tick_ % period_ == 0; }
+
+ private:
+  uint32_t period_;
+  uint32_t tick_ = 0;
 };
 
 /// What a budget cut did to the run, for the RunReport.

@@ -620,6 +620,104 @@ TEST_F(MonitorCliTest, UsageAndDataErrors) {
   EXPECT_EQ(RunCli("monitor " + dir_ + "/absent.log").exit_code, 3);
 }
 
+// ---------------------------------------------------------------------------
+// Segment-store commands: synth --stream-out, mine on a store directory,
+// mine --spill-dir, stats on a store, convert --to-store.
+
+class StoreCliTest : public CliTest {
+ protected:
+  void SetUp() override {
+    CliTest::SetUp();
+    // Stores are immutable once finished (Create refuses a directory with a
+    // manifest), so key by test name instead of reusing one directory.
+    store_dir_ =
+        dir_ + "/store_" +
+        ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    ASSERT_EQ(std::system(("rm -rf " + store_dir_).c_str()), 0);
+    CommandResult stream = RunCli(
+        "synth --activities=8 --executions=120 --seed=5 --segment-events=64 "
+        "--stream-out=" + store_dir_);
+    ASSERT_EQ(stream.exit_code, 0) << stream.output;
+  }
+
+  std::string store_dir_;
+};
+
+TEST_F(StoreCliTest, StreamedSynthMatchesInMemorySynth) {
+  // Same flags, two paths: the streamed store and the in-memory log must
+  // mine to the same model.
+  CommandResult from_store = RunCli("mine " + store_dir_);
+  ASSERT_EQ(from_store.exit_code, 0) << from_store.output;
+  EXPECT_NE(from_store.output.find("mined out of core"), std::string::npos)
+      << from_store.output;
+  EXPECT_NE(from_store.output.find("cache: "), std::string::npos);
+  CommandResult from_log = RunCli("mine " + log_path_);
+  ASSERT_EQ(from_log.exit_code, 0) << from_log.output;
+  auto dot = [](const std::string& s) {
+    return s.substr(s.find("digraph"));
+  };
+  ASSERT_NE(from_store.output.find("digraph"), std::string::npos);
+  ASSERT_NE(from_log.output.find("digraph"), std::string::npos);
+  EXPECT_EQ(dot(from_store.output), dot(from_log.output));
+}
+
+TEST_F(StoreCliTest, SpillDirMinesTextThroughStore) {
+  std::string spill = dir_ + "/spill_store";
+  CommandResult spilled =
+      RunCli("mine --spill-dir=" + spill + " " + log_path_);
+  ASSERT_EQ(spilled.exit_code, 0) << spilled.output;
+  EXPECT_NE(spilled.output.find("spilled"), std::string::npos);
+  EXPECT_NE(spilled.output.find("mined out of core"), std::string::npos);
+  CommandResult direct = RunCli("mine " + log_path_);
+  ASSERT_EQ(direct.exit_code, 0);
+  auto dot = [](const std::string& s) {
+    return s.substr(s.find("digraph"));
+  };
+  EXPECT_EQ(dot(spilled.output), dot(direct.output));
+}
+
+TEST_F(StoreCliTest, StatsReportsStoreFootprint) {
+  CommandResult result = RunCli("stats " + store_dir_);
+  EXPECT_EQ(result.exit_code, 0) << result.output;
+  EXPECT_NE(result.output.find("segment store"), std::string::npos)
+      << result.output;
+  EXPECT_NE(result.output.find("segments:"), std::string::npos);
+  EXPECT_NE(result.output.find("120"), std::string::npos);
+  EXPECT_NE(result.output.find("on-disk bytes:"), std::string::npos);
+  EXPECT_NE(result.output.find("resident bound:"), std::string::npos);
+}
+
+TEST_F(StoreCliTest, ConvertStoreRoundTrip) {
+  // text -> store -> text: byte-identical to text -> text.
+  std::string store2 = dir_ + "/convert_store";
+  CommandResult to_store =
+      RunCli("convert --to-store --segment-events=64 " + log_path_ + " " +
+             store2);
+  ASSERT_EQ(to_store.exit_code, 0) << to_store.output;
+  std::string from_store_txt = dir_ + "/from_store.log";
+  CommandResult back = RunCli("convert " + store2 + " " + from_store_txt);
+  ASSERT_EQ(back.exit_code, 0) << back.output;
+  std::string direct_txt = dir_ + "/direct.log";
+  CommandResult direct = RunCli("convert " + log_path_ + " " + direct_txt);
+  ASSERT_EQ(direct.exit_code, 0) << direct.output;
+  EXPECT_EQ(ReadFileOrEmpty(from_store_txt), ReadFileOrEmpty(direct_txt));
+  EXPECT_NE(ReadFileOrEmpty(from_store_txt), "");
+}
+
+TEST_F(StoreCliTest, MineStoreRejectsWholeLogFeatures) {
+  CommandResult report =
+      RunCli("mine --report-out=" + dir_ + "/r.json " + store_dir_);
+  EXPECT_NE(report.exit_code, 0);
+  EXPECT_NE(report.output.find("whole log in memory"), std::string::npos)
+      << report.output;
+}
+
+TEST_F(StoreCliTest, SynthStreamRequiresSizeFlag) {
+  EXPECT_EQ(RunCli("synth --activities=8 --stream-out=" + dir_ + "/x")
+                .exit_code,
+            2);
+}
+
 TEST_F(CliTest, TraceSummaryIncludesHistogramPercentiles) {
   std::string trace_path = dir_ + "/trace.json";
   CommandResult result =

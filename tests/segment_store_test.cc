@@ -1,0 +1,630 @@
+// Segment store: round-trip fidelity (including the awkward encodings —
+// zero-length executions, negative and non-monotonic timestamp deltas,
+// dictionary growth across segments), torn/truncated salvage under the
+// recovery taxonomy, budget-driven spill seals, the LRU resident cache,
+// and byte-identity of the out-of-core miner against the in-memory path
+// across segment sizes and thread counts.
+
+#include "log/segment_store.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "log/event_log.h"
+#include "mine/miner.h"
+#include "mine/ooc_miner.h"
+#include "synth/log_generator.h"
+#include "synth/random_dag.h"
+#include "util/random.h"
+#include "util/strings.h"
+
+namespace procmine {
+namespace {
+
+void ExpectLogsEqual(const EventLog& a, const EventLog& b) {
+  ASSERT_EQ(a.num_executions(), b.num_executions());
+  ASSERT_EQ(a.num_activities(), b.num_activities());
+  EXPECT_EQ(a.dictionary().names(), b.dictionary().names());
+  for (size_t i = 0; i < a.num_executions(); ++i) {
+    const Execution& x = a.execution(i);
+    const Execution& y = b.execution(i);
+    EXPECT_EQ(x.name(), y.name()) << "execution " << i;
+    ASSERT_EQ(x.size(), y.size()) << "execution " << i;
+    for (size_t j = 0; j < x.size(); ++j) {
+      EXPECT_EQ(x[j].activity, y[j].activity);
+      EXPECT_EQ(x[j].start, y[j].start);
+      EXPECT_EQ(x[j].end, y[j].end);
+      EXPECT_EQ(x[j].output, y[j].output);
+    }
+  }
+}
+
+void ExpectModelsEqual(const ProcessGraph& a, const ProcessGraph& b,
+                       const std::string& context) {
+  ASSERT_EQ(a.num_activities(), b.num_activities()) << context;
+  EXPECT_EQ(a.names(), b.names()) << context;
+  EXPECT_EQ(a.graph().Edges(), b.graph().Edges()) << context;
+}
+
+class SegmentStoreTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = ::testing::TempDir() + "/segment_store_" +
+           ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    std::string cleanup = "rm -rf " + dir_;
+    ASSERT_EQ(std::system(cleanup.c_str()), 0);
+  }
+
+  /// Writes `log` into a fresh store at dir_ and returns writer stats via
+  /// out-params where the test wants them.
+  void WriteStore(const EventLog& log, const SegmentStoreOptions& options) {
+    auto writer = SegmentedLogWriter::Create(dir_, options);
+    ASSERT_TRUE(writer.ok()) << writer.status().ToString();
+    ASSERT_TRUE(writer->AppendLog(log).ok());
+    ASSERT_TRUE(writer->Finish().ok());
+  }
+
+  std::string dir_;
+};
+
+/// A log exercising every column: outputs, intervals, negative and
+/// non-monotonic timestamps, a zero-length execution, name strings.
+EventLog AwkwardLog() {
+  EventLog log = EventLog::FromCompactStrings({"ABCE", "ACDBE", "ACE"});
+  Execution interval("interval_case");
+  interval.Append({0, -5, 10, {42, -7}});
+  interval.Append({1, 3, 20, {}});
+  interval.Append({2, 25, 25, {0}});
+  log.AddExecution(std::move(interval));
+  log.AddExecution(Execution("empty_case"));  // zero instances
+  // Starts are non-decreasing within an execution (EventLog invariant),
+  // but the encoder still sees hostile deltas: the clock jumps far forward
+  // here and then far backward at the next execution boundary.
+  Execution forward("forward_case");
+  forward.Append({3, 1000000, 1000001, {}});
+  log.AddExecution(std::move(forward));
+  Execution backward("backward_case");
+  backward.Append({1, -999, -998, {5}});
+  backward.Append({0, 0, 0, {}});
+  log.AddExecution(std::move(backward));
+  return log;
+}
+
+TEST_F(SegmentStoreTest, RoundTripAwkwardLog) {
+  EventLog log = AwkwardLog();
+  WriteStore(log, SegmentStoreOptions());
+  auto store = SegmentStore::Open(dir_);
+  ASSERT_TRUE(store.ok()) << store.status().ToString();
+  EXPECT_EQ(store->num_executions(), 7);
+  auto materialized = store->Materialize();
+  ASSERT_TRUE(materialized.ok()) << materialized.status().ToString();
+  ExpectLogsEqual(log, *materialized);
+  EXPECT_FALSE(store->report().AnyLoss());
+}
+
+TEST_F(SegmentStoreTest, RoundTripAcrossSegmentAndBlockSizes) {
+  EventLog log = AwkwardLog();
+  for (int64_t segment_events : {2, 6, 1 << 20}) {
+    for (int64_t block_execs : {1, 2, 1024}) {
+      SetUp();  // fresh dir per combination
+      SegmentStoreOptions options;
+      options.target_segment_events = segment_events;
+      options.block_executions = block_execs;
+      WriteStore(log, options);
+      auto store = SegmentStore::Open(dir_, options);
+      ASSERT_TRUE(store.ok());
+      auto materialized = store->Materialize();
+      ASSERT_TRUE(materialized.ok());
+      ExpectLogsEqual(log, *materialized);
+    }
+  }
+}
+
+TEST_F(SegmentStoreTest, DictionaryGrowsAcrossSegments) {
+  // Later executions introduce activities the first segments never saw;
+  // ids must come out in first-encounter order over the event stream and
+  // every window must still carry the full dictionary.
+  SegmentStoreOptions options;
+  options.target_segment_events = 4;  // ~1 execution per segment
+  auto writer = SegmentedLogWriter::Create(dir_, options);
+  ASSERT_TRUE(writer.ok());
+  EventLog source = EventLog::FromCompactStrings({"AB", "ABC", "CDB", "EA"});
+  for (size_t i = 0; i < source.num_executions(); ++i) {
+    ASSERT_TRUE(
+        writer->Append(source.execution(i), source.dictionary()).ok());
+  }
+  ASSERT_TRUE(writer->Finish().ok());
+  EXPECT_GT(writer->segments_sealed(), 1);
+
+  auto store = SegmentStore::Open(dir_, options);
+  ASSERT_TRUE(store.ok());
+  EXPECT_EQ(store->dictionary().names(), source.dictionary().names());
+  for (size_t i = 0; i < store->num_segments(); ++i) {
+    auto window = store->Segment(i);
+    ASSERT_TRUE(window.ok());
+    EXPECT_EQ((*window)->num_activities(), source.num_activities())
+        << "window " << i << " lacks the full dictionary";
+  }
+  auto materialized = store->Materialize();
+  ASSERT_TRUE(materialized.ok());
+  ExpectLogsEqual(source, *materialized);
+}
+
+TEST_F(SegmentStoreTest, RoundTripFuzz) {
+  // Random logs with hostile shapes: empty executions, repeated
+  // activities, negative/non-monotonic timestamps, sparse outputs, and a
+  // dictionary that keeps growing. Every (segment size, block size) must
+  // reproduce the source exactly.
+  Rng rng(77);
+  for (int round = 0; round < 8; ++round) {
+    EventLog log;
+    const int execs = 1 + static_cast<int>(rng.Uniform(40));
+    for (int e = 0; e < execs; ++e) {
+      Execution exec(StrFormat("case_%d_%d", round, e));
+      const int n = static_cast<int>(rng.Uniform(6));  // 0..5 instances
+      int64_t t = static_cast<int64_t>(rng.Uniform(2000)) - 1000;
+      for (int k = 0; k < n; ++k) {
+        ActivityId a = log.dictionary().Intern(StrFormat(
+            "act_%d",
+            static_cast<int>(rng.Uniform(3 + static_cast<uint64_t>(round) *
+                                         4))));
+        t += static_cast<int64_t>(rng.Uniform(200));  // non-decreasing starts
+        int64_t dur = static_cast<int64_t>(rng.Uniform(50));
+        std::vector<int64_t> outputs;
+        if (rng.Uniform(3) == 0) {
+          outputs.push_back(static_cast<int64_t>(rng.Uniform(1000)) - 500);
+        }
+        exec.Append({a, t, t + dur, outputs});
+      }
+      log.AddExecution(std::move(exec));
+    }
+    SegmentStoreOptions options;
+    options.target_segment_events = 1 + static_cast<int64_t>(rng.Uniform(32));
+    options.block_executions = 1 + static_cast<int64_t>(rng.Uniform(7));
+    SetUp();
+    WriteStore(log, options);
+    auto store = SegmentStore::Open(dir_, options);
+    ASSERT_TRUE(store.ok());
+    auto materialized = store->Materialize();
+    ASSERT_TRUE(materialized.ok());
+    ExpectLogsEqual(log, *materialized);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Encode/decode + salvage taxonomy
+
+std::vector<Execution> SampleExecs() {
+  std::vector<Execution> execs;
+  for (int e = 0; e < 10; ++e) {
+    Execution exec(StrFormat("case_%d", e));
+    for (int k = 0; k <= e % 3; ++k) {
+      exec.Append({static_cast<ActivityId>(k), 10 * k, 10 * k + 5, {}});
+    }
+    execs.push_back(std::move(exec));
+  }
+  return execs;
+}
+
+TEST(SegmentCodecTest, DetectsEveryByteCorruption) {
+  std::string bytes = segment_internal::EncodeSegment(SampleExecs(), 4);
+  Rng rng(5);
+  for (size_t i = 0; i < bytes.size(); ++i) {
+    std::string corrupted = bytes;
+    corrupted[i] = static_cast<char>(
+        corrupted[i] ^ static_cast<char>(1 + rng.Uniform(255)));
+    auto decoded = segment_internal::DecodeSegment(corrupted, 3);
+    EXPECT_FALSE(decoded.ok()) << "corruption at byte " << i
+                               << " went undetected";
+  }
+}
+
+TEST(SegmentCodecTest, SalvageTruncationKeepsCleanBlockPrefix) {
+  // 10 executions in blocks of 2: cutting the file mid-payload loses the
+  // torn block and everything after it, never the whole segment.
+  std::vector<Execution> execs = SampleExecs();
+  std::string bytes = segment_internal::EncodeSegment(execs, 2);
+  auto torn = segment_internal::SalvageSegment(
+      std::string_view(bytes).substr(0, bytes.size() / 2), 3);
+  EXPECT_FALSE(torn.clean);
+  EXPECT_EQ(torn.error_class, "truncated_body");
+  EXPECT_GT(torn.dropped_bytes, 0);
+  ASSERT_FALSE(torn.executions.empty());
+  ASSERT_LT(torn.executions.size(), execs.size());
+  EXPECT_EQ(torn.executions.size() % 2, 0u) << "salvage must cut at a block";
+  for (size_t i = 0; i < torn.executions.size(); ++i) {
+    EXPECT_EQ(torn.executions[i].name(), execs[i].name());
+  }
+}
+
+TEST(SegmentCodecTest, SalvageClassifiesCorruptionInPlace) {
+  // Footer byte range intact but a payload byte flipped: the taxonomy
+  // calls that checksum_mismatch even when the blocks still parse.
+  std::string bytes = segment_internal::EncodeSegment(SampleExecs(), 1024);
+  std::string corrupted = bytes;
+  corrupted[bytes.size() / 2] ^= 0x20;
+  auto salvage = segment_internal::SalvageSegment(corrupted, 3);
+  EXPECT_FALSE(salvage.clean);
+  EXPECT_TRUE(salvage.error_class == "checksum_mismatch" ||
+              salvage.error_class == "semantic_error")
+      << salvage.error_class;
+}
+
+TEST(SegmentCodecTest, SalvageClassifiesSemanticError) {
+  // Structurally valid segment whose ids exceed the dictionary: decoding
+  // with a too-small num_activities is a semantic error, not a torn write.
+  std::string bytes = segment_internal::EncodeSegment(SampleExecs(), 1024);
+  auto salvage = segment_internal::SalvageSegment(bytes, /*num_activities=*/1);
+  EXPECT_FALSE(salvage.clean);
+  EXPECT_EQ(salvage.error_class, "semantic_error");
+  EXPECT_FALSE(segment_internal::DecodeSegment(bytes, 1).ok());
+}
+
+TEST(SegmentCodecTest, SalvageOfCleanSegmentIsLossless) {
+  std::vector<Execution> execs = SampleExecs();
+  std::string bytes = segment_internal::EncodeSegment(execs, 3);
+  auto salvage = segment_internal::SalvageSegment(bytes, 3);
+  EXPECT_TRUE(salvage.clean);
+  EXPECT_TRUE(salvage.error_class.empty());
+  EXPECT_EQ(salvage.executions.size(), execs.size());
+  EXPECT_EQ(salvage.dropped_bytes, 0);
+}
+
+TEST_F(SegmentStoreTest, TornSegmentFileStrictVsSalvage) {
+  SegmentStoreOptions options;
+  options.target_segment_events = 4;
+  options.block_executions = 1;
+  EventLog log = EventLog::FromCompactStrings(
+      {"ABCE", "ACBE", "ABCE", "ACBE", "ABCE", "ACBE"});
+  WriteStore(log, options);
+
+  // Tear the second segment file in half, as a crashed writer would.
+  auto probe = SegmentStore::Open(dir_, options);
+  ASSERT_TRUE(probe.ok());
+  ASSERT_GE(probe->num_segments(), 2u);
+  const SegmentInfo& victim = probe->segments()[1];
+  const std::string path = dir_ + "/" + victim.file;
+  std::ifstream in(path, std::ios::binary);
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  in.close();
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(),
+              static_cast<std::streamsize>(bytes.size() / 2));
+  }
+
+  // kStrict: loading the torn segment is DataLoss.
+  auto strict = SegmentStore::Open(dir_, options);
+  ASSERT_TRUE(strict.ok());
+  EXPECT_FALSE(strict->Segment(1).ok());
+  EXPECT_EQ(strict->Segment(1).status().code(), StatusCode::kDataLoss);
+  EXPECT_TRUE(strict->Segment(0).ok()) << "clean segments must still load";
+
+  // kQuarantine: the clean-block prefix survives, the loss is accounted
+  // with the recovery taxonomy, and the quarantine names the segment.
+  SegmentStoreOptions salvage_options = options;
+  salvage_options.recovery = RecoveryPolicy::kQuarantine;
+  auto salvaged = SegmentStore::Open(dir_, salvage_options);
+  ASSERT_TRUE(salvaged.ok());
+  auto window = salvaged->Segment(1);
+  ASSERT_TRUE(window.ok());
+  EXPECT_LT((*window)->num_executions(), static_cast<size_t>(victim.executions));
+  const IngestionReport& report = salvaged->report();
+  EXPECT_TRUE(report.salvage_attempted);
+  EXPECT_GT(report.executions_dropped, 0);
+  ASSERT_EQ(report.error_classes.size(), 1u);
+  EXPECT_EQ(report.error_classes[0].first, "truncated_body");
+  ASSERT_EQ(report.quarantined.size(), 1u);
+  EXPECT_NE(report.quarantined[0].raw.find(victim.file), std::string::npos);
+
+  // The other segments still materialize; only the torn block is gone.
+  auto materialized = salvaged->Materialize();
+  ASSERT_TRUE(materialized.ok());
+  EXPECT_EQ(materialized->num_executions() +
+                static_cast<size_t>(report.executions_dropped),
+            log.num_executions());
+}
+
+TEST_F(SegmentStoreTest, MissingSegmentFileIsWholeSegmentLoss) {
+  SegmentStoreOptions options;
+  options.target_segment_events = 4;
+  WriteStore(EventLog::FromCompactStrings({"AB", "AB", "AB"}), options);
+  auto probe = SegmentStore::Open(dir_, options);
+  ASSERT_TRUE(probe.ok());
+  ASSERT_GE(probe->num_segments(), 2u);
+  ASSERT_EQ(std::remove((dir_ + "/" + probe->segments()[0].file).c_str()), 0);
+
+  auto strict = SegmentStore::Open(dir_, options);
+  ASSERT_TRUE(strict.ok());
+  EXPECT_FALSE(strict->Segment(0).ok());
+
+  SegmentStoreOptions skip = options;
+  skip.recovery = RecoveryPolicy::kSkip;
+  auto salvaged = SegmentStore::Open(dir_, skip);
+  ASSERT_TRUE(salvaged.ok());
+  auto window = salvaged->Segment(0);
+  ASSERT_TRUE(window.ok());
+  EXPECT_EQ((*window)->num_executions(), 0u);
+  EXPECT_GT(salvaged->report().executions_dropped, 0);
+}
+
+TEST_F(SegmentStoreTest, CreateRefusesFinishedStore) {
+  WriteStore(EventLog::FromCompactStrings({"AB"}), SegmentStoreOptions());
+  auto again = SegmentedLogWriter::Create(dir_, SegmentStoreOptions());
+  EXPECT_FALSE(again.ok());
+  EXPECT_EQ(again.status().code(), StatusCode::kAlreadyExists);
+}
+
+TEST_F(SegmentStoreTest, OpenWithoutManifestFails) {
+  ASSERT_EQ(std::system(("mkdir -p " + dir_).c_str()), 0);
+  EXPECT_FALSE(IsSegmentStoreDir(dir_));
+  EXPECT_FALSE(SegmentStore::Open(dir_).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Budget spill + resident cache
+
+TEST_F(SegmentStoreTest, MemoryHighWaterSealsEarly) {
+  // A 1-byte memory budget keeps the RSS probe permanently over the
+  // high-water mark: every probe tick must seal (spill) rather than let
+  // the pending buffer grow, and the spilled store must still round-trip.
+  RunBudget budget(RunBudget::Limits{-1, /*max_memory_bytes=*/1, -1});
+  SegmentStoreOptions options;
+  options.budget = &budget;
+  EventLog log;
+  for (int e = 0; e < 5000; ++e) {
+    Execution exec(StrFormat("case_%04d", e));
+    exec.Append({log.dictionary().Intern("A"), e, e + 1, {}});
+    exec.Append({log.dictionary().Intern("B"), e + 2, e + 3, {}});
+    log.AddExecution(std::move(exec));
+  }
+  auto writer = SegmentedLogWriter::Create(dir_, options);
+  ASSERT_TRUE(writer.ok());
+  ASSERT_TRUE(writer->AppendLog(log).ok());
+  ASSERT_TRUE(writer->Finish().ok());
+  EXPECT_GT(writer->spill_seals(), 0);
+  EXPECT_GT(writer->segments_sealed(), 1);
+
+  auto store = SegmentStore::Open(dir_);
+  ASSERT_TRUE(store.ok());
+  auto materialized = store->Materialize();
+  ASSERT_TRUE(materialized.ok());
+  ExpectLogsEqual(log, *materialized);
+}
+
+TEST_F(SegmentStoreTest, LruCacheEvictsUnderResidentBound) {
+  SegmentStoreOptions options;
+  options.target_segment_events = 8;
+  EventLog log;
+  for (int e = 0; e < 64; ++e) {
+    Execution exec(StrFormat("case_%02d", e));
+    exec.Append({log.dictionary().Intern("A"), e, e + 1, {}});
+    exec.Append({log.dictionary().Intern("B"), e + 2, e + 3, {}});
+    log.AddExecution(std::move(exec));
+  }
+  WriteStore(log, options);
+
+  SegmentStoreOptions tight = options;
+  tight.max_resident_bytes = 1;  // at least one segment always stays
+  auto store = SegmentStore::Open(dir_, tight);
+  ASSERT_TRUE(store.ok());
+  ASSERT_GT(store->num_segments(), 2u);
+  for (int pass = 0; pass < 2; ++pass) {
+    for (size_t i = 0; i < store->num_segments(); ++i) {
+      ASSERT_TRUE(store->Segment(i).ok());
+    }
+  }
+  SegmentStoreFootprint fp = store->Footprint();
+  EXPECT_EQ(fp.segments, static_cast<int64_t>(store->num_segments()));
+  EXPECT_GT(fp.evictions, 0);
+  EXPECT_EQ(fp.resident_segments, 1);
+  // Every visit after the first pass was a cache miss: the bound is real.
+  EXPECT_EQ(fp.loads, 2 * static_cast<int64_t>(store->num_segments()));
+  EXPECT_GT(fp.estimated_memory_bytes, fp.disk_bytes);
+  EXPECT_GT(fp.CompressionRatio(), 1.0);
+
+  // A roomy cache serves the second pass residently.
+  SegmentStoreOptions roomy = options;
+  auto cached = SegmentStore::Open(dir_, roomy);
+  ASSERT_TRUE(cached.ok());
+  for (int pass = 0; pass < 2; ++pass) {
+    for (size_t i = 0; i < cached->num_segments(); ++i) {
+      ASSERT_TRUE(cached->Segment(i).ok());
+    }
+  }
+  EXPECT_EQ(cached->Footprint().loads,
+            static_cast<int64_t>(cached->num_segments()));
+  EXPECT_EQ(cached->Footprint().evictions, 0);
+}
+
+// ---------------------------------------------------------------------------
+// Out-of-core mining identity
+
+/// Mines the store out of core and its materialized log in memory with the
+/// same options; both models must match field for field. (The materialized
+/// log is the reference on purpose: the store dictionary is in first-use
+/// order over the event stream, which a source log with a pre-seeded
+/// dictionary need not share.)
+void ExpectOocIdentity(SegmentStore* store, MinerOptions options,
+                       const std::string& context) {
+  auto materialized = store->Materialize();
+  ASSERT_TRUE(materialized.ok()) << context;
+  const EventLog& reference_log = *materialized;
+  auto reference = ProcessMiner(options).Mine(reference_log);
+  ASSERT_TRUE(reference.ok()) << context << ": "
+                              << reference.status().ToString();
+  OocMineStats stats;
+  auto ooc = OutOfCoreMiner(options).Mine(store, &stats);
+  ASSERT_TRUE(ooc.ok()) << context << ": " << ooc.status().ToString();
+  ExpectModelsEqual(*ooc, *reference, context);
+  EXPECT_EQ(stats.executions,
+            static_cast<int64_t>(reference_log.num_executions()))
+      << context;
+}
+
+class OocIdentityTest : public SegmentStoreTest {};
+
+TEST_F(OocIdentityTest, GeneralDagAcrossSegmentSizesAndThreads) {
+  RandomDagOptions dag_options;
+  dag_options.num_activities = 12;
+  dag_options.edge_density = PaperEdgeDensity(12);
+  dag_options.seed = 3;
+  ProcessGraph truth = GenerateRandomDag(dag_options);
+  WalkLogOptions walk;
+  walk.num_executions = 300;
+  walk.seed = 4;
+  auto log = GenerateWalkLog(truth, walk);
+  ASSERT_TRUE(log.ok());
+
+  for (int64_t segment_events : {64, 512, 1 << 20}) {
+    for (int threads : {1, 2, 8}) {
+      SetUp();
+      SegmentStoreOptions store_options;
+      store_options.target_segment_events = segment_events;
+      WriteStore(*log, store_options);
+      auto store = SegmentStore::Open(dir_, store_options);
+      ASSERT_TRUE(store.ok());
+      MinerOptions options;
+      options.num_threads = threads;
+      ExpectOocIdentity(&*store, options,
+                        StrFormat("general seg=%lld threads=%d",
+                                  static_cast<long long>(segment_events),
+                                  threads));
+    }
+  }
+}
+
+TEST_F(OocIdentityTest, SpecialDagIdentity) {
+  // Exactly-once log: kAuto must stream-select Algorithm 1 and match.
+  EventLog log = EventLog::FromCompactStrings(
+      {"ABCE", "ACBE", "ABCE", "ACBE", "ABCE", "ACBE", "ABCE", "ACBE"});
+  SegmentStoreOptions store_options;
+  store_options.target_segment_events = 8;
+  WriteStore(log, store_options);
+  auto store = SegmentStore::Open(dir_, store_options);
+  ASSERT_TRUE(store.ok());
+  for (int threads : {1, 2, 8}) {
+    MinerOptions options;
+    options.num_threads = threads;
+    ExpectOocIdentity(&*store, options,
+                      StrFormat("special threads=%d", threads));
+  }
+}
+
+TEST_F(OocIdentityTest, CyclicIdentityAcrossSegmentSizes) {
+  // Repeats force Algorithm 3: the streamed occurrence labeling and the
+  // window relabeling must reproduce the in-memory labeled mine exactly.
+  std::vector<std::string> cases;
+  for (int i = 0; i < 30; ++i) {
+    cases.push_back(i % 3 == 0 ? "ABABCE" : (i % 3 == 1 ? "ABCBCE" : "ACE"));
+  }
+  EventLog log = EventLog::FromCompactStrings(cases);
+  for (int64_t segment_events : {8, 64, 1 << 20}) {
+    for (int threads : {1, 2, 8}) {
+      SetUp();
+      SegmentStoreOptions store_options;
+      store_options.target_segment_events = segment_events;
+      WriteStore(log, store_options);
+      auto store = SegmentStore::Open(dir_, store_options);
+      ASSERT_TRUE(store.ok());
+      MinerOptions options;
+      options.num_threads = threads;
+      ExpectOocIdentity(&*store, options,
+                        StrFormat("cyclic seg=%lld threads=%d",
+                                  static_cast<long long>(segment_events),
+                                  threads));
+    }
+  }
+}
+
+TEST_F(OocIdentityTest, NoiseThresholdIdentity) {
+  EventLog log = EventLog::FromCompactStrings(
+      {"ABCE", "ABCE", "ABCE", "ABCE", "ACBE", "ABE"});
+  SegmentStoreOptions store_options;
+  store_options.target_segment_events = 8;
+  WriteStore(log, store_options);
+  auto store = SegmentStore::Open(dir_, store_options);
+  ASSERT_TRUE(store.ok());
+  MinerOptions options;
+  options.noise_threshold = 3;
+  ExpectOocIdentity(&*store, options, "threshold=3");
+}
+
+TEST_F(OocIdentityTest, MaxExecutionsDegradationParity) {
+  // A --max-executions cut must truncate to the same prefix AND report the
+  // same DegradationInfo as the in-memory facade.
+  EventLog log = EventLog::FromCompactStrings(
+      {"ABCE", "ACBE", "ABCE", "ACBE", "ABCE", "ACBE"});
+  SegmentStoreOptions store_options;
+  store_options.target_segment_events = 4;
+  WriteStore(log, store_options);
+  auto store = SegmentStore::Open(dir_, store_options);
+  ASSERT_TRUE(store.ok());
+
+  RunBudget ooc_budget(RunBudget::Limits{-1, -1, /*max_executions=*/3});
+  DegradationInfo ooc_degradation;
+  MinerOptions ooc_options;
+  ooc_options.budget = &ooc_budget;
+  ooc_options.degradation = &ooc_degradation;
+  OocMineStats stats;
+  auto ooc = OutOfCoreMiner(ooc_options).Mine(&*store, &stats);
+  ASSERT_TRUE(ooc.ok()) << ooc.status().ToString();
+  EXPECT_EQ(stats.executions, 3);
+
+  RunBudget ref_budget(RunBudget::Limits{-1, -1, /*max_executions=*/3});
+  DegradationInfo ref_degradation;
+  MinerOptions ref_options;
+  ref_options.budget = &ref_budget;
+  ref_options.degradation = &ref_degradation;
+  auto reference = ProcessMiner(ref_options).Mine(log);
+  ASSERT_TRUE(reference.ok());
+
+  ExpectModelsEqual(*ooc, *reference, "max-executions parity");
+  EXPECT_EQ(ooc_degradation.degraded, ref_degradation.degraded);
+  EXPECT_TRUE(ooc_degradation.degraded);
+  EXPECT_EQ(static_cast<int>(ooc_degradation.resource),
+            static_cast<int>(ref_degradation.resource));
+  EXPECT_EQ(ooc_degradation.cut_phase, ref_degradation.cut_phase);
+  EXPECT_EQ(ooc_degradation.dropped, ref_degradation.dropped);
+}
+
+TEST_F(OocIdentityTest, EmptyStoreMinesLikeEmptyLog) {
+  auto writer = SegmentedLogWriter::Create(dir_, SegmentStoreOptions());
+  ASSERT_TRUE(writer.ok());
+  ASSERT_TRUE(writer->Finish().ok());
+  auto store = SegmentStore::Open(dir_);
+  ASSERT_TRUE(store.ok());
+  auto ooc = OutOfCoreMiner().Mine(&*store);
+  ASSERT_FALSE(ooc.ok());
+  auto reference = ProcessMiner().Mine(EventLog());
+  ASSERT_FALSE(reference.ok());
+  EXPECT_EQ(ooc.status().code(), reference.status().code());
+  EXPECT_EQ(ooc.status().message(), reference.status().message());
+}
+
+TEST_F(OocIdentityTest, ValidationErrorsMatchInMemoryPath) {
+  // A non-exactly-once log forced through Algorithm 1 must fail with the
+  // same error text whether mined in memory or out of core.
+  EventLog log = EventLog::FromCompactStrings({"ABCE", "ABE"});
+  SegmentStoreOptions store_options;
+  store_options.target_segment_events = 4;
+  WriteStore(log, store_options);
+  auto store = SegmentStore::Open(dir_, store_options);
+  ASSERT_TRUE(store.ok());
+  MinerOptions options;
+  options.algorithm = MinerAlgorithm::kSpecialDag;
+  auto ooc = OutOfCoreMiner(options).Mine(&*store);
+  auto reference = ProcessMiner(options).Mine(log);
+  ASSERT_FALSE(ooc.ok());
+  ASSERT_FALSE(reference.ok());
+  EXPECT_EQ(ooc.status().code(), reference.status().code());
+  EXPECT_EQ(ooc.status().message(), reference.status().message());
+}
+
+}  // namespace
+}  // namespace procmine

@@ -53,6 +53,7 @@
 #include <cstdio>
 #include <fstream>
 #include <iostream>
+#include <limits>
 #include <map>
 #include <optional>
 #include <string>
@@ -67,6 +68,7 @@
 #include "log/recovery.h"
 #include "mine/performance.h"
 #include "log/reader.h"
+#include "log/segment_store.h"
 #include "log/stats.h"
 #include "log/validate.h"
 #include "log/transform.h"
@@ -78,6 +80,7 @@
 #include "mine/miner.h"
 #include "mine/model_diff.h"
 #include "mine/noise.h"
+#include "mine/ooc_miner.h"
 #include "obs/registry.h"
 #include "synth/drift_scenario.h"
 #include "mine/reconstruct.h"
@@ -280,8 +283,10 @@ Result<ProcessGraph> ReadEdgeListModel(const std::string& path) {
   return ProcessGraph::FromNamedEdges(edges);
 }
 
+/// `log` may be null (the out-of-core path, which never materializes one);
+/// --threshold=auto then has nothing to estimate from and is rejected.
 Result<MinerOptions> MinerOptionsFromArgs(const Args& args,
-                                          const EventLog& log) {
+                                          const EventLog* log) {
   MinerOptions options;
   std::string algorithm = args.Get("algorithm", "auto");
   if (algorithm == "auto") {
@@ -297,9 +302,14 @@ Result<MinerOptions> MinerOptionsFromArgs(const Args& args,
   }
   std::string threshold = args.Get("threshold", "1");
   if (threshold == "auto") {
-    options.noise_threshold = SuggestNoiseThreshold(log);
+    if (log == nullptr) {
+      return Status::InvalidArgument(
+          "--threshold=auto needs the whole log in memory; pass an explicit "
+          "threshold when mining a segment store");
+    }
+    options.noise_threshold = SuggestNoiseThreshold(*log);
     std::fprintf(stderr, "estimated noise rate %.4f -> threshold %lld\n",
-                 EstimateNoiseRate(log),
+                 EstimateNoiseRate(*log),
                  static_cast<long long>(options.noise_threshold));
   } else {
     PROCMINE_ASSIGN_OR_RETURN(options.noise_threshold,
@@ -339,7 +349,7 @@ Result<std::vector<int64_t>> ParseSweep(const std::string& spec) {
 Result<obs::RunReportOptions> ReportOptionsFromArgs(const Args& args,
                                                     const EventLog& log) {
   PROCMINE_ASSIGN_OR_RETURN(MinerOptions miner_options,
-                            MinerOptionsFromArgs(args, log));
+                            MinerOptionsFromArgs(args, &log));
   obs::RunReportOptions options;
   options.algorithm = miner_options.algorithm;
   options.noise_threshold = miner_options.noise_threshold;
@@ -389,6 +399,199 @@ int FinishWithDegradation(const DegradationInfo& degradation) {
   return kExitDegraded;
 }
 
+/// Store knobs shared by synth --stream-out, mine <store>, and --spill-dir:
+/// --segment-events (seal size), --resident-mb (reader cache bound; defaults
+/// to a quarter of --max-memory-mb when a budget is set), plus the recovery
+/// policy and the writer's spill budget.
+Result<SegmentStoreOptions> StoreOptionsFromArgs(const Args& args,
+                                                 RecoveryPolicy policy,
+                                                 RunBudget* budget) {
+  SegmentStoreOptions options;
+  options.recovery = policy;
+  options.budget = budget;
+  if (args.Has("segment-events")) {
+    PROCMINE_ASSIGN_OR_RETURN(options.target_segment_events,
+                              ParseInt64(args.Get("segment-events")));
+    if (options.target_segment_events <= 0) {
+      return Status::InvalidArgument("--segment-events must be > 0");
+    }
+  }
+  if (args.Has("resident-mb")) {
+    PROCMINE_ASSIGN_OR_RETURN(int64_t mb, ParseInt64(args.Get("resident-mb")));
+    if (mb <= 0) return Status::InvalidArgument("--resident-mb must be > 0");
+    options.max_resident_bytes = mb * (int64_t{1} << 20);
+  } else if (budget != nullptr && budget->limits().max_memory_bytes > 0) {
+    // Leave most of the budget to the mining accumulators and one decoded
+    // window; the cache always keeps at least the current segment resident.
+    options.max_resident_bytes =
+        std::max<int64_t>(budget->limits().max_memory_bytes / 4, 1 << 20);
+  }
+  return options;
+}
+
+/// One stderr line of store footprint, shared by `stats` and the post-mine
+/// summary.
+void PrintFootprint(const SegmentStoreFootprint& fp, FILE* out) {
+  std::fprintf(out,
+               "store: %lld segments, %lld executions, %lld events, "
+               "%.1f MiB on disk (~%.1f MiB decoded, %.2fx)\n",
+               static_cast<long long>(fp.segments),
+               static_cast<long long>(fp.executions),
+               static_cast<long long>(fp.events),
+               static_cast<double>(fp.disk_bytes) / (1 << 20),
+               static_cast<double>(fp.estimated_memory_bytes) / (1 << 20),
+               fp.CompressionRatio());
+  std::fprintf(out,
+               "cache: %lld/%lld segments resident (%.1f of %.1f MiB, "
+               "peak %.1f), %lld loads, %lld evictions\n",
+               static_cast<long long>(fp.resident_segments),
+               static_cast<long long>(fp.segments),
+               static_cast<double>(fp.resident_bytes) / (1 << 20),
+               static_cast<double>(fp.max_resident_bytes) / (1 << 20),
+               static_cast<double>(fp.peak_resident_bytes) / (1 << 20),
+               static_cast<long long>(fp.loads),
+               static_cast<long long>(fp.evictions));
+}
+
+/// The shared output tail of every mine path: model summary, stdout DOT or
+/// ASCII, --dot sidecar, degradation exit code.
+int EmitModel(const ProcessGraph& model, const Args& args,
+              const DegradationInfo& degradation) {
+  std::fprintf(stderr, "mined %lld edges over %d activities\n",
+               static_cast<long long>(model.graph().num_edges()),
+               model.num_activities());
+  if (args.Has("ascii")) {
+    std::cout << RenderAscii(model.graph(), model.names());
+  } else {
+    std::cout << model.ToDot("mined_process");
+  }
+  if (args.Has("dot")) {
+    Status st = WriteDotFile(model.graph(), model.names(), args.Get("dot"));
+    if (!st.ok()) return Fail(st);
+  }
+  return FinishWithDegradation(degradation);
+}
+
+/// Mines a segment-store directory out of core: bounded-resident windowed
+/// passes, byte-identical model (see mine/ooc_miner.h).
+int CommandMineStore(const Args& args) {
+  const std::string& dir = args.positional[0];
+  for (const char* flag : {"report-out", "report-dot", "conditions", "fdl"}) {
+    if (args.Has(flag)) {
+      std::cerr << "--" << flag
+                << " needs the whole log in memory; materialize first "
+                   "(procmine convert <store> <log>) or mine the text log\n";
+      return kExitUsage;
+    }
+  }
+  auto limits = BudgetLimitsFromArgs(args);
+  if (!limits.ok()) return Fail(limits.status());
+  RunBudget budget(*limits);
+  DegradationInfo degradation;
+  budget.Start();
+
+  auto policy = RecoveryFlag(args);
+  if (!policy.ok()) return Fail(policy.status());
+  auto store_options = StoreOptionsFromArgs(args, *policy, &budget);
+  if (!store_options.ok()) return Fail(store_options.status());
+  auto store = SegmentStore::Open(dir, *store_options);
+  if (!store.ok()) return Fail(store.status());
+
+  auto options = MinerOptionsFromArgs(args, nullptr);
+  if (!options.ok()) return Fail(options.status());
+  options->budget = &budget;
+  options->degradation = &degradation;
+
+  OocMineStats stats;
+  auto model = OutOfCoreMiner(*options).Mine(&*store, &stats);
+  if (!model.ok()) return Fail(model.status());
+  if (args.Has("quarantine-out")) {
+    Status st = WriteQuarantineFile(args.Get("quarantine-out"),
+                                    store->report());
+    if (!st.ok()) return Fail(st);
+    std::fprintf(stderr, "wrote quarantine to %s\n",
+                 args.Get("quarantine-out").c_str());
+  }
+  if (store->report().AnyLoss()) {
+    std::fprintf(stderr, "%s", store->report().SummaryText().c_str());
+  }
+  std::fprintf(stderr, "mined out of core: %lld window loads over %lld "
+               "executions (%lld events)\n",
+               static_cast<long long>(stats.windows),
+               static_cast<long long>(stats.executions),
+               static_cast<long long>(stats.events));
+  PrintFootprint(store->Footprint(), stderr);
+  return EmitModel(*model, args, degradation);
+}
+
+/// mine <text-log> --spill-dir=DIR: stream the text log into a segment
+/// store (the writer's RSS probe seals segments at the memory high-water
+/// mark, so ingestion never materializes the log), then mine it out of
+/// core. The store is left behind for reuse.
+int CommandMineSpill(const Args& args) {
+  const std::string& path = args.positional[0];
+  const std::string dir = args.Get("spill-dir");
+  if (IsSegmentStoreDir(path)) {
+    std::cerr << "--spill-dir applies to text logs; '" << path
+              << "' is already a segment store\n";
+    return kExitUsage;
+  }
+  if (!EndsWith(path, ".bin") && !EndsWith(path, ".xes")) {
+    auto limits = BudgetLimitsFromArgs(args);
+    if (!limits.ok()) return Fail(limits.status());
+    RunBudget budget(*limits);
+    budget.Start();
+    auto policy = RecoveryFlag(args);
+    if (!policy.ok()) return Fail(policy.status());
+    auto store_options = StoreOptionsFromArgs(args, *policy, &budget);
+    if (!store_options.ok()) return Fail(store_options.status());
+
+    auto writer = SegmentedLogWriter::Create(dir, *store_options);
+    if (!writer.ok()) return Fail(writer.status());
+    IngestionReport ingestion;
+    StreamOptions stream_options;
+    stream_options.recovery = *policy;
+    stream_options.report = &ingestion;
+    auto streamed = StreamLogFile(
+        path,
+        [&](const Execution& exec, const ActivityDictionary& dict) {
+          return writer->Append(exec, dict);
+        },
+        stream_options);
+    if (!streamed.ok()) return Fail(streamed.status());
+    Status st = writer->Finish();
+    if (!st.ok()) return Fail(st);
+    if (ingestion.AnyLoss()) {
+      std::fprintf(stderr, "%s", ingestion.SummaryText().c_str());
+    }
+    std::fprintf(stderr,
+                 "spilled %lld executions (%lld events) into %lld segments "
+                 "at %s (%lld budget-forced seals)\n",
+                 static_cast<long long>(writer->executions()),
+                 static_cast<long long>(writer->events()),
+                 static_cast<long long>(writer->segments_sealed()),
+                 dir.c_str(), static_cast<long long>(writer->spill_seals()));
+  } else {
+    // Binary/XES decoding is already one bounded pass; materialize and
+    // convert through the writer.
+    auto log = ReadLogAuto(path, args);
+    if (!log.ok()) return Fail(log.status());
+    auto policy = RecoveryFlag(args);
+    if (!policy.ok()) return Fail(policy.status());
+    auto store_options = StoreOptionsFromArgs(args, *policy, nullptr);
+    if (!store_options.ok()) return Fail(store_options.status());
+    auto writer = SegmentedLogWriter::Create(dir, *store_options);
+    if (!writer.ok()) return Fail(writer.status());
+    Status st = writer->AppendLog(*log);
+    if (st.ok()) st = writer->Finish();
+    if (!st.ok()) return Fail(st);
+  }
+  Args store_args = args;
+  store_args.positional[0] = dir;
+  store_args.flags.erase("spill-dir");
+  return CommandMineStore(store_args);
+}
+
 int CommandMine(const Args& args) {
   if (args.positional.empty()) {
     std::cerr << "usage: procmine mine <log> [--algorithm=...] "
@@ -396,9 +599,16 @@ int CommandMine(const Args& args) {
                  "[--dot=FILE] "
                  "[--report-out=FILE] [--report-dot=FILE] [--conditions] "
                  "[--recovery=strict|skip|quarantine] [--quarantine-out=FILE] "
-                 "[--deadline-ms=N] [--max-memory-mb=N] [--max-executions=N]\n";
+                 "[--deadline-ms=N] [--max-memory-mb=N] [--max-executions=N]\n"
+                 "       procmine mine <store-dir> [--resident-mb=N] ...\n"
+                 "       procmine mine <log> --spill-dir=DIR "
+                 "[--segment-events=N] ...\n";
     return kExitUsage;
   }
+  // A segment-store directory mines out of core; --spill-dir converts a
+  // text log into one first. Both share the model-emitting tail.
+  if (IsSegmentStoreDir(args.positional[0])) return CommandMineStore(args);
+  if (args.Has("spill-dir")) return CommandMineSpill(args);
   auto limits = BudgetLimitsFromArgs(args);
   if (!limits.ok()) return Fail(limits.status());
   RunBudget budget(*limits);
@@ -408,7 +618,7 @@ int CommandMine(const Args& args) {
   IngestionReport ingestion;
   auto log = ReadLogAuto(args.positional[0], args, &ingestion);
   if (!log.ok()) return Fail(log.status());
-  auto options = MinerOptionsFromArgs(args, *log);
+  auto options = MinerOptionsFromArgs(args, &*log);
   if (!options.ok()) return Fail(options.status());
   options->budget = &budget;
   options->degradation = &degradation;
@@ -466,19 +676,7 @@ int CommandMine(const Args& args) {
                                          std::move(report->model))
                                    : miner.Mine(*log);
   if (!model.ok()) return Fail(model.status());
-  std::fprintf(stderr, "mined %lld edges over %d activities\n",
-               static_cast<long long>(model->graph().num_edges()),
-               model->num_activities());
-  if (args.Has("ascii")) {
-    std::cout << RenderAscii(model->graph(), model->names());
-  } else {
-    std::cout << model->ToDot("mined_process");
-  }
-  if (args.Has("dot")) {
-    Status st = WriteDotFile(model->graph(), model->names(), args.Get("dot"));
-    if (!st.ok()) return Fail(st);
-  }
-  return FinishWithDegradation(degradation);
+  return EmitModel(*model, args, degradation);
 }
 
 int CommandCheck(const Args& args) {
@@ -678,8 +876,41 @@ int CommandMonitor(const Args& args) {
 
 int CommandStats(const Args& args) {
   if (args.positional.empty()) {
-    std::cerr << "usage: procmine stats <log>\n";
+    std::cerr << "usage: procmine stats <log|store-dir>\n";
     return 2;
+  }
+  // A segment store reports its footprint from the manifest alone — no
+  // segment is decoded, so this stays cheap at any store size.
+  if (IsSegmentStoreDir(args.positional[0])) {
+    auto policy = RecoveryFlag(args);
+    if (!policy.ok()) return Fail(policy.status());
+    auto store_options = StoreOptionsFromArgs(args, *policy, nullptr);
+    if (!store_options.ok()) return Fail(store_options.status());
+    auto store = SegmentStore::Open(args.positional[0], *store_options);
+    if (!store.ok()) return Fail(store.status());
+    SegmentStoreFootprint fp = store->Footprint();
+    std::printf("segment store %s\n", args.positional[0].c_str());
+    std::printf("  activities:       %d\n", store->dictionary().size());
+    std::printf("  segments:         %lld\n",
+                static_cast<long long>(fp.segments));
+    std::printf("  executions:       %lld\n",
+                static_cast<long long>(fp.executions));
+    std::printf("  events:           %lld\n",
+                static_cast<long long>(fp.events));
+    std::printf("  on-disk bytes:    %lld (%.1f MiB)\n",
+                static_cast<long long>(fp.disk_bytes),
+                static_cast<double>(fp.disk_bytes) / (1 << 20));
+    std::printf("  decoded estimate: %lld (%.1f MiB, %.2fx on-disk)\n",
+                static_cast<long long>(fp.estimated_memory_bytes),
+                static_cast<double>(fp.estimated_memory_bytes) / (1 << 20),
+                fp.CompressionRatio());
+    std::printf("  resident bound:   %.1f MiB (%lld segments resident, "
+                "%lld loads, %lld evictions)\n",
+                static_cast<double>(fp.max_resident_bytes) / (1 << 20),
+                static_cast<long long>(fp.resident_segments),
+                static_cast<long long>(fp.loads),
+                static_cast<long long>(fp.evictions));
+    return 0;
   }
   auto log = ReadLogAuto(args.positional[0], args);
   if (!log.ok()) return Fail(log.status());
@@ -911,7 +1142,104 @@ int CommandSynthDrift(const Args& args) {
   return 0;
 }
 
+/// synth --stream-out=DIR: the deterministic streamed generator. Walks the
+/// same truth DAG with the same RNG as --out, but hands each execution
+/// straight to a SegmentedLogWriter — the log is never materialized, so
+/// --events can run to 10^9 on a bounded-memory container. Sized by
+/// --executions, --events (raw events; stops at whichever comes first), or
+/// both.
+int CommandSynthStream(const Args& args) {
+  if (!args.Has("activities") ||
+      (!args.Has("executions") && !args.Has("events"))) {
+    std::cerr << "usage: procmine synth --activities=N --stream-out=DIR "
+                 "(--executions=M | --events=E) [--density=D] [--seed=S] "
+                 "[--segment-events=N] [--max-memory-mb=N] "
+                 "[--truth-dot=FILE]\n";
+    return kExitUsage;
+  }
+  auto activities = ParseInt64(args.Get("activities"));
+  auto seed = ParseInt64(args.Get("seed", "1"));
+  if (!activities.ok() || !seed.ok()) {
+    std::cerr << "bad numeric flag\n";
+    return kExitData;
+  }
+  int64_t max_events = 0;
+  size_t num_executions = std::numeric_limits<size_t>::max() / 2;
+  if (args.Has("events")) {
+    auto events = ParseInt64(args.Get("events"));
+    if (!events.ok() || *events <= 0) {
+      std::cerr << "bad --events\n";
+      return kExitData;
+    }
+    max_events = *events;
+  }
+  if (args.Has("executions")) {
+    auto executions = ParseInt64(args.Get("executions"));
+    if (!executions.ok() || *executions <= 0) {
+      std::cerr << "bad --executions\n";
+      return kExitData;
+    }
+    num_executions = static_cast<size_t>(*executions);
+  }
+
+  RandomDagOptions dag_options;
+  dag_options.num_activities = static_cast<int32_t>(*activities);
+  dag_options.seed = static_cast<uint64_t>(*seed);
+  if (args.Has("density")) {
+    auto density = ParseDouble(args.Get("density"));
+    if (!density.ok()) {
+      std::cerr << "bad --density\n";
+      return kExitData;
+    }
+    dag_options.edge_density = *density;
+  } else {
+    dag_options.edge_density = PaperEdgeDensity(dag_options.num_activities);
+  }
+  ProcessGraph truth = GenerateRandomDag(dag_options);
+
+  auto limits = BudgetLimitsFromArgs(args);
+  if (!limits.ok()) return Fail(limits.status());
+  RunBudget budget(*limits);
+  budget.Start();
+  auto store_options =
+      StoreOptionsFromArgs(args, RecoveryPolicy::kStrict, &budget);
+  if (!store_options.ok()) return Fail(store_options.status());
+  auto writer =
+      SegmentedLogWriter::Create(args.Get("stream-out"), *store_options);
+  if (!writer.ok()) return Fail(writer.status());
+
+  ActivityDictionary dict;
+  for (NodeId v = 0; v < truth.num_activities(); ++v) {
+    dict.Intern(truth.name(v));
+  }
+  WalkLogOptions log_options;
+  log_options.num_executions = num_executions;
+  log_options.seed = static_cast<uint64_t>(*seed) + 1;
+  StreamWalkStats stats;
+  Status st = StreamWalkLog(
+      truth, log_options, max_events,
+      [&](Execution&& exec) { return writer->Append(exec, dict); }, &stats);
+  if (st.ok()) st = writer->Finish();
+  if (!st.ok()) return Fail(st);
+  if (args.Has("truth-dot")) {
+    PROCMINE_CHECK_OK(
+        WriteDotFile(truth.graph(), truth.names(), args.Get("truth-dot")));
+  }
+  std::fprintf(stderr,
+               "streamed %lld executions (%lld events) over %d activities "
+               "(%lld true edges) into %lld segments at %s "
+               "(%lld budget-forced seals)\n",
+               static_cast<long long>(stats.executions),
+               static_cast<long long>(stats.events), truth.num_activities(),
+               static_cast<long long>(truth.graph().num_edges()),
+               static_cast<long long>(writer->segments_sealed()),
+               args.Get("stream-out").c_str(),
+               static_cast<long long>(writer->spill_seals()));
+  return 0;
+}
+
 int CommandSynth(const Args& args) {
+  if (args.Has("stream-out")) return CommandSynthStream(args);
   if (args.Has("drift")) {
     if (!args.Has("executions") || !args.Has("out")) {
       std::cerr << "usage: procmine synth --drift=none|edge_added|"
@@ -1041,11 +1369,44 @@ int CommandPatterns(const Args& args) {
 
 int CommandConvert(const Args& args) {
   if (args.positional.size() != 2) {
-    std::cerr << "usage: procmine convert <in> <out>\n";
+    std::cerr << "usage: procmine convert <in> <out> [--to-store "
+                 "[--segment-events=N]]\n";
     return 2;
   }
-  auto log = ReadLogAuto(args.positional[0], args);
+  // Segment stores take part in conversion: a store input is materialized
+  // (honoring --recovery salvage), --to-store writes the output as one.
+  Result<EventLog> log = Status::Internal("unreachable");
+  if (IsSegmentStoreDir(args.positional[0])) {
+    auto policy = RecoveryFlag(args);
+    if (!policy.ok()) return Fail(policy.status());
+    auto store_options = StoreOptionsFromArgs(args, *policy, nullptr);
+    if (!store_options.ok()) return Fail(store_options.status());
+    auto store = SegmentStore::Open(args.positional[0], *store_options);
+    if (!store.ok()) return Fail(store.status());
+    log = store->Materialize();
+    if (log.ok() && store->report().AnyLoss()) {
+      std::fprintf(stderr, "%s", store->report().SummaryText().c_str());
+    }
+  } else {
+    log = ReadLogAuto(args.positional[0], args);
+  }
   if (!log.ok()) return Fail(log.status());
+  if (args.Has("to-store")) {
+    auto store_options =
+        StoreOptionsFromArgs(args, RecoveryPolicy::kStrict, nullptr);
+    if (!store_options.ok()) return Fail(store_options.status());
+    auto writer =
+        SegmentedLogWriter::Create(args.positional[1], *store_options);
+    if (!writer.ok()) return Fail(writer.status());
+    Status st = writer->AppendLog(*log);
+    if (st.ok()) st = writer->Finish();
+    if (!st.ok()) return Fail(st);
+    std::fprintf(stderr, "wrote %lld executions into %lld segments at %s\n",
+                 static_cast<long long>(writer->executions()),
+                 static_cast<long long>(writer->segments_sealed()),
+                 args.positional[1].c_str());
+    return 0;
+  }
   Status st = WriteLogAuto(*log, args.positional[1]);
   if (!st.ok()) return Fail(st);
   return 0;
@@ -1055,10 +1416,16 @@ void PrintUsage() {
   std::cerr <<
       "procmine: mining process models from workflow logs\n"
       "commands:\n"
-      "  mine <log> [--algorithm=...] [--threshold=N|auto] [--dot=FILE]\n"
+      "  mine <log|store-dir> [--algorithm=...] [--threshold=N|auto]\n"
+      "             [--dot=FILE]\n"
       "             [--threads=N|auto] [--chunk-size=N] [--ascii]\n"
       "             [--conditions [--fdl=FILE]]\n"
       "             [--report-out=FILE] [--report-dot=FILE]\n"
+      "             [--spill-dir=DIR [--segment-events=N]]\n"
+      "             [--resident-mb=N]\n"
+      "             (a segment-store directory mines out of core with\n"
+      "              bounded resident memory and a byte-identical model;\n"
+      "              --spill-dir streams a text log into one first)\n"
       "             (--report-out: full run report JSON — edge provenance,\n"
       "              conformance verdicts, noise-threshold sensitivity;\n"
       "              --report-dot: DOT with dropped candidates dashed gray)\n"
@@ -1068,7 +1435,7 @@ void PrintUsage() {
       "              the mined model is identical for every combination)\n"
       "  check <log> --model=EDGEFILE\n"
       "  diff <log> --model=EDGEFILE\n"
-      "  stats <log>\n"
+      "  stats <log|store-dir>   (stores: segment/byte/cache footprint)\n"
       "  perf <log> [--dot=FILE]\n"
       "  explain <log> [--edge=From,To] [--threshold=N]\n"
       "  variants <log> [--top=K]\n"
@@ -1085,6 +1452,10 @@ void PrintUsage() {
       "           and a schema_version-3 drift report; exit 1 = drift)\n"
       "  synth --activities=N --executions=M [--density=D] [--seed=S]\n"
       "        --out=FILE [--truth-dot=FILE]\n"
+      "  synth --activities=N --stream-out=DIR (--executions=M | --events=E)\n"
+      "        [--segment-events=N] [--max-memory-mb=N]\n"
+      "        (streamed generator: writes a segment store directly, never\n"
+      "         materializing the log; RNG-identical to --out)\n"
       "  synth --drift=none|edge_added|edge_removed|condition_flipped|\n"
       "        frequency_shift --executions=M [--cut=N] [--swap-rate=E]\n"
       "        [--shift-from=P] [--shift-to=P] [--ramp=N] [--seed=S]\n"
@@ -1092,7 +1463,7 @@ void PrintUsage() {
       "  simulate --definition=FDL --executions=M [--seed=S] [--cyclic]\n"
       "           [--agents=K --max-duration=D] --out=FILE\n"
       "  patterns <log> [--support=N] [--max-length=K] [--maximal]\n"
-      "  convert <in> <out>\n"
+      "  convert <in> <out> [--to-store [--segment-events=N]]\n"
       "global flags (any command): --trace-out=FILE (Chrome trace JSON +\n"
       "per-phase summary), --metrics-out=FILE (counter snapshot JSON),\n"
       "--log-level=debug|info|warning|error, --log-json (JSON-lines logs)\n"
