@@ -5,6 +5,7 @@
 #include <algorithm>
 #include <cerrno>
 #include <cstring>
+#include <limits>
 #include <utility>
 
 #include "obs/metrics.h"
@@ -144,6 +145,16 @@ Status DecodeBlockInto(std::string_view block, ActivityId num_activities,
   uint64_t len_sum = 0;
   for (uint64_t i = 0; i < num_execs; ++i) {
     PROCMINE_ASSIGN_OR_RETURN(lens[i], GetVarint64(&c));
+    // Bound every per-execution count by the declared total before summing:
+    // arbitrary varints could otherwise wrap len_sum around to a value that
+    // passes the aggregate check below while individual lens[i] send the
+    // assembly loop out of the num_instances-sized columns.
+    if (lens[i] > num_instances) {
+      return Status::DataLoss(
+          StrFormat("execution instance count %llu exceeds block total %llu",
+                    static_cast<unsigned long long>(lens[i]),
+                    static_cast<unsigned long long>(num_instances)));
+    }
     len_sum += lens[i];
   }
   if (len_sum != num_instances) {
@@ -414,6 +425,13 @@ Status SegmentedLogWriter::Append(const Execution& exec,
   Execution copy{exec.name()};
   for (const auto& inst : exec.instances()) {
     ActivityId& mapped = remap_[static_cast<size_t>(inst.activity)];
+    if (mapped >= 0 && dict.Name(inst.activity) != dict_.Name(mapped)) {
+      // The remap cache is keyed on the source dictionary's address, which
+      // an allocator can hand to a different dictionary after the first one
+      // dies. A cached id whose names no longer agree proves that happened:
+      // drop the whole cache and re-resolve by name.
+      std::fill(remap_.begin(), remap_.end(), static_cast<ActivityId>(-1));
+    }
     if (mapped < 0) mapped = dict_.Intern(dict.Name(inst.activity));
     copy.Append(ActivityInstance{mapped, inst.start, inst.end, inst.output});
   }
@@ -445,6 +463,16 @@ Status SegmentedLogWriter::Seal() {
   PROCMINE_SPAN("segment.seal");
   std::string bytes =
       segment_internal::EncodeSegment(pending_, options_.block_executions);
+  // The footer stores the payload size as fixed32; beyond 4 GiB it would
+  // silently truncate and the segment could never be decoded (or worse,
+  // would salvage partially). Refuse to write such a store.
+  if (bytes.size() - 4 - kFooterBytes >
+      static_cast<size_t>(std::numeric_limits<uint32_t>::max())) {
+    return Status::InvalidArgument(
+        StrFormat("segment payload %zu bytes exceeds the 4 GiB format limit; "
+                  "lower target_segment_events",
+                  bytes.size() - 4 - kFooterBytes));
+  }
   SegmentInfo info;
   info.file = StrFormat("seg-%06d.seg", static_cast<int>(segments_.size()));
   info.executions = static_cast<int64_t>(pending_.size());
@@ -559,6 +587,7 @@ Result<SegmentStore> SegmentStore::Open(const std::string& dir,
     store.disk_bytes_ += info.disk_bytes;
     store.segments_.push_back(std::move(info));
   }
+  store.salvage_reported_.assign(store.segments_.size(), false);
   return store;
 }
 
@@ -585,16 +614,21 @@ Result<std::shared_ptr<const EventLog>> SegmentStore::Segment(size_t index) {
     if (options_.recovery == RecoveryPolicy::kStrict) {
       return file.status();
     }
-    // Missing/unreadable segment file: the whole segment is lost.
-    report_.salvage_attempted = true;
-    report_.executions_dropped += info.executions;
-    report_.salvage_dropped_bytes += info.disk_bytes;
-    report_.AddErrorClass("truncated_body");
-    if (options_.recovery == RecoveryPolicy::kQuarantine) {
-      report_.quarantined.push_back(QuarantineRecord{
-          -1, 0, "truncated_body",
-          StrFormat("segment %s: %s", info.file.c_str(),
-                    file.status().message().c_str())});
+    // Missing/unreadable segment file: the whole segment is lost. Count it
+    // into the report only on the first load — a reload after eviction must
+    // not inflate the accounting.
+    if (!salvage_reported_[index]) {
+      salvage_reported_[index] = true;
+      report_.salvage_attempted = true;
+      report_.executions_dropped += info.executions;
+      report_.salvage_dropped_bytes += info.disk_bytes;
+      report_.AddErrorClass("truncated_body");
+      if (options_.recovery == RecoveryPolicy::kQuarantine) {
+        report_.quarantined.push_back(QuarantineRecord{
+            -1, 0, "truncated_body",
+            StrFormat("segment %s: %s", info.file.c_str(),
+                      file.status().message().c_str())});
+      }
     }
   } else {
     Result<std::vector<Execution>> decoded =
@@ -608,22 +642,29 @@ Result<std::shared_ptr<const EventLog>> SegmentStore::Segment(size_t index) {
       segment_internal::SalvageResult salvage =
           segment_internal::SalvageSegment(file->data(), dict_.size());
       execs = std::move(salvage.executions);
-      report_.salvage_attempted = true;
-      report_.salvaged_executions += static_cast<int64_t>(execs.size());
-      report_.executions_dropped +=
-          std::max<int64_t>(0, info.executions -
-                                   static_cast<int64_t>(execs.size()));
-      report_.salvage_dropped_bytes += salvage.dropped_bytes;
-      report_.AddErrorClass(salvage.error_class.empty() ? "semantic_error"
-                                                        : salvage.error_class);
-      if (options_.recovery == RecoveryPolicy::kQuarantine) {
-        report_.quarantined.push_back(QuarantineRecord{
-            -1, 0,
-            salvage.error_class.empty() ? "semantic_error"
-                                        : salvage.error_class,
-            StrFormat("segment %s: salvaged %zu of %lld executions",
-                      info.file.c_str(), execs.size(),
-                      static_cast<long long>(info.executions))});
+      // A corrupt segment stays corrupt across reloads; account its loss
+      // only the first time so repeated mining passes (and LRU eviction in
+      // between) don't multiply the report.
+      if (!salvage_reported_[index]) {
+        salvage_reported_[index] = true;
+        report_.salvage_attempted = true;
+        report_.salvaged_executions += static_cast<int64_t>(execs.size());
+        report_.executions_dropped +=
+            std::max<int64_t>(0, info.executions -
+                                     static_cast<int64_t>(execs.size()));
+        report_.salvage_dropped_bytes += salvage.dropped_bytes;
+        report_.AddErrorClass(salvage.error_class.empty()
+                                  ? "semantic_error"
+                                  : salvage.error_class);
+        if (options_.recovery == RecoveryPolicy::kQuarantine) {
+          report_.quarantined.push_back(QuarantineRecord{
+              -1, 0,
+              salvage.error_class.empty() ? "semantic_error"
+                                          : salvage.error_class,
+              StrFormat("segment %s: salvaged %zu of %lld executions",
+                        info.file.c_str(), execs.size(),
+                        static_cast<long long>(info.executions))});
+        }
       }
     }
   }

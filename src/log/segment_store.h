@@ -126,14 +126,15 @@ Result<std::vector<Execution>> DecodeSegment(std::string_view bytes,
                                              ActivityId num_activities);
 
 /// Best-effort decode for torn or corrupt segments: returns the
-/// clean-block prefix and accounts the loss.
+/// clean-block prefix and accounts the loss. The execution-level drop is
+/// the caller's to compute (declared counts live in the manifest's
+/// SegmentInfo, not in the segment bytes).
 struct SalvageResult {
   std::vector<Execution> executions;
   bool clean = true;           ///< whole segment decoded and checksummed
   std::string error_class;     ///< first failure: truncated_body /
                                ///< checksum_mismatch / semantic_error
-  int64_t dropped_executions = 0;  ///< declared minus salvaged (when known)
-  int64_t dropped_bytes = 0;       ///< bytes at and after the first failure
+  int64_t dropped_bytes = 0;   ///< bytes at and after the first failure
 };
 SalvageResult SalvageSegment(std::string_view bytes,
                              ActivityId num_activities);
@@ -187,7 +188,10 @@ class SegmentedLogWriter {
   std::string dir_;
   SegmentStoreOptions options_;
   ActivityDictionary dict_;
-  const ActivityDictionary* last_source_ = nullptr;  // remap cache key
+  // Remap cache key: the source dictionary's address. Addresses can be
+  // reused after a source dies, so Append re-validates cached entries
+  // against the names before trusting them.
+  const ActivityDictionary* last_source_ = nullptr;
   std::vector<ActivityId> remap_;
   std::vector<Execution> pending_;
   int64_t pending_events_ = 0;
@@ -260,6 +264,10 @@ class SegmentStore {
   int64_t disk_bytes_ = 0;
 
   std::unordered_map<size_t, Resident> resident_;
+  /// Per-segment flag: salvage/loss already counted into report_. A corrupt
+  /// segment that is evicted and reloaded on a later mining pass must not
+  /// be accounted twice.
+  std::vector<bool> salvage_reported_;
   std::list<size_t> lru_;  ///< front = most recent
   int64_t resident_bytes_ = 0;
   int64_t peak_resident_bytes_ = 0;

@@ -9,8 +9,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <cstdlib>
 #include <fstream>
+#include <new>
 #include <string>
 #include <vector>
 
@@ -19,6 +21,8 @@
 #include "mine/ooc_miner.h"
 #include "synth/log_generator.h"
 #include "synth/random_dag.h"
+#include "util/coding.h"
+#include "util/crc32c.h"
 #include "util/random.h"
 #include "util/strings.h"
 
@@ -264,6 +268,40 @@ TEST(SegmentCodecTest, SalvageClassifiesSemanticError) {
   EXPECT_FALSE(segment_internal::DecodeSegment(bytes, 1).ok());
 }
 
+TEST(SegmentCodecTest, RejectsInstanceCountsThatWrapTheBlockTotal) {
+  // Hand-craft a block whose per-execution instance counts sum (mod 2^64)
+  // to the declared total: lens[0] = UINT64_MAX and lens[1] = 2 wrap to 1.
+  // An unbounded decoder would pass the aggregate check and then walk the
+  // 1-element columns UINT64_MAX steps out of bounds.
+  std::string block;
+  PutVarint64(&block, 2);  // num_execs
+  PutVarint64(&block, 1);  // num_instances
+  PutLengthPrefixed(&block, "a");
+  PutLengthPrefixed(&block, "b");
+  PutVarint64(&block, UINT64_MAX);  // lens[0]
+  PutVarint64(&block, 2);           // lens[1]: sum wraps to 1
+  PutVarint64(&block, 0);           // activities[0]
+  PutVarintSigned64(&block, 0);     // start delta
+  PutVarintSigned64(&block, 0);     // duration
+  PutVarint64(&block, 0);           // output entries
+  std::string seg("PMS1", 4);
+  PutVarint64(&seg, 1);  // block count
+  PutLengthPrefixed(&seg, block);
+  const uint32_t payload_size = static_cast<uint32_t>(seg.size() - 4);
+  const uint32_t crc = Crc32c(std::string_view(seg).substr(4));
+  PutFixed32(&seg, payload_size);
+  PutFixed32(&seg, crc);
+
+  // The checksum matches the hostile payload, so both the strict decoder
+  // and the non-CRC-gated salvage path see the block; both must reject it.
+  auto decoded = segment_internal::DecodeSegment(seg, 3);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.status().code(), StatusCode::kDataLoss);
+  auto salvage = segment_internal::SalvageSegment(seg, 3);
+  EXPECT_FALSE(salvage.clean);
+  EXPECT_TRUE(salvage.executions.empty());
+}
+
 TEST(SegmentCodecTest, SalvageOfCleanSegmentIsLossless) {
   std::vector<Execution> execs = SampleExecs();
   std::string bytes = segment_internal::EncodeSegment(execs, 3);
@@ -351,6 +389,90 @@ TEST_F(SegmentStoreTest, MissingSegmentFileIsWholeSegmentLoss) {
   ASSERT_TRUE(window.ok());
   EXPECT_EQ((*window)->num_executions(), 0u);
   EXPECT_GT(salvaged->report().executions_dropped, 0);
+}
+
+TEST_F(SegmentStoreTest, ReusedDictionaryAddressDoesNotCorruptRemap) {
+  // The writer caches the activity-id remap keyed on the source
+  // dictionary's address. Placement-new pins two different dictionaries to
+  // the same address — the allocator-reuse scenario — and the second one
+  // swaps the ids of A and B. A stale cache would silently record case2's
+  // instance under "A"; the writer must detect the mismatch by name.
+  auto writer = SegmentedLogWriter::Create(dir_, SegmentStoreOptions());
+  ASSERT_TRUE(writer.ok());
+  alignas(ActivityDictionary) unsigned char buf[sizeof(ActivityDictionary)];
+
+  auto* dict1 = new (buf) ActivityDictionary();
+  ASSERT_EQ(dict1->Intern("A"), 0);
+  ASSERT_EQ(dict1->Intern("B"), 1);
+  Execution first("case1");
+  first.Append({0, 0, 1, {}});
+  first.Append({1, 2, 3, {}});
+  ASSERT_TRUE(writer->Append(first, *dict1).ok());
+  dict1->~ActivityDictionary();
+
+  auto* dict2 = new (buf) ActivityDictionary();
+  ASSERT_EQ(dict2->Intern("B"), 0);  // same address, swapped ids
+  ASSERT_EQ(dict2->Intern("A"), 1);
+  Execution second("case2");
+  second.Append({0, 4, 5, {}});  // id 0 now means "B"
+  ASSERT_TRUE(writer->Append(second, *dict2).ok());
+  dict2->~ActivityDictionary();
+  ASSERT_TRUE(writer->Finish().ok());
+
+  auto store = SegmentStore::Open(dir_);
+  ASSERT_TRUE(store.ok());
+  auto materialized = store->Materialize();
+  ASSERT_TRUE(materialized.ok());
+  ASSERT_EQ(materialized->num_executions(), 2u);
+  const Execution& out = materialized->execution(1);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(materialized->dictionary().Name(out[0].activity), "B");
+}
+
+TEST_F(SegmentStoreTest, SalvageAccountedOncePerSegmentAcrossReloads) {
+  // The OOC miner makes multiple passes over every segment; a corrupt
+  // segment that is evicted and reloaded must not have its loss counted
+  // into the report once per pass.
+  SegmentStoreOptions options;
+  options.target_segment_events = 4;
+  options.block_executions = 1;
+  EventLog log = EventLog::FromCompactStrings(
+      {"ABCE", "ACBE", "ABCE", "ACBE", "ABCE", "ACBE"});
+  WriteStore(log, options);
+  auto probe = SegmentStore::Open(dir_, options);
+  ASSERT_TRUE(probe.ok());
+  ASSERT_GE(probe->num_segments(), 2u);
+  const std::string path = dir_ + "/" + probe->segments()[1].file;
+  std::ifstream in(path, std::ios::binary);
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  in.close();
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size() / 2));
+  }
+
+  SegmentStoreOptions tight = options;
+  tight.recovery = RecoveryPolicy::kQuarantine;
+  tight.max_resident_bytes = 1;  // every pass reloads every segment
+  auto store = SegmentStore::Open(dir_, tight);
+  ASSERT_TRUE(store.ok());
+  for (size_t i = 0; i < store->num_segments(); ++i) {
+    ASSERT_TRUE(store->Segment(i).ok());
+  }
+  const int64_t dropped = store->report().executions_dropped;
+  const int64_t dropped_bytes = store->report().salvage_dropped_bytes;
+  const size_t quarantined = store->report().quarantined.size();
+  EXPECT_GT(dropped, 0);
+  for (int pass = 0; pass < 2; ++pass) {
+    for (size_t i = 0; i < store->num_segments(); ++i) {
+      ASSERT_TRUE(store->Segment(i).ok());
+    }
+  }
+  EXPECT_GT(store->Footprint().evictions, 0) << "reloads never happened";
+  EXPECT_EQ(store->report().executions_dropped, dropped);
+  EXPECT_EQ(store->report().salvage_dropped_bytes, dropped_bytes);
+  EXPECT_EQ(store->report().quarantined.size(), quarantined);
 }
 
 TEST_F(SegmentStoreTest, CreateRefusesFinishedStore) {
