@@ -1,0 +1,178 @@
+#!/bin/sh
+# Continuous-telemetry smoke gate. Drives the real CLI with the telemetry
+# flags and validates the artifacts with python3:
+#
+#  1. A spill-dir mine with all three artifacts at a fast interval:
+#       * the JSONL time-series parses line by line, is schema-versioned,
+#         has strictly increasing seq, and every cumulative counter is
+#         monotonically non-decreasing across samples;
+#       * the OpenMetrics exposition parses (TYPE lines, sample lines,
+#         terminating # EOF) and carries the mining + process metrics;
+#       * the status file parses, its heartbeat is fresh, and its progress
+#         section saw the run (executions read, windows visited,
+#         segment-cache loads).
+#  2. The mined model is byte-identical with and without telemetry.
+#  3. A degraded run (--deadline-ms=0, exit 4) still seals all artifacts,
+#     and the status file names the exhausted resource.
+#  4. Kill-mid-run: a long mine with a status file is SIGKILLed while
+#     sampling; whatever survives on disk must still be a complete,
+#     parseable JSON document (atomic rewrites never leave a torn file).
+#  5. `procmine top` renders the status file (exit 0/1), and exits 3 on
+#     garbage.
+#
+# Registered as the `telemetry_smoke` ctest (bench/CMakeLists.txt).
+# Standalone:  scripts/telemetry-smoke.sh <procmine-binary>
+
+set -eu
+
+PROCMINE="${1:?usage: telemetry-smoke.sh <procmine-binary>}"
+PROCMINE="$(cd "$(dirname "$PROCMINE")" && pwd)/$(basename "$PROCMINE")"
+
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT
+cd "$TMP"
+
+echo "== synth workload"
+"$PROCMINE" synth --activities=12 --executions=4000 --seed=11 --out=demo.log
+
+echo "== 1. spill mine with all telemetry artifacts"
+"$PROCMINE" mine demo.log --spill-dir=store --segment-events=512 \
+  --telemetry-out=tel.jsonl --metrics-openmetrics=metrics.om \
+  --status-file=status.json --telemetry-interval-ms=20 \
+  > model_with.txt
+
+python3 - <<'PYEOF'
+import json
+import time
+
+# --- JSONL: per-line parse, seq strictly increasing, counters monotonic.
+samples = []
+with open("tel.jsonl") as f:
+    for i, line in enumerate(f):
+        try:
+            samples.append(json.loads(line))
+        except json.JSONDecodeError as e:
+            raise SystemExit(f"FAIL: tel.jsonl line {i} unparseable: {e}")
+assert len(samples) >= 2, f"only {len(samples)} samples"
+prev_seq = -1
+prev_counters = {}
+for s in samples:
+    assert s["schema_version"] == 1, s["schema_version"]
+    assert s["seq"] > prev_seq, "seq not strictly increasing"
+    prev_seq = s["seq"]
+    assert s["process"]["rss_bytes"] > 0
+    for name, value in s["counters"].items():
+        assert value >= prev_counters.get(name, 0), (
+            f"counter {name} went backwards: {prev_counters.get(name)} "
+            f"-> {value}")
+        prev_counters[name] = value
+final = samples[-1]["counters"]
+assert final.get("ooc.executions_mined", 0) >= 4000, final
+assert final.get("segment.loads", 0) > 0, "no segment loads recorded"
+assert final.get("ooc.windows_visited", 0) > 0, "no windows visited"
+
+# --- OpenMetrics: structural parse, required families, terminator.
+with open("metrics.om") as f:
+    lines = f.read().splitlines()
+assert lines[-1] == "# EOF", "missing # EOF terminator"
+families = set()
+samples_seen = 0
+for line in lines[:-1]:
+    if line.startswith("# TYPE "):
+        _, _, name, kind = line.split(" ")
+        assert kind in ("counter", "gauge", "histogram", "info"), line
+        families.add(name)
+    elif line and not line.startswith("#"):
+        name_and_labels, _, value = line.rpartition(" ")
+        float(value)  # must be numeric
+        samples_seen += 1
+assert samples_seen > 0
+for required in ("procmine_ooc_executions_mined",
+                 "procmine_segment_cache_hits",
+                 "process_resident_memory_bytes",
+                 "process_cpu_seconds",
+                 "procmine_telemetry_heartbeat_unix_seconds"):
+    assert required in families, f"missing family {required}"
+
+# --- Status: parses, fresh heartbeat, progress saw the run.
+with open("status.json") as f:
+    status = json.load(f)
+assert status["schema_version"] == 1
+assert status["command"] == "mine"
+age_ms = time.time() * 1000 - status["heartbeat_unix_ms"]
+assert age_ms < 60000, f"heartbeat {age_ms}ms old"
+assert status["progress"]["executions_scanned"] >= 4000, status["progress"]
+assert status["progress"]["windows_visited"] > 0
+assert status["cache"]["loads"] > 0
+print("telemetry artifacts: ok "
+      f"({len(samples)} samples, {len(families)} metric families)")
+PYEOF
+
+echo "== 2. model byte-identity with telemetry off"
+"$PROCMINE" mine demo.log --spill-dir=store2 --segment-events=512 \
+  > model_without.txt
+test -s model_with.txt || { echo "FAIL: empty model output" >&2; exit 1; }
+cmp model_with.txt model_without.txt || {
+  echo "FAIL: model differs with telemetry enabled" >&2
+  exit 1
+}
+
+echo "== 3. degraded run still seals artifacts"
+rc=0
+"$PROCMINE" mine demo.log --deadline-ms=0 \
+  --telemetry-out=tel4.jsonl --metrics-openmetrics=metrics4.om \
+  --status-file=status4.json > /dev/null 2>&1 || rc=$?
+test "$rc" -eq 4 || { echo "FAIL: expected exit 4, got $rc" >&2; exit 1; }
+python3 - <<'PYEOF'
+import json
+with open("status4.json") as f:
+    status = json.load(f)
+assert status["budget"] is not None, "degraded run lost its budget picture"
+assert status["budget"]["exhausted"] == "deadline", status["budget"]
+with open("metrics4.om") as f:
+    assert f.read().endswith("# EOF\n"), "exposition not sealed"
+with open("tel4.jsonl") as f:
+    for line in f:
+        json.loads(line)
+print("degraded-run artifacts: ok")
+PYEOF
+
+echo "== 4. SIGKILL mid-run never tears the status file"
+"$PROCMINE" synth --activities=16 --executions=60000 --seed=13 --out=big.log
+"$PROCMINE" mine big.log --spill-dir=bigstore \
+  --status-file=live.json --metrics-openmetrics=live.om \
+  --telemetry-interval-ms=5 > /dev/null 2>&1 &
+MINER=$!
+# Wait for the first status write, then kill mid-sampling.
+tries=0
+while [ ! -s live.json ] && [ "$tries" -lt 200 ]; do
+  tries=$((tries + 1))
+  sleep 0.01
+done
+sleep 0.07
+kill -9 "$MINER" 2>/dev/null || true
+wait "$MINER" 2>/dev/null || true
+python3 - <<'PYEOF'
+import json
+with open("live.json") as f:
+    status = json.load(f)  # a torn write would fail here
+assert status["schema_version"] == 1
+with open("live.om") as f:
+    text = f.read()
+assert text.endswith("# EOF\n"), "exposition torn by SIGKILL"
+print("kill-mid-run artifacts: ok (complete documents)")
+PYEOF
+
+echo "== 5. procmine top"
+rc=0
+"$PROCMINE" top status.json > top.out 2>&1 || rc=$?
+test "$rc" -eq 0 -o "$rc" -eq 1 || {
+  echo "FAIL: top exit $rc" >&2; cat top.out >&2; exit 1; }
+grep -q "procmine pid" top.out
+grep -q "phase:" top.out
+echo "garbage" > garbage.json
+rc=0
+"$PROCMINE" top garbage.json > /dev/null 2>&1 || rc=$?
+test "$rc" -eq 3 || { echo "FAIL: top on garbage exit $rc, want 3" >&2; exit 1; }
+
+echo "telemetry smoke: all checks passed"

@@ -7,10 +7,12 @@
 # builder (provenance recording + thread-count-invariant report bytes),
 # the robustness layer (recovery-mode sharded quarantine merges,
 # failpoints, budgets), the drift monitor + model registry (whose
-# outputs must be identical however ingestion was sharded), and the
+# outputs must be identical however ingestion was sharded), the
 # out-of-core segment store + windowed miner (window fan-out at
-# threads {2,8} over the spill/evict path). Run whenever the parallel
-# pipeline, src/obs/, the ingestion layer, or the segment store changes.
+# threads {2,8} over the spill/evict path), and the telemetry sampler
+# (a background thread snapshotting the registry while counter writers
+# race it). Run whenever the parallel pipeline, src/obs/, the ingestion
+# layer, or the segment store changes.
 #
 # Usage: scripts/tsan-verify.sh [build-dir]   (default: build-tsan)
 
@@ -29,7 +31,7 @@ cmake --build "$BUILD_DIR" -j \
            striped_memo_test parallel_determinism_test \
            ingest_equivalence_test mapped_file_test report_test \
            recovery_test failpoint_test budget_test \
-           drift_test registry_test segment_store_test
+           drift_test registry_test segment_store_test telemetry_test
 
 ctest --test-dir "$BUILD_DIR" --output-on-failure \
-  -R 'Obs|ThreadPool|StripedMemo|ParallelDeterminism|IngestEquivalence|MappedFile|RunReport|RecoveryMatrix|BinarySalvage|StreamingRecovery|RecoveryPolicy|Failpoint|RunBudget|MinerBudget|ReportBudget|DriftMonitor|SupportHighWatermark|Registry|SegmentStore|SegmentCodec|OocIdentity'
+  -R 'Obs|ThreadPool|StripedMemo|ParallelDeterminism|IngestEquivalence|MappedFile|RunReport|RecoveryMatrix|BinarySalvage|StreamingRecovery|RecoveryPolicy|Failpoint|RunBudget|MinerBudget|ReportBudget|DriftMonitor|SupportHighWatermark|Registry|SegmentStore|SegmentCodec|OocIdentity|Telemetry'

@@ -274,6 +274,29 @@ std::string EncodeSegment(const std::vector<Execution>& execs,
   return out;
 }
 
+Status VerifySegmentChecksum(std::string_view bytes) {
+  if (bytes.size() < 4 + kFooterBytes) {
+    return Status::DataLoss("segment too short for magic and footer");
+  }
+  if (!HasSegmentMagic(bytes)) {
+    return Status::DataLoss("bad segment magic");
+  }
+  const uint32_t payload_size = ReadFixed32At(bytes, bytes.size() - 8);
+  const uint32_t crc = ReadFixed32At(bytes, bytes.size() - 4);
+  if (static_cast<uint64_t>(payload_size) + 4 + kFooterBytes != bytes.size()) {
+    return Status::DataLoss(
+        StrFormat("segment size mismatch: footer says %u payload bytes, file "
+                  "has %zu",
+                  payload_size, bytes.size() - 4 - kFooterBytes));
+  }
+  const uint32_t actual = Crc32c(bytes.substr(4, payload_size));
+  if (actual != crc) {
+    return Status::DataLoss(StrFormat(
+        "segment checksum mismatch: stored %08x, computed %08x", crc, actual));
+  }
+  return Status::OK();
+}
+
 Result<std::vector<Execution>> DecodeSegment(std::string_view bytes,
                                              ActivityId num_activities) {
   if (bytes.size() < 4 + kFooterBytes) {
@@ -602,10 +625,17 @@ Result<std::shared_ptr<const EventLog>> SegmentStore::Segment(size_t index) {
     lru_.erase(it->second.lru_pos);
     lru_.push_front(index);
     it->second.lru_pos = lru_.begin();
+    ++cache_hits_;
+    static obs::Counter* hits =
+        obs::MetricsRegistry::Get().GetCounter("segment.cache_hits");
+    hits->Increment();
     return it->second.log;
   }
 
   PROCMINE_SPAN("segment.load");
+  // Decode latency is only worth a clock read when someone is collecting it.
+  const bool timed = obs::MetricsEnabled();
+  StopWatch decode_watch;
   const SegmentInfo& info = segments_[index];
   const std::string path = dir_ + "/" + info.file;
   std::vector<Execution> execs;
@@ -623,6 +653,12 @@ Result<std::shared_ptr<const EventLog>> SegmentStore::Segment(size_t index) {
       report_.executions_dropped += info.executions;
       report_.salvage_dropped_bytes += info.disk_bytes;
       report_.AddErrorClass("truncated_body");
+      static obs::Counter* events =
+          obs::MetricsRegistry::Get().GetCounter("segment.salvage_events");
+      static obs::Counter* lost =
+          obs::MetricsRegistry::Get().GetCounter("segment.lost_executions");
+      events->Increment();
+      lost->Add(info.executions);
       if (options_.recovery == RecoveryPolicy::kQuarantine) {
         report_.quarantined.push_back(QuarantineRecord{
             -1, 0, "truncated_body",
@@ -653,6 +689,16 @@ Result<std::shared_ptr<const EventLog>> SegmentStore::Segment(size_t index) {
             std::max<int64_t>(0, info.executions -
                                      static_cast<int64_t>(execs.size()));
         report_.salvage_dropped_bytes += salvage.dropped_bytes;
+        static obs::Counter* events =
+            obs::MetricsRegistry::Get().GetCounter("segment.salvage_events");
+        static obs::Counter* salvaged = obs::MetricsRegistry::Get().GetCounter(
+            "segment.salvaged_executions");
+        static obs::Counter* lost =
+            obs::MetricsRegistry::Get().GetCounter("segment.lost_executions");
+        events->Increment();
+        salvaged->Add(static_cast<int64_t>(execs.size()));
+        lost->Add(std::max<int64_t>(
+            0, info.executions - static_cast<int64_t>(execs.size())));
         report_.AddErrorClass(salvage.error_class.empty()
                                   ? "semantic_error"
                                   : salvage.error_class);
@@ -694,6 +740,14 @@ Result<std::shared_ptr<const EventLog>> SegmentStore::Segment(size_t index) {
       obs::MetricsRegistry::Get().GetGauge("segment.resident_bytes");
   loads->Increment();
   resident->Set(resident_bytes_);
+  if (timed) {
+    // Microsecond buckets spanning "resident-size segment from page cache"
+    // to "multi-hundred-MB segment from cold disk".
+    static obs::Histogram* decode_us = obs::MetricsRegistry::Get().GetHistogram(
+        "segment.decode_us", {50, 100, 250, 500, 1000, 2500, 5000, 10000,
+                              25000, 50000, 100000, 250000, 1000000});
+    decode_us->Record(decode_watch.ElapsedNanos() / 1000);
+  }
   return shared;
 }
 
@@ -735,6 +789,7 @@ SegmentStoreFootprint SegmentStore::Footprint() const {
   fp.peak_resident_bytes = peak_resident_bytes_;
   fp.max_resident_bytes = options_.max_resident_bytes;
   fp.loads = loads_;
+  fp.cache_hits = cache_hits_;
   fp.evictions = evictions_;
   fp.estimated_memory_bytes =
       (total_events_ / 2) * kDecodedBytesPerInstance +

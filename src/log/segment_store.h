@@ -100,6 +100,7 @@ struct SegmentStoreFootprint {
   int64_t peak_resident_bytes = 0;
   int64_t max_resident_bytes = 0;   ///< the configured cache bound
   int64_t loads = 0;                ///< segment decodes (cache misses)
+  int64_t cache_hits = 0;           ///< Segment() calls served resident
   int64_t evictions = 0;
   int64_t estimated_memory_bytes = 0;  ///< decoded size of the whole store
 
@@ -138,6 +139,11 @@ struct SalvageResult {
 };
 SalvageResult SalvageSegment(std::string_view bytes,
                              ActivityId num_activities);
+
+/// Footer-only integrity probe: verifies magic, the footer's payload byte
+/// range, and the crc32c over the payload — without decoding any block.
+/// `procmine stats --verify-crc` uses this to report damage cheaply.
+Status VerifySegmentChecksum(std::string_view bytes);
 
 }  // namespace segment_internal
 
@@ -272,6 +278,7 @@ class SegmentStore {
   int64_t resident_bytes_ = 0;
   int64_t peak_resident_bytes_ = 0;
   int64_t loads_ = 0;
+  int64_t cache_hits_ = 0;
   int64_t evictions_ = 0;
   IngestionReport report_;
 };

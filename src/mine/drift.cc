@@ -6,6 +6,7 @@
 
 #include "mine/noise.h"
 #include "obs/metrics.h"
+#include "obs/telemetry.h"
 #include "obs/trace.h"
 #include "util/strings.h"
 
@@ -408,6 +409,7 @@ void DriftMonitor::ScanSupportTrajectories(
 
 Status DriftMonitor::EvaluateWindow() {
   PROCMINE_SPAN("drift.window_eval");
+  PROCMINE_PHASE("drift.window_eval");
   static obs::Counter* windows_evaluated =
       obs::MetricsRegistry::Get().GetCounter("drift.windows_evaluated");
   static obs::Counter* alerts_raised =
@@ -493,6 +495,14 @@ Status DriftMonitor::EvaluateWindow() {
   summary.num_alerts = static_cast<int64_t>(window_alerts.size());
   windows_evaluated->Increment();
   alerts_raised->Add(summary.num_alerts);
+  // Live gauges for the telemetry status surface: which window the monitor
+  // is on and how noisy the latest one was.
+  static obs::Gauge* window_index =
+      obs::MetricsRegistry::Get().GetGauge("drift.window_index");
+  static obs::Gauge* last_alerts =
+      obs::MetricsRegistry::Get().GetGauge("drift.last_window_alerts");
+  window_index->Set(summary.index);
+  last_alerts->Set(summary.num_alerts);
 
   // Update comparison state for the next window.
   previous_supports_.clear();

@@ -14,6 +14,7 @@
 #include "mine/general_dag_miner.h"
 #include "mine/special_dag_miner.h"
 #include "obs/metrics.h"
+#include "obs/telemetry.h"
 #include "obs/trace.h"
 #include "util/hash.h"
 #include "util/strings.h"
@@ -45,6 +46,9 @@ Status ForEachWindow(SegmentStore* store, int64_t limit, OocMineStats* stats,
                               store->Segment(i));
     if (window->num_executions() == 0) continue;
     if (stats != nullptr) ++stats->windows;
+    static obs::Counter* visited =
+        obs::MetricsRegistry::Get().GetCounter("ooc.windows_visited");
+    visited->Increment();
     bool keep_going = true;
     if (static_cast<int64_t>(window->num_executions()) <= remaining) {
       remaining -= static_cast<int64_t>(window->num_executions());
@@ -86,6 +90,7 @@ Status CollectWindows(SegmentStore* store, int64_t limit, ThreadPool* pool,
                       size_t chunk_size, const WindowView& view,
                       OocMineStats* stats, EdgeCounts* total) {
   PROCMINE_SPAN("ooc.collect");
+  PROCMINE_PHASE("ooc.collect");
   EventLog scratch;
   return ForEachWindow(
       store, limit, stats, [&](const EventLog& w) -> Result<bool> {
@@ -94,6 +99,9 @@ Status CollectWindows(SegmentStore* store, int64_t limit, ThreadPool* pool,
           stats->executions += static_cast<int64_t>(log->num_executions());
           stats->events += 2 * log->TotalInstances();
         }
+        static obs::Counter* mined =
+            obs::MetricsRegistry::Get().GetCounter("ooc.executions_mined");
+        mined->Add(static_cast<int64_t>(log->num_executions()));
         EdgeCounts counts =
             CollectPrecedenceEdges(*log, pool, nullptr, chunk_size);
         for (const auto& [key, count] : counts) (*total)[key] += count;
@@ -109,6 +117,7 @@ Status ReduceWindows(SegmentStore* store, int64_t limit, ThreadPool* pool,
                      OocMineStats* stats, bool* budget_aborted,
                      std::unordered_set<uint64_t>* marked) {
   PROCMINE_SPAN("general_dag.reduce");
+  PROCMINE_PHASE("ooc.reduce");
   ReductionMemo memo;
   EventLog scratch;
   const int threads = pool == nullptr ? 1 : pool->num_threads();
@@ -338,6 +347,7 @@ Result<ProcessGraph> MineCyclic(SegmentStore* store, int64_t limit,
 Result<ProcessGraph> OutOfCoreMiner::Mine(SegmentStore* store,
                                           OocMineStats* stats) const {
   PROCMINE_SPAN("ooc.mine");
+  PROCMINE_PHASE("ooc.mine");
   if (store->num_executions() == 0) {
     return Status::InvalidArgument("log is empty");
   }
@@ -367,6 +377,16 @@ Result<ProcessGraph> OutOfCoreMiner::Mine(SegmentStore* store,
       return Status::InvalidArgument("max-executions leaves the log empty");
     }
   }
+
+  // Progress denominators for the telemetry status surface: how much work
+  // this mine will visit (a watcher divides windows_visited / executions
+  // mined by these to get a fraction).
+  static obs::Gauge* windows_total =
+      obs::MetricsRegistry::Get().GetGauge("ooc.windows_total");
+  static obs::Gauge* executions_total =
+      obs::MetricsRegistry::Get().GetGauge("progress.executions_total");
+  windows_total->Set(static_cast<int64_t>(store->num_segments()));
+  executions_total->Set(limit);
 
   MinerAlgorithm algorithm = options_.algorithm;
   if (algorithm == MinerAlgorithm::kAuto) {

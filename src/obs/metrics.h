@@ -170,6 +170,26 @@ struct MetricsSnapshot {
   std::string ToText() const;
 };
 
+/// Metric names whose values legitimately depend on the shard layout or on
+/// wall-clock timing: per-shard memoization makes hit/miss splits a function
+/// of the thread count, and latency histograms are nondeterministic by
+/// nature. Both deterministic artifacts (run reports, compared byte-for-byte
+/// across --threads values) and telemetry delta streams consult this one
+/// list, so the two surfaces cannot drift apart.
+inline constexpr std::string_view kShardDependentMetrics[] = {
+    "general_dag.memo_hits",
+    "general_dag.memo_misses",
+    "segment.decode_us",
+};
+
+/// True when `name` is in kShardDependentMetrics.
+inline bool ShardDependentMetric(std::string_view name) {
+  for (std::string_view metric : kShardDependentMetrics) {
+    if (name == metric) return true;
+  }
+  return false;
+}
+
 /// Process-wide registry. Registration is idempotent: the same name always
 /// returns the same handle.
 class MetricsRegistry {

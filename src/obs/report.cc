@@ -29,14 +29,6 @@ const char* AlgorithmName(MinerAlgorithm algorithm) {
   return "auto";
 }
 
-// Counters whose totals legitimately depend on the shard layout (per-shard
-// memoization makes hit/miss splits a function of the thread count). They
-// are dropped from the embedded snapshot so report bytes stay identical for
-// every --threads value.
-bool ThreadCountDependent(const std::string& name) {
-  return name == "general_dag.memo_hits" || name == "general_dag.memo_misses";
-}
-
 // >= 5 distinct thresholds: 1, 2, the mined T, the Section 6 optimum, and
 // quarter points of m, padded with small consecutive values if the log is
 // tiny. Sorted ascending.
@@ -171,12 +163,17 @@ Result<RunReport> BuildRunReport(const EventLog& log,
     }
   }
 
+  // Shard-dependent metrics (kShardDependentMetrics) are dropped from the
+  // embedded snapshot so report bytes stay identical for every --threads
+  // value; timing histograms are excluded by the same predicate.
   MetricsSnapshot snapshot = MetricsRegistry::Get().Snapshot();
   for (const auto& c : snapshot.counters) {
-    if (!ThreadCountDependent(c.name)) report.metrics.counters.push_back(c);
+    if (!ShardDependentMetric(c.name)) report.metrics.counters.push_back(c);
   }
   report.metrics.gauges = snapshot.gauges;
-  report.metrics.histograms = snapshot.histograms;
+  for (const auto& h : snapshot.histograms) {
+    if (!ShardDependentMetric(h.name)) report.metrics.histograms.push_back(h);
+  }
   return report;
 }
 

@@ -63,6 +63,10 @@ class RunBudget {
   /// Starts (or restarts) the deadline clock. Call once, before ingestion.
   void Start() { watch_.Reset(); }
 
+  /// Milliseconds since Start() (wall clock). Read-only: used by status
+  /// surfaces to report deadline headroom without re-probing Check().
+  double ElapsedMillis() const { return watch_.ElapsedMillis(); }
+
   /// Returns the first resource that is exhausted, or kNone. Sticky: after
   /// a non-kNone return, every later call returns that same resource.
   BudgetResource Check();

@@ -729,5 +729,161 @@ TEST_F(CliTest, TraceSummaryIncludesHistogramPercentiles) {
       << result.output;
 }
 
+// ---------------------------------------------------------------------------
+// Continuous telemetry: --telemetry-out / --metrics-openmetrics /
+// --status-file, `procmine top`, and the flush-on-degradation guarantee.
+
+TEST_F(CliTest, TelemetryFlagsWriteAllThreeArtifacts) {
+  std::string jsonl = dir_ + "/telemetry.jsonl";
+  std::string om = dir_ + "/metrics.om";
+  std::string status = dir_ + "/status.json";
+  CommandResult result = RunCli("mine --telemetry-out=" + jsonl +
+                                " --metrics-openmetrics=" + om +
+                                " --status-file=" + status + " " + log_path_);
+  EXPECT_EQ(result.exit_code, 0) << result.output;
+  EXPECT_NE(result.output.find("wrote telemetry-out"), std::string::npos)
+      << result.output;
+
+  // JSONL: at least the startup and final samples, schema-stamped.
+  std::string lines = ReadFileOrEmpty(jsonl);
+  EXPECT_NE(lines.find("\"schema_version\":1"), std::string::npos) << lines;
+  EXPECT_NE(lines.find("\"seq\":0"), std::string::npos);
+  EXPECT_NE(lines.find("\"phase\""), std::string::npos);
+  // OpenMetrics: sealed exposition with the mining counters.
+  std::string exposition = ReadFileOrEmpty(om);
+  EXPECT_NE(exposition.find("procmine_log_executions_read_total"),
+            std::string::npos)
+      << exposition;
+  EXPECT_NE(exposition.find("process_resident_memory_bytes"),
+            std::string::npos);
+  ASSERT_GE(exposition.size(), 6u);
+  EXPECT_EQ(exposition.substr(exposition.size() - 6), "# EOF\n");
+  // Status: command/source labels and progress counters.
+  std::string heartbeat = ReadFileOrEmpty(status);
+  EXPECT_NE(heartbeat.find("\"command\":\"mine\""), std::string::npos)
+      << heartbeat;
+  EXPECT_NE(heartbeat.find("demo.log"), std::string::npos);
+  EXPECT_NE(heartbeat.find("\"executions_read\":120"), std::string::npos);
+}
+
+TEST_F(CliTest, ModelIsByteIdenticalWithTelemetryOnAndOff) {
+  auto dot = [](const std::string& s) { return s.substr(s.find("digraph")); };
+  for (const std::string threads : {"1", "4"}) {
+    for (const std::string chunk : {"1", "16"}) {
+      std::string variant = " --threads=" + threads + " --chunk-size=" + chunk;
+      CommandResult off = RunCli("mine" + variant + " " + log_path_);
+      ASSERT_EQ(off.exit_code, 0) << off.output;
+      CommandResult on = RunCli(
+          "mine --telemetry-out=" + dir_ + "/t.jsonl --status-file=" + dir_ +
+          "/s.json --telemetry-interval-ms=10" + variant + " " + log_path_);
+      ASSERT_EQ(on.exit_code, 0) << on.output;
+      ASSERT_NE(off.output.find("digraph"), std::string::npos);
+      ASSERT_NE(on.output.find("digraph"), std::string::npos);
+      EXPECT_EQ(dot(off.output), dot(on.output))
+          << "threads=" << threads << " chunk=" << chunk;
+    }
+  }
+}
+
+TEST_F(CliTest, DegradedRunStillFlushesEveryObservabilityArtifact) {
+  // Regression pin: a budget-exhausted run (exit 4) must leave behind the
+  // same artifacts a clean run would — the degraded runs are exactly the
+  // ones an operator needs to debug.
+  std::string metrics = dir_ + "/m.json";
+  std::string trace = dir_ + "/t.json";
+  std::string jsonl = dir_ + "/tel.jsonl";
+  std::string status = dir_ + "/status.json";
+  CommandResult result = RunCli(
+      "mine --deadline-ms=0 --metrics-out=" + metrics +
+      " --trace-out=" + trace + " --telemetry-out=" + jsonl +
+      " --status-file=" + status + " " + log_path_);
+  EXPECT_EQ(result.exit_code, 4) << result.output;
+  EXPECT_NE(ReadFileOrEmpty(metrics), "");
+  EXPECT_NE(ReadFileOrEmpty(trace), "");
+  EXPECT_NE(ReadFileOrEmpty(jsonl), "");
+  std::string heartbeat = ReadFileOrEmpty(status);
+  EXPECT_NE(heartbeat, "");
+  // The final sample records the exhausted budget resource.
+  EXPECT_NE(heartbeat.find("\"exhausted\":\"deadline\""), std::string::npos)
+      << heartbeat;
+}
+
+TEST_F(CliTest, TopPrintsStatusAndFlagsStaleness) {
+  std::string status = dir_ + "/status.json";
+  CommandResult run = RunCli("mine --status-file=" + status + " " + log_path_);
+  ASSERT_EQ(run.exit_code, 0) << run.output;
+  // The run is over, so its heartbeat is by definition not fresh — but with
+  // an interval of 250ms the staleness floor (2s) keeps a just-finished file
+  // fresh long enough to read.
+  CommandResult top = RunCli("top " + status);
+  EXPECT_TRUE(top.exit_code == 0 || top.exit_code == 1) << top.output;
+  EXPECT_NE(top.output.find("procmine pid"), std::string::npos) << top.output;
+  EXPECT_NE(top.output.find("phase:"), std::string::npos);
+  EXPECT_NE(top.output.find("120 executions read"), std::string::npos);
+
+  // Stale heartbeat -> exit 1 with a warning.
+  std::string stale_file = dir_ + "/stale.json";
+  std::string doctored = ReadFileOrEmpty(status);
+  size_t pos = doctored.find("\"heartbeat_unix_ms\":");
+  ASSERT_NE(pos, std::string::npos);
+  size_t val_start = pos + std::string("\"heartbeat_unix_ms\":").size();
+  size_t val_end = doctored.find_first_of(",}", val_start);
+  doctored.replace(val_start, val_end - val_start, "1000");
+  std::ofstream(stale_file) << doctored;
+  CommandResult stale = RunCli("top " + stale_file);
+  EXPECT_EQ(stale.exit_code, 1) << stale.output;
+  EXPECT_NE(stale.output.find("STALE"), std::string::npos) << stale.output;
+
+  // Unreadable / unparseable -> exit 3.
+  EXPECT_EQ(RunCli("top " + dir_ + "/absent.json").exit_code, 3);
+  std::ofstream(dir_ + "/garbage.json") << "not json{";
+  EXPECT_EQ(RunCli("top " + dir_ + "/garbage.json").exit_code, 3);
+  EXPECT_EQ(RunCli("top").exit_code, 2);
+}
+
+TEST_F(StoreCliTest, StatsListsSegmentsAndVerifiesChecksums) {
+  CommandResult result = RunCli("stats --verify-crc " + store_dir_);
+  EXPECT_EQ(result.exit_code, 0) << result.output;
+  EXPECT_NE(result.output.find("reader cache:"), std::string::npos)
+      << result.output;
+  EXPECT_NE(result.output.find("recovery=strict"), std::string::npos);
+  EXPECT_NE(result.output.find("seg-000000.seg"), std::string::npos);
+  EXPECT_NE(result.output.find(" ok"), std::string::npos);
+  EXPECT_EQ(result.output.find("DAMAGED"), std::string::npos);
+
+  // Truncate one segment: the table must call it out without salvage flags.
+  std::string victim = store_dir_ + "/seg-000000.seg";
+  std::ifstream in(victim, std::ios::binary);
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  in.close();
+  ASSERT_GT(bytes.size(), 10u);
+  std::ofstream(victim, std::ios::binary | std::ios::trunc)
+      << bytes.substr(0, bytes.size() / 2);
+  CommandResult damaged = RunCli("stats --verify-crc " + store_dir_);
+  EXPECT_EQ(damaged.exit_code, 0) << damaged.output;
+  EXPECT_NE(damaged.output.find("size-mismatch"), std::string::npos)
+      << damaged.output;
+  EXPECT_NE(damaged.output.find("--recovery=skip"), std::string::npos);
+}
+
+TEST_F(StoreCliTest, SpillMineWithTelemetryTracksCacheAndWindows) {
+  std::string spill = dir_ + "/spill_telemetry";
+  std::string status = dir_ + "/spill_status.json";
+  CommandResult result =
+      RunCli("mine --spill-dir=" + spill + " --segment-events=64 " +
+             "--status-file=" + status + " --telemetry-interval-ms=10 " +
+             log_path_);
+  ASSERT_EQ(result.exit_code, 0) << result.output;
+  std::string heartbeat = ReadFileOrEmpty(status);
+  // The final sample has seen the whole out-of-core run: windows visited
+  // and the segment cache counters are non-zero.
+  EXPECT_NE(heartbeat.find("\"windows_total\":"), std::string::npos)
+      << heartbeat;
+  EXPECT_EQ(heartbeat.find("\"windows_visited\":0,"), std::string::npos)
+      << heartbeat;
+  EXPECT_EQ(heartbeat.find("\"loads\":0,"), std::string::npos) << heartbeat;
+}
+
 }  // namespace
 }  // namespace procmine

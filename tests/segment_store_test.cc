@@ -9,14 +9,17 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstdint>
 #include <cstdlib>
 #include <fstream>
 #include <new>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "log/event_log.h"
+#include "obs/metrics.h"
 #include "mine/miner.h"
 #include "mine/ooc_miner.h"
 #include "synth/log_generator.h"
@@ -562,6 +565,116 @@ TEST_F(SegmentStoreTest, LruCacheEvictsUnderResidentBound) {
   EXPECT_EQ(cached->Footprint().loads,
             static_cast<int64_t>(cached->num_segments()));
   EXPECT_EQ(cached->Footprint().evictions, 0);
+}
+
+TEST_F(SegmentStoreTest, CacheCountersAreExactAndMirrorMetrics) {
+  SegmentStoreOptions options;
+  options.target_segment_events = 8;
+  EventLog log;
+  for (int e = 0; e < 64; ++e) {
+    Execution exec(StrFormat("case_%02d", e));
+    exec.Append({log.dictionary().Intern("A"), e, e + 1, {}});
+    exec.Append({log.dictionary().Intern("B"), e + 2, e + 3, {}});
+    log.AddExecution(std::move(exec));
+  }
+  WriteStore(log, options);
+
+  obs::SetMetricsEnabled(true);
+  obs::MetricsRegistry::Get().ResetAll();
+
+  // Roomy cache, three passes: pass one misses every segment, the rest hit.
+  auto store = SegmentStore::Open(dir_, options);
+  ASSERT_TRUE(store.ok());
+  const int64_t n = static_cast<int64_t>(store->num_segments());
+  ASSERT_GT(n, 2);
+  for (int pass = 0; pass < 3; ++pass) {
+    for (size_t i = 0; i < store->num_segments(); ++i) {
+      ASSERT_TRUE(store->Segment(i).ok());
+    }
+  }
+  SegmentStoreFootprint fp = store->Footprint();
+  EXPECT_EQ(fp.loads, n);
+  EXPECT_EQ(fp.cache_hits, 2 * n);
+  EXPECT_EQ(fp.evictions, 0);
+
+  obs::MetricsSnapshot snapshot = obs::MetricsRegistry::Get().Snapshot();
+  EXPECT_EQ(snapshot.CounterTotal("segment.loads"), n);
+  EXPECT_EQ(snapshot.CounterTotal("segment.cache_hits"), 2 * n);
+  // The decode-latency histogram saw exactly one record per cache miss.
+  bool found_decode = false;
+  for (const auto& h : snapshot.histograms) {
+    if (h.name == "segment.decode_us") {
+      found_decode = true;
+      EXPECT_EQ(h.total_count, n);
+    }
+  }
+  EXPECT_TRUE(found_decode);
+
+  obs::MetricsRegistry::Get().ResetAll();
+  obs::SetMetricsEnabled(false);
+}
+
+TEST_F(SegmentStoreTest, CacheCountersExactUnderConcurrentWindowReaders) {
+  // Segment() is single-threaded per store, so concurrent window readers
+  // each open their own SegmentStore over the shared directory — the
+  // pattern the parallel miners use. The sharded registry must still
+  // account every load and hit exactly.
+  SegmentStoreOptions options;
+  options.target_segment_events = 8;
+  EventLog log;
+  for (int e = 0; e < 64; ++e) {
+    Execution exec(StrFormat("case_%02d", e));
+    exec.Append({log.dictionary().Intern("A"), e, e + 1, {}});
+    exec.Append({log.dictionary().Intern("B"), e + 2, e + 3, {}});
+    log.AddExecution(std::move(exec));
+  }
+  WriteStore(log, options);
+
+  obs::SetMetricsEnabled(true);
+  obs::MetricsRegistry::Get().ResetAll();
+
+  constexpr int kThreads = 4;
+  constexpr int kPasses = 2;
+  int64_t segments = 0;
+  {
+    auto probe = SegmentStore::Open(dir_, options);
+    ASSERT_TRUE(probe.ok());
+    segments = static_cast<int64_t>(probe->num_segments());
+  }
+  obs::MetricsRegistry::Get().ResetAll();  // drop the probe's traffic
+
+  std::atomic<int> failures{0};
+  std::vector<std::thread> readers;
+  for (int t = 0; t < kThreads; ++t) {
+    readers.emplace_back([this, &options, &failures] {
+      auto store = SegmentStore::Open(dir_, options);
+      if (!store.ok()) {
+        ++failures;
+        return;
+      }
+      for (int pass = 0; pass < kPasses; ++pass) {
+        for (size_t i = 0; i < store->num_segments(); ++i) {
+          if (!store->Segment(i).ok()) ++failures;
+        }
+      }
+      SegmentStoreFootprint fp = store->Footprint();
+      if (fp.loads != static_cast<int64_t>(store->num_segments())) ++failures;
+      if (fp.cache_hits !=
+          static_cast<int64_t>((kPasses - 1) * store->num_segments())) {
+        ++failures;
+      }
+    });
+  }
+  for (std::thread& r : readers) r.join();
+  ASSERT_EQ(failures.load(), 0);
+
+  obs::MetricsSnapshot snapshot = obs::MetricsRegistry::Get().Snapshot();
+  EXPECT_EQ(snapshot.CounterTotal("segment.loads"), kThreads * segments);
+  EXPECT_EQ(snapshot.CounterTotal("segment.cache_hits"),
+            kThreads * (kPasses - 1) * segments);
+
+  obs::MetricsRegistry::Get().ResetAll();
+  obs::SetMetricsEnabled(false);
 }
 
 // ---------------------------------------------------------------------------

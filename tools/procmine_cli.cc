@@ -27,6 +27,18 @@
 //   --log-level=LEVEL   debug|info|warning|error (default info)
 //   --log-json          emit log lines as JSON objects (machine-parseable)
 //
+// Continuous telemetry (any command; see docs/observability.md). Any of
+// these starts a background sampler that snapshots counters + process
+// stats on an interval, so a long run is observable while it runs:
+//   --telemetry-out=FILE       JSONL time-series, one sample per line
+//   --metrics-openmetrics=FILE OpenMetrics 1.0 exposition, atomically
+//                              rewritten each tick (Prometheus textfile)
+//   --status-file=FILE         heartbeat/status JSON, atomically rewritten
+//                              each tick (poll with `procmine top`)
+//   --telemetry-interval-ms=N  sampling interval (default 250)
+//   procmine top <status-file> pretty-prints a status file once; exit 1
+//                              when the heartbeat looks stale
+//
 // Robustness flags (any log-reading command; see docs/robustness.md):
 //   --recovery=POLICY      strict (default) | skip | quarantine — what to do
 //                          with malformed lines / executions
@@ -50,8 +62,13 @@
 // is identical for every value. Model edge files are plain text, one
 // "From To" pair per line, '#' comments allowed.
 
+#include <sys/stat.h>
+
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <fstream>
+#include <iterator>
 #include <iostream>
 #include <limits>
 #include <map>
@@ -63,6 +80,7 @@
 #include "graph/dot.h"
 #include "obs/metrics.h"
 #include "obs/report.h"
+#include "obs/telemetry.h"
 #include "obs/trace.h"
 #include "log/binary_log.h"
 #include "log/recovery.h"
@@ -93,7 +111,9 @@
 #include "util/atomic_file.h"
 #include "util/budget.h"
 #include "util/failpoint.h"
+#include "util/json.h"
 #include "util/logging.h"
+#include "util/mapped_file.h"
 #include "util/strings.h"
 
 using namespace procmine;
@@ -489,6 +509,7 @@ int CommandMineStore(const Args& args) {
   RunBudget budget(*limits);
   DegradationInfo degradation;
   budget.Start();
+  obs::TelemetryBudgetScope telemetry_budget(&budget);
 
   auto policy = RecoveryFlag(args);
   if (!policy.ok()) return Fail(policy.status());
@@ -541,6 +562,8 @@ int CommandMineSpill(const Args& args) {
     if (!limits.ok()) return Fail(limits.status());
     RunBudget budget(*limits);
     budget.Start();
+    obs::TelemetryBudgetScope telemetry_budget(&budget);
+    PROCMINE_PHASE("ingest.spill");
     auto policy = RecoveryFlag(args);
     if (!policy.ok()) return Fail(policy.status());
     auto store_options = StoreOptionsFromArgs(args, *policy, &budget);
@@ -614,10 +637,13 @@ int CommandMine(const Args& args) {
   RunBudget budget(*limits);
   DegradationInfo degradation;
   budget.Start();  // the deadline covers ingestion too
+  obs::TelemetryBudgetScope telemetry_budget(&budget);
 
   IngestionReport ingestion;
+  obs::SetCurrentPhase("ingest");
   auto log = ReadLogAuto(args.positional[0], args, &ingestion);
   if (!log.ok()) return Fail(log.status());
+  obs::SetCurrentPhase("mine");
   auto options = MinerOptionsFromArgs(args, &*log);
   if (!options.ok()) return Fail(options.status());
   options->budget = &budget;
@@ -812,6 +838,7 @@ int CommandMonitor(const Args& args) {
   // the default path parses the whole log first (sharded across --threads).
   // The monitor mines sequentially either way, so registry, alerts, and
   // report are byte-identical for both paths and any thread count.
+  obs::SetCurrentPhase("monitor.ingest");
   if (args.Has("stream")) {
     if (EndsWith(path, ".bin") || EndsWith(path, ".xes")) {
       std::cerr << "--stream applies to text logs only\n";
@@ -905,11 +932,62 @@ int CommandStats(const Args& args) {
                 static_cast<double>(fp.estimated_memory_bytes) / (1 << 20),
                 fp.CompressionRatio());
     std::printf("  resident bound:   %.1f MiB (%lld segments resident, "
-                "%lld loads, %lld evictions)\n",
+                "%lld loads, %lld hits, %lld evictions)\n",
                 static_cast<double>(fp.max_resident_bytes) / (1 << 20),
                 static_cast<long long>(fp.resident_segments),
                 static_cast<long long>(fp.loads),
+                static_cast<long long>(fp.cache_hits),
                 static_cast<long long>(fp.evictions));
+    std::printf("  reader cache:     max_resident_bytes=%lld recovery=%s\n",
+                static_cast<long long>(fp.max_resident_bytes),
+                std::string(RecoveryPolicyName(store_options->recovery))
+                    .c_str());
+
+    // Per-segment damage table from the manifest plus a stat() per file —
+    // still no segment is decoded, so operators can size the damage of a
+    // torn store without paying for a mine. --verify-crc additionally
+    // checksums each file's payload (reads bytes, decodes nothing).
+    const bool verify_crc = args.Has("verify-crc");
+    int64_t damaged = 0;
+    int64_t executions_at_risk = 0;
+    std::printf("  segments (executions, disk bytes, status%s):\n",
+                verify_crc ? "; --verify-crc on" : "");
+    for (const SegmentInfo& info : store->segments()) {
+      const std::string path = args.positional[0] + "/" + info.file;
+      std::string status = "ok";
+      struct stat st;
+      if (::stat(path.c_str(), &st) != 0) {
+        status = "missing";
+      } else if (st.st_size != info.disk_bytes) {
+        status = StrFormat("size-mismatch (%lld on disk, manifest %lld)",
+                           static_cast<long long>(st.st_size),
+                           static_cast<long long>(info.disk_bytes));
+      } else if (verify_crc) {
+        auto mapped = MappedFile::Open(path);
+        if (!mapped.ok()) {
+          status = StrFormat("unreadable (%s)",
+                             mapped.status().message().c_str());
+        } else {
+          Status crc = segment_internal::VerifySegmentChecksum(mapped->data());
+          if (!crc.ok()) status = std::string(crc.message());
+        }
+      }
+      if (status != "ok") {
+        ++damaged;
+        executions_at_risk += info.executions;
+      }
+      std::printf("    %-24s %10lld %12lld  %s\n", info.file.c_str(),
+                  static_cast<long long>(info.executions),
+                  static_cast<long long>(info.disk_bytes), status.c_str());
+    }
+    if (damaged > 0) {
+      std::printf("  damage:           %lld of %lld segments damaged, up to "
+                  "%lld executions at risk (mine with --recovery=skip or "
+                  "quarantine to salvage)\n",
+                  static_cast<long long>(damaged),
+                  static_cast<long long>(fp.segments),
+                  static_cast<long long>(executions_at_risk));
+    }
     return 0;
   }
   auto log = ReadLogAuto(args.positional[0], args);
@@ -927,6 +1005,127 @@ int CommandStats(const Args& args) {
     }
   }
   return 0;
+}
+
+/// `procmine top <status-file>`: one-shot pretty-printer for the heartbeat
+/// file a `--status-file` run keeps rewriting. Exit 0 when the run looks
+/// alive, 1 when the heartbeat is stale (likely hung or dead), 3 when the
+/// file is unreadable or unparseable.
+int CommandTop(const Args& args) {
+  if (args.positional.empty()) {
+    std::cerr << "usage: procmine top <status-file>\n";
+    return kExitUsage;
+  }
+  std::ifstream in(args.positional[0]);
+  if (!in) {
+    return Fail(Status::IOError(
+        StrFormat("cannot read status file %s", args.positional[0].c_str())));
+  }
+  std::string text((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  auto doc = json::Parse(text);
+  if (!doc.ok()) return Fail(doc.status());
+
+  auto num = [](const json::Value* obj, std::string_view key) -> int64_t {
+    if (obj == nullptr) return 0;
+    const json::Value* v = obj->Find(key);
+    return v != nullptr && v->is_number() ? v->AsInt64() : 0;
+  };
+  auto str = [](const json::Value* obj, std::string_view key) -> std::string {
+    if (obj == nullptr) return "";
+    const json::Value* v = obj->Find(key);
+    return v != nullptr && v->is_string() ? v->AsString() : "";
+  };
+  auto mib = [](int64_t bytes) {
+    return static_cast<double>(bytes) / (1 << 20);
+  };
+  const json::Value* root = &*doc;
+  const json::Value* progress = root->Find("progress");
+  const json::Value* budget = root->Find("budget");
+  const json::Value* cache = root->Find("cache");
+  const json::Value* process = root->Find("process");
+
+  const int64_t now_ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                             std::chrono::system_clock::now()
+                                 .time_since_epoch())
+                             .count();
+  const int64_t heartbeat_ms = num(root, "heartbeat_unix_ms");
+  const int64_t interval_ms = std::max<int64_t>(num(root, "interval_ms"), 1);
+  const int64_t age_ms = std::max<int64_t>(now_ms - heartbeat_ms, 0);
+  // A live sampler rewrites the file every interval; allow generous jitter
+  // before declaring the run hung.
+  const bool stale = age_ms > std::max<int64_t>(4 * interval_ms, 2000);
+
+  std::printf("procmine pid %lld  %s %s\n",
+              static_cast<long long>(num(root, "pid")),
+              str(root, "command").c_str(), str(root, "source").c_str());
+  std::printf("  phase:     %-24s heartbeat %.1fs ago%s\n",
+              str(root, "phase").c_str(),
+              static_cast<double>(age_ms) / 1000.0,
+              stale ? "  ** STALE: run may be hung or dead **" : "");
+  std::printf("  uptime:    %.1fs  sample %lld  interval %lldms\n",
+              static_cast<double>(num(root, "uptime_ms")) / 1000.0,
+              static_cast<long long>(num(root, "seq")),
+              static_cast<long long>(interval_ms));
+  const int64_t total = num(progress, "executions_total");
+  const int64_t scanned = num(progress, "executions_scanned");
+  if (total > 0) {
+    std::printf("  progress:  %lld executions read, %lld/%lld scanned "
+                "(%.1f%%), %lld/%lld windows\n",
+                static_cast<long long>(num(progress, "executions_read")),
+                static_cast<long long>(scanned),
+                static_cast<long long>(total),
+                100.0 * static_cast<double>(scanned) /
+                    static_cast<double>(total),
+                static_cast<long long>(num(progress, "windows_visited")),
+                static_cast<long long>(num(progress, "windows_total")));
+  } else {
+    std::printf("  progress:  %lld executions read, %lld scanned\n",
+                static_cast<long long>(num(progress, "executions_read")),
+                static_cast<long long>(scanned));
+  }
+  if (budget != nullptr && budget->is_object()) {
+    std::string exhausted = str(budget, "exhausted");
+    std::printf("  budget:    deadline %lldms (headroom %lldms), "
+                "memory %.1f MiB (headroom %.1f MiB), exhausted: %s\n",
+                static_cast<long long>(num(budget, "deadline_ms")),
+                static_cast<long long>(num(budget, "deadline_headroom_ms")),
+                mib(num(budget, "max_memory_bytes")),
+                mib(num(budget, "memory_headroom_bytes")),
+                exhausted.empty() ? "none" : exhausted.c_str());
+  }
+  if (cache != nullptr && cache->is_object()) {
+    std::printf("  cache:     %.1f MiB resident, %lld loads, %lld hits, "
+                "%lld evictions, %lld spill seals\n",
+                mib(num(cache, "resident_bytes")),
+                static_cast<long long>(num(cache, "loads")),
+                static_cast<long long>(num(cache, "hits")),
+                static_cast<long long>(num(cache, "evictions")),
+                static_cast<long long>(num(cache, "spill_seals")));
+    if (num(cache, "salvage_events") > 0) {
+      std::printf("  salvage:   %lld events, %lld salvaged, %lld lost\n",
+                  static_cast<long long>(num(cache, "salvage_events")),
+                  static_cast<long long>(num(cache, "salvaged_executions")),
+                  static_cast<long long>(num(cache, "lost_executions")));
+    }
+  }
+  if (process != nullptr && process->is_object()) {
+    const json::Value* cpu_user = process->Find("cpu_user_s");
+    const json::Value* cpu_sys = process->Find("cpu_system_s");
+    const double cpu =
+        (cpu_user != nullptr && cpu_user->is_number() ? cpu_user->AsDouble()
+                                                      : 0.0) +
+        (cpu_sys != nullptr && cpu_sys->is_number() ? cpu_sys->AsDouble()
+                                                    : 0.0);
+    std::printf("  process:   rss %.1f MiB, cpu %.1fs, %lld threads, "
+                "%lld fds, io read %.1f MiB written %.1f MiB\n",
+                mib(num(process, "rss_bytes")), cpu,
+                static_cast<long long>(num(process, "threads")),
+                static_cast<long long>(num(process, "open_fds")),
+                mib(std::max<int64_t>(num(process, "io_read_bytes"), 0)),
+                mib(std::max<int64_t>(num(process, "io_write_bytes"), 0)));
+  }
+  return stale ? kExitMismatch : kExitOk;
 }
 
 int CommandVariants(const Args& args) {
@@ -1056,6 +1255,8 @@ int CommandReport(const Args& args) {
   if (!limits.ok()) return Fail(limits.status());
   RunBudget budget(*limits);
   budget.Start();
+  obs::TelemetryBudgetScope telemetry_budget(&budget);
+  PROCMINE_PHASE("report.build");
   IngestionReport ingestion;
   auto log = ReadLogAuto(args.positional[0], args, &ingestion);
   if (!log.ok()) return Fail(log.status());
@@ -1201,6 +1402,8 @@ int CommandSynthStream(const Args& args) {
   if (!limits.ok()) return Fail(limits.status());
   RunBudget budget(*limits);
   budget.Start();
+  obs::TelemetryBudgetScope telemetry_budget(&budget);
+  PROCMINE_PHASE("synth.stream");
   auto store_options =
       StoreOptionsFromArgs(args, RecoveryPolicy::kStrict, &budget);
   if (!store_options.ok()) return Fail(store_options.status());
@@ -1464,9 +1667,16 @@ void PrintUsage() {
       "           [--agents=K --max-duration=D] --out=FILE\n"
       "  patterns <log> [--support=N] [--max-length=K] [--maximal]\n"
       "  convert <in> <out> [--to-store [--segment-events=N]]\n"
+      "  top <status-file>   (pretty-print the heartbeat a --status-file\n"
+      "      run keeps rewriting; exit 0 fresh, 1 stale)\n"
       "global flags (any command): --trace-out=FILE (Chrome trace JSON +\n"
       "per-phase summary), --metrics-out=FILE (counter snapshot JSON),\n"
       "--log-level=debug|info|warning|error, --log-json (JSON-lines logs)\n"
+      "telemetry flags (any command; docs/observability.md):\n"
+      "--telemetry-out=FILE (JSONL time-series), --metrics-openmetrics=FILE\n"
+      "(OpenMetrics 1.0 exposition, atomically rewritten each sample),\n"
+      "--status-file=FILE (heartbeat/status JSON for `procmine top`),\n"
+      "--telemetry-interval-ms=N (default 250)\n"
       "robustness flags (any log-reading command; docs/robustness.md):\n"
       "--recovery=strict|skip|quarantine, --quarantine-out=FILE,\n"
       "--deadline-ms=N, --max-memory-mb=N, --max-executions=N\n"
@@ -1477,8 +1687,10 @@ void PrintUsage() {
 }
 
 /// Applies --log-level / --log-json / --trace-out / --metrics-out before the
-/// command runs. Returns false (after printing why) on a malformed value.
-bool SetUpObservability(const Args& args) {
+/// command runs, and starts the background telemetry sampler when any of
+/// --telemetry-out / --metrics-openmetrics / --status-file is present.
+/// Returns false (after printing why) on a malformed value.
+bool SetUpObservability(const std::string& command, const Args& args) {
   if (args.Has("log-level")) {
     LogLevel level;
     if (!ParseLogLevel(args.Get("log-level"), &level)) {
@@ -1499,12 +1711,56 @@ bool SetUpObservability(const Args& args) {
   if (args.Has("report-out") || args.Has("report-dot")) {
     obs::SetMetricsEnabled(true);
   }
+  if (args.Has("telemetry-out") || args.Has("metrics-openmetrics") ||
+      args.Has("status-file")) {
+    obs::TelemetryOptions topt;
+    topt.jsonl_path = args.Get("telemetry-out");
+    topt.openmetrics_path = args.Get("metrics-openmetrics");
+    topt.status_path = args.Get("status-file");
+    topt.command = command;
+    if (!args.positional.empty()) topt.source = args.positional[0];
+    if (args.Has("telemetry-interval-ms")) {
+      auto interval = ParseInt64(args.Get("telemetry-interval-ms"));
+      if (!interval.ok()) {
+        std::cerr << interval.status().ToString() << "\n";
+        return false;
+      }
+      topt.interval_ms = *interval;
+    }
+    // The sampler reads the registry, so telemetry implies metrics.
+    obs::SetMetricsEnabled(true);
+    Status st = obs::StartGlobalTelemetry(topt);
+    if (!st.ok()) {
+      std::cerr << st.ToString() << "\n";
+      return false;
+    }
+  }
   return true;
 }
 
-/// Writes the trace / metrics files after the command finished. Failures are
-/// reported but do not change the command's exit code semantics beyond 1.
+/// Writes the telemetry / trace / metrics files after the command finished.
+/// Failures are reported but do not change the command's exit code semantics
+/// beyond 1. Runs on every exit path out of Dispatch — including the
+/// budget-degraded one — so a run that dies on exit 4 still leaves its
+/// artifacts behind.
 int FlushObservability(const Args& args, int rc) {
+  // Stop the sampler first: its final sample captures the end-of-run counter
+  // totals, and the files must be sealed before we report them written.
+  if (obs::GlobalTelemetry() != nullptr) {
+    Status st = obs::StopGlobalTelemetry();
+    if (!st.ok()) {
+      std::cerr << st.ToString() << "\n";
+      if (rc == 0) rc = ExitCodeForStatus(st);
+    } else {
+      for (const char* flag :
+           {"telemetry-out", "metrics-openmetrics", "status-file"}) {
+        if (args.Has(flag)) {
+          std::fprintf(stderr, "wrote %s to %s\n", flag,
+                       args.Get(flag).c_str());
+        }
+      }
+    }
+  }
   if (args.Has("trace-out")) {
     Status st = WriteFileAtomic(args.Get("trace-out"),
                                 obs::TraceRecorder::Get().ChromeTraceJson());
@@ -1550,6 +1806,7 @@ int Dispatch(const std::string& command, const Args& args) {
   if (command == "simulate") return CommandSimulate(args);
   if (command == "patterns") return CommandPatterns(args);
   if (command == "convert") return CommandConvert(args);
+  if (command == "top") return CommandTop(args);
   PrintUsage();
   return 2;
 }
@@ -1566,7 +1823,7 @@ int main(int argc, char** argv) {
   }
   std::string command = argv[1];
   Args args = ParseArgs(argc, argv);
-  if (!SetUpObservability(args)) return 2;
+  if (!SetUpObservability(command, args)) return 2;
   int rc = Dispatch(command, args);
   return FlushObservability(args, rc);
 }
