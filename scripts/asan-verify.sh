@@ -4,10 +4,12 @@
 # corrupted inputs is exactly where an out-of-bounds read would hide),
 # the spill/evict path (LRU cache frees decoded windows while shared_ptr
 # handles may still be live), the windowed out-of-core miner, the
-# recovery/salvage machinery it reuses, and the telemetry sampler's
-# /proc parsing + ring/serialization paths. Run whenever
-# src/log/segment_store, src/mine/ooc_miner, src/obs/telemetry, or the
-# binary-log salvage path changes.
+# recovery/salvage machinery it reuses, the telemetry sampler's
+# /proc parsing + ring/serialization paths, and the streaming server's
+# wire/journal decoders (length-prefixed frames and crc-framed journal
+# records parsed from hostile or torn byte streams). Run whenever
+# src/log/segment_store, src/mine/ooc_miner, src/obs/telemetry,
+# src/serve/, or the binary-log salvage path changes.
 #
 # Usage: scripts/asan-verify.sh [build-dir]   (default: build-asan)
 
@@ -23,7 +25,7 @@ cmake -B "$BUILD_DIR" -S . \
   -DPROCMINE_BUILD_EXAMPLES=OFF
 cmake --build "$BUILD_DIR" -j \
   --target segment_store_test binary_log_test recovery_test \
-           format_fuzz_test budget_test telemetry_test
+           format_fuzz_test budget_test telemetry_test serve_test
 
 ctest --test-dir "$BUILD_DIR" --output-on-failure \
-  -R 'SegmentStore|SegmentCodec|OocIdentity|BinaryLog|RecoveryMatrix|BinarySalvage|StreamingRecovery|RecoveryPolicy|FormatFuzz|RunBudget|Telemetry'
+  -R 'SegmentStore|SegmentCodec|OocIdentity|BinaryLog|RecoveryMatrix|BinarySalvage|StreamingRecovery|RecoveryPolicy|FormatFuzz|RunBudget|Telemetry|Serve'

@@ -1,0 +1,215 @@
+#!/bin/sh
+# Serve smoke gate: drives the real `procmine serve` daemon end to end and
+# proves the ISSUE's kill-resilience criteria on the wire, not in-process:
+#   * a hostile client (corrupt / torn / oversize frames) never disturbs a
+#     concurrent healthy session, and the server survives every attack,
+#   * a session that trips its RunBudget answers degraded frames (client
+#     exit 4), mirroring the CLI exit-4 contract,
+#   * SIGKILL between ack and publish + restart + journal replay yields a
+#     model byte-identical to an uninterrupted run,
+#   * a crash at ack time (PROCMINE_FAILPOINTS=serve.journal.append=crash)
+#     loses exactly the unacked batch: the restarted server's execution
+#     count equals the last acked total,
+#   * SIGTERM drains gracefully: the model publishes to the registry, and a
+#     second generation resumes the version hash chain (v1 -> v2).
+#
+# Registered as the `serve_smoke` ctest (tests/CMakeLists.txt). Standalone:
+#   scripts/serve-smoke.sh <procmine-binary>
+
+set -eu
+
+PROCMINE="${1:?usage: serve-smoke.sh <procmine-binary>}"
+
+TMP="$(mktemp -d)"
+cleanup() {
+  [ -z "${SERVER_PID:-}" ] || kill -9 "$SERVER_PID" 2> /dev/null || true
+  rm -rf "$TMP"
+}
+trap cleanup EXIT
+SERVER_PID=""
+
+wait_socket() {
+  i=0
+  while [ ! -S "$1" ]; do
+    i=$((i + 1))
+    [ "$i" -lt 100 ] || { echo "FAIL: socket $1 never appeared" >&2; exit 1; }
+    sleep 0.05
+  done
+}
+
+# start_server <tag> [extra serve flags...] — socket at $TMP/<tag>.sock,
+# stderr at $TMP/<tag>.log, pid in $SERVER_PID.
+start_server() {
+  tag="$1"; shift
+  "$PROCMINE" serve --socket="$TMP/$tag.sock" "$@" 2> "$TMP/$tag.log" &
+  SERVER_PID=$!
+  wait_socket "$TMP/$tag.sock"
+}
+
+stop_server() {
+  # stop_server <signal> <want-rc>
+  kill "-$1" "$SERVER_PID"
+  rc=0; wait "$SERVER_PID" || rc=$?
+  SERVER_PID=""
+  [ "$rc" -eq "$2" ] || {
+    echo "FAIL: server exited $rc after SIG$1, want $2" >&2
+    exit 1
+  }
+}
+
+"$PROCMINE" synth --activities=7 --executions=60 --density=0.3 --seed=13 \
+  --out="$TMP/log.bin" > /dev/null
+
+# --- reference: an uninterrupted server, one session, full log ------------
+start_server ref
+"$PROCMINE" client --socket="$TMP/ref.sock" --session=s1 "$TMP/log.bin" \
+  --batch-executions=5 --query-out="$TMP/ref_model.txt" --close \
+  2> /dev/null
+[ -s "$TMP/ref_model.txt" ] || {
+  echo "FAIL: reference run produced no model" >&2
+  exit 1
+}
+stop_server TERM 0
+
+# --- hostile client vs healthy session, plus budget degradation ----------
+start_server iso --threads=4
+"$PROCMINE" client --socket="$TMP/iso.sock" --garbage 2> /dev/null || {
+  echo "FAIL: garbage client round 1 (server did not survive)" >&2
+  exit 1
+}
+"$PROCMINE" client --socket="$TMP/iso.sock" --session=s1 "$TMP/log.bin" \
+  --batch-executions=7 2> /dev/null || {
+  echo "FAIL: healthy client failed alongside hostile one (exit $?)" >&2
+  exit 1
+}
+"$PROCMINE" client --socket="$TMP/iso.sock" --garbage 2> /dev/null || {
+  echo "FAIL: garbage client round 2 (server did not survive)" >&2
+  exit 1
+}
+"$PROCMINE" client --socket="$TMP/iso.sock" --session=s1 \
+  --query-out="$TMP/iso_model.txt" 2> /dev/null
+cmp -s "$TMP/iso_model.txt" "$TMP/ref_model.txt" || {
+  echo "FAIL: hostile frames disturbed the healthy session's model" >&2
+  exit 1
+}
+# A tenant with a 10-execution budget fed 60 executions must come back
+# degraded (exit 4), with the other tenant untouched.
+rc=0
+"$PROCMINE" client --socket="$TMP/iso.sock" --session=capped \
+  --session-max-executions=10 "$TMP/log.bin" --batch-executions=7 \
+  2> "$TMP/capped.log" || rc=$?
+[ "$rc" -eq 4 ] || {
+  echo "FAIL: over-budget session client exited $rc, want 4 (degraded)" >&2
+  exit 1
+}
+grep -q "degraded(resource=executions" "$TMP/capped.log" || {
+  echo "FAIL: degraded ack did not name the exhausted resource" >&2
+  exit 1
+}
+stop_server TERM 0
+
+# --- SIGKILL between ack and publish; restart replays byte-identically ----
+start_server kill9 --journal-dir="$TMP/jd" --registry-root="$TMP/reg"
+"$PROCMINE" client --socket="$TMP/kill9.sock" --session=s1 "$TMP/log.bin" \
+  --batch-executions=5 2> /dev/null
+stop_server KILL 137
+[ ! -f "$TMP/reg/s1/v000001.json" ] || {
+  echo "FAIL: model published before close/drain (kill landed too late)" >&2
+  exit 1
+}
+start_server recover --journal-dir="$TMP/jd" --registry-root="$TMP/reg"
+grep -q "recovered 1 session" "$TMP/recover.log" || {
+  echo "FAIL: restart did not report a recovered session" >&2
+  cat "$TMP/recover.log" >&2
+  exit 1
+}
+"$PROCMINE" client --socket="$TMP/recover.sock" --session=s1 \
+  --query-out="$TMP/replayed_model.txt" 2> /dev/null
+cmp -s "$TMP/replayed_model.txt" "$TMP/ref_model.txt" || {
+  echo "FAIL: replayed model differs from the uninterrupted run" >&2
+  exit 1
+}
+# SIGTERM drain publishes the recovered session's model: registry v1.
+stop_server TERM 0
+[ -f "$TMP/reg/s1/v000001.json" ] || {
+  echo "FAIL: graceful drain did not publish v1" >&2
+  exit 1
+}
+
+# --- crash at ack time: unacked batch is lost, acked prefix survives ------
+rc=0
+env PROCMINE_FAILPOINTS='serve.journal.append=crash@6' \
+  "$PROCMINE" serve --socket="$TMP/ack.sock" --journal-dir="$TMP/jd2" \
+  2> /dev/null &
+SERVER_PID=$!
+wait_socket "$TMP/ack.sock"
+rc=0
+"$PROCMINE" client --socket="$TMP/ack.sock" --session=s2 "$TMP/log.bin" \
+  --batch-executions=1 2> "$TMP/ack_client.log" || rc=$?
+[ "$rc" -ne 0 ] || {
+  echo "FAIL: client survived a server that crashed mid-ack" >&2
+  exit 1
+}
+rc=0; wait "$SERVER_PID" || rc=$?
+SERVER_PID=""
+[ "$rc" -eq 134 ] || {
+  echo "FAIL: crash-injected server exited $rc, want 134" >&2
+  exit 1
+}
+acked="$(sed -n 's/.*batch: ok.*total=\([0-9]*\).*/\1/p' "$TMP/ack_client.log" | tail -1)"
+[ -n "$acked" ] && [ "$acked" -eq 6 ] || {
+  echo "FAIL: expected 6 acked batches before the crash, saw '${acked:-none}'" >&2
+  exit 1
+}
+start_server ackrec --journal-dir="$TMP/jd2"
+"$PROCMINE" client --socket="$TMP/ackrec.sock" --session=s2 \
+  --query 2> "$TMP/ackrec_query.log" > /dev/null
+recovered="$(sed -n 's/.*query: ok.*total=\([0-9]*\).*/\1/p' "$TMP/ackrec_query.log" | tail -1)"
+[ "${recovered:-x}" = "$acked" ] || {
+  echo "FAIL: recovered $recovered executions, want exactly the $acked acked" >&2
+  exit 1
+}
+stop_server TERM 0
+
+# --- second generation resumes the registry hash chain: v1 -> v2 ----------
+start_server gen2 --journal-dir="$TMP/jd" --registry-root="$TMP/reg"
+grep -q "recovered" "$TMP/gen2.log" && {
+  echo "FAIL: sealed journal was resurrected" >&2
+  exit 1
+}
+"$PROCMINE" client --socket="$TMP/gen2.sock" --session=s1 "$TMP/log.bin" \
+  --batch-executions=10 2> /dev/null
+stop_server TERM 0
+
+python3 - "$TMP/reg/s1" <<'PYEOF'
+import json
+import os
+import sys
+
+reg = sys.argv[1]
+
+
+def crc32c(data):
+    # Reflected CRC-32C (Castagnoli), matching src/util/crc32c.cc.
+    crc = 0xFFFFFFFF
+    for b in data:
+        crc ^= b
+        for _ in range(8):
+            crc = (crc >> 1) ^ (0x82F63B78 if crc & 1 else 0)
+    return crc ^ 0xFFFFFFFF
+
+
+parent = "none"
+for v in (1, 2):
+    raw = open(os.path.join(reg, f"v{v:06d}.json"), "rb").read()
+    snap = json.loads(raw)
+    assert snap["version"] == v, snap["version"]
+    assert snap["parent_hash"] == parent, f"v{v}: hash chain broken"
+    assert snap["window"]["num_executions"] == 60, snap["window"]
+    assert snap["edges"], f"v{v}: published model has no edges"
+    parent = f"{crc32c(raw):08x}"
+current = open(os.path.join(reg, "CURRENT")).read().split()
+assert current == ["2", parent], current
+print("serve smoke OK: isolation, degradation, kill -9 replay, "
+      "crash-at-ack, registry chain v1->v2")
+PYEOF

@@ -11,8 +11,11 @@
 # out-of-core segment store + windowed miner (window fan-out at
 # threads {2,8} over the spill/evict path), and the telemetry sampler
 # (a background thread snapshotting the registry while counter writers
-# race it). Run whenever the parallel pipeline, src/obs/, the ingestion
-# layer, or the segment store changes.
+# race it), and the streaming server (concurrent submitters multiplexing
+# sessions onto the pump + thread pool, plus the socket front end's
+# connection threads racing a hostile client). Run whenever the parallel
+# pipeline, src/obs/, the ingestion layer, the segment store, or
+# src/serve/ changes.
 #
 # Usage: scripts/tsan-verify.sh [build-dir]   (default: build-tsan)
 
@@ -31,7 +34,8 @@ cmake --build "$BUILD_DIR" -j \
            striped_memo_test parallel_determinism_test \
            ingest_equivalence_test mapped_file_test report_test \
            recovery_test failpoint_test budget_test \
-           drift_test registry_test segment_store_test telemetry_test
+           drift_test registry_test segment_store_test telemetry_test \
+           serve_test
 
 ctest --test-dir "$BUILD_DIR" --output-on-failure \
-  -R 'Obs|ThreadPool|StripedMemo|ParallelDeterminism|IngestEquivalence|MappedFile|RunReport|RecoveryMatrix|BinarySalvage|StreamingRecovery|RecoveryPolicy|Failpoint|RunBudget|MinerBudget|ReportBudget|DriftMonitor|SupportHighWatermark|Registry|SegmentStore|SegmentCodec|OocIdentity|Telemetry'
+  -R 'Obs|ThreadPool|StripedMemo|ParallelDeterminism|IngestEquivalence|MappedFile|RunReport|RecoveryMatrix|BinarySalvage|StreamingRecovery|RecoveryPolicy|Failpoint|RunBudget|MinerBudget|ReportBudget|DriftMonitor|SupportHighWatermark|Registry|SegmentStore|SegmentCodec|OocIdentity|Telemetry|Serve'

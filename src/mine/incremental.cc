@@ -37,6 +37,43 @@ Status IncrementalMiner::AddLog(const EventLog& log) {
   return Status::OK();
 }
 
+Status IncrementalMiner::AddLogBudgeted(const EventLog& log, RunBudget* budget,
+                                        DegradationInfo* degradation,
+                                        int64_t* applied) {
+  if (applied != nullptr) *applied = 0;
+  ProbeTicker ticker(64);
+  const size_t total = log.num_executions();
+  for (size_t i = 0; i < total; ++i) {
+    if (budget != nullptr) {
+      auto remaining = [&] {
+        return StrFormat("%zu of %zu batch executions not absorbed",
+                         total - i, total);
+      };
+      // The execution cap is checked on every iteration (it is exact and
+      // cheap); the clock/rss probes are amortized through the ticker,
+      // except the first iteration so a budget exhausted before the batch
+      // cuts at zero.
+      if (budget->OverExecutionLimit(static_cast<int64_t>(num_executions_) +
+                                     1)) {
+        if (degradation != nullptr && !degradation->degraded) {
+          degradation->degraded = true;
+          degradation->resource = BudgetResource::kExecutions;
+          degradation->cut_phase = "incremental.absorb";
+          degradation->dropped = remaining();
+        }
+        break;
+      }
+      if ((i == 0 || ticker.Due()) &&
+          BudgetCut(budget, degradation, "incremental.absorb", remaining())) {
+        break;
+      }
+    }
+    PROCMINE_RETURN_NOT_OK(AddExecution(log.execution(i), log.dictionary()));
+    if (applied != nullptr) ++*applied;
+  }
+  return Status::OK();
+}
+
 Status IncrementalMiner::RemoveSequence(
     const std::vector<std::string>& sequence) {
   std::vector<ActivityId> ids;

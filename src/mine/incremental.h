@@ -20,6 +20,7 @@
 
 #include "log/event_log.h"
 #include "mine/edge_collector.h"
+#include "util/budget.h"
 #include "util/result.h"
 #include "workflow/process_graph.h"
 
@@ -47,6 +48,18 @@ class IncrementalMiner {
 
   /// Absorbs a whole log.
   Status AddLog(const EventLog& log);
+
+  /// AddLog under a budget: absorbs executions in log order until `budget`
+  /// trips (deadline / memory via Check(), the execution cap via
+  /// OverExecutionLimit against the miner's running total), recording the
+  /// first cut in `degradation` and the number of executions actually
+  /// absorbed in `applied`. A budget cut is NOT an error — the absorbed
+  /// prefix stands and the caller reads `degradation` / `applied` (the CLI
+  /// exit-4 contract). Null budget absorbs everything; null degradation /
+  /// applied are allowed. A malformed execution (e.g. repeated activities)
+  /// aborts with its error after `applied` good executions.
+  Status AddLogBudgeted(const EventLog& log, RunBudget* budget,
+                        DegradationInfo* degradation, int64_t* applied);
 
   /// Exact inverse of AddSequence: decrements the execution's precedence
   /// pairs and its activity-set counter, so the miner's state equals what

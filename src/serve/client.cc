@@ -1,0 +1,92 @@
+#include "serve/client.h"
+
+#include <errno.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <utility>
+
+#include "util/strings.h"
+
+namespace procmine::serve {
+
+ServeClient::ServeClient(ServeClient&& other) noexcept
+    : fd_(other.fd_), next_seq_(other.next_seq_) {
+  other.fd_ = -1;
+}
+
+ServeClient& ServeClient::operator=(ServeClient&& other) noexcept {
+  if (this != &other) {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = other.fd_;
+    next_seq_ = other.next_seq_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+ServeClient::~ServeClient() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Result<ServeClient> ServeClient::Connect(const std::string& socket_path) {
+  sockaddr_un addr{};
+  if (socket_path.size() >= sizeof(addr.sun_path)) {
+    return Status::InvalidArgument("socket path too long: " + socket_path);
+  }
+  int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) {
+    return Status::IOError(StrFormat("socket: %s", std::strerror(errno)));
+  }
+  addr.sun_family = AF_UNIX;
+  std::memcpy(addr.sun_path, socket_path.c_str(), socket_path.size());
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    int err = errno;
+    ::close(fd);
+    return Status::IOError(StrFormat("connect %s: %s", socket_path.c_str(),
+                                     std::strerror(err)));
+  }
+  return ServeClient(fd);
+}
+
+Result<ResponseFrame> ServeClient::Call(FrameType type,
+                                        std::string_view session,
+                                        std::string_view body) {
+  RequestFrame request;
+  request.type = type;
+  request.seq = next_seq_++;
+  request.session = std::string(session);
+  request.body = std::string(body);
+  PROCMINE_RETURN_NOT_OK(WriteFrame(fd_, EncodeRequest(request)));
+  PROCMINE_ASSIGN_OR_RETURN(ResponseFrame response, ReadResponse());
+  if (response.seq != request.seq) {
+    return Status::DataLoss(
+        StrFormat("response seq %llu does not match request seq %llu",
+                  static_cast<unsigned long long>(response.seq),
+                  static_cast<unsigned long long>(request.seq)));
+  }
+  return response;
+}
+
+Status ServeClient::SendRaw(std::string_view bytes) {
+  size_t written = 0;
+  while (written < bytes.size()) {
+    ssize_t n = ::write(fd_, bytes.data() + written, bytes.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError(StrFormat("write: %s", std::strerror(errno)));
+    }
+    written += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Result<ResponseFrame> ServeClient::ReadResponse(int64_t max_frame_bytes) {
+  PROCMINE_ASSIGN_OR_RETURN(std::string payload,
+                            ReadFrame(fd_, max_frame_bytes));
+  return DecodeResponse(payload);
+}
+
+}  // namespace procmine::serve

@@ -1,0 +1,53 @@
+// ServeClient: a minimal synchronous client for the serve wire protocol.
+//
+// Drives the `procmine client` subcommand and the serve test suites. Also
+// exposes raw-byte sends so the hostile-client paths (garbage frames, torn
+// frames, oversize declarations) can be exercised against a live server.
+
+#ifndef PROCMINE_SERVE_CLIENT_H_
+#define PROCMINE_SERVE_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "serve/wire.h"
+#include "util/result.h"
+
+namespace procmine::serve {
+
+class ServeClient {
+ public:
+  ServeClient(ServeClient&& other) noexcept;
+  ServeClient& operator=(ServeClient&& other) noexcept;
+  ~ServeClient();
+
+  /// Connects to the server's unix socket.
+  static Result<ServeClient> Connect(const std::string& socket_path);
+
+  /// Sends one request and waits for its response. Sequence numbers are
+  /// assigned automatically and checked on the way back.
+  Result<ResponseFrame> Call(FrameType type, std::string_view session,
+                             std::string_view body = {});
+
+  /// Writes raw bytes to the socket, bypassing framing entirely — the
+  /// hostile-client primitive.
+  Status SendRaw(std::string_view bytes);
+
+  /// Reads one response frame (after SendRaw of a syntactically valid
+  /// frame, the server still answers).
+  Result<ResponseFrame> ReadResponse(int64_t max_frame_bytes =
+                                         kDefaultMaxFrameBytes);
+
+  int fd() const { return fd_; }
+
+ private:
+  explicit ServeClient(int fd) : fd_(fd) {}
+
+  int fd_ = -1;
+  uint64_t next_seq_ = 1;
+};
+
+}  // namespace procmine::serve
+
+#endif  // PROCMINE_SERVE_CLIENT_H_

@@ -1,0 +1,295 @@
+#include "serve/journal.h"
+
+#include <errno.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstring>
+#include <utility>
+
+#include "util/coding.h"
+#include "util/crc32c.h"
+#include "util/failpoint.h"
+#include "util/mapped_file.h"
+#include "util/strings.h"
+
+namespace procmine::serve {
+
+namespace {
+
+constexpr char kJournalMagic[4] = {'P', 'M', 'S', 'J'};
+constexpr uint64_t kJournalVersion = 1;
+constexpr uint8_t kRecordBatch = 1;
+constexpr uint8_t kRecordSeal = 2;
+constexpr uint8_t kFlagDegraded = 1;
+
+std::string EncodeHeader(std::string_view session, const SessionSpec& spec) {
+  std::string out(kJournalMagic, sizeof(kJournalMagic));
+  PutVarint64(&out, kJournalVersion);
+  PutLengthPrefixed(&out, session);
+  PutLengthPrefixed(&out, EncodeSessionSpec(spec));
+  return out;
+}
+
+}  // namespace
+
+std::string JournalPathFor(const std::string& dir, std::string_view session) {
+  return dir + "/" + std::string(session) + std::string(kJournalSuffix);
+}
+
+Result<JournalReplaySummary> ReplayJournal(
+    const std::string& path, const JournalHeaderCallback& on_header,
+    const JournalRecordCallback& on_record) {
+  if (auto fp = PROCMINE_FAILPOINT("serve.journal.replay"); fp) {
+    if (fp.action != failpoint::Action::kShortIO &&
+        fp.action != failpoint::Action::kEintr) {
+      return fp.ToStatus("serve.journal.replay");
+    }
+  }
+  PROCMINE_ASSIGN_OR_RETURN(MappedFile file, MappedFile::Open(path));
+  std::string_view data = file.data();
+  std::string_view cursor = data;
+
+  JournalReplaySummary summary;
+  auto bad_header = [&](std::string_view why) -> Result<JournalReplaySummary> {
+    summary.error_class = "journal_bad_header";
+    return Status::DataLoss(StrFormat("%s: journal_bad_header: %.*s",
+                                      path.c_str(),
+                                      static_cast<int>(why.size()),
+                                      why.data()));
+  };
+  if (cursor.size() < sizeof(kJournalMagic) ||
+      std::memcmp(cursor.data(), kJournalMagic, sizeof(kJournalMagic)) != 0) {
+    return bad_header("not a session journal (bad magic)");
+  }
+  cursor.remove_prefix(sizeof(kJournalMagic));
+  auto version = GetVarint64(&cursor);
+  if (!version.ok() || *version != kJournalVersion) {
+    return bad_header("unsupported journal version");
+  }
+  auto session = GetLengthPrefixed(&cursor);
+  if (!session.ok() || !ValidSessionName(*session)) {
+    return bad_header("bad session name");
+  }
+  summary.session = std::string(*session);
+  auto spec_bytes = GetLengthPrefixed(&cursor);
+  if (!spec_bytes.ok()) return bad_header("truncated session spec");
+  auto spec = DecodeSessionSpec(*spec_bytes);
+  if (!spec.ok()) return bad_header(spec.status().message());
+  summary.spec = *spec;
+  summary.good_bytes = static_cast<int64_t>(data.size() - cursor.size());
+  if (on_header) {
+    PROCMINE_RETURN_NOT_OK(on_header(summary.session, summary.spec));
+  }
+
+  // Record scan: every record must decode and checksum; the first failure
+  // marks the torn tail and ends the scan.
+  while (!cursor.empty() && !summary.sealed) {
+    auto length = GetFixed32(&cursor);
+    auto crc = length.ok() ? GetFixed32(&cursor)
+                           : Result<uint32_t>(length.status());
+    if (!crc.ok() || cursor.size() < *length) {
+      summary.torn_tail = true;
+      break;
+    }
+    std::string_view payload = cursor.substr(0, *length);
+    if (Crc32c(payload) != *crc) {
+      summary.torn_tail = true;
+      break;
+    }
+    // Payload decode errors also count as a torn tail: the record framing
+    // is ours, so a mangled interior means the write never completed
+    // coherently.
+    std::string_view body = payload;
+    if (body.size() < 3) {
+      summary.torn_tail = true;
+      break;
+    }
+    uint8_t kind = static_cast<uint8_t>(body[0]);
+    uint8_t flags = static_cast<uint8_t>(body[1]);
+    uint8_t resource = static_cast<uint8_t>(body[2]);
+    body.remove_prefix(3);
+    auto applied = GetVarint64(&body);
+    if (!applied.ok() || kind < kRecordBatch || kind > kRecordSeal ||
+        resource > static_cast<uint8_t>(BudgetResource::kExecutions)) {
+      summary.torn_tail = true;
+      break;
+    }
+    cursor.remove_prefix(*length);
+    summary.good_bytes = static_cast<int64_t>(data.size() - cursor.size());
+    if (kind == kRecordSeal) {
+      summary.sealed = true;
+      break;
+    }
+    JournalRecord record;
+    record.applied = static_cast<int64_t>(*applied);
+    record.degraded = (flags & kFlagDegraded) != 0;
+    record.resource = static_cast<BudgetResource>(resource);
+    record.batch = body;
+    PROCMINE_RETURN_NOT_OK(on_record(record));
+    ++summary.records;
+  }
+  if (summary.torn_tail) {
+    summary.dropped_bytes =
+        static_cast<int64_t>(data.size()) - summary.good_bytes;
+    summary.error_class = "journal_torn_tail";
+  }
+  return summary;
+}
+
+SessionJournal::SessionJournal(SessionJournal&& other) noexcept
+    : path_(std::move(other.path_)),
+      fd_(other.fd_),
+      fsync_appends_(other.fsync_appends_) {
+  other.fd_ = -1;
+}
+
+SessionJournal& SessionJournal::operator=(SessionJournal&& other) noexcept {
+  if (this != &other) {
+    CloseFd();
+    path_ = std::move(other.path_);
+    fd_ = other.fd_;
+    fsync_appends_ = other.fsync_appends_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+SessionJournal::~SessionJournal() { CloseFd(); }
+
+void SessionJournal::CloseFd() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Result<SessionJournal> SessionJournal::Create(const std::string& path,
+                                              std::string_view session,
+                                              const SessionSpec& spec,
+                                              bool fsync_appends) {
+  int fd = ::open(path.c_str(), O_CREAT | O_TRUNC | O_WRONLY | O_CLOEXEC,
+                  0644);
+  if (fd < 0) {
+    return Status::IOError(StrFormat("cannot create journal %s: %s",
+                                     path.c_str(), std::strerror(errno)));
+  }
+  SessionJournal journal(path, fd, fsync_appends);
+  PROCMINE_RETURN_NOT_OK(journal.AppendRecordHeaderless(
+      EncodeHeader(session, spec)));
+  return journal;
+}
+
+Result<SessionJournal> SessionJournal::Resume(const std::string& path,
+                                              int64_t good_bytes,
+                                              bool fsync_appends) {
+  int fd = ::open(path.c_str(), O_WRONLY | O_CLOEXEC);
+  if (fd < 0) {
+    return Status::IOError(StrFormat("cannot open journal %s: %s",
+                                     path.c_str(), std::strerror(errno)));
+  }
+  // Truncate the torn tail so the next append starts on a record boundary.
+  if (::ftruncate(fd, static_cast<off_t>(good_bytes)) != 0) {
+    int err = errno;
+    ::close(fd);
+    return Status::IOError(StrFormat("cannot truncate journal %s: %s",
+                                     path.c_str(), std::strerror(err)));
+  }
+  if (::lseek(fd, 0, SEEK_END) < 0) {
+    int err = errno;
+    ::close(fd);
+    return Status::IOError(StrFormat("cannot seek journal %s: %s",
+                                     path.c_str(), std::strerror(err)));
+  }
+  return SessionJournal(path, fd, fsync_appends);
+}
+
+Status SessionJournal::AppendRecordHeaderless(std::string_view bytes) {
+  // Raw write used only for the file header (records go through
+  // AppendRecord, which frames and checksums).
+  size_t written = 0;
+  while (written < bytes.size()) {
+    ssize_t n = ::write(fd_, bytes.data() + written, bytes.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError(StrFormat("journal %s: %s", path_.c_str(),
+                                       std::strerror(errno)));
+    }
+    written += static_cast<size_t>(n);
+  }
+  if (fsync_appends_ && ::fsync(fd_) != 0) {
+    return Status::IOError(StrFormat("journal fsync %s: %s", path_.c_str(),
+                                     std::strerror(errno)));
+  }
+  return Status::OK();
+}
+
+Status SessionJournal::AppendRecord(std::string_view payload,
+                                    std::string_view site) {
+  if (fd_ < 0) {
+    return Status::FailedPrecondition("journal is closed: " + path_);
+  }
+  std::string framed;
+  framed.reserve(payload.size() + 8);
+  PutFixed32(&framed, static_cast<uint32_t>(payload.size()));
+  PutFixed32(&framed, Crc32c(payload));
+  framed += payload;
+
+  size_t written = 0;
+  while (written < framed.size()) {
+    size_t chunk = framed.size() - written;
+    if (auto fp = PROCMINE_FAILPOINT(site); fp) {
+      if (fp.action == failpoint::Action::kShortIO) {
+        chunk = std::min<size_t>(chunk, static_cast<size_t>(
+                                            std::max<int64_t>(fp.arg, 1)));
+      } else if (fp.action == failpoint::Action::kEintr) {
+        errno = EINTR;
+        continue;
+      } else {
+        // A failed append may have landed a partial record; callers treat
+        // any non-OK as "not acknowledged" and recovery truncates the tail.
+        return fp.ToStatus(site);
+      }
+    }
+    ssize_t n = ::write(fd_, framed.data() + written, chunk);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError(StrFormat("journal %s: %s", path_.c_str(),
+                                       std::strerror(errno)));
+    }
+    written += static_cast<size_t>(n);
+  }
+  if (fsync_appends_ && ::fsync(fd_) != 0) {
+    return Status::IOError(StrFormat("journal fsync %s: %s", path_.c_str(),
+                                     std::strerror(errno)));
+  }
+  return Status::OK();
+}
+
+Status SessionJournal::AppendBatch(std::string_view batch_bytes,
+                                   int64_t applied, bool degraded,
+                                   BudgetResource resource) {
+  std::string payload;
+  payload.reserve(batch_bytes.size() + 8);
+  payload.push_back(static_cast<char>(kRecordBatch));
+  payload.push_back(static_cast<char>(degraded ? kFlagDegraded : 0));
+  payload.push_back(static_cast<char>(resource));
+  PutVarint64(&payload, static_cast<uint64_t>(applied));
+  payload += batch_bytes;
+  return AppendRecord(payload, "serve.journal.append");
+}
+
+Status SessionJournal::Seal() {
+  std::string payload;
+  payload.push_back(static_cast<char>(kRecordSeal));
+  payload.push_back(0);
+  payload.push_back(static_cast<char>(BudgetResource::kNone));
+  PutVarint64(&payload, 0);
+  PROCMINE_RETURN_NOT_OK(AppendRecord(payload, "serve.journal.seal"));
+  CloseFd();
+  return Status::OK();
+}
+
+}  // namespace procmine::serve

@@ -1,0 +1,142 @@
+// Per-session write-ahead journal: the crash-recovery substrate of
+// `procmine serve`.
+//
+// A batch is acknowledged to the client only after its record is in the
+// journal, so the invariant "acked implies replayable" holds across
+// SIGKILL: a restarted server replays every journal and reproduces each
+// session's model byte-identically to an uninterrupted run. Records carry
+// the exact applied-execution count (a budget cut can stop a batch midway),
+// so replay re-absorbs precisely the acknowledged prefix — no budget
+// re-probing, no wall-clock dependence.
+//
+// File layout (`<dir>/<session>.pmj`):
+//   "PMSJ"                          magic
+//   varint version                  currently 1
+//   length-prefixed session name
+//   length-prefixed SessionSpec     (wire.h encoding)
+//   records, each:
+//     fixed32 payload_len | fixed32 crc32c(payload) | payload
+//   payload:
+//     u8 kind (1 = batch, 2 = seal)
+//     u8 flags (bit0: session degraded after this record)
+//     u8 budget resource (BudgetResource, meaningful when degraded)
+//     varint applied execution count
+//     rest = the batch's binary-log bytes (empty for seal records)
+//
+// A crash mid-append leaves a torn tail; replay detects it by length or
+// checksum, reports the loss (error class journal_torn_tail), and the
+// journal is truncated back to the last good record before appends resume.
+// The torn batch was never acknowledged, so truncation loses nothing the
+// server promised to keep. A seal record marks a graceful close (model
+// published); sealed sessions are not resurrected on restart.
+
+#ifndef PROCMINE_SERVE_JOURNAL_H_
+#define PROCMINE_SERVE_JOURNAL_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+
+#include "serve/wire.h"
+#include "util/result.h"
+
+namespace procmine::serve {
+
+/// File suffix of session journals inside the journal directory.
+inline constexpr std::string_view kJournalSuffix = ".pmj";
+
+/// What one journal record contributed, as seen by replay.
+struct JournalRecord {
+  int64_t applied = 0;       ///< executions absorbed from this batch
+  bool degraded = false;     ///< session was budget-degraded after this batch
+  BudgetResource resource = BudgetResource::kNone;
+  std::string_view batch;    ///< binary-log bytes (into the replay buffer)
+};
+
+/// Outcome of scanning one journal file.
+struct JournalReplaySummary {
+  std::string session;
+  SessionSpec spec;
+  int64_t records = 0;        ///< good batch records replayed
+  bool sealed = false;        ///< a seal record ends the journal
+  bool torn_tail = false;     ///< trailing bytes failed length/checksum
+  int64_t good_bytes = 0;     ///< offset of the first byte past the last
+                              ///< good record (truncation point)
+  int64_t dropped_bytes = 0;  ///< torn bytes past good_bytes
+  std::string error_class;    ///< "" or journal_torn_tail / journal_bad_header
+};
+
+/// Invoked once after the header parses, before any record. Recovery uses
+/// this to construct the session the records replay into.
+using JournalHeaderCallback =
+    std::function<Status(const std::string& session, const SessionSpec& spec)>;
+
+/// Invoked per good batch record, in append order. A non-OK return aborts
+/// the scan (propagated to the caller).
+using JournalRecordCallback = std::function<Status(const JournalRecord&)>;
+
+/// Scans `path`, validating the header and every record checksum, invoking
+/// `on_header` once and then `on_record` per batch record. Torn tails are
+/// reported in the summary, not as errors; only an unreadable file or
+/// unparseable header fails (a journal whose header never made it to disk
+/// has no acknowledged state to recover). Failpoint site:
+/// serve.journal.replay.
+Result<JournalReplaySummary> ReplayJournal(const std::string& path,
+                                           const JournalHeaderCallback& on_header,
+                                           const JournalRecordCallback& on_record);
+
+/// Append side. Create() writes a fresh header; Resume() opens an existing
+/// journal after replay, truncating a torn tail so the next record lands on
+/// a record boundary. Appends are flushed (and optionally fsynced) before
+/// returning, because returning is what permits the ack.
+class SessionJournal {
+ public:
+  SessionJournal(SessionJournal&& other) noexcept;
+  SessionJournal& operator=(SessionJournal&& other) noexcept;
+  ~SessionJournal();
+
+  /// Creates `path` (truncating any previous file) and writes the header.
+  static Result<SessionJournal> Create(const std::string& path,
+                                       std::string_view session,
+                                       const SessionSpec& spec,
+                                       bool fsync_appends);
+
+  /// Opens `path` for appending at `good_bytes` (from a ReplaySummary),
+  /// truncating everything past it.
+  static Result<SessionJournal> Resume(const std::string& path,
+                                       int64_t good_bytes,
+                                       bool fsync_appends);
+
+  /// Appends one batch record. Durable (flushed, fsynced when configured)
+  /// when it returns OK — the caller may then acknowledge the batch.
+  /// Failpoint site: serve.journal.append (error / short / eintr / crash).
+  Status AppendBatch(std::string_view batch_bytes, int64_t applied,
+                     bool degraded, BudgetResource resource);
+
+  /// Appends the seal record marking a graceful close, then closes the
+  /// file. Failpoint site: serve.journal.seal.
+  Status Seal();
+
+  const std::string& path() const { return path_; }
+
+ private:
+  SessionJournal(std::string path, int fd, bool fsync_appends)
+      : path_(std::move(path)), fd_(fd), fsync_appends_(fsync_appends) {}
+
+  Status AppendRecord(std::string_view payload, std::string_view site);
+  Status AppendRecordHeaderless(std::string_view bytes);
+  void CloseFd();
+
+  std::string path_;
+  int fd_ = -1;
+  bool fsync_appends_ = true;
+};
+
+/// The journal path for `session` under `dir`. `session` must already have
+/// passed ValidSessionName (names are used verbatim as file stems).
+std::string JournalPathFor(const std::string& dir, std::string_view session);
+
+}  // namespace procmine::serve
+
+#endif  // PROCMINE_SERVE_JOURNAL_H_

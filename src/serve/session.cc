@@ -1,0 +1,167 @@
+#include "serve/session.h"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "log/binary_log.h"
+#include "util/strings.h"
+
+namespace procmine::serve {
+
+Session::Session(std::string name, const SessionSpec& spec)
+    : name_(std::move(name)),
+      spec_(spec),
+      budget_(spec.limits),
+      miner_(IncrementalMinerOptions{spec.noise_threshold}) {
+  budget_.Start();
+}
+
+Status Session::SealJournal() {
+  if (!journal_.has_value()) return Status::OK();
+  Status sealed = journal_->Seal();
+  journal_.reset();
+  return sealed;
+}
+
+BatchOutcome Session::ApplyBatch(std::string_view batch_bytes) {
+  BatchOutcome outcome;
+  if (degradation_.degraded) {
+    // Sticky: the budget tripped on an earlier batch. The model is frozen
+    // but queryable; nothing more is absorbed or journaled.
+    outcome.code = ResponseCode::kDegraded;
+    outcome.degradation = degradation_;
+    outcome.detail = StrFormat(
+        "session budget exhausted (%.*s); model frozen",
+        static_cast<int>(BudgetResourceName(degradation_.resource).size()),
+        BudgetResourceName(degradation_.resource).data());
+    return outcome;
+  }
+
+  IngestionReport report;
+  report.policy = spec_.recovery;
+  BinaryDecodeOptions decode_options;
+  decode_options.recovery = spec_.recovery;
+  decode_options.report = &report;
+  Result<EventLog> batch = DecodeBinaryLog(batch_bytes, decode_options);
+  if (!batch.ok()) {
+    // Malformed batch: this session keeps its model and stays open —
+    // the error is the client's, not the server's.
+    outcome.code = ResponseCode::kDataError;
+    outcome.detail = std::string(batch.status().message());
+    return outcome;
+  }
+
+  DegradationInfo degradation;
+  int64_t applied = 0;
+  Status absorbed =
+      miner_.AddLogBudgeted(*batch, &budget_, &degradation, &applied);
+
+  auto evict_applied = [&]() {
+    // Roll the prefix back (reverse order, exact inverse) so a failed
+    // batch leaves the model exactly as it was.
+    for (int64_t i = applied - 1; i >= 0; --i) {
+      Status undone = miner_.RemoveExecution(
+          batch->execution(static_cast<size_t>(i)), batch->dictionary());
+      if (!undone.ok()) {
+        undone.Abort("Session::ApplyBatch rollback");
+      }
+    }
+  };
+
+  if (!absorbed.ok()) {
+    // A semantic error (e.g. repeated activities) past decode. Atomicity:
+    // evict the applied prefix and report a data error.
+    evict_applied();
+    outcome.code = ResponseCode::kDataError;
+    outcome.detail = std::string(absorbed.message());
+    return outcome;
+  }
+
+  if (journal_.has_value()) {
+    Status journaled = journal_->AppendBatch(batch_bytes, applied,
+                                             degradation.degraded,
+                                             degradation.resource);
+    if (!journaled.ok()) {
+      // Not durable, so not acknowledged: evict and report a server-side
+      // fault. The client may retry; replay after a crash will not see
+      // this batch (a torn append is truncated on restart).
+      evict_applied();
+      outcome.code = ResponseCode::kInternal;
+      outcome.detail = std::string(journaled.message());
+      return outcome;
+    }
+  }
+
+  outcome.applied = applied;
+  NoteApplied(*batch, applied);
+  if (degradation.degraded) {
+    // The cut is acknowledged (the applied prefix is journaled) but the
+    // session is degraded from here on: the CLI exit-4 contract as a
+    // response frame.
+    degradation_ = degradation;
+    if (report.AnyLoss()) outcome.detail = report.SummaryText();
+    outcome.code = ResponseCode::kDegraded;
+    outcome.degradation = degradation_;
+    return outcome;
+  }
+  if (report.AnyLoss()) {
+    // Salvage under kSkip/kQuarantine: the batch applied, minus what the
+    // recovery policy dropped — report it, still an ack.
+    outcome.detail = report.SummaryText();
+  }
+  return outcome;
+}
+
+Status Session::ReplayRecord(const JournalRecord& record) {
+  BinaryDecodeOptions decode_options;
+  decode_options.recovery = spec_.recovery;
+  PROCMINE_ASSIGN_OR_RETURN(EventLog batch,
+                            DecodeBinaryLog(record.batch, decode_options));
+  if (record.applied < 0 ||
+      record.applied > static_cast<int64_t>(batch.num_executions())) {
+    return Status::DataLoss(
+        StrFormat("journal record for session %s claims %lld applied "
+                  "executions of a %zu-execution batch",
+                  name_.c_str(), static_cast<long long>(record.applied),
+                  batch.num_executions()));
+  }
+  for (int64_t i = 0; i < record.applied; ++i) {
+    PROCMINE_RETURN_NOT_OK(miner_.AddExecution(
+        batch.execution(static_cast<size_t>(i)), batch.dictionary()));
+  }
+  NoteApplied(batch, record.applied);
+  if (record.degraded && !degradation_.degraded) {
+    degradation_.degraded = true;
+    degradation_.resource = record.resource;
+    degradation_.cut_phase = "incremental.absorb";
+    degradation_.dropped = "restored from journal replay";
+  }
+  return Status::OK();
+}
+
+void Session::NoteApplied(const EventLog& batch, int64_t applied) {
+  if (applied <= 0) return;
+  if (first_name_.empty()) first_name_ = batch.execution(0).name();
+  last_name_ = batch.execution(static_cast<size_t>(applied - 1)).name();
+}
+
+Result<std::string> Session::CanonicalModelText() const {
+  PROCMINE_ASSIGN_OR_RETURN(ProcessGraph graph, miner_.CurrentGraph());
+  std::vector<std::string> lines;
+  lines.reserve(static_cast<size_t>(graph.graph().num_edges()));
+  for (const Edge& e : graph.graph().Edges()) {
+    lines.push_back(
+        StrFormat("%s\t%s", graph.name(e.from).c_str(),
+                  graph.name(e.to).c_str()));
+  }
+  std::sort(lines.begin(), lines.end());
+  std::string out;
+  for (const std::string& line : lines) {
+    out += line;
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace procmine::serve

@@ -1,0 +1,111 @@
+// Session: one tenant's mining state inside `procmine serve`.
+//
+// A session owns an IncrementalMiner, its own RunBudget (built from the
+// SessionSpec the client sent at open), a sticky DegradationInfo, and
+// optionally the session's write-ahead journal. It is the fault-isolation
+// unit: every outcome of applying a batch — decode failure, budget cut,
+// journal fault — is expressed as a BatchOutcome that maps onto one
+// response frame and touches nothing outside this object.
+//
+// Sessions are NOT thread-safe. The server guarantees each session's
+// operations run serially (batches drain FIFO from its ingress queue on one
+// shard at a time); that serial discipline, plus the journal's exact
+// applied-counts, is what makes multi-tenant runs byte-identical to mining
+// each session alone.
+//
+// Batch atomicity: a batch either (a) fully applies, (b) applies a prefix
+// under a budget cut — the cut is reported and journaled so replay stops at
+// the same prefix — or (c) applies nothing: on a decode/semantic error or a
+// journal-append failure the already-absorbed prefix is evicted (the
+// miner's RemoveExecution is an exact inverse), so the model never reflects
+// a batch the client was not acked for.
+
+#ifndef PROCMINE_SERVE_SESSION_H_
+#define PROCMINE_SERVE_SESSION_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "mine/incremental.h"
+#include "serve/journal.h"
+#include "serve/wire.h"
+#include "util/result.h"
+
+namespace procmine::serve {
+
+/// What applying one batch did; maps 1:1 onto a response frame.
+struct BatchOutcome {
+  ResponseCode code = ResponseCode::kOk;
+  int64_t applied = 0;       ///< executions absorbed by this batch
+  std::string detail;        ///< error class / salvage summary / ""
+  DegradationInfo degradation;  ///< set when code == kDegraded
+};
+
+class Session {
+ public:
+  Session(std::string name, const SessionSpec& spec);
+
+  Session(Session&&) = default;
+  Session& operator=(Session&&) = default;
+
+  /// Attaches the session's journal. Once attached, ApplyBatch appends
+  /// every acknowledged batch before reporting success. Without a journal
+  /// (in-process tests) batches apply unjournaled.
+  void AttachJournal(SessionJournal journal) { journal_ = std::move(journal); }
+  bool has_journal() const { return journal_.has_value(); }
+
+  /// Seals the journal (graceful close). No-op without a journal.
+  Status SealJournal();
+
+  /// Decodes `batch_bytes` under the session's recovery policy, absorbs it
+  /// under the session's budget, journals the acknowledged prefix, and
+  /// reports the outcome. Never throws the session away: a data error
+  /// leaves the session live with its model unchanged (isolation), a budget
+  /// cut freezes the model (sticky degraded — later batches return
+  /// kDegraded with applied == 0), a journal fault evicts the batch and
+  /// reports kInternal.
+  BatchOutcome ApplyBatch(std::string_view batch_bytes);
+
+  /// Replays one journal record: absorbs exactly `record.applied`
+  /// executions of the recorded batch — no budget probing, so replay is
+  /// deterministic — and restores the recorded degradation state.
+  Status ReplayRecord(const JournalRecord& record);
+
+  /// The current model as canonical edge text: one "from<TAB>to" line per
+  /// edge in activity-name space, sorted lexicographically. Byte-comparable
+  /// across servers, restarts, and thread counts; also loadable by
+  /// `procmine check --model=`. FailedPrecondition before any execution.
+  Result<std::string> CanonicalModelText() const;
+
+  const std::string& name() const { return name_; }
+  const SessionSpec& spec() const { return spec_; }
+  const IncrementalMiner& miner() const { return miner_; }
+  int64_t executions() const {
+    return static_cast<int64_t>(miner_.num_executions());
+  }
+  bool degraded() const { return degradation_.degraded; }
+  const DegradationInfo& degradation() const { return degradation_; }
+
+  /// Names of the first / last absorbed execution (registry snapshot
+  /// provenance). Empty before any execution.
+  const std::string& first_execution_name() const { return first_name_; }
+  const std::string& last_execution_name() const { return last_name_; }
+
+ private:
+  void NoteApplied(const EventLog& batch, int64_t applied);
+
+  std::string name_;
+  SessionSpec spec_;
+  RunBudget budget_;
+  IncrementalMiner miner_;
+  DegradationInfo degradation_;
+  std::optional<SessionJournal> journal_;
+  std::string first_name_;
+  std::string last_name_;
+};
+
+}  // namespace procmine::serve
+
+#endif  // PROCMINE_SERVE_SESSION_H_

@@ -1,0 +1,277 @@
+#include "serve/wire.h"
+
+#include <errno.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstring>
+
+#include "util/coding.h"
+#include "util/crc32c.h"
+#include "util/failpoint.h"
+#include "util/strings.h"
+
+namespace procmine::serve {
+
+namespace {
+
+/// Spec encoding version; bumped only on incompatible layout changes (the
+/// journal embeds specs, so old journals must keep decoding).
+constexpr uint64_t kSpecVersion = 1;
+
+}  // namespace
+
+std::string_view ResponseCodeName(ResponseCode code) {
+  switch (code) {
+    case ResponseCode::kOk:
+      return "ok";
+    case ResponseCode::kBadFrame:
+      return "bad_frame";
+    case ResponseCode::kDataError:
+      return "data_error";
+    case ResponseCode::kDegraded:
+      return "degraded";
+    case ResponseCode::kInternal:
+      return "internal";
+    case ResponseCode::kOverloaded:
+      return "overloaded";
+    case ResponseCode::kSessionClosed:
+      return "session_closed";
+  }
+  return "unknown";
+}
+
+std::string EncodeSessionSpec(const SessionSpec& spec) {
+  std::string out;
+  PutVarint64(&out, kSpecVersion);
+  PutVarintSigned64(&out, spec.noise_threshold);
+  PutVarintSigned64(&out, spec.limits.deadline_ms);
+  PutVarintSigned64(&out, spec.limits.max_memory_bytes);
+  PutVarintSigned64(&out, spec.limits.max_executions);
+  out.push_back(static_cast<char>(spec.recovery));
+  return out;
+}
+
+Result<SessionSpec> DecodeSessionSpec(std::string_view bytes) {
+  std::string_view cursor = bytes;
+  PROCMINE_ASSIGN_OR_RETURN(uint64_t version, GetVarint64(&cursor));
+  if (version != kSpecVersion) {
+    return Status::DataLoss(
+        StrFormat("session spec version %llu unsupported",
+                  static_cast<unsigned long long>(version)));
+  }
+  SessionSpec spec;
+  PROCMINE_ASSIGN_OR_RETURN(spec.noise_threshold, GetVarintSigned64(&cursor));
+  PROCMINE_ASSIGN_OR_RETURN(spec.limits.deadline_ms,
+                            GetVarintSigned64(&cursor));
+  PROCMINE_ASSIGN_OR_RETURN(spec.limits.max_memory_bytes,
+                            GetVarintSigned64(&cursor));
+  PROCMINE_ASSIGN_OR_RETURN(spec.limits.max_executions,
+                            GetVarintSigned64(&cursor));
+  if (cursor.empty()) return Status::DataLoss("session spec truncated");
+  int8_t policy = static_cast<int8_t>(cursor.front());
+  cursor.remove_prefix(1);
+  if (policy < 0 || policy > static_cast<int8_t>(RecoveryPolicy::kQuarantine)) {
+    return Status::DataLoss("session spec has an unknown recovery policy");
+  }
+  spec.recovery = static_cast<RecoveryPolicy>(policy);
+  return spec;
+}
+
+std::string EncodeRequest(const RequestFrame& request) {
+  std::string out;
+  out.push_back(static_cast<char>(request.type));
+  PutVarint64(&out, request.seq);
+  PutLengthPrefixed(&out, request.session);
+  out += request.body;
+  return out;
+}
+
+Result<RequestFrame> DecodeRequest(std::string_view payload) {
+  if (payload.empty()) return Status::DataLoss("bad_frame_type: empty frame");
+  RequestFrame request;
+  uint8_t type = static_cast<uint8_t>(payload.front());
+  payload.remove_prefix(1);
+  if (type < static_cast<uint8_t>(FrameType::kOpen) ||
+      type > static_cast<uint8_t>(FrameType::kPing)) {
+    return Status::DataLoss(
+        StrFormat("bad_frame_type: %d", static_cast<int>(type)));
+  }
+  request.type = static_cast<FrameType>(type);
+  PROCMINE_ASSIGN_OR_RETURN(request.seq, GetVarint64(&payload));
+  PROCMINE_ASSIGN_OR_RETURN(std::string_view session,
+                            GetLengthPrefixed(&payload));
+  request.session = std::string(session);
+  request.body = std::string(payload);
+  return request;
+}
+
+std::string EncodeResponse(const ResponseFrame& response) {
+  std::string out;
+  out.push_back(static_cast<char>(response.code));
+  PutVarint64(&out, response.seq);
+  PutVarintSigned64(&out, response.applied_executions);
+  PutVarintSigned64(&out, response.session_executions);
+  PutLengthPrefixed(&out, response.detail);
+  out.push_back(response.degraded ? 1 : 0);
+  if (response.degraded) {
+    out.push_back(static_cast<char>(response.resource));
+    PutLengthPrefixed(&out, response.cut_phase);
+    PutLengthPrefixed(&out, response.dropped);
+  }
+  out += response.body;
+  return out;
+}
+
+Result<ResponseFrame> DecodeResponse(std::string_view payload) {
+  if (payload.empty()) return Status::DataLoss("empty response frame");
+  ResponseFrame response;
+  uint8_t code = static_cast<uint8_t>(payload.front());
+  payload.remove_prefix(1);
+  if (code > static_cast<uint8_t>(ResponseCode::kSessionClosed)) {
+    return Status::DataLoss(
+        StrFormat("unknown response code %d", static_cast<int>(code)));
+  }
+  response.code = static_cast<ResponseCode>(code);
+  PROCMINE_ASSIGN_OR_RETURN(response.seq, GetVarint64(&payload));
+  PROCMINE_ASSIGN_OR_RETURN(response.applied_executions,
+                            GetVarintSigned64(&payload));
+  PROCMINE_ASSIGN_OR_RETURN(response.session_executions,
+                            GetVarintSigned64(&payload));
+  PROCMINE_ASSIGN_OR_RETURN(std::string_view detail,
+                            GetLengthPrefixed(&payload));
+  response.detail = std::string(detail);
+  if (payload.empty()) return Status::DataLoss("response frame truncated");
+  response.degraded = payload.front() != 0;
+  payload.remove_prefix(1);
+  if (response.degraded) {
+    if (payload.empty()) return Status::DataLoss("response frame truncated");
+    response.resource = static_cast<BudgetResource>(payload.front());
+    payload.remove_prefix(1);
+    PROCMINE_ASSIGN_OR_RETURN(std::string_view phase,
+                              GetLengthPrefixed(&payload));
+    response.cut_phase = std::string(phase);
+    PROCMINE_ASSIGN_OR_RETURN(std::string_view dropped,
+                              GetLengthPrefixed(&payload));
+    response.dropped = std::string(dropped);
+  }
+  response.body = std::string(payload);
+  return response;
+}
+
+bool ValidSessionName(std::string_view name) {
+  if (name.empty() || name.size() > 128 || name.front() == '.') return false;
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == '.' || c == '-';
+    if (!ok) return false;
+  }
+  return true;
+}
+
+namespace {
+
+/// write(2) until every byte landed. Failpoint serve.write injects EINTR
+/// (retried, like the real signal), short writes (the loop absorbs them),
+/// hard errors, and crashes.
+Status WriteFull(int fd, const char* data, size_t size) {
+  size_t written = 0;
+  while (written < size) {
+    size_t chunk = size - written;
+    if (auto fp = PROCMINE_FAILPOINT("serve.write"); fp) {
+      if (fp.action == failpoint::Action::kShortIO) {
+        chunk = std::min<size_t>(chunk, static_cast<size_t>(
+                                            std::max<int64_t>(fp.arg, 1)));
+      } else if (fp.action == failpoint::Action::kEintr) {
+        errno = EINTR;
+        continue;
+      } else {
+        return fp.ToStatus("serve.write");
+      }
+    }
+    ssize_t n = ::write(fd, data + written, chunk);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError(
+          StrFormat("serve.write: %s", std::strerror(errno)));
+    }
+    written += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+/// read(2) until `size` bytes arrived. Returns the byte count actually read
+/// (< size only at EOF); IOError on errno. Same failpoint semantics as
+/// WriteFull, on site serve.read.
+Result<size_t> ReadFull(int fd, char* data, size_t size) {
+  size_t got = 0;
+  while (got < size) {
+    size_t chunk = size - got;
+    if (auto fp = PROCMINE_FAILPOINT("serve.read"); fp) {
+      if (fp.action == failpoint::Action::kShortIO) {
+        chunk = std::min<size_t>(chunk, static_cast<size_t>(
+                                            std::max<int64_t>(fp.arg, 1)));
+      } else if (fp.action == failpoint::Action::kEintr) {
+        errno = EINTR;
+        continue;
+      } else {
+        return fp.ToStatus("serve.read");
+      }
+    }
+    ssize_t n = ::read(fd, data + got, chunk);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError(StrFormat("serve.read: %s", std::strerror(errno)));
+    }
+    if (n == 0) break;  // EOF
+    got += static_cast<size_t>(n);
+  }
+  return got;
+}
+
+}  // namespace
+
+Status WriteFrame(int fd, std::string_view payload) {
+  std::string frame;
+  frame.reserve(payload.size() + 8);
+  PutFixed32(&frame, static_cast<uint32_t>(payload.size()));
+  frame += payload;
+  PutFixed32(&frame, Crc32c(payload));
+  return WriteFull(fd, frame.data(), frame.size());
+}
+
+Result<std::string> ReadFrame(int fd, int64_t max_payload_bytes) {
+  char header[4];
+  PROCMINE_ASSIGN_OR_RETURN(size_t got, ReadFull(fd, header, sizeof(header)));
+  if (got == 0) return Status::NotFound("end of stream");
+  if (got < sizeof(header)) {
+    return Status::DataLoss("frame_truncated: EOF inside the length prefix");
+  }
+  std::string_view cursor(header, sizeof(header));
+  PROCMINE_ASSIGN_OR_RETURN(uint32_t length, GetFixed32(&cursor));
+  if (static_cast<int64_t>(length) > max_payload_bytes) {
+    return Status::InvalidArgument(
+        StrFormat("frame_oversize: %u bytes declared, limit %lld", length,
+                  static_cast<long long>(max_payload_bytes)));
+  }
+  std::string payload(length, '\0');
+  if (length > 0) {
+    PROCMINE_ASSIGN_OR_RETURN(got, ReadFull(fd, payload.data(), length));
+    if (got < length) {
+      return Status::DataLoss("frame_truncated: EOF inside the payload");
+    }
+  }
+  char trailer[4];
+  PROCMINE_ASSIGN_OR_RETURN(got, ReadFull(fd, trailer, sizeof(trailer)));
+  if (got < sizeof(trailer)) {
+    return Status::DataLoss("frame_truncated: EOF inside the checksum");
+  }
+  cursor = std::string_view(trailer, sizeof(trailer));
+  PROCMINE_ASSIGN_OR_RETURN(uint32_t crc, GetFixed32(&cursor));
+  if (crc != Crc32c(payload)) {
+    return Status::DataLoss("frame_checksum: payload checksum mismatch");
+  }
+  return payload;
+}
+
+}  // namespace procmine::serve

@@ -1,0 +1,128 @@
+// Wire protocol of `procmine serve`: length-prefixed binary frames over a
+// unix-domain stream socket.
+//
+// Every frame is `fixed32 payload_len | payload | fixed32 crc32c(payload)`.
+// The checksum makes a torn or bit-flipped frame detectable before any
+// payload byte is interpreted, mirroring the binary-log format's stance that
+// corruption must be detected, never silently mis-mined. A frame that fails
+// to decode is classified with the same error-class style as recovery-mode
+// ingestion (frame_oversize / frame_truncated / frame_checksum /
+// bad_frame_type) so server logs and tests share one taxonomy.
+//
+// Requests carry a session name: many independent process-log sessions
+// multiplex over one server (and may arrive over separate connections).
+// Responses carry an exit-taxonomy-style status code — the same meanings as
+// the CLI's exit codes (0 ok, 2 client/usage, 3 data, 4 degraded,
+// 5 internal) plus server-only codes for overload shedding and closed
+// sessions — so a scripted client can tell "my batch was malformed" from
+// "the server is shedding load" without parsing prose.
+
+#ifndef PROCMINE_SERVE_WIRE_H_
+#define PROCMINE_SERVE_WIRE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "log/recovery.h"
+#include "util/budget.h"
+#include "util/result.h"
+
+namespace procmine::serve {
+
+/// Hard ceiling a server enforces on one frame's payload; a hostile client
+/// declaring a huge length is rejected before any allocation of that size.
+inline constexpr int64_t kDefaultMaxFrameBytes = 64ll << 20;
+
+/// What a request frame asks for.
+enum class FrameType : uint8_t {
+  kOpen = 1,   ///< create (or re-attach to) a session; body = SessionSpec
+  kBatch = 2,  ///< append a batch; body = binary-log bytes (EncodeBinaryLog)
+  kQuery = 3,  ///< fetch the current model as canonical edge text
+  kClose = 4,  ///< close the session (publish + seal its journal)
+  kPing = 5,   ///< liveness probe; echoes ok
+};
+
+/// Exit-taxonomy-style status of one response frame. Values 0-5 mirror the
+/// CLI exit codes (docs/robustness.md); 6-7 are server-only.
+enum class ResponseCode : uint8_t {
+  kOk = 0,
+  kBadFrame = 2,       ///< malformed frame or request; the connection closes
+  kDataError = 3,      ///< batch failed to decode / malformed execution
+  kDegraded = 4,       ///< session budget exhausted; partial result, see
+                       ///< degradation fields
+  kInternal = 5,       ///< server-side fault (e.g. journal append failed)
+  kOverloaded = 6,     ///< shed under memory pressure; retry later
+  kSessionClosed = 7,  ///< request for a closed or unknown session
+};
+
+/// "ok" / "bad_frame" / "data_error" / ... (stable, used in logs and tests).
+std::string_view ResponseCodeName(ResponseCode code);
+
+/// Per-session knobs carried by a kOpen body. The limits become the
+/// session's own RunBudget: one tenant exhausting its budget degrades that
+/// session only.
+struct SessionSpec {
+  int64_t noise_threshold = 1;
+  RunBudget::Limits limits;
+  RecoveryPolicy recovery = RecoveryPolicy::kStrict;
+};
+
+/// Deterministic binary encoding of a spec (journals embed it, so replay
+/// reconstructs the session exactly as it was opened).
+std::string EncodeSessionSpec(const SessionSpec& spec);
+Result<SessionSpec> DecodeSessionSpec(std::string_view bytes);
+
+/// One decoded request frame.
+struct RequestFrame {
+  FrameType type = FrameType::kPing;
+  uint64_t seq = 0;      ///< client-chosen; echoed in the response
+  std::string session;   ///< empty only for kPing
+  std::string body;      ///< kOpen: SessionSpec; kBatch: binary-log bytes
+};
+
+/// One decoded response frame. Degradation fields are meaningful when
+/// `degraded` is set (code is then usually kDegraded, mirroring the CLI
+/// exit-4 contract: a partial model, not a bare error).
+struct ResponseFrame {
+  ResponseCode code = ResponseCode::kOk;
+  uint64_t seq = 0;
+  int64_t applied_executions = 0;  ///< executions absorbed by this request
+  int64_t session_executions = 0;  ///< session total after this request
+  std::string detail;              ///< human-readable context ("" when ok)
+  bool degraded = false;
+  BudgetResource resource = BudgetResource::kNone;
+  std::string cut_phase;
+  std::string dropped;
+  std::string body;  ///< kQuery: canonical model edge text
+};
+
+std::string EncodeRequest(const RequestFrame& request);
+Result<RequestFrame> DecodeRequest(std::string_view payload);
+std::string EncodeResponse(const ResponseFrame& response);
+Result<ResponseFrame> DecodeResponse(std::string_view payload);
+
+/// True when `name` is a safe session name: nonempty, at most 128 bytes of
+/// [A-Za-z0-9_.-], not starting with '.'. Session names become journal and
+/// registry file names, so this is the path-traversal guard.
+bool ValidSessionName(std::string_view name);
+
+// ---------------------------------------------------------------------------
+// Framed IO over a file descriptor. Both helpers absorb EINTR and short
+// reads/writes (the failpoint sites serve.read / serve.write inject both,
+// plus hard IO errors and crashes).
+
+/// Writes one frame (length prefix + payload + checksum). IOError on a
+/// closed or failing peer.
+Status WriteFrame(int fd, std::string_view payload);
+
+/// Reads one frame and verifies its checksum. Returns the payload.
+/// NotFound on clean EOF (peer closed between frames); DataLoss with an
+/// error-class message (frame_truncated / frame_checksum) on a torn or
+/// corrupt frame; InvalidArgument (frame_oversize) when the declared length
+/// exceeds `max_payload_bytes`.
+Result<std::string> ReadFrame(int fd, int64_t max_payload_bytes);
+
+}  // namespace procmine::serve
+
+#endif  // PROCMINE_SERVE_WIRE_H_

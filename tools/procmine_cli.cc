@@ -18,6 +18,13 @@
 //                  --out=FILE                  synthetic workload
 //                  (--drift=KIND generates a change-point scenario instead)
 //   procmine convert <in> <out>                format conversion by extension
+//   procmine serve --socket=PATH [--journal-dir=DIR] [--registry-root=DIR]
+//                  long-running streaming mining daemon (docs/serving.md):
+//                  sessions over a unix socket, crash recovery by journal
+//                  replay, graceful drain on SIGTERM
+//   procmine client --socket=PATH --session=NAME [log] [--query] [--close]
+//                  scripted client for the serve protocol (--garbage sends
+//                  hostile frames to prove fault isolation)
 //
 // Global observability flags (valid on every command):
 //   --trace-out=FILE    record phase spans, write Chrome trace-event JSON
@@ -62,10 +69,13 @@
 // is identical for every value. Model edge files are plain text, one
 // "From To" pair per line, '#' comments allowed.
 
+#include <sys/socket.h>
 #include <sys/stat.h>
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <fstream>
 #include <iterator>
@@ -100,6 +110,9 @@
 #include "mine/noise.h"
 #include "mine/ooc_miner.h"
 #include "obs/registry.h"
+#include "serve/client.h"
+#include "serve/server.h"
+#include "serve/wire.h"
 #include "synth/drift_scenario.h"
 #include "mine/reconstruct.h"
 #include "mine/sequential_patterns.h"
@@ -110,6 +123,8 @@
 #include "synth/random_dag.h"
 #include "util/atomic_file.h"
 #include "util/budget.h"
+#include "util/coding.h"
+#include "util/crc32c.h"
 #include "util/failpoint.h"
 #include "util/json.h"
 #include "util/logging.h"
@@ -1669,6 +1684,19 @@ void PrintUsage() {
       "  convert <in> <out> [--to-store [--segment-events=N]]\n"
       "  top <status-file>   (pretty-print the heartbeat a --status-file\n"
       "      run keeps rewriting; exit 0 fresh, 1 stale)\n"
+      "  serve --socket=PATH [--journal-dir=DIR] [--registry-root=DIR]\n"
+      "        [--threads=N] [--queue-batches=N] [--max-frame-mb=N]\n"
+      "        [--max-queued-mb=N] [--idle-timeout-ms=N] [--max-sessions=N]\n"
+      "        [--no-fsync] [--max-memory-mb=N global shed high-water]\n"
+      "        [session defaults: --threshold=N --recovery=POLICY\n"
+      "         --session-deadline-ms=N --session-max-memory-mb=N\n"
+      "         --session-max-executions=N]\n"
+      "        (streaming mining daemon; SIGTERM drains gracefully;\n"
+      "         docs/serving.md)\n"
+      "  client --socket=PATH --session=NAME [log] [--batch-executions=N]\n"
+      "         [--query | --query-out=FILE] [--close] [--ping] [--garbage]\n"
+      "         (serve-protocol client; --garbage runs hostile-frame attacks\n"
+      "          and exits 0 iff the server survives them all)\n"
       "global flags (any command): --trace-out=FILE (Chrome trace JSON +\n"
       "per-phase summary), --metrics-out=FILE (counter snapshot JSON),\n"
       "--log-level=debug|info|warning|error, --log-json (JSON-lines logs)\n"
@@ -1791,6 +1819,353 @@ int FlushObservability(const Args& args, int rc) {
   return rc;
 }
 
+// ---------------------------------------------------------------------------
+// serve / client — the streaming mining server (docs/serving.md).
+
+std::atomic<bool> g_serve_stop{false};
+
+void ServeStopHandler(int) { g_serve_stop.store(true); }
+
+/// Builds the per-session spec from --threshold, --recovery, and the
+/// --session-* budget flags (the plain --deadline-ms family is the GLOBAL
+/// server budget on `serve`, so sessions get their own namespace).
+Result<serve::SessionSpec> SessionSpecFromArgs(const Args& args) {
+  serve::SessionSpec spec;
+  if (args.Has("threshold")) {
+    PROCMINE_ASSIGN_OR_RETURN(spec.noise_threshold,
+                              ParseInt64(args.Get("threshold")));
+  }
+  if (args.Has("session-deadline-ms")) {
+    PROCMINE_ASSIGN_OR_RETURN(spec.limits.deadline_ms,
+                              ParseInt64(args.Get("session-deadline-ms")));
+  }
+  if (args.Has("session-max-memory-mb")) {
+    PROCMINE_ASSIGN_OR_RETURN(int64_t mb,
+                              ParseInt64(args.Get("session-max-memory-mb")));
+    spec.limits.max_memory_bytes = mb * (int64_t{1} << 20);
+  }
+  if (args.Has("session-max-executions")) {
+    PROCMINE_ASSIGN_OR_RETURN(spec.limits.max_executions,
+                              ParseInt64(args.Get("session-max-executions")));
+  }
+  PROCMINE_ASSIGN_OR_RETURN(spec.recovery, RecoveryFlag(args));
+  return spec;
+}
+
+int CommandServe(const Args& args) {
+  if (!args.Has("socket")) {
+    std::cerr << "serve requires --socket=PATH\n";
+    return kExitUsage;
+  }
+  serve::ServeOptions options;
+  options.journal_dir = args.Get("journal-dir");
+  options.registry_root = args.Get("registry-root");
+  options.threads = ThreadsFlag(args);
+  options.fsync_journal = !args.Has("no-fsync");
+  auto int_flag = [&args](const char* key, int64_t* out) -> Status {
+    if (!args.Has(key)) return Status::OK();
+    PROCMINE_ASSIGN_OR_RETURN(*out, ParseInt64(args.Get(key)));
+    return Status::OK();
+  };
+  int64_t queue_batches = options.queue_batches;
+  int64_t max_frame_mb = -1;
+  int64_t max_queued_mb = -1;
+  Status flags_ok = Status::OK();
+  if (flags_ok.ok()) flags_ok = int_flag("queue-batches", &queue_batches);
+  if (flags_ok.ok()) flags_ok = int_flag("max-frame-mb", &max_frame_mb);
+  if (flags_ok.ok()) flags_ok = int_flag("max-queued-mb", &max_queued_mb);
+  if (flags_ok.ok()) {
+    flags_ok = int_flag("idle-timeout-ms", &options.idle_timeout_ms);
+  }
+  if (flags_ok.ok()) flags_ok = int_flag("max-sessions", &options.max_sessions);
+  if (!flags_ok.ok()) {
+    std::cerr << flags_ok.ToString() << "\n";
+    return kExitUsage;
+  }
+  options.queue_batches = static_cast<int>(queue_batches);
+  if (max_frame_mb >= 0) options.max_frame_bytes = max_frame_mb << 20;
+  if (max_queued_mb >= 0) options.max_queued_bytes = max_queued_mb << 20;
+  Result<RunBudget::Limits> global = BudgetLimitsFromArgs(args);
+  if (!global.ok()) return Fail(global.status());
+  options.global_limits = *global;
+  Result<serve::SessionSpec> spec = SessionSpecFromArgs(args);
+  if (!spec.ok()) return Fail(spec.status());
+  options.default_spec = *spec;
+
+  // A client vanishing mid-write must cost that connection an EPIPE, not
+  // the process a SIGPIPE. SIGTERM/SIGINT flip the stop flag the accept and
+  // connection loops poll, turning the signal into a graceful drain.
+  std::signal(SIGPIPE, SIG_IGN);
+  std::signal(SIGTERM, ServeStopHandler);
+  std::signal(SIGINT, ServeStopHandler);
+
+  serve::ServeCore core(options);
+  Result<int64_t> recovered = core.RecoverFromJournals();
+  if (!recovered.ok()) return Fail(recovered.status());
+  if (*recovered > 0 || core.stats().journals_skipped > 0) {
+    std::fprintf(stderr,
+                 "recovered %lld session(s) from journals "
+                 "(%lld torn tail(s) truncated, %lld journal(s) skipped)\n",
+                 static_cast<long long>(*recovered),
+                 static_cast<long long>(core.stats().journals_torn),
+                 static_cast<long long>(core.stats().journals_skipped));
+  }
+
+  serve::SocketServer server(&core, args.Get("socket"),
+                             options.max_frame_bytes, &g_serve_stop);
+  Status status = server.Start();
+  if (!status.ok()) return Fail(status);
+  std::fprintf(stderr, "serving on %s\n", args.Get("socket").c_str());
+  status = server.Serve();
+  if (!status.ok()) return Fail(status);
+  Status drain = core.Drain();
+  const serve::ServeStats& stats = core.stats();
+  std::fprintf(
+      stderr,
+      "drained: %lld opened, %lld recovered, %lld closed, %lld applied, "
+      "%lld degraded, %lld rejected, %lld shed, %lld published\n",
+      static_cast<long long>(stats.sessions_opened),
+      static_cast<long long>(stats.sessions_recovered),
+      static_cast<long long>(stats.sessions_closed),
+      static_cast<long long>(stats.batches_applied),
+      static_cast<long long>(stats.batches_degraded),
+      static_cast<long long>(stats.batches_rejected),
+      static_cast<long long>(stats.batches_shed),
+      static_cast<long long>(stats.models_published));
+  if (!drain.ok()) return Fail(drain);
+  return kExitOk;
+}
+
+/// Copies executions [begin, end) into a self-contained batch log with its
+/// own dictionary (a kBatch body must decode standalone).
+EventLog SliceLog(const EventLog& log, size_t begin, size_t end) {
+  EventLog slice;
+  for (size_t i = begin; i < end; ++i) {
+    const Execution& exec = log.execution(i);
+    Execution copy(exec.name());
+    for (const ActivityInstance& instance : exec.instances()) {
+      ActivityInstance mapped = instance;
+      mapped.activity =
+          slice.dictionary().Intern(log.dictionary().Name(instance.activity));
+      copy.Append(std::move(mapped));
+    }
+    slice.AddExecution(std::move(copy));
+  }
+  return slice;
+}
+
+/// Maps a response code to the CLI exit taxonomy.
+int ExitForResponseCode(serve::ResponseCode code) {
+  switch (code) {
+    case serve::ResponseCode::kOk:
+      return kExitOk;
+    case serve::ResponseCode::kBadFrame:
+      return kExitUsage;
+    case serve::ResponseCode::kDataError:
+    case serve::ResponseCode::kSessionClosed:
+      return kExitData;
+    case serve::ResponseCode::kDegraded:
+      return kExitDegraded;
+    default:
+      return kExitInternal;
+  }
+}
+
+/// Severity order for combining per-request exit codes: hard errors beat
+/// degraded beats ok (mirrors FinishWithDegradation's precedence).
+int WorseExit(int a, int b) {
+  auto rank = [](int code) {
+    switch (code) {
+      case kExitInternal: return 4;
+      case kExitData: return 3;
+      case kExitUsage: return 2;
+      case kExitDegraded: return 1;
+      default: return 0;
+    }
+  };
+  return rank(a) >= rank(b) ? a : b;
+}
+
+void PrintAck(const char* what, const serve::ResponseFrame& response) {
+  std::fprintf(stderr, "%s: %s", what,
+               std::string(serve::ResponseCodeName(response.code)).c_str());
+  if (response.applied_executions > 0 || response.session_executions > 0) {
+    std::fprintf(stderr, " applied=%lld total=%lld",
+                 static_cast<long long>(response.applied_executions),
+                 static_cast<long long>(response.session_executions));
+  }
+  if (response.degraded) {
+    std::fprintf(stderr, " degraded(resource=%s phase=%s)",
+                 std::string(BudgetResourceName(response.resource)).c_str(),
+                 response.cut_phase.c_str());
+  }
+  if (!response.detail.empty()) {
+    std::fprintf(stderr, " (%s)", response.detail.c_str());
+  }
+  std::fprintf(stderr, "\n");
+}
+
+/// The hostile client: four malformed-stream attacks, each on a fresh
+/// connection, then a ping on yet another connection to prove the server
+/// survived. Exit 0 = server isolated every attack.
+int RunGarbageClient(const std::string& socket_path) {
+  struct Attack {
+    const char* name;
+    std::string bytes;
+  };
+  std::vector<Attack> attacks;
+  {
+    std::string payload = "garbage-not-a-request";
+    std::string frame;
+    PutFixed32(&frame, static_cast<uint32_t>(payload.size()));
+    frame += payload;
+    PutFixed32(&frame, 0xdeadbeefu);  // wrong checksum
+    attacks.push_back({"bad_checksum", std::move(frame)});
+  }
+  {
+    std::string frame;
+    PutFixed32(&frame, 0x7fffffffu);  // declares a 2 GiB payload
+    attacks.push_back({"oversize_declaration", std::move(frame)});
+  }
+  {
+    std::string frame;
+    PutFixed32(&frame, 100);  // declares 100 bytes, delivers 9, hangs up
+    frame += "truncated";
+    attacks.push_back({"torn_frame", std::move(frame)});
+  }
+  {
+    std::string payload;
+    payload.push_back('\xff');  // valid frame, unknown request type
+    payload += "junk";
+    std::string frame;
+    PutFixed32(&frame, static_cast<uint32_t>(payload.size()));
+    frame += payload;
+    PutFixed32(&frame, Crc32c(payload));
+    attacks.push_back({"bad_request_type", std::move(frame)});
+  }
+  for (const Attack& attack : attacks) {
+    Result<serve::ServeClient> client = serve::ServeClient::Connect(socket_path);
+    if (!client.ok()) {
+      std::fprintf(stderr, "garbage[%s]: connect failed — server down? %s\n",
+                   attack.name, client.status().ToString().c_str());
+      return kExitData;
+    }
+    // Errors here are fine: the server may hang up mid-send. Half-close our
+    // write side so a deliberately torn frame reads as EOF server-side.
+    (void)client->SendRaw(attack.bytes);
+    ::shutdown(client->fd(), SHUT_WR);
+    Result<serve::ResponseFrame> response = client->ReadResponse();
+    if (response.ok()) {
+      std::fprintf(
+          stderr, "garbage[%s]: server answered %s\n", attack.name,
+          std::string(serve::ResponseCodeName(response->code)).c_str());
+    } else {
+      std::fprintf(stderr, "garbage[%s]: server hung up (%s)\n", attack.name,
+                   response.status().ToString().c_str());
+    }
+  }
+  Result<serve::ServeClient> probe = serve::ServeClient::Connect(socket_path);
+  if (!probe.ok()) return Fail(probe.status());
+  Result<serve::ResponseFrame> pong =
+      probe->Call(serve::FrameType::kPing, "");
+  if (!pong.ok() || pong->code != serve::ResponseCode::kOk) {
+    std::fprintf(stderr, "garbage client: server did NOT survive\n");
+    return kExitData;
+  }
+  std::fprintf(stderr, "garbage client: server survived %zu attacks\n",
+               attacks.size());
+  return kExitOk;
+}
+
+int CommandClient(const Args& args) {
+  if (!args.Has("socket")) {
+    std::cerr << "client requires --socket=PATH\n";
+    return kExitUsage;
+  }
+  std::signal(SIGPIPE, SIG_IGN);
+  const std::string socket_path = args.Get("socket");
+  if (args.Has("garbage")) return RunGarbageClient(socket_path);
+
+  Result<serve::ServeClient> connected =
+      serve::ServeClient::Connect(socket_path);
+  if (!connected.ok()) return Fail(connected.status());
+  serve::ServeClient client = connected.MoveValueOrDie();
+
+  if (args.Has("ping") && !args.Has("session")) {
+    Result<serve::ResponseFrame> pong =
+        client.Call(serve::FrameType::kPing, "");
+    if (!pong.ok()) return Fail(pong.status());
+    PrintAck("ping", *pong);
+    return ExitForResponseCode(pong->code);
+  }
+  if (!args.Has("session")) {
+    std::cerr << "client requires --session=NAME (or --ping / --garbage)\n";
+    return kExitUsage;
+  }
+  const std::string session = args.Get("session");
+  int exit_code = kExitOk;
+
+  Result<serve::SessionSpec> spec = SessionSpecFromArgs(args);
+  if (!spec.ok()) return Fail(spec.status());
+  Result<serve::ResponseFrame> open = client.Call(
+      serve::FrameType::kOpen, session, serve::EncodeSessionSpec(*spec));
+  if (!open.ok()) return Fail(open.status());
+  PrintAck("open", *open);
+  exit_code = WorseExit(exit_code, ExitForResponseCode(open->code));
+
+  if (!args.positional.empty()) {
+    Result<EventLog> log = ReadLogAuto(args.positional[0], args);
+    if (!log.ok()) return Fail(log.status());
+    int64_t batch_executions =
+        static_cast<int64_t>(log->num_executions());
+    if (args.Has("batch-executions")) {
+      Result<int64_t> parsed = ParseInt64(args.Get("batch-executions"));
+      if (!parsed.ok() || *parsed <= 0) {
+        std::cerr << "--batch-executions must be a positive integer\n";
+        return kExitUsage;
+      }
+      batch_executions = *parsed;
+    }
+    for (size_t begin = 0; begin < log->num_executions();
+         begin += static_cast<size_t>(batch_executions)) {
+      size_t end = std::min(log->num_executions(),
+                            begin + static_cast<size_t>(batch_executions));
+      std::string body = EncodeBinaryLog(SliceLog(*log, begin, end));
+      Result<serve::ResponseFrame> ack =
+          client.Call(serve::FrameType::kBatch, session, body);
+      if (!ack.ok()) return Fail(ack.status());
+      PrintAck("batch", *ack);
+      exit_code = WorseExit(exit_code, ExitForResponseCode(ack->code));
+    }
+  }
+
+  if (args.Has("query") || args.Has("query-out")) {
+    Result<serve::ResponseFrame> model =
+        client.Call(serve::FrameType::kQuery, session);
+    if (!model.ok()) return Fail(model.status());
+    PrintAck("query", *model);
+    exit_code = WorseExit(exit_code, ExitForResponseCode(model->code));
+    if (model->code == serve::ResponseCode::kOk ||
+        model->code == serve::ResponseCode::kDegraded) {
+      if (args.Has("query-out")) {
+        Status written = WriteFileAtomic(args.Get("query-out"), model->body);
+        if (!written.ok()) return Fail(written);
+      } else {
+        std::fwrite(model->body.data(), 1, model->body.size(), stdout);
+      }
+    }
+  }
+
+  if (args.Has("close")) {
+    Result<serve::ResponseFrame> closed =
+        client.Call(serve::FrameType::kClose, session);
+    if (!closed.ok()) return Fail(closed.status());
+    PrintAck("close", *closed);
+    exit_code = WorseExit(exit_code, ExitForResponseCode(closed->code));
+  }
+  return exit_code;
+}
+
 int Dispatch(const std::string& command, const Args& args) {
   if (command == "mine") return CommandMine(args);
   if (command == "check") return CommandCheck(args);
@@ -1807,6 +2182,8 @@ int Dispatch(const std::string& command, const Args& args) {
   if (command == "patterns") return CommandPatterns(args);
   if (command == "convert") return CommandConvert(args);
   if (command == "top") return CommandTop(args);
+  if (command == "serve") return CommandServe(args);
+  if (command == "client") return CommandClient(args);
   PrintUsage();
   return 2;
 }
